@@ -1,0 +1,168 @@
+// Command busmon replays a capture file through the full monitoring
+// stack — vProfile voltage fingerprinting, the period monitor, and
+// J1939 transport reassembly with DM1 decoding — and prints a timeline
+// of everything suspicious plus a traffic summary. It is the composed
+// IDS the paper's conclusion recommends, provided as a library by
+// internal/ids (Composite).
+//
+// Usage:
+//
+//	busmon -capture traffic.vptr -model model.vpm
+//	busmon -capture traffic.vptr.gz -model model.vpm -timeline
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"vprofile/internal/canbus"
+	"vprofile/internal/core"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/ids"
+	"vprofile/internal/trace"
+)
+
+func main() {
+	var (
+		capture   = flag.String("capture", "", "capture file (plain or gzip)")
+		modelPath = flag.String("model", "", "trained vProfile model")
+		timeline  = flag.Bool("timeline", false, "print every suspicious event")
+	)
+	flag.Parse()
+	if *capture == "" || *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "busmon: -capture and -model are required")
+		os.Exit(2)
+	}
+	if err := run(*capture, *modelPath, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "busmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(capturePath, modelPath string, timeline bool) error {
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := core.Load(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+
+	cf, err := os.Open(capturePath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	rd, err := trace.OpenReader(cf)
+	if err != nil {
+		return err
+	}
+	h := rd.Header()
+	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: extractionFor(h)})
+	if err != nil {
+		return err
+	}
+
+	type counter struct {
+		frames   int
+		alarms   int
+		lastSeen float64
+	}
+	perSA := map[uint8]*counter{}
+	voltAlarms, periodAlarms, tpTransfers, dm1Reports := 0, 0, 0, 0
+	n := 0
+	lastAt := 0.0
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n++
+		lastAt = rec.TimeSec
+		frame := &canbus.ExtendedFrame{ID: rec.FrameID, Data: rec.Data}
+		sa := uint8(frame.SA())
+		c := perSA[sa]
+		if c == nil {
+			c = &counter{}
+			perSA[sa] = c
+		}
+		c.frames++
+		c.lastSeen = rec.TimeSec
+
+		r := mon.Process(frame, rec.Trace, rec.TimeSec)
+		if r.Voltage.Anomaly || r.ExtractErr != nil {
+			voltAlarms++
+			c.alarms++
+			if timeline {
+				fmt.Printf("%10.4fs  VOLTAGE  SA %#02x %s (dist %.2f, predicted cluster %d)\n",
+					rec.TimeSec, sa, r.Voltage.Reason, r.Voltage.MinDist, r.Voltage.Predict)
+			}
+		}
+		if r.Timing == ids.PeriodTooEarly {
+			periodAlarms++
+			if timeline {
+				fmt.Printf("%10.4fs  TIMING   id %#08x arrived early\n", rec.TimeSec, rec.FrameID)
+			}
+		}
+		if r.Transfer != nil {
+			tpTransfers++
+			if r.Transfer.PGN == canbus.PGNDM1 {
+				if lamps, dtcs, err := canbus.DecodeDM1(r.Transfer.Payload); err == nil {
+					dm1Reports++
+					if timeline {
+						fmt.Printf("%10.4fs  DM1      SA %#02x lamps=%+v %d DTCs\n",
+							rec.TimeSec, uint8(r.Transfer.SA), lamps, len(dtcs))
+					}
+				}
+			}
+		}
+	}
+	silent := mon.SilentStreams()
+
+	fmt.Printf("capture: %s (%s, %.0f kb/s, %d-bit @ %.1f MS/s)\n",
+		capturePath, h.Vehicle, h.BitRate/1e3, h.ADC.Bits, h.ADC.SampleRate/1e6)
+	fmt.Printf("frames: %d over %.2fs\n", n, lastAt)
+	fmt.Printf("voltage alarms: %d | timing alarms: %d | silent ids at end: %d\n", voltAlarms, periodAlarms, len(silent))
+	fmt.Printf("transport transfers: %d (DM1 reports: %d)\n\n", tpTransfers, dm1Reports)
+
+	sas := make([]int, 0, len(perSA))
+	for sa := range perSA {
+		sas = append(sas, int(sa))
+	}
+	sort.Ints(sas)
+	fmt.Printf("%6s %8s %8s %10s\n", "SA", "frames", "alarms", "last seen")
+	for _, sa := range sas {
+		c := perSA[uint8(sa)]
+		fmt.Printf("  %#02x %8d %8d %9.2fs\n", sa, c.frames, c.alarms, c.lastSeen)
+	}
+	return nil
+}
+
+// extractionFor mirrors the vprofile CLI's parameter derivation.
+func extractionFor(h trace.Header) edgeset.Config {
+	perBit := int(h.ADC.SamplesPerBit(h.BitRate))
+	scale := float64(perBit) / 40.0
+	prefix := int(2 * scale)
+	if prefix < 1 {
+		prefix = 1
+	}
+	suffix := int(14 * scale)
+	if suffix < 3 {
+		suffix = 3
+	}
+	return edgeset.Config{
+		BitWidth:     perBit,
+		BitThreshold: h.ADC.VoltsToCode(1.0),
+		PrefixLen:    prefix,
+		SuffixLen:    suffix,
+	}
+}

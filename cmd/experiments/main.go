@@ -1,0 +1,403 @@
+// Command experiments regenerates every table and figure of the
+// vProfile evaluation (Chapters 4 and 5 of the paper) on the simulated
+// vehicles, printing the same rows and series the paper reports.
+//
+// Usage:
+//
+//	experiments                 # run everything at the quick scale
+//	experiments -scale full     # larger captures (slower, tighter stats)
+//	experiments -only table4.3  # run one experiment
+//	experiments -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vprofile/internal/baseline"
+	"vprofile/internal/core"
+	"vprofile/internal/experiments"
+	"vprofile/internal/stats"
+	"vprofile/internal/vehicle"
+)
+
+type runner func(scale experiments.Scale) error
+
+var registry = map[string]runner{}
+
+func register(id string, fn runner) { registry[id] = fn }
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "quick", "experiment scale: quick or full")
+		only      = flag.String("only", "", "run only experiments whose id contains this substring")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	registerAll()
+
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+	scale := experiments.Quick
+	if *scaleName == "full" {
+		scale = experiments.Full
+	}
+	failed := 0
+	for _, id := range ids {
+		if *only != "" && !strings.Contains(id, *only) {
+			continue
+		}
+		fmt.Printf("==== %s ====\n", id)
+		if err := registry[id](scale); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			failed++
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func printConfusion(title string, m stats.ConfusionMatrix) {
+	fmt.Printf("%s\n%s\n", title, m)
+	fmt.Printf("accuracy=%.5f precision=%.5f recall=%.5f F=%.5f\n\n",
+		m.Accuracy(), m.Precision(), m.Recall(), m.FScore())
+}
+
+func printMetric(res *experiments.MetricResults) {
+	fmt.Printf("%s, %s distance; closest pair %v (d=%.2f), next %v (d=%.2f)\n\n",
+		res.Vehicle, res.Metric, res.ForeignPair, res.ForeignPairDist, res.NextPair, res.NextPairDist)
+	printConfusion(fmt.Sprintf("(a) False positive test (margin %.3g)", res.FalsePositive.Margin), res.FalsePositive.Matrix)
+	printConfusion(fmt.Sprintf("(b) Hijack imitation test (margin %.3g)", res.Hijack.Margin), res.Hijack.Matrix)
+	printConfusion(fmt.Sprintf("(c) Foreign device imitation test (margin %.3g)", res.Foreign.Margin), res.Foreign.Matrix)
+}
+
+func metricTable(id string, mk func() *vehicle.Vehicle, metric core.Metric) {
+	register(id, func(scale experiments.Scale) error {
+		res, err := experiments.RunMetric(mk(), metric, scale)
+		if err != nil {
+			return err
+		}
+		printMetric(res)
+		return nil
+	})
+}
+
+func registerAll() {
+	metricTable("table4.1-vehicleA-euclidean", vehicle.NewVehicleA, core.Euclidean)
+	metricTable("table4.2-vehicleB-euclidean", vehicle.NewVehicleB, core.Euclidean)
+	metricTable("table4.3-vehicleA-mahalanobis", vehicle.NewVehicleA, core.Mahalanobis)
+	metricTable("table4.4-vehicleB-mahalanobis", vehicle.NewVehicleB, core.Mahalanobis)
+
+	register("table4.5-distance-quotient", func(scale experiments.Scale) error {
+		res, err := experiments.RunQuotient(scale.TrainMessages, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %12s %12s %9s\n", "Metric", "to ECU 0", "to ECU 1", "Quotient")
+		fmt.Printf("%-12s %12.2f %12.2f %9.2f\n", "Euclidean", res.EuclideanTo0, res.EuclideanTo1, res.EuclideanQuotient)
+		fmt.Printf("%-12s %12.2f %12.2f %9.2f\n", "Mahalanobis", res.MahalanobisTo0, res.MahalanobisTo1, res.MahalanobisQuotient)
+		return nil
+	})
+
+	register("table4.6-vehicleA-rate-resolution-sweep", func(scale experiments.Scale) error {
+		res, err := experiments.RunSweep(vehicle.NewVehicleA(), []int{1, 2, 4, 8}, []int{16, 14, 12, 10}, scale)
+		if err != nil {
+			return err
+		}
+		printSweep(res)
+		return nil
+	})
+	register("table4.7-vehicleB-rate-sweep", func(scale experiments.Scale) error {
+		res, err := experiments.RunSweep(vehicle.NewVehicleB(), []int{1, 2, 4}, []int{12}, scale)
+		if err != nil {
+			return err
+		}
+		printSweep(res)
+		return nil
+	})
+
+	register("table4.8-fig4.6-temperature", func(scale experiments.Scale) error {
+		res, err := experiments.RunTemperature(vehicle.NewVehicleA(), scale.TrainMessages/2, scale.Seed)
+		if err != nil {
+			return err
+		}
+		printConfusion("Temperature variance confusion matrix (train −5…0 °C, test 0…25 °C)", res.Matrix)
+		fmt.Printf("false positives per 5 °C bin: %v\n", res.FPsByBin)
+		printConfusion("after augmenting training with 20–25 °C data", res.AugmentedMatrix)
+		fmt.Println("Figure 4.6 — % delta of mean Mahalanobis distance (99% CI) per bin:")
+		printDeltas(res.Delta, []string{"0–5", "5–10", "10–15", "15–20", "20–25"})
+		return nil
+	})
+
+	register("table4.9-fig4.7-voltage", func(scale experiments.Scale) error {
+		res, err := experiments.RunVoltage(vehicle.NewVehicleA(), scale.TrainMessages/2, scale.Seed)
+		if err != nil {
+			return err
+		}
+		printConfusion("High-power vehicle functions confusion matrix", res.Matrix)
+		fmt.Println("Figure 4.7 — % delta of mean Mahalanobis distance (99% CI) per event:")
+		printDeltas(res.Delta, res.Events)
+		return nil
+	})
+
+	register("fig4.8-accessory-drift", func(scale experiments.Scale) error {
+		res, err := experiments.RunDrift(vehicle.NewVehicleA(), 5, scale.TrainMessages/3, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 4.8 — % delta of mean Mahalanobis distance per trial:")
+		printDeltas(res.Delta, []string{"trial 2", "trial 3", "trial 4", "trial 5"})
+		return nil
+	})
+
+	register("fig2.5-edge-set-bundles", func(scale experiments.Scale) error {
+		b, err := experiments.CollectEdgeSets(vehicle.NewSterlingActerra(), 200, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("200 traces: ECU 0 ×%d, ECU 1 ×%d; mean profiles:\n", len(b.Sets[0]), len(b.Sets[1]))
+		printSeries("ECU0", b.Means[0])
+		printSeries("ECU1", b.Means[1])
+		return nil
+	})
+
+	register("fig3.1-rate-resolution-effects", func(scale experiments.Scale) error {
+		res, err := experiments.RunReductionSeries(scale.Seed)
+		if err != nil {
+			return err
+		}
+		printSeries("original", res.Original)
+		for i, tr := range res.ByRate {
+			printSeries(fmt.Sprintf("rate/%d", res.RateFactors[i]), tr)
+		}
+		for i, tr := range res.ByBits {
+			printSeries(fmt.Sprintf("%d-bit", res.Bits[i]), tr)
+		}
+		return nil
+	})
+
+	register("fig4.2-vehicleA-profiles", func(scale experiments.Scale) error {
+		b, err := experiments.CollectEdgeSets(vehicle.NewVehicleA(), 600, scale.Seed)
+		if err != nil {
+			return err
+		}
+		for ecu, mean := range b.Means {
+			printSeries(fmt.Sprintf("ECU%d", ecu), mean)
+		}
+		return nil
+	})
+
+	register("fig4.4-index-stddev", func(scale experiments.Scale) error {
+		res, err := experiments.RunIndexDeviation(vehicle.NewSterlingActerra(), 0, 400, scale.Seed)
+		if err != nil {
+			return err
+		}
+		printSeries("stddev", res.StdDev)
+		fmt.Printf("edge indices: %v\n", res.EdgeIndices)
+		return nil
+	})
+
+	register("table5.1-cluster-thresholds", func(scale experiments.Scale) error {
+		res, err := experiments.RunClusterThresholds(vehicle.NewVehicleA(), scale.TrainMessages, scale.Seed)
+		if err != nil {
+			return err
+		}
+		printEnhancement(res, "static threshold", "cluster threshold")
+		return nil
+	})
+
+	register("table5.2-multi-edge-sets", func(scale experiments.Scale) error {
+		res, err := experiments.RunMultiEdgeSets(vehicle.NewVehicleA(), scale.TrainMessages, scale.Seed)
+		if err != nil {
+			return err
+		}
+		printEnhancement(res, "1 edge set", "3 edge sets")
+		return nil
+	})
+
+	register("sec5.3-online-update", func(scale experiments.Scale) error {
+		res, err := experiments.RunOnlineUpdate(vehicle.NewVehicleA(), scale.TrainMessages, 35, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("under a 35 °C warm-up: static model FP rate %.4f, online-updated FP rate %.4f\n",
+			res.StaticFPRate, res.UpdatedFPRate)
+		return nil
+	})
+
+	register("kfold-false-positive", func(scale experiments.Scale) error {
+		res, err := experiments.RunKFold(vehicle.NewVehicleB(), core.Mahalanobis, scale.TestMessages, 4, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("4-fold cross-validated FP accuracy on Vehicle B (Mahalanobis):\n")
+		fmt.Printf("  folds: %v\n  mean %.5f ± %.5f, worst %.5f\n",
+			res.Accuracies, res.MeanAccuracy, res.StdDevAccuracy, res.WorstAccuracy)
+		return nil
+	})
+
+	register("latency", func(scale experiments.Scale) error {
+		res, err := experiments.RunLatency(vehicle.NewVehicleB(), scale.TestMessages, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("per-message pipeline latency over %d messages:\n", res.Messages)
+		fmt.Printf("  extract  p50 %v  p95 %v  p99 %v\n", res.ExtractP50, res.ExtractP95, res.ExtractP99)
+		fmt.Printf("  detect   p50 %v  p95 %v  p99 %v\n", res.DetectP50, res.DetectP95, res.DetectP99)
+		fmt.Printf("  total    p50 %v  p95 %v  p99 %v\n", res.TotalP50, res.TotalP95, res.TotalP99)
+		fmt.Printf("frame duration at 250 kb/s: %v — real-time: %v\n", res.FrameDuration, res.RealTime)
+		return nil
+	})
+
+	register("coverage-matrix", func(scale experiments.Scale) error {
+		rows, err := experiments.RunCoverageMatrix(vehicle.NewVehicleA(), scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-11s %12s %12s %12s %8s\n", "attack", "vProfile", "period", "CIDS", "silent")
+		for _, r := range rows {
+			fmt.Printf("%-11s %12.4f %12.4f %12.4f %8d\n",
+				r.Attack, r.VProfile.AlarmRate, r.Period.AlarmRate, r.CIDS.AlarmRate, r.SilentIDs)
+		}
+		fmt.Println("(alarm rate per message; per batch for CIDS — the families cover complementary attacks)")
+		return nil
+	})
+
+	register("ablation-window", func(scale experiments.Scale) error {
+		pts, err := experiments.RunWindowAblation(vehicle.NewVehicleA(), scale)
+		if err != nil {
+			return err
+		}
+		printAblation(pts)
+		return nil
+	})
+	register("ablation-edges", func(scale experiments.Scale) error {
+		pts, err := experiments.RunEdgeAblation(vehicle.NewVehicleA(), scale)
+		if err != nil {
+			return err
+		}
+		printAblation(pts)
+		return nil
+	})
+	register("ablation-margin-curve", func(scale experiments.Scale) error {
+		pts, err := experiments.RunMarginCurve(vehicle.NewVehicleA(), []float64{0, 2, 5, 10, 20, 40, 80, 160, 320}, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10s %12s %12s %14s\n", "margin", "FP acc", "foreign F", "foreign recall")
+		for _, p := range pts {
+			fmt.Printf("%10.1f %12.5f %12.5f %14.5f\n", p.Margin, p.FPAccuracy, p.ForeignF, p.ForeignRecall)
+		}
+		return nil
+	})
+	register("ablation-training-size", func(scale experiments.Scale) error {
+		pts, err := experiments.RunTrainingSizeAblation(vehicle.NewVehicleB(), []int{90, 250, 700, 2400}, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10s %12s %12s\n", "messages", "FP acc", "hijack F")
+		for _, p := range pts {
+			if p.Err != "" {
+				fmt.Printf("%10d %s\n", p.TrainMessages, p.Err)
+				continue
+			}
+			fmt.Printf("%10d %12.5f %12.5f\n", p.TrainMessages, p.FPAccuracy, p.HijackF)
+		}
+		return nil
+	})
+
+	register("sec1.2-baseline-shootout", func(scale experiments.Scale) error {
+		v := vehicle.NewVehicleA()
+		cfg := v.ExtractionConfig()
+		rows, err := baseline.Shootout(v, []baseline.Classifier{
+			&baseline.VProfile{Extraction: cfg, Metric: core.Mahalanobis, Margin: 8},
+			&baseline.VProfile{Extraction: cfg, Metric: core.Euclidean, Margin: 400},
+			&baseline.SIMPLE{Threshold: cfg.BitThreshold, BitWidth: cfg.BitWidth},
+			&baseline.Scission{Threshold: cfg.BitThreshold, BitWidth: cfg.BitWidth, Seed: scale.Seed},
+			&baseline.Viden{Threshold: cfg.BitThreshold, BitWidth: cfg.BitWidth},
+			&baseline.VoltageIDS{Threshold: cfg.BitThreshold, BitWidth: cfg.BitWidth, Seed: 11},
+			&baseline.Choi{Threshold: cfg.BitThreshold, BitWidth: cfg.BitWidth},
+			&baseline.Murvay{Threshold: cfg.BitThreshold, BitWidth: cfg.BitWidth, Mode: baseline.MurvayMSE},
+		}, scale.TrainMessages, scale.TestMessages/2, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %12s %12s %16s\n", "method", "FP accuracy", "hijack F", "foreign recall")
+		for _, r := range rows {
+			fmt.Printf("%-24s %12.5f %12.5f %16.5f\n", r.Name, r.FP.Accuracy(), r.Hijack.FScore(), r.Foreign.Recall())
+		}
+		return nil
+	})
+}
+
+func printAblation(pts []experiments.AblationPoint) {
+	fmt.Printf("%-14s %5s %10s %10s %10s\n", "variant", "dim", "FP acc", "hijack F", "foreign F")
+	for _, p := range pts {
+		if p.Err != "" {
+			fmt.Printf("%-14s %5d %s\n", p.Label, p.Dim, p.Err)
+			continue
+		}
+		fmt.Printf("%-14s %5d %10.5f %10.5f %10.5f\n", p.Label, p.Dim, p.FPAccuracy, p.HijackF, p.ForeignF)
+	}
+}
+
+func printSweep(res *experiments.SweepResult) {
+	fmt.Printf("%s\n%8s %6s | %10s %10s %10s\n", res.Vehicle, "MS/s", "bits", "FP acc", "hijack F", "foreign F")
+	for _, c := range res.Cells {
+		if c.Err != "" {
+			fmt.Printf("%8.1f %6d | %s\n", c.RateMSs, c.Bits, c.Err)
+			continue
+		}
+		fmt.Printf("%8.1f %6d | %10.5f %10.5f %10.5f\n", c.RateMSs, c.Bits, c.FPAccuracy, c.HijackF, c.ForeignF)
+	}
+}
+
+func printDeltas(delta [][]experiments.BinDelta, labels []string) {
+	fmt.Printf("%6s", "ECU")
+	for _, l := range labels {
+		fmt.Printf(" %16s", l)
+	}
+	fmt.Println()
+	for ecu, row := range delta {
+		fmt.Printf("%6d", ecu)
+		for _, d := range row {
+			fmt.Printf("  %+7.2f%% ±%5.2f", d.MeanPct, d.CI99Pct)
+		}
+		fmt.Println()
+	}
+}
+
+func printSeries(name string, xs []float64) {
+	fmt.Printf("%-10s", name+":")
+	for i, x := range xs {
+		if i >= 16 {
+			fmt.Printf(" … (%d samples)", len(xs))
+			break
+		}
+		fmt.Printf(" %7.0f", x)
+	}
+	fmt.Println()
+}
+
+func printEnhancement(res *experiments.EnhancementResult, baseName, enhName string) {
+	fmt.Printf("%4s | %-16s %-16s | %-16s %-16s\n", "ECU", baseName+" sd", enhName+" sd", baseName+" max", enhName+" max")
+	for ecu := range res.Baseline {
+		fmt.Printf("%4d | %16.3f %16.3f | %16.3f %16.3f\n", ecu,
+			res.Baseline[ecu].StdDev, res.Enhanced[ecu].StdDev,
+			res.Baseline[ecu].MaxDist, res.Enhanced[ecu].MaxDist)
+	}
+}

@@ -1,0 +1,129 @@
+// Command tracegen synthesises a CAN voltage capture from one of the
+// simulated test vehicles and writes it as a vProfile capture file,
+// the unit of test repeatability the paper records per vehicle.
+//
+// Usage:
+//
+//	tracegen -vehicle a -n 5000 -seed 1 -out vehicle-a.vptr
+//	tracegen -vehicle b -n 2000 -temp 40 -out hot.vptr
+//	tracegen -vehicle a -n 1000 -foreign 4 -out attack.vptr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/trace"
+	"vprofile/internal/vehicle"
+)
+
+func main() {
+	var (
+		vehicleName = flag.String("vehicle", "a", "vehicle to simulate: a, b or sterling")
+		n           = flag.Int("n", 1000, "number of messages to capture")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		out         = flag.String("out", "", "output capture file (default stdout)")
+		temp        = flag.Float64("temp", 0, "override every ECU's temperature (°C); 0 keeps nominal")
+		supply      = flag.Float64("supply", 0, "override the battery voltage (V); 0 keeps nominal")
+		foreignECU  = flag.Int("foreign", -1, "render a foreign device imitating this ECU index instead of normal traffic")
+		gzipOut     = flag.Bool("gzip", false, "gzip-compress the capture")
+		signals     = flag.Bool("signals", false, "fill payloads from the J1939 signal model instead of random bytes")
+		diag        = flag.Bool("diag", false, "add once-per-second DM1 diagnostic broadcasts (multi-packet via TP.BAM)")
+	)
+	flag.Parse()
+
+	v, err := vehicleByName(*vehicleName)
+	if err != nil {
+		fatal(err)
+	}
+	var env vehicle.EnvFunc
+	if *temp != 0 || *supply != 0 {
+		env = func(t float64, ecu int) analog.Environment {
+			e := v.ECUs[ecu].Transceiver.NominalEnvironment()
+			if *temp != 0 {
+				e.TemperatureC = *temp
+			}
+			if *supply != 0 {
+				e.SupplyVolts = *supply
+			}
+			return e
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	header := trace.Header{Vehicle: v.Name, BitRate: v.BitRate, ADC: v.ADC}
+	var tw *trace.Writer
+	finish := func() error { return tw.Flush() }
+	if *gzipOut {
+		var closeFn func() error
+		tw, closeFn, err = trace.NewCompressedWriter(w, header)
+		if err != nil {
+			fatal(err)
+		}
+		finish = closeFn
+	} else {
+		tw, err = trace.NewWriter(w, header)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := vehicle.GenConfig{NumMessages: *n, Seed: *seed, Env: env, RealisticPayloads: *signals, DiagnosticTraffic: *diag}
+	write := func(m vehicle.Message) error {
+		return tw.Write(&trace.Record{
+			ECUIndex: int32(m.ECUIndex), TimeSec: m.TimeSec,
+			FrameID: m.Frame.ID, Data: m.Frame.Data, Trace: m.Trace,
+		})
+	}
+	if *foreignECU >= 0 {
+		if *foreignECU >= len(v.ECUs) {
+			fatal(fmt.Errorf("vehicle %s has no ECU %d", v.Name, *foreignECU))
+		}
+		victim := v.ECUs[*foreignECU]
+		imposter := vehicle.ForeignDevice(victim.Transceiver)
+		cap, err := v.GenerateForeign(imposter, victim, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range cap.Messages {
+			if err := write(m); err != nil {
+				fatal(err)
+			}
+		}
+	} else if err := v.Stream(cfg, write); err != nil {
+		fatal(err)
+	}
+	if err := finish(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d messages from %s\n", *n, v.Name)
+}
+
+func vehicleByName(name string) (*vehicle.Vehicle, error) {
+	switch name {
+	case "a", "A":
+		return vehicle.NewVehicleA(), nil
+	case "b", "B":
+		return vehicle.NewVehicleB(), nil
+	case "sterling":
+		return vehicle.NewSterlingActerra(), nil
+	default:
+		return nil, fmt.Errorf("unknown vehicle %q (want a, b or sterling)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

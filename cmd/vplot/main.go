@@ -1,0 +1,202 @@
+// Command vplot exports the paper's figure data as CSV (for external
+// plotting) or renders a quick ASCII view in the terminal.
+//
+// Usage:
+//
+//	vplot -figure 2.5              # ASCII view of Figure 2.5
+//	vplot -figure 4.6 -csv         # Figure 4.6's series as CSV
+//	vplot -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"vprofile/internal/experiments"
+	"vprofile/internal/vehicle"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "", "figure to render: 2.5, 3.1, 4.2, 4.4, 4.6, 4.7, 4.8")
+		csv    = flag.Bool("csv", false, "emit CSV instead of an ASCII plot")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		list   = flag.Bool("list", false, "list available figures")
+	)
+	flag.Parse()
+	if *list || *figure == "" {
+		fmt.Println("available figures: 2.5, 3.1, 4.2, 4.4, 4.6, 4.7, 4.8")
+		return
+	}
+	series, labels, err := buildSeries(*figure, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vplot:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		emitCSV(series, labels)
+		return
+	}
+	for i, s := range series {
+		fmt.Printf("--- %s ---\n", labels[i])
+		asciiPlot(s, 60, 12)
+	}
+}
+
+// buildSeries regenerates the figure's underlying data.
+func buildSeries(figure string, seed int64) (series [][]float64, labels []string, err error) {
+	switch figure {
+	case "2.5":
+		b, err := experiments.CollectEdgeSets(vehicle.NewSterlingActerra(), 200, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return [][]float64{b.Means[0], b.Means[1]}, []string{"ECU0 mean edge set", "ECU1 mean edge set"}, nil
+	case "3.1":
+		r, err := experiments.RunReductionSeries(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		series = [][]float64{r.Original}
+		labels = []string{"original"}
+		for i, tr := range r.ByRate {
+			series = append(series, tr)
+			labels = append(labels, fmt.Sprintf("rate/%d", r.RateFactors[i]))
+		}
+		for i, tr := range r.ByBits {
+			series = append(series, tr)
+			labels = append(labels, fmt.Sprintf("%d-bit", r.Bits[i]))
+		}
+		return series, labels, nil
+	case "4.2":
+		b, err := experiments.CollectEdgeSets(vehicle.NewVehicleA(), 600, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for ecu, mean := range b.Means {
+			series = append(series, mean)
+			labels = append(labels, fmt.Sprintf("ECU%d profile", ecu))
+		}
+		return series, labels, nil
+	case "4.4":
+		r, err := experiments.RunIndexDeviation(vehicle.NewSterlingActerra(), 0, 400, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return [][]float64{r.StdDev}, []string{"per-index stddev (ECU0)"}, nil
+	case "4.6":
+		r, err := experiments.RunTemperature(vehicle.NewVehicleA(), 600, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for ecu, row := range r.Delta {
+			s := make([]float64, len(row))
+			for b, d := range row {
+				s[b] = d.MeanPct
+			}
+			series = append(series, s)
+			labels = append(labels, fmt.Sprintf("ECU%d %%delta by 5°C bin", ecu))
+		}
+		return series, labels, nil
+	case "4.7":
+		r, err := experiments.RunVoltage(vehicle.NewVehicleA(), 600, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for ecu, row := range r.Delta {
+			s := make([]float64, len(row))
+			for b, d := range row {
+				s[b] = d.MeanPct
+			}
+			series = append(series, s)
+			labels = append(labels, fmt.Sprintf("ECU%d %%delta by event (%s)", ecu, strings.Join(r.Events, ",")))
+		}
+		return series, labels, nil
+	case "4.8":
+		r, err := experiments.RunDrift(vehicle.NewVehicleA(), 5, 500, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for ecu, row := range r.Delta {
+			s := make([]float64, len(row))
+			for b, d := range row {
+				s[b] = d.MeanPct
+			}
+			series = append(series, s)
+			labels = append(labels, fmt.Sprintf("ECU%d %%delta by trial", ecu))
+		}
+		return series, labels, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown figure %q", figure)
+	}
+}
+
+func emitCSV(series [][]float64, labels []string) {
+	fmt.Print("index")
+	for _, l := range labels {
+		fmt.Printf(",%q", l)
+	}
+	fmt.Println()
+	longest := 0
+	for _, s := range series {
+		if len(s) > longest {
+			longest = len(s)
+		}
+	}
+	for i := 0; i < longest; i++ {
+		fmt.Print(i)
+		for _, s := range series {
+			if i < len(s) {
+				fmt.Printf(",%g", s[i])
+			} else {
+				fmt.Print(",")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// asciiPlot renders a series as a crude terminal chart.
+func asciiPlot(s []float64, width, height int) {
+	if len(s) == 0 {
+		fmt.Println("(empty)")
+		return
+	}
+	mn, mx := s[0], s[0]
+	for _, v := range s {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx == mn {
+		mx = mn + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		idx := c * (len(s) - 1) / max(width-1, 1)
+		v := s[idx]
+		r := int(math.Round((mx - v) / (mx - mn) * float64(height-1)))
+		grid[r][c] = '*'
+	}
+	fmt.Printf("%12.4g ┐\n", mx)
+	for _, row := range grid {
+		fmt.Printf("%13s│%s\n", "", string(row))
+	}
+	fmt.Printf("%12.4g ┘ (%d samples)\n", mn, len(s))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,254 @@
+// Command vprofile trains, runs and updates the vProfile sender
+// identification system on capture files produced by tracegen.
+//
+// Usage:
+//
+//	vprofile train  -capture train.vptr -model model.vpm [-metric mahalanobis] [-margin 10]
+//	vprofile detect -capture test.vptr  -model model.vpm
+//	vprofile update -capture new.vptr   -model model.vpm -out updated.vpm
+//	vprofile info   -model model.vpm
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vprofile/internal/core"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/stats"
+	"vprofile/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "update":
+		err = cmdUpdate(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vprofile {train|detect|update|info} [flags]")
+	os.Exit(2)
+}
+
+// extractionFor derives the extraction parameters from a capture
+// header, scaling the paper's 10 MS/s reference values.
+func extractionFor(h trace.Header) edgeset.Config {
+	perBit := int(h.ADC.SamplesPerBit(h.BitRate))
+	scale := float64(perBit) / 40.0
+	prefix := int(2 * scale)
+	if prefix < 1 {
+		prefix = 1
+	}
+	suffix := int(14 * scale)
+	if suffix < 3 {
+		suffix = 3
+	}
+	return edgeset.Config{
+		BitWidth:     perBit,
+		BitThreshold: h.ADC.VoltsToCode(1.0),
+		PrefixLen:    prefix,
+		SuffixLen:    suffix,
+	}
+}
+
+// readSamples preprocesses every record of a capture.
+func readSamples(path string) ([]core.Sample, trace.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, trace.Header{}, err
+	}
+	defer f.Close()
+	rd, err := trace.OpenReader(f)
+	if err != nil {
+		return nil, trace.Header{}, err
+	}
+	cfg := extractionFor(rd.Header())
+	var out []core.Sample
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, rd.Header(), err
+		}
+		res, err := edgeset.Extract(rec.Trace, cfg)
+		if err != nil {
+			return nil, rd.Header(), fmt.Errorf("record %d: %w", len(out), err)
+		}
+		out = append(out, core.Sample{SA: res.SA, Set: res.Set})
+	}
+	return out, rd.Header(), nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	capture := fs.String("capture", "", "training capture file")
+	modelPath := fs.String("model", "model.vpm", "output model file")
+	metricName := fs.String("metric", "mahalanobis", "distance metric: euclidean or mahalanobis")
+	margin := fs.Float64("margin", 0, "detection margin added to each cluster threshold")
+	clusters := fs.Int("clusters", 0, "cluster count for distance clustering (0 = merge threshold)")
+	mergeAt := fs.Float64("merge", 0, "distance-clustering merge threshold")
+	fs.Parse(args)
+	if *capture == "" {
+		return errors.New("train: -capture is required")
+	}
+	samples, _, err := readSamples(*capture)
+	if err != nil {
+		return err
+	}
+	metric := core.Mahalanobis
+	if *metricName == "euclidean" {
+		metric = core.Euclidean
+	}
+	model, err := core.Train(samples, core.TrainConfig{
+		Metric: metric, Margin: *margin,
+		TargetClusters: *clusters, MergeThreshold: *mergeAt,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s model: %d clusters from %d messages → %s\n",
+		metric, len(model.Clusters), len(samples), *modelPath)
+	if metric == core.Mahalanobis {
+		for _, c := range model.Clusters {
+			if c.N < 4*model.Dim {
+				fmt.Printf("warning: cluster %d has only %d samples for %d dimensions; "+
+					"its covariance is poorly conditioned — capture more traffic\n",
+					c.ID, c.N, model.Dim)
+			}
+		}
+	}
+	return nil
+}
+
+func loadModel(path string) (*core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	capture := fs.String("capture", "", "capture file to classify")
+	modelPath := fs.String("model", "model.vpm", "trained model file")
+	verbose := fs.Bool("v", false, "print every anomalous message")
+	fs.Parse(args)
+	if *capture == "" {
+		return errors.New("detect: -capture is required")
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	samples, _, err := readSamples(*capture)
+	if err != nil {
+		return err
+	}
+	var cm stats.ConfusionMatrix
+	reasons := map[core.Reason]int{}
+	for i, s := range samples {
+		d := model.Detect(s.SA, s.Set)
+		cm.Add(false, d.Anomaly)
+		if d.Anomaly {
+			reasons[d.Reason]++
+			if *verbose {
+				fmt.Printf("message %6d: SA %#02x flagged (%s, dist %.2f, predicted cluster %d)\n",
+					i, uint8(s.SA), d.Reason, d.MinDist, d.Predict)
+			}
+		}
+	}
+	fmt.Printf("classified %d messages: %d flagged (%.4f%%)\n",
+		cm.Total(), cm.FP+cm.TP, 100*float64(cm.FP+cm.TP)/float64(cm.Total()))
+	for r, n := range reasons {
+		fmt.Printf("  %-18s %d\n", r.String()+":", n)
+	}
+	return nil
+}
+
+func cmdUpdate(args []string) error {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	capture := fs.String("capture", "", "capture of accepted traffic to fold in")
+	modelPath := fs.String("model", "model.vpm", "model to update")
+	out := fs.String("out", "", "output model (default: overwrite input)")
+	fs.Parse(args)
+	if *capture == "" {
+		return errors.New("update: -capture is required")
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	samples, _, err := readSamples(*capture)
+	if err != nil {
+		return err
+	}
+	res, err := model.Update(samples)
+	if err != nil {
+		return err
+	}
+	dest := *out
+	if dest == "" {
+		dest = *modelPath
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("updated model with %d messages (%d skipped) → %s\n", res.Applied, res.Skipped, dest)
+	if len(res.RetrainRecommended) > 0 {
+		fmt.Printf("note: clusters %v reached the update bound; consider a full retrain\n", res.RetrainRecommended)
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	modelPath := fs.String("model", "model.vpm", "model file")
+	fs.Parse(args)
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	report, err := model.BuildReport()
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}

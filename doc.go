@@ -1,0 +1,7 @@
+// Package vprofile is the root of a from-scratch Go reproduction of
+// "vProfile: Voltage-Based Anomaly Detection in Controller Area
+// Networks" (DATE 2021) and its thesis extension. The implementation
+// lives under internal/ (see DESIGN.md for the system inventory),
+// runnable tools under cmd/, usage examples under examples/, and the
+// per-table/figure reproduction benchmarks in bench_test.go.
+package vprofile

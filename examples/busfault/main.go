@@ -1,0 +1,63 @@
+// Bus fault confinement: a node with a failing transceiver corrupts
+// its own transmissions, marches through error-active → error-passive
+// → bus-off exactly as ISO 11898-1 prescribes, then recovers after the
+// mandated idle sequence — the "inherent error detection and
+// retransmission features" the paper's background chapter credits for
+// CAN's ubiquity, demonstrated on this repository's transfer-layer
+// simulator.
+//
+//	go run ./examples/busfault
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vprofile/internal/canbus"
+)
+
+func main() {
+	ecm := &canbus.BusNode{Name: "ECM"}
+	tcm := &canbus.BusNode{Name: "TCM"}
+	failing := &canbus.BusNode{Name: "AuxHeater"} // damaged transceiver
+
+	// Periodic traffic for everyone.
+	for i := 0; i < 40; i++ {
+		ecm.Enqueue(mustFrame(canbus.J1939ID{Priority: 3, PGN: canbus.PGNElectronicEngine1, SA: canbus.SAEngine}, byte(i)))
+		tcm.Enqueue(mustFrame(canbus.J1939ID{Priority: 3, PGN: canbus.PGNTransmission1, SA: canbus.SATransmission}, byte(i)))
+	}
+	failing.Enqueue(mustFrame(canbus.J1939ID{Priority: 6, PGN: canbus.PGNCabMessage1, SA: 0x55}, 1))
+
+	sim, err := canbus.NewBusSim([]*canbus.BusNode{ecm, tcm, failing}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.CorruptProb = 1.0
+	sim.TargetedNode = "AuxHeater"
+
+	delivered, _ := sim.Run(20000)
+
+	fmt.Printf("delivered %d healthy frames while the heater misbehaved\n\n", delivered)
+	lastState := map[string]string{}
+	for _, ev := range sim.Log() {
+		switch ev.Type {
+		case canbus.EventBusOff, canbus.EventRecovered:
+			fmt.Printf("t=%7d bits: %-9s %s (TEC now %d)\n",
+				ev.AtBit, ev.Node, ev.Type, sim.Node(ev.Node).Counters.TEC)
+			lastState[ev.Node] = ev.Type.String()
+		}
+	}
+	fmt.Printf("\nfinal states: ECM=%s TCM=%s AuxHeater=%s\n",
+		ecm.Counters.State(), tcm.Counters.State(), failing.Counters.State())
+	fmt.Println("all healthy traffic was delivered; fault confinement kept the bus alive.")
+	fmt.Println("(the observers drift to error-passive from witnessing the storm — also per spec —")
+	fmt.Println(" which weakens their error signalling but not their ability to transmit)")
+}
+
+func mustFrame(id canbus.J1939ID, seq byte) *canbus.ExtendedFrame {
+	f, err := canbus.NewJ1939Frame(id, []byte{seq, 0, 0, 0, 0, 0, 0, 0})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

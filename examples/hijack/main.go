@@ -1,0 +1,117 @@
+// Hijack detection with the streaming IDS: a continuous digitizer
+// stream carries normal traffic interleaved with frames from a
+// compromised body controller that forges the engine ECU's source
+// address (the Miller-Valasek threat the paper's introduction
+// motivates). The IDS segments the stream, fingerprints every frame,
+// and names the true origin of each attack.
+//
+//	go run ./examples/hijack
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+	"vprofile/internal/core"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/ids"
+	"vprofile/internal/vehicle"
+)
+
+func main() {
+	v := vehicle.NewVehicleA()
+	cfg := v.ExtractionConfig()
+
+	// Train on clean traffic.
+	var training []core.Sample
+	err := v.Stream(vehicle.GenConfig{NumMessages: 2500, Seed: 10}, func(m vehicle.Message) error {
+		res, err := edgeset.Extract(m.Trace, cfg)
+		if err != nil {
+			return err
+		}
+		training = append(training, core.Sample{SA: res.SA, Set: res.Set})
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := core.Train(training, core.TrainConfig{Metric: core.Mahalanobis, SAMap: v.SAMap(), Margin: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	det, err := ids.New(model, ids.Config{Extraction: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a live bus stream: mostly legitimate frames, but every
+	// sixth frame the body controller (ECU 3) transmits under the
+	// engine ECU's SA 0x00 with forged payloads.
+	rng := rand.New(rand.NewSource(11))
+	synth := analog.SynthConfig{ADC: v.ADC, BitRate: v.BitRate, LeadIdleBits: 4}
+	var stream analog.Trace
+	attacks := 0
+	for i := 0; i < 30; i++ {
+		ecu := v.ECUs[i%len(v.ECUs)]
+		id := ecu.Messages[0].ID
+		if i%6 == 5 {
+			ecu = v.ECUs[3] // the compromised node
+			id = canbus.J1939ID{Priority: 3, PGN: canbus.PGNTorqueSpeedControl, SA: canbus.SAEngine}
+			attacks++
+		}
+		data := make([]byte, 8)
+		rng.Read(data)
+		frame, err := canbus.NewJ1939Frame(id, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := analog.SynthesizeFrame(ecu.Transceiver, frame, synth, ecu.Transceiver.NominalEnvironment(), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream = append(stream, tr...)
+	}
+	idle := make(analog.Trace, 20*cfg.BitWidth)
+	rec := v.ADC.VoltsToCode(0.015)
+	for i := range idle {
+		idle[i] = rec
+	}
+	stream = append(stream, idle...)
+
+	// Feed the stream in digitizer-sized chunks.
+	caught := 0
+	for off := 0; off < len(stream); off += 4096 {
+		end := off + 4096
+		if end > len(stream) {
+			end = len(stream)
+		}
+		results, err := det.Push(stream[off:end])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.Anomalous() {
+				continue
+			}
+			caught++
+			origin := "unknown"
+			if r.Detection.Predict >= 0 {
+				c, err := model.Cluster(r.Detection.Predict)
+				if err == nil {
+					origin = fmt.Sprintf("cluster %d (SAs %v)", c.ID, c.SAs)
+				}
+			}
+			fmt.Printf("ALARM at sample %d: SA %#02x, reason %s, true origin %s\n",
+				r.SOFIndex, uint8(r.SA), r.Detection.Reason, origin)
+		}
+	}
+	st := det.Stats()
+	fmt.Printf("\nprocessed %d frames, %d injected attacks, %d alarms\n", st.Frames, attacks, caught)
+	if caught == attacks {
+		fmt.Println("every hijacked frame was identified — and attributed to the compromised ECU")
+	}
+}

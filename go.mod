@@ -1,0 +1,3 @@
+module vprofile
+
+go 1.22

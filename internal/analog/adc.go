@@ -1,0 +1,76 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trace is a sampled voltage record expressed in ADC code units.
+// Codes are carried as float64 because every downstream consumer
+// (edge-set extraction, covariance, distances) is floating point; the
+// values themselves are integral after quantisation.
+type Trace []float64
+
+// ADC models an analog-to-digital converter front end: a sampling
+// rate, a resolution and an input range mapped to offset-binary codes
+// (0 … 2^Bits−1). The paper's Vehicle A digitizer runs at 20 MS/s and
+// 16 bits, the custom board on Vehicle B at 10 MS/s and 12 bits.
+type ADC struct {
+	SampleRate float64 // samples per second
+	Bits       int     // resolution, 1–16
+	MinVolts   float64 // input mapped to code 0
+	MaxVolts   float64 // input mapped to the full-scale code
+}
+
+// Validate reports configuration errors.
+func (a ADC) Validate() error {
+	if a.SampleRate <= 0 {
+		return fmt.Errorf("analog: sample rate %v not positive", a.SampleRate)
+	}
+	if a.Bits < 1 || a.Bits > 16 {
+		return fmt.Errorf("analog: resolution %d bits outside 1–16", a.Bits)
+	}
+	if a.MaxVolts <= a.MinVolts {
+		return fmt.Errorf("analog: input range [%v, %v] empty", a.MinVolts, a.MaxVolts)
+	}
+	return nil
+}
+
+// FullScale returns the maximum code value, 2^Bits − 1.
+func (a ADC) FullScale() float64 { return float64(uint32(1)<<uint(a.Bits) - 1) }
+
+// VoltsToCode quantises one voltage to the nearest code, clamped to
+// the converter range.
+func (a ADC) VoltsToCode(v float64) float64 {
+	fs := a.FullScale()
+	c := math.Round((v - a.MinVolts) / (a.MaxVolts - a.MinVolts) * fs)
+	if c < 0 {
+		return 0
+	}
+	if c > fs {
+		return fs
+	}
+	return c
+}
+
+// CodeToVolts maps a code back to the centre of its quantisation bin.
+// Negative results for codes below the offset are the "artifact of the
+// conversion from offset binary to volts" the paper mentions under
+// Figure 3.1.
+func (a ADC) CodeToVolts(c float64) float64 {
+	return a.MinVolts + c/a.FullScale()*(a.MaxVolts-a.MinVolts)
+}
+
+// Quantize converts a voltage waveform into a code trace.
+func (a ADC) Quantize(volts []float64) Trace {
+	out := make(Trace, len(volts))
+	for i, v := range volts {
+		out[i] = a.VoltsToCode(v)
+	}
+	return out
+}
+
+// SamplesPerBit returns the (generally non-integral) number of samples
+// per bus bit at the given bit rate; e.g. 40 samples/bit at 10 MS/s on
+// a 250 kb/s bus, the figure Algorithm 1 uses.
+func (a ADC) SamplesPerBit(bitRate float64) float64 { return a.SampleRate / bitRate }

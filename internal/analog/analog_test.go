@@ -1,0 +1,285 @@
+package analog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vprofile/internal/canbus"
+)
+
+func testADC16() ADC {
+	return ADC{SampleRate: 10e6, Bits: 16, MinVolts: -5, MaxVolts: 5}
+}
+
+func testTransceiver() *Transceiver {
+	return &Transceiver{
+		Name: "test", VDom: 2.0, VRec: 0.02,
+		TauRise: 60e-9, TauFall: 80e-9,
+		OvershootAmp: 0.18, UndershootAmp: 0.12,
+		RingFreq: 2.5e6, RingTau: 250e-9,
+		NoiseSigma: 0.004, EdgeJitterSigma: 2e-9,
+		TempCoVDom: -0.002, TempCoTau: 0.002, SupplyCoVDom: 0.01,
+		NominalTempC: 25, NominalSupplyV: 12.6,
+	}
+}
+
+func TestADCValidate(t *testing.T) {
+	good := testADC16()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Bits = 0
+	if bad.Validate() == nil {
+		t.Error("0-bit ADC accepted")
+	}
+	bad = good
+	bad.SampleRate = 0
+	if bad.Validate() == nil {
+		t.Error("zero sample rate accepted")
+	}
+	bad = good
+	bad.MaxVolts = bad.MinVolts
+	if bad.Validate() == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestADCCodeRoundTrip(t *testing.T) {
+	a := testADC16()
+	f := func(raw uint16) bool {
+		c := float64(raw)
+		v := a.CodeToVolts(c)
+		return a.VoltsToCode(v) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestADCClamping(t *testing.T) {
+	a := testADC16()
+	if got := a.VoltsToCode(100); got != a.FullScale() {
+		t.Errorf("over-range code %v", got)
+	}
+	if got := a.VoltsToCode(-100); got != 0 {
+		t.Errorf("under-range code %v", got)
+	}
+}
+
+func TestADCKnownCodes(t *testing.T) {
+	a := testADC16()
+	// 0 V sits mid-range on a ±5 V converter.
+	if got := a.VoltsToCode(0); math.Abs(got-32768) > 1 {
+		t.Errorf("0 V → code %v, want ≈32768", got)
+	}
+	// 2 V dominant lands near the paper's ~38,000–46,000 region.
+	if got := a.VoltsToCode(2.0); math.Abs(got-45875) > 2 {
+		t.Errorf("2 V → code %v, want ≈45875", got)
+	}
+}
+
+func TestADCSamplesPerBit(t *testing.T) {
+	a := testADC16()
+	// The paper: 10 MS/s on a 250 kb/s bus is ~40 samples/bit.
+	if got := a.SamplesPerBit(250e3); got != 40 {
+		t.Fatalf("SamplesPerBit = %v, want 40", got)
+	}
+}
+
+func TestTransceiverValidate(t *testing.T) {
+	tx := testTransceiver()
+	if err := tx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *tx
+	bad.VDom = bad.VRec
+	if bad.Validate() == nil {
+		t.Error("flat levels accepted")
+	}
+	bad = *tx
+	bad.TauRise = 0
+	if bad.Validate() == nil {
+		t.Error("zero tau accepted")
+	}
+	bad = *tx
+	bad.NoiseSigma = -1
+	if bad.Validate() == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestEffectiveLevelsShiftWithEnvironment(t *testing.T) {
+	tx := testTransceiver()
+	nom := tx.NominalEnvironment()
+	vd0, vr0, tr0, _ := tx.effectiveLevels(nom)
+	if vd0 != tx.VDom || vr0 != tx.VRec || tr0 != tx.TauRise {
+		t.Fatal("nominal environment changed parameters")
+	}
+	hot := Environment{TemperatureC: nom.TemperatureC + 30, SupplyVolts: nom.SupplyVolts}
+	vd1, _, tr1, _ := tx.effectiveLevels(hot)
+	if vd1 >= vd0 {
+		t.Errorf("negative temp coefficient did not lower VDom: %v -> %v", vd0, vd1)
+	}
+	if tr1 <= tr0 {
+		t.Errorf("tau did not stretch with temperature: %v -> %v", tr0, tr1)
+	}
+	highSupply := Environment{TemperatureC: nom.TemperatureC, SupplyVolts: nom.SupplyVolts + 1}
+	vd2, _, _, _ := tx.effectiveLevels(highSupply)
+	if vd2 <= vd0 {
+		t.Errorf("supply coefficient did not raise VDom: %v -> %v", vd0, vd2)
+	}
+}
+
+func synthCfg() SynthConfig {
+	return SynthConfig{ADC: testADC16(), BitRate: 250e3, LeadIdleBits: 2}
+}
+
+func mustFrame(t *testing.T) *canbus.ExtendedFrame {
+	t.Helper()
+	f, err := canbus.NewJ1939Frame(canbus.J1939ID{Priority: 3, PGN: canbus.PGNElectronicEngine1, SA: 0}, []byte{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSynthesizeStartsAtRecessiveIdle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := SynthesizeFrame(testTransceiver(), mustFrame(t), synthCfg(), testTransceiver().NominalEnvironment(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adc := testADC16()
+	recCode := adc.VoltsToCode(0.02)
+	// First ~1.5 bit times of idle must sit near the recessive level.
+	for i := 0; i < 60; i++ {
+		if math.Abs(tr[i]-recCode) > 200 {
+			t.Fatalf("idle sample %d = %v, expected ≈%v", i, tr[i], recCode)
+		}
+	}
+}
+
+func TestSynthesizeDominantReachesLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tx := testTransceiver()
+	tr, err := SynthesizeFrame(tx, mustFrame(t), synthCfg(), tx.NominalEnvironment(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adc := testADC16()
+	domCode := adc.VoltsToCode(tx.VDom)
+	// SOF occupies samples ~80–120 (after 2 idle bits at 40 samples
+	// each); its tail should settle at the dominant level.
+	settled := tr[110:118]
+	for i, v := range settled {
+		if math.Abs(v-domCode) > 200 {
+			t.Fatalf("SOF settle sample %d = %v, want ≈%v", i, v, domCode)
+		}
+	}
+}
+
+func TestSynthesizeMaxSamplesTruncates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := synthCfg()
+	cfg.MaxSamples = 500
+	tr, err := SynthesizeFrame(testTransceiver(), mustFrame(t), cfg, testTransceiver().NominalEnvironment(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 500 {
+		t.Fatalf("len = %d, want 500", len(tr))
+	}
+}
+
+func TestSynthesizeFullFrameLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := mustFrame(t)
+	cfg := synthCfg()
+	tr, err := SynthesizeFrame(testTransceiver(), f, cfg, testTransceiver().NominalEnvironment(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, _ := f.WireBits(true)
+	wantBits := cfg.LeadIdleBits + len(wire)
+	want := int(math.Ceil(float64(wantBits) * 40))
+	if len(tr) != want {
+		t.Fatalf("len = %d, want %d", len(tr), want)
+	}
+}
+
+func TestSynthesizeDistinctECUsProduceDistinctTraces(t *testing.T) {
+	// Two transceivers with different levels must produce separable
+	// steady-state codes; the same transceiver twice must produce
+	// near-identical ones (Figure 2.5's observation).
+	rngA := rand.New(rand.NewSource(5))
+	rngB := rand.New(rand.NewSource(6))
+	rngC := rand.New(rand.NewSource(7))
+	txA := testTransceiver()
+	txB := testTransceiver()
+	txB.VDom = 2.2
+	f := mustFrame(t)
+	cfg := synthCfg()
+	env := txA.NominalEnvironment()
+	trA, _ := SynthesizeFrame(txA, f, cfg, env, rngA)
+	trA2, _ := SynthesizeFrame(txA, f, cfg, env, rngB)
+	trB, _ := SynthesizeFrame(txB, f, cfg, env, rngC)
+	at := 115 // settled inside SOF
+	if math.Abs(trA[at]-trA2[at]) > 300 {
+		t.Fatalf("same ECU diverges: %v vs %v", trA[at], trA2[at])
+	}
+	if math.Abs(trA[at]-trB[at]) < 500 {
+		t.Fatalf("different ECUs indistinguishable: %v vs %v", trA[at], trB[at])
+	}
+}
+
+func TestSynthesizeDeterministicForSeed(t *testing.T) {
+	f := mustFrame(t)
+	cfg := synthCfg()
+	tx := testTransceiver()
+	env := tx.NominalEnvironment()
+	a, _ := SynthesizeFrame(tx, f, cfg, env, rand.New(rand.NewSource(99)))
+	b, _ := SynthesizeFrame(tx, f, cfg, env, rand.New(rand.NewSource(99)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestSynthesizeOvershootVisible(t *testing.T) {
+	// A rising edge with overshoot must exceed the settled dominant
+	// level shortly after the transition.
+	tx := testTransceiver()
+	tx.NoiseSigma = 0 // isolate the deterministic shape
+	tx.EdgeJitterSigma = 0
+	rng := rand.New(rand.NewSource(8))
+	tr, err := SynthesizeFrame(tx, mustFrame(t), synthCfg(), tx.NominalEnvironment(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adc := testADC16()
+	domCode := adc.VoltsToCode(tx.VDom)
+	maxEarly := 0.0
+	for _, v := range tr[80:95] { // rising edge + overshoot window of SOF
+		if v > maxEarly {
+			maxEarly = v
+		}
+	}
+	if maxEarly <= domCode+100 {
+		t.Fatalf("no overshoot: max %v vs settled %v", maxEarly, domCode)
+	}
+}
+
+func TestSynthConfigValidate(t *testing.T) {
+	cfg := synthCfg()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.BitRate = 0
+	if cfg.Validate() == nil {
+		t.Error("zero bit rate accepted")
+	}
+}

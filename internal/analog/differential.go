@@ -1,0 +1,63 @@
+package analog
+
+import (
+	"math/rand"
+
+	"vprofile/internal/canbus"
+)
+
+// DifferentialTrace carries the two physical wires separately: CAN_H
+// is driven toward 3.5 V and CAN_L toward 1.5 V for dominant, both
+// resting at the 2.5 V recessive bias (Figure 2.1 of the paper). The
+// sampling board of Figure 4.3 measures the pair and the detection
+// pipeline consumes their difference.
+type DifferentialTrace struct {
+	CANH Trace
+	CANL Trace
+}
+
+// Differential returns CAN_H − CAN_L re-quantised onto the ADC's code
+// scale (the signal every other package operates on). Both traces must
+// have the same length.
+func (d DifferentialTrace) Differential(adc ADC) Trace {
+	n := len(d.CANH)
+	if len(d.CANL) < n {
+		n = len(d.CANL)
+	}
+	out := make(Trace, n)
+	for i := 0; i < n; i++ {
+		hv := adc.CodeToVolts(d.CANH[i])
+		lv := adc.CodeToVolts(d.CANL[i])
+		out[i] = adc.VoltsToCode(hv - lv)
+	}
+	return out
+}
+
+// recessiveBias is the common recessive level of both wires.
+const recessiveBias = 2.5
+
+// SynthesizeDifferential renders a frame as the physical wire pair:
+// the differential content splits symmetrically around the 2.5 V
+// recessive bias, and common-mode disturbances — ground shift, coupled
+// EMI — land on both wires equally. This is the property that makes
+// two-wire CAN robust and makes the differential measurement the right
+// fingerprinting signal: the common-mode term cancels in Differential
+// while single-ended measurements would drown in it.
+//
+// CommonModeSigma sets the per-sample common-mode disturbance in
+// volts (0 disables it).
+func SynthesizeDifferential(tx *Transceiver, wire canbus.BitString, cfg SynthConfig, env Environment, commonModeSigma float64, rng *rand.Rand) DifferentialTrace {
+	diff := Synthesize(tx, wire, cfg, env, rng)
+	h := make(Trace, len(diff))
+	l := make(Trace, len(diff))
+	for i, c := range diff {
+		v := cfg.ADC.CodeToVolts(c)
+		cm := recessiveBias
+		if commonModeSigma > 0 {
+			cm += rng.NormFloat64() * commonModeSigma
+		}
+		h[i] = cfg.ADC.VoltsToCode(cm + v/2)
+		l[i] = cfg.ADC.VoltsToCode(cm - v/2)
+	}
+	return DifferentialTrace{CANH: h, CANL: l}
+}

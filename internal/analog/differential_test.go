@@ -1,0 +1,105 @@
+package analog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSynthesizeDifferentialLevels(t *testing.T) {
+	tx := testTransceiver()
+	tx.NoiseSigma = 0
+	tx.EdgeJitterSigma = 0
+	f := mustFrame(t)
+	wire, err := f.WireBits(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synthCfg()
+	d := SynthesizeDifferential(tx, wire, cfg, tx.NominalEnvironment(), 0, rand.New(rand.NewSource(1)))
+	adc := cfg.ADC
+	// Idle: both wires rest at the 2.5 V bias (Figure 2.1).
+	for i := 0; i < 40; i++ {
+		hv := adc.CodeToVolts(d.CANH[i])
+		lv := adc.CodeToVolts(d.CANL[i])
+		if math.Abs(hv-2.5) > 0.05 || math.Abs(lv-2.5) > 0.05 {
+			t.Fatalf("idle sample %d: H=%.3f L=%.3f", i, hv, lv)
+		}
+	}
+	// Settled dominant (inside SOF): H ≈ 3.5 V, L ≈ 1.5 V.
+	hv := adc.CodeToVolts(d.CANH[115])
+	lv := adc.CodeToVolts(d.CANL[115])
+	if math.Abs(hv-3.5) > 0.1 || math.Abs(lv-1.5) > 0.1 {
+		t.Fatalf("dominant: H=%.3f L=%.3f", hv, lv)
+	}
+}
+
+func TestDifferentialRecoversSingleEndedSynthesis(t *testing.T) {
+	// Differential(H, L) must match the single-ended synthesis of the
+	// same seed to within quantisation error.
+	tx := testTransceiver()
+	f := mustFrame(t)
+	wire, err := f.WireBits(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synthCfg()
+	env := tx.NominalEnvironment()
+	want := Synthesize(tx, wire, cfg, env, rand.New(rand.NewSource(9)))
+	d := SynthesizeDifferential(tx, wire, cfg, env, 0, rand.New(rand.NewSource(9)))
+	got := d.Differential(cfg.ADC)
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 3 { // two quantisation steps of slack
+			t.Fatalf("sample %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDifferentialRejectsCommonMode(t *testing.T) {
+	// Strong common-mode noise lands on both wires but cancels in the
+	// differential — the reason the bus is differential at all.
+	tx := testTransceiver()
+	tx.NoiseSigma = 0
+	tx.EdgeJitterSigma = 0
+	f := mustFrame(t)
+	wire, err := f.WireBits(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synthCfg()
+	env := tx.NominalEnvironment()
+	clean := Synthesize(tx, wire, cfg, env, rand.New(rand.NewSource(4)))
+	noisy := SynthesizeDifferential(tx, wire, cfg, env, 0.3, rand.New(rand.NewSource(4)))
+	// Each wire individually is badly disturbed…
+	var wireDev float64
+	for i := range clean {
+		hv := cfg.ADC.CodeToVolts(noisy.CANH[i])
+		want := 2.5 + cfg.ADC.CodeToVolts(clean[i])/2
+		wireDev += math.Abs(hv - want)
+	}
+	wireDev /= float64(len(clean))
+	if wireDev < 0.1 {
+		t.Fatalf("common-mode injection too weak to test: %.4f V", wireDev)
+	}
+	// …but the differential stays clean.
+	got := noisy.Differential(cfg.ADC)
+	var diffDev float64
+	for i := range clean {
+		diffDev += math.Abs(cfg.ADC.CodeToVolts(got[i]) - cfg.ADC.CodeToVolts(clean[i]))
+	}
+	diffDev /= float64(len(clean))
+	if diffDev > 0.01 {
+		t.Fatalf("differential deviates %.4f V under common-mode noise", diffDev)
+	}
+}
+
+func TestDifferentialUnequalLengths(t *testing.T) {
+	d := DifferentialTrace{CANH: Trace{1, 2, 3}, CANL: Trace{1, 2}}
+	adc := testADC16()
+	if got := d.Differential(adc); len(got) != 2 {
+		t.Fatalf("length %d, want the shorter wire's 2", len(got))
+	}
+}

@@ -1,0 +1,17 @@
+// Package analog models the CAN physical layer that the vProfile
+// paper samples on its two test vehicles: per-ECU transmitter
+// electronics, the differential bus voltage, environmental effects and
+// the analog-to-digital converter.
+//
+// The paper's premise (Section 2.2.1) is that manufacturing variation
+// gives every ECU a unique, practically inimitable output waveform.
+// The Transceiver type encodes that variation explicitly: dominant and
+// recessive differential levels, rise/fall time constants, overshoot
+// ringing, per-sample noise and per-edge timing jitter, plus the
+// temperature and supply-voltage sensitivities the paper investigates
+// in Section 4.4. Synthesize renders the wire-level bit stream of a
+// frame into the voltage trace a digitizer attached to the OBD-II port
+// would capture, and ADC quantises it into the offset-binary codes the
+// detection pipeline consumes (e.g. the "38,000" threshold of the
+// paper is a 16-bit code on a ±5 V range).
+package analog

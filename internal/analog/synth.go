@@ -1,0 +1,145 @@
+package analog
+
+import (
+	"math"
+	"math/rand"
+
+	"vprofile/internal/canbus"
+)
+
+// SynthConfig controls frame-waveform synthesis.
+type SynthConfig struct {
+	ADC     ADC
+	BitRate float64 // bus bit rate (b/s), 250 kb/s on both test vehicles
+
+	// LeadIdleBits is the number of recessive bus-idle bit times
+	// rendered before the SOF so that detectors can lock onto the
+	// idle→dominant SOF transition. At least one is required.
+	LeadIdleBits int
+
+	// MaxSamples truncates the rendered trace (0 renders the whole
+	// frame). Edge-set extraction needs only the first ~40 bits of a
+	// frame, so experiments use truncation to keep synthesis cheap.
+	MaxSamples int
+}
+
+// Validate reports configuration errors.
+func (c SynthConfig) Validate() error {
+	if err := c.ADC.Validate(); err != nil {
+		return err
+	}
+	if c.BitRate <= 0 {
+		return errBitRate
+	}
+	return nil
+}
+
+var errBitRate = errString("analog: bit rate must be positive")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// Synthesize renders the wire-level bits of one frame, as transmitted
+// by tx under env, into the ADC code trace a digitizer on the bus
+// would record. The returned trace starts with LeadIdleBits of
+// recessive idle, includes per-edge timing jitter, first-order
+// rise/fall dynamics, damped-sinusoid overshoot ringing, additive
+// noise and a random sub-sample phase — everything Figure 2.5 of the
+// paper shows in the real captures.
+func Synthesize(tx *Transceiver, wire canbus.BitString, cfg SynthConfig, env Environment, rng *rand.Rand) Trace {
+	vDom, vRec, tauRise, tauFall := tx.effectiveLevels(env)
+	level := func(b canbus.Bit) float64 {
+		if b == canbus.Dominant {
+			return vDom
+		}
+		return vRec
+	}
+
+	noiseSigma := tx.NoiseSigma
+	if tx.BurstProb > 0 && rng.Float64() < tx.BurstProb {
+		noiseSigma *= tx.BurstScale
+	}
+
+	lead := cfg.LeadIdleBits
+	if lead < 1 {
+		lead = 1
+	}
+	bitTime := 1 / cfg.BitRate
+	dt := 1 / cfg.ADC.SampleRate
+
+	// Transition list: one segment per run of equal bits, preceded by
+	// the idle (recessive) lead-in.
+	type segment struct {
+		start  float64 // transition time (jittered)
+		target float64 // asymptotic level
+		vFrom  float64 // waveform value at the transition instant
+		rising bool
+		tau    float64
+		ringA  float64
+	}
+	segs := make([]segment, 0, len(wire)/2+2)
+	segs = append(segs, segment{start: 0, target: level(canbus.Recessive), vFrom: level(canbus.Recessive), tau: tauFall})
+	prev := canbus.Recessive
+	tBit := float64(lead) * bitTime
+	for i, b := range wire {
+		if b != prev {
+			jitter := rng.NormFloat64() * tx.EdgeJitterSigma
+			start := tBit + float64(i)*bitTime + jitter
+			rising := b == canbus.Dominant
+			tau := tauFall
+			ringA := -tx.UndershootAmp
+			if rising {
+				tau = tauRise
+				ringA = tx.OvershootAmp
+			}
+			segs = append(segs, segment{start: start, target: level(b), rising: rising, tau: tau, ringA: ringA})
+			prev = b
+		}
+	}
+
+	// Evaluate each segment's starting value from its predecessor.
+	evalAt := func(s *segment, t float64) float64 {
+		d := t - s.start
+		if d < 0 {
+			d = 0
+		}
+		v := s.target + (s.vFrom-s.target)*math.Exp(-d/s.tau)
+		if s.ringA != 0 {
+			v += s.ringA * math.Exp(-d/tx.RingTau) * math.Sin(2*math.Pi*tx.RingFreq*d)
+		}
+		return v
+	}
+	for i := 1; i < len(segs); i++ {
+		segs[i].vFrom = evalAt(&segs[i-1], segs[i].start)
+	}
+
+	total := int(math.Ceil((float64(lead+len(wire)) * bitTime) / dt))
+	if cfg.MaxSamples > 0 && cfg.MaxSamples < total {
+		total = cfg.MaxSamples
+	}
+	phase := rng.Float64() * dt // sub-sample phase of the digitizer clock
+	volts := make([]float64, total)
+	seg := 0
+	for i := range volts {
+		t := float64(i)*dt + phase
+		for seg+1 < len(segs) && t >= segs[seg+1].start {
+			seg++
+		}
+		volts[i] = evalAt(&segs[seg], t) + rng.NormFloat64()*noiseSigma
+	}
+	return cfg.ADC.Quantize(volts)
+}
+
+// SynthesizeFrame is a convenience wrapper that stuffs and renders a
+// frame in one step. ACK assertion is enabled because on a live bus a
+// receiver always asserts the slot; the paper notes the ACK voltage
+// can deviate from the rest of the message, which is why extraction
+// stays in the first half of the frame.
+func SynthesizeFrame(tx *Transceiver, f *canbus.ExtendedFrame, cfg SynthConfig, env Environment, rng *rand.Rand) (Trace, error) {
+	wire, err := f.WireBits(true)
+	if err != nil {
+		return nil, err
+	}
+	return Synthesize(tx, wire, cfg, env, rng), nil
+}

@@ -1,0 +1,68 @@
+package analog
+
+import (
+	"errors"
+	"math"
+)
+
+// Stub topology: the overshoot ringing every edge set carries comes
+// from reflections on unterminated drop cables ("stubs") between each
+// ECU and the main bus line. The ring frequency is set by the stub's
+// electrical length — a quarter-wave resonance — which is one of the
+// physical reasons two ECUs of the same part number still ring
+// differently: they hang on different stubs. These helpers derive
+// transceiver ring parameters from a harness description, so vehicle
+// definitions can be written in installation terms.
+
+// PropagationVelocity is the signal velocity on typical CAN cable,
+// ~0.66 c in metres per second.
+const PropagationVelocity = 0.66 * 299792458.0
+
+// Stub describes one ECU's drop cable.
+type Stub struct {
+	LengthM float64 // stub length in metres
+	// MismatchGamma is the reflection coefficient magnitude at the
+	// stub end (0 = perfectly terminated, →1 = open).
+	MismatchGamma float64
+}
+
+// ErrStub reports an invalid stub description.
+var ErrStub = errors.New("analog: invalid stub")
+
+// RingFrequency returns the quarter-wave resonance of the stub:
+// f = v / (4·L).
+func (s Stub) RingFrequency() (float64, error) {
+	if s.LengthM <= 0 {
+		return 0, ErrStub
+	}
+	return PropagationVelocity / (4 * s.LengthM), nil
+}
+
+// RingDecay estimates the ringing decay time constant: each round
+// trip (2L/v) retains |Γ| of the amplitude, so the exponential
+// envelope has τ = roundTrip / −ln|Γ|.
+func (s Stub) RingDecay() (float64, error) {
+	if s.LengthM <= 0 || s.MismatchGamma <= 0 || s.MismatchGamma >= 1 {
+		return 0, ErrStub
+	}
+	roundTrip := 2 * s.LengthM / PropagationVelocity
+	return roundTrip / -math.Log(s.MismatchGamma), nil
+}
+
+// ApplyStub overwrites a transceiver's ring parameters from the stub
+// description, scaling the overshoot amplitude by the mismatch.
+func ApplyStub(tx *Transceiver, s Stub, baseOvershoot float64) error {
+	f, err := s.RingFrequency()
+	if err != nil {
+		return err
+	}
+	tau, err := s.RingDecay()
+	if err != nil {
+		return err
+	}
+	tx.RingFreq = f
+	tx.RingTau = tau
+	tx.OvershootAmp = baseOvershoot * s.MismatchGamma
+	tx.UndershootAmp = tx.OvershootAmp * 0.7
+	return nil
+}

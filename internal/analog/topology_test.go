@@ -1,0 +1,83 @@
+package analog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStubRingFrequency(t *testing.T) {
+	// A 20 m stub rings at v/(4·20) ≈ 2.47 MHz — the MHz-scale rings
+	// the vehicle calibration uses.
+	s := Stub{LengthM: 20, MismatchGamma: 0.5}
+	f, err := s.RingFrequency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-2.47e6)/2.47e6 > 0.01 {
+		t.Fatalf("ring frequency %v", f)
+	}
+	if _, err := (Stub{LengthM: 0}).RingFrequency(); err == nil {
+		t.Fatal("zero-length stub accepted")
+	}
+}
+
+func TestStubRingDecay(t *testing.T) {
+	s := Stub{LengthM: 20, MismatchGamma: 0.5}
+	tau, err := s.RingDecay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip ≈ 202 ns; τ = 202ns/ln2 ≈ 292 ns.
+	if tau < 200e-9 || tau > 400e-9 {
+		t.Fatalf("decay %v", tau)
+	}
+	for _, bad := range []Stub{{LengthM: 20, MismatchGamma: 0}, {LengthM: 20, MismatchGamma: 1}, {LengthM: -1, MismatchGamma: 0.5}} {
+		if _, err := bad.RingDecay(); err == nil {
+			t.Fatalf("stub %+v accepted", bad)
+		}
+	}
+}
+
+func TestStubProperties(t *testing.T) {
+	// Longer stubs ring lower and (at fixed Γ) decay slower.
+	f := func(l1Raw, l2Raw uint8) bool {
+		l1 := 1 + float64(l1Raw%40)
+		l2 := l1 + 1 + float64(l2Raw%40)
+		s1 := Stub{LengthM: l1, MismatchGamma: 0.5}
+		s2 := Stub{LengthM: l2, MismatchGamma: 0.5}
+		f1, err1 := s1.RingFrequency()
+		f2, err2 := s2.RingFrequency()
+		t1, err3 := s1.RingDecay()
+		t2, err4 := s2.RingDecay()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return f2 < f1 && t2 > t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyStub(t *testing.T) {
+	tx := testTransceiver()
+	if err := ApplyStub(tx, Stub{LengthM: 25, MismatchGamma: 0.6}, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if tx.RingFreq < 1.5e6 || tx.RingFreq > 2.5e6 {
+		t.Fatalf("applied ring frequency %v", tx.RingFreq)
+	}
+	if math.Abs(tx.OvershootAmp-0.24) > 1e-12 {
+		t.Fatalf("overshoot %v", tx.OvershootAmp)
+	}
+	if tx.UndershootAmp >= tx.OvershootAmp {
+		t.Fatalf("undershoot %v not below overshoot", tx.UndershootAmp)
+	}
+	if err := tx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyStub(tx, Stub{LengthM: 0, MismatchGamma: 0.5}, 0.3); err == nil {
+		t.Fatal("invalid stub applied")
+	}
+}

@@ -1,0 +1,98 @@
+package analog
+
+import "fmt"
+
+// Environment captures the operating conditions Section 4.4 of the
+// paper varies: the ECU temperature and the battery (supply) voltage.
+type Environment struct {
+	TemperatureC float64
+	SupplyVolts  float64
+}
+
+// Transceiver is the analog output model of one ECU's CAN driver. All
+// voltages are differential (CAN_H − CAN_L): nominally ~2 V dominant
+// and ~0 V recessive. Manufacturing variation makes every field
+// slightly different per device; that variation is the fingerprint
+// vProfile exploits.
+type Transceiver struct {
+	Name string
+
+	VDom float64 // dominant differential level (V)
+	VRec float64 // recessive differential level (V), near 0
+
+	TauRise float64 // rise time constant (s), recessive→dominant
+	TauFall float64 // fall time constant (s), dominant→recessive
+
+	OvershootAmp  float64 // overshoot amplitude on rising edges (V)
+	UndershootAmp float64 // undershoot amplitude on falling edges (V)
+	RingFreq      float64 // ringing frequency (Hz)
+	RingTau       float64 // ringing decay time constant (s)
+
+	NoiseSigma      float64 // additive white noise per sample (V)
+	EdgeJitterSigma float64 // gaussian jitter of each transition (s)
+
+	// BurstProb and BurstScale model transient disturbances (EMI,
+	// alternator load dumps): with probability BurstProb a whole
+	// frame is rendered with its noise scaled by BurstScale. These
+	// heavy tails are what make real captures' maximum intra-cluster
+	// distance sit several times above the mean (Table 5.1's max
+	// distances versus typical distances), giving the detection
+	// threshold its headroom.
+	BurstProb  float64
+	BurstScale float64
+
+	// Environmental sensitivities (Section 4.4). Levels shift with
+	// temperature and supply; time constants stretch with temperature.
+	TempCoVDom   float64 // V per °C away from NominalTempC
+	TempCoTau    float64 // fractional τ change per °C
+	SupplyCoVDom float64 // V per volt of supply deviation
+
+	NominalTempC   float64
+	NominalSupplyV float64
+}
+
+// Validate reports parameter errors that would make synthesis
+// meaningless.
+func (t *Transceiver) Validate() error {
+	if t.VDom <= t.VRec {
+		return fmt.Errorf("analog: %s: dominant level %v not above recessive %v", t.Name, t.VDom, t.VRec)
+	}
+	if t.TauRise <= 0 || t.TauFall <= 0 {
+		return fmt.Errorf("analog: %s: non-positive time constant", t.Name)
+	}
+	if t.NoiseSigma < 0 || t.EdgeJitterSigma < 0 {
+		return fmt.Errorf("analog: %s: negative noise parameter", t.Name)
+	}
+	return nil
+}
+
+// effectiveLevels returns the dominant/recessive levels and time
+// constants after applying the environment.
+func (t *Transceiver) effectiveLevels(env Environment) (vDom, vRec, tauRise, tauFall float64) {
+	dT := env.TemperatureC - t.NominalTempC
+	dV := env.SupplyVolts - t.NominalSupplyV
+	// The transceiver runs from a regulated rail; above nominal the
+	// regulator holds its output (small headroom), while sagging
+	// supply passes through. This is why the paper's engine-running
+	// battery rise (13.6 V) barely moves the bus voltage.
+	if dV > 0.05 {
+		dV = 0.05
+	}
+	vDom = t.VDom + t.TempCoVDom*dT + t.SupplyCoVDom*dV
+	// The recessive level is set by the bus termination bias and moves
+	// an order of magnitude less than the driven dominant level.
+	vRec = t.VRec + 0.1*(t.TempCoVDom*dT+t.SupplyCoVDom*dV)
+	scale := 1 + t.TempCoTau*dT
+	if scale < 0.1 {
+		scale = 0.1
+	}
+	tauRise = t.TauRise * scale
+	tauFall = t.TauFall * scale
+	return vDom, vRec, tauRise, tauFall
+}
+
+// NominalEnvironment returns the environment the transceiver was
+// characterised at.
+func (t *Transceiver) NominalEnvironment() Environment {
+	return Environment{TemperatureC: t.NominalTempC, SupplyVolts: t.NominalSupplyV}
+}

@@ -1,0 +1,201 @@
+// Package attack builds labelled attack scenarios over the simulated
+// vehicles: the injection, masquerade, suspension and foreign-device
+// attacks the intrusion-detection literature (and the paper's threat
+// model chapter) considers. Each scenario yields a time-ordered stream
+// of labelled messages that detectors consume, enabling the coverage
+// matrix experiment: which detector family (voltage fingerprinting,
+// period monitoring, clock-skew fingerprinting) sees which attack.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+	"vprofile/internal/vehicle"
+)
+
+// Kind enumerates the implemented attack scenarios.
+type Kind int
+
+// Attack kinds.
+const (
+	// None replays clean traffic (the control row of the matrix).
+	None Kind = iota
+	// Hijack keeps the compromised ECU's own transmission hardware and
+	// schedule but forges a victim's source address on extra injected
+	// frames — the Miller-Valasek-style message injection.
+	Hijack
+	// Foreign attaches a new device that imitates a victim ECU's
+	// waveform and injects frames under the victim's address.
+	Foreign
+	// Flood injects duplicates of a victim's frame at many times its
+	// nominal rate from the compromised ECU (a targeted DoS /
+	// spoofing flood); timing monitors see the period collapse.
+	Flood
+	// Suspension silences one ECU entirely (e.g. after a bus-off
+	// attack); only timing monitors can see an absence.
+	Suspension
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "clean"
+	case Hijack:
+		return "hijack"
+	case Foreign:
+		return "foreign"
+	case Flood:
+		return "flood"
+	case Suspension:
+		return "suspension"
+	default:
+		return fmt.Sprintf("attack(%d)", int(k))
+	}
+}
+
+// Message is one labelled event of a scenario.
+type Message struct {
+	vehicle.Message
+	// Injected marks frames the attacker added (ground-truth anomaly).
+	Injected bool
+}
+
+// Scenario parameterises a run.
+type Scenario struct {
+	Kind Kind
+	// AttackerECU is the compromised node (Hijack, Flood) — its
+	// transceiver signs the injected frames.
+	AttackerECU int
+	// VictimECU is the impersonated (Hijack, Foreign, Flood) or
+	// silenced (Suspension) node.
+	VictimECU int
+	// Rate is the injection probability per legitimate message
+	// (Hijack/Foreign, default 0.2) or the flood multiplier (Flood,
+	// default 4).
+	Rate float64
+
+	NumMessages int
+	Seed        int64
+}
+
+// Run generates the scenario's labelled message stream.
+func Run(v *vehicle.Vehicle, sc Scenario) ([]Message, error) {
+	if sc.NumMessages <= 0 {
+		return nil, errors.New("attack: NumMessages must be positive")
+	}
+	if sc.VictimECU < 0 || sc.VictimECU >= len(v.ECUs) {
+		if sc.Kind != None {
+			return nil, fmt.Errorf("attack: victim ECU %d out of range", sc.VictimECU)
+		}
+	}
+	if (sc.Kind == Hijack || sc.Kind == Flood) && (sc.AttackerECU < 0 || sc.AttackerECU >= len(v.ECUs)) {
+		return nil, fmt.Errorf("attack: attacker ECU %d out of range", sc.AttackerECU)
+	}
+	rate := sc.Rate
+	if rate <= 0 {
+		if sc.Kind == Flood {
+			rate = 4
+		} else {
+			rate = 0.2
+		}
+	}
+	rng := rand.New(rand.NewSource(sc.Seed + 1000))
+	synthCfg := analog.SynthConfig{
+		ADC: v.ADC, BitRate: v.BitRate,
+		LeadIdleBits: v.LeadIdleBits, MaxSamples: v.DefaultTraceSamples(),
+	}
+
+	var out []Message
+	err := v.Stream(vehicle.GenConfig{NumMessages: sc.NumMessages, Seed: sc.Seed}, func(m vehicle.Message) error {
+		switch sc.Kind {
+		case Suspension:
+			if m.ECUIndex == sc.VictimECU {
+				return nil // the victim is silent; drop its traffic
+			}
+			out = append(out, Message{Message: m})
+			return nil
+		case None:
+			out = append(out, Message{Message: m})
+			return nil
+		}
+		out = append(out, Message{Message: m})
+
+		inject := 0
+		switch sc.Kind {
+		case Hijack, Foreign:
+			if rng.Float64() < rate {
+				inject = 1
+			}
+		case Flood:
+			// The attacker salvoes after each victim frame.
+			if m.ECUIndex == sc.VictimECU {
+				inject = int(rate)
+			}
+		}
+		for i := 0; i < inject; i++ {
+			forged, err := forgeFrame(v, sc, m, rng, synthCfg)
+			if err != nil {
+				return err
+			}
+			out = append(out, *forged)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Injected frames delay everything behind them (the bus is serial);
+	// restore strictly increasing timestamps with one forward pass.
+	for i := 1; i < len(out); i++ {
+		if out[i].TimeSec <= out[i-1].TimeSec {
+			out[i].TimeSec = out[i-1].TimeSec + 0.0006 // one frame time later
+		}
+	}
+	return out, nil
+}
+
+// forgeFrame renders one injected frame under the victim's identity.
+func forgeFrame(v *vehicle.Vehicle, sc Scenario, trigger vehicle.Message, rng *rand.Rand, synthCfg analog.SynthConfig) (*Message, error) {
+	victim := v.ECUs[sc.VictimECU]
+	spec := victim.Messages[rng.Intn(len(victim.Messages))]
+	data := make([]byte, spec.DataLen)
+	rng.Read(data)
+	frame, err := canbus.NewJ1939Frame(spec.ID, data)
+	if err != nil {
+		return nil, err
+	}
+	var tx *analog.Transceiver
+	var ecuIdx int
+	switch sc.Kind {
+	case Foreign:
+		// The scenario models a typical attacker: a COTS node tuned to
+		// the victim within ordinary transceiver tolerance, a step
+		// coarser than vehicle.ForeignDevice's best-effort clone.
+		clone := vehicle.ForeignDevice(victim.Transceiver)
+		clone.VDom += 0.04
+		clone.TauRise *= 1.05
+		tx = clone
+		ecuIdx = -1
+	default:
+		tx = v.ECUs[sc.AttackerECU].Transceiver
+		ecuIdx = sc.AttackerECU
+	}
+	trace, err := analog.SynthesizeFrame(tx, frame, synthCfg, tx.NominalEnvironment(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Message{
+		Message: vehicle.Message{
+			ECUIndex: ecuIdx,
+			TimeSec:  trigger.TimeSec + 0.0006,
+			Frame:    frame,
+			Trace:    trace,
+		},
+		Injected: true,
+	}, nil
+}

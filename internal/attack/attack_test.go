@@ -1,0 +1,130 @@
+package attack
+
+import (
+	"testing"
+
+	"vprofile/internal/vehicle"
+)
+
+func run(t *testing.T, sc Scenario) []Message {
+	t.Helper()
+	msgs, err := Run(vehicle.NewVehicleA(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msgs
+}
+
+func TestRunValidation(t *testing.T) {
+	v := vehicle.NewVehicleA()
+	if _, err := Run(v, Scenario{Kind: Hijack, NumMessages: 0}); err == nil {
+		t.Error("zero messages accepted")
+	}
+	if _, err := Run(v, Scenario{Kind: Hijack, AttackerECU: 99, VictimECU: 0, NumMessages: 10}); err == nil {
+		t.Error("out-of-range attacker accepted")
+	}
+	if _, err := Run(v, Scenario{Kind: Foreign, VictimECU: -1, NumMessages: 10}); err == nil {
+		t.Error("out-of-range victim accepted")
+	}
+}
+
+func TestCleanScenarioHasNoInjections(t *testing.T) {
+	msgs := run(t, Scenario{Kind: None, NumMessages: 120, Seed: 1})
+	if len(msgs) != 120 {
+		t.Fatalf("%d messages", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Injected {
+			t.Fatalf("message %d marked injected in a clean run", i)
+		}
+	}
+}
+
+func TestHijackInjectsForgedFrames(t *testing.T) {
+	msgs := run(t, Scenario{Kind: Hijack, AttackerECU: 1, VictimECU: 4, Rate: 0.25, NumMessages: 400, Seed: 2})
+	injected := 0
+	victimSAs := map[uint8]bool{}
+	for _, sa := range vehicle.NewVehicleA().ECUs[4].SAs() {
+		victimSAs[uint8(sa)] = true
+	}
+	for _, m := range msgs {
+		if !m.Injected {
+			continue
+		}
+		injected++
+		if m.ECUIndex != 1 {
+			t.Fatalf("injected frame attributed to ECU %d", m.ECUIndex)
+		}
+		if !victimSAs[uint8(m.Frame.SA())] {
+			t.Fatalf("injected frame claims SA %#x, not the victim's", m.Frame.SA())
+		}
+	}
+	if injected < 400/8 || injected > 400/2 {
+		t.Fatalf("%d injections at rate 0.25 over 400 messages", injected)
+	}
+}
+
+func TestForeignInjectionsComeFromOutside(t *testing.T) {
+	msgs := run(t, Scenario{Kind: Foreign, VictimECU: 4, NumMessages: 300, Seed: 3})
+	saw := false
+	for _, m := range msgs {
+		if m.Injected {
+			saw = true
+			if m.ECUIndex != -1 {
+				t.Fatalf("foreign frame attributed to onboard ECU %d", m.ECUIndex)
+			}
+		}
+	}
+	if !saw {
+		t.Fatal("no foreign injections")
+	}
+}
+
+func TestFloodMultipliesVictimTraffic(t *testing.T) {
+	msgs := run(t, Scenario{Kind: Flood, AttackerECU: 1, VictimECU: 0, Rate: 4, NumMessages: 300, Seed: 4})
+	legit, injected := 0, 0
+	for _, m := range msgs {
+		if m.Injected {
+			injected++
+		} else if m.ECUIndex == 0 {
+			legit++
+		}
+	}
+	if injected != 4*legit {
+		t.Fatalf("flood injected %d for %d victim frames (want 4×)", injected, legit)
+	}
+}
+
+func TestSuspensionSilencesVictim(t *testing.T) {
+	msgs := run(t, Scenario{Kind: Suspension, VictimECU: 0, NumMessages: 300, Seed: 5})
+	for i, m := range msgs {
+		if m.ECUIndex == 0 {
+			t.Fatalf("message %d from the suspended ECU", i)
+		}
+	}
+	if len(msgs) >= 300 {
+		t.Fatalf("suspension dropped nothing: %d messages", len(msgs))
+	}
+}
+
+func TestTimestampsMonotone(t *testing.T) {
+	for _, kind := range []Kind{None, Hijack, Foreign, Flood, Suspension} {
+		msgs := run(t, Scenario{Kind: kind, AttackerECU: 1, VictimECU: 0, NumMessages: 200, Seed: 6})
+		for i := 1; i < len(msgs); i++ {
+			if msgs[i].TimeSec <= msgs[i-1].TimeSec {
+				t.Fatalf("%s: time went backwards at %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		None: "clean", Hijack: "hijack", Foreign: "foreign",
+		Flood: "flood", Suspension: "suspension",
+	} {
+		if k.String() != want {
+			t.Errorf("%d renders %q", k, k.String())
+		}
+	}
+}

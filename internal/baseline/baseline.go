@@ -1,0 +1,45 @@
+// Package baseline implements the voltage-based sender-identification
+// methods vProfile is compared against in Section 1.2.1 of the paper:
+//
+//   - SIMPLE (Foruhandeh et al.): sixteen sample-wise-average features
+//     from the dominant and recessive states, Fisher discriminant
+//     dimensionality reduction, and per-ECU Mahalanobis thresholds
+//     found by binary search for the equal error rate.
+//
+//   - Scission-style (Kneib & Huth): per-section statistical features
+//     (rising edge, dominant plateau, falling edge) classified by
+//     multinomial logistic regression.
+//
+//   - Murvay & Groza: a low-pass-filtered reference fingerprint per
+//     ECU, matched by mean square error or by the normalised
+//     cross-correlation peak.
+//
+// All three consume the same preprocessed traces as vProfile so the
+// shoot-out in the benchmark harness is apples-to-apples.
+package baseline
+
+import (
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+)
+
+// TraceSample is one captured message handed to a classifier: the raw
+// code trace, the claimed source address and the ground-truth ECU.
+type TraceSample struct {
+	Trace analog.Trace
+	SA    canbus.SourceAddress
+	ECU   int
+}
+
+// Classifier is the interface all comparators implement.
+type Classifier interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Train fits the classifier. saMap maps source addresses to ECU
+	// indices (the "fortunate" clustering database every method in
+	// the literature assumes).
+	Train(samples []TraceSample, saMap map[canbus.SourceAddress]int) error
+	// Verify decides whether a message claiming the given source
+	// address is authentic, and reports the predicted sender.
+	Verify(tr analog.Trace, claimed canbus.SourceAddress) (ok bool, predictedECU int, err error)
+}

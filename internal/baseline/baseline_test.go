@@ -1,0 +1,205 @@
+package baseline
+
+import (
+	"testing"
+
+	"vprofile/internal/canbus"
+	"vprofile/internal/core"
+	"vprofile/internal/vehicle"
+)
+
+func vehicleAConfig() (threshold float64, bitWidth int) {
+	v := vehicle.NewVehicleA()
+	cfg := v.ExtractionConfig()
+	return cfg.BitThreshold, cfg.BitWidth
+}
+
+func collectA(t *testing.T, n int, seed int64) []TraceSample {
+	t.Helper()
+	v := vehicle.NewVehicleA()
+	samples, err := collect(v, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestStateRuns(t *testing.T) {
+	tr := make([]float64, 0, 40)
+	for i := 0; i < 10; i++ {
+		tr = append(tr, 0)
+	}
+	for i := 0; i < 12; i++ {
+		tr = append(tr, 100)
+	}
+	for i := 0; i < 10; i++ {
+		tr = append(tr, 0)
+	}
+	dom, rec := stateRuns(tr, 50, 4)
+	if len(dom) != 1 || len(dom[0]) != 12 {
+		t.Fatalf("dominant runs %v", dom)
+	}
+	if len(rec) != 2 {
+		t.Fatalf("recessive runs %d", len(rec))
+	}
+	// Short glitches below minLen are dropped.
+	dom, _ = stateRuns([]float64{0, 0, 100, 0, 0}, 50, 2)
+	if len(dom) != 0 {
+		t.Fatalf("glitch not dropped: %v", dom)
+	}
+}
+
+func TestSimpleFeaturesShape(t *testing.T) {
+	th, bw := vehicleAConfig()
+	samples := collectA(t, 5, 41)
+	f, err := simpleFeatures(samples[0].Trace, th, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 16 {
+		t.Fatalf("%d features", len(f))
+	}
+	// Dominant averages (first 8) must sit above recessive (last 8).
+	for i := 0; i < 8; i++ {
+		if f[i] <= f[8+i] {
+			t.Fatalf("dominant feature %d (%v) not above recessive (%v)", i, f[i], f[8+i])
+		}
+	}
+	if _, err := simpleFeatures(make([]float64, 100), th, bw); err == nil {
+		t.Fatal("flat trace accepted")
+	}
+}
+
+func TestScissionFeaturesShape(t *testing.T) {
+	th, bw := vehicleAConfig()
+	samples := collectA(t, 3, 42)
+	f, err := scissionFeatures(samples[0].Trace, th, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 15 {
+		t.Fatalf("%d features", len(f))
+	}
+}
+
+func classifierSuite(t *testing.T, c Classifier) {
+	t.Helper()
+	v := vehicle.NewVehicleA()
+	train := collectA(t, 900, 43)
+	if err := c.Train(train, v.SAMap()); err != nil {
+		t.Fatalf("%s: %v", c.Name(), err)
+	}
+	test := collectA(t, 400, 44)
+
+	// Identification: the predicted ECU should usually match the
+	// ground truth on this easy, well-separated vehicle.
+	correct, accepted := 0, 0
+	for _, smp := range test {
+		ok, pred, err := c.Verify(smp.Trace, smp.SA)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if pred == smp.ECU {
+			correct++
+		}
+		if ok {
+			accepted++
+		}
+	}
+	if frac := float64(correct) / float64(len(test)); frac < 0.90 {
+		t.Errorf("%s identification rate %.3f", c.Name(), frac)
+	}
+	if frac := float64(accepted) / float64(len(test)); frac < 0.80 {
+		t.Errorf("%s acceptance rate %.3f on legitimate traffic", c.Name(), frac)
+	}
+
+	// Hijack: ECU 0's waveform claiming ECU 2's SA must be rejected
+	// most of the time (those two are far apart on Vehicle A).
+	sa2 := v.ECUs[2].SAs()[0]
+	rejected := 0
+	nAttack := 0
+	for _, smp := range test {
+		if smp.ECU != 0 {
+			continue
+		}
+		nAttack++
+		ok, _, err := c.Verify(smp.Trace, sa2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			rejected++
+		}
+	}
+	if nAttack == 0 {
+		t.Fatal("no ECU 0 traffic in the test capture")
+	}
+	if frac := float64(rejected) / float64(nAttack); frac < 0.90 {
+		t.Errorf("%s hijack rejection rate %.3f", c.Name(), frac)
+	}
+
+	// Unknown SA is never accepted.
+	if ok, _, err := c.Verify(test[0].Trace, 0xEE); err != nil || ok {
+		t.Errorf("%s accepted an unknown SA (ok=%v err=%v)", c.Name(), ok, err)
+	}
+}
+
+func TestSIMPLEClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier suites need traffic")
+	}
+	th, bw := vehicleAConfig()
+	classifierSuite(t, &SIMPLE{Threshold: th, BitWidth: bw})
+}
+
+func TestScissionClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier suites need traffic")
+	}
+	th, bw := vehicleAConfig()
+	classifierSuite(t, &Scission{Threshold: th, BitWidth: bw, Seed: 5})
+}
+
+func TestMurvayMSEClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier suites need traffic")
+	}
+	th, bw := vehicleAConfig()
+	classifierSuite(t, &Murvay{Threshold: th, BitWidth: bw, Mode: MurvayMSE})
+}
+
+func TestVProfileAdapter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier suites need traffic")
+	}
+	v := vehicle.NewVehicleA()
+	classifierSuite(t, &VProfile{Extraction: v.ExtractionConfig(), Metric: core.Mahalanobis, Margin: 40})
+}
+
+func TestClassifiersRejectUntrainedUse(t *testing.T) {
+	th, bw := vehicleAConfig()
+	for _, c := range []Classifier{
+		&SIMPLE{Threshold: th, BitWidth: bw},
+		&Scission{Threshold: th, BitWidth: bw},
+		&Murvay{Threshold: th, BitWidth: bw},
+		&VProfile{},
+	} {
+		if _, _, err := c.Verify(make([]float64, 10), 0); err == nil {
+			t.Errorf("%s allowed Verify before Train", c.Name())
+		}
+	}
+}
+
+func TestClassifiersRejectDegenerateTraining(t *testing.T) {
+	th, bw := vehicleAConfig()
+	single := map[canbus.SourceAddress]int{0: 0}
+	for _, c := range []Classifier{
+		&SIMPLE{Threshold: th, BitWidth: bw},
+		&Scission{Threshold: th, BitWidth: bw},
+		&Murvay{Threshold: th, BitWidth: bw},
+	} {
+		if err := c.Train(nil, single); err == nil {
+			t.Errorf("%s accepted a single-class problem", c.Name())
+		}
+	}
+}

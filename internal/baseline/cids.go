@@ -1,0 +1,244 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vprofile/internal/canbus"
+)
+
+// CIDS implements the clock-based intrusion detection of Cho & Shin
+// (Section 1.2.2): periodic messages arrive with deviations that
+// accumulate into a per-sender clock offset; the offset's slope — the
+// sender's clock skew — is estimated with recursive least squares and
+// fingerprints the transmitter. A masquerading node cannot reproduce
+// the victim's skew, so the identification error jumps and a CUSUM
+// detector raises an alarm.
+//
+// CIDS consumes message timestamps, not voltage traces; it is the
+// timing-domain counterpart the paper contrasts vProfile against.
+type CIDS struct {
+	// BatchSize is the number of inter-arrival samples per offset
+	// estimate (the paper's N, 20 by default).
+	BatchSize int
+	// Lambda is the RLS forgetting factor (default 0.9995).
+	Lambda float64
+	// Kappa and Threshold parameterise the two-sided CUSUM on the
+	// normalised identification error (defaults 0.5 and 10): a small
+	// reference drift accumulates the sub-sigma per-batch shift a
+	// masquerading clock produces.
+	Kappa     float64
+	Threshold float64
+
+	streams map[canbus.SourceAddress]*cidsStream
+}
+
+// cidsStream is the per-source tracking state.
+type cidsStream struct {
+	period float64 // nominal period (snapped to the schedule grid)
+
+	lastArrival float64
+	firstGaps   []float64 // gaps collected before the period locks
+	batch       []float64 // inter-arrival gaps of the current batch
+
+	elapsed float64 // time since tracking started
+	accOff  float64 // accumulated clock offset (seconds)
+
+	// RLS state for the scalar regression accOff ≈ skew · elapsed.
+	skew float64
+	p    float64
+
+	// Training history for frozen residual statistics.
+	history []batchPoint
+
+	// Fingerprint captured at the end of training.
+	refSkew float64
+	sigma   float64 // residual std-dev, frozen at training
+	trained bool
+	batches int
+
+	cusumPos float64
+	cusumNeg float64
+}
+
+type batchPoint struct {
+	offInc float64
+	span   float64
+}
+
+// CIDSEvent is the verdict for one batch of messages from one source.
+type CIDSEvent struct {
+	SA       canbus.SourceAddress
+	Skew     float64 // current RLS skew estimate (fractional)
+	Alarm    bool
+	CUSUMPos float64
+	CUSUMNeg float64
+}
+
+// NewCIDS returns a detector with usable defaults.
+func NewCIDS() *CIDS {
+	return &CIDS{BatchSize: 20, Lambda: 0.9995, Kappa: 0.5, Threshold: 10}
+}
+
+// TrainArrivals fits per-source skew fingerprints from timestamped
+// legitimate traffic: (sa, arrival seconds) pairs in time order.
+func (c *CIDS) TrainArrivals(sas []canbus.SourceAddress, times []float64) error {
+	if len(sas) != len(times) {
+		return errors.New("baseline: CIDS arrival arrays differ in length")
+	}
+	if len(sas) == 0 {
+		return errors.New("baseline: CIDS needs training arrivals")
+	}
+	c.streams = make(map[canbus.SourceAddress]*cidsStream)
+	for i := range sas {
+		c.observe(sas[i], times[i], nil)
+	}
+	trained := 0
+	for _, st := range c.streams {
+		if st.batches < 4 {
+			continue
+		}
+		st.refSkew = st.skew
+		// Frozen residual statistics against the final fingerprint.
+		var sum, sumSq float64
+		for _, h := range st.history {
+			r := h.offInc - st.refSkew*h.span
+			sum += r
+			sumSq += r * r
+		}
+		n := float64(len(st.history))
+		mean := sum / n
+		st.sigma = math.Sqrt(sumSq/n - mean*mean)
+		if st.sigma < 1e-9 {
+			st.sigma = 1e-9
+		}
+		st.trained = true
+		trained++
+	}
+	if trained == 0 {
+		return fmt.Errorf("baseline: CIDS saw no source often enough to fingerprint (batch size %d)", c.BatchSize)
+	}
+	return nil
+}
+
+// Monitor feeds one live message and reports a batch verdict when a
+// batch completes (nil otherwise). Unknown sources return an immediate
+// alarm event.
+func (c *CIDS) Monitor(sa canbus.SourceAddress, at float64) (*CIDSEvent, error) {
+	if c.streams == nil {
+		return nil, errors.New("baseline: CIDS not trained")
+	}
+	if _, known := c.streams[sa]; !known {
+		return &CIDSEvent{SA: sa, Alarm: true}, nil
+	}
+	var ev *CIDSEvent
+	c.observe(sa, at, &ev)
+	return ev, nil
+}
+
+// snapPeriod rounds an observed average gap onto the 1/2/2.5/5 ×10^k
+// scheduling grid the receiver knows from the message catalogue
+// (periodic CAN traffic is scheduled at round intervals; the real CIDS
+// likewise assumes the nominal period is known).
+func snapPeriod(avg float64) float64 {
+	if avg <= 0 {
+		return avg
+	}
+	exp := math.Floor(math.Log10(avg))
+	base := math.Pow(10, exp)
+	best, bestDiff := avg, math.Inf(1)
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		cand := m * base
+		if d := math.Abs(cand - avg); d < bestDiff {
+			best, bestDiff = cand, d
+		}
+	}
+	return best
+}
+
+// observe updates the per-source stream; when monitoring (evOut
+// non-nil) it also drives the CUSUM.
+func (c *CIDS) observe(sa canbus.SourceAddress, at float64, evOut **CIDSEvent) {
+	st, ok := c.streams[sa]
+	if !ok {
+		st = &cidsStream{p: 1e6, lastArrival: at}
+		c.streams[sa] = st
+		return
+	}
+	gap := at - st.lastArrival
+	st.lastArrival = at
+	if gap <= 0 {
+		return
+	}
+	if st.period == 0 {
+		// Lock the nominal period from the first batch of gaps.
+		st.firstGaps = append(st.firstGaps, gap)
+		if len(st.firstGaps) < c.BatchSize {
+			return
+		}
+		var sum float64
+		for _, g := range st.firstGaps {
+			sum += g
+		}
+		st.period = snapPeriod(sum / float64(len(st.firstGaps)))
+		st.firstGaps = nil
+		return
+	}
+	st.batch = append(st.batch, gap)
+	if len(st.batch) < c.BatchSize {
+		return
+	}
+
+	// Batch complete: the average deviation from the nominal period is
+	// this batch's clock-offset increment.
+	var sum float64
+	for _, g := range st.batch {
+		sum += g
+	}
+	mean := sum / float64(len(st.batch))
+	span := sum
+	offInc := (mean - st.period) * float64(len(st.batch))
+	st.batch = st.batch[:0]
+	st.elapsed += span
+	st.accOff += offInc
+	st.batches++
+
+	// RLS update of accOff ≈ skew·elapsed.
+	x := st.elapsed
+	e := st.accOff - st.skew*x
+	den := c.Lambda + x*st.p*x
+	g := st.p * x / den
+	st.skew += g * e
+	st.p = (st.p - g*x*st.p) / c.Lambda
+
+	if !st.trained {
+		st.history = append(st.history, batchPoint{offInc: offInc, span: span})
+		if len(st.history) > 512 {
+			st.history = st.history[1:]
+		}
+		return
+	}
+	if evOut == nil {
+		return
+	}
+	// Identification error: deviation of the batch offset increment
+	// from what the fingerprinted skew predicts, normalised by the
+	// frozen training residual spread.
+	ident := offInc - st.refSkew*span
+	z := ident / st.sigma
+	st.cusumPos = math.Max(0, st.cusumPos+z-c.Kappa)
+	st.cusumNeg = math.Max(0, st.cusumNeg-z-c.Kappa)
+	alarm := st.cusumPos > c.Threshold || st.cusumNeg > c.Threshold
+	*evOut = &CIDSEvent{SA: sa, Skew: st.skew, Alarm: alarm, CUSUMPos: st.cusumPos, CUSUMNeg: st.cusumNeg}
+}
+
+// Skew returns the current skew estimate for a source (after training
+// this is its fingerprint).
+func (c *CIDS) Skew(sa canbus.SourceAddress) (float64, bool) {
+	st, ok := c.streams[sa]
+	if !ok {
+		return 0, false
+	}
+	return st.skew, st.trained
+}

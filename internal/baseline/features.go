@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/dsp"
+	"vprofile/internal/linalg"
+)
+
+// ErrNoStates is returned when a trace has too few dominant or
+// recessive stretches to featurise.
+var ErrNoStates = errors.New("baseline: trace has too few bus states")
+
+// stateRuns splits a trace into maximal runs at or above (dominant)
+// and below (recessive) the threshold. Runs shorter than minLen
+// samples (edge transition residue) are dropped.
+func stateRuns(tr analog.Trace, threshold float64, minLen int) (dom, rec [][]float64) {
+	i := 0
+	for i < len(tr) {
+		j := i
+		above := tr[i] >= threshold
+		for j < len(tr) && (tr[j] >= threshold) == above {
+			j++
+		}
+		if j-i >= minLen {
+			run := []float64(tr[i:j])
+			if above {
+				dom = append(dom, run)
+			} else {
+				rec = append(rec, run)
+			}
+		}
+		i = j
+	}
+	return dom, rec
+}
+
+// simpleFeatures computes SIMPLE's 16 features: every dominant and
+// every recessive state resampled to eight points, then averaged
+// sample-wise across states of each polarity.
+func simpleFeatures(tr analog.Trace, threshold float64, bitWidth int) (linalg.Vector, error) {
+	dom, rec := stateRuns(tr, threshold, bitWidth/2)
+	if len(dom) == 0 || len(rec) == 0 {
+		return nil, ErrNoStates
+	}
+	out := make(linalg.Vector, 16)
+	for _, runs := range []struct {
+		states [][]float64
+		offset int
+	}{{dom, 0}, {rec, 8}} {
+		for _, run := range runs.states {
+			pts, err := dsp.ResampleTo(run, 8)
+			if err != nil {
+				return nil, err
+			}
+			for k, v := range pts {
+				out[runs.offset+k] += v / float64(len(runs.states))
+			}
+		}
+	}
+	return out, nil
+}
+
+// sectionStats computes the Scission-style statistical features of one
+// waveform section: mean, standard deviation, peak-to-peak, energy and
+// skewness.
+func sectionStats(sec []float64) []float64 {
+	n := float64(len(sec))
+	if n == 0 {
+		return []float64{0, 0, 0, 0, 0}
+	}
+	var mean float64
+	for _, v := range sec {
+		mean += v
+	}
+	mean /= n
+	var m2, m3, mn, mx, energy float64
+	mn, mx = sec[0], sec[0]
+	for _, v := range sec {
+		d := v - mean
+		m2 += d * d
+		m3 += d * d * d
+		energy += v * v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	m2 /= n
+	m3 /= n
+	sd := math.Sqrt(m2)
+	skew := 0.0
+	if sd > 0 {
+		skew = m3 / (sd * sd * sd)
+	}
+	return []float64{mean, sd, mx - mn, energy / n, skew}
+}
+
+// scissionFeatures derives 15 features from an edge-set-like window:
+// five statistics for each of the rising edge, the dominant plateau,
+// and the falling edge. The window is located the same way vProfile's
+// extractor works, so the comparison isolates the classification
+// method.
+func scissionFeatures(tr analog.Trace, threshold float64, bitWidth int) (linalg.Vector, error) {
+	dom, _ := stateRuns(tr, threshold, bitWidth/2)
+	if len(dom) == 0 {
+		return nil, ErrNoStates
+	}
+	// Use the first dominant run after the initial SOF run when
+	// available, mirroring "first stable region" extraction.
+	run := dom[0]
+	if len(dom) > 1 {
+		run = dom[1]
+	}
+	third := len(run) / 3
+	if third == 0 {
+		third = 1
+	}
+	rising := run[:third]
+	plateau := run[third : len(run)-third]
+	if len(plateau) == 0 {
+		plateau = run
+	}
+	falling := run[len(run)-third:]
+	var out linalg.Vector
+	out = append(out, sectionStats(rising)...)
+	out = append(out, sectionStats(plateau)...)
+	out = append(out, sectionStats(falling)...)
+	return out, nil
+}

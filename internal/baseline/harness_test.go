@@ -1,0 +1,51 @@
+package baseline
+
+import (
+	"testing"
+
+	"vprofile/internal/core"
+	"vprofile/internal/vehicle"
+)
+
+func TestShootoutComparesMethods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shoot-out needs traffic")
+	}
+	v := vehicle.NewVehicleA()
+	cfg := v.ExtractionConfig()
+	classifiers := []Classifier{
+		&VProfile{Extraction: cfg, Metric: core.Mahalanobis, Margin: 8},
+		&SIMPLE{Threshold: cfg.BitThreshold, BitWidth: cfg.BitWidth},
+		&Scission{Threshold: cfg.BitThreshold, BitWidth: cfg.BitWidth, Seed: 9},
+		&Murvay{Threshold: cfg.BitThreshold, BitWidth: cfg.BitWidth, Mode: MurvayMSE},
+	}
+	rows, err := Shootout(v, classifiers, 1200, 1200, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(classifiers) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var vprofileF, murvayF float64
+	for _, r := range rows {
+		t.Logf("%-22s FP acc=%.5f hijack F=%.5f foreign recall=%.5f", r.Name, r.FP.Accuracy(), r.Hijack.FScore(), r.Foreign.Recall())
+		if r.FP.Total() != 1200 || r.Hijack.Total() != 1200 {
+			t.Fatalf("%s totals wrong: %d/%d", r.Name, r.FP.Total(), r.Hijack.Total())
+		}
+		switch r.Name {
+		case "vProfile-mahalanobis":
+			vprofileF = r.Hijack.FScore()
+		case "Murvay-MSE":
+			murvayF = r.Hijack.FScore()
+		}
+	}
+	// The paper's qualitative claim: vProfile beats the earliest
+	// fingerprinting method (Murvay & Groza's high misclassification
+	// rates) and is at least competitive overall.
+	if vprofileF < 0.99 {
+		t.Errorf("vProfile hijack F %.4f below 0.99", vprofileF)
+	}
+	if vprofileF < murvayF {
+		t.Errorf("vProfile (%.4f) does not beat Murvay (%.4f)", vprofileF, murvayF)
+	}
+}

@@ -1,0 +1,222 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+	"vprofile/internal/dsp"
+	"vprofile/internal/linalg"
+)
+
+// MurvayMode selects which of Murvay & Groza's matching statistics is
+// used for classification.
+type MurvayMode int
+
+// Matching statistics from the original paper.
+const (
+	MurvayMSE MurvayMode = iota
+	MurvayConvolution
+	MurvayMeanValue
+)
+
+// Murvay reimplements the earliest voltage fingerprinting comparator
+// (Section 1.2.1): a low-pass-filtered reference waveform per ECU,
+// matched by mean square error, by the normalised cross-correlation
+// ("convolution") peak, or by the mean value.
+type Murvay struct {
+	Threshold float64 // bus-state threshold in code units
+	BitWidth  int
+	Mode      MurvayMode
+	// FilterLen is the moving-average low-pass length (default 4).
+	FilterLen int
+	// FingerprintLen standardises reference lengths (default 64).
+	FingerprintLen int
+
+	saToECU      map[canbus.SourceAddress]int
+	fingerprints []linalg.Vector
+	meanValues   []float64
+	accept       []float64 // per-ECU acceptance bound on the statistic
+}
+
+// Name implements Classifier.
+func (m *Murvay) Name() string {
+	switch m.Mode {
+	case MurvayConvolution:
+		return "Murvay-Conv"
+	case MurvayMeanValue:
+		return "Murvay-Mean"
+	default:
+		return "Murvay-MSE"
+	}
+}
+
+// fingerprintOf extracts the filtered, length-normalised waveform of
+// the first dominant stretch after SOF.
+func (m *Murvay) fingerprintOf(tr analog.Trace) (linalg.Vector, float64, error) {
+	fl := m.FilterLen
+	if fl <= 0 {
+		fl = 4
+	}
+	fpLen := m.FingerprintLen
+	if fpLen <= 0 {
+		fpLen = 64
+	}
+	filtered, err := dsp.MovingAverage(tr, fl)
+	if err != nil {
+		return nil, 0, err
+	}
+	dom, _ := stateRuns(filtered, m.Threshold, m.BitWidth/2)
+	if len(dom) == 0 {
+		return nil, 0, ErrNoStates
+	}
+	run := dom[0]
+	fp, err := dsp.ResampleTo(run, fpLen)
+	if err != nil {
+		return nil, 0, err
+	}
+	var mean float64
+	for _, v := range run {
+		mean += v
+	}
+	mean /= float64(len(run))
+	return fp, mean, nil
+}
+
+// Train implements Classifier.
+func (m *Murvay) Train(samples []TraceSample, saMap map[canbus.SourceAddress]int) error {
+	nClass := 0
+	for _, c := range saMap {
+		if c+1 > nClass {
+			nClass = c + 1
+		}
+	}
+	if nClass < 2 {
+		return errors.New("baseline: Murvay needs at least two ECUs")
+	}
+	sums := make([]linalg.Vector, nClass)
+	meanSums := make([]float64, nClass)
+	counts := make([]int, nClass)
+	var perSample []struct {
+		class int
+		fp    linalg.Vector
+		mean  float64
+	}
+	for _, smp := range samples {
+		c, okSA := saMap[smp.SA]
+		if !okSA {
+			continue
+		}
+		fp, mv, err := m.fingerprintOf(smp.Trace)
+		if err != nil {
+			return err
+		}
+		if sums[c] == nil {
+			sums[c] = make(linalg.Vector, len(fp))
+		}
+		for j, v := range fp {
+			sums[c][j] += v
+		}
+		meanSums[c] += mv
+		counts[c]++
+		perSample = append(perSample, struct {
+			class int
+			fp    linalg.Vector
+			mean  float64
+		}{c, fp, mv})
+	}
+	m.saToECU = saMap
+	m.fingerprints = make([]linalg.Vector, nClass)
+	m.meanValues = make([]float64, nClass)
+	for c := 0; c < nClass; c++ {
+		if counts[c] == 0 {
+			return errors.New("baseline: Murvay class without samples")
+		}
+		m.fingerprints[c] = sums[c].Scale(1 / float64(counts[c]))
+		m.meanValues[c] = meanSums[c] / float64(counts[c])
+	}
+	// Acceptance bound per class: the worst genuine training statistic
+	// (largest MSE / mean deviation, smallest correlation).
+	m.accept = make([]float64, nClass)
+	for c := range m.accept {
+		if m.Mode == MurvayConvolution {
+			m.accept[c] = math.Inf(1)
+		}
+	}
+	for _, ps := range perSample {
+		stat, err := m.statistic(ps.fp, ps.mean, ps.class)
+		if err != nil {
+			return err
+		}
+		switch m.Mode {
+		case MurvayConvolution:
+			if stat < m.accept[ps.class] {
+				m.accept[ps.class] = stat
+			}
+		default:
+			if stat > m.accept[ps.class] {
+				m.accept[ps.class] = stat
+			}
+		}
+	}
+	return nil
+}
+
+// statistic evaluates the matching statistic of a fingerprint against
+// one class reference. Lower is better for MSE and mean value; higher
+// is better for correlation.
+func (m *Murvay) statistic(fp linalg.Vector, meanVal float64, class int) (float64, error) {
+	switch m.Mode {
+	case MurvayConvolution:
+		return dsp.CrossCorrelationPeak(m.fingerprints[class], fp)
+	case MurvayMeanValue:
+		return math.Abs(meanVal - m.meanValues[class]), nil
+	default:
+		return dsp.MSE(fp, m.fingerprints[class])
+	}
+}
+
+// Verify implements Classifier.
+func (m *Murvay) Verify(tr analog.Trace, claimed canbus.SourceAddress) (bool, int, error) {
+	if m.fingerprints == nil {
+		return false, -1, errors.New("baseline: Murvay not trained")
+	}
+	c, okSA := m.saToECU[claimed]
+	if !okSA {
+		return false, -1, nil
+	}
+	fp, mv, err := m.fingerprintOf(tr)
+	if err != nil {
+		return false, -1, err
+	}
+	best := -1
+	bestStat := math.Inf(1)
+	if m.Mode == MurvayConvolution {
+		bestStat = math.Inf(-1)
+	}
+	for k := range m.fingerprints {
+		stat, err := m.statistic(fp, mv, k)
+		if err != nil {
+			return false, -1, err
+		}
+		better := stat < bestStat
+		if m.Mode == MurvayConvolution {
+			better = stat > bestStat
+		}
+		if better {
+			best, bestStat = k, stat
+		}
+	}
+	claimStat, err := m.statistic(fp, mv, c)
+	if err != nil {
+		return false, -1, err
+	}
+	var within bool
+	if m.Mode == MurvayConvolution {
+		within = claimStat >= m.accept[c]
+	} else {
+		within = claimStat <= m.accept[c]
+	}
+	return best == c && within, best, nil
+}

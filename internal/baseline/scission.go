@@ -1,0 +1,187 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+	"vprofile/internal/linalg"
+)
+
+// Scission reimplements the classification approach of Kneib & Huth's
+// Scission (Section 1.2.1): statistical features per waveform section
+// fed to a (multinomial) logistic regression classifier. A message is
+// accepted when the predicted class matches the claimed sender and the
+// winning probability clears a confidence threshold.
+type Scission struct {
+	Threshold float64 // bus-state threshold in code units
+	BitWidth  int
+	// Confidence is the minimum winning class probability to accept a
+	// message (default 0.5).
+	Confidence float64
+	// Epochs and LearningRate drive the gradient training
+	// (defaults 60 and 0.1).
+	Epochs       int
+	LearningRate float64
+	Seed         int64
+
+	saToECU map[canbus.SourceAddress]int
+	weights *linalg.Matrix // nClass × (nFeat+1), last column is bias
+	featMu  linalg.Vector  // feature standardisation
+	featSd  linalg.Vector
+}
+
+// Name implements Classifier.
+func (s *Scission) Name() string { return "Scission-LR" }
+
+// Train implements Classifier.
+func (s *Scission) Train(samples []TraceSample, saMap map[canbus.SourceAddress]int) error {
+	if s.Confidence <= 0 {
+		s.Confidence = 0.5
+	}
+	if s.Epochs <= 0 {
+		s.Epochs = 60
+	}
+	if s.LearningRate <= 0 {
+		s.LearningRate = 0.1
+	}
+	nClass := 0
+	for _, c := range saMap {
+		if c+1 > nClass {
+			nClass = c + 1
+		}
+	}
+	if nClass < 2 {
+		return errors.New("baseline: Scission needs at least two ECUs")
+	}
+	var feats []linalg.Vector
+	var classes []int
+	for _, smp := range samples {
+		c, okSA := saMap[smp.SA]
+		if !okSA {
+			continue
+		}
+		f, err := scissionFeatures(smp.Trace, s.Threshold, s.BitWidth)
+		if err != nil {
+			return err
+		}
+		feats = append(feats, f)
+		classes = append(classes, c)
+	}
+	if len(feats) == 0 {
+		return errors.New("baseline: no mapped training samples")
+	}
+	s.saToECU = saMap
+	s.standardise(feats)
+	nFeat := len(feats[0])
+	s.weights = linalg.NewMatrix(nClass, nFeat+1)
+
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	order := rng.Perm(len(feats))
+	for epoch := 0; epoch < s.Epochs; epoch++ {
+		lr := s.LearningRate / (1 + 0.05*float64(epoch))
+		for _, idx := range order {
+			x := feats[idx]
+			probs := s.softmax(x)
+			for c := 0; c < nClass; c++ {
+				grad := probs[c]
+				if c == classes[idx] {
+					grad -= 1
+				}
+				row := s.weights.Data[c*(nFeat+1):]
+				for j, xv := range x {
+					row[j] -= lr * grad * xv
+				}
+				row[nFeat] -= lr * grad // bias
+			}
+		}
+	}
+	return nil
+}
+
+// standardise fits per-feature mean/stddev and applies them in place.
+func (s *Scission) standardise(feats []linalg.Vector) {
+	dim := len(feats[0])
+	s.featMu = make(linalg.Vector, dim)
+	s.featSd = make(linalg.Vector, dim)
+	for j := 0; j < dim; j++ {
+		var mu float64
+		for _, f := range feats {
+			mu += f[j]
+		}
+		mu /= float64(len(feats))
+		var v float64
+		for _, f := range feats {
+			d := f[j] - mu
+			v += d * d
+		}
+		sd := math.Sqrt(v / float64(len(feats)))
+		if sd == 0 {
+			sd = 1
+		}
+		s.featMu[j], s.featSd[j] = mu, sd
+	}
+	for _, f := range feats {
+		for j := range f {
+			f[j] = (f[j] - s.featMu[j]) / s.featSd[j]
+		}
+	}
+}
+
+// softmax evaluates the class probabilities of a standardised feature
+// vector.
+func (s *Scission) softmax(x linalg.Vector) []float64 {
+	nClass := s.weights.Rows
+	nFeat := len(x)
+	logits := make([]float64, nClass)
+	mx := math.Inf(-1)
+	for c := 0; c < nClass; c++ {
+		row := s.weights.Data[c*(nFeat+1):]
+		var z float64
+		for j, xv := range x {
+			z += row[j] * xv
+		}
+		z += row[nFeat]
+		logits[c] = z
+		if z > mx {
+			mx = z
+		}
+	}
+	var sum float64
+	for c := range logits {
+		logits[c] = math.Exp(logits[c] - mx)
+		sum += logits[c]
+	}
+	for c := range logits {
+		logits[c] /= sum
+	}
+	return logits
+}
+
+// Verify implements Classifier.
+func (s *Scission) Verify(tr analog.Trace, claimed canbus.SourceAddress) (bool, int, error) {
+	if s.weights == nil {
+		return false, -1, errors.New("baseline: Scission not trained")
+	}
+	c, okSA := s.saToECU[claimed]
+	if !okSA {
+		return false, -1, nil
+	}
+	f, err := scissionFeatures(tr, s.Threshold, s.BitWidth)
+	if err != nil {
+		return false, -1, err
+	}
+	for j := range f {
+		f[j] = (f[j] - s.featMu[j]) / s.featSd[j]
+	}
+	probs := s.softmax(f)
+	best, bestP := -1, 0.0
+	for k, p := range probs {
+		if p > bestP {
+			best, bestP = k, p
+		}
+	}
+	return best == c && bestP >= s.Confidence, best, nil
+}

@@ -1,0 +1,292 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+	"vprofile/internal/linalg"
+)
+
+// SIMPLE reimplements the Foruhandeh et al. comparator (Section 1.2.1):
+// 16 sample-wise state-average features, Fisher discriminant analysis
+// for dimensionality reduction, and per-ECU Mahalanobis distance
+// thresholds located by binary search for the equal error rate.
+type SIMPLE struct {
+	Threshold float64 // bus-state threshold in code units
+	BitWidth  int
+	// Components caps the Fisher projection dimensionality
+	// (default: number of classes − 1).
+	Components int
+
+	proj       *linalg.Matrix // FDA projection, components × 16
+	saToECU    map[canbus.SourceAddress]int
+	means      []linalg.Vector // per-ECU template in projected space
+	invCov     *linalg.Matrix  // pooled within-class covariance inverse
+	thresholds []float64       // per-ECU EER thresholds
+}
+
+// Name implements Classifier.
+func (s *SIMPLE) Name() string { return "SIMPLE" }
+
+// Train implements Classifier.
+func (s *SIMPLE) Train(samples []TraceSample, saMap map[canbus.SourceAddress]int) error {
+	feats, classes, nClass, err := s.featurise(samples, saMap)
+	if err != nil {
+		return err
+	}
+	s.saToECU = saMap
+	comps := s.Components
+	if comps <= 0 || comps > nClass-1 {
+		comps = nClass - 1
+	}
+	if comps < 1 {
+		comps = 1
+	}
+	proj, err := fisherProjection(feats, classes, nClass, comps)
+	if err != nil {
+		return err
+	}
+	s.proj = proj
+
+	// Project, then build per-ECU templates and the pooled
+	// within-class covariance.
+	projected := make([]linalg.Vector, len(feats))
+	for i, f := range feats {
+		projected[i] = proj.MulVec(f)
+	}
+	byClass := make([][]linalg.Vector, nClass)
+	for i, c := range classes {
+		byClass[c] = append(byClass[c], projected[i])
+	}
+	s.means = make([]linalg.Vector, nClass)
+	pooled := linalg.NewMatrix(comps, comps)
+	total := 0
+	for c, group := range byClass {
+		if len(group) == 0 {
+			return fmt.Errorf("baseline: SIMPLE class %d has no samples", c)
+		}
+		s.means[c] = linalg.Mean(group)
+		cov := linalg.Covariance(group)
+		for i := range pooled.Data {
+			pooled.Data[i] += cov.Data[i] * float64(len(group))
+		}
+		total += len(group)
+	}
+	pooled.ScaleInPlace(1 / float64(total))
+	inv, err := pooled.AddScaledIdentity(1e-9 * math.Max(pooled.SymmetricMaxAbs(), 1)).Inverse()
+	if err != nil {
+		return fmt.Errorf("baseline: SIMPLE pooled covariance: %w", err)
+	}
+	s.invCov = inv
+
+	// Per-ECU threshold by binary search for the equal error rate:
+	// genuine distances (class c) versus impostor distances (all other
+	// classes measured against c's template).
+	s.thresholds = make([]float64, nClass)
+	for c := range byClass {
+		var genuine, impostor []float64
+		for i, p := range projected {
+			d := linalg.Mahalanobis(p, s.means[c], s.invCov)
+			if classes[i] == c {
+				genuine = append(genuine, d)
+			} else {
+				impostor = append(impostor, d)
+			}
+		}
+		s.thresholds[c] = eerThreshold(genuine, impostor)
+	}
+	return nil
+}
+
+// featurise extracts SIMPLE features for every sample with a mapped SA.
+func (s *SIMPLE) featurise(samples []TraceSample, saMap map[canbus.SourceAddress]int) ([]linalg.Vector, []int, int, error) {
+	if len(samples) == 0 {
+		return nil, nil, 0, errors.New("baseline: no training samples")
+	}
+	nClass := 0
+	for _, c := range saMap {
+		if c+1 > nClass {
+			nClass = c + 1
+		}
+	}
+	if nClass < 2 {
+		return nil, nil, 0, errors.New("baseline: SIMPLE needs at least two ECUs")
+	}
+	var feats []linalg.Vector
+	var classes []int
+	for _, smp := range samples {
+		c, okSA := saMap[smp.SA]
+		if !okSA {
+			continue
+		}
+		f, err := simpleFeatures(smp.Trace, s.Threshold, s.BitWidth)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		feats = append(feats, f)
+		classes = append(classes, c)
+	}
+	if len(feats) == 0 {
+		return nil, nil, 0, errors.New("baseline: no mapped training samples")
+	}
+	return feats, classes, nClass, nil
+}
+
+// Verify implements Classifier.
+func (s *SIMPLE) Verify(tr analog.Trace, claimed canbus.SourceAddress) (bool, int, error) {
+	if s.proj == nil {
+		return false, -1, errors.New("baseline: SIMPLE not trained")
+	}
+	c, okSA := s.saToECU[claimed]
+	if !okSA {
+		return false, -1, nil
+	}
+	f, err := simpleFeatures(tr, s.Threshold, s.BitWidth)
+	if err != nil {
+		return false, -1, err
+	}
+	p := s.proj.MulVec(f)
+	best, bestDist := -1, math.Inf(1)
+	for k, mean := range s.means {
+		if d := linalg.Mahalanobis(p, mean, s.invCov); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	d := linalg.Mahalanobis(p, s.means[c], s.invCov)
+	return d <= s.thresholds[c], best, nil
+}
+
+// eerThreshold binary-searches the threshold where the false reject
+// rate of genuine distances equals the false accept rate of impostor
+// distances.
+func eerThreshold(genuine, impostor []float64) float64 {
+	if len(genuine) == 0 {
+		return 0
+	}
+	if len(impostor) == 0 {
+		return maxOf(genuine)
+	}
+	lo, hi := 0.0, math.Max(maxOf(genuine), maxOf(impostor))
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		frr := rateAbove(genuine, mid)    // genuine rejected
+		far := rateBelowEq(impostor, mid) // impostors accepted
+		if frr > far {
+			lo = mid // raise threshold to reject fewer genuine
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func rateAbove(xs []float64, t float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x > t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+func rateBelowEq(xs []float64, t float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x <= t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// fisherProjection computes a multi-class Fisher discriminant
+// projection: the top eigenvectors of Sw⁻¹·Sb found by power iteration
+// with deflation.
+func fisherProjection(feats []linalg.Vector, classes []int, nClass, comps int) (*linalg.Matrix, error) {
+	dim := len(feats[0])
+	grand := linalg.Mean(feats)
+	byClass := make([][]linalg.Vector, nClass)
+	for i, c := range classes {
+		byClass[c] = append(byClass[c], feats[i])
+	}
+	sw := linalg.NewMatrix(dim, dim)
+	sb := linalg.NewMatrix(dim, dim)
+	for _, group := range byClass {
+		if len(group) == 0 {
+			continue
+		}
+		mean := linalg.Mean(group)
+		cov := linalg.Covariance(group)
+		for i := range sw.Data {
+			sw.Data[i] += cov.Data[i] * float64(len(group))
+		}
+		d := mean.Sub(grand)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				sb.Data[i*dim+j] += float64(len(group)) * d[i] * d[j]
+			}
+		}
+	}
+	swInv, err := sw.AddScaledIdentity(1e-9 * math.Max(sw.SymmetricMaxAbs(), 1)).Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: within-class scatter: %w", err)
+	}
+	m := swInv.Mul(sb)
+
+	proj := linalg.NewMatrix(comps, dim)
+	deflated := m.Clone()
+	for k := 0; k < comps; k++ {
+		vec, val := powerIteration(deflated, 300)
+		if val <= 0 {
+			// Remaining directions carry no between-class scatter.
+			for j := 0; j < dim; j++ {
+				proj.Set(k, j, 0)
+			}
+			continue
+		}
+		for j := 0; j < dim; j++ {
+			proj.Set(k, j, vec[j])
+		}
+		// Deflate: M ← M − λ·v·vᵀ (v normalised).
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				deflated.Data[i*dim+j] -= val * vec[i] * vec[j]
+			}
+		}
+	}
+	return proj, nil
+}
+
+// powerIteration finds the dominant eigenpair of m.
+func powerIteration(m *linalg.Matrix, iters int) (linalg.Vector, float64) {
+	dim := m.Rows
+	v := make(linalg.Vector, dim)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(dim))
+	}
+	var val float64
+	for it := 0; it < iters; it++ {
+		next := m.MulVec(v)
+		norm := next.Norm()
+		if norm == 0 || math.IsNaN(norm) || math.IsInf(norm, 0) {
+			return v, 0
+		}
+		v = next.Scale(1 / norm)
+		val = norm
+	}
+	return v, val
+}

@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+)
+
+// Viden reimplements the attacker-identification scheme of Cho & Shin
+// (Section 1.2.1): from each message's non-ACK voltage samples it
+// derives *tracking points* — high percentiles of the dominant-state
+// voltages — and maintains per-sender voltage profiles from their
+// cumulative averages. Classification attributes a message to the
+// profile whose tracking points sit closest.
+//
+// As the paper notes, Viden is an attacker *identifier* layered on an
+// existing IDS rather than a detector; Verify therefore accepts a
+// message when the nearest profile belongs to the claimed sender and
+// its tracking points sit within the profile's trained spread.
+type Viden struct {
+	Threshold float64 // bus-state threshold in code units
+	BitWidth  int
+	// Percentiles are the tracking-point quantiles of the dominant
+	// voltage distribution (defaults 0.75 and 0.9, Viden's "most
+	// frequently measured" upper range).
+	Percentiles []float64
+	// SpreadK scales the acceptance bound: a message is consistent
+	// with a profile when each tracking point is within SpreadK
+	// trained standard deviations (default 6).
+	SpreadK float64
+
+	saToECU  map[canbus.SourceAddress]int
+	profiles [][]float64 // per ECU: mean tracking points
+	spreads  [][]float64 // per ECU: tracking-point standard deviations
+}
+
+// Name implements Classifier.
+func (v *Viden) Name() string { return "Viden" }
+
+// trackingPoints measures the message's dominant-state voltage
+// quantiles, excluding the trailing part of the trace where the ACK
+// slot (driven by a different ECU) would contaminate the profile —
+// Viden's "non-ACK voltage samples".
+func (v *Viden) trackingPoints(tr analog.Trace) ([]float64, error) {
+	ps := v.Percentiles
+	if len(ps) == 0 {
+		ps = []float64{0.75, 0.9}
+	}
+	// First half of the trace only: same ACK-avoidance the paper's
+	// Section 5.1 uses.
+	half := tr[:len(tr)/2]
+	var dom []float64
+	for _, s := range half {
+		if s >= v.Threshold {
+			dom = append(dom, s)
+		}
+	}
+	if len(dom) < 8 {
+		return nil, ErrNoStates
+	}
+	sort.Float64s(dom)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		idx := int(p * float64(len(dom)-1))
+		out[i] = dom[idx]
+	}
+	return out, nil
+}
+
+// Train implements Classifier.
+func (v *Viden) Train(samples []TraceSample, saMap map[canbus.SourceAddress]int) error {
+	nClass := 0
+	for _, c := range saMap {
+		if c+1 > nClass {
+			nClass = c + 1
+		}
+	}
+	if nClass < 2 {
+		return errors.New("baseline: Viden needs at least two ECUs")
+	}
+	if v.SpreadK <= 0 {
+		v.SpreadK = 6
+	}
+	nPts := len(v.Percentiles)
+	if nPts == 0 {
+		nPts = 2
+	}
+	sums := make([][]float64, nClass)
+	sqs := make([][]float64, nClass)
+	counts := make([]int, nClass)
+	for i := range sums {
+		sums[i] = make([]float64, nPts)
+		sqs[i] = make([]float64, nPts)
+	}
+	for _, smp := range samples {
+		c, okSA := saMap[smp.SA]
+		if !okSA {
+			continue
+		}
+		pts, err := v.trackingPoints(smp.Trace)
+		if err != nil {
+			return err
+		}
+		for j, p := range pts {
+			sums[c][j] += p
+			sqs[c][j] += p * p
+		}
+		counts[c]++
+	}
+	v.saToECU = saMap
+	v.profiles = make([][]float64, nClass)
+	v.spreads = make([][]float64, nClass)
+	for c := 0; c < nClass; c++ {
+		if counts[c] < 2 {
+			return errors.New("baseline: Viden class without enough samples")
+		}
+		n := float64(counts[c])
+		v.profiles[c] = make([]float64, nPts)
+		v.spreads[c] = make([]float64, nPts)
+		for j := 0; j < nPts; j++ {
+			mean := sums[c][j] / n
+			variance := sqs[c][j]/n - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			sd := math.Sqrt(variance)
+			if sd < 1e-6 {
+				sd = 1e-6
+			}
+			v.profiles[c][j] = mean
+			v.spreads[c][j] = sd
+		}
+	}
+	return nil
+}
+
+// Verify implements Classifier.
+func (v *Viden) Verify(tr analog.Trace, claimed canbus.SourceAddress) (bool, int, error) {
+	if v.profiles == nil {
+		return false, -1, errors.New("baseline: Viden not trained")
+	}
+	c, okSA := v.saToECU[claimed]
+	if !okSA {
+		return false, -1, nil
+	}
+	pts, err := v.trackingPoints(tr)
+	if err != nil {
+		return false, -1, err
+	}
+	best, bestDist := -1, math.Inf(1)
+	for k := range v.profiles {
+		var d float64
+		for j, p := range pts {
+			dz := (p - v.profiles[k][j]) / v.spreads[k][j]
+			d += dz * dz
+		}
+		if d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	// Consistency with the claimed profile.
+	within := true
+	for j, p := range pts {
+		if math.Abs(p-v.profiles[c][j]) > v.SpreadK*v.spreads[c][j] {
+			within = false
+			break
+		}
+	}
+	return best == c && within, best, nil
+}

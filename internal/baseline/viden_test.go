@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"testing"
+
+	"vprofile/internal/canbus"
+)
+
+func TestVidenClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier suites need traffic")
+	}
+	th, bw := vehicleAConfig()
+	classifierSuite(t, &Viden{Threshold: th, BitWidth: bw})
+}
+
+func TestVoltageIDSClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier suites need traffic")
+	}
+	th, bw := vehicleAConfig()
+	classifierSuite(t, &VoltageIDS{Threshold: th, BitWidth: bw, Seed: 3})
+}
+
+func TestVidenTrackingPointsShape(t *testing.T) {
+	th, bw := vehicleAConfig()
+	v := &Viden{Threshold: th, BitWidth: bw}
+	samples := collectA(t, 3, 51)
+	pts, err := v.trackingPoints(samples[0].Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d tracking points", len(pts))
+	}
+	// Both quantiles live in the dominant-voltage region and are
+	// ordered.
+	if pts[0] < th || pts[1] < pts[0] {
+		t.Fatalf("tracking points %v (threshold %v)", pts, th)
+	}
+	// An idle trace has no tracking points.
+	if _, err := v.trackingPoints(make([]float64, 500)); err == nil {
+		t.Fatal("idle trace produced tracking points")
+	}
+}
+
+func TestNewBaselinesRejectDegenerateTraining(t *testing.T) {
+	th, bw := vehicleAConfig()
+	single := map[canbus.SourceAddress]int{0: 0}
+	for _, c := range []Classifier{
+		&Viden{Threshold: th, BitWidth: bw},
+		&VoltageIDS{Threshold: th, BitWidth: bw},
+	} {
+		if err := c.Train(nil, single); err == nil {
+			t.Errorf("%s accepted a single-class problem", c.Name())
+		}
+		if _, _, err := c.Verify(make([]float64, 10), 0); err == nil {
+			t.Errorf("%s allowed Verify before Train", c.Name())
+		}
+	}
+}
+
+func TestChoiClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier suites need traffic")
+	}
+	th, bw := vehicleAConfig()
+	classifierSuite(t, &Choi{Threshold: th, BitWidth: bw})
+}
+
+func TestChoiFeaturesShape(t *testing.T) {
+	th, bw := vehicleAConfig()
+	c := &Choi{Threshold: th, BitWidth: bw}
+	samples := collectA(t, 3, 52)
+	f, err := c.features(samples[0].Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 17 {
+		t.Fatalf("%d features, want 17 (8 time + 9 frequency)", len(f))
+	}
+	if _, err := c.features(make([]float64, 200)); err == nil {
+		t.Fatal("flat trace featurised")
+	}
+}
+
+func TestChoiRejectsDegenerate(t *testing.T) {
+	th, bw := vehicleAConfig()
+	c := &Choi{Threshold: th, BitWidth: bw}
+	if err := c.Train(nil, map[canbus.SourceAddress]int{0: 0}); err == nil {
+		t.Fatal("single-class accepted")
+	}
+	if _, _, err := c.Verify(make([]float64, 10), 0); err == nil {
+		t.Fatal("verify before train accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+	"vprofile/internal/linalg"
+)
+
+// VoltageIDS reimplements the Choi, Joo, Jo, Park & Lee method of
+// Section 1.2.1: per-message features computed over the dominant-bit
+// steady states and the rising and falling edges (up to 20 statistics
+// per section, 60 total in the original; a dozen here), classified by
+// linear support vector machines — the variant the authors found to
+// outperform bagged decision trees — trained one-versus-rest with
+// stochastic subgradient descent on the hinge loss.
+type VoltageIDS struct {
+	Threshold float64
+	BitWidth  int
+	// Epochs, LearningRate and C drive the SVM training (defaults 40,
+	// 0.05 and 1).
+	Epochs       int
+	LearningRate float64
+	C            float64
+	Seed         int64
+	// Margin is the minimum winning score gap over the runner-up for
+	// acceptance (default 0).
+	Margin float64
+
+	saToECU map[canbus.SourceAddress]int
+	weights *linalg.Matrix // nClass × (nFeat+1)
+	featMu  linalg.Vector
+	featSd  linalg.Vector
+}
+
+// Name implements Classifier.
+func (v *VoltageIDS) Name() string { return "VoltageIDS-SVM" }
+
+// features extracts the three-section statistics: steady state, rising
+// edge, falling edge — mean, stddev, peak-to-peak and energy per
+// section plus rise/fall sample counts.
+func (v *VoltageIDS) features(tr analog.Trace) (linalg.Vector, error) {
+	dom, _ := stateRuns(tr, v.Threshold, v.BitWidth/2)
+	if len(dom) == 0 {
+		return nil, ErrNoStates
+	}
+	run := dom[0]
+	if len(dom) > 1 {
+		run = dom[1]
+	}
+	edge := v.BitWidth / 8
+	if edge < 2 {
+		edge = 2
+	}
+	if len(run) < 3*edge {
+		edge = len(run) / 3
+		if edge < 1 {
+			edge = 1
+		}
+	}
+	rising := run[:edge]
+	steady := run[edge : len(run)-edge]
+	if len(steady) == 0 {
+		steady = run
+	}
+	falling := run[len(run)-edge:]
+	var out linalg.Vector
+	for _, sec := range [][]float64{steady, rising, falling} {
+		st := sectionStats(sec)
+		out = append(out, st[0], st[1], st[2], st[3])
+	}
+	return out, nil
+}
+
+// Train implements Classifier.
+func (v *VoltageIDS) Train(samples []TraceSample, saMap map[canbus.SourceAddress]int) error {
+	if v.Epochs <= 0 {
+		v.Epochs = 40
+	}
+	if v.LearningRate <= 0 {
+		v.LearningRate = 0.05
+	}
+	if v.C <= 0 {
+		v.C = 1
+	}
+	nClass := 0
+	for _, c := range saMap {
+		if c+1 > nClass {
+			nClass = c + 1
+		}
+	}
+	if nClass < 2 {
+		return errors.New("baseline: VoltageIDS needs at least two ECUs")
+	}
+	var feats []linalg.Vector
+	var classes []int
+	for _, smp := range samples {
+		c, okSA := saMap[smp.SA]
+		if !okSA {
+			continue
+		}
+		f, err := v.features(smp.Trace)
+		if err != nil {
+			return err
+		}
+		feats = append(feats, f)
+		classes = append(classes, c)
+	}
+	if len(feats) == 0 {
+		return errors.New("baseline: no mapped training samples")
+	}
+	v.saToECU = saMap
+	v.standardise(feats)
+	nFeat := len(feats[0])
+	v.weights = linalg.NewMatrix(nClass, nFeat+1)
+
+	rng := rand.New(rand.NewSource(v.Seed + 7))
+	order := rng.Perm(len(feats))
+	lambda := 1 / (v.C * float64(len(feats)))
+	for epoch := 0; epoch < v.Epochs; epoch++ {
+		lr := v.LearningRate / (1 + 0.1*float64(epoch))
+		for _, idx := range order {
+			x := feats[idx]
+			for c := 0; c < nClass; c++ {
+				y := -1.0
+				if c == classes[idx] {
+					y = 1
+				}
+				row := v.weights.Data[c*(nFeat+1):]
+				var score float64
+				for j, xv := range x {
+					score += row[j] * xv
+				}
+				score += row[nFeat]
+				// Pegasos-style subgradient: regularise always, add the
+				// data term only inside the margin.
+				for j := 0; j <= nFeat; j++ {
+					if j < nFeat {
+						row[j] -= lr * lambda * row[j]
+					}
+				}
+				if y*score < 1 {
+					for j, xv := range x {
+						row[j] += lr * y * xv
+					}
+					row[nFeat] += lr * y
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (v *VoltageIDS) standardise(feats []linalg.Vector) {
+	dim := len(feats[0])
+	v.featMu = make(linalg.Vector, dim)
+	v.featSd = make(linalg.Vector, dim)
+	n := float64(len(feats))
+	for j := 0; j < dim; j++ {
+		var mu float64
+		for _, f := range feats {
+			mu += f[j]
+		}
+		mu /= n
+		var s float64
+		for _, f := range feats {
+			d := f[j] - mu
+			s += d * d
+		}
+		sd := math.Sqrt(s / n)
+		if sd == 0 {
+			sd = 1
+		}
+		v.featMu[j], v.featSd[j] = mu, sd
+	}
+	for _, f := range feats {
+		for j := range f {
+			f[j] = (f[j] - v.featMu[j]) / v.featSd[j]
+		}
+	}
+}
+
+// Verify implements Classifier.
+func (v *VoltageIDS) Verify(tr analog.Trace, claimed canbus.SourceAddress) (bool, int, error) {
+	if v.weights == nil {
+		return false, -1, errors.New("baseline: VoltageIDS not trained")
+	}
+	c, okSA := v.saToECU[claimed]
+	if !okSA {
+		return false, -1, nil
+	}
+	f, err := v.features(tr)
+	if err != nil {
+		return false, -1, err
+	}
+	for j := range f {
+		f[j] = (f[j] - v.featMu[j]) / v.featSd[j]
+	}
+	nFeat := len(f)
+	best, second := -1, -1
+	bestScore, secondScore := math.Inf(-1), math.Inf(-1)
+	for k := 0; k < v.weights.Rows; k++ {
+		row := v.weights.Data[k*(nFeat+1):]
+		var score float64
+		for j, xv := range f {
+			score += row[j] * xv
+		}
+		score += row[nFeat]
+		if score > bestScore {
+			second, secondScore = best, bestScore
+			best, bestScore = k, score
+		} else if score > secondScore {
+			second, secondScore = k, score
+		}
+	}
+	_ = second
+	ok := best == c && bestScore-secondScore >= v.Margin
+	return ok, best, nil
+}

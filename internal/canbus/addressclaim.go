@@ -1,0 +1,105 @@
+package canbus
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PGNAddressClaimed is the parameter group a node broadcasts to claim
+// a source address (J1939-81). The 8-byte payload is the node's NAME.
+const PGNAddressClaimed PGN = 0xEE00
+
+// NAME is the 64-bit J1939 device identity used to resolve source
+// address contention: the numerically lower NAME keeps a contested
+// address. Field widths follow J1939-81.
+type NAME struct {
+	ArbitraryAddressCapable bool   // 1 bit
+	IndustryGroup           uint8  // 3 bits
+	VehicleSystemInstance   uint8  // 4 bits
+	VehicleSystem           uint8  // 7 bits
+	Function                uint8  // 8 bits
+	FunctionInstance        uint8  // 5 bits
+	ECUInstance             uint8  // 3 bits
+	ManufacturerCode        uint16 // 11 bits
+	IdentityNumber          uint32 // 21 bits
+}
+
+// Encode packs the NAME into its 64-bit wire representation.
+func (n NAME) Encode() (uint64, error) {
+	if n.IndustryGroup > 7 || n.VehicleSystemInstance > 15 || n.VehicleSystem > 127 ||
+		n.FunctionInstance > 31 || n.ECUInstance > 7 ||
+		n.ManufacturerCode > 2047 || n.IdentityNumber > 1<<21-1 {
+		return 0, fmt.Errorf("canbus: NAME field overflow: %+v", n)
+	}
+	var v uint64
+	if n.ArbitraryAddressCapable {
+		v |= 1 << 63
+	}
+	v |= uint64(n.IndustryGroup) << 60
+	v |= uint64(n.VehicleSystemInstance) << 56
+	v |= uint64(n.VehicleSystem) << 49 // bit 48 reserved, kept zero
+	v |= uint64(n.Function) << 40
+	v |= uint64(n.FunctionInstance) << 35
+	v |= uint64(n.ECUInstance) << 32
+	v |= uint64(n.ManufacturerCode) << 21
+	v |= uint64(n.IdentityNumber)
+	return v, nil
+}
+
+// DecodeNAME unpacks a 64-bit NAME.
+func DecodeNAME(v uint64) NAME {
+	return NAME{
+		ArbitraryAddressCapable: v>>63&1 == 1,
+		IndustryGroup:           uint8(v >> 60 & 0x7),
+		VehicleSystemInstance:   uint8(v >> 56 & 0xF),
+		VehicleSystem:           uint8(v >> 49 & 0x7F),
+		Function:                uint8(v >> 40 & 0xFF),
+		FunctionInstance:        uint8(v >> 35 & 0x1F),
+		ECUInstance:             uint8(v >> 32 & 0x7),
+		ManufacturerCode:        uint16(v >> 21 & 0x7FF),
+		IdentityNumber:          uint32(v & 0x1FFFFF),
+	}
+}
+
+// AddressClaimFrame builds the Address Claimed broadcast: PGN 0xEE00
+// at priority 6 from the claimed source address, carrying the NAME
+// little-endian in the data field.
+func AddressClaimFrame(name NAME, sa SourceAddress) (*ExtendedFrame, error) {
+	raw, err := name.Encode()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, 8)
+	binary.LittleEndian.PutUint64(data, raw)
+	return NewJ1939Frame(J1939ID{Priority: 6, PGN: PGNAddressClaimed, SA: sa}, data)
+}
+
+// ParseAddressClaim extracts the NAME and claimed address from an
+// Address Claimed frame, or ok=false if the frame is not one.
+func ParseAddressClaim(f *ExtendedFrame) (NAME, SourceAddress, bool) {
+	id := f.J1939()
+	if id.PGN != PGNAddressClaimed || len(f.Data) != 8 {
+		return NAME{}, 0, false
+	}
+	return DecodeNAME(binary.LittleEndian.Uint64(f.Data)), id.SA, true
+}
+
+// ResolveAddressClaim applies the J1939-81 contention rule for two
+// nodes claiming the same source address: the numerically lower NAME
+// keeps it; the loser must either claim another address (if arbitrary-
+// address capable) or send a Cannot Claim. It returns true when a
+// wins.
+func ResolveAddressClaim(a, b NAME) (aWins bool, err error) {
+	av, err := a.Encode()
+	if err != nil {
+		return false, err
+	}
+	bv, err := b.Encode()
+	if err != nil {
+		return false, err
+	}
+	if av == bv {
+		return false, fmt.Errorf("canbus: identical NAMEs contesting an address")
+	}
+	return av < bv, nil
+}

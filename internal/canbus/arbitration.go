@@ -1,0 +1,90 @@
+package canbus
+
+import "sort"
+
+// Contender is one ECU attempting to transmit during the same bus-idle
+// window. Tag is an opaque caller identifier reported back for the
+// winner and losers.
+type Contender struct {
+	Tag   int
+	Frame *ExtendedFrame
+}
+
+// ArbitrationResult describes the outcome of a simultaneous-start
+// contention resolved by bitwise wired-AND arbitration.
+type ArbitrationResult struct {
+	WinnerTag int
+	// LostAtBit maps each losing contender's tag to the stuffed bit
+	// index at which it observed a dominant level while transmitting
+	// recessive and backed off (Figure 2.3).
+	LostAtBit map[int]int
+}
+
+// Arbitrate resolves a simultaneous transmission start among the
+// contenders. Every transmitter compares the level it drives with the
+// wired-AND bus level bit by bit through the arbitration field; a unit
+// that sends recessive but reads dominant has lost and stops
+// immediately. The contender with the lowest identifier therefore
+// wins. Contenders with identical identifiers are a protocol error on
+// a real bus; here the lowest tag wins deterministically so the
+// simulator never deadlocks.
+func Arbitrate(contenders []Contender) ArbitrationResult {
+	res := ArbitrationResult{WinnerTag: -1, LostAtBit: make(map[int]int)}
+	if len(contenders) == 0 {
+		return res
+	}
+	type state struct {
+		tag  int
+		bits BitString
+	}
+	active := make([]state, 0, len(contenders))
+	for _, c := range contenders {
+		wire, err := c.Frame.WireBits(false)
+		if err != nil {
+			continue
+		}
+		active = append(active, state{tag: c.Tag, bits: wire})
+	}
+	if len(active) == 0 {
+		return res
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].tag < active[j].tag })
+
+	// The arbitration field spans stuffed bits; walk until one
+	// contender remains. Stuffed streams of distinct IDs must diverge
+	// within the stuffed image of the arbitration field.
+	for bit := 0; len(active) > 1; bit++ {
+		bus := Recessive
+		for _, s := range active {
+			if bit < len(s.bits) {
+				bus = bus.And(s.bits[bit])
+			}
+		}
+		survivors := active[:0]
+		for _, s := range active {
+			drives := Recessive
+			if bit < len(s.bits) {
+				drives = s.bits[bit]
+			}
+			if drives == Recessive && bus == Dominant {
+				res.LostAtBit[s.tag] = bit
+				continue
+			}
+			survivors = append(survivors, s)
+		}
+		active = survivors
+		if bit > len(active[0].bits) {
+			break // identical streams: lowest-tag survivor wins
+		}
+		if len(active) > 1 && bit >= 40 {
+			// Past the stuffed arbitration field all survivors carry
+			// the same identifier; keep the lowest tag.
+			for _, s := range active[1:] {
+				res.LostAtBit[s.tag] = bit
+			}
+			active = active[:1]
+		}
+	}
+	res.WinnerTag = active[0].tag
+	return res
+}

@@ -1,0 +1,178 @@
+package canbus
+
+// Bit is a single logical CAN bus level. The bus is wired-AND: a
+// dominant bit ('0') overrides a recessive bit ('1').
+type Bit uint8
+
+// Bus levels. Dominant is logical '0', recessive is logical '1'
+// (wired-AND convention, as assumed throughout the paper).
+const (
+	Dominant  Bit = 0
+	Recessive Bit = 1
+)
+
+// And resolves two simultaneously driven levels per the wired-AND bus:
+// dominant wins.
+func (b Bit) And(o Bit) Bit {
+	if b == Dominant || o == Dominant {
+		return Dominant
+	}
+	return Recessive
+}
+
+// String returns "0" for dominant and "1" for recessive.
+func (b Bit) String() string {
+	if b == Dominant {
+		return "0"
+	}
+	return "1"
+}
+
+// BitString is a sequence of logical bus levels, most significant
+// (earliest on the wire) first.
+type BitString []Bit
+
+// AppendUint appends the low n bits of v, most significant bit first.
+func (s BitString) AppendUint(v uint32, n int) BitString {
+	for i := n - 1; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			s = append(s, Recessive)
+		} else {
+			s = append(s, Dominant)
+		}
+	}
+	return s
+}
+
+// Uint interprets s as a big-endian unsigned integer where a recessive
+// bit is 1. It panics if len(s) > 32.
+func (s BitString) Uint() uint32 {
+	if len(s) > 32 {
+		panic("canbus: BitString.Uint on more than 32 bits")
+	}
+	var v uint32
+	for _, b := range s {
+		v <<= 1
+		if b == Recessive {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// String renders the bit string as '0'/'1' characters.
+func (s BitString) String() string {
+	out := make([]byte, len(s))
+	for i, b := range s {
+		out[i] = '0' + byte(b)
+	}
+	return string(out)
+}
+
+// StuffLimit is the number of consecutive equal bits after which CAN
+// inserts a stuff bit of opposing polarity.
+const StuffLimit = 5
+
+// Stuff applies the CAN bit-stuffing rule to s and returns the stuffed
+// stream. Stuffing starts fresh at the beginning of s (the caller
+// passes the region from SOF through the CRC sequence, which is the
+// stuffed region of a CAN frame).
+func Stuff(s BitString) BitString {
+	out := make(BitString, 0, len(s)+len(s)/StuffLimit)
+	run := 0
+	var prev Bit
+	for i, b := range s {
+		if i > 0 && b == prev {
+			run++
+		} else {
+			run = 1
+		}
+		out = append(out, b)
+		prev = b
+		if run == StuffLimit {
+			stuffed := Recessive
+			if b == Recessive {
+				stuffed = Dominant
+			}
+			out = append(out, stuffed)
+			prev = stuffed
+			run = 1
+		}
+	}
+	return out
+}
+
+// UnstuffN destuffs the prefix of s until n payload bits have been
+// collected. It returns the payload (shorter than n if s is exhausted
+// first), the number of wire bits consumed, and violation=true if six
+// consecutive equal bits were seen. Only the region from SOF through
+// the CRC sequence of a CAN frame is stuffed, so decoders must stop
+// destuffing there; this bounded form makes that possible.
+func UnstuffN(s BitString, n int) (payload BitString, consumed int, violation bool) {
+	payload = make(BitString, 0, n)
+	run := 0
+	var prev Bit
+	i := 0
+	for len(payload) < n {
+		if i >= len(s) {
+			return payload, i, false
+		}
+		b := s[i]
+		if len(payload) > 0 && b == prev {
+			run++
+		} else {
+			run = 1
+		}
+		payload = append(payload, b)
+		prev = b
+		i++
+		if run == StuffLimit && len(payload) < n {
+			if i >= len(s) {
+				return payload, i, false
+			}
+			stuffed := s[i]
+			if stuffed == prev {
+				return payload, i, true
+			}
+			prev = stuffed
+			run = 1
+			i++
+		}
+	}
+	return payload, i, false
+}
+
+// Unstuff removes stuff bits from a stuffed stream. It returns the
+// destuffed payload and ok=false if a stuffing violation is found
+// (six consecutive equal bits), which on a real bus is an error frame
+// condition.
+func Unstuff(s BitString) (BitString, bool) {
+	out := make(BitString, 0, len(s))
+	run := 0
+	var prev Bit
+	i := 0
+	for i < len(s) {
+		b := s[i]
+		if len(out) > 0 && b == prev {
+			run++
+		} else {
+			run = 1
+		}
+		out = append(out, b)
+		prev = b
+		i++
+		if run == StuffLimit {
+			if i >= len(s) {
+				break
+			}
+			stuffed := s[i]
+			if stuffed == prev {
+				return out, false // six equal bits: stuff violation
+			}
+			prev = stuffed
+			run = 1
+			i++
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,164 @@
+package canbus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bitsFromString(s string) BitString {
+	out := make(BitString, 0, len(s))
+	for _, c := range s {
+		switch c {
+		case '0':
+			out = append(out, Dominant)
+		case '1':
+			out = append(out, Recessive)
+		}
+	}
+	return out
+}
+
+func TestBitAnd(t *testing.T) {
+	cases := []struct{ a, b, want Bit }{
+		{Dominant, Dominant, Dominant},
+		{Dominant, Recessive, Dominant},
+		{Recessive, Dominant, Dominant},
+		{Recessive, Recessive, Recessive},
+	}
+	for _, c := range cases {
+		if got := c.a.And(c.b); got != c.want {
+			t.Errorf("%v AND %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBitString(t *testing.T) {
+	s := BitString{}.AppendUint(0b1011, 4)
+	if s.String() != "1011" {
+		t.Fatalf("AppendUint produced %q", s.String())
+	}
+	if s.Uint() != 0b1011 {
+		t.Fatalf("Uint round trip gave %#b", s.Uint())
+	}
+}
+
+func TestBitStringUintWide(t *testing.T) {
+	v := uint32(0x1BADF00D) & (1<<29 - 1)
+	s := BitString{}.AppendUint(v, 29)
+	if got := s.Uint(); got != v {
+		t.Fatalf("29-bit round trip: got %#x want %#x", got, v)
+	}
+}
+
+func TestBitStringUintPanicsOver32(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >32-bit Uint")
+		}
+	}()
+	make(BitString, 33).Uint()
+}
+
+func TestStuffInsertsAfterFiveEqualBits(t *testing.T) {
+	in := bitsFromString("00000")
+	out := Stuff(in)
+	if out.String() != "000001" {
+		t.Fatalf("Stuff(00000) = %s, want 000001", out)
+	}
+	// After the five 1s a 0 stuff bit is inserted; together with the
+	// four payload 0s it forms a new five-run, forcing a second stuff
+	// bit.
+	in = bitsFromString("111110000")
+	out = Stuff(in)
+	if out.String() != "11111000001" {
+		t.Fatalf("Stuff = %s, want 11111000001", out)
+	}
+}
+
+func TestStuffCountsStuffBitInNextRun(t *testing.T) {
+	// After 00000 the stuff bit is 1; four more 1s then make a run of
+	// five and force a 0 stuff bit.
+	in := bitsFromString("000001111")
+	out := Stuff(in)
+	if out.String() != "00000111110" {
+		t.Fatalf("Stuff = %s, want 00000111110", out)
+	}
+}
+
+func TestStuffNoChangeForAlternating(t *testing.T) {
+	in := bitsFromString("010101010101")
+	out := Stuff(in)
+	if out.String() != in.String() {
+		t.Fatalf("alternating stream was altered: %s", out)
+	}
+}
+
+func TestUnstuffRejectsSixEqualBits(t *testing.T) {
+	if _, ok := Unstuff(bitsFromString("000000")); ok {
+		t.Fatal("Unstuff accepted six consecutive dominant bits")
+	}
+}
+
+func TestStuffUnstuffRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(120)
+		in := make(BitString, n)
+		for i := range in {
+			in[i] = Bit(rng.Intn(2))
+		}
+		out, ok := Unstuff(Stuff(in))
+		if !ok {
+			t.Fatalf("trial %d: round trip flagged violation for %s", trial, in)
+		}
+		if out.String() != in.String() {
+			t.Fatalf("trial %d: round trip %s != %s", trial, out, in)
+		}
+	}
+}
+
+func TestStuffPropertyNoLongRuns(t *testing.T) {
+	// Property: a stuffed stream never contains six consecutive equal
+	// bits.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := make(BitString, int(n)+1)
+		for i := range in {
+			in[i] = Bit(rng.Intn(2))
+		}
+		out := Stuff(in)
+		run := 1
+		for i := 1; i < len(out); i++ {
+			if out[i] == out[i-1] {
+				run++
+				if run > StuffLimit {
+					return false
+				}
+			} else {
+				run = 1
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStuffLengthBound(t *testing.T) {
+	// Property: stuffing adds at most len/4 bits (worst case is a
+	// stuff bit every four payload bits after the first five).
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := make(BitString, int(n)+1)
+		for i := range in {
+			in[i] = Bit(rng.Intn(2))
+		}
+		out := Stuff(in)
+		return len(out) <= len(in)+len(in)/4+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package canbus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CAN bit timing (ISO 11898-1 §11): each bit divides into time quanta
+// across four segments — SYNC_SEG (always one quantum), PROP_SEG,
+// PHASE_SEG1 and PHASE_SEG2 — with the sample point between PHASE_SEG1
+// and PHASE_SEG2 and resynchronisation bounded by SJW. Controllers
+// derive the quantum from their oscillator via the baud-rate
+// prescaler. This is the machinery behind the paper's Section 2.1.1
+// note that CAN "uses bit transitions to maintain synchronization";
+// the edge-set extractor's per-edge re-alignment is the software
+// analogue of PHASE_SEG adjustment.
+
+// BitTiming is a controller's bit timing register configuration.
+type BitTiming struct {
+	ClockHz   float64 // controller oscillator
+	Prescaler int     // baud-rate prescaler (quantum = Prescaler/ClockHz)
+	PropSeg   int     // propagation segment, quanta
+	PhaseSeg1 int     // phase buffer 1, quanta
+	PhaseSeg2 int     // phase buffer 2, quanta
+	SJW       int     // synchronisation jump width, quanta
+}
+
+// Errors reported by bit timing validation.
+var (
+	ErrBitTiming = errors.New("canbus: invalid bit timing")
+)
+
+// QuantaPerBit returns the total time quanta per bit including the
+// mandatory single-quantum SYNC_SEG.
+func (bt BitTiming) QuantaPerBit() int { return 1 + bt.PropSeg + bt.PhaseSeg1 + bt.PhaseSeg2 }
+
+// Validate checks the ISO constraints: 8–25 quanta per bit, PHASE_SEG2
+// at least 2 (and at least the information processing time), SJW no
+// larger than the smaller phase segment.
+func (bt BitTiming) Validate() error {
+	if bt.ClockHz <= 0 || bt.Prescaler < 1 {
+		return fmt.Errorf("%w: clock %v / prescaler %d", ErrBitTiming, bt.ClockHz, bt.Prescaler)
+	}
+	q := bt.QuantaPerBit()
+	if q < 8 || q > 25 {
+		return fmt.Errorf("%w: %d quanta per bit (want 8–25)", ErrBitTiming, q)
+	}
+	if bt.PropSeg < 1 || bt.PhaseSeg1 < 1 || bt.PhaseSeg2 < 2 {
+		return fmt.Errorf("%w: segments %d/%d/%d", ErrBitTiming, bt.PropSeg, bt.PhaseSeg1, bt.PhaseSeg2)
+	}
+	if bt.SJW < 1 || bt.SJW > bt.PhaseSeg1 || bt.SJW > bt.PhaseSeg2 || bt.SJW > 4 {
+		return fmt.Errorf("%w: SJW %d", ErrBitTiming, bt.SJW)
+	}
+	return nil
+}
+
+// BitRate returns the nominal bit rate the configuration produces.
+func (bt BitTiming) BitRate() float64 {
+	return bt.ClockHz / (float64(bt.Prescaler) * float64(bt.QuantaPerBit()))
+}
+
+// SamplePoint returns the sample point as a fraction of the bit time
+// (CiA recommends ~87.5 % for most rates).
+func (bt BitTiming) SamplePoint() float64 {
+	return float64(1+bt.PropSeg+bt.PhaseSeg1) / float64(bt.QuantaPerBit())
+}
+
+// MaxToleratedSkewPPM bounds the oscillator mismatch two controllers
+// may have while still resynchronising within SJW over the worst-case
+// ten-bit stretch between edges (the classic df ≤ SJW/(2·10·NBT)
+// rule). The edge-based re-synchronisation this models is what keeps
+// the paper's 100-ppm-class ECU clock skews harmless to communication
+// while still visible to timing-based fingerprinting.
+func (bt BitTiming) MaxToleratedSkewPPM() float64 {
+	return float64(bt.SJW) / (2 * 10 * float64(bt.QuantaPerBit())) * 1e6
+}
+
+// TimingFor derives a valid configuration for a target bit rate from
+// the given controller clock, preferring quanta counts that land the
+// sample point near 87.5 %. It returns an error when no integer
+// prescaler fits.
+func TimingFor(clockHz, bitRate float64) (BitTiming, error) {
+	if clockHz <= 0 || bitRate <= 0 {
+		return BitTiming{}, fmt.Errorf("%w: clock %v rate %v", ErrBitTiming, clockHz, bitRate)
+	}
+	best := BitTiming{}
+	bestErr := 1.0
+	for q := 25; q >= 8; q-- {
+		presc := clockHz / (bitRate * float64(q))
+		p := int(presc + 0.5)
+		if p < 1 {
+			continue
+		}
+		got := clockHz / (float64(p) * float64(q))
+		relErr := abs(got-bitRate) / bitRate
+		if relErr > 0.005 {
+			continue
+		}
+		// Split the non-sync quanta: PHASE_SEG2 ≈ 12.5 % of the bit,
+		// minimum 2; the rest splits between PROP and PHASE_SEG1.
+		ps2 := q / 8
+		if ps2 < 2 {
+			ps2 = 2
+		}
+		rest := q - 1 - ps2
+		ps1 := rest / 2
+		prop := rest - ps1
+		if ps1 < 1 || prop < 1 {
+			continue
+		}
+		sjw := ps1
+		if sjw > ps2 {
+			sjw = ps2
+		}
+		if sjw > 4 {
+			sjw = 4
+		}
+		bt := BitTiming{ClockHz: clockHz, Prescaler: p, PropSeg: prop, PhaseSeg1: ps1, PhaseSeg2: ps2, SJW: sjw}
+		if bt.Validate() != nil {
+			continue
+		}
+		if relErr < bestErr {
+			best, bestErr = bt, relErr
+		}
+	}
+	if bestErr > 0.005 {
+		return BitTiming{}, fmt.Errorf("%w: no configuration for %v b/s from a %v Hz clock", ErrBitTiming, bitRate, clockHz)
+	}
+	return best, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,100 @@
+package canbus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitTimingValidate(t *testing.T) {
+	good := BitTiming{ClockHz: 16e6, Prescaler: 4, PropSeg: 7, PhaseSeg1: 4, PhaseSeg2: 4, SJW: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []BitTiming{
+		{ClockHz: 0, Prescaler: 1, PropSeg: 7, PhaseSeg1: 4, PhaseSeg2: 4, SJW: 1},
+		{ClockHz: 16e6, Prescaler: 0, PropSeg: 7, PhaseSeg1: 4, PhaseSeg2: 4, SJW: 1},
+		{ClockHz: 16e6, Prescaler: 1, PropSeg: 1, PhaseSeg1: 1, PhaseSeg2: 2, SJW: 1},  // 5 quanta
+		{ClockHz: 16e6, Prescaler: 1, PropSeg: 16, PhaseSeg1: 8, PhaseSeg2: 8, SJW: 1}, // 33 quanta
+		{ClockHz: 16e6, Prescaler: 1, PropSeg: 8, PhaseSeg1: 4, PhaseSeg2: 1, SJW: 1},  // PS2 < 2
+		{ClockHz: 16e6, Prescaler: 1, PropSeg: 7, PhaseSeg1: 2, PhaseSeg2: 4, SJW: 3},  // SJW > PS1
+		{ClockHz: 16e6, Prescaler: 1, PropSeg: 5, PhaseSeg1: 5, PhaseSeg2: 5, SJW: 5},  // SJW > 4
+	}
+	for i, bt := range cases {
+		if bt.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, bt)
+		}
+	}
+}
+
+func TestBitTimingRate(t *testing.T) {
+	// 16 MHz / (4 × 16 quanta) = 250 kb/s, the test vehicles' rate.
+	bt := BitTiming{ClockHz: 16e6, Prescaler: 4, PropSeg: 7, PhaseSeg1: 4, PhaseSeg2: 4, SJW: 4}
+	if got := bt.BitRate(); math.Abs(got-250e3) > 1 {
+		t.Fatalf("bit rate %v", got)
+	}
+	if sp := bt.SamplePoint(); sp < 0.7 || sp > 0.9 {
+		t.Fatalf("sample point %v", sp)
+	}
+}
+
+func TestTimingForCommonRates(t *testing.T) {
+	for _, rate := range []float64{125e3, 250e3, 500e3, 1e6} {
+		for _, clock := range []float64{8e6, 16e6, 24e6, 40e6} {
+			bt, err := TimingFor(clock, rate)
+			if err != nil {
+				t.Fatalf("clock %v rate %v: %v", clock, rate, err)
+			}
+			if err := bt.Validate(); err != nil {
+				t.Fatalf("clock %v rate %v produced invalid timing: %v", clock, rate, err)
+			}
+			if got := bt.BitRate(); math.Abs(got-rate)/rate > 0.005 {
+				t.Fatalf("clock %v: rate %v, want %v", clock, got, rate)
+			}
+			if sp := bt.SamplePoint(); sp < 0.6 || sp > 0.95 {
+				t.Fatalf("sample point %v", sp)
+			}
+		}
+	}
+}
+
+func TestTimingForImpossible(t *testing.T) {
+	// A 1 MHz clock cannot produce 1 Mb/s with ≥8 quanta.
+	if _, err := TimingFor(1e6, 1e6); err == nil {
+		t.Fatal("impossible configuration accepted")
+	}
+	if _, err := TimingFor(0, 250e3); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+}
+
+func TestTimingForPropertyValid(t *testing.T) {
+	f := func(clockSel, rateSel uint8) bool {
+		clocks := []float64{8e6, 12e6, 16e6, 20e6, 24e6, 40e6, 80e6}
+		rates := []float64{100e3, 125e3, 250e3, 500e3, 800e3, 1e6}
+		clock := clocks[int(clockSel)%len(clocks)]
+		rate := rates[int(rateSel)%len(rates)]
+		bt, err := TimingFor(clock, rate)
+		if err != nil {
+			return true // some combinations legitimately have no solution
+		}
+		return bt.Validate() == nil && math.Abs(bt.BitRate()-rate)/rate <= 0.005
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxToleratedSkewCoversVehicleECUs(t *testing.T) {
+	// The vehicles' ±122 ppm crystal skews must sit well inside what
+	// the standard timing tolerates — CAN keeps communicating while
+	// CIDS-style fingerprinting still sees the skew.
+	bt, err := TimingFor(16e6, 250e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := bt.MaxToleratedSkewPPM()
+	if tol < 500 {
+		t.Fatalf("tolerated skew only %.0f ppm", tol)
+	}
+}

@@ -1,0 +1,263 @@
+package canbus
+
+import (
+	"testing"
+)
+
+func TestErrorFrameBits(t *testing.T) {
+	active := ErrorFrameBits(false)
+	if len(active) != ErrorFlagLength+ErrorDelimiterLength {
+		t.Fatalf("length %d", len(active))
+	}
+	for i := 0; i < ErrorFlagLength; i++ {
+		if active[i] != Dominant {
+			t.Fatalf("active flag bit %d recessive", i)
+		}
+	}
+	passive := ErrorFrameBits(true)
+	for i := 0; i < ErrorFlagLength; i++ {
+		if passive[i] != Recessive {
+			t.Fatalf("passive flag bit %d dominant", i)
+		}
+	}
+	for i := ErrorFlagLength; i < len(active); i++ {
+		if active[i] != Recessive || passive[i] != Recessive {
+			t.Fatalf("delimiter bit %d not recessive", i)
+		}
+	}
+	overload := OverloadFrameBits()
+	for i := range overload {
+		if overload[i] != active[i] {
+			t.Fatal("overload frame differs from active error frame form")
+		}
+	}
+}
+
+func TestRemoteFrameBits(t *testing.T) {
+	wire, err := RemoteFrameBits(0x18FEF100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destuff and check RTR is recessive at bit 32.
+	destuffed, _, violation := UnstuffN(wire, BitRTR+1)
+	if violation {
+		t.Fatal("stuff violation")
+	}
+	if destuffed[BitRTR] != Recessive {
+		t.Fatal("remote frame RTR not recessive")
+	}
+	if destuffed[BitSOF] != Dominant {
+		t.Fatal("SOF not dominant")
+	}
+	if _, err := RemoteFrameBits(1<<29, 0); err == nil {
+		t.Fatal("30-bit ID accepted")
+	}
+	if _, err := RemoteFrameBits(1, 9); err == nil {
+		t.Fatal("DLC 9 accepted")
+	}
+}
+
+func TestErrorCountersStateMachine(t *testing.T) {
+	var c ErrorCounters
+	if c.State() != ErrorActive {
+		t.Fatal("fresh node not error-active")
+	}
+	// 16 transmit errors → TEC 128 → error-passive.
+	for i := 0; i < 16; i++ {
+		c.OnTransmitError()
+	}
+	if c.TEC != 128 || c.State() != ErrorPassive {
+		t.Fatalf("TEC %d state %v", c.TEC, c.State())
+	}
+	// 16 more → TEC 256 → bus-off.
+	for i := 0; i < 16; i++ {
+		c.OnTransmitError()
+	}
+	if c.State() != BusOff {
+		t.Fatalf("state %v after TEC %d", c.State(), c.TEC)
+	}
+	// Counters freeze at bus-off.
+	c.OnTransmitError()
+	if c.TEC != 256 {
+		t.Fatalf("bus-off TEC moved to %d", c.TEC)
+	}
+	// Recovery needs 128 idle occurrences.
+	for i := 0; i < 127; i++ {
+		if c.OnBusIdleRecovery() {
+			t.Fatalf("recovered after only %d occurrences", i+1)
+		}
+	}
+	if !c.OnBusIdleRecovery() {
+		t.Fatal("did not recover at the 128th occurrence")
+	}
+	if c.State() != ErrorActive || c.TEC != 0 || c.REC != 0 {
+		t.Fatalf("post-recovery state %v TEC %d REC %d", c.State(), c.TEC, c.REC)
+	}
+}
+
+func TestErrorCountersReceiveSide(t *testing.T) {
+	var c ErrorCounters
+	c.OnReceiveError(true)
+	if c.REC != 8 {
+		t.Fatalf("primary receive error REC %d", c.REC)
+	}
+	for i := 0; i < 120; i++ {
+		c.OnReceiveError(false)
+	}
+	if c.State() != ErrorPassive {
+		t.Fatalf("state %v at REC %d", c.State(), c.REC)
+	}
+	// Successful receptions walk it back down to error-active.
+	for i := 0; i < 128; i++ {
+		c.OnReceiveSuccess()
+	}
+	if c.State() != ErrorActive || c.REC != 0 {
+		t.Fatalf("state %v REC %d after recovery", c.State(), c.REC)
+	}
+}
+
+func TestErrorCountersTransmitSuccessFloor(t *testing.T) {
+	var c ErrorCounters
+	c.OnTransmitSuccess()
+	if c.TEC != 0 {
+		t.Fatalf("TEC went negative: %d", c.TEC)
+	}
+	c.OnTransmitError()
+	c.OnTransmitSuccess()
+	if c.TEC != 7 {
+		t.Fatalf("TEC %d, want 7", c.TEC)
+	}
+}
+
+func mkNode(name string, ids ...uint32) *BusNode {
+	n := &BusNode{Name: name}
+	for _, id := range ids {
+		n.Enqueue(&ExtendedFrame{ID: id, Data: []byte{1, 2}})
+	}
+	return n
+}
+
+func TestBusSimValidation(t *testing.T) {
+	if _, err := NewBusSim(nil, 1); err == nil {
+		t.Fatal("empty bus accepted")
+	}
+	if _, err := NewBusSim([]*BusNode{{Name: "a"}, {Name: "a"}}, 1); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestBusSimDrainsInPriorityOrder(t *testing.T) {
+	hi := mkNode("engine", 0x0C000000)
+	lo := mkNode("body", 0x18000021)
+	sim, err := NewBusSim([]*BusNode{lo, hi}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, err := sim.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d", delivered)
+	}
+	var order []string
+	var losses int
+	for _, ev := range sim.Log() {
+		switch ev.Type {
+		case EventTransmit:
+			order = append(order, ev.Node)
+		case EventArbitrationLoss:
+			losses++
+		}
+	}
+	if len(order) != 2 || order[0] != "engine" || order[1] != "body" {
+		t.Fatalf("delivery order %v", order)
+	}
+	if losses == 0 {
+		t.Fatal("no arbitration loss logged for the losing node")
+	}
+	if sim.Now() <= 0 {
+		t.Fatal("bus time did not advance")
+	}
+}
+
+func TestBusSimErrorRetransmission(t *testing.T) {
+	// Always-corrupted first attempts still deliver eventually because
+	// CAN retransmits; counters must move.
+	n := mkNode("ecm", 0x0CF00400, 0x0CF00400)
+	sim, err := NewBusSim([]*BusNode{n, {Name: "peer"}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.CorruptProb = 0.5
+	delivered, err := sim.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d", delivered)
+	}
+	errs := 0
+	for _, ev := range sim.Log() {
+		if ev.Type == EventBitError {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("no bit errors at 50% corruption")
+	}
+	if n.Counters.TEC == 0 && errs > 0 {
+		// Successful retransmissions decrement; only require that the
+		// counter has been exercised via the log.
+		t.Logf("TEC settled back to %d after %d errors", n.Counters.TEC, errs)
+	}
+}
+
+func TestBusSimFaultyNodeGoesBusOffAndRecovers(t *testing.T) {
+	// A node whose transceiver corrupts every frame marches to
+	// bus-off; the healthy node keeps the bus alive, and after the
+	// faulty node's frames are its only pending traffic, idle
+	// recovery brings it back.
+	faulty := mkNode("faulty", 0x10000000)
+	healthy := mkNode("healthy", 0x0C000000, 0x0C000001, 0x0C000002)
+	sim, err := NewBusSim([]*BusNode{faulty, healthy}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.CorruptProb = 1.0
+	sim.TargetedNode = "faulty"
+	// The faulty node's frame can never deliver while its transceiver
+	// corrupts every attempt, so the run cannot drain; the interesting
+	// behaviour is in the event log.
+	delivered, _ := sim.Run(5000)
+	if delivered < 3 {
+		t.Fatalf("healthy traffic not delivered: %d", delivered)
+	}
+	var wentBusOff, recovered bool
+	for _, ev := range sim.Log() {
+		if ev.Type == EventBusOff && ev.Node == "faulty" {
+			wentBusOff = true
+		}
+		if ev.Type == EventRecovered && ev.Node == "faulty" {
+			recovered = true
+		}
+	}
+	if !wentBusOff {
+		t.Fatal("faulty node never reached bus-off")
+	}
+	if !recovered {
+		t.Fatal("faulty node never recovered")
+	}
+}
+
+func TestBusSimReportsNonDraining(t *testing.T) {
+	n := mkNode("stuck", 0x1)
+	sim, err := NewBusSim([]*BusNode{n}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.CorruptProb = 1.0
+	if _, err := sim.Run(10); err == nil {
+		t.Fatal("permanently corrupted bus reported success")
+	}
+}

@@ -1,0 +1,22 @@
+package canbus
+
+// crcPoly is the CAN 15-bit BCH generator polynomial
+// x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1, represented without
+// the leading x^15 term.
+const crcPoly = 0x4599
+
+// CRC15 computes the CAN frame check sequence over the destuffed bits
+// from the start-of-frame bit through the end of the data field, per
+// ISO 11898-1. A recessive bit enters the register as 1.
+func CRC15(bits BitString) uint16 {
+	var crc uint16
+	for _, b := range bits {
+		in := uint16(b) // Recessive==1, Dominant==0
+		top := (crc >> 14) & 1
+		crc = (crc << 1) & 0x7FFF
+		if top^in != 0 {
+			crc ^= crcPoly
+		}
+	}
+	return crc & 0x7FFF
+}

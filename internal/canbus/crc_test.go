@@ -1,0 +1,88 @@
+package canbus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC15Empty(t *testing.T) {
+	if got := CRC15(nil); got != 0 {
+		t.Fatalf("CRC of empty stream = %#x, want 0", got)
+	}
+}
+
+func TestCRC15AllDominant(t *testing.T) {
+	// All-dominant input never sets the feedback, so the register
+	// stays zero.
+	if got := CRC15(make(BitString, 64)); got != 0 {
+		t.Fatalf("CRC of all-dominant = %#x, want 0", got)
+	}
+}
+
+func TestCRC15SingleRecessive(t *testing.T) {
+	// A single recessive bit at the end XORs the polynomial once.
+	in := append(make(BitString, 10), Recessive)
+	if got := CRC15(in); got != crcPoly {
+		t.Fatalf("CRC = %#x, want %#x", got, crcPoly)
+	}
+}
+
+func TestCRC15Width(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := make(BitString, int(n)+1)
+		for i := range in {
+			in[i] = Bit(rng.Intn(2))
+		}
+		return CRC15(in) < 1<<15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC15DetectsSingleBitFlips(t *testing.T) {
+	// A CRC with a degree-15 generator detects every single-bit error.
+	rng := rand.New(rand.NewSource(7))
+	in := make(BitString, 90)
+	for i := range in {
+		in[i] = Bit(rng.Intn(2))
+	}
+	want := CRC15(in)
+	for i := range in {
+		flipped := make(BitString, len(in))
+		copy(flipped, in)
+		flipped[i] ^= 1
+		if CRC15(flipped) == want {
+			t.Fatalf("flip at bit %d not detected", i)
+		}
+	}
+}
+
+func TestCRC15DetectsBurstsUpTo15(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := make(BitString, 120)
+	for i := range in {
+		in[i] = Bit(rng.Intn(2))
+	}
+	want := CRC15(in)
+	for burst := 2; burst <= 15; burst++ {
+		for trial := 0; trial < 20; trial++ {
+			start := rng.Intn(len(in) - burst)
+			flipped := make(BitString, len(in))
+			copy(flipped, in)
+			// Burst with nonzero first and last bit.
+			flipped[start] ^= 1
+			flipped[start+burst-1] ^= 1
+			for i := start + 1; i < start+burst-1; i++ {
+				if rng.Intn(2) == 0 {
+					flipped[i] ^= 1
+				}
+			}
+			if CRC15(flipped) == want {
+				t.Fatalf("burst of length %d at %d not detected", burst, start)
+			}
+		}
+	}
+}

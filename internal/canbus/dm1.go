@@ -1,0 +1,122 @@
+package canbus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// J1939 DM1 (Active Diagnostic Trouble Codes, J1939-73): every second
+// each controller broadcasts its lamp status and active DTC list.
+// With more than one DTC the payload exceeds eight bytes and rides the
+// TP.BAM transport — which is why a faithful traffic substrate needs
+// both. The IDS side cares because diagnostic floods are a known
+// nuisance source and DM1's SA is fingerprintable like any other.
+
+// PGNDM1 is the DM1 parameter group.
+const PGNDM1 PGN = 0xFECA
+
+// LampStatus carries the four J1939 indicator lamps (two bits each in
+// byte 1; byte 2 carries flash codes, not modelled).
+type LampStatus struct {
+	MalfunctionIndicator bool
+	RedStop              bool
+	AmberWarning         bool
+	Protect              bool
+}
+
+// DTC is one diagnostic trouble code: a suspect parameter number, a
+// failure mode identifier and an occurrence count.
+type DTC struct {
+	SPN             uint32 // 19 bits
+	FMI             uint8  // 5 bits
+	OccurrenceCount uint8  // 7 bits
+}
+
+// Errors reported by DM1 coding.
+var (
+	ErrDTCRange = errors.New("canbus: DTC field out of range")
+	ErrDM1Short = errors.New("canbus: DM1 payload too short")
+)
+
+// EncodeDM1 builds the DM1 payload: two lamp bytes followed by four
+// bytes per DTC (SPN in the J1939 version-4 packing, FMI, occurrence
+// count). A DTC-free payload still carries one all-zero DTC slot, as
+// the standard prescribes.
+func EncodeDM1(lamps LampStatus, dtcs []DTC) ([]byte, error) {
+	out := make([]byte, 2, 2+4*len(dtcs))
+	if lamps.Protect {
+		out[0] |= 0x01
+	}
+	if lamps.AmberWarning {
+		out[0] |= 0x04
+	}
+	if lamps.RedStop {
+		out[0] |= 0x10
+	}
+	if lamps.MalfunctionIndicator {
+		out[0] |= 0x40
+	}
+	out[1] = 0xFF // flash codes not available
+	if len(dtcs) == 0 {
+		return append(out, 0, 0, 0, 0), nil
+	}
+	for _, d := range dtcs {
+		if d.SPN >= 1<<19 || d.FMI >= 1<<5 || d.OccurrenceCount >= 1<<7 {
+			return nil, fmt.Errorf("%w: %+v", ErrDTCRange, d)
+		}
+		out = append(out,
+			byte(d.SPN),
+			byte(d.SPN>>8),
+			byte(d.SPN>>16&0x7)<<5|d.FMI,
+			d.OccurrenceCount, // conversion-method bit 0
+		)
+	}
+	return out, nil
+}
+
+// DecodeDM1 parses a DM1 payload back into lamps and DTCs. The
+// standard's "no active codes" form (a single all-zero DTC) decodes to
+// an empty list.
+func DecodeDM1(payload []byte) (LampStatus, []DTC, error) {
+	if len(payload) < 6 {
+		return LampStatus{}, nil, ErrDM1Short
+	}
+	lamps := LampStatus{
+		Protect:              payload[0]&0x01 != 0,
+		AmberWarning:         payload[0]&0x04 != 0,
+		RedStop:              payload[0]&0x10 != 0,
+		MalfunctionIndicator: payload[0]&0x40 != 0,
+	}
+	var dtcs []DTC
+	for off := 2; off+4 <= len(payload); off += 4 {
+		spn := uint32(payload[off]) | uint32(payload[off+1])<<8 | uint32(payload[off+2]>>5)<<16
+		fmi := payload[off+2] & 0x1F
+		oc := payload[off+3] & 0x7F
+		if spn == 0 && fmi == 0 && oc == 0 {
+			continue // the empty-list placeholder
+		}
+		dtcs = append(dtcs, DTC{SPN: spn, FMI: fmi, OccurrenceCount: oc})
+	}
+	return lamps, dtcs, nil
+}
+
+// DM1Frames renders a controller's DM1 broadcast: a single frame when
+// the payload fits, otherwise the TP.BAM sequence.
+func DM1Frames(lamps LampStatus, dtcs []DTC, sa SourceAddress) ([]*ExtendedFrame, error) {
+	payload, err := EncodeDM1(lamps, dtcs)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) <= 8 {
+		// Pad to 8 with the not-available pattern.
+		for len(payload) < 8 {
+			payload = append(payload, 0xFF)
+		}
+		f, err := NewJ1939Frame(J1939ID{Priority: 6, PGN: PGNDM1, SA: sa}, payload)
+		if err != nil {
+			return nil, err
+		}
+		return []*ExtendedFrame{f}, nil
+	}
+	return BAMSplit(PGNDM1, payload, sa)
+}

@@ -1,0 +1,141 @@
+package canbus
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDM1EncodeDecodeRoundTrip(t *testing.T) {
+	lamps := LampStatus{MalfunctionIndicator: true, AmberWarning: true}
+	dtcs := []DTC{
+		{SPN: 110, FMI: 3, OccurrenceCount: 2},       // coolant temp circuit
+		{SPN: 190, FMI: 8, OccurrenceCount: 1},       // engine speed
+		{SPN: 520192, FMI: 31, OccurrenceCount: 126}, // proprietary range
+	}
+	payload, err := EncodeDM1(lamps, dtcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 2+4*3 {
+		t.Fatalf("payload %d bytes", len(payload))
+	}
+	gotLamps, gotDTCs, err := DecodeDM1(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLamps != lamps {
+		t.Fatalf("lamps %+v", gotLamps)
+	}
+	if len(gotDTCs) != len(dtcs) {
+		t.Fatalf("%d DTCs", len(gotDTCs))
+	}
+	for i := range dtcs {
+		if gotDTCs[i] != dtcs[i] {
+			t.Fatalf("DTC %d: %+v vs %+v", i, gotDTCs[i], dtcs[i])
+		}
+	}
+}
+
+func TestDM1EmptyList(t *testing.T) {
+	payload, err := EncodeDM1(LampStatus{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 6 {
+		t.Fatalf("empty-list payload %d bytes", len(payload))
+	}
+	_, dtcs, err := DecodeDM1(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dtcs) != 0 {
+		t.Fatalf("empty list decoded %d DTCs", len(dtcs))
+	}
+}
+
+func TestDM1RangeChecks(t *testing.T) {
+	if _, err := EncodeDM1(LampStatus{}, []DTC{{SPN: 1 << 19}}); !errors.Is(err, ErrDTCRange) {
+		t.Error("20-bit SPN accepted")
+	}
+	if _, err := EncodeDM1(LampStatus{}, []DTC{{FMI: 32}}); !errors.Is(err, ErrDTCRange) {
+		t.Error("6-bit FMI accepted")
+	}
+	if _, _, err := DecodeDM1([]byte{0, 0}); !errors.Is(err, ErrDM1Short) {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestDM1RoundTripProperty(t *testing.T) {
+	f := func(spnRaw uint32, fmiRaw, ocRaw uint8, mil, stop bool) bool {
+		d := DTC{SPN: spnRaw % (1 << 19), FMI: fmiRaw % 32, OccurrenceCount: ocRaw % 128}
+		if d.SPN == 0 && d.FMI == 0 && d.OccurrenceCount == 0 {
+			return true // the empty placeholder is not a code
+		}
+		lamps := LampStatus{MalfunctionIndicator: mil, RedStop: stop}
+		payload, err := EncodeDM1(lamps, []DTC{d})
+		if err != nil {
+			return false
+		}
+		gotLamps, got, err := DecodeDM1(payload)
+		if err != nil || gotLamps != lamps || len(got) != 1 {
+			return false
+		}
+		return got[0] == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDM1SingleFrameWhenSmall(t *testing.T) {
+	frames, err := DM1Frames(LampStatus{}, []DTC{{SPN: 110, FMI: 3, OccurrenceCount: 1}}, 0x00)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("%d frames for one DTC", len(frames))
+	}
+	if frames[0].J1939().PGN != PGNDM1 {
+		t.Fatalf("PGN %#x", uint32(frames[0].J1939().PGN))
+	}
+}
+
+func TestDM1UsesTransportWhenLarge(t *testing.T) {
+	var dtcs []DTC
+	for i := 0; i < 5; i++ { // 2 + 20 bytes > 8
+		dtcs = append(dtcs, DTC{SPN: uint32(100 + i), FMI: uint8(i + 1), OccurrenceCount: 1})
+	}
+	frames, err := DM1Frames(LampStatus{RedStop: true}, dtcs, 0x03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 4 { // BAM announce + ≥3 data frames
+		t.Fatalf("%d frames for 5 DTCs", len(frames))
+	}
+	// Reassemble and decode end to end.
+	r := NewBAMReassembler()
+	var done *Completed
+	for _, f := range frames {
+		c, err := r.Feed(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != nil {
+			done = c
+		}
+	}
+	if done == nil {
+		t.Fatal("DM1 transfer never completed")
+	}
+	if done.PGN != PGNDM1 || done.SA != 0x03 {
+		t.Fatalf("completed %#x from %#x", uint32(done.PGN), done.SA)
+	}
+	lamps, got, err := DecodeDM1(done.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lamps.RedStop || len(got) != 5 {
+		t.Fatalf("decoded %+v with %d DTCs", lamps, len(got))
+	}
+}

@@ -1,0 +1,15 @@
+// Package canbus implements the Controller Area Network (CAN) 2.0B
+// transfer layer and the SAE J1939 identifier scheme used by the
+// vehicles in the vProfile evaluation.
+//
+// The package produces the exact dominant/recessive bit streams that a
+// transmitting electronic control unit (ECU) drives onto the two-wire
+// bus, including the 15-bit BCH cyclic redundancy check and the
+// bit-stuffing rule (a bit of opposing polarity after five consecutive
+// equal bits). Those bit streams are the digital image whose analog
+// rendering package analog synthesises and whose edge sets package
+// edgeset extracts.
+//
+// It also models wired-AND bitwise arbitration so that multi-ECU
+// contention (Figure 2.3 of the paper) can be simulated faithfully.
+package canbus

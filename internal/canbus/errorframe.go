@@ -1,0 +1,76 @@
+package canbus
+
+// Error and overload frames (ISO 11898-1 §10.4.4–10.4.5). These are
+// the two remaining frame types of Section 2.1.2; the data frame is
+// modelled in frame.go and remote frames share its layout with RTR
+// recessive. vProfile itself never classifies error frames — they
+// carry no source address — but the bus simulator must produce them so
+// a monitoring node sees realistic traffic under fault injection.
+
+// ErrorFlagLength is the number of superimposed flag bits a node
+// transmits to signal an error.
+const ErrorFlagLength = 6
+
+// ErrorDelimiterLength is the number of recessive bits closing an
+// error or overload frame.
+const ErrorDelimiterLength = 8
+
+// ErrorFrameBits returns the wire image of an error frame as one node
+// transmits it: six dominant (error-active) or six recessive
+// (error-passive) flag bits followed by eight recessive delimiter
+// bits. On a real bus several nodes' flags superimpose; wired-AND
+// combination of the per-node images models that.
+func ErrorFrameBits(passive bool) BitString {
+	flag := Dominant
+	if passive {
+		flag = Recessive
+	}
+	out := make(BitString, 0, ErrorFlagLength+ErrorDelimiterLength)
+	for i := 0; i < ErrorFlagLength; i++ {
+		out = append(out, flag)
+	}
+	for i := 0; i < ErrorDelimiterLength; i++ {
+		out = append(out, Recessive)
+	}
+	return out
+}
+
+// OverloadFrameBits returns the wire image of an overload frame, which
+// shares the error frame's form (six dominant flag bits, eight
+// recessive delimiter bits) but signals a delay request rather than a
+// fault and does not touch the error counters.
+func OverloadFrameBits() BitString { return ErrorFrameBits(false) }
+
+// RemoteFrameBits returns the wire image of an extended remote frame
+// for the identifier: identical to a data frame's arbitration and
+// control fields except that RTR is recessive and no data field
+// follows. Remote frames request a transmission; Section 2.1.2 lists
+// them among the four frame types.
+func RemoteFrameBits(id uint32, dlc int) (BitString, error) {
+	if id >= 1<<29 {
+		return nil, ErrIDRange
+	}
+	if dlc < 0 || dlc > 8 {
+		return nil, ErrDataLength
+	}
+	bits := make(BitString, 0, 64)
+	bits = append(bits, Dominant) // SOF
+	bits = bits.AppendUint(id>>18, 11)
+	bits = append(bits, Recessive) // SRR
+	bits = append(bits, Recessive) // IDE
+	bits = bits.AppendUint(id&(1<<18-1), 18)
+	bits = append(bits, Recessive) // RTR: remote frame
+	bits = append(bits, Dominant)  // r1
+	bits = append(bits, Dominant)  // r0
+	bits = bits.AppendUint(uint32(dlc), 4)
+	crc := CRC15(bits)
+	stuffable := bits.AppendUint(uint32(crc), 15)
+	wire := Stuff(stuffable)
+	wire = append(wire, Recessive) // CRC delimiter
+	wire = append(wire, Dominant)  // ACK (asserted)
+	wire = append(wire, Recessive) // ACK delimiter
+	for i := 0; i < EOFLength; i++ {
+		wire = append(wire, Recessive)
+	}
+	return wire, nil
+}

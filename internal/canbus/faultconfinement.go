@@ -1,0 +1,126 @@
+package canbus
+
+import "fmt"
+
+// NodeState is a controller's fault-confinement state per ISO 11898-1
+// §12: error-active nodes signal errors with dominant flags,
+// error-passive nodes with recessive flags (and obey the suspend
+// transmission rule), and bus-off nodes may not touch the bus at all.
+type NodeState int
+
+// Fault-confinement states.
+const (
+	ErrorActive NodeState = iota
+	ErrorPassive
+	BusOff
+)
+
+// String names the state.
+func (s NodeState) String() string {
+	switch s {
+	case ErrorActive:
+		return "error-active"
+	case ErrorPassive:
+		return "error-passive"
+	case BusOff:
+		return "bus-off"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Fault-confinement thresholds (ISO 11898-1).
+const (
+	errorPassiveThreshold = 128
+	busOffThreshold       = 256
+	// busOffRecoveryOccurrences is the number of 11-consecutive-
+	// recessive-bit occurrences required before a bus-off node may
+	// rejoin as error-active.
+	busOffRecoveryOccurrences = 128
+)
+
+// ErrorCounters implements the transmit/receive error counter rules of
+// the CAN fault-confinement entity. The zero value is a fresh
+// error-active controller.
+type ErrorCounters struct {
+	TEC int // transmit error counter
+	REC int // receive error counter
+
+	recoverySeen int // 11-recessive-bit occurrences while bus-off
+}
+
+// State derives the fault-confinement state from the counters.
+func (c *ErrorCounters) State() NodeState {
+	switch {
+	case c.TEC >= busOffThreshold:
+		return BusOff
+	case c.TEC >= errorPassiveThreshold || c.REC >= errorPassiveThreshold:
+		return ErrorPassive
+	default:
+		return ErrorActive
+	}
+}
+
+// OnTransmitError applies rule: a transmitter detecting an error adds
+// 8 to its TEC (exception conditions around arbitration-loss ACK
+// errors are not modelled).
+func (c *ErrorCounters) OnTransmitError() {
+	if c.State() == BusOff {
+		return
+	}
+	c.TEC += 8
+}
+
+// OnReceiveError applies rule: a receiver detecting an error adds 1 to
+// its REC (8 when it was the first to signal, which callers indicate
+// with primary).
+func (c *ErrorCounters) OnReceiveError(primary bool) {
+	if c.State() == BusOff {
+		return
+	}
+	if primary {
+		c.REC += 8
+	} else {
+		c.REC++
+	}
+}
+
+// OnTransmitSuccess applies rule: successful transmission decrements
+// TEC (floor 0).
+func (c *ErrorCounters) OnTransmitSuccess() {
+	if c.TEC > 0 && c.State() != BusOff {
+		c.TEC--
+	}
+}
+
+// OnReceiveSuccess applies rule: successful reception decrements REC;
+// a REC between 119 and 127 re-enters at 119…127 band, modelled here
+// with the common simplification of clamping into [0, 127].
+func (c *ErrorCounters) OnReceiveSuccess() {
+	if c.State() == BusOff {
+		return
+	}
+	if c.REC > 127 {
+		c.REC = 127
+	}
+	if c.REC > 0 {
+		c.REC--
+	}
+}
+
+// OnBusIdleRecovery records one observation of 11 consecutive
+// recessive bits while bus-off. After 128 such occurrences the node
+// resets to error-active with cleared counters and reports true.
+func (c *ErrorCounters) OnBusIdleRecovery() bool {
+	if c.State() != BusOff {
+		return false
+	}
+	c.recoverySeen++
+	if c.recoverySeen >= busOffRecoveryOccurrences {
+		c.TEC = 0
+		c.REC = 0
+		c.recoverySeen = 0
+		return true
+	}
+	return false
+}

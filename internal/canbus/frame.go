@@ -1,0 +1,200 @@
+package canbus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by frame construction and decoding.
+var (
+	ErrDataLength     = errors.New("canbus: data length exceeds 8 octets")
+	ErrIDRange        = errors.New("canbus: identifier exceeds 29 bits")
+	ErrShortFrame     = errors.New("canbus: bit stream too short for a frame")
+	ErrStuffViolation = errors.New("canbus: bit stuffing violation")
+	ErrCRCMismatch    = errors.New("canbus: CRC mismatch")
+	ErrFormViolation  = errors.New("canbus: fixed-form field has wrong value")
+)
+
+// Unstuffed bit offsets within an extended data frame, with SOF as bit
+// 0 (the numbering Algorithm 1 of the paper uses).
+const (
+	BitSOF         = 0  // start of frame, dominant
+	BitBaseID      = 1  // 11-bit base identifier
+	BitSRR         = 12 // substitute remote request, recessive
+	BitIDE         = 13 // identifier extension, recessive for extended
+	BitExtID       = 14 // 18-bit extended identifier
+	BitRTR         = 32 // remote transmission request, dominant for data
+	BitR1          = 33 // reserved; first bit after the arbitration field
+	BitR0          = 34 // reserved
+	BitDLC         = 35 // 4-bit data length code
+	BitData        = 39 // start of the data field
+	SABitFirst     = 24 // first bit of the J1939 source address
+	SABitLast      = 31 // last bit of the J1939 source address
+	ArbitrationEnd = 32 // last bit of the arbitration field (RTR)
+)
+
+// EOFLength is the number of recessive end-of-frame bits.
+const EOFLength = 7
+
+// IntermissionLength is the number of recessive interframe-space bits
+// that must pass before another frame may start.
+const IntermissionLength = 3
+
+// ExtendedFrame is a CAN 2.0B data frame with a 29-bit identifier
+// (Table 2.1). Only data frames are modelled in full because they are
+// the frames the intrusion detector inspects.
+type ExtendedFrame struct {
+	ID   uint32 // 29-bit identifier (J1939: priority | PGN | SA)
+	Data []byte // 0–8 octets
+}
+
+// NewJ1939Frame builds an extended data frame from J1939 fields.
+func NewJ1939Frame(id J1939ID, data []byte) (*ExtendedFrame, error) {
+	raw, err := id.Encode()
+	if err != nil {
+		return nil, err
+	}
+	f := &ExtendedFrame{ID: raw, Data: data}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Validate checks field ranges.
+func (f *ExtendedFrame) Validate() error {
+	if f.ID >= 1<<29 {
+		return ErrIDRange
+	}
+	if len(f.Data) > 8 {
+		return ErrDataLength
+	}
+	return nil
+}
+
+// J1939 returns the decomposed J1939 identifier.
+func (f *ExtendedFrame) J1939() J1939ID { return DecodeJ1939ID(f.ID) }
+
+// SA returns the J1939 source address (the low eight identifier bits).
+func (f *ExtendedFrame) SA() SourceAddress { return SourceAddress(f.ID & 0xFF) }
+
+// headerAndData returns the destuffed bits from SOF through the end of
+// the data field — the region the CRC covers.
+func (f *ExtendedFrame) headerAndData() (BitString, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	bits := make(BitString, 0, 39+8*len(f.Data))
+	bits = append(bits, Dominant) // SOF
+	bits = bits.AppendUint(f.ID>>18, 11)
+	bits = append(bits, Recessive) // SRR
+	bits = append(bits, Recessive) // IDE
+	bits = bits.AppendUint(f.ID&(1<<18-1), 18)
+	bits = append(bits, Dominant) // RTR: data frame
+	bits = append(bits, Dominant) // r1
+	bits = append(bits, Dominant) // r0
+	bits = bits.AppendUint(uint32(len(f.Data)), 4)
+	for _, b := range f.Data {
+		bits = bits.AppendUint(uint32(b), 8)
+	}
+	return bits, nil
+}
+
+// UnstuffedBits returns the destuffed logical frame from SOF through
+// the last EOF bit, with the CRC sequence computed and the ACK slot
+// transmitted recessive (as the sender drives it).
+func (f *ExtendedFrame) UnstuffedBits() (BitString, error) {
+	bits, err := f.headerAndData()
+	if err != nil {
+		return nil, err
+	}
+	crc := CRC15(bits)
+	bits = bits.AppendUint(uint32(crc), 15)
+	bits = append(bits, Recessive) // CRC delimiter
+	bits = append(bits, Recessive) // ACK slot as transmitted
+	bits = append(bits, Recessive) // ACK delimiter
+	for i := 0; i < EOFLength; i++ {
+		bits = append(bits, Recessive)
+	}
+	return bits, nil
+}
+
+// WireBits returns the frame exactly as it appears on the bus: the
+// region from SOF through the CRC sequence is bit-stuffed, then the
+// CRC delimiter, ACK slot, ACK delimiter and EOF follow unstuffed.
+// If ackAsserted is true the ACK slot is dominant, as it is on any
+// operational bus where at least one receiver acknowledges the frame.
+func (f *ExtendedFrame) WireBits(ackAsserted bool) (BitString, error) {
+	bits, err := f.headerAndData()
+	if err != nil {
+		return nil, err
+	}
+	crc := CRC15(bits)
+	stuffable := bits.AppendUint(uint32(crc), 15)
+	wire := Stuff(stuffable)
+	wire = append(wire, Recessive) // CRC delimiter
+	if ackAsserted {
+		wire = append(wire, Dominant)
+	} else {
+		wire = append(wire, Recessive)
+	}
+	wire = append(wire, Recessive) // ACK delimiter
+	for i := 0; i < EOFLength; i++ {
+		wire = append(wire, Recessive)
+	}
+	return wire, nil
+}
+
+// DecodeFrame parses a wire-level (stuffed) bit stream beginning at
+// SOF back into a frame, verifying fixed-form fields and the CRC.
+func DecodeFrame(wire BitString) (*ExtendedFrame, error) {
+	// Destuff only the stuffed region (SOF through CRC). First pull
+	// enough bits to read the DLC, then extend to the full frame.
+	destuffed, _, violation := UnstuffN(wire, BitData)
+	if violation {
+		return nil, ErrStuffViolation
+	}
+	if len(destuffed) < BitData {
+		return nil, ErrShortFrame
+	}
+	if destuffed[BitSOF] != Dominant {
+		return nil, fmt.Errorf("%w: SOF recessive", ErrFormViolation)
+	}
+	if destuffed[BitSRR] != Recessive || destuffed[BitIDE] != Recessive {
+		return nil, fmt.Errorf("%w: SRR/IDE not recessive", ErrFormViolation)
+	}
+	if destuffed[BitRTR] != Dominant {
+		return nil, fmt.Errorf("%w: RTR recessive (remote frames unsupported)", ErrFormViolation)
+	}
+	id := destuffed[BitBaseID:BitSRR].Uint()<<18 | destuffed[BitExtID:BitRTR].Uint()
+	dlc := int(destuffed[BitDLC : BitDLC+4].Uint())
+	if dlc > 8 {
+		dlc = 8 // DLC values 9–15 mean 8 data bytes per ISO 11898-1
+	}
+	end := BitData + 8*dlc
+	destuffed, _, violation = UnstuffN(wire, end+15)
+	if violation {
+		return nil, ErrStuffViolation
+	}
+	if len(destuffed) < end+15 {
+		return nil, ErrShortFrame
+	}
+	data := make([]byte, dlc)
+	for i := 0; i < dlc; i++ {
+		data[i] = byte(destuffed[BitData+8*i : BitData+8*i+8].Uint())
+	}
+	wantCRC := CRC15(destuffed[:end])
+	gotCRC := uint16(destuffed[end : end+15].Uint())
+	if wantCRC != gotCRC {
+		return nil, ErrCRCMismatch
+	}
+	return &ExtendedFrame{ID: id, Data: data}, nil
+}
+
+// FrameBitLength returns the unstuffed length in bits of a data frame
+// carrying n data bytes, from SOF through the last EOF bit.
+func FrameBitLength(n int) int {
+	// SOF + 11 + SRR + IDE + 18 + RTR + r1 + r0 + DLC(4) + data +
+	// CRC(15) + CRCdel + ACK + ACKdel + EOF(7)
+	return 39 + 8*n + 15 + 1 + 1 + 1 + EOFLength
+}

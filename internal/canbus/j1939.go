@@ -1,0 +1,98 @@
+package canbus
+
+import "fmt"
+
+// SourceAddress is the 8-bit J1939 source address occupying the last
+// eight bits of the 29-bit extended identifier. Each SA maps to
+// exactly one ECU; an ECU may transmit under several SAs.
+type SourceAddress uint8
+
+// Well-known J1939 source addresses (SAE J1939 Appendix B). The engine
+// control module conventionally transmits from SA 0.
+const (
+	SAEngine          SourceAddress = 0x00
+	SAEngine2         SourceAddress = 0x01
+	SATransmission    SourceAddress = 0x03
+	SABrakes          SourceAddress = 0x0B
+	SARetarderEngine  SourceAddress = 0x0F
+	SAInstrumentPanel SourceAddress = 0x17
+	SABodyController  SourceAddress = 0x21
+	SACabController   SourceAddress = 0x31
+	SAClimateControl  SourceAddress = 0x19
+	SASteering        SourceAddress = 0x13
+	SADiagnosticTool  SourceAddress = 0xF9
+	SANull            SourceAddress = 0xFE
+	SAGlobal          SourceAddress = 0xFF
+)
+
+// PGN is the 18-bit J1939 parameter group number identifying the
+// message type (e.g. engine speed).
+type PGN uint32
+
+// Well-known parameter group numbers used by the traffic generator.
+const (
+	PGNTorqueSpeedControl PGN = 0x0000 // TSC1
+	PGNElectronicEngine1  PGN = 0xF004 // EEC1: engine speed
+	PGNElectronicEngine2  PGN = 0xF003 // EEC2: accelerator pedal
+	PGNCruiseControl      PGN = 0xFEF1 // CCVS: wheel speed, cruise
+	PGNEngineTemperature  PGN = 0xFEEE // ET1: coolant temperature
+	PGNFuelEconomy        PGN = 0xFEF2 // LFE: fuel rate
+	PGNTransmission1      PGN = 0xF002 // ETC1: gear, output speed
+	PGNBrakes             PGN = 0xFEBF // EBC2: wheel speeds
+	PGNVehicleWeight      PGN = 0xFEEA
+	PGNDashDisplay        PGN = 0xFEFC
+	PGNAmbientConditions  PGN = 0xFEF5
+	PGNCabMessage1        PGN = 0xE000
+)
+
+// J1939ID is the decomposed 29-bit extended identifier per Figure 2.4:
+// 3 priority bits, an 18-bit parameter group number and an 8-bit
+// source address.
+type J1939ID struct {
+	Priority uint8 // 0 (highest) … 7 (lowest)
+	PGN      PGN
+	SA       SourceAddress
+}
+
+// maximums for field validation.
+const (
+	maxPriority = 7
+	maxPGN      = 1<<18 - 1
+)
+
+// Encode packs the ID into a 29-bit extended identifier value.
+// It returns an error if a field overflows its width.
+func (id J1939ID) Encode() (uint32, error) {
+	if id.Priority > maxPriority {
+		return 0, fmt.Errorf("canbus: priority %d exceeds 3 bits", id.Priority)
+	}
+	if id.PGN > maxPGN {
+		return 0, fmt.Errorf("canbus: PGN %#x exceeds 18 bits", uint32(id.PGN))
+	}
+	return uint32(id.Priority)<<26 | uint32(id.PGN)<<8 | uint32(id.SA), nil
+}
+
+// MustEncode is Encode for statically known-valid IDs; it panics on a
+// field overflow.
+func (id J1939ID) MustEncode() uint32 {
+	v, err := id.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// DecodeJ1939ID splits a 29-bit extended identifier into its J1939
+// fields (Table 2.2).
+func DecodeJ1939ID(raw uint32) J1939ID {
+	return J1939ID{
+		Priority: uint8(raw >> 26 & 0x7),
+		PGN:      PGN(raw >> 8 & maxPGN),
+		SA:       SourceAddress(raw & 0xFF),
+	}
+}
+
+// String renders the ID as priority/PGN/SA.
+func (id J1939ID) String() string {
+	return fmt.Sprintf("p%d pgn=%#05x sa=%#02x", id.Priority, uint32(id.PGN), uint8(id.SA))
+}

@@ -1,0 +1,123 @@
+package canbus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SPN describes a J1939 suspect parameter number: where a signal lives
+// inside a parameter group's 8-byte payload and how raw counts map to
+// engineering units (value = raw·Resolution + Offset). J1939 signals
+// are little-endian ("Intel" byte order).
+type SPN struct {
+	Number     int
+	Name       string
+	StartByte  int // 0-based offset into the data field
+	Length     int // 1 or 2 bytes
+	Resolution float64
+	Offset     float64
+	Units      string
+}
+
+// Errors reported by SPN coding.
+var (
+	ErrSPNRange  = errors.New("canbus: value outside SPN range")
+	ErrSPNLayout = errors.New("canbus: SPN does not fit the payload")
+)
+
+// rawMax returns the largest encodable raw count. J1939 reserves the
+// top of the range for error/not-available indicators, so the usable
+// span stops at 0xFA/0xFAFF.
+func (s SPN) rawMax() uint32 {
+	if s.Length == 1 {
+		return 0xFA
+	}
+	return 0xFAFF
+}
+
+// Min and Max return the engineering-unit range.
+func (s SPN) Min() float64 { return s.Offset }
+
+// Max returns the largest encodable engineering value.
+func (s SPN) Max() float64 { return float64(s.rawMax())*s.Resolution + s.Offset }
+
+// Encode writes value into data.
+func (s SPN) Encode(data []byte, value float64) error {
+	if s.StartByte+s.Length > len(data) {
+		return fmt.Errorf("%w: SPN %d needs bytes %d..%d of %d", ErrSPNLayout, s.Number, s.StartByte, s.StartByte+s.Length-1, len(data))
+	}
+	raw := math.Round((value - s.Offset) / s.Resolution)
+	if raw < 0 || raw > float64(s.rawMax()) {
+		return fmt.Errorf("%w: SPN %d value %g outside [%g, %g]", ErrSPNRange, s.Number, value, s.Min(), s.Max())
+	}
+	r := uint32(raw)
+	data[s.StartByte] = byte(r)
+	if s.Length == 2 {
+		data[s.StartByte+1] = byte(r >> 8)
+	}
+	return nil
+}
+
+// Decode reads the engineering value from data. The J1939
+// not-available patterns (0xFF / 0xFFFF) decode to NaN.
+func (s SPN) Decode(data []byte) (float64, error) {
+	if s.StartByte+s.Length > len(data) {
+		return 0, fmt.Errorf("%w: SPN %d needs bytes %d..%d of %d", ErrSPNLayout, s.Number, s.StartByte, s.StartByte+s.Length-1, len(data))
+	}
+	raw := uint32(data[s.StartByte])
+	notAvail := uint32(0xFF)
+	if s.Length == 2 {
+		raw |= uint32(data[s.StartByte+1]) << 8
+		notAvail = 0xFFFF
+	}
+	if raw == notAvail {
+		return math.NaN(), nil
+	}
+	return float64(raw)*s.Resolution + s.Offset, nil
+}
+
+// Well-known SPNs carried by the parameter groups the simulated
+// vehicles broadcast (SAE J1939-71 definitions).
+var (
+	SPNEngineSpeed = SPN{Number: 190, Name: "Engine Speed", StartByte: 3, Length: 2,
+		Resolution: 0.125, Offset: 0, Units: "rpm"} // EEC1 bytes 4–5
+	SPNAccelPedal = SPN{Number: 91, Name: "Accelerator Pedal Position", StartByte: 1, Length: 1,
+		Resolution: 0.4, Offset: 0, Units: "%"} // EEC2 byte 2
+	SPNCoolantTemp = SPN{Number: 110, Name: "Engine Coolant Temperature", StartByte: 0, Length: 1,
+		Resolution: 1, Offset: -40, Units: "°C"} // ET1 byte 1
+	SPNWheelSpeed = SPN{Number: 84, Name: "Wheel-Based Vehicle Speed", StartByte: 1, Length: 2,
+		Resolution: 1.0 / 256, Offset: 0, Units: "km/h"} // CCVS bytes 2–3
+	SPNFuelRate = SPN{Number: 183, Name: "Fuel Rate", StartByte: 0, Length: 2,
+		Resolution: 0.05, Offset: 0, Units: "L/h"} // LFE bytes 1–2
+	SPNOutputShaftSpeed = SPN{Number: 191, Name: "Transmission Output Shaft Speed", StartByte: 0, Length: 2,
+		Resolution: 0.125, Offset: 0, Units: "rpm"} // ETC1 bytes 1–2
+	SPNBrakePedal = SPN{Number: 521, Name: "Brake Pedal Position", StartByte: 0, Length: 1,
+		Resolution: 0.4, Offset: 0, Units: "%"} // EBC1-style byte 1
+	SPNAmbientTemp = SPN{Number: 171, Name: "Ambient Air Temperature", StartByte: 3, Length: 2,
+		Resolution: 0.03125, Offset: -273, Units: "°C"} // AMB bytes 4–5
+)
+
+// SPNsForPGN returns the catalogued signals of a parameter group.
+func SPNsForPGN(pgn PGN) []SPN {
+	switch pgn {
+	case PGNElectronicEngine1:
+		return []SPN{SPNEngineSpeed}
+	case PGNElectronicEngine2:
+		return []SPN{SPNAccelPedal}
+	case PGNEngineTemperature:
+		return []SPN{SPNCoolantTemp}
+	case PGNCruiseControl:
+		return []SPN{SPNWheelSpeed}
+	case PGNFuelEconomy:
+		return []SPN{SPNFuelRate}
+	case PGNTransmission1:
+		return []SPN{SPNOutputShaftSpeed}
+	case PGNBrakes:
+		return []SPN{SPNBrakePedal}
+	case PGNAmbientConditions:
+		return []SPN{SPNAmbientTemp}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,202 @@
+package canbus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSPNEncodeDecodeKnownValues(t *testing.T) {
+	data := make([]byte, 8)
+	// Engine speed 1800 rpm → raw 14400 → bytes 4–5 little-endian.
+	if err := SPNEngineSpeed.Encode(data, 1800); err != nil {
+		t.Fatal(err)
+	}
+	if data[3] != 0x40 || data[4] != 0x38 { // 14400 = 0x3840
+		t.Fatalf("encoded bytes % x", data)
+	}
+	got, err := SPNEngineSpeed.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1800 {
+		t.Fatalf("decoded %v", got)
+	}
+	// Coolant 90 °C → raw 130 with −40 offset.
+	if err := SPNCoolantTemp.Encode(data, 90); err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 130 {
+		t.Fatalf("coolant byte %d", data[0])
+	}
+}
+
+func TestSPNRangeChecks(t *testing.T) {
+	data := make([]byte, 8)
+	if err := SPNCoolantTemp.Encode(data, 500); err == nil {
+		t.Error("over-range coolant accepted")
+	}
+	if err := SPNCoolantTemp.Encode(data, -100); err == nil {
+		t.Error("under-range coolant accepted")
+	}
+	short := make([]byte, 2)
+	if err := SPNEngineSpeed.Encode(short, 100); err == nil {
+		t.Error("encode past payload end accepted")
+	}
+	if _, err := SPNEngineSpeed.Decode(short); err == nil {
+		t.Error("decode past payload end accepted")
+	}
+}
+
+func TestSPNNotAvailableDecodesNaN(t *testing.T) {
+	data := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	v, err := SPNEngineSpeed.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(v) {
+		t.Fatalf("not-available decoded to %v", v)
+	}
+}
+
+func TestSPNRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		data := make([]byte, 8)
+		spn := SPNWheelSpeed
+		r := uint32(raw)
+		if r > spn.rawMax() {
+			r = spn.rawMax()
+		}
+		value := float64(r)*spn.Resolution + spn.Offset
+		if err := spn.Encode(data, value); err != nil {
+			return false
+		}
+		got, err := spn.Decode(data)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-value) < spn.Resolution/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPNsForPGNCatalogue(t *testing.T) {
+	for _, pgn := range []PGN{
+		PGNElectronicEngine1, PGNElectronicEngine2, PGNEngineTemperature,
+		PGNCruiseControl, PGNFuelEconomy, PGNTransmission1, PGNBrakes,
+		PGNAmbientConditions,
+	} {
+		spns := SPNsForPGN(pgn)
+		if len(spns) == 0 {
+			t.Errorf("PGN %#x has no catalogued SPNs", uint32(pgn))
+		}
+		for _, s := range spns {
+			if s.StartByte+s.Length > 8 {
+				t.Errorf("SPN %d overflows the 8-byte payload", s.Number)
+			}
+			if s.Resolution <= 0 {
+				t.Errorf("SPN %d resolution %v", s.Number, s.Resolution)
+			}
+		}
+	}
+	if SPNsForPGN(PGNDashDisplay) != nil {
+		t.Error("uncatalogued PGN returned SPNs")
+	}
+}
+
+func TestNAMERoundTrip(t *testing.T) {
+	n := NAME{
+		ArbitraryAddressCapable: true,
+		IndustryGroup:           1, // on-highway
+		VehicleSystemInstance:   2,
+		VehicleSystem:           3,
+		Function:                0x80,
+		FunctionInstance:        4,
+		ECUInstance:             1,
+		ManufacturerCode:        999,
+		IdentityNumber:          123456,
+	}
+	raw, err := n.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodeNAME(raw); got != n {
+		t.Fatalf("round trip %+v != %+v", got, n)
+	}
+}
+
+func TestNAMEFieldOverflow(t *testing.T) {
+	if _, err := (NAME{ManufacturerCode: 2048}).Encode(); err == nil {
+		t.Error("12-bit manufacturer accepted")
+	}
+	if _, err := (NAME{IdentityNumber: 1 << 21}).Encode(); err == nil {
+		t.Error("22-bit identity accepted")
+	}
+}
+
+func TestAddressClaimFrameRoundTrip(t *testing.T) {
+	n := NAME{IndustryGroup: 1, Function: 0x3C, ManufacturerCode: 100, IdentityNumber: 42}
+	f, err := AddressClaimFrame(n, 0x31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotName, gotSA, ok := ParseAddressClaim(f)
+	if !ok {
+		t.Fatal("claim frame not recognised")
+	}
+	if gotSA != 0x31 || gotName != n {
+		t.Fatalf("parsed %+v @ %#x", gotName, gotSA)
+	}
+	// A data frame with a different PGN is not a claim.
+	other, err := NewJ1939Frame(J1939ID{Priority: 3, PGN: PGNElectronicEngine1, SA: 0}, make([]byte, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := ParseAddressClaim(other); ok {
+		t.Fatal("EEC1 misparsed as address claim")
+	}
+}
+
+func TestResolveAddressClaim(t *testing.T) {
+	lo := NAME{ManufacturerCode: 1, IdentityNumber: 1}
+	hi := NAME{ManufacturerCode: 1, IdentityNumber: 2}
+	aWins, err := ResolveAddressClaim(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aWins {
+		t.Fatal("lower NAME lost the contention")
+	}
+	bWins, err := ResolveAddressClaim(hi, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bWins {
+		t.Fatal("higher NAME won the contention")
+	}
+	if _, err := ResolveAddressClaim(lo, lo); err == nil {
+		t.Fatal("identical NAMEs not rejected")
+	}
+}
+
+func TestAddressClaimRidesNormalArbitration(t *testing.T) {
+	// Two nodes claiming different addresses simultaneously: normal
+	// identifier arbitration applies, and the lower SA's frame (lower
+	// ID, same priority/PGN) wins the bus.
+	nameA := NAME{ManufacturerCode: 5, IdentityNumber: 10}
+	fa, err := AddressClaimFrame(nameA, 0x10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameB := NAME{ManufacturerCode: 5, IdentityNumber: 11}
+	fb, err := AddressClaimFrame(nameB, 0x20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Arbitrate([]Contender{{Tag: 0, Frame: fa}, {Tag: 1, Frame: fb}})
+	if res.WinnerTag != 0 {
+		t.Fatalf("winner %d", res.WinnerTag)
+	}
+}

@@ -1,0 +1,153 @@
+package canbus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// J1939 transport protocol (J1939-21): parameter groups larger than
+// eight bytes travel as multi-packet sequences. This file implements
+// the broadcast variant, TP.BAM (Broadcast Announce Message): a TP.CM
+// control frame announcing the transfer, followed by numbered TP.DT
+// data frames. Diagnostics and configuration traffic on real trucks
+// uses it constantly, so a credible traffic substrate must speak it —
+// and it matters to vProfile's design: every packet of a transfer
+// still carries the sender's SA, so voltage fingerprinting applies
+// per frame with no reassembly needed.
+
+// Transport-protocol parameter groups.
+const (
+	PGNTPCM PGN = 0xEC00 // connection management (BAM/RTS/CTS/…)
+	PGNTPDT PGN = 0xEB00 // data transfer
+)
+
+// tpBAMControl is the TP.CM control byte announcing a broadcast.
+const tpBAMControl = 32
+
+// Transport-protocol limits (J1939-21).
+const (
+	tpMaxBytes   = 1785
+	tpBytesPerDT = 7
+)
+
+// Errors reported by the transport protocol.
+var (
+	ErrTPSize     = errors.New("canbus: transport payload must be 9–1785 bytes")
+	ErrTPSequence = errors.New("canbus: transport sequence error")
+	ErrTPFormat   = errors.New("canbus: not a transport-protocol frame")
+)
+
+// BAMAnnounce builds the TP.CM BAM frame for a payload of the given
+// size carrying the target PGN.
+func BAMAnnounce(target PGN, size int, sa SourceAddress) (*ExtendedFrame, error) {
+	if size <= 8 || size > tpMaxBytes {
+		return nil, fmt.Errorf("%w: %d", ErrTPSize, size)
+	}
+	packets := (size + tpBytesPerDT - 1) / tpBytesPerDT
+	data := []byte{
+		tpBAMControl,
+		byte(size), byte(size >> 8),
+		byte(packets),
+		0xFF, // reserved
+		byte(target), byte(target >> 8), byte(target >> 16),
+	}
+	return NewJ1939Frame(J1939ID{Priority: 7, PGN: PGNTPCM | 0xFF, SA: sa}, data)
+}
+
+// BAMSplit fragments a payload into the full TP.BAM frame sequence:
+// the announce frame followed by the TP.DT frames (7 payload bytes
+// each, 0xFF padded, led by a 1-based sequence number).
+func BAMSplit(target PGN, payload []byte, sa SourceAddress) ([]*ExtendedFrame, error) {
+	ann, err := BAMAnnounce(target, len(payload), sa)
+	if err != nil {
+		return nil, err
+	}
+	out := []*ExtendedFrame{ann}
+	seq := byte(1)
+	for off := 0; off < len(payload); off += tpBytesPerDT {
+		data := make([]byte, 8)
+		data[0] = seq
+		for i := 1; i < 8; i++ {
+			data[i] = 0xFF
+		}
+		n := copy(data[1:], payload[off:])
+		_ = n
+		frame, err := NewJ1939Frame(J1939ID{Priority: 7, PGN: PGNTPDT | 0xFF, SA: sa}, data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frame)
+		seq++
+	}
+	return out, nil
+}
+
+// BAMReassembler collects TP.BAM sequences per source address and
+// yields completed payloads. Broadcast transfers have no flow control,
+// so a dropped frame simply abandons the transfer (as on a real bus).
+type BAMReassembler struct {
+	sessions map[SourceAddress]*bamSession
+}
+
+type bamSession struct {
+	target   PGN
+	size     int
+	packets  int
+	received int
+	buf      []byte
+}
+
+// NewBAMReassembler returns an empty reassembler.
+func NewBAMReassembler() *BAMReassembler {
+	return &BAMReassembler{sessions: make(map[SourceAddress]*bamSession)}
+}
+
+// Completed is a finished transfer.
+type Completed struct {
+	SA      SourceAddress
+	PGN     PGN
+	Payload []byte
+}
+
+// Feed consumes one frame. It returns a non-nil Completed when the
+// frame finishes a transfer, and an error for malformed or
+// out-of-sequence transport frames (which also aborts that source's
+// session). Non-transport frames are ignored.
+func (r *BAMReassembler) Feed(f *ExtendedFrame) (*Completed, error) {
+	id := f.J1939()
+	switch id.PGN &^ 0xFF {
+	case PGNTPCM:
+		if len(f.Data) != 8 || f.Data[0] != tpBAMControl {
+			return nil, nil // RTS/CTS sessions are point-to-point; not modelled
+		}
+		size := int(f.Data[1]) | int(f.Data[2])<<8
+		packets := int(f.Data[3])
+		if size <= 8 || size > tpMaxBytes || packets != (size+tpBytesPerDT-1)/tpBytesPerDT {
+			delete(r.sessions, id.SA)
+			return nil, fmt.Errorf("%w: size %d packets %d", ErrTPFormat, size, packets)
+		}
+		target := PGN(f.Data[5]) | PGN(f.Data[6])<<8 | PGN(f.Data[7])<<16
+		r.sessions[id.SA] = &bamSession{target: target, size: size, packets: packets}
+		return nil, nil
+	case PGNTPDT:
+		sess, ok := r.sessions[id.SA]
+		if !ok {
+			return nil, nil // stray data frame; no announced session
+		}
+		want := byte(sess.received + 1) // 1-based, max 255 by construction
+		if len(f.Data) != 8 || f.Data[0] != want {
+			delete(r.sessions, id.SA)
+			return nil, fmt.Errorf("%w: expected %d got %v", ErrTPSequence, want, f.Data[:1])
+		}
+		sess.buf = append(sess.buf, f.Data[1:]...)
+		sess.received++
+		if sess.received == sess.packets {
+			payload := sess.buf[:sess.size]
+			delete(r.sessions, id.SA)
+			return &Completed{SA: id.SA, PGN: sess.target, Payload: payload}, nil
+		}
+		return nil, nil
+	default:
+		return nil, nil
+	}
+}

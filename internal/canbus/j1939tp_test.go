@@ -1,0 +1,203 @@
+package canbus
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBAMAnnounceValidation(t *testing.T) {
+	if _, err := BAMAnnounce(0x1000, 8, 0); !errors.Is(err, ErrTPSize) {
+		t.Errorf("8-byte announce: %v", err)
+	}
+	if _, err := BAMAnnounce(0x1000, 1786, 0); !errors.Is(err, ErrTPSize) {
+		t.Errorf("oversize announce: %v", err)
+	}
+	f, err := BAMAnnounce(0x1000, 20, 0x17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SA() != 0x17 {
+		t.Fatalf("announce SA %#x", f.SA())
+	}
+	if f.Data[0] != 32 {
+		t.Fatalf("control byte %d", f.Data[0])
+	}
+	if f.Data[3] != 3 { // ceil(20/7)
+		t.Fatalf("packet count %d", f.Data[3])
+	}
+}
+
+func TestBAMRoundTrip(t *testing.T) {
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frames, err := BAMSplit(0x1234, payload, 0x21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 announce + ceil(100/7)=15 data frames.
+	if len(frames) != 16 {
+		t.Fatalf("%d frames", len(frames))
+	}
+	r := NewBAMReassembler()
+	var done *Completed
+	for i, f := range frames {
+		c, err := r.Feed(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if c != nil {
+			if i != len(frames)-1 {
+				t.Fatalf("completed early at frame %d", i)
+			}
+			done = c
+		}
+	}
+	if done == nil {
+		t.Fatal("transfer never completed")
+	}
+	if done.SA != 0x21 || done.PGN != 0x1234 {
+		t.Fatalf("completed %#x/%#x", done.SA, uint32(done.PGN))
+	}
+	if !bytes.Equal(done.Payload, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestBAMRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw uint16) bool {
+		size := 9 + int(sizeRaw)%(tpMaxBytes-9)
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, size)
+		rng.Read(payload)
+		frames, err := BAMSplit(0x0F123, payload, 0x42)
+		if err != nil {
+			return false
+		}
+		r := NewBAMReassembler()
+		for i, fr := range frames {
+			c, err := r.Feed(fr)
+			if err != nil {
+				return false
+			}
+			if c != nil {
+				return i == len(frames)-1 && bytes.Equal(c.Payload, payload)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBAMSequenceErrorAbortsSession(t *testing.T) {
+	payload := make([]byte, 50)
+	frames, err := BAMSplit(0x1000, payload, 0x10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewBAMReassembler()
+	if _, err := r.Feed(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Skip frame 1: feeding frame 2 is out of sequence.
+	if _, err := r.Feed(frames[2]); !errors.Is(err, ErrTPSequence) {
+		t.Fatalf("out-of-sequence: %v", err)
+	}
+	// The session is gone; further data frames are strays.
+	if c, err := r.Feed(frames[3]); err != nil || c != nil {
+		t.Fatalf("stray after abort: %v %v", c, err)
+	}
+}
+
+func TestBAMStrayDataIgnored(t *testing.T) {
+	payload := make([]byte, 50)
+	frames, err := BAMSplit(0x1000, payload, 0x10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewBAMReassembler()
+	// Data frame without an announce.
+	if c, err := r.Feed(frames[1]); err != nil || c != nil {
+		t.Fatalf("stray: %v %v", c, err)
+	}
+	// Ordinary traffic passes through silently.
+	eec1, err := NewJ1939Frame(J1939ID{Priority: 3, PGN: PGNElectronicEngine1, SA: 0}, make([]byte, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := r.Feed(eec1); err != nil || c != nil {
+		t.Fatalf("non-TP frame: %v %v", c, err)
+	}
+}
+
+func TestBAMInterleavedSources(t *testing.T) {
+	// Two sources broadcast concurrently; reassembly is per-SA.
+	pa := bytes.Repeat([]byte{0xAA}, 30)
+	pb := bytes.Repeat([]byte{0xBB}, 40)
+	fa, err := BAMSplit(0x1111, pa, 0x01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := BAMSplit(0x2222, pb, 0x02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewBAMReassembler()
+	var got []*Completed
+	maxLen := len(fa)
+	if len(fb) > maxLen {
+		maxLen = len(fb)
+	}
+	for i := 0; i < maxLen; i++ {
+		for _, frames := range [][]*ExtendedFrame{fa, fb} {
+			if i >= len(frames) {
+				continue
+			}
+			c, err := r.Feed(frames[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c != nil {
+				got = append(got, c)
+			}
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d completions", len(got))
+	}
+	for _, c := range got {
+		switch c.SA {
+		case 0x01:
+			if !bytes.Equal(c.Payload, pa) {
+				t.Fatal("SA 0x01 payload corrupted")
+			}
+		case 0x02:
+			if !bytes.Equal(c.Payload, pb) {
+				t.Fatal("SA 0x02 payload corrupted")
+			}
+		default:
+			t.Fatalf("unexpected SA %#x", c.SA)
+		}
+	}
+}
+
+func TestBAMFramesStillFingerprintable(t *testing.T) {
+	// Every TP frame carries the sender's SA in its identifier — the
+	// property that lets vProfile classify multi-packet traffic
+	// per-frame without reassembly.
+	frames, err := BAMSplit(0x1A2B, make([]byte, 64), 0x31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		if f.SA() != 0x31 {
+			t.Fatalf("frame %d SA %#x", i, f.SA())
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package canbus
+
+// Tokenizer splits a continuous logical bit stream (as a bus receiver
+// sees it after its comparator) into frames: it waits for bus idle,
+// locks onto each SOF, decodes the frame with stuff-bit handling, and
+// resynchronises after malformed stretches. It is the digital
+// counterpart of the sample-level segmentation in internal/ids and
+// completes the receive path of the transfer layer: wire bits in,
+// validated frames out.
+type Tokenizer struct {
+	buf BitString
+	// consumed counts bits dropped from the front of buf since the
+	// tokenizer started, so Token positions are absolute.
+	consumed int64
+}
+
+// Token is one tokenizer output: a decoded frame or a framing error.
+type Token struct {
+	// SOFBit is the absolute bit index of the frame's SOF.
+	SOFBit int64
+	Frame  *ExtendedFrame
+	// Err is non-nil when the stretch after SOF did not decode (CRC
+	// mismatch, stuffing violation, malformed fields); the tokenizer
+	// skips to the next idle sequence, as a real controller's error
+	// handling effectively does.
+	Err error
+}
+
+// idleRun is the number of consecutive recessive bits that mark bus
+// idle: ACK delimiter + EOF + intermission.
+const idleRun = 1 + EOFLength + IntermissionLength
+
+// Push feeds wire bits and returns the frames completed within them.
+func (t *Tokenizer) Push(bits BitString) []Token {
+	t.buf = append(t.buf, bits...)
+	var out []Token
+	for {
+		tok, consumed, complete := t.scan()
+		if !complete {
+			break
+		}
+		if tok != nil {
+			out = append(out, *tok)
+		}
+		t.buf = t.buf[consumed:]
+		t.consumed += int64(consumed)
+	}
+	return out
+}
+
+// scan attempts to cut one frame (or discardable idle) off the front
+// of the buffer.
+func (t *Tokenizer) scan() (*Token, int, bool) {
+	// Find SOF: the first dominant bit.
+	sof := -1
+	for i, b := range t.buf {
+		if b == Dominant {
+			sof = i
+			break
+		}
+	}
+	if sof < 0 {
+		// All recessive: drop everything but a one-bit tail.
+		if len(t.buf) > 1 {
+			return nil, len(t.buf) - 1, true
+		}
+		return nil, 0, false
+	}
+	// Find the end: idleRun consecutive recessive bits after SOF.
+	run := 0
+	end := -1
+	for i := sof + 1; i < len(t.buf); i++ {
+		if t.buf[i] == Recessive {
+			run++
+			if run >= idleRun {
+				end = i + 1
+				break
+			}
+		} else {
+			run = 0
+		}
+		if i-sof > 200 { // longest stuffed frame is ~160 bits
+			end = i + 1
+			break
+		}
+	}
+	if end < 0 {
+		return nil, 0, false
+	}
+	tok := &Token{SOFBit: t.consumed + int64(sof)}
+	frame, err := DecodeFrame(t.buf[sof:end])
+	if err != nil {
+		tok.Err = err
+	} else {
+		tok.Frame = frame
+	}
+	return tok, end, true
+}

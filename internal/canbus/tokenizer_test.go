@@ -1,0 +1,175 @@
+package canbus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// wireOf renders frames separated by idle onto one bit stream.
+func wireOf(t *testing.T, frames []*ExtendedFrame, idleBetween int) BitString {
+	t.Helper()
+	var out BitString
+	for i := 0; i < idleBetween; i++ {
+		out = append(out, Recessive)
+	}
+	for _, f := range frames {
+		wire, err := f.WireBits(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, wire...)
+		for i := 0; i < idleBetween; i++ {
+			out = append(out, Recessive)
+		}
+	}
+	return out
+}
+
+func TestTokenizerDecodesBackToBackFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var frames []*ExtendedFrame
+	for i := 0; i < 10; i++ {
+		data := make([]byte, rng.Intn(9))
+		rng.Read(data)
+		frames = append(frames, &ExtendedFrame{ID: rng.Uint32() & (1<<29 - 1), Data: data})
+	}
+	stream := wireOf(t, frames, IntermissionLength)
+
+	var tk Tokenizer
+	var got []Token
+	// Feed in uneven chunks.
+	for off := 0; off < len(stream); off += 37 {
+		end := off + 37
+		if end > len(stream) {
+			end = len(stream)
+		}
+		got = append(got, tk.Push(stream[off:end])...)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("tokenised %d frames, sent %d", len(got), len(frames))
+	}
+	for i, tok := range got {
+		if tok.Err != nil {
+			t.Fatalf("frame %d: %v", i, tok.Err)
+		}
+		if tok.Frame.ID != frames[i].ID {
+			t.Fatalf("frame %d ID %#x want %#x", i, tok.Frame.ID, frames[i].ID)
+		}
+		if string(tok.Frame.Data) != string(frames[i].Data) {
+			t.Fatalf("frame %d data mismatch", i)
+		}
+	}
+	// SOF positions strictly increase.
+	for i := 1; i < len(got); i++ {
+		if got[i].SOFBit <= got[i-1].SOFBit {
+			t.Fatalf("SOF positions not increasing: %d then %d", got[i-1].SOFBit, got[i].SOFBit)
+		}
+	}
+}
+
+func TestTokenizerReportsCorruptFrameAndRecovers(t *testing.T) {
+	a := &ExtendedFrame{ID: 0x0CF00400, Data: []byte{1, 2}}
+	b := &ExtendedFrame{ID: 0x18FEF117, Data: []byte{3, 4}}
+	stream := wireOf(t, []*ExtendedFrame{a, b}, 5)
+	// Corrupt one bit inside the first frame's CRC-protected region.
+	stream[20] ^= 1
+
+	var tk Tokenizer
+	got := tk.Push(stream)
+	if len(got) != 2 {
+		t.Fatalf("%d tokens", len(got))
+	}
+	if got[0].Err == nil {
+		t.Fatal("corrupt frame decoded silently")
+	}
+	if got[1].Err != nil || got[1].Frame.ID != b.ID {
+		t.Fatalf("tokenizer did not recover: %+v", got[1])
+	}
+}
+
+func TestTokenizerIdleOnly(t *testing.T) {
+	idle := make(BitString, 500)
+	for i := range idle {
+		idle[i] = Recessive
+	}
+	var tk Tokenizer
+	if got := tk.Push(idle); len(got) != 0 {
+		t.Fatalf("%d tokens from idle", len(got))
+	}
+}
+
+func TestTokenizerStuckDominantBusReportsErrors(t *testing.T) {
+	// A stuck-dominant bus (all zeros) tokenises as framing errors,
+	// never as silent frames or a panic.
+	var tk Tokenizer
+	got := tk.Push(make(BitString, 500))
+	for _, tok := range got {
+		if tok.Err == nil {
+			t.Fatalf("stuck bus decoded a frame: %+v", tok.Frame)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("stuck bus produced no error tokens")
+	}
+}
+
+func TestTokenizerPartialFrameWaits(t *testing.T) {
+	f := &ExtendedFrame{ID: 0x0CF00400, Data: []byte{9}}
+	stream := wireOf(t, []*ExtendedFrame{f}, 4)
+	var tk Tokenizer
+	half := len(stream) / 2
+	if got := tk.Push(stream[:half]); len(got) != 0 {
+		t.Fatalf("half a frame produced %d tokens", len(got))
+	}
+	got := tk.Push(stream[half:])
+	if len(got) != 1 || got[0].Err != nil {
+		t.Fatalf("completion failed: %+v", got)
+	}
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	frame := &ExtendedFrame{ID: 0x18FEF100, Data: []byte{1, 2, 3}}
+	wire, _ := frame.WireBits(true)
+	seed := make([]byte, len(wire))
+	for i, b := range wire {
+		seed[i] = byte(b)
+	}
+	f.Add(seed)
+	f.Add([]byte{0, 1, 0, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := make(BitString, len(raw))
+		for i, b := range raw {
+			bits[i] = Bit(b & 1)
+		}
+		// Must never panic; errors are fine.
+		fr, err := DecodeFrame(bits)
+		if err == nil && fr.ID >= 1<<29 {
+			t.Fatalf("decoded out-of-range ID %#x", fr.ID)
+		}
+	})
+}
+
+func FuzzTokenizer(f *testing.F) {
+	frame := &ExtendedFrame{ID: 0x0CF00400, Data: []byte{7}}
+	wire, _ := frame.WireBits(true)
+	seed := make([]byte, len(wire))
+	for i, b := range wire {
+		seed[i] = byte(b)
+	}
+	f.Add(seed, uint8(13))
+	f.Fuzz(func(t *testing.T, raw []byte, chunk uint8) {
+		bits := make(BitString, len(raw))
+		for i, b := range raw {
+			bits[i] = Bit(b & 1)
+		}
+		step := int(chunk)%63 + 1
+		var tk Tokenizer
+		for off := 0; off < len(bits); off += step {
+			end := off + step
+			if end > len(bits) {
+				end = len(bits)
+			}
+			tk.Push(bits[off:end]) // must never panic
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vprofile/internal/canbus"
+	"vprofile/internal/linalg"
+)
+
+// Reason explains why a message was flagged.
+type Reason int
+
+// Detection reasons, in the order Algorithm 3 checks them.
+const (
+	ReasonNone            Reason = iota // message accepted
+	ReasonUnknownSA                     // claimed SA absent from the LUT
+	ReasonClusterMismatch               // nearest cluster differs from the claimed one
+	ReasonOverThreshold                 // distance exceeds MaxDist + margin
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "ok"
+	case ReasonUnknownSA:
+		return "unknown-sa"
+	case ReasonClusterMismatch:
+		return "cluster-mismatch"
+	case ReasonOverThreshold:
+		return "over-threshold"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// Detection is the outcome of classifying one message.
+type Detection struct {
+	Anomaly  bool
+	Reason   Reason
+	Expected ClusterID // cluster the claimed SA maps to (−1 if unknown)
+	Predict  ClusterID // nearest cluster by distance (−1 if unknown SA)
+	MinDist  float64   // distance to the nearest cluster
+}
+
+// Detect classifies an edge set claiming to originate from sa, per
+// Algorithm 3. The model's Margin widens each cluster's trained
+// MaxDist threshold.
+func (m *Model) Detect(sa canbus.SourceAddress, set linalg.Vector) Detection {
+	expID, ok := m.SALUT[sa]
+	if !ok {
+		return Detection{Anomaly: true, Reason: ReasonUnknownSA, Expected: -1, Predict: -1}
+	}
+	pred, minDist := m.Nearest(set)
+	if pred != expID {
+		return Detection{Anomaly: true, Reason: ReasonClusterMismatch, Expected: expID, Predict: pred, MinDist: minDist}
+	}
+	if minDist > m.Clusters[expID].MaxDist+m.Margin {
+		return Detection{Anomaly: true, Reason: ReasonOverThreshold, Expected: expID, Predict: pred, MinDist: minDist}
+	}
+	return Detection{Expected: expID, Predict: pred, MinDist: minDist}
+}
+
+// Nearest returns the cluster whose distance to the edge set is
+// smallest, together with that distance.
+func (m *Model) Nearest(set linalg.Vector) (ClusterID, float64) {
+	best := ClusterID(-1)
+	minDist := math.Inf(1)
+	for _, c := range m.Clusters {
+		if d := m.Distance(c, set); d < minDist {
+			best, minDist = c.ID, d
+		}
+	}
+	return best, minDist
+}

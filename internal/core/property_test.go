@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vprofile/internal/canbus"
+	"vprofile/internal/linalg"
+)
+
+// Property-based tests of detection invariants on randomly trained
+// models and random observations.
+
+// randomModel trains a small Mahalanobis model from a seed.
+func randomModel(seed int64) (*Model, []synthECU, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	nECU := 2 + rng.Intn(4)
+	seps := make([]float64, nECU)
+	for i := range seps {
+		seps[i] = float64(i) * (150 + rng.Float64()*200)
+	}
+	ecus := makeECUs(4+rng.Intn(6), seps)
+	var samples []Sample
+	for k := range ecus {
+		for i := 0; i < 80; i++ {
+			samples = append(samples, ecus[k].sample(rng))
+		}
+	}
+	m, err := Train(samples, TrainConfig{Metric: Mahalanobis, TargetClusters: nECU, Margin: rng.Float64() * 5})
+	if err != nil {
+		return nil, nil, nil
+	}
+	return m, ecus, rng
+}
+
+func TestPropertyNearestIsArgmin(t *testing.T) {
+	f := func(seed int64) bool {
+		m, ecus, rng := randomModel(seed)
+		if m == nil {
+			return true
+		}
+		s := ecus[rng.Intn(len(ecus))].sample(rng)
+		pred, minDist := m.Nearest(s.Set)
+		// Brute-force argmin must agree.
+		best, bestD := ClusterID(-1), math.Inf(1)
+		for _, c := range m.Clusters {
+			if d := m.Distance(c, s.Set); d < bestD {
+				best, bestD = c.ID, d
+			}
+		}
+		return pred == best && minDist == bestD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDetectConsistency(t *testing.T) {
+	// Invariants of Algorithm 3's outcome space:
+	//   unknown SA ⇒ anomaly with no prediction;
+	//   mismatch   ⇒ Predict ≠ Expected;
+	//   threshold  ⇒ Predict == Expected and MinDist > MaxDist+Margin;
+	//   ok         ⇒ Predict == Expected and MinDist ≤ MaxDist+Margin.
+	f := func(seed int64, saRaw uint8) bool {
+		m, ecus, rng := randomModel(seed)
+		if m == nil {
+			return true
+		}
+		s := ecus[rng.Intn(len(ecus))].sample(rng)
+		sa := canbus.SourceAddress(saRaw)
+		d := m.Detect(sa, s.Set)
+		switch d.Reason {
+		case ReasonUnknownSA:
+			_, known := m.SALUT[sa]
+			return d.Anomaly && !known && d.Predict == -1
+		case ReasonClusterMismatch:
+			return d.Anomaly && d.Predict != d.Expected
+		case ReasonOverThreshold:
+			c := m.Clusters[d.Expected]
+			return d.Anomaly && d.Predict == d.Expected && d.MinDist > c.MaxDist+m.Margin
+		case ReasonNone:
+			c := m.Clusters[d.Expected]
+			return !d.Anomaly && d.Predict == d.Expected && d.MinDist <= c.MaxDist+m.Margin
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMarginMonotone(t *testing.T) {
+	// Raising the margin can only turn anomalies into accepts, never
+	// the reverse, and only via the threshold path.
+	f := func(seed int64) bool {
+		m, ecus, rng := randomModel(seed)
+		if m == nil {
+			return true
+		}
+		s := ecus[rng.Intn(len(ecus))].sample(rng)
+		m.Margin = 0
+		d0 := m.Detect(s.SA, s.Set)
+		m.Margin = 1e9
+		d1 := m.Detect(s.SA, s.Set)
+		if !d0.Anomaly && d1.Anomaly {
+			return false // widening the margin created an anomaly
+		}
+		if d1.Anomaly && d1.Reason == ReasonOverThreshold {
+			return false // nothing exceeds an enormous margin
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTrainingSamplesWithinThreshold(t *testing.T) {
+	// Every training sample sits within its own cluster's MaxDist by
+	// construction (Algorithm 2's threshold definition).
+	rng := rand.New(rand.NewSource(77))
+	ecus := makeECUs(6, []float64{0, 250, 500})
+	var samples []Sample
+	for k := range ecus {
+		for i := 0; i < 100; i++ {
+			samples = append(samples, ecus[k].sample(rng))
+		}
+	}
+	m, err := Train(samples, TrainConfig{Metric: Mahalanobis, TargetClusters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range samples {
+		c, err := m.ClusterForSA(s.SA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := m.Distance(c, s.Set); d > c.MaxDist*(1+1e-9) {
+			t.Fatalf("training sample %d at distance %v exceeds its threshold %v", i, d, c.MaxDist)
+		}
+	}
+}
+
+func TestPropertyUpdateMeanConverges(t *testing.T) {
+	// Feeding a constant vector repeatedly drags the cluster mean
+	// toward it (Algorithm 4's mean update is a running average).
+	m, ecus, rng := randomModel(3)
+	if m == nil {
+		t.Skip("random model degenerate")
+	}
+	target := ecus[0].sample(rng)
+	for j := range target.Set {
+		target.Set[j] += 25
+	}
+	c, err := m.ClusterForSA(target.SA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := linalg.Euclidean(c.Mean, target.Set)
+	for i := 0; i < 400; i++ {
+		if _, err := m.Update([]Sample{{SA: target.SA, Set: target.Set.Clone()}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := linalg.Euclidean(c.Mean, target.Set)
+	if after >= before/2 {
+		t.Fatalf("mean did not converge: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"vprofile/internal/linalg"
+)
+
+// ClusterSummary is one cluster's row in a model report.
+type ClusterSummary struct {
+	ID      ClusterID
+	SAs     []string
+	N       int
+	MaxDist float64
+	// MeanLevel and LevelSpread summarise the stored mean waveform
+	// (code units) for quick eyeballing.
+	MeanLevel   float64
+	LevelSpread float64
+	// NearestID and NearestDist locate the most confusable peer under
+	// the model's metric.
+	NearestID   ClusterID
+	NearestDist float64
+	// EffectiveDims estimates the covariance's participation ratio
+	// (Σλ)²/Σλ² — how many directions actually carry the cluster's
+	// variance. Only populated for Mahalanobis models.
+	EffectiveDims float64
+}
+
+// Report summarises a trained model for operators: per-cluster
+// statistics, the inter-cluster distance structure, and global
+// separation health.
+type Report struct {
+	Metric   Metric
+	Dim      int
+	Margin   float64
+	Clusters []ClusterSummary
+	// MinSeparation is the smallest nearest-neighbour distance — the
+	// model's weakest link (the foreign-imitation candidate pair).
+	MinSeparation float64
+	// SeparationRatio divides MinSeparation by the largest cluster
+	// threshold: below ~1 the weakest pair sits inside a detection
+	// threshold and foreign imitation of that pair will go unseen.
+	SeparationRatio float64
+}
+
+// BuildReport derives the report from a trained model.
+func (m *Model) BuildReport() (*Report, error) {
+	if len(m.Clusters) == 0 {
+		return nil, ErrNoSamples
+	}
+	r := &Report{Metric: m.Metric, Dim: m.Dim, Margin: m.Margin, MinSeparation: math.Inf(1)}
+	maxThreshold := 0.0
+	for _, c := range m.Clusters {
+		cs := ClusterSummary{ID: c.ID, N: c.N, MaxDist: c.MaxDist, NearestID: -1, NearestDist: math.Inf(1)}
+		for _, sa := range c.SAs {
+			cs.SAs = append(cs.SAs, fmt.Sprintf("%#02x", uint8(sa)))
+		}
+		sort.Strings(cs.SAs)
+		var sum, sumSq float64
+		for _, v := range c.Mean {
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(len(c.Mean))
+		cs.MeanLevel = sum / n
+		cs.LevelSpread = math.Sqrt(math.Max(0, sumSq/n-cs.MeanLevel*cs.MeanLevel))
+		for _, o := range m.Clusters {
+			if o.ID == c.ID {
+				continue
+			}
+			d, err := m.InterClusterDistance(c.ID, o.ID)
+			if err != nil {
+				return nil, err
+			}
+			if d < cs.NearestDist {
+				cs.NearestDist = d
+				cs.NearestID = o.ID
+			}
+		}
+		if len(m.Clusters) == 1 {
+			cs.NearestDist = math.NaN()
+		}
+		if c.Cov != nil {
+			vals, _, err := linalg.SymmetricEigen(c.Cov)
+			if err == nil {
+				var s, s2 float64
+				for _, v := range vals {
+					if v > 0 {
+						s += v
+						s2 += v * v
+					}
+				}
+				if s2 > 0 {
+					cs.EffectiveDims = s * s / s2
+				}
+			}
+		}
+		if cs.NearestDist < r.MinSeparation {
+			r.MinSeparation = cs.NearestDist
+		}
+		if t := c.MaxDist + m.Margin; t > maxThreshold {
+			maxThreshold = t
+		}
+		r.Clusters = append(r.Clusters, cs)
+	}
+	if maxThreshold > 0 && !math.IsInf(r.MinSeparation, 1) && !math.IsNaN(r.MinSeparation) {
+		r.SeparationRatio = r.MinSeparation / maxThreshold
+	}
+	return r, nil
+}
+
+// String renders the report as a fixed-width table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metric=%s dim=%d margin=%g  min-separation=%.3f separation-ratio=%.2f\n",
+		r.Metric, r.Dim, r.Margin, r.MinSeparation, r.SeparationRatio)
+	fmt.Fprintf(&b, "%4s %6s %9s %10s %11s %8s %9s %8s  %s\n",
+		"id", "N", "maxdist", "meanlvl", "spread", "nearest", "near-d", "effdims", "SAs")
+	for _, c := range r.Clusters {
+		fmt.Fprintf(&b, "%4d %6d %9.3f %10.1f %11.1f %8d %9.2f %8.1f  %s\n",
+			c.ID, c.N, c.MaxDist, c.MeanLevel, c.LevelSpread,
+			c.NearestID, c.NearestDist, c.EffectiveDims, strings.Join(c.SAs, ","))
+	}
+	return b.String()
+}

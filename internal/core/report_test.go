@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuildReport(t *testing.T) {
+	m, ecus, _ := trainTest(t, Mahalanobis, TrainConfig{TargetClusters: 4, Margin: 2})
+	r, err := m.BuildReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Clusters) != 4 {
+		t.Fatalf("%d cluster rows", len(r.Clusters))
+	}
+	if r.Metric != Mahalanobis || r.Dim != m.Dim || r.Margin != 2 {
+		t.Fatalf("header %+v", r)
+	}
+	for _, c := range r.Clusters {
+		if c.N <= 0 || c.MaxDist <= 0 {
+			t.Fatalf("cluster %d degenerate: %+v", c.ID, c)
+		}
+		if c.NearestID < 0 || c.NearestID == c.ID {
+			t.Fatalf("cluster %d nearest %d", c.ID, c.NearestID)
+		}
+		if math.IsInf(c.NearestDist, 0) || c.NearestDist <= 0 {
+			t.Fatalf("cluster %d nearest distance %v", c.ID, c.NearestDist)
+		}
+		if len(c.SAs) != 2 {
+			t.Fatalf("cluster %d SAs %v", c.ID, c.SAs)
+		}
+		if c.EffectiveDims <= 0 || c.EffectiveDims > float64(m.Dim) {
+			t.Fatalf("cluster %d effective dims %v (dim %d)", c.ID, c.EffectiveDims, m.Dim)
+		}
+	}
+	if r.MinSeparation <= 0 || math.IsInf(r.MinSeparation, 0) {
+		t.Fatalf("min separation %v", r.MinSeparation)
+	}
+	if r.SeparationRatio <= 0 {
+		t.Fatalf("separation ratio %v", r.SeparationRatio)
+	}
+	// The synthetic ECUs are well separated: separation must exceed
+	// the thresholds.
+	if r.SeparationRatio < 1 {
+		t.Errorf("separation ratio %v < 1 on well-separated data", r.SeparationRatio)
+	}
+	_ = ecus
+
+	s := r.String()
+	if !strings.Contains(s, "min-separation") || !strings.Contains(s, "0x00") {
+		t.Fatalf("render incomplete:\n%s", s)
+	}
+}
+
+func TestBuildReportEuclideanHasNoEffDims(t *testing.T) {
+	m, _, _ := trainTest(t, Euclidean, TrainConfig{TargetClusters: 4})
+	r, err := m.BuildReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Clusters {
+		if c.EffectiveDims != 0 {
+			t.Fatalf("Euclidean cluster %d reports effective dims %v", c.ID, c.EffectiveDims)
+		}
+	}
+}
+
+func TestBuildReportEmptyModel(t *testing.T) {
+	if _, err := (&Model{}).BuildReport(); err == nil {
+		t.Fatal("empty model produced a report")
+	}
+}
+
+func TestLoadRejectsWrongMagicAndVersion(t *testing.T) {
+	m, _, _ := trainTest(t, Euclidean, TrainConfig{TargetClusters: 4})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Wrong magic.
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrModelFormat) {
+		t.Fatalf("wrong magic: %v", err)
+	}
+	// Wrong version.
+	bad = append([]byte{}, good...)
+	bad[5] = 99
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrModelFormat) {
+		t.Fatalf("wrong version: %v", err)
+	}
+	// Pristine file still loads.
+	if _, err := Load(bytes.NewReader(good)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package dsp provides the signal-processing utilities the vProfile
+// evaluation needs: integer-factor decimation and least-significant-
+// bit dropping for the sampling-rate/resolution sweeps of Section 4.3
+// (Tables 4.6 and 4.7, Figure 3.1), lateral rescaling for trace
+// comparison, and the moving-average low-pass filter plus matching
+// primitives (mean square error, convolution peak) used by the
+// Murvay-Groza baseline of Section 1.2.1.
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Downsample decimates the trace by the integer factor, keeping every
+// factor-th sample starting at index 0. This is exactly the software
+// downsampling the paper applies to its 20 MS/s captures to evaluate
+// 10, 5 and 2.5 MS/s operation.
+func Downsample(tr []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: downsample factor %d < 1", factor)
+	}
+	if factor == 1 {
+		out := make([]float64, len(tr))
+		copy(out, tr)
+		return out, nil
+	}
+	out := make([]float64, 0, (len(tr)+factor-1)/factor)
+	for i := 0; i < len(tr); i += factor {
+		out = append(out, tr[i])
+	}
+	return out, nil
+}
+
+// ReduceResolution drops the least significant bits of ADC codes,
+// going from fromBits to toBits of resolution, and keeps the result on
+// the original code scale (so thresholds calibrated at fromBits remain
+// meaningful). The paper does the same: "we drop the least significant
+// bits for the lower resolutions".
+func ReduceResolution(tr []float64, fromBits, toBits int) ([]float64, error) {
+	if toBits < 1 || fromBits < toBits || fromBits > 16 {
+		return nil, fmt.Errorf("dsp: cannot reduce %d-bit codes to %d bits", fromBits, toBits)
+	}
+	shift := float64(uint32(1) << uint(fromBits-toBits))
+	out := make([]float64, len(tr))
+	for i, v := range tr {
+		out[i] = math.Floor(v/shift) * shift
+	}
+	return out, nil
+}
+
+// MovingAverage applies a length-n boxcar low-pass filter. The ends
+// are handled by shrinking the window, so the output has the same
+// length as the input.
+func MovingAverage(tr []float64, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dsp: window %d < 1", n)
+	}
+	out := make([]float64, len(tr))
+	var sum float64
+	// Trailing window of up to n samples.
+	for i, v := range tr {
+		sum += v
+		if i >= n {
+			sum -= tr[i-n]
+		}
+		w := n
+		if i+1 < n {
+			w = i + 1
+		}
+		out[i] = sum / float64(w)
+	}
+	return out, nil
+}
+
+// ResampleTo linearly interpolates the trace onto n points spanning
+// the same lateral extent — the "laterally scale the traces for easier
+// comparison" operation of Figure 3.1a.
+func ResampleTo(tr []float64, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dsp: resample length %d < 1", n)
+	}
+	if len(tr) == 0 {
+		return nil, fmt.Errorf("dsp: resample of empty trace")
+	}
+	out := make([]float64, n)
+	if len(tr) == 1 || n == 1 {
+		for i := range out {
+			out[i] = tr[0]
+		}
+		return out, nil
+	}
+	scale := float64(len(tr)-1) / float64(n-1)
+	out[0] = tr[0]
+	out[n-1] = tr[len(tr)-1] // pin endpoints against rounding drift
+	for i := 1; i < n-1; i++ {
+		x := float64(i) * scale
+		j := int(x)
+		if j >= len(tr)-1 {
+			out[i] = tr[len(tr)-1]
+			continue
+		}
+		frac := x - float64(j)
+		out[i] = tr[j]*(1-frac) + tr[j+1]*frac
+	}
+	return out, nil
+}
+
+// MSE returns the mean square error between two equal-length traces —
+// one of the Murvay-Groza matching statistics.
+func MSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("dsp: MSE length mismatch %d != %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("dsp: MSE of empty traces")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a)), nil
+}
+
+// CrossCorrelationPeak returns the maximum of the normalised cross
+// correlation of a against b over all lags — the Murvay-Groza
+// convolution statistic. Both traces are mean-removed first.
+func CrossCorrelationPeak(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, fmt.Errorf("dsp: correlation of empty trace")
+	}
+	za, na := zeroMean(a)
+	zb, nb := zeroMean(b)
+	if na == 0 || nb == 0 {
+		return 0, nil // a flat trace correlates with nothing
+	}
+	best := math.Inf(-1)
+	for lag := -(len(zb) - 1); lag < len(za); lag++ {
+		var s float64
+		for i, v := range zb {
+			j := lag + i
+			if j < 0 || j >= len(za) {
+				continue
+			}
+			s += v * za[j]
+		}
+		if c := s / (na * nb); c > best {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+func zeroMean(tr []float64) ([]float64, float64) {
+	var mean float64
+	for _, v := range tr {
+		mean += v
+	}
+	mean /= float64(len(tr))
+	out := make([]float64, len(tr))
+	var norm float64
+	for i, v := range tr {
+		out[i] = v - mean
+		norm += out[i] * out[i]
+	}
+	return out, math.Sqrt(norm)
+}

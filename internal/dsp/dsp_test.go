@@ -1,0 +1,263 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDownsample(t *testing.T) {
+	in := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	out, err := Downsample(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 2, 4, 6}
+	if len(out) != len(want) {
+		t.Fatalf("len %d", len(out))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+}
+
+func TestDownsampleFactorOneCopies(t *testing.T) {
+	in := []float64{1, 2, 3}
+	out, err := Downsample(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[0] = 99
+	if in[0] != 1 {
+		t.Fatal("Downsample(1) aliases input")
+	}
+}
+
+func TestDownsampleErrors(t *testing.T) {
+	if _, err := Downsample(nil, 0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+}
+
+func TestDownsampleLengthProperty(t *testing.T) {
+	f := func(n uint8, factor uint8) bool {
+		fac := int(factor%7) + 1
+		in := make([]float64, n)
+		out, err := Downsample(in, fac)
+		if err != nil {
+			return false
+		}
+		return len(out) == (len(in)+fac-1)/fac
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceResolution(t *testing.T) {
+	in := []float64{65535, 32768, 255, 256, 0}
+	out, err := ReduceResolution(in, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{65280, 32768, 0, 256, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestReduceResolutionIdentity(t *testing.T) {
+	in := []float64{12345, 678}
+	out, err := ReduceResolution(in, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("16→16 changed the codes")
+		}
+	}
+}
+
+func TestReduceResolutionErrors(t *testing.T) {
+	if _, err := ReduceResolution(nil, 12, 14); err == nil {
+		t.Fatal("increase of resolution accepted")
+	}
+	if _, err := ReduceResolution(nil, 16, 0); err == nil {
+		t.Fatal("0-bit target accepted")
+	}
+}
+
+func TestReduceResolutionQuantisesToGrid(t *testing.T) {
+	f := func(raw uint16, to uint8) bool {
+		toBits := int(to%15) + 1
+		out, err := ReduceResolution([]float64{float64(raw)}, 16, toBits)
+		if err != nil {
+			return false
+		}
+		step := float64(uint32(1) << uint(16-toBits))
+		return math.Mod(out[0], step) == 0 && out[0] <= float64(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovingAverageConstant(t *testing.T) {
+	in := []float64{5, 5, 5, 5, 5}
+	out, err := MovingAverage(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 5 {
+			t.Fatalf("out[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestMovingAverageSmoothsStep(t *testing.T) {
+	in := []float64{0, 0, 0, 6, 6, 6}
+	out, err := MovingAverage(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the step, the window straddles: [0,0,6]/3 = 2, [0,6,6]/3 = 4.
+	if out[3] != 2 || out[4] != 4 || out[5] != 6 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestMovingAverageReducesNoiseVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := make([]float64, 4000)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	out, err := MovingAverage(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variance := func(x []float64) float64 {
+		var m, s float64
+		for _, v := range x {
+			m += v
+		}
+		m /= float64(len(x))
+		for _, v := range x {
+			s += (v - m) * (v - m)
+		}
+		return s / float64(len(x))
+	}
+	if vo, vi := variance(out[8:]), variance(in); vo > vi/4 {
+		t.Fatalf("filter barely reduced variance: %v vs %v", vo, vi)
+	}
+}
+
+func TestResampleToIdentity(t *testing.T) {
+	in := []float64{1, 2, 3, 4}
+	out, err := ResampleTo(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestResampleToUpsamplesLinearly(t *testing.T) {
+	in := []float64{0, 2}
+	out, err := ResampleTo(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 1 || out[2] != 2 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestResampleToPreservesEndpoints(t *testing.T) {
+	f := func(vals []float64, n uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		m := int(n%64) + 2
+		out, err := ResampleTo(vals, m)
+		if err != nil {
+			return false
+		}
+		return out[0] == vals[0] && out[m-1] == vals[len(vals)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSE(t *testing.T) {
+	got, err := MSE([]float64{1, 2, 3}, []float64{1, 2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("MSE = %v, want 3", got)
+	}
+	if _, err := MSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := MSE(nil, nil); err == nil {
+		t.Fatal("empty traces accepted")
+	}
+}
+
+func TestCrossCorrelationPeakSelfIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, 64)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	c, err := CrossCorrelationPeak(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-9 {
+		t.Fatalf("self correlation = %v", c)
+	}
+}
+
+func TestCrossCorrelationPeakFindsShiftedCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := make([]float64, 128)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	b := a[20:80] // shifted window of a
+	c, err := CrossCorrelationPeak(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 0.6 {
+		t.Fatalf("shifted copy correlation only %v", c)
+	}
+}
+
+func TestCrossCorrelationFlatTrace(t *testing.T) {
+	c, err := CrossCorrelationPeak([]float64{1, 1, 1}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Fatalf("flat correlation = %v", c)
+	}
+}

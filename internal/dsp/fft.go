@@ -1,0 +1,164 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-order radix-2 fast Fourier transform of the
+// input. The length must be a power of two; use NextPow2/ZeroPad to
+// prepare arbitrary-length signals. The implementation is the
+// standard iterative Cooley-Tukey with bit-reversal permutation —
+// ample for the ≤4096-point spectra the frequency-domain feature
+// extraction (the Choi et al. comparator) needs.
+func FFT(in []complex128) ([]complex128, error) {
+	n := len(in)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	out := make([]complex128, n)
+	// Bit-reversal permutation.
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		rev := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				rev |= 1 << (bits - 1 - b)
+			}
+		}
+		out[rev] = in[i]
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		w := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			wk := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := out[start+k]
+				b := out[start+k+half] * wk
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+				wk *= w
+			}
+		}
+	}
+	return out, nil
+}
+
+// IFFT computes the inverse transform.
+func IFFT(in []complex128) ([]complex128, error) {
+	n := len(in)
+	conj := make([]complex128, n)
+	for i, v := range in {
+		conj[i] = cmplx.Conj(v)
+	}
+	fwd, err := FFT(conj)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, n)
+	for i, v := range fwd {
+		out[i] = cmplx.Conj(v) / complex(float64(n), 0)
+	}
+	return out, nil
+}
+
+// NextPow2 returns the smallest power of two ≥ n (minimum 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// PowerSpectrum returns the one-sided power spectrum of a real signal,
+// zero-padded to the next power of two and mean-removed (so the DC
+// level does not dominate). The result has NextPow2(len)/2+1 bins.
+func PowerSpectrum(signal []float64) ([]float64, error) {
+	if len(signal) == 0 {
+		return nil, fmt.Errorf("dsp: power spectrum of empty signal")
+	}
+	var mean float64
+	for _, v := range signal {
+		mean += v
+	}
+	mean /= float64(len(signal))
+	n := NextPow2(len(signal))
+	buf := make([]complex128, n)
+	for i, v := range signal {
+		buf[i] = complex(v-mean, 0)
+	}
+	spec, err := FFT(buf)
+	if err != nil {
+		return nil, err
+	}
+	half := n/2 + 1
+	out := make([]float64, half)
+	for i := 0; i < half; i++ {
+		re, im := real(spec[i]), imag(spec[i])
+		out[i] = (re*re + im*im) / float64(n)
+	}
+	return out, nil
+}
+
+// SpectralFeatures summarises a power spectrum with the statistics the
+// frequency-domain feature selection literature favours.
+type SpectralFeatures struct {
+	Centroid  float64 // power-weighted mean bin
+	Spread    float64 // power-weighted bin standard deviation
+	Rolloff85 float64 // bin below which 85 % of the power lies
+	Flatness  float64 // geometric/arithmetic mean ratio (0 tonal … 1 noisy)
+	Peak      float64 // bin of the strongest component
+}
+
+// AnalyzeSpectrum computes SpectralFeatures from a power spectrum.
+func AnalyzeSpectrum(ps []float64) SpectralFeatures {
+	var total, weighted float64
+	for i, p := range ps {
+		total += p
+		weighted += float64(i) * p
+	}
+	var f SpectralFeatures
+	if total <= 0 {
+		return f
+	}
+	f.Centroid = weighted / total
+	var spread float64
+	for i, p := range ps {
+		d := float64(i) - f.Centroid
+		spread += d * d * p
+	}
+	f.Spread = math.Sqrt(spread / total)
+	var cum float64
+	for i, p := range ps {
+		cum += p
+		if cum >= 0.85*total {
+			f.Rolloff85 = float64(i)
+			break
+		}
+	}
+	var logSum float64
+	nonzero := 0
+	peakP := -1.0
+	for i, p := range ps {
+		if p > peakP {
+			peakP = p
+			f.Peak = float64(i)
+		}
+		if p > 0 {
+			logSum += math.Log(p)
+			nonzero++
+		}
+	}
+	if nonzero > 0 {
+		geo := math.Exp(logSum / float64(nonzero))
+		f.Flatness = geo / (total / float64(len(ps)))
+	}
+	return f
+}

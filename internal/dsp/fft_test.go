@@ -1,0 +1,173 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := FFT(make([]complex128, 3)); err == nil {
+		t.Fatal("length 3 accepted")
+	}
+	if _, err := FFT(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// A unit impulse transforms to an all-ones spectrum.
+	in := make([]complex128, 8)
+	in[0] = 1
+	out, err := FFT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// cos(2π·3t/N) concentrates in bins 3 and N−3.
+	const n = 64
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(math.Cos(2*math.Pi*3*float64(i)/n), 0)
+	}
+	out, err := FFT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		mag := cmplx.Abs(v)
+		if i == 3 || i == n-3 {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Fatalf("tone bin %d magnitude %v", i, mag)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("leakage at bin %d: %v", i, mag)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		in := make([]complex128, n)
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		fwd, err := FFT(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := IFFT(fwd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if cmplx.Abs(back[i]-in[i]) > 1e-9 {
+				t.Fatalf("n=%d sample %d: %v vs %v", n, i, back[i], in[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Σ|x|² = (1/N)·Σ|X|².
+	rng := rand.New(rand.NewSource(2))
+	const n = 128
+	in := make([]complex128, n)
+	var timeE float64
+	for i := range in {
+		in[i] = complex(rng.NormFloat64(), 0)
+		timeE += real(in[i]) * real(in[i])
+	}
+	out, err := FFT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range out {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqE /= n
+	if math.Abs(timeE-freqE) > 1e-9*timeE {
+		t.Fatalf("Parseval violated: %v vs %v", timeE, freqE)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 63: 64, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPowerSpectrumTone(t *testing.T) {
+	// A tone at bin 5 of a 128-sample record dominates its spectrum.
+	const n = 128
+	signal := make([]float64, n)
+	for i := range signal {
+		signal[i] = 10 + 3*math.Sin(2*math.Pi*5*float64(i)/n)
+	}
+	ps, err := PowerSpectrum(signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != n/2+1 {
+		t.Fatalf("%d bins", len(ps))
+	}
+	peak := 0
+	for i, p := range ps {
+		if p > ps[peak] {
+			peak = i
+		}
+	}
+	if peak != 5 {
+		t.Fatalf("peak at bin %d", peak)
+	}
+	// DC was removed.
+	if ps[0] > 1e-9 {
+		t.Fatalf("DC bin %v", ps[0])
+	}
+}
+
+func TestPowerSpectrumEmpty(t *testing.T) {
+	if _, err := PowerSpectrum(nil); err == nil {
+		t.Fatal("empty signal accepted")
+	}
+}
+
+func TestAnalyzeSpectrum(t *testing.T) {
+	// All power in one bin: centroid = that bin, zero spread, minimal
+	// flatness.
+	ps := make([]float64, 65)
+	ps[7] = 10
+	f := AnalyzeSpectrum(ps)
+	if f.Centroid != 7 || f.Spread != 0 || f.Peak != 7 || f.Rolloff85 != 7 {
+		t.Fatalf("tonal features %+v", f)
+	}
+	// Flat spectrum: flatness ≈ 1, centroid mid-band.
+	for i := range ps {
+		ps[i] = 1
+	}
+	f = AnalyzeSpectrum(ps)
+	if math.Abs(f.Flatness-1) > 1e-9 {
+		t.Fatalf("flat spectrum flatness %v", f.Flatness)
+	}
+	if f.Centroid < 30 || f.Centroid > 34 {
+		t.Fatalf("flat centroid %v", f.Centroid)
+	}
+	// Degenerate all-zero spectrum.
+	zero := AnalyzeSpectrum(make([]float64, 8))
+	if zero.Centroid != 0 || zero.Flatness != 0 {
+		t.Fatalf("zero spectrum %+v", zero)
+	}
+}

@@ -1,0 +1,350 @@
+package edgeset
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+)
+
+func testADC() analog.ADC {
+	return analog.ADC{SampleRate: 10e6, Bits: 16, MinVolts: -5, MaxVolts: 5}
+}
+
+func testTx() *analog.Transceiver {
+	return &analog.Transceiver{
+		Name: "tx", VDom: 2.0, VRec: 0.02,
+		TauRise: 60e-9, TauFall: 80e-9,
+		OvershootAmp: 0.15, UndershootAmp: 0.10,
+		RingFreq: 2.5e6, RingTau: 250e-9,
+		NoiseSigma: 0.004, EdgeJitterSigma: 2e-9,
+		NominalTempC: 25, NominalSupplyV: 12.6,
+	}
+}
+
+func testCfg() Config {
+	adc := testADC()
+	return Config{
+		BitWidth:     40,
+		BitThreshold: adc.VoltsToCode(1.0), // bisects the 0→2 V rising edge
+		PrefixLen:    2,
+		SuffixLen:    14,
+	}
+}
+
+func synthesize(t *testing.T, f *canbus.ExtendedFrame, seed int64) analog.Trace {
+	t.Helper()
+	cfg := analog.SynthConfig{ADC: testADC(), BitRate: 250e3, LeadIdleBits: 3, MaxSamples: 2600}
+	tx := testTx()
+	tr, err := analog.SynthesizeFrame(tx, f, cfg, tx.NominalEnvironment(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func frameWithSA(t *testing.T, sa canbus.SourceAddress, data []byte) *canbus.ExtendedFrame {
+	t.Helper()
+	f, err := canbus.NewJ1939Frame(canbus.J1939ID{Priority: 3, PGN: canbus.PGNElectronicEngine1, SA: sa}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCfg()
+	bad.BitWidth = 2
+	if bad.Validate() == nil {
+		t.Error("tiny bit width accepted")
+	}
+	bad = testCfg()
+	bad.SuffixLen = 0
+	if bad.Validate() == nil {
+		t.Error("zero suffix accepted")
+	}
+	bad = testCfg()
+	bad.NumEdgeSets = 3
+	bad.EdgeSetGap = 0
+	if bad.Validate() == nil {
+		t.Error("multi-set with zero gap accepted")
+	}
+	bad = testCfg()
+	bad.PrefixLen = 100
+	bad.SuffixLen = 100
+	if bad.Validate() == nil {
+		t.Error("window longer than four bits accepted")
+	}
+}
+
+func TestConfigDim(t *testing.T) {
+	if got := testCfg().Dim(); got != 32 {
+		t.Fatalf("Dim = %d, want 32 (2·(2+14))", got)
+	}
+}
+
+func TestExtractDecodesSA(t *testing.T) {
+	// The decoded SA must match the frame's SA for a variety of
+	// addresses (the stuffing patterns differ considerably).
+	for _, sa := range []canbus.SourceAddress{0x00, 0x03, 0x0B, 0x17, 0x21, 0x31, 0x55, 0xAA, 0xF0, 0xFF} {
+		f := frameWithSA(t, sa, []byte{0xDE, 0xAD})
+		tr := synthesize(t, f, int64(sa)+1)
+		res, err := Extract(tr, testCfg())
+		if err != nil {
+			t.Fatalf("sa %#x: %v", sa, err)
+		}
+		if res.SA != sa {
+			t.Fatalf("decoded SA %#x, want %#x", res.SA, sa)
+		}
+	}
+}
+
+func TestExtractDecodedBitsMatchFrame(t *testing.T) {
+	f := frameWithSA(t, 0x42, []byte{1, 2, 3})
+	tr := synthesize(t, f, 7)
+	res, err := Extract(tr, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.UnstuffedBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bits) < canbus.BitR1+1 {
+		t.Fatalf("only %d bits decoded", len(res.Bits))
+	}
+	for i := 0; i <= canbus.BitR1; i++ {
+		if res.Bits[i] != want[i] {
+			t.Fatalf("bit %d decoded %v want %v (bits %s vs %s)", i, res.Bits[i], want[i], res.Bits, want[:canbus.BitR1+1])
+		}
+	}
+}
+
+func TestExtractManySAsUnderNoise(t *testing.T) {
+	// Stress synchronisation: random SAs, data and seeds.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		sa := canbus.SourceAddress(rng.Intn(256))
+		data := make([]byte, rng.Intn(9))
+		rng.Read(data)
+		f := frameWithSA(t, sa, data)
+		tr := synthesize(t, f, rng.Int63())
+		res, err := Extract(tr, testCfg())
+		if err != nil {
+			t.Fatalf("trial %d sa %#x: %v", trial, sa, err)
+		}
+		if res.SA != sa {
+			t.Fatalf("trial %d: decoded %#x want %#x", trial, res.SA, sa)
+		}
+	}
+}
+
+func TestExtractVectorShape(t *testing.T) {
+	f := frameWithSA(t, 0x11, []byte{0xFF})
+	tr := synthesize(t, f, 3)
+	cfg := testCfg()
+	res, err := Extract(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != cfg.Dim() {
+		t.Fatalf("edge set has %d samples, want %d", len(res.Set), cfg.Dim())
+	}
+	// The rising-edge window must straddle the threshold: prefix below,
+	// some suffix above.
+	if res.Set[0] >= cfg.BitThreshold {
+		t.Errorf("first prefix sample %v already above threshold", res.Set[0])
+	}
+	if res.Set[cfg.PrefixLen] < cfg.BitThreshold {
+		t.Errorf("first suffix sample %v below threshold", res.Set[cfg.PrefixLen])
+	}
+	// The falling-edge window starts above (prefix) and crosses below.
+	fall := res.Set[cfg.PrefixLen+cfg.SuffixLen:]
+	if fall[0] < cfg.BitThreshold {
+		t.Errorf("falling prefix %v below threshold", fall[0])
+	}
+	if fall[cfg.PrefixLen] >= cfg.BitThreshold {
+		t.Errorf("falling crossing sample %v not below threshold", fall[cfg.PrefixLen])
+	}
+}
+
+func TestExtractEdgeSetAfterArbitrationField(t *testing.T) {
+	f := frameWithSA(t, 0x00, []byte{0, 0})
+	tr := synthesize(t, f, 5)
+	res, err := Extract(tr, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit 33 starts 33 bit-times after SOF; the edge set must begin at
+	// or after that point.
+	minAt := res.BitsSOF + 33*testCfg().BitWidth
+	if res.SetAt < minAt {
+		t.Fatalf("edge set at sample %d, inside the arbitration field (SOF %d)", res.SetAt, res.BitsSOF)
+	}
+}
+
+func TestExtractStableAcrossMessages(t *testing.T) {
+	// Edge sets from the same ECU must be close to each other, far
+	// from a different ECU's (Figure 2.5). Compare mean waveforms.
+	cfg := testCfg()
+	synthCfg := analog.SynthConfig{ADC: testADC(), BitRate: 250e3, LeadIdleBits: 3, MaxSamples: 2600}
+	txA := testTx()
+	txB := testTx()
+	txB.VDom = 2.15
+	txB.TauRise = 90e-9
+	rng := rand.New(rand.NewSource(1234))
+	meanOf := func(tx *analog.Transceiver) []float64 {
+		sum := make([]float64, cfg.Dim())
+		const n = 30
+		for i := 0; i < n; i++ {
+			f := frameWithSA(t, 0x10, []byte{byte(i), 0x55})
+			tr, err := analog.SynthesizeFrame(tx, f, synthCfg, tx.NominalEnvironment(), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Extract(tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, v := range res.Set {
+				sum[j] += v / n
+			}
+		}
+		return sum
+	}
+	mA1 := meanOf(txA)
+	mA2 := meanOf(txA)
+	mB := meanOf(txB)
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	same := dist(mA1, mA2)
+	diff := dist(mA1, mB)
+	if diff < 5*same {
+		t.Fatalf("inter-ECU distance %v not well above intra-ECU %v", diff, same)
+	}
+}
+
+func TestExtractMultipleEdgeSets(t *testing.T) {
+	cfg := testCfg()
+	cfg.NumEdgeSets = 3
+	cfg.EdgeSetGap = 250
+	f := frameWithSA(t, 0x21, []byte{0xA5, 0x5A, 0xA5, 0x5A, 0xA5, 0x5A, 0xA5, 0x5A})
+	synthCfg := analog.SynthConfig{ADC: testADC(), BitRate: 250e3, LeadIdleBits: 3, MaxSamples: 4200}
+	tx := testTx()
+	tr, err := analog.SynthesizeFrame(tx, f, synthCfg, tx.NominalEnvironment(), rand.New(rand.NewSource(55)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Extract(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != cfg.Dim() {
+		t.Fatalf("averaged set has %d samples", len(res.Set))
+	}
+	// The averaged set must still look like an edge set: rising window
+	// crosses the threshold.
+	if res.Set[0] >= cfg.BitThreshold || res.Set[cfg.PrefixLen+2] < cfg.BitThreshold {
+		t.Fatalf("averaged set lost its edge shape: %v", res.Set[:cfg.PrefixLen+3])
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	cfg := testCfg()
+	// All-recessive trace: no SOF.
+	idle := make(analog.Trace, 2000)
+	if _, err := Extract(idle, cfg); !errors.Is(err, ErrNoSOF) {
+		t.Errorf("idle trace: %v", err)
+	}
+	// Truncated right after SOF.
+	f := frameWithSA(t, 0x20, nil)
+	tr := synthesize(t, f, 8)
+	if _, err := Extract(tr[:200], cfg); err == nil {
+		t.Error("truncated trace accepted")
+	}
+	// Bad config surfaces.
+	bad := cfg
+	bad.BitWidth = 0
+	if _, err := Extract(tr, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad config: %v", err)
+	}
+}
+
+func TestExtractSurvivesStuffBitsInArbitration(t *testing.T) {
+	// PGN 0 / SA 0 with priority 0 puts long dominant runs in the ID,
+	// forcing stuff bits inside the region we must stay synchronised
+	// through.
+	f, err := canbus.NewJ1939Frame(canbus.J1939ID{Priority: 0, PGN: 0, SA: 0}, []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := synthesize(t, f, 77)
+	res, err := Extract(tr, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SA != 0 {
+		t.Fatalf("decoded SA %#x, want 0", res.SA)
+	}
+}
+
+func TestExtractAllRecessiveSA(t *testing.T) {
+	// SA 0xFF maximises recessive runs (stuff bits of the opposite
+	// flavour).
+	f := frameWithSA(t, 0xFF, []byte{0xFF, 0xFF})
+	tr := synthesize(t, f, 13)
+	res, err := Extract(tr, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SA != 0xFF {
+		t.Fatalf("decoded SA %#x, want 0xFF", res.SA)
+	}
+}
+
+func TestClusterThreshold(t *testing.T) {
+	tr := analog.Trace{0, 0, 100, 100, 50, 999, 999, 999}
+	// First half = {0, 0, 100, 100} → (0+100)/2 = 50.
+	if got := ClusterThreshold(tr); got != 50 {
+		t.Fatalf("ClusterThreshold = %v, want 50", got)
+	}
+	single := analog.Trace{42}
+	if got := ClusterThreshold(single); got != 42 {
+		t.Fatalf("single-sample threshold = %v", got)
+	}
+}
+
+func TestExtractAt20MSPerSecond(t *testing.T) {
+	// Vehicle A's digitizer: 20 MS/s, 80 samples/bit, doubled window.
+	adc := analog.ADC{SampleRate: 20e6, Bits: 16, MinVolts: -5, MaxVolts: 5}
+	cfg := Config{BitWidth: 80, BitThreshold: adc.VoltsToCode(1.0), PrefixLen: 4, SuffixLen: 28}
+	synthCfg := analog.SynthConfig{ADC: adc, BitRate: 250e3, LeadIdleBits: 3, MaxSamples: 5200}
+	tx := testTx()
+	f := frameWithSA(t, 0x3D, []byte{9, 9})
+	tr, err := analog.SynthesizeFrame(tx, f, synthCfg, tx.NominalEnvironment(), rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Extract(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SA != 0x3D {
+		t.Fatalf("SA %#x", res.SA)
+	}
+	if len(res.Set) != 64 {
+		t.Fatalf("dim %d", len(res.Set))
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"vprofile/internal/core"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/vehicle"
+)
+
+// AblationPoint is one configuration's scores in an ablation study.
+type AblationPoint struct {
+	Label      string
+	Dim        int
+	FPAccuracy float64
+	HijackF    float64
+	ForeignF   float64
+	Err        string
+}
+
+// runExtractionVariants evaluates the three tests for several
+// extraction configurations over one shared capture (parallel to the
+// sampling-rate sweep, but varying preprocessing choices instead).
+func runExtractionVariants(v *vehicle.Vehicle, labels []string, cfgs []edgeset.Config, scale Scale) ([]AblationPoint, error) {
+	if len(labels) != len(cfgs) {
+		return nil, errors.New("experiments: labels/configs mismatch")
+	}
+	trainSets, err := collectVariantSamples(v, scale.TrainMessages, scale.Seed, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	testSets, err := collectVariantSamples(v, scale.TestMessages, scale.Seed+1, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationPoint, len(cfgs))
+	for i := range cfgs {
+		out[i] = AblationPoint{Label: labels[i], Dim: cfgs[i].Dim()}
+		mr, err := RunMetricOnSamples(v, core.Mahalanobis, trainSets[i], testSets[i], scale.Seed)
+		if errors.Is(err, core.ErrSingularCov) {
+			out[i].Err = "singular covariance"
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %q: %w", labels[i], err)
+		}
+		out[i].FPAccuracy = mr.FalsePositive.Matrix.Accuracy()
+		out[i].HijackF = mr.Hijack.Matrix.FScore()
+		out[i].ForeignF = mr.Foreign.Matrix.FScore()
+	}
+	return out, nil
+}
+
+// collectVariantSamples extracts every message of one capture under
+// every configuration.
+func collectVariantSamples(v *vehicle.Vehicle, n int, seed int64, cfgs []edgeset.Config) ([][]LabeledSample, error) {
+	out := make([][]LabeledSample, len(cfgs))
+	for i := range out {
+		out[i] = make([]LabeledSample, 0, n)
+	}
+	err := v.Stream(vehicle.GenConfig{NumMessages: n, Seed: seed}, func(m vehicle.Message) error {
+		for i := range cfgs {
+			res, err := edgeset.Extract(m.Trace, cfgs[i])
+			if err != nil {
+				return fmt.Errorf("experiments: variant %d: %w", i, err)
+			}
+			out[i] = append(out[i], LabeledSample{
+				Sample: core.Sample{SA: res.SA, Set: res.Set},
+				ECU:    m.ECUIndex,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunWindowAblation sweeps the edge-set window (suffix length) around
+// the paper's reference choice: too short loses the overshoot and
+// steady-state information, longer windows raise the dimensionality
+// (and with it the sample count the covariance needs) without adding
+// detection power.
+func RunWindowAblation(v *vehicle.Vehicle, scale Scale) ([]AblationPoint, error) {
+	base := v.ExtractionConfig()
+	scaleUp := base.BitWidth / 40
+	if scaleUp < 1 {
+		scaleUp = 1
+	}
+	var labels []string
+	var cfgs []edgeset.Config
+	for _, suffix := range []int{4, 8, 14, 20} {
+		cfg := base
+		cfg.SuffixLen = suffix * scaleUp
+		labels = append(labels, fmt.Sprintf("suffix=%d", suffix*scaleUp))
+		cfgs = append(cfgs, cfg)
+	}
+	return runExtractionVariants(v, labels, cfgs, scale)
+}
+
+// RunEdgeAblation compares the paper's rising+falling edge set against
+// single-edge variants: the falling edge alone carries most of the
+// discriminative power on these vehicles, but the pair is what the
+// paper standardises on.
+func RunEdgeAblation(v *vehicle.Vehicle, scale Scale) ([]AblationPoint, error) {
+	base := v.ExtractionConfig()
+	labels := []string{"both-edges", "rising-only", "falling-only"}
+	cfgs := []edgeset.Config{base, base, base}
+	cfgs[1].Edges = edgeset.EdgesRising
+	cfgs[2].Edges = edgeset.EdgesFalling
+	return runExtractionVariants(v, labels, cfgs, scale)
+}
+
+// MarginCurvePoint is one margin value's outcome in the sensitivity
+// study of the Section 3.2.3 trade-off.
+type MarginCurvePoint struct {
+	Margin        float64
+	FPAccuracy    float64
+	ForeignF      float64
+	ForeignRecall float64
+}
+
+// RunMarginCurve traces the false-positive/false-negative trade-off as
+// the margin grows: small margins flag legitimate tail messages, large
+// margins absorb the foreign device.
+func RunMarginCurve(v *vehicle.Vehicle, margins []float64, scale Scale) ([]MarginCurvePoint, error) {
+	cfg := v.ExtractionConfig()
+	train, err := CollectSamples(v, scale.TrainMessages, scale.Seed, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	test, err := CollectSamples(v, scale.TestMessages, scale.Seed+1, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.Train(CoreSamples(train), core.TrainConfig{Metric: core.Mahalanobis, SAMap: v.SAMap()})
+	if err != nil {
+		return nil, err
+	}
+	// Foreign setup mirrors RunMetric: remove the lower-indexed member
+	// of the closest pair, relabel its traffic as the other.
+	a, b, _, err := model.ClosestClusterPair()
+	if err != nil {
+		return nil, err
+	}
+	removedECU, imitatedSA, err := foreignRoles(v, model, a, b)
+	if err != nil {
+		return nil, err
+	}
+	foreignModel, err := core.Train(CoreSamples(WithoutECU(train, removedECU)), core.TrainConfig{Metric: core.Mahalanobis, SAMap: v.SAMap()})
+	if err != nil {
+		return nil, err
+	}
+	fpRecs := FalsePositiveRecords(model, test)
+	fgRecs := ForeignRecords(foreignModel, test, removedECU, imitatedSA)
+	out := make([]MarginCurvePoint, 0, len(margins))
+	for _, m := range margins {
+		fg := EvaluateAtMargin(fgRecs, m)
+		out = append(out, MarginCurvePoint{
+			Margin:        m,
+			FPAccuracy:    EvaluateAtMargin(fpRecs, m).Accuracy(),
+			ForeignF:      fg.FScore(),
+			ForeignRecall: fg.Recall(),
+		})
+	}
+	return out, nil
+}
+
+// TrainingSizePoint is one training-capture size's outcome.
+type TrainingSizePoint struct {
+	TrainMessages int
+	FPAccuracy    float64
+	HijackF       float64
+	Err           string
+}
+
+// RunTrainingSizeAblation shows how much training data the Mahalanobis
+// model needs: below roughly 2× the edge-set dimensionality per
+// cluster the covariance goes singular; near it, inflated thresholds
+// cost accuracy; well above it the scores saturate.
+func RunTrainingSizeAblation(v *vehicle.Vehicle, sizes []int, scale Scale) ([]TrainingSizePoint, error) {
+	cfg := v.ExtractionConfig()
+	biggest := 0
+	for _, s := range sizes {
+		if s > biggest {
+			biggest = s
+		}
+	}
+	allTrain, err := CollectSamples(v, biggest, scale.Seed, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	test, err := CollectSamples(v, scale.TestMessages, scale.Seed+1, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TrainingSizePoint, 0, len(sizes))
+	for _, size := range sizes {
+		pt := TrainingSizePoint{TrainMessages: size}
+		model, err := core.Train(CoreSamples(allTrain[:size]), core.TrainConfig{Metric: core.Mahalanobis, SAMap: v.SAMap()})
+		if errors.Is(err, core.ErrSingularCov) {
+			pt.Err = "singular covariance"
+			out = append(out, pt)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		_, fpCM := OptimizeMargin(FalsePositiveRecords(model, test), MaxAccuracy)
+		pt.FPAccuracy = fpCM.Accuracy()
+		rng := newHijackRNG(scale.Seed)
+		_, hjCM := OptimizeMargin(HijackRecords(model, test, rng), MaxFScore)
+		pt.HijackF = hjCM.FScore()
+		out = append(out, pt)
+	}
+	return out, nil
+}

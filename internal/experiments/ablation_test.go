@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"testing"
+
+	"vprofile/internal/vehicle"
+)
+
+var ablationScale = Scale{TrainMessages: 1200, TestMessages: 2000, Seed: 7}
+
+func TestWindowAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations need traffic")
+	}
+	pts, err := RunWindowAblation(vehicle.NewVehicleA(), ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		t.Logf("%-12s dim=%2d FP=%.5f hijack=%.5f foreign=%.5f %s", p.Label, p.Dim, p.FPAccuracy, p.HijackF, p.ForeignF, p.Err)
+	}
+	// The reference window (suffix 14×scale) must be evaluable and
+	// effectively perfect on Vehicle A.
+	ref := pts[2]
+	if ref.Err != "" || ref.FPAccuracy < 0.999 || ref.HijackF < 0.999 {
+		t.Fatalf("reference window degraded: %+v", ref)
+	}
+	// Dimensionality must grow with the suffix.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Dim <= pts[i-1].Dim {
+			t.Fatalf("dims not increasing: %+v", pts)
+		}
+	}
+}
+
+func TestEdgeAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations need traffic")
+	}
+	pts, err := RunEdgeAblation(vehicle.NewVehicleA(), ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		t.Logf("%-14s dim=%2d FP=%.5f hijack=%.5f foreign=%.5f %s", p.Label, p.Dim, p.FPAccuracy, p.HijackF, p.ForeignF, p.Err)
+	}
+	both := pts[0]
+	if both.Err != "" || both.HijackF < 0.999 {
+		t.Fatalf("both-edges variant degraded: %+v", both)
+	}
+	// Single-edge variants halve the dimensionality.
+	if pts[1].Dim*2 != both.Dim || pts[2].Dim*2 != both.Dim {
+		t.Fatalf("dims %d/%d/%d", both.Dim, pts[1].Dim, pts[2].Dim)
+	}
+	// Each single-edge variant must still be a usable detector on this
+	// easy vehicle (the ablation's point is that the pair adds margin,
+	// not that single edges fail outright).
+	for _, p := range pts[1:] {
+		if p.Err == "" && p.HijackF < 0.98 {
+			t.Errorf("%s collapsed: %+v", p.Label, p)
+		}
+	}
+}
+
+func TestMarginCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations need traffic")
+	}
+	margins := []float64{0, 5, 15, 40, 100, 400}
+	pts, err := RunMarginCurve(vehicle.NewVehicleA(), margins, ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		t.Logf("margin %6.1f: FP acc=%.5f foreign F=%.5f recall=%.5f", p.Margin, p.FPAccuracy, p.ForeignF, p.ForeignRecall)
+	}
+	// FP accuracy is monotonically non-decreasing in the margin
+	// (larger margins only remove false positives).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FPAccuracy < pts[i-1].FPAccuracy {
+			t.Fatalf("FP accuracy fell with a larger margin: %+v", pts)
+		}
+	}
+	// Foreign recall is monotonically non-increasing (larger margins
+	// only add false negatives); the F-score itself peaks in the
+	// middle where precision has recovered but recall has not yet
+	// collapsed — exactly the Section 3.2.3 trade-off.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ForeignRecall > pts[i-1].ForeignRecall+1e-12 {
+			t.Fatalf("foreign recall rose with a larger margin: %+v", pts)
+		}
+	}
+	if pts[len(pts)-1].ForeignRecall >= 0.5 {
+		t.Fatal("huge margin did not suppress foreign detection")
+	}
+	if pts[0].ForeignRecall < 0.99 {
+		t.Fatal("zero margin did not detect the foreign device")
+	}
+}
+
+func TestTrainingSizeAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations need traffic")
+	}
+	// Vehicle B: dim 32. ~90 messages spread over 10 ECUs leaves some
+	// cluster under its dimensionality → singular.
+	sizes := []int{90, 700, 2400}
+	pts, err := RunTrainingSizeAblation(vehicle.NewVehicleB(), sizes, ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		t.Logf("n=%5d FP=%.5f hijack=%.5f %s", p.TrainMessages, p.FPAccuracy, p.HijackF, p.Err)
+	}
+	if pts[0].Err == "" {
+		t.Error("tiny training set did not go singular")
+	}
+	last := pts[len(pts)-1]
+	if last.Err != "" || last.FPAccuracy < 0.999 || last.HijackF < 0.999 {
+		t.Errorf("full-size training degraded: %+v", last)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"testing"
+
+	"vprofile/internal/core"
+	"vprofile/internal/vehicle"
+)
+
+// TestCalibrationShape verifies that the simulated vehicles carry the
+// paper's qualitative results (the "shape" of Tables 4.1–4.4):
+//
+//   - Vehicle A, Euclidean: near-perfect FP and hijack scores, foreign
+//     F-score near zero (the closest pair slips under the threshold).
+//   - Vehicle A, Mahalanobis: ≥ 0.999 across all three tests.
+//   - Vehicle B, Euclidean: visibly degraded (FP accuracy and hijack
+//     F-score well below Vehicle A's, foreign F-score intermediate).
+//   - Vehicle B, Mahalanobis: ≥ 0.999 across all three tests.
+func TestCalibrationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs thousands of messages")
+	}
+	scale := Scale{TrainMessages: 1500, TestMessages: 3000, Seed: 1}
+
+	aEuc, err := RunMetric(vehicle.NewVehicleA(), core.Euclidean, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, aEuc)
+	aMah, err := RunMetric(vehicle.NewVehicleA(), core.Mahalanobis, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, aMah)
+	bEuc, err := RunMetric(vehicle.NewVehicleB(), core.Euclidean, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, bEuc)
+	bMah, err := RunMetric(vehicle.NewVehicleB(), core.Mahalanobis, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, bMah)
+
+	// Vehicle A, Euclidean (Table 4.1 shape).
+	if acc := aEuc.FalsePositive.Matrix.Accuracy(); acc < 0.999 {
+		t.Errorf("A/Euclidean FP accuracy %.5f, want ≥ 0.999", acc)
+	}
+	if f := aEuc.Hijack.Matrix.FScore(); f < 0.995 {
+		t.Errorf("A/Euclidean hijack F %.5f, want ≥ 0.995", f)
+	}
+	if f := aEuc.Foreign.Matrix.FScore(); f > 0.30 {
+		t.Errorf("A/Euclidean foreign F %.5f, want ≤ 0.30 (paper: 0.00065)", f)
+	}
+	// Vehicle A's closest pair must be ECUs 1 and 4 (clusters by SA map
+	// order equal ECU indices).
+	if !pairIs(aEuc.ForeignPair, 1, 4) {
+		t.Errorf("A/Euclidean closest pair %v, want {1,4}", aEuc.ForeignPair)
+	}
+	if !pairIs(aMah.ForeignPair, 1, 4) {
+		t.Errorf("A/Mahalanobis closest pair %v, want {1,4}", aMah.ForeignPair)
+	}
+
+	// Vehicle A, Mahalanobis (Table 4.3 shape).
+	if acc := aMah.FalsePositive.Matrix.Accuracy(); acc < 0.999 {
+		t.Errorf("A/Mahalanobis FP accuracy %.5f, want ≥ 0.999", acc)
+	}
+	if f := aMah.Hijack.Matrix.FScore(); f < 0.999 {
+		t.Errorf("A/Mahalanobis hijack F %.5f, want ≥ 0.999", f)
+	}
+	if f := aMah.Foreign.Matrix.FScore(); f < 0.999 {
+		t.Errorf("A/Mahalanobis foreign F %.5f, want ≥ 0.999", f)
+	}
+
+	// Vehicle B, Euclidean (Table 4.2 shape: acc 0.886, F 0.806/0.422).
+	if acc := bEuc.FalsePositive.Matrix.Accuracy(); acc > 0.98 || acc < 0.70 {
+		t.Errorf("B/Euclidean FP accuracy %.5f, want degraded (paper 0.886)", acc)
+	}
+	if f := bEuc.Hijack.Matrix.FScore(); f > 0.95 || f < 0.55 {
+		t.Errorf("B/Euclidean hijack F %.5f, want degraded (paper 0.806)", f)
+	}
+	if f := bEuc.Foreign.Matrix.FScore(); f > 0.80 {
+		t.Errorf("B/Euclidean foreign F %.5f, want low-intermediate (paper 0.422)", f)
+	}
+
+	// Vehicle B, Mahalanobis (Table 4.4 shape).
+	if acc := bMah.FalsePositive.Matrix.Accuracy(); acc < 0.999 {
+		t.Errorf("B/Mahalanobis FP accuracy %.5f, want ≥ 0.999", acc)
+	}
+	if f := bMah.Hijack.Matrix.FScore(); f < 0.999 {
+		t.Errorf("B/Mahalanobis hijack F %.5f, want ≥ 0.999", f)
+	}
+	if f := bMah.Foreign.Matrix.FScore(); f < 0.999 {
+		t.Errorf("B/Mahalanobis foreign F %.5f, want ≥ 0.999", f)
+	}
+}
+
+func pairIs(p [2]core.ClusterID, a, b core.ClusterID) bool {
+	return (p[0] == a && p[1] == b) || (p[0] == b && p[1] == a)
+}
+
+func report(t *testing.T, r *MetricResults) {
+	t.Helper()
+	t.Logf("%s/%s: FP acc=%.5f (margin %.3g) | hijack F=%.5f (margin %.3g) | foreign F=%.5f (margin %.3g) | pair=%v d=%.2f next=%v d=%.2f",
+		r.Vehicle, r.Metric,
+		r.FalsePositive.Matrix.Accuracy(), r.FalsePositive.Margin,
+		r.Hijack.Matrix.FScore(), r.Hijack.Margin,
+		r.Foreign.Matrix.FScore(), r.Foreign.Margin,
+		r.ForeignPair, r.ForeignPairDist, r.NextPair, r.NextPairDist)
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vprofile/internal/attack"
+	"vprofile/internal/baseline"
+	"vprofile/internal/core"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/ids"
+	"vprofile/internal/vehicle"
+)
+
+// CoverageCell is one (attack, detector) entry of the coverage matrix.
+type CoverageCell struct {
+	AlarmRate float64 // alarms per message (or per batch for CIDS)
+	Alarms    int
+	Total     int
+}
+
+// CoverageRow is one attack scenario's outcome across the detector
+// families.
+type CoverageRow struct {
+	Attack   attack.Kind
+	VProfile CoverageCell
+	Period   CoverageCell
+	CIDS     CoverageCell
+	// SilentIDs counts identifiers the period monitor's end-of-capture
+	// sweep found missing — the only signal a suspension leaves.
+	SilentIDs int
+}
+
+// RunCoverageMatrix trains the three detector families — vProfile
+// (voltage), the period monitor (timing) and CIDS (clock skew) — on
+// the same clean capture and confronts each with every attack
+// scenario. It operationalises the paper's closing recommendation to
+// pair vProfile with message-property detectors: each family covers
+// attacks the others cannot see.
+func RunCoverageMatrix(v *vehicle.Vehicle, scale Scale) ([]CoverageRow, error) {
+	cfg := v.ExtractionConfig()
+
+	// --- shared training capture ---
+	type trainMsg struct {
+		id  uint32
+		sa  uint8
+		at  float64
+		smp core.Sample
+	}
+	var train []trainMsg
+	err := v.Stream(vehicle.GenConfig{NumMessages: scale.TrainMessages * 2, Seed: scale.Seed}, func(m vehicle.Message) error {
+		res, err := edgeset.Extract(m.Trace, cfg)
+		if err != nil {
+			return err
+		}
+		train = append(train, trainMsg{
+			id: m.Frame.ID, sa: uint8(res.SA), at: m.TimeSec,
+			smp: core.Sample{SA: res.SA, Set: res.Set},
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// vProfile.
+	samples := make([]core.Sample, len(train))
+	for i := range train {
+		samples[i] = train[i].smp
+	}
+	model, err := core.Train(samples, core.TrainConfig{Metric: core.Mahalanobis, SAMap: v.SAMap()})
+	if err != nil {
+		return nil, err
+	}
+	val, err := CollectSamples(v, scale.TrainMessages/2, scale.Seed+50, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	margin, _ := OptimizeMargin(FalsePositiveRecords(model, val), MaxAccuracy)
+	model.Margin = margin
+
+	// Timing detectors.
+	mkPeriod := func() (*ids.PeriodMonitor, error) {
+		pm := ids.NewPeriodMonitor()
+		for _, t := range train {
+			pm.Learn(t.id, t.at)
+		}
+		pm.Finalize()
+		return pm, nil
+	}
+	mkCIDS := func() (*baseline.CIDS, error) {
+		c := baseline.NewCIDS()
+		sas := make([]canbusSA, len(train))
+		times := make([]float64, len(train))
+		for i, t := range train {
+			sas[i] = canbusSA(t.sa)
+			times[i] = t.at
+		}
+		if err := c.TrainArrivals(sas, times); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+
+	// The foreign pair drives the hijack/foreign victim choice.
+	a, b, _, err := model.ClosestClusterPair()
+	if err != nil {
+		return nil, err
+	}
+	attackerECU, imitatedSA, err := foreignRoles(v, model, a, b)
+	if err != nil {
+		return nil, err
+	}
+	victimECU := v.ECUForSA(imitatedSA)
+
+	scenarios := []attack.Scenario{
+		{Kind: attack.None, NumMessages: scale.TestMessages, Seed: scale.Seed + 1},
+		{Kind: attack.Hijack, AttackerECU: attackerECU, VictimECU: victimECU, NumMessages: scale.TestMessages, Seed: scale.Seed + 2},
+		{Kind: attack.Foreign, AttackerECU: attackerECU, VictimECU: victimECU, NumMessages: scale.TestMessages, Seed: scale.Seed + 3},
+		{Kind: attack.Flood, AttackerECU: attackerECU, VictimECU: 0, Rate: 4, NumMessages: scale.TestMessages, Seed: scale.Seed + 4},
+		{Kind: attack.Suspension, VictimECU: 0, NumMessages: scale.TestMessages, Seed: scale.Seed + 5},
+	}
+
+	var rows []CoverageRow
+	for _, sc := range scenarios {
+		msgs, err := attack.Run(v, sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %s: %w", sc.Kind, err)
+		}
+		pm, err := mkPeriod()
+		if err != nil {
+			return nil, err
+		}
+		cids, err := mkCIDS()
+		if err != nil {
+			return nil, err
+		}
+		row := CoverageRow{Attack: sc.Kind}
+		lastAt := 0.0
+		for _, m := range msgs {
+			lastAt = m.TimeSec
+			// vProfile.
+			res, err := edgeset.Extract(m.Trace, cfg)
+			if err == nil {
+				row.VProfile.Total++
+				if model.Detect(res.SA, res.Set).Anomaly {
+					row.VProfile.Alarms++
+				}
+			}
+			// Period monitor.
+			verdict, err := pm.Check(m.Frame.ID, m.TimeSec)
+			if err == nil {
+				row.Period.Total++
+				if verdict == ids.PeriodTooEarly {
+					row.Period.Alarms++
+				}
+			}
+			// CIDS.
+			ev, err := cids.Monitor(canbusSA(m.Frame.SA()), m.TimeSec)
+			if err == nil && ev != nil {
+				row.CIDS.Total++
+				if ev.Alarm {
+					row.CIDS.Alarms++
+				}
+			}
+		}
+		row.SilentIDs = len(pm.SweepSilent(lastAt))
+		finalize(&row.VProfile)
+		finalize(&row.Period)
+		finalize(&row.CIDS)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func finalize(c *CoverageCell) {
+	if c.Total > 0 {
+		c.AlarmRate = float64(c.Alarms) / float64(c.Total)
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"vprofile/internal/attack"
+	"vprofile/internal/vehicle"
+)
+
+func TestCoverageMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage matrix needs traffic")
+	}
+	rows, err := RunCoverageMatrix(vehicle.NewVehicleA(), Scale{TrainMessages: 1500, TestMessages: 2500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[attack.Kind]CoverageRow{}
+	for _, r := range rows {
+		byKind[r.Attack] = r
+		t.Logf("%-10s vProfile=%.4f (%d/%d) period=%.4f (%d/%d) cids=%.4f (%d/%d) silent=%d",
+			r.Attack,
+			r.VProfile.AlarmRate, r.VProfile.Alarms, r.VProfile.Total,
+			r.Period.AlarmRate, r.Period.Alarms, r.Period.Total,
+			r.CIDS.AlarmRate, r.CIDS.Alarms, r.CIDS.Total,
+			r.SilentIDs)
+	}
+
+	clean := byKind[attack.None]
+	if clean.VProfile.AlarmRate > 0.005 {
+		t.Errorf("vProfile false alarms on clean traffic: %.4f", clean.VProfile.AlarmRate)
+	}
+	if clean.Period.AlarmRate > 0.03 {
+		t.Errorf("period monitor false alarms on clean traffic: %.4f", clean.Period.AlarmRate)
+	}
+	if clean.SilentIDs != 0 {
+		t.Errorf("clean run reported %d silent ids", clean.SilentIDs)
+	}
+
+	// vProfile owns the waveform attacks…
+	for _, k := range []attack.Kind{attack.Hijack, attack.Foreign, attack.Flood} {
+		r := byKind[k]
+		// Injection rate 0.2 → ~17% of messages are attacks; the
+		// voltage detector must flag a comparable share.
+		if r.VProfile.AlarmRate < 0.08 {
+			t.Errorf("vProfile blind to %s: rate %.4f", k, r.VProfile.AlarmRate)
+		}
+	}
+	// …but cannot see an absence.
+	susp := byKind[attack.Suspension]
+	if susp.VProfile.AlarmRate > 0.005 {
+		t.Errorf("vProfile 'detected' a suspension (%.4f) — it has no message to inspect", susp.VProfile.AlarmRate)
+	}
+	// The period monitor owns the timing attacks.
+	flood := byKind[attack.Flood]
+	if flood.Period.AlarmRate < 0.2 {
+		t.Errorf("period monitor blind to the flood: %.4f", flood.Period.AlarmRate)
+	}
+	if susp.SilentIDs == 0 {
+		t.Error("suspension left no silent ids in the sweep")
+	}
+}

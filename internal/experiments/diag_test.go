@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+
+	"vprofile/internal/core"
+	"vprofile/internal/vehicle"
+)
+
+// TestDiagEuclideanErrors is a calibration diagnostic: it reports,
+// per ECU, how unmodified Vehicle A traffic misbehaves under the
+// Euclidean metric (cluster mismatches and threshold exceedances).
+func TestDiagEuclideanErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	v := vehicle.NewVehicleA()
+	cfg := v.ExtractionConfig()
+	train, err := CollectSamples(v, 1500, 1, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := CollectSamples(v, 3000, 2, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Train(CoreSamples(train), core.TrainConfig{Metric: core.Euclidean, SAMap: v.SAMap()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch := map[[2]int]int{}
+	count := map[int]int{}
+	var slackMax [8]float64
+	for _, s := range test {
+		count[s.ECU]++
+		d := m.Detect(s.SA, s.Set)
+		if d.Reason == core.ReasonClusterMismatch {
+			mismatch[[2]int{s.ECU, int(d.Predict)}]++
+		} else if d.Expected >= 0 {
+			slack := d.MinDist - m.Clusters[d.Expected].MaxDist
+			if slack > slackMax[int(d.Expected)] {
+				slackMax[int(d.Expected)] = slack
+			}
+		}
+	}
+	t.Logf("per-ECU counts: %v", count)
+	t.Logf("mismatches (ecu→predicted): %v", mismatch)
+	t.Logf("max slack per cluster: %v", slackMax[:len(m.Clusters)])
+	for id, c := range m.Clusters {
+		t.Logf("cluster %d: N=%d MaxDist=%.1f", id, c.N, c.MaxDist)
+	}
+}

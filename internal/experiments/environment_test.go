@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"testing"
+
+	"vprofile/internal/vehicle"
+)
+
+func TestTemperatureExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("environment experiments are expensive")
+	}
+	res, err := RunTemperature(vehicle.NewVehicleA(), 900, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("FPs by bin: %v, total %d/%d", res.FPsByBin, res.Matrix.FP, res.Matrix.Total())
+	t.Logf("augmented FPs: %d/%d", res.AugmentedMatrix.FP, res.AugmentedMatrix.Total())
+	for ecu := range res.Delta {
+		row := make([]float64, len(res.Delta[ecu]))
+		for b := range row {
+			row[b] = res.Delta[ecu][b].MeanPct
+		}
+		t.Logf("ECU %d distance delta %%: %.1f", ecu, row)
+	}
+
+	// Table 4.8 shape: few false positives, concentrated in the
+	// hottest bins, removed by augmenting training with hot data.
+	total := res.Matrix.Total()
+	if res.Matrix.FP == 0 {
+		t.Log("note: zero FPs before augmentation (paper saw 4)")
+	}
+	if res.Matrix.FP > total/20 {
+		t.Errorf("too many temperature FPs: %d/%d", res.Matrix.FP, total)
+	}
+	coolFPs := res.FPsByBin[0] + res.FPsByBin[1]
+	hotFPs := res.FPsByBin[3] + res.FPsByBin[4]
+	if coolFPs > hotFPs {
+		t.Errorf("FPs not concentrated in hot bins: %v", res.FPsByBin)
+	}
+	if res.AugmentedMatrix.FP > res.Matrix.FP {
+		t.Errorf("augmentation made things worse: %d -> %d", res.Matrix.FP, res.AugmentedMatrix.FP)
+	}
+
+	// Figure 4.6 shape: distance rises with temperature for all ECUs;
+	// ECUs 0 and 2 (engine-mounted) rise far more than the rest.
+	last := len(res.Delta[0]) - 1
+	for ecu := range res.Delta {
+		if res.Delta[ecu][last].MeanPct <= 0 {
+			t.Errorf("ECU %d distance did not grow with temperature: %.2f%%", ecu, res.Delta[ecu][last].MeanPct)
+		}
+	}
+	strong := (res.Delta[0][last].MeanPct + res.Delta[2][last].MeanPct) / 2
+	mild := (res.Delta[1][last].MeanPct + res.Delta[3][last].MeanPct + res.Delta[4][last].MeanPct) / 3
+	if strong < 2*mild {
+		t.Errorf("engine-mounted ECUs not dominant: strong %.1f%% vs mild %.1f%%", strong, mild)
+	}
+	// Monotone-ish growth for ECU 0 between the first and last bin.
+	if res.Delta[0][0].MeanPct >= res.Delta[0][last].MeanPct {
+		t.Errorf("ECU 0 delta not growing: first %.1f%% last %.1f%%", res.Delta[0][0].MeanPct, res.Delta[0][last].MeanPct)
+	}
+}
+
+func TestVoltageExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("environment experiments are expensive")
+	}
+	res, err := RunVoltage(vehicle.NewVehicleA(), 900, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("events: %v", res.Events)
+	for ecu := range res.Delta {
+		row := make([]float64, len(res.Delta[ecu]))
+		for b := range row {
+			row[b] = res.Delta[ecu][b].MeanPct
+		}
+		t.Logf("ECU %d delta %%: %.2f", ecu, row)
+	}
+	// Table 4.9: perfect detection rate under high-power functions.
+	if res.Matrix.FP != 0 {
+		t.Errorf("%d false positives under load events (paper: 0)", res.Matrix.FP)
+	}
+	// Figure 4.7: deltas stay small — an order of magnitude below the
+	// temperature experiment's engine-mounted drift.
+	for ecu := range res.Delta {
+		for b := range res.Delta[ecu] {
+			if d := res.Delta[ecu][b].MeanPct; d > 25 || d < -25 {
+				t.Errorf("ECU %d event %s delta %.1f%% implausibly large", ecu, res.Events[b], d)
+			}
+		}
+	}
+}
+
+func TestDriftExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("environment experiments are expensive")
+	}
+	res, err := RunDrift(vehicle.NewVehicleA(), 5, 700, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ecu := range res.Delta {
+		row := make([]float64, len(res.Delta[ecu]))
+		for b := range row {
+			row[b] = res.Delta[ecu][b].MeanPct
+		}
+		t.Logf("ECU %d trial deltas %%: %.2f", ecu, row)
+	}
+	// Figure 4.8: overall increase in distance across trials. Average
+	// across ECUs: the last trial must exceed the first.
+	first, last := 0.0, 0.0
+	for ecu := range res.Delta {
+		first += res.Delta[ecu][0].MeanPct
+		last += res.Delta[ecu][len(res.Delta[ecu])-1].MeanPct
+	}
+	if last <= first {
+		t.Errorf("no drift across trials: first %.2f%% last %.2f%%", first, last)
+	}
+}
+
+func TestDriftRejectsTooFewTrials(t *testing.T) {
+	if _, err := RunDrift(vehicle.NewVehicleA(), 1, 10, 1); err == nil {
+		t.Fatal("single trial accepted")
+	}
+}

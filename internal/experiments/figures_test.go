@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"vprofile/internal/linalg"
+	"vprofile/internal/stats"
+	"vprofile/internal/vehicle"
+)
+
+func TestCollectEdgeSetsFigure25(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments need traffic")
+	}
+	// Figure 2.5: 200 traces from the two Sterling ECUs form two
+	// visibly distinct bundles.
+	b, err := CollectEdgeSets(vehicle.NewSterlingActerra(), 200, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sets) != 2 || len(b.Sets[0]) == 0 || len(b.Sets[1]) == 0 {
+		t.Fatalf("bundle sizes: %d/%d", len(b.Sets[0]), len(b.Sets[1]))
+	}
+	// Intra-bundle spread must be well below the inter-bundle
+	// separation ("two distinct waveforms, one for each ECU").
+	sep := linalg.Euclidean(b.Means[0], b.Means[1])
+	var spread0 float64
+	for _, s := range b.Sets[0] {
+		spread0 += linalg.Euclidean(s, b.Means[0]) / float64(len(b.Sets[0]))
+	}
+	if sep < 2*spread0 {
+		t.Fatalf("bundles overlap: separation %.1f vs spread %.1f", sep, spread0)
+	}
+}
+
+func TestCollectEdgeSetsFigure42(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments need traffic")
+	}
+	// Figure 4.2: all five Vehicle A profiles are pairwise distinct,
+	// with ECUs 1 and 4 the most similar.
+	b, err := CollectEdgeSets(vehicle.NewVehicleA(), 600, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Means) != 5 {
+		t.Fatalf("%d profiles", len(b.Means))
+	}
+	closest := [2]int{-1, -1}
+	best := math.Inf(1)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if d := linalg.Euclidean(b.Means[i], b.Means[j]); d < best {
+				best = d
+				closest = [2]int{i, j}
+			}
+		}
+	}
+	if closest != [2]int{1, 4} {
+		t.Fatalf("closest profiles %v, want {1,4}", closest)
+	}
+}
+
+func TestReductionSeriesFigure31(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments need traffic")
+	}
+	res, err := RunReductionSeries(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByRate) != len(res.RateFactors) || len(res.ByBits) != len(res.Bits) {
+		t.Fatal("series shape wrong")
+	}
+	// Deviation from the original must grow monotonically as the rate
+	// drops and as bits are removed (Figure 3.1's visual message).
+	rms := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(a)))
+	}
+	prev := 0.0
+	for i, tr := range res.ByRate {
+		d := rms(res.Original, tr)
+		if d < prev {
+			t.Errorf("rate factor %d deviation %.1f below previous %.1f", res.RateFactors[i], d, prev)
+		}
+		prev = d
+	}
+	prev = 0.0
+	for i, tr := range res.ByBits {
+		d := rms(res.Original, tr)
+		if d < prev {
+			t.Errorf("%d-bit deviation %.1f below previous %.1f", res.Bits[i], d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestIndexDeviationFigure44(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments need traffic")
+	}
+	v := vehicle.NewSterlingActerra()
+	res, err := RunIndexDeviation(v, 0, 400, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := v.ExtractionConfig()
+	// The crossing samples sit at the start of each suffix window.
+	rising := cfg.PrefixLen
+	falling := cfg.PrefixLen + cfg.SuffixLen + cfg.PrefixLen
+	// Steady-state reference: the last samples of the falling suffix
+	// (recessive, fully settled).
+	steady := stats.Mean(res.StdDev[len(res.StdDev)-3:])
+	if res.StdDev[rising] < 4*steady {
+		t.Errorf("rising-edge stddev %.1f not ≫ steady %.1f", res.StdDev[rising], steady)
+	}
+	if res.StdDev[falling] < 4*steady {
+		t.Errorf("falling-edge stddev %.1f not ≫ steady %.1f", res.StdDev[falling], steady)
+	}
+}
+
+func TestIndexDeviationBadECU(t *testing.T) {
+	if _, err := RunIndexDeviation(vehicle.NewSterlingActerra(), 7, 30, 1); err == nil {
+		t.Fatal("bad ECU index accepted")
+	}
+}
+
+func TestQuotientTable45(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments need traffic")
+	}
+	res, err := RunQuotient(900, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Euclidean   %8.2f / %8.2f  quotient %.2f", res.EuclideanTo0, res.EuclideanTo1, res.EuclideanQuotient)
+	t.Logf("Mahalanobis %8.2f / %8.2f  quotient %.2f", res.MahalanobisTo0, res.MahalanobisTo1, res.MahalanobisQuotient)
+	// Both metrics identify ECU 0 as nearer.
+	if res.EuclideanTo0 >= res.EuclideanTo1 {
+		t.Error("Euclidean misattributes the test edge set")
+	}
+	if res.MahalanobisTo0 >= res.MahalanobisTo1 {
+		t.Error("Mahalanobis misattributes the test edge set")
+	}
+	// The paper's point: the Mahalanobis quotient is far larger (18.48
+	// versus 2.21 — about an order of magnitude).
+	if res.MahalanobisQuotient < 3*res.EuclideanQuotient {
+		t.Errorf("Mahalanobis quotient %.2f not ≫ Euclidean %.2f", res.MahalanobisQuotient, res.EuclideanQuotient)
+	}
+}
+
+func TestClusterThresholdsTable51(t *testing.T) {
+	if testing.Short() {
+		t.Skip("enhancement experiments need traffic")
+	}
+	res, err := RunClusterThresholds(vehicle.NewVehicleA(), 2000, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ecu := range res.Baseline {
+		t.Logf("ECU %d: stddev %7.3f -> %7.3f | maxdist %6.3f -> %6.3f",
+			ecu, res.Baseline[ecu].StdDev, res.Enhanced[ecu].StdDev,
+			res.Baseline[ecu].MaxDist, res.Enhanced[ecu].MaxDist)
+	}
+	// Table 5.1: the cluster thresholds change the statistics only
+	// slightly (fractions of a percent on stddev), in mixed directions.
+	for ecu := range res.Baseline {
+		rel := math.Abs(res.Enhanced[ecu].StdDev-res.Baseline[ecu].StdDev) / res.Baseline[ecu].StdDev
+		if rel > 0.10 {
+			t.Errorf("ECU %d stddev moved %.1f%%, expected a small shift", ecu, 100*rel)
+		}
+	}
+}
+
+func TestMultiEdgeSetsTable52(t *testing.T) {
+	if testing.Short() {
+		t.Skip("enhancement experiments need traffic")
+	}
+	res, err := RunMultiEdgeSets(vehicle.NewVehicleA(), 2000, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowerSD := 0
+	for ecu := range res.Baseline {
+		t.Logf("ECU %d: stddev %7.3f -> %7.3f | maxdist %6.3f -> %6.3f",
+			ecu, res.Baseline[ecu].StdDev, res.Enhanced[ecu].StdDev,
+			res.Baseline[ecu].MaxDist, res.Enhanced[ecu].MaxDist)
+		if res.Enhanced[ecu].StdDev < res.Baseline[ecu].StdDev {
+			lowerSD++
+		}
+	}
+	// Table 5.2: averaging three edge sets lowers the standard
+	// deviation for every cluster.
+	if lowerSD != len(res.Baseline) {
+		t.Errorf("stddev dropped for only %d/%d ECUs", lowerSD, len(res.Baseline))
+	}
+}
+
+func TestOnlineUpdateAdapts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("enhancement experiments need traffic")
+	}
+	res, err := RunOnlineUpdate(vehicle.NewVehicleA(), 2500, 35, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("static FP rate %.4f, updated FP rate %.4f", res.StaticFPRate, res.UpdatedFPRate)
+	// Section 5.3: under drift the static model deteriorates while
+	// the online-updated model keeps its false positive rate down.
+	if res.StaticFPRate < 0.02 {
+		t.Errorf("drift too benign to demonstrate the update: static FP %.4f", res.StaticFPRate)
+	}
+	if res.UpdatedFPRate > res.StaticFPRate/2 {
+		t.Errorf("online update ineffective: %.4f vs %.4f", res.UpdatedFPRate, res.StaticFPRate)
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vprofile/internal/core"
+	"vprofile/internal/stats"
+	"vprofile/internal/vehicle"
+)
+
+// KFoldResult summarises a k-fold cross-validated false-positive
+// evaluation: the paper reports single-split confusion matrices; this
+// harness adds the statistical hygiene of rotating the held-out fold,
+// reporting the mean accuracy and its spread across folds.
+type KFoldResult struct {
+	Folds          int
+	Accuracies     []float64
+	MeanAccuracy   float64
+	StdDevAccuracy float64
+	WorstAccuracy  float64
+}
+
+// RunKFold runs k-fold cross-validation of the false positive test on
+// one capture: train on k−1 folds, optimise the margin on the training
+// folds' tail, score the held-out fold.
+func RunKFold(v *vehicle.Vehicle, metric core.Metric, n, k int, seed int64) (*KFoldResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("experiments: k-fold needs k ≥ 2, got %d", k)
+	}
+	cfg := v.ExtractionConfig()
+	all, err := CollectSamples(v, n, seed, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	foldSize := len(all) / k
+	if foldSize < 10 {
+		return nil, fmt.Errorf("experiments: %d messages over %d folds is too thin", n, k)
+	}
+
+	res := &KFoldResult{Folds: k, WorstAccuracy: 1}
+	for fold := 0; fold < k; fold++ {
+		lo := fold * foldSize
+		hi := lo + foldSize
+		test := all[lo:hi]
+		train := make([]LabeledSample, 0, len(all)-foldSize)
+		train = append(train, all[:lo]...)
+		train = append(train, all[hi:]...)
+
+		// The last tenth of the training folds doubles as the margin
+		// validation set; the model itself trains on the rest.
+		split := len(train) - len(train)/10
+		model, err := core.Train(CoreSamples(train[:split]), core.TrainConfig{Metric: metric, SAMap: v.SAMap()})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fold %d: %w", fold, err)
+		}
+		margin, _ := OptimizeMargin(FalsePositiveRecords(model, train[split:]), MaxAccuracy)
+		model.Margin = margin * 1.25
+
+		var cm stats.ConfusionMatrix
+		for _, s := range test {
+			cm.Add(false, model.Detect(s.SA, s.Set).Anomaly)
+		}
+		acc := cm.Accuracy()
+		res.Accuracies = append(res.Accuracies, acc)
+		if acc < res.WorstAccuracy {
+			res.WorstAccuracy = acc
+		}
+	}
+	res.MeanAccuracy = stats.Mean(res.Accuracies)
+	res.StdDevAccuracy = stats.StdDev(res.Accuracies)
+	return res, nil
+}

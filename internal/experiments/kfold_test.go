@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"vprofile/internal/core"
+	"vprofile/internal/vehicle"
+)
+
+func TestKFoldMahalanobisStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k-fold needs traffic")
+	}
+	res, err := RunKFold(vehicle.NewVehicleB(), core.Mahalanobis, 4000, 4, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("folds: %v (mean %.5f ± %.5f, worst %.5f)",
+		res.Accuracies, res.MeanAccuracy, res.StdDevAccuracy, res.WorstAccuracy)
+	if len(res.Accuracies) != 4 {
+		t.Fatalf("%d folds", len(res.Accuracies))
+	}
+	// Every fold must hold the near-perfect Table 4.4 behaviour.
+	if res.WorstAccuracy < 0.995 {
+		t.Errorf("worst fold accuracy %.5f", res.WorstAccuracy)
+	}
+	if res.StdDevAccuracy > 0.01 {
+		t.Errorf("fold accuracy unstable: ±%.5f", res.StdDevAccuracy)
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	if _, err := RunKFold(vehicle.NewVehicleB(), core.Mahalanobis, 100, 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := RunKFold(vehicle.NewVehicleB(), core.Mahalanobis, 30, 5, 1); err == nil {
+		t.Fatal("thin folds accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"vprofile/internal/core"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/vehicle"
+)
+
+// LatencyResult quantifies the Section 1.3 claim that vProfile
+// "minimizes latency": wall-clock per-message cost of preprocessing
+// (Algorithm 1) and detection (Algorithm 3), against the duration of
+// one frame on the bus — the budget a real-time monitor must meet.
+type LatencyResult struct {
+	Messages int
+
+	ExtractP50, ExtractP95, ExtractP99 time.Duration
+	DetectP50, DetectP95, DetectP99    time.Duration
+	TotalP50, TotalP95, TotalP99       time.Duration
+
+	// FrameDuration is the on-wire time of a typical 8-byte extended
+	// frame at the vehicle's bit rate (~515 µs at 250 kb/s), the
+	// real-time deadline.
+	FrameDuration time.Duration
+	// RealTime reports whether the 99th percentile of the full
+	// pipeline stays inside one frame duration.
+	RealTime bool
+}
+
+// RunLatency measures the detection pipeline's wall-clock latency over
+// n live messages.
+func RunLatency(v *vehicle.Vehicle, n int, seed int64) (*LatencyResult, error) {
+	cfg := v.ExtractionConfig()
+	train, err := CollectSamples(v, 1500, seed, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.Train(CoreSamples(train), core.TrainConfig{Metric: core.Mahalanobis, SAMap: v.SAMap(), Margin: 10})
+	if err != nil {
+		return nil, err
+	}
+
+	extract := make([]time.Duration, 0, n)
+	detect := make([]time.Duration, 0, n)
+	total := make([]time.Duration, 0, n)
+	err = v.Stream(vehicle.GenConfig{NumMessages: n, Seed: seed + 1}, func(m vehicle.Message) error {
+		t0 := time.Now()
+		res, err := edgeset.Extract(m.Trace, cfg)
+		t1 := time.Now()
+		if err != nil {
+			return err
+		}
+		model.Detect(res.SA, res.Set)
+		t2 := time.Now()
+		extract = append(extract, t1.Sub(t0))
+		detect = append(detect, t2.Sub(t1))
+		total = append(total, t2.Sub(t0))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &LatencyResult{Messages: n}
+	out.ExtractP50, out.ExtractP95, out.ExtractP99 = percentiles(extract)
+	out.DetectP50, out.DetectP95, out.DetectP99 = percentiles(detect)
+	out.TotalP50, out.TotalP95, out.TotalP99 = percentiles(total)
+	// SOF..EOF of an 8-byte extended frame plus intermission, with
+	// average stuffing overhead ~5 %.
+	bits := 1.05 * float64(131+3)
+	out.FrameDuration = time.Duration(bits / v.BitRate * float64(time.Second))
+	out.RealTime = out.TotalP99 < out.FrameDuration
+	return out, nil
+}
+
+func percentiles(ds []time.Duration) (p50, p95, p99 time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) time.Duration {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}

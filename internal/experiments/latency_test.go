@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+
+	"vprofile/internal/vehicle"
+)
+
+func TestLatencyWithinFrameBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency measurement needs traffic")
+	}
+	res, err := RunLatency(vehicle.NewVehicleB(), 2000, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("extract p50/p95/p99: %v / %v / %v", res.ExtractP50, res.ExtractP95, res.ExtractP99)
+	t.Logf("detect  p50/p95/p99: %v / %v / %v", res.DetectP50, res.DetectP95, res.DetectP99)
+	t.Logf("total   p50/p95/p99: %v / %v / %v (frame %v)", res.TotalP50, res.TotalP95, res.TotalP99, res.FrameDuration)
+	if res.Messages != 2000 {
+		t.Fatalf("measured %d messages", res.Messages)
+	}
+	if res.TotalP50 <= 0 {
+		t.Fatal("zero latency measured")
+	}
+	// The Section 1.3 claim: the pipeline keeps up with the bus.
+	if !res.RealTime {
+		t.Errorf("p99 %v exceeds the %v frame budget", res.TotalP99, res.FrameDuration)
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"vprofile/internal/core"
+	"vprofile/internal/stats"
+)
+
+// MarginRecord captures how one test message's verdict depends on the
+// detection margin: if Forced, the message is flagged regardless of
+// margin (unknown SA or cluster mismatch); otherwise it is flagged
+// exactly when margin < Slack, where Slack = minDist − MaxDist of the
+// expected cluster.
+type MarginRecord struct {
+	Forced        bool
+	Slack         float64
+	ActualAnomaly bool
+}
+
+// RecordFor classifies one sample against the model and returns its
+// margin-dependence record plus the full detection at the model's
+// current margin.
+func RecordFor(m *core.Model, s core.Sample, actualAnomaly bool) MarginRecord {
+	d := m.Detect(s.SA, s.Set)
+	switch d.Reason {
+	case core.ReasonUnknownSA, core.ReasonClusterMismatch:
+		return MarginRecord{Forced: true, ActualAnomaly: actualAnomaly}
+	}
+	c := m.Clusters[d.Expected]
+	return MarginRecord{Slack: d.MinDist - c.MaxDist, ActualAnomaly: actualAnomaly}
+}
+
+// Objective scores a confusion matrix during margin selection.
+type Objective func(stats.ConfusionMatrix) float64
+
+// Objectives used by the paper: accuracy for the false positive test,
+// F-score for the hijack and foreign-device tests.
+var (
+	MaxAccuracy Objective = func(c stats.ConfusionMatrix) float64 { return c.Accuracy() }
+	MaxFScore   Objective = func(c stats.ConfusionMatrix) float64 { return c.FScore() }
+)
+
+// OptimizeMargin finds the non-negative margin that maximises the
+// objective over the records, exactly (every distinct verdict pattern
+// corresponds to an interval between consecutive slack values, and all
+// intervals are evaluated). Ties prefer the smaller margin, matching
+// the paper's practice of not inflating the margin needlessly.
+func OptimizeMargin(records []MarginRecord, obj Objective) (margin float64, cm stats.ConfusionMatrix) {
+	// Candidate margins: 0 and the midpoint above each positive slack.
+	slacks := make([]float64, 0, len(records))
+	for _, r := range records {
+		if !r.Forced && r.Slack > 0 {
+			slacks = append(slacks, r.Slack)
+		}
+	}
+	sort.Float64s(slacks)
+	candidates := make([]float64, 0, len(slacks)+1)
+	candidates = append(candidates, 0)
+	for i, s := range slacks {
+		var c float64
+		if i+1 < len(slacks) {
+			c = (s + slacks[i+1]) / 2
+		} else {
+			c = s * 1.01
+		}
+		if c > s { // guard against duplicates collapsing the midpoint
+			candidates = append(candidates, c)
+		}
+	}
+
+	bestScore := math.Inf(-1)
+	for _, cand := range candidates {
+		m := EvaluateAtMargin(records, cand)
+		if score := obj(m); score > bestScore {
+			bestScore = score
+			margin = cand
+			cm = m
+		}
+	}
+	return margin, cm
+}
+
+// EvaluateAtMargin builds the confusion matrix the records produce at
+// a fixed margin.
+func EvaluateAtMargin(records []MarginRecord, margin float64) stats.ConfusionMatrix {
+	var cm stats.ConfusionMatrix
+	for _, r := range records {
+		flagged := r.Forced || r.Slack > margin
+		cm.Add(r.ActualAnomaly, flagged)
+	}
+	return cm
+}

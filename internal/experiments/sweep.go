@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"vprofile/internal/core"
+	"vprofile/internal/dsp"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/vehicle"
+)
+
+// SweepCell is one sampling-rate/resolution combination's scores.
+type SweepCell struct {
+	RateMSs    float64 // effective sampling rate in MS/s
+	Bits       int
+	FPAccuracy float64
+	HijackF    float64
+	ForeignF   float64
+	// Err is non-empty when the combination could not be evaluated —
+	// the paper hits this below 10 bits where covariance matrices go
+	// singular.
+	Err string
+}
+
+// SweepResult reproduces Table 4.6 (Vehicle A) or Table 4.7
+// (Vehicle B): the three tests at every rate/resolution combination,
+// evaluated by software decimation and LSB dropping of one capture,
+// exactly as Section 4.3 does.
+type SweepResult struct {
+	Vehicle string
+	Cells   []SweepCell
+}
+
+// Cell returns the cell at (rateMSs, bits), or nil.
+func (r *SweepResult) Cell(rateMSs float64, bits int) *SweepCell {
+	for i := range r.Cells {
+		if r.Cells[i].RateMSs == rateMSs && r.Cells[i].Bits == bits {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// sweepCombo identifies one decimation/requantisation configuration.
+type sweepCombo struct {
+	factor int // decimation factor relative to the native rate
+	bits   int
+}
+
+// RunSweep evaluates the vehicle at every decimation factor and
+// resolution. Native Vehicle A (20 MS/s, 16-bit) with factors
+// {1,2,4,8} and bits {16,14,12,10} covers Table 4.6; Vehicle B
+// (10 MS/s, 12-bit) with factors {1,2,4} at 12 bits covers Table 4.7.
+func RunSweep(v *vehicle.Vehicle, factors []int, bitsList []int, scale Scale) (*SweepResult, error) {
+	var combos []sweepCombo
+	for _, b := range bitsList {
+		for _, f := range factors {
+			combos = append(combos, sweepCombo{factor: f, bits: b})
+		}
+	}
+
+	trainSets, err := collectSweepSamples(v, scale.TrainMessages, scale.Seed, combos)
+	if err != nil {
+		return nil, err
+	}
+	testSets, err := collectSweepSamples(v, scale.TestMessages, scale.Seed+1, combos)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{Vehicle: v.Name}
+	nativeRate := v.ADC.SampleRate / 1e6
+	for i, combo := range combos {
+		cell := SweepCell{RateMSs: nativeRate / float64(combo.factor), Bits: combo.bits}
+		mr, err := RunMetricOnSamples(v, core.Mahalanobis, trainSets[i], testSets[i], scale.Seed)
+		switch {
+		case errors.Is(err, core.ErrSingularCov):
+			cell.Err = "singular covariance"
+		case err != nil:
+			return nil, fmt.Errorf("experiments: sweep %vMS/s %d-bit: %w", cell.RateMSs, cell.Bits, err)
+		default:
+			cell.FPAccuracy = mr.FalsePositive.Matrix.Accuracy()
+			cell.HijackF = mr.Hijack.Matrix.FScore()
+			cell.ForeignF = mr.Foreign.Matrix.FScore()
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// collectSweepSamples streams one capture and preprocesses every
+// message under every combination, reusing the same recorded traces
+// the way the paper downsamples its captures in software.
+func collectSweepSamples(v *vehicle.Vehicle, n int, seed int64, combos []sweepCombo) ([][]LabeledSample, error) {
+	out := make([][]LabeledSample, len(combos))
+	for i := range out {
+		out[i] = make([]LabeledSample, 0, n)
+	}
+	cfgs := make([]edgeset.Config, len(combos))
+	for i, c := range combos {
+		cfgs[i] = sweepExtractionConfig(v, c.factor)
+	}
+	nativeBits := v.ADC.Bits
+	err := v.Stream(vehicle.GenConfig{NumMessages: n, Seed: seed}, func(m vehicle.Message) error {
+		for i, combo := range combos {
+			tr := []float64(m.Trace)
+			var err error
+			if combo.factor > 1 {
+				tr, err = dsp.Downsample(tr, combo.factor)
+				if err != nil {
+					return err
+				}
+			}
+			if combo.bits < nativeBits {
+				tr, err = dsp.ReduceResolution(tr, nativeBits, combo.bits)
+				if err != nil {
+					return err
+				}
+			}
+			res, err := edgeset.Extract(tr, cfgs[i])
+			if err != nil {
+				return fmt.Errorf("experiments: combo %d/%d-bit: %w", combo.factor, combo.bits, err)
+			}
+			out[i] = append(out[i], LabeledSample{
+				Sample: core.Sample{SA: res.SA, Set: res.Set},
+				ECU:    m.ECUIndex,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sweepExtractionConfig scales the vehicle's native extraction
+// parameters to a decimated rate.
+func sweepExtractionConfig(v *vehicle.Vehicle, factor int) edgeset.Config {
+	cfg := v.ExtractionConfig()
+	perBit := cfg.BitWidth / factor
+	scale := float64(perBit) / 40.0
+	prefix := int(2 * scale)
+	if prefix < 1 {
+		prefix = 1
+	}
+	suffix := int(14 * scale)
+	if suffix < 3 {
+		suffix = 3
+	}
+	cfg.BitWidth = perBit
+	cfg.PrefixLen = prefix
+	cfg.SuffixLen = suffix
+	return cfg
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+
+	"vprofile/internal/vehicle"
+)
+
+func TestSweepVehicleAShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is expensive")
+	}
+	scale := Scale{TrainMessages: 1200, TestMessages: 2400, Seed: 3}
+	res, err := RunSweep(vehicle.NewVehicleA(), []int{1, 2, 4, 8}, []int{16, 12, 10}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		t.Logf("%5.1f MS/s %2d-bit: FP=%.5f hijack=%.5f foreign=%.5f %s",
+			c.RateMSs, c.Bits, c.FPAccuracy, c.HijackF, c.ForeignF, c.Err)
+	}
+	// The paper's Table 4.6: all evaluable combinations stay ≥ 0.999,
+	// with only slight degradation at the lowest rates.
+	for _, c := range res.Cells {
+		if c.Err != "" {
+			continue
+		}
+		if c.FPAccuracy < 0.995 || c.HijackF < 0.995 || c.ForeignF < 0.995 {
+			t.Errorf("%.1f MS/s %d-bit degraded: %.5f/%.5f/%.5f", c.RateMSs, c.Bits, c.FPAccuracy, c.HijackF, c.ForeignF)
+		}
+	}
+	// The native combination must evaluate.
+	if c := res.Cell(20, 16); c == nil || c.Err != "" {
+		t.Errorf("native combination failed: %+v", c)
+	}
+}
+
+func TestSweepVehicleBShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is expensive")
+	}
+	scale := Scale{TrainMessages: 1200, TestMessages: 2400, Seed: 4}
+	res, err := RunSweep(vehicle.NewVehicleB(), []int{1, 2, 4}, []int{12}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		t.Logf("%5.1f MS/s %2d-bit: FP=%.5f hijack=%.5f foreign=%.5f %s",
+			c.RateMSs, c.Bits, c.FPAccuracy, c.HijackF, c.ForeignF, c.Err)
+	}
+	// Table 4.7: everything stays above 0.999 even at 2.5 MS/s.
+	for _, c := range res.Cells {
+		if c.Err != "" {
+			t.Errorf("%.1f MS/s %d-bit: %s", c.RateMSs, c.Bits, c.Err)
+			continue
+		}
+		if c.FPAccuracy < 0.99 || c.HijackF < 0.99 || c.ForeignF < 0.99 {
+			t.Errorf("%.1f MS/s degraded: %.5f/%.5f/%.5f", c.RateMSs, c.FPAccuracy, c.HijackF, c.ForeignF)
+		}
+	}
+}
+
+func TestSweepResolutionFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is expensive")
+	}
+	// Below 10 bits the quantisation step dwarfs the noise floor and
+	// covariance matrices go singular — the failure mode the paper
+	// reports when reducing resolution past 10 bits.
+	scale := Scale{TrainMessages: 800, TestMessages: 800, Seed: 5}
+	res, err := RunSweep(vehicle.NewVehicleA(), []int{1}, []int{8}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := res.Cell(20, 8); c == nil || c.Err == "" {
+		t.Errorf("8-bit combination unexpectedly evaluable: %+v", c)
+	}
+}

@@ -1,0 +1,212 @@
+// Package ids integrates vProfile into a streaming intrusion
+// detection system: it consumes a continuous digitizer sample stream,
+// segments it into frames at bus-idle boundaries, runs edge-set
+// preprocessing and detection on each frame, and optionally feeds
+// accepted messages back into the model through the online update of
+// Section 5.3.
+//
+// The paper positions vProfile as a component "that can integrate into
+// an IDS to enable message sender identification"; this package is
+// that integration layer.
+package ids
+
+import (
+	"errors"
+	"fmt"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+	"vprofile/internal/core"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/linalg"
+)
+
+// Result is the verdict for one segmented frame.
+type Result struct {
+	// SOFIndex is the absolute sample index (since the IDS started)
+	// of the frame's start-of-frame crossing.
+	SOFIndex  int64
+	SA        canbus.SourceAddress
+	Detection core.Detection
+	// ExtractErr is set when preprocessing failed (garbled frame); the
+	// frame counts as an anomaly of opportunity for the wider IDS.
+	ExtractErr error
+}
+
+// Anomalous reports whether the frame should raise an alarm.
+func (r Result) Anomalous() bool { return r.ExtractErr != nil || r.Detection.Anomaly }
+
+// Config parameterises the streaming detector.
+type Config struct {
+	Extraction edgeset.Config
+	// UpdateBatch, when positive, enables the Section 5.3 online
+	// model update: every UpdateBatch accepted messages are folded
+	// back into the model.
+	UpdateBatch int
+	// MaxFrameSamples bounds a segmented frame (default: 160 bit
+	// widths, comfortably above the longest stuffed frame).
+	MaxFrameSamples int
+}
+
+// Stats counts what the detector has seen.
+type Stats struct {
+	Frames     int64
+	Anomalies  int64
+	Updates    int64 // online update batches applied
+	ExtractErr int64
+}
+
+// IDS is the streaming detector. It is not safe for concurrent use;
+// wrap it if multiple goroutines feed samples.
+type IDS struct {
+	model *core.Model
+	cfg   Config
+
+	buf     analog.Trace
+	absBase int64 // absolute index of buf[0]
+	batch   []core.Sample
+	stats   Stats
+	endIdle int // samples of idle that terminate a frame
+}
+
+// New builds a streaming detector around a trained model.
+func New(model *core.Model, cfg Config) (*IDS, error) {
+	if model == nil {
+		return nil, errors.New("ids: nil model")
+	}
+	if err := cfg.Extraction.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxFrameSamples <= 0 {
+		cfg.MaxFrameSamples = 160 * cfg.Extraction.BitWidth
+	}
+	return &IDS{
+		model: model,
+		cfg:   cfg,
+		// EOF (7) + intermission (3) recessive bits mark end of frame;
+		// 9 bit times of idle cannot occur inside a stuffed frame.
+		endIdle: 9 * cfg.Extraction.BitWidth,
+	}, nil
+}
+
+// Stats returns a copy of the running counters.
+func (s *IDS) Stats() Stats { return s.stats }
+
+// Push feeds a chunk of digitizer samples and returns the verdicts of
+// every frame completed within it. Partial frames are buffered until
+// more samples arrive.
+func (s *IDS) Push(samples analog.Trace) ([]Result, error) {
+	s.buf = append(s.buf, samples...)
+	var out []Result
+	for {
+		res, set, consumed, complete := s.scanOne()
+		if !complete {
+			break
+		}
+		if res != nil {
+			out = append(out, *res)
+			if err := s.account(*res, set); err != nil {
+				return out, err
+			}
+		}
+		s.buf = s.buf[consumed:]
+		s.absBase += int64(consumed)
+	}
+	// Bound the buffer: without a SOF in sight, idle samples can be
+	// discarded except a one-bit tail.
+	if len(s.buf) > s.cfg.MaxFrameSamples*2 {
+		drop := len(s.buf) - s.cfg.MaxFrameSamples
+		s.buf = s.buf[drop:]
+		s.absBase += int64(drop)
+	}
+	return out, nil
+}
+
+// scanOne attempts to segment and classify one complete frame from the
+// front of the buffer. It returns (nil, nil, n, true) to discard n
+// idle samples, (res, set, n, true) for a completed frame of n
+// samples, or (nil, nil, 0, false) when more input is needed.
+func (s *IDS) scanOne() (*Result, linalg.Vector, int, bool) {
+	th := s.cfg.Extraction.BitThreshold
+	// Find the SOF crossing.
+	sof := -1
+	for i, v := range s.buf {
+		if v >= th {
+			sof = i
+			break
+		}
+	}
+	if sof < 0 {
+		// All idle: keep one bit width of tail for edge context.
+		keep := s.cfg.Extraction.BitWidth
+		if len(s.buf) > keep {
+			return nil, nil, len(s.buf) - keep, true
+		}
+		return nil, nil, 0, false
+	}
+	// Find the end of frame: endIdle consecutive recessive samples
+	// after the SOF.
+	run := 0
+	end := -1
+	for i := sof; i < len(s.buf); i++ {
+		if s.buf[i] < th {
+			run++
+			if run >= s.endIdle {
+				end = i + 1
+				break
+			}
+		} else {
+			run = 0
+		}
+		if i-sof > s.cfg.MaxFrameSamples {
+			end = i + 1 // runaway frame; classify what we have
+			break
+		}
+	}
+	if end < 0 {
+		return nil, nil, 0, false // frame still in flight
+	}
+	// The extractor wants some idle lead-in before the SOF.
+	lead := sof - s.cfg.Extraction.BitWidth
+	if lead < 0 {
+		lead = 0
+	}
+	frame := s.buf[lead:end]
+	res := &Result{SOFIndex: s.absBase + int64(sof)}
+	var set linalg.Vector
+	er, err := edgeset.Extract(frame, s.cfg.Extraction)
+	if err != nil {
+		res.ExtractErr = err
+	} else {
+		res.SA = er.SA
+		res.Detection = s.model.Detect(er.SA, er.Set)
+		set = er.Set
+	}
+	return res, set, end, true
+}
+
+// account updates counters and, for accepted messages, the online
+// model (Algorithm 4) once a full batch accumulates.
+func (s *IDS) account(r Result, set linalg.Vector) error {
+	s.stats.Frames++
+	if r.ExtractErr != nil {
+		s.stats.ExtractErr++
+		s.stats.Anomalies++
+		return nil
+	}
+	if r.Detection.Anomaly {
+		s.stats.Anomalies++
+		return nil
+	}
+	if s.cfg.UpdateBatch > 0 {
+		s.batch = append(s.batch, core.Sample{SA: r.SA, Set: set})
+		if len(s.batch) >= s.cfg.UpdateBatch {
+			if _, err := s.model.Update(s.batch); err != nil {
+				return fmt.Errorf("ids: online update: %w", err)
+			}
+			s.stats.Updates++
+			s.batch = s.batch[:0]
+		}
+	}
+	return nil
+}

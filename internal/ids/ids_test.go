@@ -1,0 +1,242 @@
+package ids_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+	"vprofile/internal/core"
+	"vprofile/internal/experiments"
+	"vprofile/internal/ids"
+	"vprofile/internal/vehicle"
+)
+
+// buildModel trains a Mahalanobis model on Vehicle B traffic.
+func buildModel(t *testing.T, v *vehicle.Vehicle) *core.Model {
+	t.Helper()
+	train, err := experiments.CollectSamples(v, 1500, 7, nil, v.ExtractionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Train(experiments.CoreSamples(train), core.TrainConfig{
+		Metric: core.Mahalanobis, SAMap: v.SAMap(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, err := experiments.CollectSamples(v, 800, 8, nil, v.ExtractionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	margin, _ := experiments.OptimizeMargin(experiments.FalsePositiveRecords(m, val), experiments.MaxAccuracy)
+	m.Margin = margin * 1.5
+	return m
+}
+
+// busStream renders full frames (with EOF and trailing idle) from the
+// given senders into one continuous sample stream.
+type streamFrame struct {
+	ecu int
+	sa  canbus.SourceAddress
+}
+
+func busStream(t *testing.T, v *vehicle.Vehicle, frames []streamFrame, seed int64) (analog.Trace, []canbus.SourceAddress) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := analog.SynthConfig{ADC: v.ADC, BitRate: v.BitRate, LeadIdleBits: 4}
+	var stream analog.Trace
+	var sas []canbus.SourceAddress
+	for _, fr := range frames {
+		ecu := v.ECUs[fr.ecu]
+		spec := ecu.Messages[0]
+		id := spec.ID
+		id.SA = fr.sa
+		data := make([]byte, spec.DataLen)
+		rng.Read(data)
+		frame, err := canbus.NewJ1939Frame(id, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := analog.SynthesizeFrame(ecu.Transceiver, frame, cfg, ecu.Transceiver.NominalEnvironment(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, tr...)
+		sas = append(sas, fr.sa)
+	}
+	// Trailing idle so the last frame terminates.
+	idle := make(analog.Trace, 15*int(v.ADC.SamplesPerBit(v.BitRate)))
+	recCode := v.ADC.VoltsToCode(0.012)
+	for i := range idle {
+		idle[i] = recCode
+	}
+	return append(stream, idle...), sas
+}
+
+func TestIDSConfigValidation(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	m := buildModel(t, v)
+	if _, err := ids.New(nil, ids.Config{Extraction: v.ExtractionConfig()}); err == nil {
+		t.Error("nil model accepted")
+	}
+	bad := v.ExtractionConfig()
+	bad.BitWidth = 0
+	if _, err := ids.New(m, ids.Config{Extraction: bad}); err == nil {
+		t.Error("invalid extraction config accepted")
+	}
+}
+
+func TestIDSSegmentsAndAcceptsLegitimateStream(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	m := buildModel(t, v)
+	det, err := ids.New(m, ids.Config{Extraction: v.ExtractionConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := []streamFrame{}
+	for i := 0; i < 12; i++ {
+		ecu := i % len(v.ECUs)
+		frames = append(frames, streamFrame{ecu: ecu, sa: v.ECUs[ecu].SAs()[0]})
+	}
+	stream, sas := busStream(t, v, frames, 31)
+
+	// Push in uneven chunks to exercise buffering.
+	var results []ids.Result
+	chunk := 777
+	for off := 0; off < len(stream); off += chunk {
+		end := off + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		rs, err := det.Push(stream[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, rs...)
+	}
+	if len(results) != len(frames) {
+		t.Fatalf("segmented %d frames, sent %d", len(results), len(frames))
+	}
+	for i, r := range results {
+		if r.ExtractErr != nil {
+			t.Fatalf("frame %d: %v", i, r.ExtractErr)
+		}
+		if r.SA != sas[i] {
+			t.Fatalf("frame %d SA %#x want %#x", i, r.SA, sas[i])
+		}
+		if r.Anomalous() {
+			t.Fatalf("frame %d flagged: %+v", i, r.Detection)
+		}
+	}
+	st := det.Stats()
+	if st.Frames != int64(len(frames)) || st.Anomalies != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// SOF indices must be strictly increasing.
+	for i := 1; i < len(results); i++ {
+		if results[i].SOFIndex <= results[i-1].SOFIndex {
+			t.Fatalf("SOF indices not increasing: %d then %d", results[i-1].SOFIndex, results[i].SOFIndex)
+		}
+	}
+}
+
+func TestIDSFlagsHijackedFrame(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	m := buildModel(t, v)
+	det, err := ids.New(m, ids.Config{Extraction: v.ExtractionConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ECU 7 transmits under ECU 2's source address: the waveform
+	// betrays it.
+	frames := []streamFrame{
+		{ecu: 0, sa: v.ECUs[0].SAs()[0]},
+		{ecu: 7, sa: v.ECUs[2].SAs()[0]}, // hijack
+		{ecu: 3, sa: v.ECUs[3].SAs()[0]},
+	}
+	stream, _ := busStream(t, v, frames, 32)
+	results, err := det.Push(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[0].Anomalous() || results[2].Anomalous() {
+		t.Fatal("legitimate frames flagged")
+	}
+	if !results[1].Anomalous() {
+		t.Fatal("hijacked frame accepted")
+	}
+	if results[1].Detection.Reason != core.ReasonClusterMismatch && results[1].Detection.Reason != core.ReasonOverThreshold {
+		t.Fatalf("unexpected reason %v", results[1].Detection.Reason)
+	}
+}
+
+func TestIDSFlagsUnknownSA(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	m := buildModel(t, v)
+	det, err := ids.New(m, ids.Config{Extraction: v.ExtractionConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := []streamFrame{{ecu: 1, sa: 0xEE}}
+	stream, _ := busStream(t, v, frames, 33)
+	results, err := det.Push(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Anomalous() {
+		t.Fatalf("results %+v", results)
+	}
+	if results[0].Detection.Reason != core.ReasonUnknownSA {
+		t.Fatalf("reason %v", results[0].Detection.Reason)
+	}
+}
+
+func TestIDSOnlineUpdateBatches(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	m := buildModel(t, v)
+	det, err := ids.New(m, ids.Config{Extraction: v.ExtractionConfig(), UpdateBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []streamFrame
+	for i := 0; i < 9; i++ {
+		ecu := i % 3
+		frames = append(frames, streamFrame{ecu: ecu, sa: v.ECUs[ecu].SAs()[0]})
+	}
+	stream, _ := busStream(t, v, frames, 34)
+	if _, err := det.Push(stream); err != nil {
+		t.Fatal(err)
+	}
+	st := det.Stats()
+	if st.Updates != 2 { // 9 accepted → two batches of 4
+		t.Fatalf("updates %d, want 2 (stats %+v)", st.Updates, st)
+	}
+}
+
+func TestIDSIdleOnlyStreamProducesNothing(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	m := buildModel(t, v)
+	det, err := ids.New(m, ids.Config{Extraction: v.ExtractionConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := make(analog.Trace, 100000)
+	recCode := v.ADC.VoltsToCode(0.012)
+	for i := range idle {
+		idle[i] = recCode
+	}
+	results, err := det.Push(idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("%d frames from an idle bus", len(results))
+	}
+	if st := det.Stats(); st.Frames != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

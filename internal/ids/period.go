@@ -1,0 +1,163 @@
+package ids
+
+import (
+	"errors"
+	"math"
+)
+
+// PeriodMonitor detects anomalies in message timing — the complement
+// the paper recommends for attacks vProfile cannot see: "the current
+// implementation of vProfile cannot detect when a hijacked ECU sends
+// messages with SAs that are within its normal operating set. For
+// additional coverage, we recommend using vProfile in an IDS that can
+// detect anomalies based on other message properties, such as the
+// period."
+//
+// Training learns each (identifier)'s inter-arrival distribution;
+// monitoring flags messages arriving implausibly early (injection
+// floods halve the effective period) or streams falling silent
+// (suspension attacks).
+type PeriodMonitor struct {
+	// TolSigmas is the acceptance band around the learned period in
+	// standard deviations (default 8).
+	TolSigmas float64
+	// MinSamples is the number of training gaps required before an ID
+	// is enforced (default 8).
+	MinSamples int
+
+	streams map[uint32]*periodStream
+}
+
+type periodStream struct {
+	n        int
+	mean     float64
+	m2       float64
+	last     float64
+	enforced bool
+}
+
+// PeriodVerdict classifies one message's timing.
+type PeriodVerdict int
+
+// Verdicts.
+const (
+	PeriodOK PeriodVerdict = iota
+	PeriodUnknownID
+	PeriodTooEarly
+	PeriodGap // arrived after a suspiciously long silence
+)
+
+// String names the verdict.
+func (v PeriodVerdict) String() string {
+	switch v {
+	case PeriodOK:
+		return "ok"
+	case PeriodUnknownID:
+		return "unknown-id"
+	case PeriodTooEarly:
+		return "too-early"
+	case PeriodGap:
+		return "gap"
+	default:
+		return "verdict?"
+	}
+}
+
+// NewPeriodMonitor returns a monitor with defaults.
+func NewPeriodMonitor() *PeriodMonitor {
+	return &PeriodMonitor{TolSigmas: 8, MinSamples: 8, streams: make(map[uint32]*periodStream)}
+}
+
+// Learn feeds one training observation: frame identifier and arrival
+// time in seconds (monotonic, per capture).
+func (m *PeriodMonitor) Learn(id uint32, at float64) {
+	st, ok := m.streams[id]
+	if !ok {
+		m.streams[id] = &periodStream{last: at}
+		return
+	}
+	gap := at - st.last
+	st.last = at
+	if gap <= 0 {
+		return
+	}
+	st.n++
+	d := gap - st.mean
+	st.mean += d / float64(st.n)
+	st.m2 += d * (gap - st.mean)
+	if st.n >= m.MinSamples {
+		st.enforced = true
+	}
+}
+
+// Finalize resets the per-stream arrival clocks so monitoring can
+// start on a fresh capture.
+func (m *PeriodMonitor) Finalize() {
+	for _, st := range m.streams {
+		st.last = math.NaN()
+	}
+}
+
+// Check classifies a live message's arrival and updates the stream
+// clock. Identifiers never seen in training report PeriodUnknownID.
+func (m *PeriodMonitor) Check(id uint32, at float64) (PeriodVerdict, error) {
+	if len(m.streams) == 0 {
+		return PeriodOK, errors.New("ids: period monitor has no training data")
+	}
+	st, ok := m.streams[id]
+	if !ok {
+		return PeriodUnknownID, nil
+	}
+	if math.IsNaN(st.last) {
+		st.last = at
+		return PeriodOK, nil
+	}
+	gap := at - st.last
+	st.last = at
+	if !st.enforced {
+		return PeriodOK, nil
+	}
+	sd := math.Sqrt(st.m2 / float64(st.n))
+	tol := m.TolSigmas * sd
+	// Scheduling jitter bounds from training; also keep an absolute
+	// floor of half the period against degenerate zero-variance
+	// streams.
+	if minTol := st.mean * 0.4; tol < minTol {
+		tol = minTol
+	}
+	switch {
+	case gap < st.mean-tol:
+		return PeriodTooEarly, nil
+	case gap > 3*st.mean+tol:
+		return PeriodGap, nil
+	default:
+		return PeriodOK, nil
+	}
+}
+
+// Period returns the learned mean period of an identifier.
+func (m *PeriodMonitor) Period(id uint32) (float64, bool) {
+	st, ok := m.streams[id]
+	if !ok || !st.enforced {
+		return 0, false
+	}
+	return st.mean, true
+}
+
+// SweepSilent reports identifiers that have fallen silent: enforced
+// streams whose last arrival is further in the past than several
+// learned periods at time asOf. This is how a suspension attack — an
+// absence no per-message detector can see — surfaces.
+func (m *PeriodMonitor) SweepSilent(asOf float64) []uint32 {
+	var out []uint32
+	for id, st := range m.streams {
+		if !st.enforced {
+			continue
+		}
+		// A stream never heard from since Finalize is silent outright.
+		if math.IsNaN(st.last) || asOf-st.last > 5*st.mean {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package ids_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"vprofile/internal/ids"
+	"vprofile/internal/vehicle"
+)
+
+func trainedPeriodMonitor(t *testing.T, period, jitter float64, n int, seed int64) *ids.PeriodMonitor {
+	t.Helper()
+	m := ids.NewPeriodMonitor()
+	rng := rand.New(rand.NewSource(seed))
+	at := 0.0
+	for i := 0; i < n; i++ {
+		at += period + rng.NormFloat64()*jitter
+		m.Learn(0x100, at)
+	}
+	m.Finalize()
+	return m
+}
+
+func TestPeriodMonitorLearnsPeriod(t *testing.T) {
+	m := trainedPeriodMonitor(t, 0.020, 0.0002, 200, 1)
+	p, ok := m.Period(0x100)
+	if !ok {
+		t.Fatal("period not enforced after 200 samples")
+	}
+	if p < 0.019 || p > 0.021 {
+		t.Fatalf("learned period %v", p)
+	}
+	if _, ok := m.Period(0x999); ok {
+		t.Fatal("unknown id reported a period")
+	}
+}
+
+func TestPeriodMonitorAcceptsNominalTraffic(t *testing.T) {
+	m := trainedPeriodMonitor(t, 0.020, 0.0002, 200, 2)
+	rng := rand.New(rand.NewSource(3))
+	at := 100.0
+	for i := 0; i < 500; i++ {
+		at += 0.020 + rng.NormFloat64()*0.0002
+		v, err := m.Check(0x100, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != ids.PeriodOK {
+			t.Fatalf("message %d flagged %v", i, v)
+		}
+	}
+}
+
+func TestPeriodMonitorFlagsInjectionFlood(t *testing.T) {
+	m := trainedPeriodMonitor(t, 0.020, 0.0002, 200, 4)
+	// An attacker injects between the legitimate messages: effective
+	// period halves.
+	at := 100.0
+	if _, err := m.Check(0x100, at); err != nil {
+		t.Fatal(err)
+	}
+	flagged := 0
+	for i := 0; i < 20; i++ {
+		at += 0.010
+		v, err := m.Check(0x100, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == ids.PeriodTooEarly {
+			flagged++
+		}
+	}
+	if flagged < 18 {
+		t.Fatalf("only %d/20 injected messages flagged", flagged)
+	}
+}
+
+func TestPeriodMonitorFlagsSuspension(t *testing.T) {
+	m := trainedPeriodMonitor(t, 0.020, 0.0002, 200, 5)
+	if _, err := m.Check(0x100, 100.0); err != nil {
+		t.Fatal(err)
+	}
+	// The stream falls silent for half a second (suspension attack),
+	// then resumes.
+	v, err := m.Check(0x100, 100.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != ids.PeriodGap {
+		t.Fatalf("post-silence verdict %v", v)
+	}
+}
+
+func TestPeriodMonitorUnknownID(t *testing.T) {
+	m := trainedPeriodMonitor(t, 0.020, 0.0002, 200, 6)
+	v, err := m.Check(0x777, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != ids.PeriodUnknownID {
+		t.Fatalf("verdict %v", v)
+	}
+}
+
+func TestPeriodMonitorUntrained(t *testing.T) {
+	m := ids.NewPeriodMonitor()
+	if _, err := m.Check(1, 1); err == nil {
+		t.Fatal("untrained monitor accepted a check")
+	}
+}
+
+func TestPeriodMonitorOnVehicleTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs traffic generation")
+	}
+	v := vehicle.NewVehicleA()
+	m := ids.NewPeriodMonitor()
+	err := v.Stream(vehicle.GenConfig{NumMessages: 3000, Seed: 60}, func(msg vehicle.Message) error {
+		m.Learn(msg.Frame.ID, msg.TimeSec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Finalize()
+	// Fast streams must be enforced with plausible periods.
+	if p, ok := m.Period(v.ECUs[0].Messages[0].ID.MustEncode()); !ok || p < 0.015 || p > 0.030 {
+		t.Fatalf("EEC1 period %v (enforced %v)", p, ok)
+	}
+	// Clean replay produces few alarms.
+	alarms := 0
+	total := 0
+	err = v.Stream(vehicle.GenConfig{NumMessages: 3000, Seed: 61}, func(msg vehicle.Message) error {
+		verdict, err := m.Check(msg.Frame.ID, msg.TimeSec)
+		if err != nil {
+			return err
+		}
+		total++
+		if verdict == ids.PeriodTooEarly {
+			alarms++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarms > total/50 {
+		t.Fatalf("%d/%d early-arrival false alarms on clean traffic", alarms, total)
+	}
+}

@@ -1,0 +1,132 @@
+package linalg
+
+import "math"
+
+// Covariance computes the sample covariance matrix of the samples
+// (normalised by N, matching the incremental form of Equation 5.1).
+// It panics if samples is empty or lengths differ.
+func Covariance(samples []Vector) *Matrix {
+	mean := Mean(samples)
+	n := len(mean)
+	cov := NewMatrix(n, n)
+	d := make(Vector, n)
+	for _, s := range samples {
+		for i := range d {
+			d[i] = s[i] - mean[i]
+		}
+		for i := 0; i < n; i++ {
+			di := d[i]
+			if di == 0 {
+				continue
+			}
+			row := cov.Data[i*n:]
+			for j := i; j < n; j++ {
+				row[j] += di * d[j]
+			}
+		}
+	}
+	inv := 1 / float64(len(samples))
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := cov.At(i, j) * inv
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return cov
+}
+
+// RunningStats accumulates a mean and covariance online using the
+// Welford/Youngs-Cramer update, the batch counterpart of the
+// per-edge-set update in Equation 5.1 of the paper.
+type RunningStats struct {
+	n    int
+	mean Vector
+	m2   *Matrix // Σ (x−mean_k)(x−mean_{k})ᵀ accumulated co-moments
+}
+
+// NewRunningStats returns an accumulator for dim-dimensional samples.
+func NewRunningStats(dim int) *RunningStats {
+	return &RunningStats{mean: make(Vector, dim), m2: NewMatrix(dim, dim)}
+}
+
+// N returns the number of samples seen.
+func (r *RunningStats) N() int { return r.n }
+
+// Dim returns the sample dimensionality.
+func (r *RunningStats) Dim() int { return len(r.mean) }
+
+// Push folds one sample into the running statistics. This implements
+// Equation 5.1: the co-moment accumulates (x−mean_{n−1})·(x−mean_n)ᵀ,
+// using the pre-update mean on one side and the post-update mean on
+// the other.
+func (r *RunningStats) Push(x Vector) {
+	mustSameLen(len(x), len(r.mean))
+	r.n++
+	dim := len(r.mean)
+	dPre := make(Vector, dim) // x − mean_{n−1}
+	for i := range dPre {
+		dPre[i] = x[i] - r.mean[i]
+	}
+	inv := 1 / float64(r.n)
+	for i := range r.mean {
+		r.mean[i] += dPre[i] * inv
+	}
+	dPost := make(Vector, dim) // x − mean_n
+	for i := range dPost {
+		dPost[i] = x[i] - r.mean[i]
+	}
+	for i := 0; i < dim; i++ {
+		row := r.m2.Data[i*dim:]
+		for j := 0; j < dim; j++ {
+			row[j] += dPre[i] * dPost[j]
+		}
+	}
+}
+
+// Mean returns a copy of the current mean vector.
+func (r *RunningStats) Mean() Vector { return r.mean.Clone() }
+
+// Covariance returns the covariance matrix normalised by N. It panics
+// if no samples have been pushed.
+func (r *RunningStats) Covariance() *Matrix {
+	if r.n == 0 {
+		panic("linalg: Covariance with no samples")
+	}
+	cov := r.m2.Clone()
+	cov.ScaleInPlace(1 / float64(r.n))
+	// The asymmetric pre/post products leave tiny asymmetries;
+	// symmetrise so Cholesky sees an exactly symmetric matrix.
+	dim := cov.Rows
+	for i := 0; i < dim; i++ {
+		for j := i + 1; j < dim; j++ {
+			v := (cov.At(i, j) + cov.At(j, i)) / 2
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return cov
+}
+
+// Mahalanobis returns the Mahalanobis distance (Equation 2.2) between
+// observation x and a distribution with the given mean and inverse
+// covariance matrix. Numerical noise can make the quadratic form
+// infinitesimally negative for points at the mean; it is clamped to 0.
+func Mahalanobis(x, mean Vector, invCov *Matrix) float64 {
+	d := x.Sub(mean)
+	q := d.Dot(invCov.MulVec(d))
+	if q < 0 {
+		q = 0
+	}
+	return math.Sqrt(q)
+}
+
+// MahalanobisSq returns the squared Mahalanobis distance, clamped at 0.
+func MahalanobisSq(x, mean Vector, invCov *Matrix) float64 {
+	d := x.Sub(mean)
+	q := d.Dot(invCov.MulVec(d))
+	if q < 0 {
+		q = 0
+	}
+	return q
+}

@@ -1,0 +1,157 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gaussianSamples(rng *rand.Rand, n, dim int) []Vector {
+	out := make([]Vector, n)
+	for i := range out {
+		v := make(Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64() * float64(j+1)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestCovarianceKnownValues(t *testing.T) {
+	samples := []Vector{{1, 2}, {3, 6}, {5, 10}}
+	// x: mean 3, var (4+0+4)/3 = 8/3. y = 2x, var 32/3, cov 16/3.
+	cov := Covariance(samples)
+	if !almostEqual(cov.At(0, 0), 8.0/3, 1e-12) {
+		t.Errorf("var(x) = %v", cov.At(0, 0))
+	}
+	if !almostEqual(cov.At(1, 1), 32.0/3, 1e-12) {
+		t.Errorf("var(y) = %v", cov.At(1, 1))
+	}
+	if !almostEqual(cov.At(0, 1), 16.0/3, 1e-12) || cov.At(0, 1) != cov.At(1, 0) {
+		t.Errorf("cov(x,y) = %v / %v", cov.At(0, 1), cov.At(1, 0))
+	}
+}
+
+func TestCovarianceSingleSampleIsZero(t *testing.T) {
+	cov := Covariance([]Vector{{5, 7}})
+	for _, v := range cov.Data {
+		if v != 0 {
+			t.Fatalf("single-sample covariance nonzero: %v", cov.Data)
+		}
+	}
+}
+
+func TestRunningStatsMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		dim := 1 + rng.Intn(8)
+		n := 2 + rng.Intn(200)
+		samples := gaussianSamples(rng, n, dim)
+		rs := NewRunningStats(dim)
+		for _, s := range samples {
+			rs.Push(s)
+		}
+		if rs.N() != n {
+			t.Fatalf("N = %d want %d", rs.N(), n)
+		}
+		wantMean := Mean(samples)
+		gotMean := rs.Mean()
+		for i := range wantMean {
+			if !almostEqual(gotMean[i], wantMean[i], 1e-9*math.Max(1, math.Abs(wantMean[i]))) {
+				t.Fatalf("mean[%d] = %v want %v", i, gotMean[i], wantMean[i])
+			}
+		}
+		wantCov := Covariance(samples)
+		gotCov := rs.Covariance()
+		if d := maxAbsDiff(gotCov, wantCov); d > 1e-8*math.Max(1, wantCov.SymmetricMaxAbs()) {
+			t.Fatalf("trial %d: covariance differs by %g", trial, d)
+		}
+	}
+}
+
+func TestRunningStatsCovarianceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rs := NewRunningStats(5)
+	for i := 0; i < 50; i++ {
+		v := make(Vector, 5)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		rs.Push(v)
+	}
+	cov := rs.Covariance()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if cov.At(i, j) != cov.At(j, i) {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMahalanobisIdentityReducesToEuclidean(t *testing.T) {
+	// With Σ = I, Equation 2.2 reduces to Equation 2.1 (stated in the
+	// paper after the definition).
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + rng.Intn(10)
+		x := make(Vector, dim)
+		mu := make(Vector, dim)
+		for i := 0; i < dim; i++ {
+			x[i] = rng.NormFloat64() * 10
+			mu[i] = rng.NormFloat64() * 10
+		}
+		dm := Mahalanobis(x, mu, Identity(dim))
+		de := Euclidean(x, mu)
+		if !almostEqual(dm, de, 1e-9*math.Max(1, de)) {
+			t.Fatalf("trial %d: Mahalanobis %v != Euclidean %v", trial, dm, de)
+		}
+	}
+}
+
+func TestMahalanobisAtMeanIsZero(t *testing.T) {
+	mu := Vector{3, 4, 5}
+	if got := Mahalanobis(mu.Clone(), mu, Identity(3)); got != 0 {
+		t.Fatalf("distance at mean = %v", got)
+	}
+}
+
+func TestMahalanobisWhitensVariance(t *testing.T) {
+	// A point k standard deviations away along an axis has Mahalanobis
+	// distance k regardless of that axis's variance.
+	cov := &Matrix{Rows: 2, Cols: 2, Data: []float64{4, 0, 0, 0.25}}
+	inv, err := cov.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := Vector{0, 0}
+	if d := Mahalanobis(Vector{2, 0}, mu, inv); !almostEqual(d, 1, 1e-12) {
+		t.Fatalf("2σ axis-0 point: d = %v, want 1", d)
+	}
+	if d := Mahalanobis(Vector{0, 0.5}, mu, inv); !almostEqual(d, 1, 1e-12) {
+		t.Fatalf("0.5σ axis-1 point: d = %v, want 1", d)
+	}
+}
+
+func TestMahalanobisSq(t *testing.T) {
+	mu := Vector{0, 0}
+	d := Mahalanobis(Vector{3, 4}, mu, Identity(2))
+	dsq := MahalanobisSq(Vector{3, 4}, mu, Identity(2))
+	if !almostEqual(d*d, dsq, 1e-9) {
+		t.Fatalf("d²=%v, sq=%v", d*d, dsq)
+	}
+}
+
+func TestCovarianceOfConstantSamplesIsSingular(t *testing.T) {
+	// Reproduces the paper's low-resolution failure: quantisation
+	// collapses the variance, covariance goes singular.
+	samples := make([]Vector, 40)
+	for i := range samples {
+		samples[i] = Vector{1, 2, 3}
+	}
+	cov := Covariance(samples)
+	if _, err := cov.Inverse(); err == nil {
+		t.Fatal("zero-variance covariance inverted without error")
+	}
+}

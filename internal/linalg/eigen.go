@@ -1,0 +1,110 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SymmetricEigen computes the full eigendecomposition of a symmetric
+// matrix using the cyclic Jacobi method: m = V·diag(values)·Vᵀ with
+// eigenvalues sorted descending and V's columns the corresponding
+// eigenvectors. It returns ErrDimension for non-square input; the
+// caller is responsible for symmetry (the strictly lower triangle is
+// ignored).
+//
+// Jacobi is quadratic-per-sweep but unconditionally stable, which is
+// the right trade for vProfile's ≤ 64-dimensional edge-set statistics
+// (principal-component views of clusters, whitening transforms).
+func SymmetricEigen(m *Matrix) (values Vector, vectors *Matrix, err error) {
+	if m.Rows != m.Cols {
+		return nil, nil, ErrDimension
+	}
+	n := m.Rows
+	a := m.Clone()
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += a.At(i, j) * a.At(i, j)
+			}
+		}
+		return s
+	}
+	scale := math.Max(m.SymmetricMaxAbs(), 1)
+	tol := 1e-22 * scale * scale * float64(n*n)
+
+	for sweep := 0; sweep < 100 && offDiag() > tol; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Apply the rotation to rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := a.At(k, p), a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a.At(p, k), a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort descending.
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{a.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	values = make(Vector, n)
+	vectors = NewMatrix(n, n)
+	for newCol, p := range pairs {
+		values[newCol] = p.val
+		for k := 0; k < n; k++ {
+			vectors.Set(k, newCol, v.At(k, p.col))
+		}
+	}
+	return values, vectors, nil
+}
+
+// PrincipalComponents returns the top-k eigenpairs of the covariance
+// of the samples — the PCA view used by the profile-inspection tools.
+func PrincipalComponents(samples []Vector, k int) (values Vector, vectors *Matrix, err error) {
+	cov := Covariance(samples)
+	vals, vecs, err := SymmetricEigen(cov)
+	if err != nil {
+		return nil, nil, err
+	}
+	if k <= 0 || k > len(vals) {
+		k = len(vals)
+	}
+	out := NewMatrix(vecs.Rows, k)
+	for i := 0; i < vecs.Rows; i++ {
+		for j := 0; j < k; j++ {
+			out.Set(i, j, vecs.At(i, j))
+		}
+	}
+	return vals[:k], out, nil
+}

@@ -1,0 +1,131 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 5)
+	m.Set(2, 2, 1)
+	vals, vecs, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 2, 1}
+	for i, w := range want {
+		if !almostEqual(vals[i], w, 1e-10) {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	// Eigenvectors of a diagonal matrix are the (permuted) axes.
+	for j := 0; j < 3; j++ {
+		col := Vector{vecs.At(0, j), vecs.At(1, j), vecs.At(2, j)}
+		if !almostEqual(col.Norm(), 1, 1e-10) {
+			t.Fatalf("column %d not unit: %v", j, col)
+		}
+	}
+}
+
+func TestSymmetricEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := &Matrix{Rows: 2, Cols: 2, Data: []float64{2, 1, 1, 2}}
+	vals, vecs, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(vals[0], 3, 1e-10) || !almostEqual(vals[1], 1, 1e-10) {
+		t.Fatalf("vals = %v", vals)
+	}
+	// First eigenvector ∝ (1,1)/√2.
+	if !almostEqual(math.Abs(vecs.At(0, 0)), 1/math.Sqrt2, 1e-9) {
+		t.Fatalf("vecs = %v", vecs)
+	}
+}
+
+func TestSymmetricEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(16)
+		m := randomSPD(rng, n)
+		vals, vecs, err := SymmetricEigen(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// V·Λ·Vᵀ must reconstruct m.
+		lam := NewMatrix(n, n)
+		for i, v := range vals {
+			lam.Set(i, i, v)
+		}
+		recon := vecs.Mul(lam).Mul(vecs.Transpose())
+		if d := maxAbsDiff(recon, m); d > 1e-8*math.Max(1, m.SymmetricMaxAbs()) {
+			t.Fatalf("trial %d: reconstruction off by %g", trial, d)
+		}
+		// Orthonormality: VᵀV = I.
+		if d := maxAbsDiff(vecs.Transpose().Mul(vecs), Identity(n)); d > 1e-9 {
+			t.Fatalf("trial %d: V not orthonormal (%g)", trial, d)
+		}
+		// Eigenvalues sorted descending and positive for SPD.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("trial %d: eigenvalues unsorted %v", trial, vals)
+			}
+		}
+		if vals[n-1] <= 0 {
+			t.Fatalf("trial %d: SPD with non-positive eigenvalue %v", trial, vals[n-1])
+		}
+	}
+}
+
+func TestSymmetricEigenTraceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomSPD(rng, 10)
+	vals, _, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace, sum float64
+	for i := 0; i < 10; i++ {
+		trace += m.At(i, i)
+	}
+	for _, v := range vals {
+		sum += v
+	}
+	if !almostEqual(trace, sum, 1e-8*math.Max(1, trace)) {
+		t.Fatalf("trace %v != eigenvalue sum %v", trace, sum)
+	}
+}
+
+func TestSymmetricEigenRejectsRectangular(t *testing.T) {
+	if _, _, err := SymmetricEigen(NewMatrix(2, 3)); err == nil {
+		t.Fatal("rectangular matrix accepted")
+	}
+}
+
+func TestPrincipalComponentsFindDominantDirection(t *testing.T) {
+	// Samples spread along (1,1)/√2 with tiny orthogonal noise.
+	rng := rand.New(rand.NewSource(10))
+	samples := make([]Vector, 300)
+	for i := range samples {
+		a := rng.NormFloat64() * 10
+		b := rng.NormFloat64() * 0.1
+		samples[i] = Vector{a + b, a - b}
+	}
+	vals, vecs, err := PrincipalComponents(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vecs.Cols != 1 {
+		t.Fatalf("shape %d/%d", len(vals), vecs.Cols)
+	}
+	dir := Vector{vecs.At(0, 0), vecs.At(1, 0)}
+	if math.Abs(math.Abs(dir[0])-1/math.Sqrt2) > 0.02 || math.Abs(math.Abs(dir[1])-1/math.Sqrt2) > 0.02 {
+		t.Fatalf("principal direction %v, want ±(1,1)/√2", dir)
+	}
+	if vals[0] < 50 {
+		t.Fatalf("principal variance %v", vals[0])
+	}
+}

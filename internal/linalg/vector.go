@@ -1,0 +1,100 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors reported by the package.
+var (
+	ErrSingular  = errors.New("linalg: matrix is singular or not positive definite")
+	ErrDimension = errors.New("linalg: dimension mismatch")
+)
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + o.
+func (v Vector) Add(o Vector) Vector {
+	mustSameLen(len(v), len(o))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + o[i]
+	}
+	return out
+}
+
+// Sub returns v − o.
+func (v Vector) Sub(o Vector) Vector {
+	mustSameLen(len(v), len(o))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - o[i]
+	}
+	return out
+}
+
+// Scale returns v scaled by s.
+func (v Vector) Scale(s float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// Dot returns the inner product of v and o.
+func (v Vector) Dot(o Vector) float64 {
+	mustSameLen(len(v), len(o))
+	var s float64
+	for i := range v {
+		s += v[i] * o[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Mean returns the element-wise mean of the sample vectors. It panics
+// if samples is empty or the lengths differ.
+func Mean(samples []Vector) Vector {
+	if len(samples) == 0 {
+		panic("linalg: Mean of no samples")
+	}
+	n := len(samples[0])
+	out := make(Vector, n)
+	for _, s := range samples {
+		mustSameLen(len(s), n)
+		for i, x := range s {
+			out[i] += x
+		}
+	}
+	return out.Scale(1 / float64(len(samples)))
+}
+
+// Euclidean returns the Euclidean distance between x and y
+// (Equation 2.1 of the paper).
+func Euclidean(x, y Vector) float64 {
+	mustSameLen(len(x), len(y))
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("linalg: length mismatch %d != %d", a, b))
+	}
+}

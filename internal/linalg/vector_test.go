@@ -1,0 +1,92 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	o := Vector{4, 5, 6}
+	if got := v.Add(o); got[0] != 5 || got[1] != 7 || got[2] != 9 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(o); got[0] != -3 || got[1] != -3 || got[2] != -3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(o); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := (Vector{3, 4}).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestVectorDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]Vector{{1, 2}, {3, 4}, {5, 6}})
+	if m[0] != 3 || m[1] != 4 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if got := Euclidean(Vector{0, 0}, Vector{3, 4}); got != 5 {
+		t.Fatalf("Euclidean = %v", got)
+	}
+	if got := Euclidean(Vector{1, 1}, Vector{1, 1}); got != 0 {
+		t.Fatalf("self distance = %v", got)
+	}
+}
+
+func TestEuclideanProperties(t *testing.T) {
+	clamp := func(v Vector) Vector {
+		out := make(Vector, 4)
+		for i := range out {
+			if i < len(v) && !math.IsNaN(v[i]) && !math.IsInf(v[i], 0) {
+				out[i] = math.Mod(v[i], 1e6)
+			}
+		}
+		return out
+	}
+	// Symmetry and non-negativity.
+	sym := func(a, b []float64) bool {
+		x, y := clamp(a), clamp(b)
+		d1, d2 := Euclidean(x, y), Euclidean(y, x)
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	// Triangle inequality.
+	tri := func(a, b, c []float64) bool {
+		x, y, z := clamp(a), clamp(b), clamp(c)
+		return Euclidean(x, z) <= Euclidean(x, y)+Euclidean(y, z)+1e-6
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+}

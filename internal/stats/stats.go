@@ -1,0 +1,173 @@
+// Package stats provides the evaluation statistics the vProfile paper
+// reports: binary confusion matrices with accuracy, precision, recall
+// and F-score; descriptive statistics; normal-theory confidence
+// intervals (the 99 % intervals of Figures 4.6–4.8); and percent
+// deltas between training and test conditions.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConfusionMatrix counts binary detection outcomes. "Positive" is an
+// anomaly verdict, matching the paper's tables where rows are actual
+// and columns are predicted {Anomaly, Normal}.
+type ConfusionMatrix struct {
+	TP int // actual anomaly predicted anomaly
+	FN int // actual anomaly predicted normal (missed attack)
+	FP int // actual normal predicted anomaly (false alarm)
+	TN int // actual normal predicted normal
+}
+
+// Add records one outcome.
+func (c *ConfusionMatrix) Add(actualAnomaly, predictedAnomaly bool) {
+	switch {
+	case actualAnomaly && predictedAnomaly:
+		c.TP++
+	case actualAnomaly && !predictedAnomaly:
+		c.FN++
+	case !actualAnomaly && predictedAnomaly:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Merge accumulates another matrix into c.
+func (c *ConfusionMatrix) Merge(o ConfusionMatrix) {
+	c.TP += o.TP
+	c.FN += o.FN
+	c.FP += o.FP
+	c.TN += o.TN
+}
+
+// Total returns the number of recorded outcomes.
+func (c ConfusionMatrix) Total() int { return c.TP + c.FN + c.FP + c.TN }
+
+// Accuracy returns (TP+TN)/total, or NaN for an empty matrix.
+func (c ConfusionMatrix) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP). With no positive predictions it
+// returns 1 if there were also no actual positives, else 0.
+func (c ConfusionMatrix) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		if c.FN == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN). With no actual positives it returns 1 if
+// nothing was (falsely) predicted positive, else 0.
+func (c ConfusionMatrix) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		if c.FP == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FScore returns the harmonic mean of precision and recall (F1).
+func (c ConfusionMatrix) FScore() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix in the paper's table layout.
+func (c ConfusionMatrix) String() string {
+	return fmt.Sprintf("            Predicted\n            Anomaly  Normal\nAnomaly  %10d %8d\nNormal   %10d %8d",
+		c.TP, c.FN, c.FP, c.TN)
+}
+
+// Mean returns the arithmetic mean of xs, or NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation (normalised by N,
+// consistent with the covariance convention of Equation 5.1).
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Max returns the maximum of xs, or -Inf when empty.
+func Max(xs []float64) float64 {
+	mx := math.Inf(-1)
+	for _, x := range xs {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+// Min returns the minimum of xs, or +Inf when empty.
+func Min(xs []float64) float64 {
+	mn := math.Inf(1)
+	for _, x := range xs {
+		if x < mn {
+			mn = x
+		}
+	}
+	return mn
+}
+
+// z99 is the two-sided 99 % standard normal quantile (z_{0.995}).
+const z99 = 2.575829303549
+
+// ConfidenceInterval99 returns the normal-theory 99 % confidence
+// interval half-width for the mean of xs: z·s/√n with the sample
+// (n−1) standard deviation. It returns 0 for fewer than two samples.
+func ConfidenceInterval99(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	sd := math.Sqrt(s / float64(n-1))
+	return z99 * sd / math.Sqrt(float64(n))
+}
+
+// PercentDelta returns 100·(test−base)/base, the percent-change
+// statistic of Figures 4.6–4.8. It returns NaN for a zero base.
+func PercentDelta(base, test float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return 100 * (test - base) / base
+}

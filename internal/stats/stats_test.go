@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionMatrixAdd(t *testing.T) {
+	var c ConfusionMatrix
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("total %d", c.Total())
+	}
+}
+
+func TestConfusionMatrixMerge(t *testing.T) {
+	a := ConfusionMatrix{TP: 1, FN: 2, FP: 3, TN: 4}
+	b := ConfusionMatrix{TP: 10, FN: 20, FP: 30, TN: 40}
+	a.Merge(b)
+	if a.TP != 11 || a.FN != 22 || a.FP != 33 || a.TN != 44 {
+		t.Fatalf("merged %+v", a)
+	}
+}
+
+func TestScoresKnownValues(t *testing.T) {
+	// Table 4.1(b)-like shape: TP=168151, FN=6, FP=31, TN=673073.
+	c := ConfusionMatrix{TP: 168151, FN: 6, FP: 31, TN: 673073}
+	if got := c.Precision(); math.Abs(got-float64(168151)/float64(168151+31)) > 1e-12 {
+		t.Errorf("precision %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-float64(168151)/float64(168151+6)) > 1e-12 {
+		t.Errorf("recall %v", got)
+	}
+	f := c.FScore()
+	if f < 0.9998 || f > 1 {
+		t.Errorf("F-score %v", f)
+	}
+	acc := c.Accuracy()
+	want := float64(168151+673073) / float64(c.Total())
+	if math.Abs(acc-want) > 1e-12 {
+		t.Errorf("accuracy %v", acc)
+	}
+}
+
+func TestScoresDegenerateCases(t *testing.T) {
+	var empty ConfusionMatrix
+	if !math.IsNaN(empty.Accuracy()) {
+		t.Error("empty accuracy not NaN")
+	}
+	// All-normal test with no false alarms: precision/recall define to 1.
+	clean := ConfusionMatrix{TN: 100}
+	if clean.Precision() != 1 || clean.Recall() != 1 {
+		t.Errorf("clean run p=%v r=%v", clean.Precision(), clean.Recall())
+	}
+	// Missed every attack, predicted nothing positive.
+	missed := ConfusionMatrix{FN: 5, TN: 5}
+	if missed.Precision() != 0 {
+		t.Errorf("missed-attack precision %v", missed.Precision())
+	}
+	if missed.FScore() != 0 {
+		t.Errorf("missed-attack F %v", missed.FScore())
+	}
+	// Only false alarms.
+	alarms := ConfusionMatrix{FP: 5}
+	if alarms.Recall() != 0 {
+		t.Errorf("false-alarm recall %v", alarms.Recall())
+	}
+}
+
+func TestScoresBoundedProperty(t *testing.T) {
+	f := func(tp, fn, fp, tn uint16) bool {
+		c := ConfusionMatrix{TP: int(tp), FN: int(fn), FP: int(fp), TN: int(tn)}
+		if c.Total() == 0 {
+			return true
+		}
+		for _, v := range []float64{c.Accuracy(), c.Precision(), c.Recall(), c.FScore()} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean %v", m)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("stddev %v", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty mean/stddev not NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Fatalf("min/max wrong")
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Fatal("empty min/max not infinite")
+	}
+}
+
+func TestConfidenceInterval99(t *testing.T) {
+	if ConfidenceInterval99([]float64{1}) != 0 {
+		t.Error("single sample CI not 0")
+	}
+	// For xs with sample stddev 1 and n=4, CI = 2.5758/2.
+	xs := []float64{-1, -1, 1, 1} // sample var = 4/3... use direct check
+	n := float64(len(xs))
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	sd := math.Sqrt(s / (n - 1))
+	want := 2.575829303549 * sd / math.Sqrt(n)
+	if got := ConfidenceInterval99(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI %v want %v", got, want)
+	}
+	// More samples with the same spread tighten the interval.
+	wide := []float64{0, 10}
+	narrow := []float64{0, 10, 0, 10, 0, 10, 0, 10}
+	if ConfidenceInterval99(narrow) >= ConfidenceInterval99(wide) {
+		t.Error("CI did not shrink with more samples")
+	}
+}
+
+func TestPercentDelta(t *testing.T) {
+	if got := PercentDelta(100, 150); got != 50 {
+		t.Errorf("delta %v", got)
+	}
+	if got := PercentDelta(200, 100); got != -50 {
+		t.Errorf("delta %v", got)
+	}
+	if !math.IsNaN(PercentDelta(0, 1)) {
+		t.Error("zero base not NaN")
+	}
+}
+
+func TestConfusionMatrixString(t *testing.T) {
+	c := ConfusionMatrix{TP: 1, FN: 2, FP: 3, TN: 4}
+	s := c.String()
+	if len(s) == 0 {
+		t.Fatal("empty render")
+	}
+}

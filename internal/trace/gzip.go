@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Captures compress extremely well (idle samples and steady states
+// dominate), so the tools support transparent gzip: tracegen -gzip
+// writes ~10× smaller files and every reader auto-detects the format.
+
+// NewCompressedWriter wraps the capture writer in gzip. The returned
+// close function flushes the capture and terminates the gzip stream;
+// call it exactly once after the last record.
+func NewCompressedWriter(w io.Writer, h Header) (*Writer, func() error, error) {
+	gz := gzip.NewWriter(w)
+	tw, err := NewWriter(gz, h)
+	if err != nil {
+		gz.Close()
+		return nil, nil, err
+	}
+	closeFn := func() error {
+		if err := tw.Flush(); err != nil {
+			gz.Close()
+			return err
+		}
+		return gz.Close()
+	}
+	return tw, closeFn, nil
+}
+
+// OpenReader returns a capture reader for plain or gzip-compressed
+// input, auto-detected from the stream's first bytes.
+func OpenReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if head[0] == 0x1F && head[1] == 0x8B {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: gzip: %w", err)
+		}
+		return NewReader(gz)
+	}
+	return NewReader(br)
+}

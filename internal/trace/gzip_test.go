@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/vehicle"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, closeFn, err := NewCompressedWriter(&buf, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var want []*Record
+	for i := 0; i < 20; i++ {
+		tr := make(analog.Trace, 300)
+		for j := range tr {
+			tr[j] = float64(rng.Intn(4096))
+		}
+		rec := &Record{ECUIndex: int32(i % 3), TimeSec: float64(i), FrameID: uint32(i), Trace: tr}
+		want = append(want, rec)
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		rec, err := rd.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.FrameID != want[i].FrameID || len(rec.Trace) != len(want[i].Trace) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestOpenReaderAutoDetectsPlain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, vehicle.NewVehicleB(), vehicle.GenConfig{NumMessages: 5, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Header().Vehicle != "vehicle-b" {
+		t.Fatalf("header %+v", rd.Header())
+	}
+}
+
+func TestCompressedCaptureSmaller(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	var plain bytes.Buffer
+	if err := WriteCapture(&plain, v, vehicle.GenConfig{NumMessages: 30, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var comp bytes.Buffer
+	w, closeFn, err := NewCompressedWriter(&comp, Header{Vehicle: v.Name, BitRate: v.BitRate, ADC: v.ADC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = v.Stream(vehicle.GenConfig{NumMessages: 30, Seed: 3}, func(m vehicle.Message) error {
+		return w.Write(&Record{ECUIndex: int32(m.ECUIndex), TimeSec: m.TimeSec, FrameID: m.Frame.ID, Data: m.Frame.Data, Trace: m.Trace})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= plain.Len()/2 {
+		t.Fatalf("compression ineffective: %d vs %d bytes", comp.Len(), plain.Len())
+	}
+}
+
+func TestOpenReaderRejectsTinyInput(t *testing.T) {
+	if _, err := OpenReader(bytes.NewReader([]byte{0x1f})); err == nil {
+		t.Fatal("1-byte input accepted")
+	}
+}
+
+func TestReaderSurvivesRandomBytes(t *testing.T) {
+	// Fuzz-flavoured: arbitrary byte soup must produce typed errors,
+	// never panics or huge allocations.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(400)
+		junk := make([]byte, n)
+		rng.Read(junk)
+		rd, err := OpenReader(bytes.NewReader(junk))
+		if err != nil {
+			continue
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := rd.Next(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func TestReaderSurvivesCorruptedValidCapture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, vehicle.NewVehicleB(), vehicle.GenConfig{NumMessages: 3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		mut := make([]byte, len(base))
+		copy(mut, base)
+		for k := 0; k < 3; k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		rd, err := OpenReader(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := rd.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

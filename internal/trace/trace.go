@@ -1,0 +1,316 @@
+// Package trace implements the capture file format vProfile uses for
+// test repeatability: the paper records each vehicle's bus traffic
+// once and replays it into the detector. A capture file carries the
+// digitizer configuration followed by a stream of per-message records
+// (ground-truth sender, timestamp, frame, and the raw ADC code trace).
+//
+// The format is a compact little-endian binary stream: codes are
+// stored as uint16 (they are integral ADC codes of at most 16 bits),
+// so a 5,000-sample message costs ~10 KB on disk.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+	"vprofile/internal/vehicle"
+)
+
+// Errors reported by the package.
+var (
+	ErrBadMagic   = errors.New("trace: not a vProfile capture file")
+	ErrBadVersion = errors.New("trace: unsupported capture version")
+	ErrCorrupt    = errors.New("trace: corrupt record")
+)
+
+const (
+	magic   = "VPTR"
+	version = 1
+	// maxSaneSamples bounds a single record so corrupt length fields
+	// fail fast instead of attempting enormous allocations.
+	maxSaneSamples = 1 << 24
+)
+
+// Header describes the capture: which vehicle, bus rate and digitizer.
+type Header struct {
+	Vehicle string
+	BitRate float64
+	ADC     analog.ADC
+}
+
+// Record is one captured message.
+type Record struct {
+	ECUIndex int32 // ground-truth sender; −1 for a foreign device
+	TimeSec  float64
+	FrameID  uint32
+	Data     []byte
+	Trace    analog.Trace
+}
+
+// Writer streams records to a capture file.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the header and returns a record writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	out := &Writer{w: bw}
+	out.u16(version)
+	out.str(h.Vehicle)
+	out.f64(h.BitRate)
+	out.f64(h.ADC.SampleRate)
+	out.u16(uint16(h.ADC.Bits))
+	out.f64(h.ADC.MinVolts)
+	out.f64(h.ADC.MaxVolts)
+	if out.err != nil {
+		return nil, out.err
+	}
+	return out, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(r.Data) > 8 {
+		return canbus.ErrDataLength
+	}
+	w.u32(uint32(int32(r.ECUIndex)))
+	w.f64(r.TimeSec)
+	w.u32(r.FrameID)
+	w.u16(uint16(len(r.Data)))
+	if w.err == nil {
+		_, w.err = w.w.Write(r.Data)
+	}
+	w.u32(uint32(len(r.Trace)))
+	for _, c := range r.Trace {
+		w.u16(uint16(c))
+	}
+	return w.err
+}
+
+// Flush commits buffered data. Call once after the last record.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) u16(v uint16) {
+	if w.err == nil {
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], v)
+		_, w.err = w.w.Write(b[:])
+	}
+}
+
+func (w *Writer) u32(v uint32) {
+	if w.err == nil {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		_, w.err = w.w.Write(b[:])
+	}
+}
+
+func (w *Writer) f64(v float64) {
+	if w.err == nil {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		_, w.err = w.w.Write(b[:])
+	}
+}
+
+func (w *Writer) str(s string) {
+	w.u16(uint16(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+// Reader streams records from a capture file.
+type Reader struct {
+	r      *bufio.Reader
+	header Header
+}
+
+// NewReader validates the header and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(got) != magic {
+		return nil, ErrBadMagic
+	}
+	rd := &Reader{r: br}
+	v, err := rd.u16()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	if rd.header.Vehicle, err = rd.str(); err != nil {
+		return nil, err
+	}
+	if rd.header.BitRate, err = rd.f64(); err != nil {
+		return nil, err
+	}
+	if rd.header.ADC.SampleRate, err = rd.f64(); err != nil {
+		return nil, err
+	}
+	bits, err := rd.u16()
+	if err != nil {
+		return nil, err
+	}
+	rd.header.ADC.Bits = int(bits)
+	if rd.header.ADC.MinVolts, err = rd.f64(); err != nil {
+		return nil, err
+	}
+	if rd.header.ADC.MaxVolts, err = rd.f64(); err != nil {
+		return nil, err
+	}
+	if err := rd.header.ADC.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return rd, nil
+}
+
+// Header returns the capture metadata.
+func (r *Reader) Header() Header { return r.header }
+
+// Next reads the next record, or io.EOF at the end of the capture.
+func (r *Reader) Next() (*Record, error) {
+	ecuRaw, err := r.u32()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	rec := &Record{ECUIndex: int32(ecuRaw)}
+	if rec.TimeSec, err = r.f64(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if rec.FrameID, err = r.u32(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	dataLen, err := r.u16()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if dataLen > 8 {
+		return nil, fmt.Errorf("%w: data length %d", ErrCorrupt, dataLen)
+	}
+	rec.Data = make([]byte, dataLen)
+	if _, err := io.ReadFull(r.r, rec.Data); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if n > maxSaneSamples {
+		return nil, fmt.Errorf("%w: %d samples", ErrCorrupt, n)
+	}
+	rec.Trace = make(analog.Trace, n)
+	buf := make([]byte, 2*int(n))
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	for i := range rec.Trace {
+		rec.Trace[i] = float64(binary.LittleEndian.Uint16(buf[2*i:]))
+	}
+	return rec, nil
+}
+
+func (r *Reader) u16() (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func (r *Reader) u32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (r *Reader) f64() (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func (r *Reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// WriteCapture streams a vehicle's generated traffic straight to a
+// capture file without holding it in memory.
+func WriteCapture(w io.Writer, v *vehicle.Vehicle, cfg vehicle.GenConfig) error {
+	tw, err := NewWriter(w, Header{Vehicle: v.Name, BitRate: v.BitRate, ADC: v.ADC})
+	if err != nil {
+		return err
+	}
+	err = v.Stream(cfg, func(m vehicle.Message) error {
+		return tw.Write(&Record{
+			ECUIndex: int32(m.ECUIndex),
+			TimeSec:  m.TimeSec,
+			FrameID:  m.Frame.ID,
+			Data:     m.Frame.Data,
+			Trace:    m.Trace,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+// ReadAll loads an entire capture into memory (small captures only).
+func ReadAll(r io.Reader) (Header, []*Record, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var recs []*Record
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return rd.Header(), recs, nil
+		}
+		if err != nil {
+			return rd.Header(), recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,118 @@
+package vehicle
+
+import (
+	"math"
+	"math/rand"
+
+	"vprofile/internal/canbus"
+)
+
+// signalModel evolves the physical quantities the J1939 parameter
+// groups broadcast, so captures generated with RealisticPayloads carry
+// decodable, physically coherent signals instead of random bytes:
+// the engine idles and revs on a slow cycle, wheel speed follows it
+// through the driveline, coolant warms toward thermostat temperature,
+// and the pedal wanders the way a driver's foot does.
+type signalModel struct {
+	pedalPos float64 // %
+}
+
+// newSignalModel returns the cold-start state.
+func newSignalModel() *signalModel { return &signalModel{pedalPos: 10} }
+
+// engineRPM follows a slow acceleration/deceleration cycle around the
+// pedal position.
+func (m *signalModel) engineRPM(t float64) float64 {
+	base := 650 + 14*m.pedalPos
+	sway := 180 * math.Sin(2*math.Pi*t/37)
+	rpm := base + sway
+	if rpm < 600 {
+		rpm = 600
+	}
+	if rpm > 2100 {
+		rpm = 2100
+	}
+	return rpm
+}
+
+// wheelSpeed gears the engine speed down through a fixed driveline
+// ratio (top gear, ~0.04 km/h per rpm).
+func (m *signalModel) wheelSpeed(t float64) float64 {
+	v := (m.engineRPM(t) - 600) * 0.055
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// coolantTemp warms from ambient toward the 88 °C thermostat point
+// with a ten-minute time constant.
+func (m *signalModel) coolantTemp(t float64) float64 {
+	const ambient, regulated, tau = 20.0, 88.0, 600.0
+	return regulated + (ambient-regulated)*math.Exp(-t/tau)
+}
+
+// fuelRate tracks load: litres per hour roughly proportional to rpm
+// above idle plus a pedal term.
+func (m *signalModel) fuelRate(t float64) float64 {
+	return 2 + 0.01*(m.engineRPM(t)-600) + 0.15*m.pedalPos
+}
+
+// step advances driver behaviour (a bounded random walk on the pedal).
+func (m *signalModel) step(rng *rand.Rand) {
+	m.pedalPos += rng.NormFloat64() * 2
+	if m.pedalPos < 0 {
+		m.pedalPos = 0
+	}
+	if m.pedalPos > 90 {
+		m.pedalPos = 90
+	}
+}
+
+// payload fills a parameter group's data field from the signal state.
+// Bytes not covered by a catalogued SPN carry the J1939 padding value
+// 0xFF. PGNs without catalogued signals get 0xFF padding throughout.
+func (m *signalModel) payload(spec MessageSpec, t float64, rng *rand.Rand) ([]byte, error) {
+	m.step(rng)
+	data := make([]byte, spec.DataLen)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	for _, spn := range canbus.SPNsForPGN(spec.ID.PGN) {
+		var value float64
+		switch spn.Number {
+		case canbus.SPNEngineSpeed.Number:
+			value = m.engineRPM(t)
+		case canbus.SPNAccelPedal.Number:
+			value = m.pedalPos
+		case canbus.SPNCoolantTemp.Number:
+			value = m.coolantTemp(t)
+		case canbus.SPNWheelSpeed.Number:
+			value = m.wheelSpeed(t)
+		case canbus.SPNFuelRate.Number:
+			value = m.fuelRate(t)
+		case canbus.SPNOutputShaftSpeed.Number:
+			value = m.engineRPM(t) * 0.7
+		case canbus.SPNBrakePedal.Number:
+			value = 0
+			if m.pedalPos < 5 && rng.Float64() < 0.3 {
+				value = 20 + rng.Float64()*40
+			}
+		case canbus.SPNAmbientTemp.Number:
+			value = 20 + rng.NormFloat64()*0.2
+		default:
+			continue
+		}
+		// Clamp into the SPN's encodable range.
+		if value < spn.Min() {
+			value = spn.Min()
+		}
+		if value > spn.Max() {
+			value = spn.Max()
+		}
+		if err := spn.Encode(data, value); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}

@@ -1,0 +1,234 @@
+package vehicle
+
+import (
+	"testing"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/edgeset"
+)
+
+func TestVehicleRosters(t *testing.T) {
+	a := NewVehicleA()
+	if len(a.ECUs) != 5 {
+		t.Fatalf("Vehicle A has %d ECUs, want 5", len(a.ECUs))
+	}
+	b := NewVehicleB()
+	if len(b.ECUs) != 10 {
+		t.Fatalf("Vehicle B has %d ECUs, want 10", len(b.ECUs))
+	}
+	for _, v := range []*Vehicle{a, b} {
+		if err := v.ADC.Validate(); err != nil {
+			t.Fatalf("%s ADC: %v", v.Name, err)
+		}
+		for _, e := range v.ECUs {
+			if err := e.Transceiver.Validate(); err != nil {
+				t.Fatalf("%s %s: %v", v.Name, e.Name, err)
+			}
+			if len(e.Messages) == 0 {
+				t.Fatalf("%s %s has no message specs", v.Name, e.Name)
+			}
+		}
+	}
+}
+
+func TestSAMapBijectiveOverECUs(t *testing.T) {
+	for _, v := range []*Vehicle{NewVehicleA(), NewVehicleB()} {
+		m := v.SAMap()
+		if len(m) == 0 {
+			t.Fatalf("%s: empty SA map", v.Name)
+		}
+		// Every SA maps to the ECU that declares it, and no SA is
+		// shared between two ECUs (each ID maps to a single ECU).
+		for sa, idx := range m {
+			if got := v.ECUForSA(sa); got != idx {
+				t.Fatalf("%s: SA %#x maps to ECU %d but ECUForSA says %d", v.Name, sa, idx, got)
+			}
+		}
+	}
+}
+
+func TestECUForSAUnknown(t *testing.T) {
+	if got := NewVehicleA().ECUForSA(0xEE); got != -1 {
+		t.Fatalf("unknown SA resolved to %d", got)
+	}
+}
+
+func TestGenerateProducesDecodableTraffic(t *testing.T) {
+	for _, v := range []*Vehicle{NewVehicleA(), NewVehicleB()} {
+		cap, err := v.Generate(GenConfig{NumMessages: 120, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cap.Messages) != 120 {
+			t.Fatalf("%s: %d messages", v.Name, len(cap.Messages))
+		}
+		cfg := v.ExtractionConfig()
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		seenECU := make(map[int]bool)
+		prevTime := -1.0
+		for i, msg := range cap.Messages {
+			if msg.TimeSec < prevTime {
+				t.Fatalf("%s: message %d goes back in time", v.Name, i)
+			}
+			prevTime = msg.TimeSec
+			res, err := edgeset.Extract(msg.Trace, cfg)
+			if err != nil {
+				t.Fatalf("%s: message %d: %v", v.Name, i, err)
+			}
+			if res.SA != msg.Frame.SA() {
+				t.Fatalf("%s: message %d decoded SA %#x, frame SA %#x", v.Name, i, res.SA, msg.Frame.SA())
+			}
+			if got := v.ECUForSA(res.SA); got != msg.ECUIndex {
+				t.Fatalf("%s: message %d SA %#x belongs to ECU %d, ground truth %d", v.Name, i, res.SA, got, msg.ECUIndex)
+			}
+			seenECU[msg.ECUIndex] = true
+		}
+		// Fast-period ECUs must all appear within 120 messages.
+		if len(seenECU) < 3 {
+			t.Fatalf("%s: only ECUs %v transmitted", v.Name, seenECU)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	v := NewVehicleA()
+	a, err := v.Generate(GenConfig{NumMessages: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.Generate(GenConfig{NumMessages: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Messages {
+		if a.Messages[i].Frame.ID != b.Messages[i].Frame.ID {
+			t.Fatalf("message %d frame differs", i)
+		}
+		ta, tb := a.Messages[i].Trace, b.Messages[i].Trace
+		if len(ta) != len(tb) {
+			t.Fatalf("message %d trace length differs", i)
+		}
+		for j := range ta {
+			if ta[j] != tb[j] {
+				t.Fatalf("message %d sample %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := NewVehicleA().Generate(GenConfig{NumMessages: 0}); err == nil {
+		t.Fatal("zero messages accepted")
+	}
+}
+
+func TestGenerateForeign(t *testing.T) {
+	v := NewVehicleA()
+	victim := v.ECUs[4]
+	imposter := ForeignDevice(v.ECUs[1].Transceiver)
+	cap, err := v.GenerateForeign(imposter, victim, GenConfig{NumMessages: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := v.ExtractionConfig()
+	victimSAs := make(map[uint8]bool)
+	for _, sa := range victim.SAs() {
+		victimSAs[uint8(sa)] = true
+	}
+	for i, msg := range cap.Messages {
+		if msg.ECUIndex != -1 {
+			t.Fatalf("message %d ground truth %d, want -1", i, msg.ECUIndex)
+		}
+		res, err := edgeset.Extract(msg.Trace, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !victimSAs[uint8(res.SA)] {
+			t.Fatalf("message %d claims SA %#x, not one of the victim's", i, res.SA)
+		}
+	}
+}
+
+func TestForeignDeviceDiffersButResembles(t *testing.T) {
+	victim := NewVehicleA().ECUs[4].Transceiver
+	f := ForeignDevice(victim)
+	if f.VDom == victim.VDom || f.TauRise == victim.TauRise {
+		t.Fatal("foreign device identical to the victim")
+	}
+	if d := f.VDom - victim.VDom; d > 0.05 || d < -0.05 {
+		t.Fatalf("foreign bias %v too large to count as imitation", d)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The victim is untouched.
+	if victim.Name == f.Name {
+		t.Fatal("victim mutated")
+	}
+}
+
+func TestEnvFuncReachesSynthesis(t *testing.T) {
+	v := NewVehicleA()
+	// Generate at nominal and at +60 °C; ECU0's steady level must
+	// drop measurably (temp coefficient −2.5 mV/°C).
+	nom, err := v.Generate(GenConfig{NumMessages: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotCap, err := v.Generate(GenConfig{NumMessages: 60, Seed: 3, Env: func(_ float64, ecu int) analog.Environment {
+		e := v.ECUs[ecu].Transceiver.NominalEnvironment()
+		e.TemperatureC += 60
+		return e
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := v.ExtractionConfig()
+	var nomLevel, hotLevel, n float64
+	for i := range nom.Messages {
+		if nom.Messages[i].ECUIndex != 0 {
+			continue
+		}
+		rn, err := edgeset.Extract(nom.Messages[i].Trace, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := edgeset.Extract(hotCap.Messages[i].Trace, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare the settled suffix of the rising edge.
+		nomLevel += rn.Set[cfg.PrefixLen+cfg.SuffixLen-1]
+		hotLevel += rh.Set[cfg.PrefixLen+cfg.SuffixLen-1]
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no ECU0 messages in the capture")
+	}
+	if hotLevel/n >= nomLevel/n-100 {
+		t.Fatalf("+60°C did not lower ECU0's level: %v vs %v", hotLevel/n, nomLevel/n)
+	}
+}
+
+func TestDefaultTraceSamplesCoversExtraction(t *testing.T) {
+	for _, v := range []*Vehicle{NewVehicleA(), NewVehicleB()} {
+		perBit := int(v.ADC.SamplesPerBit(v.BitRate))
+		min := (v.LeadIdleBits + 36) * perBit
+		if got := v.DefaultTraceSamples(); got < min {
+			t.Fatalf("%s: %d samples cannot cover bit 33 (+%d lead)", v.Name, got, v.LeadIdleBits)
+		}
+	}
+}
+
+func TestExtractionConfigScalesWithRate(t *testing.T) {
+	a := NewVehicleA().ExtractionConfig() // 20 MS/s → 80 samples/bit
+	if a.BitWidth != 80 || a.PrefixLen != 4 || a.SuffixLen != 28 {
+		t.Fatalf("Vehicle A config %+v", a)
+	}
+	b := NewVehicleB().ExtractionConfig() // 10 MS/s → the paper's reference
+	if b.BitWidth != 40 || b.PrefixLen != 2 || b.SuffixLen != 14 {
+		t.Fatalf("Vehicle B config %+v", b)
+	}
+}
