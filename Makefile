@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race check bench-replay bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector; the concurrent
+# replay pipeline (internal/pipeline) must stay clean here on every
+# change.
+race:
+	$(GO) test -race ./...
+
+# check is the PR gate: vet + race-checked tests.
+check: vet race
+
+# bench-replay compares sequential replay against the concurrent
+# pipeline at 1/2/4/8 workers on a 10k-record capture.
+bench-replay:
+	$(GO) test -bench Replay -benchmem -run '^$$' .
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...

@@ -3,26 +3,28 @@
 // J1939 transport reassembly with DM1 decoding — and prints a timeline
 // of everything suspicious plus a traffic summary. It is the composed
 // IDS the paper's conclusion recommends, provided as a library by
-// internal/ids (Composite).
+// internal/ids (Composite) and replayed concurrently by
+// internal/pipeline.
 //
 // Usage:
 //
 //	busmon -capture traffic.vptr -model model.vpm
 //	busmon -capture traffic.vptr.gz -model model.vpm -timeline
+//	busmon -capture traffic.vptr -model model.vpm -workers 8
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"runtime"
 	"sort"
 
 	"vprofile/internal/canbus"
 	"vprofile/internal/core"
 	"vprofile/internal/edgeset"
 	"vprofile/internal/ids"
+	"vprofile/internal/pipeline"
 	"vprofile/internal/trace"
 )
 
@@ -31,19 +33,20 @@ func main() {
 		capture   = flag.String("capture", "", "capture file (plain or gzip)")
 		modelPath = flag.String("model", "", "trained vProfile model")
 		timeline  = flag.Bool("timeline", false, "print every suspicious event")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "extraction worker pool size")
 	)
 	flag.Parse()
 	if *capture == "" || *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "busmon: -capture and -model are required")
 		os.Exit(2)
 	}
-	if err := run(*capture, *modelPath, *timeline); err != nil {
+	if err := run(*capture, *modelPath, *timeline, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "busmon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(capturePath, modelPath string, timeline bool) error {
+func run(capturePath, modelPath string, timeline bool, workers int) error {
 	mf, err := os.Open(modelPath)
 	if err != nil {
 		return err
@@ -75,21 +78,13 @@ func run(capturePath, modelPath string, timeline bool) error {
 		lastSeen float64
 	}
 	perSA := map[uint8]*counter{}
-	voltAlarms, periodAlarms, tpTransfers, dm1Reports := 0, 0, 0, 0
-	n := 0
+	voltAlarms, preprocFailed, periodAlarms := 0, 0, 0
+	tpTransfers, tpErrors, timingFaults, dm1Reports := 0, 0, 0, 0
 	lastAt := 0.0
-	for {
-		rec, err := rd.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		n++
+	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: workers}, func(res pipeline.Result) error {
+		rec, r := res.Record, res.Verdict
 		lastAt = rec.TimeSec
-		frame := &canbus.ExtendedFrame{ID: rec.FrameID, Data: rec.Data}
-		sa := uint8(frame.SA())
+		sa := uint8(res.Frame.SA())
 		c := perSA[sa]
 		if c == nil {
 			c = &counter{}
@@ -98,8 +93,18 @@ func run(capturePath, modelPath string, timeline bool) error {
 		c.frames++
 		c.lastSeen = rec.TimeSec
 
-		r := mon.Process(frame, rec.Trace, rec.TimeSec)
-		if r.Voltage.Anomaly || r.ExtractErr != nil {
+		switch {
+		case r.ExtractErr != nil:
+			// The voltage verdict is the zero value here — printing it
+			// would claim "ok, dist 0.00" for a frame that never made
+			// it through preprocessing. Report the real failure.
+			preprocFailed++
+			c.alarms++
+			if timeline {
+				fmt.Printf("%10.4fs  VOLTAGE  SA %#02x preprocess-failed: %v\n",
+					rec.TimeSec, sa, r.ExtractErr)
+			}
+		case r.Voltage.Anomaly:
 			voltAlarms++
 			c.alarms++
 			if timeline {
@@ -111,6 +116,16 @@ func run(capturePath, modelPath string, timeline bool) error {
 			periodAlarms++
 			if timeline {
 				fmt.Printf("%10.4fs  TIMING   id %#08x arrived early\n", rec.TimeSec, rec.FrameID)
+			}
+		}
+		if r.TimingErr != nil {
+			timingFaults++
+		}
+		if r.TransferErr != nil {
+			tpErrors++
+			if timeline {
+				fmt.Printf("%10.4fs  TP       SA %#02x malformed transport: %v\n",
+					rec.TimeSec, sa, r.TransferErr)
 			}
 		}
 		if r.Transfer != nil {
@@ -125,14 +140,21 @@ func run(capturePath, modelPath string, timeline bool) error {
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	silent := mon.SilentStreams()
 
 	fmt.Printf("capture: %s (%s, %.0f kb/s, %d-bit @ %.1f MS/s)\n",
 		capturePath, h.Vehicle, h.BitRate/1e3, h.ADC.Bits, h.ADC.SampleRate/1e6)
-	fmt.Printf("frames: %d over %.2fs\n", n, lastAt)
-	fmt.Printf("voltage alarms: %d | timing alarms: %d | silent ids at end: %d\n", voltAlarms, periodAlarms, len(silent))
-	fmt.Printf("transport transfers: %d (DM1 reports: %d)\n\n", tpTransfers, dm1Reports)
+	fmt.Printf("frames: %d over %.2fs (replayed in %.2fs, %d workers, %.0f%% busy)\n",
+		st.RecordsOut, lastAt, st.WallTime.Seconds(), st.Workers, 100*st.Utilization())
+	fmt.Printf("voltage alarms: %d | preprocess failures: %d | timing alarms: %d | silent ids at end: %d\n",
+		voltAlarms, preprocFailed, periodAlarms, len(silent))
+	fmt.Printf("transport transfers: %d (DM1 reports: %d) | transport errors: %d | monitor faults: %d\n\n",
+		tpTransfers, dm1Reports, tpErrors, timingFaults)
 
 	sas := make([]int, 0, len(perSA))
 	for sa := range perSA {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	vprofile train  -capture train.vptr -model model.vpm [-metric mahalanobis] [-margin 10]
-//	vprofile detect -capture test.vptr  -model model.vpm
+//	vprofile detect -capture test.vptr  -model model.vpm [-workers 8]
 //	vprofile update -capture new.vptr   -model model.vpm -out updated.vpm
 //	vprofile info   -model model.vpm
 package main
@@ -15,9 +15,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"vprofile/internal/core"
 	"vprofile/internal/edgeset"
+	"vprofile/internal/ids"
+	"vprofile/internal/pipeline"
 	"vprofile/internal/stats"
 	"vprofile/internal/trace"
 )
@@ -164,6 +167,7 @@ func cmdDetect(args []string) error {
 	capture := fs.String("capture", "", "capture file to classify")
 	modelPath := fs.String("model", "model.vpm", "trained model file")
 	verbose := fs.Bool("v", false, "print every anomalous message")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "extraction worker pool size")
 	fs.Parse(args)
 	if *capture == "" {
 		return errors.New("detect: -capture is required")
@@ -172,25 +176,45 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	samples, _, err := readSamples(*capture)
+	f, err := os.Open(*capture)
 	if err != nil {
 		return err
 	}
+	defer f.Close()
+	rd, err := trace.OpenReader(f)
+	if err != nil {
+		return err
+	}
+	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: extractionFor(rd.Header())})
+	if err != nil {
+		return err
+	}
+	// Replay through the concurrent pipeline: the voltage verdicts are
+	// identical to classifying each preprocessed sample in order, but
+	// the capture streams instead of loading into memory and the hot
+	// path fans out across the worker pool.
 	var cm stats.ConfusionMatrix
 	reasons := map[core.Reason]int{}
-	for i, s := range samples {
-		d := model.Detect(s.SA, s.Set)
+	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: *workers}, func(r pipeline.Result) error {
+		if r.Verdict.ExtractErr != nil {
+			return fmt.Errorf("record %d: %w", r.Index, r.Verdict.ExtractErr)
+		}
+		d := r.Verdict.Voltage
 		cm.Add(false, d.Anomaly)
 		if d.Anomaly {
 			reasons[d.Reason]++
 			if *verbose {
 				fmt.Printf("message %6d: SA %#02x flagged (%s, dist %.2f, predicted cluster %d)\n",
-					i, uint8(s.SA), d.Reason, d.MinDist, d.Predict)
+					r.Index, uint8(r.Frame.SA()), d.Reason, d.MinDist, d.Predict)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Printf("classified %d messages: %d flagged (%.4f%%)\n",
-		cm.Total(), cm.FP+cm.TP, 100*float64(cm.FP+cm.TP)/float64(cm.Total()))
+	fmt.Printf("classified %d messages: %d flagged (%.4f%%) in %.2fs with %d workers\n",
+		cm.Total(), cm.FP+cm.TP, 100*float64(cm.FP+cm.TP)/float64(cm.Total()), st.WallTime.Seconds(), st.Workers)
 	for r, n := range reasons {
 		fmt.Printf("  %-18s %d\n", r.String()+":", n)
 	}

@@ -252,9 +252,9 @@ func Load(r io.Reader) (*Model, error) {
 		}
 		m.Clusters = append(m.Clusters, c)
 	}
-	for id := range m.SALUT {
-		if int(m.SALUT[id]) >= len(m.Clusters) {
-			return nil, fmt.Errorf("core: model LUT references cluster %d of %d", m.SALUT[id], len(m.Clusters))
+	for sa, id := range m.SALUT {
+		if id < 0 || int(id) >= len(m.Clusters) {
+			return nil, fmt.Errorf("core: model LUT maps SA %#02x to cluster %d of %d", uint8(sa), id, len(m.Clusters))
 		}
 	}
 	return m, nil

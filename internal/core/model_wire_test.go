@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+// encodeWire builds a model file byte-for-byte the way Save does, but
+// from an arbitrary wire struct, so tests can craft payloads Save
+// would never produce.
+func encodeWire(t *testing.T, wire modelWire) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(modelMagic)
+	buf.WriteByte(modelVersion)
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRejectsOutOfRangeLUT(t *testing.T) {
+	base := func() modelWire {
+		return modelWire{
+			Metric: Euclidean,
+			Dim:    1,
+			SALUT:  map[uint8]int{0x10: 0},
+			Clusters: []clusterWire{
+				{SAs: []uint8{0x10}, Mean: []float64{1.5}, MaxDist: 0.5, N: 8},
+			},
+		}
+	}
+
+	// Sanity: the well-formed payload loads and detects without issue.
+	m, err := Load(bytes.NewReader(encodeWire(t, base())))
+	if err != nil {
+		t.Fatalf("well-formed payload rejected: %v", err)
+	}
+	if d := m.Detect(0x10, []float64{1.5}); d.Anomaly {
+		t.Fatalf("clean sample flagged: %+v", d)
+	}
+
+	cases := []struct {
+		name string
+		id   int
+	}{
+		// A negative cluster id used to pass the >= len check and
+		// panic later inside Detect via m.Clusters[expID].
+		{"negative", -1},
+		{"very negative", -1 << 30},
+		{"past end", 1},
+		{"far past end", 1 << 30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wire := base()
+			wire.SALUT[0x10] = tc.id
+			m, err := Load(bytes.NewReader(encodeWire(t, wire)))
+			if err == nil {
+				// Before the fix this is where the corrupt model would
+				// escape validation; Detect then panicked.
+				t.Fatalf("LUT cluster id %d accepted", tc.id)
+			}
+			if !strings.Contains(err.Error(), "cluster") {
+				t.Fatalf("unhelpful error: %v", err)
+			}
+			if m != nil {
+				t.Fatal("corrupt load returned a model")
+			}
+		})
+	}
+}

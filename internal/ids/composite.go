@@ -59,32 +59,57 @@ func NewComposite(model *core.Model, cfg CompositeConfig) (*Composite, error) {
 // CompositeResult is the fused verdict for one message.
 type CompositeResult struct {
 	// Voltage is the vProfile verdict; ExtractErr is set when the
-	// trace would not preprocess.
+	// trace would not preprocess (in which case Voltage is zero and
+	// must not be interpreted).
 	Voltage    core.Detection
 	ExtractErr error
 	// Timing is the period monitor's verdict (PeriodOK during warmup).
-	Timing PeriodVerdict
+	// TimingErr reports a monitor fault — the monitor could not judge
+	// this message at all (e.g. no training data) — not evidence
+	// against the message itself.
+	Timing    PeriodVerdict
+	TimingErr error
 	// Transfer is non-nil when this frame completed a multi-packet
-	// transport session.
-	Transfer *canbus.Completed
+	// transport session. TransferErr reports a malformed or
+	// out-of-sequence transport frame, which aborts that source's
+	// session.
+	Transfer    *canbus.Completed
+	TransferErr error
 }
 
 // Anomalous reports whether any detector family flagged the message.
+// A TransferErr counts: a malformed transport frame is exactly the
+// kind of protocol corruption an injected or fuzzing attacker
+// produces. A TimingErr does not — it means the monitor abstained,
+// not that the message misbehaved.
 func (r CompositeResult) Anomalous() bool {
-	return r.ExtractErr != nil || r.Voltage.Anomaly || r.Timing == PeriodTooEarly
+	return r.ExtractErr != nil || r.Voltage.Anomaly || r.Timing == PeriodTooEarly || r.TransferErr != nil
 }
 
-// Process classifies one message.
-func (c *Composite) Process(frame *canbus.ExtendedFrame, tr analog.Trace, at float64) CompositeResult {
-	var out CompositeResult
-	c.lastAt = at
-
+// VoltageVerdict runs the stateless half of the stack — edge-set
+// extraction and vProfile classification — for one message. It
+// touches no mutable state, so calls may run concurrently from many
+// goroutines (the replay pipeline fans it out across a worker pool).
+// The frame is accepted alongside the trace because the verdict
+// conceptually belongs to the frame; the claimed source address is
+// decoded from the analog trace itself.
+func (c *Composite) VoltageVerdict(frame *canbus.ExtendedFrame, tr analog.Trace) (core.Detection, error) {
 	res, err := edgeset.Extract(tr, c.extraction)
 	if err != nil {
-		out.ExtractErr = err
-	} else {
-		out.Voltage = c.model.Detect(res.SA, res.Set)
+		return core.Detection{}, err
 	}
+	return c.model.Detect(res.SA, res.Set), nil
+}
+
+// Sequence runs the stateful half of the stack — period monitoring
+// and transport reassembly — folding in a voltage verdict previously
+// computed by VoltageVerdict. Calls must happen in message arrival
+// order from a single goroutine; the replay pipeline guarantees this
+// with its reordering stage, so composite verdicts are identical to
+// the sequential Process path.
+func (c *Composite) Sequence(frame *canbus.ExtendedFrame, at float64, voltage core.Detection, extractErr error) CompositeResult {
+	out := CompositeResult{Voltage: voltage, ExtractErr: extractErr}
+	c.lastAt = at
 
 	c.seen++
 	if c.seen <= c.warmup {
@@ -94,15 +119,18 @@ func (c *Composite) Process(frame *canbus.ExtendedFrame, tr analog.Trace, at flo
 			c.finalized = true
 		}
 	} else if c.finalized {
-		if v, err := c.period.Check(frame.ID, at); err == nil {
-			out.Timing = v
-		}
+		out.Timing, out.TimingErr = c.period.Check(frame.ID, at)
 	}
 
-	if done, err := c.reasm.Feed(frame); err == nil {
-		out.Transfer = done
-	}
+	out.Transfer, out.TransferErr = c.reasm.Feed(frame)
 	return out
+}
+
+// Process classifies one message. It is VoltageVerdict followed by
+// Sequence; the concurrent pipeline composes the same two halves.
+func (c *Composite) Process(frame *canbus.ExtendedFrame, tr analog.Trace, at float64) CompositeResult {
+	det, err := c.VoltageVerdict(frame, tr)
+	return c.Sequence(frame, at, det, err)
 }
 
 // SilentStreams reports identifiers that have gone quiet — the

@@ -120,8 +120,9 @@ func (m *PeriodMonitor) Check(id uint32, at float64) (PeriodVerdict, error) {
 	sd := math.Sqrt(st.m2 / float64(st.n))
 	tol := m.TolSigmas * sd
 	// Scheduling jitter bounds from training; also keep an absolute
-	// floor of half the period against degenerate zero-variance
-	// streams.
+	// floor of 40% of the learned period so degenerate zero-variance
+	// streams retain a usable acceptance band without swallowing a
+	// flood that halves the effective period.
 	if minTol := st.mean * 0.4; tol < minTol {
 		tol = minTol
 	}

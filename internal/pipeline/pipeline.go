@@ -1,0 +1,342 @@
+// Package pipeline replays capture files through the composite IDS
+// concurrently while producing verdicts bit-for-bit identical to the
+// sequential path.
+//
+// The replay is a three-stage pipeline:
+//
+//  1. a reader goroutine pulls records off the capture stream in
+//     order and tags each with its index — kept deliberately thin
+//     (raw, undecoded records when the source supports it) because
+//     stream decoding is the one inherently serial stage;
+//  2. a worker pool fans out the stateless hot path — sample
+//     decoding, edge-set extraction and vProfile scoring
+//     (Composite.VoltageVerdict) — across GOMAXPROCS goroutines;
+//  3. a reordering stage re-sequences results by record index and
+//     runs the stateful detectors (period monitor, transport
+//     reassembly) in arrival order via Composite.Sequence.
+//
+// All channels are bounded, so a slow sink backpressures the reader
+// instead of ballooning memory; the first error from any stage stops
+// the whole pipeline cleanly. Per-stage counters are readable at any
+// time through Stats.
+package pipeline
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vprofile/internal/canbus"
+	"vprofile/internal/core"
+	"vprofile/internal/ids"
+	"vprofile/internal/trace"
+)
+
+// Source yields capture records in order. *trace.Reader implements
+// it; so does any in-memory record queue.
+type Source interface {
+	Next() (*trace.Record, error)
+}
+
+// RawSource is the fast path: sources that can hand out records with
+// still-packed sample codes let the pipeline move the float64
+// expansion into the worker pool. *trace.Reader implements it.
+type RawSource interface {
+	NextRaw() (*trace.RawRecord, error)
+}
+
+// Config parameterises a replay.
+type Config struct {
+	// Workers is the extraction/scoring pool size; zero or negative
+	// means runtime.GOMAXPROCS(0).
+	Workers int
+	// Depth is the capacity of each inter-stage channel, bounding how
+	// far the reader may run ahead of the sink; zero means 4×Workers.
+	Depth int
+}
+
+// Result is one record's verdict, delivered to the sink in record
+// order.
+type Result struct {
+	Index   int
+	Record  *trace.Record
+	Frame   *canbus.ExtendedFrame
+	Verdict ids.CompositeResult
+}
+
+// Sink receives results in record order. A non-nil error stops the
+// replay. A nil Sink discards results (useful for benchmarks).
+type Sink func(Result) error
+
+// Stats is a snapshot of the pipeline's per-stage counters. It may be
+// taken while the replay is still running.
+type Stats struct {
+	Workers int
+	// RecordsIn counts records the reader stage pulled off the
+	// source; RecordsOut counts verdicts delivered to the sink.
+	RecordsIn  int64
+	RecordsOut int64
+	// ExtractFailures counts records whose trace would not
+	// preprocess (they still produce a Result, with ExtractErr set).
+	ExtractFailures int64
+	// WallTime is the elapsed replay time; WorkerBusy is the summed
+	// time workers spent extracting and scoring.
+	WallTime   time.Duration
+	WorkerBusy time.Duration
+}
+
+// Utilization is the fraction of total worker capacity spent doing
+// work: WorkerBusy / (WallTime × Workers).
+func (s Stats) Utilization() float64 {
+	if s.WallTime <= 0 || s.Workers <= 0 {
+		return 0
+	}
+	return float64(s.WorkerBusy) / (float64(s.WallTime) * float64(s.Workers))
+}
+
+// Replayer drives one capture replay. Create with New, run with Run,
+// observe with Stats.
+type Replayer struct {
+	mon     *ids.Composite
+	workers int
+	depth   int
+
+	ran             atomic.Bool
+	recordsIn       atomic.Int64
+	recordsOut      atomic.Int64
+	extractFailures atomic.Int64
+	busyNanos       atomic.Int64
+	startNanos      atomic.Int64
+	wallNanos       atomic.Int64
+}
+
+// New builds a replayer around a composite monitor. The monitor must
+// not be used by anyone else while Run is in flight.
+func New(mon *ids.Composite, cfg Config) (*Replayer, error) {
+	if mon == nil {
+		return nil, errors.New("pipeline: nil monitor")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	return &Replayer{mon: mon, workers: workers, depth: depth}, nil
+}
+
+// Stats returns a snapshot of the per-stage counters.
+func (p *Replayer) Stats() Stats {
+	wall := time.Duration(p.wallNanos.Load())
+	if wall == 0 {
+		if start := p.startNanos.Load(); start != 0 {
+			wall = time.Duration(time.Now().UnixNano() - start)
+		}
+	}
+	return Stats{
+		Workers:         p.workers,
+		RecordsIn:       p.recordsIn.Load(),
+		RecordsOut:      p.recordsOut.Load(),
+		ExtractFailures: p.extractFailures.Load(),
+		WallTime:        wall,
+		WorkerBusy:      time.Duration(p.busyNanos.Load()),
+	}
+}
+
+// job is a record travelling between stages.
+type job struct {
+	idx   int
+	raw   *trace.RawRecord // nil once decoded
+	rec   *trace.Record
+	frame *canbus.ExtendedFrame
+}
+
+// scored is a job annotated with its stateless verdict.
+type scored struct {
+	job
+	det        core.Detection
+	extractErr error
+}
+
+// Run replays the source to completion (or first error). Results
+// reach the sink in record order. Run may be called once per
+// Replayer: the composite monitor it wraps is stateful, so a second
+// replay needs a fresh monitor and replayer.
+func (p *Replayer) Run(src Source, fn Sink) error {
+	if p.ran.Swap(true) {
+		return errors.New("pipeline: Run called twice on one Replayer")
+	}
+	if fn == nil {
+		fn = func(Result) error { return nil }
+	}
+	p.startNanos.Store(time.Now().UnixNano())
+	defer func() {
+		p.wallNanos.Store(time.Now().UnixNano() - p.startNanos.Load())
+	}()
+
+	jobs := make(chan job, p.depth)
+	out := make(chan scored, p.depth)
+	// abandon is closed only when the sink fails and stage 3 stops
+	// draining; it unblocks upstream sends that would otherwise hang.
+	// A source error does NOT close it — the records already read
+	// drain through normally, so the sink sees the complete prefix
+	// before the error surfaces.
+	abandon := make(chan struct{})
+	var once sync.Once
+	var firstErr error
+	setErr := func(err error) {
+		once.Do(func() { firstErr = err })
+	}
+
+	// Stage 1: the reader tags records with their stream index. With
+	// a RawSource the samples stay packed here and inflate in the
+	// workers, keeping the serial stage as thin as the format allows.
+	rawSrc, _ := src.(RawSource)
+	go func() {
+		defer close(jobs)
+		for idx := 0; ; idx++ {
+			var j job
+			if rawSrc != nil {
+				raw, err := rawSrc.NextRaw()
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				if err != nil {
+					setErr(err)
+					return
+				}
+				j = job{idx: idx, raw: raw}
+			} else {
+				rec, err := src.Next()
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				if err != nil {
+					setErr(err)
+					return
+				}
+				j = job{idx: idx, rec: rec}
+			}
+			p.recordsIn.Add(1)
+			select {
+			case jobs <- j:
+			case <-abandon:
+				return
+			}
+		}
+	}()
+
+	// Stage 2: the worker pool runs the stateless hot path.
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				t0 := time.Now()
+				if j.raw != nil {
+					j.rec = j.raw.Decode()
+					j.raw = nil
+				}
+				j.frame = &canbus.ExtendedFrame{ID: j.rec.FrameID, Data: j.rec.Data}
+				det, err := p.mon.VoltageVerdict(j.frame, j.rec.Trace)
+				if err != nil {
+					p.extractFailures.Add(1)
+				}
+				p.busyNanos.Add(int64(time.Since(t0)))
+				select {
+				case out <- scored{job: j, det: det, extractErr: err}:
+				case <-abandon:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Stage 3: re-sequence by index, then run the stateful detectors
+	// in arrival order. The pending map is bounded by the records in
+	// flight (≤ 2×depth + workers), so memory stays flat even when
+	// one slow record holds up its successors.
+	next := 0
+	pending := make(map[int]scored, p.depth)
+	for s := range out {
+		pending[s.idx] = s
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			verdict := p.mon.Sequence(cur.frame, cur.rec.TimeSec, cur.det, cur.extractErr)
+			p.recordsOut.Add(1)
+			if err := fn(Result{Index: next, Record: cur.rec, Frame: cur.frame, Verdict: verdict}); err != nil {
+				setErr(err)
+				close(abandon)
+				return firstErr
+			}
+			next++
+		}
+	}
+	return firstErr
+}
+
+// Replay is the one-shot convenience wrapper: build a replayer, run
+// it, return the final stats.
+func Replay(src Source, mon *ids.Composite, cfg Config, fn Sink) (Stats, error) {
+	p, err := New(mon, cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	err = p.Run(src, fn)
+	return p.Stats(), err
+}
+
+// Sequential replays the source on the calling goroutine through
+// Composite.Process — the reference path the pipeline must match
+// bit-for-bit, and the baseline its benchmarks compare against. It
+// fills the same Stats (WorkerBusy covers the extract+score step so
+// utilisation remains comparable).
+func Sequential(src Source, mon *ids.Composite, fn Sink) (Stats, error) {
+	if mon == nil {
+		return Stats{}, errors.New("pipeline: nil monitor")
+	}
+	if fn == nil {
+		fn = func(Result) error { return nil }
+	}
+	stats := Stats{Workers: 1}
+	start := time.Now()
+	for idx := 0; ; idx++ {
+		rec, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			stats.WallTime = time.Since(start)
+			return stats, nil
+		}
+		if err != nil {
+			stats.WallTime = time.Since(start)
+			return stats, err
+		}
+		stats.RecordsIn++
+		frame := &canbus.ExtendedFrame{ID: rec.FrameID, Data: rec.Data}
+		t0 := time.Now()
+		det, extractErr := mon.VoltageVerdict(frame, rec.Trace)
+		stats.WorkerBusy += time.Since(t0)
+		if extractErr != nil {
+			stats.ExtractFailures++
+		}
+		verdict := mon.Sequence(frame, rec.TimeSec, det, extractErr)
+		stats.RecordsOut++
+		if err := fn(Result{Index: idx, Record: rec, Frame: frame, Verdict: verdict}); err != nil {
+			stats.WallTime = time.Since(start)
+			return stats, err
+		}
+	}
+}

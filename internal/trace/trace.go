@@ -27,6 +27,13 @@ var (
 	ErrBadMagic   = errors.New("trace: not a vProfile capture file")
 	ErrBadVersion = errors.New("trace: unsupported capture version")
 	ErrCorrupt    = errors.New("trace: corrupt record")
+	// ErrTraceLength reports a record whose trace exceeds the bound
+	// the reader enforces; writing it would produce a file no reader
+	// accepts.
+	ErrTraceLength = errors.New("trace: trace exceeds maximum sample count")
+	// ErrCodeRange reports an ADC code that does not fit the on-disk
+	// uint16 representation (negative, above 65535, or NaN).
+	ErrCodeRange = errors.New("trace: ADC code outside uint16 range")
 )
 
 const (
@@ -79,13 +86,27 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	return out, nil
 }
 
-// Write appends one record.
+// Write appends one record. Records that cannot round-trip — data
+// longer than a CAN frame, traces beyond the reader's sanity bound,
+// or ADC codes outside the on-disk uint16 representation — are
+// rejected before any bytes are emitted, leaving the writer usable.
 func (w *Writer) Write(r *Record) error {
 	if w.err != nil {
 		return w.err
 	}
 	if len(r.Data) > 8 {
 		return canbus.ErrDataLength
+	}
+	if len(r.Trace) > maxSaneSamples {
+		return fmt.Errorf("%w: %d samples (max %d)", ErrTraceLength, len(r.Trace), maxSaneSamples)
+	}
+	for i, c := range r.Trace {
+		// uint16(c) would silently wrap negative or oversized codes
+		// (and NaN, which fails every comparison, converts to an
+		// unspecified value); reject instead of corrupting the file.
+		if !(c >= 0 && c <= math.MaxUint16) {
+			return fmt.Errorf("%w: sample %d = %g", ErrCodeRange, i, c)
+		}
 	}
 	w.u32(uint32(int32(r.ECUIndex)))
 	w.f64(r.TimeSec)
@@ -193,8 +214,38 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the capture metadata.
 func (r *Reader) Header() Header { return r.header }
 
-// Next reads the next record, or io.EOF at the end of the capture.
-func (r *Reader) Next() (*Record, error) {
+// RawRecord is a record whose sample codes are still in their packed
+// on-disk form: two little-endian bytes per sample. Reading raw
+// records keeps the (inherently serial) stream-decoding stage of a
+// concurrent replay cheap — the float64 expansion, the bulk of the
+// per-record decode cost, moves into Decode, which any worker
+// goroutine can run.
+type RawRecord struct {
+	ECUIndex int32
+	TimeSec  float64
+	FrameID  uint32
+	Data     []byte
+	Codes    []byte // 2 bytes per sample, little-endian uint16
+}
+
+// Decode expands the packed sample codes into a full Record.
+func (rr *RawRecord) Decode() *Record {
+	rec := &Record{
+		ECUIndex: rr.ECUIndex,
+		TimeSec:  rr.TimeSec,
+		FrameID:  rr.FrameID,
+		Data:     rr.Data,
+		Trace:    make(analog.Trace, len(rr.Codes)/2),
+	}
+	for i := range rec.Trace {
+		rec.Trace[i] = float64(binary.LittleEndian.Uint16(rr.Codes[2*i:]))
+	}
+	return rec
+}
+
+// NextRaw reads the next record without decoding its samples, or
+// io.EOF at the end of the capture.
+func (r *Reader) NextRaw() (*RawRecord, error) {
 	ecuRaw, err := r.u32()
 	if err != nil {
 		if errors.Is(err, io.EOF) {
@@ -202,7 +253,7 @@ func (r *Reader) Next() (*Record, error) {
 		}
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	rec := &Record{ECUIndex: int32(ecuRaw)}
+	rec := &RawRecord{ECUIndex: int32(ecuRaw)}
 	if rec.TimeSec, err = r.f64(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -227,15 +278,20 @@ func (r *Reader) Next() (*Record, error) {
 	if n > maxSaneSamples {
 		return nil, fmt.Errorf("%w: %d samples", ErrCorrupt, n)
 	}
-	rec.Trace = make(analog.Trace, n)
-	buf := make([]byte, 2*int(n))
-	if _, err := io.ReadFull(r.r, buf); err != nil {
+	rec.Codes = make([]byte, 2*int(n))
+	if _, err := io.ReadFull(r.r, rec.Codes); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	for i := range rec.Trace {
-		rec.Trace[i] = float64(binary.LittleEndian.Uint16(buf[2*i:]))
-	}
 	return rec, nil
+}
+
+// Next reads the next record, or io.EOF at the end of the capture.
+func (r *Reader) Next() (*Record, error) {
+	raw, err := r.NextRaw()
+	if err != nil {
+		return nil, err
+	}
+	return raw.Decode(), nil
 }
 
 func (r *Reader) u16() (uint16, error) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"math"
 	"testing"
 
 	"vprofile/internal/analog"
@@ -93,6 +94,64 @@ func TestWriteRejectsOversizeData(t *testing.T) {
 	}
 	if err := w.Write(&Record{Data: make([]byte, 9)}); err == nil {
 		t.Fatal("9-byte payload accepted")
+	}
+}
+
+func TestWriteRejectsUnencodableTraces(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record the writer must accept, written before and after each
+	// rejection to prove rejected records leave the stream intact.
+	good := &Record{FrameID: 0x0CF00400, Data: []byte{1}, Trace: analog.Trace{0, 65535, 1234}}
+	if err := w.Write(good); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		rec  *Record
+		want error
+	}{
+		// uint16(c) used to wrap these silently: -1 became 65535 and
+		// 65536 became 0, so the file read back with corrupt samples.
+		{"negative code", &Record{Trace: analog.Trace{100, -1}}, ErrCodeRange},
+		{"oversized code", &Record{Trace: analog.Trace{65536}}, ErrCodeRange},
+		{"huge code", &Record{Trace: analog.Trace{1e30}}, ErrCodeRange},
+		{"nan code", &Record{Trace: analog.Trace{math.NaN()}}, ErrCodeRange},
+		{"oversize trace", &Record{Trace: make(analog.Trace, maxSaneSamples+1)}, ErrTraceLength},
+	}
+	for _, tc := range cases {
+		if err := w.Write(tc.rec); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	if err := w.Write(good); err != nil {
+		t.Fatalf("writer unusable after rejection: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Round trip: only the two good records exist, byte-exact.
+	_, recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records survived, want 2", len(recs))
+	}
+	for i, rec := range recs {
+		if len(rec.Trace) != len(good.Trace) {
+			t.Fatalf("record %d trace length %d", i, len(rec.Trace))
+		}
+		for j := range good.Trace {
+			if rec.Trace[j] != good.Trace[j] {
+				t.Fatalf("record %d sample %d: %v vs %v", i, j, rec.Trace[j], good.Trace[j])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,119 @@
+package vprofile_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"vprofile/internal/core"
+	"vprofile/internal/experiments"
+	"vprofile/internal/ids"
+	"vprofile/internal/pipeline"
+	"vprofile/internal/trace"
+	"vprofile/internal/vehicle"
+)
+
+// The replay benchmarks compare sequential replay (Composite.Process
+// in a read loop) against the concurrent pipeline at several worker
+// counts, over the same ≥10k-record capture. On a multicore host the
+// pipeline's throughput should scale with the pool until the serial
+// record-reader stage saturates:
+//
+//	go test -bench Replay -benchmem
+const replayRecords = 10000
+
+var (
+	replayOnce    sync.Once
+	replayCapture []byte
+	replayMonitor func(b *testing.B) *ids.Composite
+)
+
+// replayFixture generates the capture and trains the model once for
+// all replay benchmarks.
+func replayFixture(b *testing.B) {
+	replayOnce.Do(func() {
+		v := vehicle.NewVehicleB()
+		train, err := experiments.CollectSamples(v, 1500, 7, nil, v.ExtractionConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		model, err := core.Train(experiments.CoreSamples(train), core.TrainConfig{
+			Metric: core.Mahalanobis, SAMap: v.SAMap(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		val, err := experiments.CollectSamples(v, 800, 8, nil, v.ExtractionConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		margin, _ := experiments.OptimizeMargin(experiments.FalsePositiveRecords(model, val), experiments.MaxAccuracy)
+		model.Margin = margin * 1.5
+
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, trace.Header{Vehicle: v.Name, BitRate: v.BitRate, ADC: v.ADC})
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = v.Stream(vehicle.GenConfig{NumMessages: replayRecords, Seed: 99, DiagnosticTraffic: true}, func(m vehicle.Message) error {
+			return w.Write(&trace.Record{
+				ECUIndex: int32(m.ECUIndex),
+				TimeSec:  m.TimeSec,
+				FrameID:  m.Frame.ID,
+				Data:     m.Frame.Data,
+				Trace:    m.Trace,
+			})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		replayCapture = buf.Bytes()
+
+		replayMonitor = func(b *testing.B) *ids.Composite {
+			mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: v.ExtractionConfig()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return mon
+		}
+	})
+	if replayCapture == nil {
+		b.Fatal("replay fixture failed in an earlier benchmark")
+	}
+}
+
+func benchReplay(b *testing.B, workers int) {
+	replayFixture(b)
+	b.ResetTimer()
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		rd, err := trace.NewReader(bytes.NewReader(replayCapture))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon := replayMonitor(b)
+		var st pipeline.Stats
+		if workers == 0 {
+			st, err = pipeline.Sequential(rd, mon, nil)
+		} else {
+			st, err = pipeline.Replay(rd, mon, pipeline.Config{Workers: workers}, nil)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.RecordsOut != replayRecords {
+			b.Fatalf("replayed %d of %d records", st.RecordsOut, replayRecords)
+		}
+		frames += st.RecordsOut
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func BenchmarkReplaySequential(b *testing.B) { benchReplay(b, 0) }
+func BenchmarkReplayParallel1(b *testing.B)  { benchReplay(b, 1) }
+func BenchmarkReplayParallel2(b *testing.B)  { benchReplay(b, 2) }
+func BenchmarkReplayParallel4(b *testing.B)  { benchReplay(b, 4) }
+func BenchmarkReplayParallel8(b *testing.B)  { benchReplay(b, 8) }
