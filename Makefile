@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-replay bench
+.PHONY: build test vet race check bench-replay bench bench-go
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,17 @@ race:
 check: vet race
 
 # bench-replay compares sequential replay against the concurrent
-# pipeline at 1/2/4/8 workers on a 10k-record capture.
+# pipeline at 1/2/4/8 workers (plus instrumented variants) on a
+# 10k-record capture.
 bench-replay:
 	$(GO) test -bench Replay -benchmem -run '^$$' .
 
+# bench writes the replay benchmark sweep — sequential vs 1/2/4/8
+# workers, metrics-off vs metrics-on, including the measured metrics
+# overhead — to BENCH_pipeline.json, the repository's performance
+# trajectory file.
 bench:
+	$(GO) run ./cmd/replaybench -out BENCH_pipeline.json
+
+bench-go:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

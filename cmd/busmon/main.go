@@ -11,6 +11,12 @@
 //	busmon -capture traffic.vptr -model model.vpm
 //	busmon -capture traffic.vptr.gz -model model.vpm -timeline
 //	busmon -capture traffic.vptr -model model.vpm -workers 8
+//	busmon -capture traffic.vptr -model model.vpm -metrics :9090 -events run.jsonl
+//
+// With -metrics the replay serves live Prometheus metrics at /metrics
+// and runtime profiles at /debug/pprof/ for its duration; with
+// -events every suspicious record is appended to a JSONL log followed
+// by an end-of-run stats snapshot.
 package main
 
 import (
@@ -18,36 +24,46 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 
-	"vprofile/internal/canbus"
 	"vprofile/internal/core"
 	"vprofile/internal/edgeset"
 	"vprofile/internal/ids"
+	"vprofile/internal/obs"
 	"vprofile/internal/pipeline"
 	"vprofile/internal/trace"
 )
 
+// options collects busmon's flags.
+type options struct {
+	capture     string
+	model       string
+	timeline    bool
+	workers     int
+	metricsAddr string
+	eventsPath  string
+}
+
 func main() {
-	var (
-		capture   = flag.String("capture", "", "capture file (plain or gzip)")
-		modelPath = flag.String("model", "", "trained vProfile model")
-		timeline  = flag.Bool("timeline", false, "print every suspicious event")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "extraction worker pool size")
-	)
+	var o options
+	flag.StringVar(&o.capture, "capture", "", "capture file (plain or gzip)")
+	flag.StringVar(&o.model, "model", "", "trained vProfile model")
+	flag.BoolVar(&o.timeline, "timeline", false, "print every suspicious event")
+	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "extraction worker pool size")
+	flag.StringVar(&o.metricsAddr, "metrics", "", "serve /metrics and /debug/pprof/ on this address during the replay (e.g. :9090)")
+	flag.StringVar(&o.eventsPath, "events", "", "write a JSONL event log (plus end-of-run stats snapshot) to this file")
 	flag.Parse()
-	if *capture == "" || *modelPath == "" {
+	if o.capture == "" || o.model == "" {
 		fmt.Fprintln(os.Stderr, "busmon: -capture and -model are required")
 		os.Exit(2)
 	}
-	if err := run(*capture, *modelPath, *timeline, *workers); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "busmon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(capturePath, modelPath string, timeline bool, workers int) error {
-	mf, err := os.Open(modelPath)
+func run(o options) error {
+	mf, err := os.Open(o.model)
 	if err != nil {
 		return err
 	}
@@ -57,7 +73,7 @@ func run(capturePath, modelPath string, timeline bool, workers int) error {
 		return err
 	}
 
-	cf, err := os.Open(capturePath)
+	cf, err := os.Open(o.capture)
 	if err != nil {
 		return err
 	}
@@ -67,105 +83,77 @@ func run(capturePath, modelPath string, timeline bool, workers int) error {
 		return err
 	}
 	h := rd.Header()
-	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: extractionFor(h)})
+
+	// Observability: one registry feeds the live HTTP endpoint, the
+	// instrumented pipeline/detector stack, and the end-of-run
+	// snapshot in the event log.
+	var (
+		reg *obs.Registry
+		pm  *pipeline.Metrics
+		im  *ids.Metrics
+	)
+	if o.metricsAddr != "" || o.eventsPath != "" {
+		reg = obs.NewRegistry()
+		pm = pipeline.NewMetrics(reg)
+		im = ids.NewMetrics(reg)
+		rd.SetMetrics(trace.NewMetrics(reg))
+	}
+	if o.metricsAddr != "" {
+		srv, err := obs.Serve(o.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "busmon: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+	}
+	var events *obs.EventLog
+	if o.eventsPath != "" {
+		events, err = obs.CreateEventLog(o.eventsPath)
+		if err != nil {
+			return err
+		}
+	}
+
+	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: extractionFor(h), Metrics: im})
 	if err != nil {
 		return err
 	}
 
-	type counter struct {
-		frames   int
-		alarms   int
-		lastSeen float64
-	}
-	perSA := map[uint8]*counter{}
-	voltAlarms, preprocFailed, periodAlarms := 0, 0, 0
-	tpTransfers, tpErrors, timingFaults, dm1Reports := 0, 0, 0, 0
-	lastAt := 0.0
-	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: workers}, func(res pipeline.Result) error {
-		rec, r := res.Record, res.Verdict
-		lastAt = rec.TimeSec
-		sa := uint8(res.Frame.SA())
-		c := perSA[sa]
-		if c == nil {
-			c = &counter{}
-			perSA[sa] = c
-		}
-		c.frames++
-		c.lastSeen = rec.TimeSec
-
-		switch {
-		case r.ExtractErr != nil:
-			// The voltage verdict is the zero value here — printing it
-			// would claim "ok, dist 0.00" for a frame that never made
-			// it through preprocessing. Report the real failure.
-			preprocFailed++
-			c.alarms++
-			if timeline {
-				fmt.Printf("%10.4fs  VOLTAGE  SA %#02x preprocess-failed: %v\n",
-					rec.TimeSec, sa, r.ExtractErr)
+	t := newTally()
+	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: o.workers, Metrics: pm}, func(res pipeline.Result) error {
+		for _, e := range t.observe(res) {
+			if o.timeline {
+				fmt.Println(timelineLine(e))
 			}
-		case r.Voltage.Anomaly:
-			voltAlarms++
-			c.alarms++
-			if timeline {
-				fmt.Printf("%10.4fs  VOLTAGE  SA %#02x %s (dist %.2f, predicted cluster %d)\n",
-					rec.TimeSec, sa, r.Voltage.Reason, r.Voltage.MinDist, r.Voltage.Predict)
-			}
-		}
-		if r.Timing == ids.PeriodTooEarly {
-			periodAlarms++
-			if timeline {
-				fmt.Printf("%10.4fs  TIMING   id %#08x arrived early\n", rec.TimeSec, rec.FrameID)
-			}
-		}
-		if r.TimingErr != nil {
-			timingFaults++
-		}
-		if r.TransferErr != nil {
-			tpErrors++
-			if timeline {
-				fmt.Printf("%10.4fs  TP       SA %#02x malformed transport: %v\n",
-					rec.TimeSec, sa, r.TransferErr)
-			}
-		}
-		if r.Transfer != nil {
-			tpTransfers++
-			if r.Transfer.PGN == canbus.PGNDM1 {
-				if lamps, dtcs, err := canbus.DecodeDM1(r.Transfer.Payload); err == nil {
-					dm1Reports++
-					if timeline {
-						fmt.Printf("%10.4fs  DM1      SA %#02x lamps=%+v %d DTCs\n",
-							rec.TimeSec, uint8(r.Transfer.SA), lamps, len(dtcs))
-					}
+			if events != nil {
+				if err := events.Emit(e); err != nil {
+					return err
 				}
 			}
 		}
 		return nil
 	})
+	if events != nil {
+		// Close even on a failed replay so the partial event stream and
+		// its stats snapshot survive for diagnosis.
+		if cerr := events.Close(reg); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
 	silent := mon.SilentStreams()
 
 	fmt.Printf("capture: %s (%s, %.0f kb/s, %d-bit @ %.1f MS/s)\n",
-		capturePath, h.Vehicle, h.BitRate/1e3, h.ADC.Bits, h.ADC.SampleRate/1e6)
+		o.capture, h.Vehicle, h.BitRate/1e3, h.ADC.Bits, h.ADC.SampleRate/1e6)
 	fmt.Printf("frames: %d over %.2fs (replayed in %.2fs, %d workers, %.0f%% busy)\n",
-		st.RecordsOut, lastAt, st.WallTime.Seconds(), st.Workers, 100*st.Utilization())
+		st.RecordsOut, t.lastAt, st.WallTime.Seconds(), st.Workers, 100*st.Utilization())
 	fmt.Printf("voltage alarms: %d | preprocess failures: %d | timing alarms: %d | silent ids at end: %d\n",
-		voltAlarms, preprocFailed, periodAlarms, len(silent))
+		t.voltAlarms, t.preprocFailed, t.periodAlarms, len(silent))
 	fmt.Printf("transport transfers: %d (DM1 reports: %d) | transport errors: %d | monitor faults: %d\n\n",
-		tpTransfers, dm1Reports, tpErrors, timingFaults)
-
-	sas := make([]int, 0, len(perSA))
-	for sa := range perSA {
-		sas = append(sas, int(sa))
-	}
-	sort.Ints(sas)
-	fmt.Printf("%6s %8s %8s %10s\n", "SA", "frames", "alarms", "last seen")
-	for _, sa := range sas {
-		c := perSA[uint8(sa)]
-		fmt.Printf("  %#02x %8d %8d %9.2fs\n", sa, c.frames, c.alarms, c.lastSeen)
-	}
+		t.tpTransfers, t.dm1Reports, t.tpErrors, t.timingFaults)
+	fmt.Print(t.table())
 	return nil
 }
 

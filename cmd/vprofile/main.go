@@ -4,7 +4,7 @@
 // Usage:
 //
 //	vprofile train  -capture train.vptr -model model.vpm [-metric mahalanobis] [-margin 10]
-//	vprofile detect -capture test.vptr  -model model.vpm [-workers 8]
+//	vprofile detect -capture test.vptr  -model model.vpm [-workers 8] [-metrics :9090] [-events run.jsonl]
 //	vprofile update -capture new.vptr   -model model.vpm -out updated.vpm
 //	vprofile info   -model model.vpm
 package main
@@ -20,6 +20,7 @@ import (
 	"vprofile/internal/core"
 	"vprofile/internal/edgeset"
 	"vprofile/internal/ids"
+	"vprofile/internal/obs"
 	"vprofile/internal/pipeline"
 	"vprofile/internal/stats"
 	"vprofile/internal/trace"
@@ -168,6 +169,8 @@ func cmdDetect(args []string) error {
 	modelPath := fs.String("model", "model.vpm", "trained model file")
 	verbose := fs.Bool("v", false, "print every anomalous message")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "extraction worker pool size")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address during the replay (e.g. :9090)")
+	eventsPath := fs.String("events", "", "write a JSONL event log (plus end-of-run stats snapshot) to this file")
 	fs.Parse(args)
 	if *capture == "" {
 		return errors.New("detect: -capture is required")
@@ -185,7 +188,33 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: extractionFor(rd.Header())})
+	var (
+		reg *obs.Registry
+		pm  *pipeline.Metrics
+		im  *ids.Metrics
+	)
+	if *metricsAddr != "" || *eventsPath != "" {
+		reg = obs.NewRegistry()
+		pm = pipeline.NewMetrics(reg)
+		im = ids.NewMetrics(reg)
+		rd.SetMetrics(trace.NewMetrics(reg))
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "detect: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+	}
+	var events *obs.EventLog
+	if *eventsPath != "" {
+		events, err = obs.CreateEventLog(*eventsPath)
+		if err != nil {
+			return err
+		}
+	}
+	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: extractionFor(rd.Header()), Metrics: im})
 	if err != nil {
 		return err
 	}
@@ -195,7 +224,7 @@ func cmdDetect(args []string) error {
 	// path fans out across the worker pool.
 	var cm stats.ConfusionMatrix
 	reasons := map[core.Reason]int{}
-	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: *workers}, func(r pipeline.Result) error {
+	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: *workers, Metrics: pm}, func(r pipeline.Result) error {
 		if r.Verdict.ExtractErr != nil {
 			return fmt.Errorf("record %d: %w", r.Index, r.Verdict.ExtractErr)
 		}
@@ -207,9 +236,25 @@ func cmdDetect(args []string) error {
 				fmt.Printf("message %6d: SA %#02x flagged (%s, dist %.2f, predicted cluster %d)\n",
 					r.Index, uint8(r.Frame.SA()), d.Reason, d.MinDist, d.Predict)
 			}
+			if events != nil {
+				sa := uint8(r.Frame.SA())
+				err := events.Emit(obs.Event{
+					TimeSec: r.Record.TimeSec, Kind: obs.EventVoltage,
+					SA: obs.U8(sa), FrameID: obs.U32(r.Record.FrameID),
+					Reason: d.Reason.String(), Dist: d.MinDist, Predict: int(d.Predict),
+				})
+				if err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	})
+	if events != nil {
+		if cerr := events.Close(reg); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -2,11 +2,13 @@ package ids
 
 import (
 	"errors"
+	"time"
 
 	"vprofile/internal/analog"
 	"vprofile/internal/canbus"
 	"vprofile/internal/core"
 	"vprofile/internal/edgeset"
+	"vprofile/internal/obs"
 )
 
 // Composite fuses the detector families into the full monitoring stack
@@ -26,6 +28,14 @@ type Composite struct {
 	seen      int
 	finalized bool
 	lastAt    float64
+
+	// metrics is optional instrumentation; nil means no accounting at
+	// all. The per-SA counter caches resolve each source address's
+	// vector child once, so steady-state accounting from Sequence is a
+	// plain array index plus an atomic add.
+	metrics  *Metrics
+	saFrames [256]*obs.Counter
+	saAlarms [256]*obs.Counter
 }
 
 // CompositeConfig parameterises the stack.
@@ -34,6 +44,9 @@ type CompositeConfig struct {
 	// Warmup is the number of leading messages that train the period
 	// monitor before it enforces (default 500).
 	Warmup int
+	// Metrics, when non-nil, makes the stack account every verdict
+	// (see NewMetrics). Instrumentation never changes a verdict.
+	Metrics *Metrics
 }
 
 // NewComposite builds the stack around a trained vProfile model.
@@ -53,6 +66,7 @@ func NewComposite(model *core.Model, cfg CompositeConfig) (*Composite, error) {
 		period:     NewPeriodMonitor(),
 		reasm:      canbus.NewBAMReassembler(),
 		warmup:     cfg.Warmup,
+		metrics:    cfg.Metrics,
 	}, nil
 }
 
@@ -94,11 +108,34 @@ func (r CompositeResult) Anomalous() bool {
 // conceptually belongs to the frame; the claimed source address is
 // decoded from the analog trace itself.
 func (c *Composite) VoltageVerdict(frame *canbus.ExtendedFrame, tr analog.Trace) (core.Detection, error) {
+	m := c.metrics
+	if m == nil {
+		res, err := edgeset.Extract(tr, c.extraction)
+		if err != nil {
+			return core.Detection{}, err
+		}
+		return c.model.Detect(res.SA, res.Set), nil
+	}
+
+	t0 := time.Now()
 	res, err := edgeset.Extract(tr, c.extraction)
+	t1 := time.Now()
+	m.ExtractSeconds.Observe(t1.Sub(t0).Seconds())
 	if err != nil {
+		m.extractFailed.Inc()
 		return core.Detection{}, err
 	}
-	return c.model.Detect(res.SA, res.Set), nil
+	det := c.model.Detect(res.SA, res.Set)
+	m.ScoreSeconds.Observe(time.Since(t1).Seconds())
+	if det.Predict >= 0 {
+		m.Distance.Observe(det.MinDist)
+	}
+	if det.Anomaly {
+		m.voltageAnomaly.Inc()
+	} else {
+		m.voltageOK.Inc()
+	}
+	return det, nil
 }
 
 // Sequence runs the stateful half of the stack — period monitoring
@@ -120,9 +157,42 @@ func (c *Composite) Sequence(frame *canbus.ExtendedFrame, at float64, voltage co
 		}
 	} else if c.finalized {
 		out.Timing, out.TimingErr = c.period.Check(frame.ID, at)
+		if m := c.metrics; m != nil {
+			switch {
+			case out.TimingErr != nil:
+				m.timingFault.Inc()
+			case out.Timing == PeriodTooEarly:
+				m.timingEarly.Inc()
+			default:
+				m.timingOK.Inc()
+			}
+		}
 	}
 
 	out.Transfer, out.TransferErr = c.reasm.Feed(frame)
+	if m := c.metrics; m != nil {
+		if out.Transfer != nil {
+			m.transportCompleted.Inc()
+		}
+		if out.TransferErr != nil {
+			m.transportError.Inc()
+		}
+		sa := uint8(frame.SA())
+		fc := c.saFrames[sa]
+		if fc == nil {
+			fc = m.SAFrames.With(SALabel(sa))
+			c.saFrames[sa] = fc
+		}
+		fc.Inc()
+		if out.Anomalous() {
+			ac := c.saAlarms[sa]
+			if ac == nil {
+				ac = m.SAAlarms.With(SALabel(sa))
+				c.saAlarms[sa] = ac
+			}
+			ac.Inc()
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,77 @@
+package ids
+
+import (
+	"fmt"
+
+	"vprofile/internal/obs"
+)
+
+// Metrics is the detector stack's instrument set. Build one with
+// NewMetrics and pass it through CompositeConfig; a nil Metrics keeps
+// every detector path completely uninstrumented (no atomic traffic,
+// no clock reads).
+//
+// The voltage-path instruments (ExtractSeconds, ScoreSeconds,
+// Distance and the voltage verdict counters) are updated from
+// VoltageVerdict, which the replay pipeline calls concurrently — they
+// are all lock-free. The per-SA and sequential-detector counters are
+// updated from Sequence on the single reordering goroutine.
+type Metrics struct {
+	// ExtractSeconds and ScoreSeconds split the stateless hot path:
+	// edge-set extraction versus model classification.
+	ExtractSeconds *obs.Histogram
+	ScoreSeconds   *obs.Histogram
+	// Distance observes the per-frame distance to the nearest cluster
+	// (Mahalanobis under the default metric). Its distribution drifts
+	// upward long before frames cross the alarm threshold, which makes
+	// it the early-warning signal for fingerprint drift from
+	// temperature or bus-load changes.
+	Distance *obs.Histogram
+
+	// Verdicts splits outcomes by detector family; SAFrames/SAAlarms
+	// are the per-sender bookkeeping (Viden-style attacker
+	// identification needs exactly this split).
+	Verdicts *obs.CounterVec
+	SAFrames *obs.CounterVec
+	SAAlarms *obs.CounterVec
+
+	// Pre-resolved Verdicts children so the hot path never takes the
+	// vector lock.
+	voltageOK, voltageAnomaly, extractFailed *obs.Counter
+	timingOK, timingEarly, timingFault       *obs.Counter
+	transportCompleted, transportError       *obs.Counter
+}
+
+// NewMetrics registers the detector-stack instruments on reg. Calling
+// it twice with the same registry returns handles to the same
+// underlying metrics.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		ExtractSeconds: reg.Histogram("vprofile_ids_extract_seconds",
+			"Edge-set extraction latency per frame.", obs.LatencyBuckets()),
+		ScoreSeconds: reg.Histogram("vprofile_ids_score_seconds",
+			"Model classification latency per frame.", obs.LatencyBuckets()),
+		Distance: reg.Histogram("vprofile_ids_voltage_distance",
+			"Distance from each frame's edge set to its nearest cluster (Mahalanobis by default).",
+			obs.DistanceBuckets()),
+		Verdicts: reg.CounterVec("vprofile_ids_verdicts_total",
+			"Verdicts by detector family and outcome.", "verdict"),
+		SAFrames: reg.CounterVec("vprofile_ids_sa_frames_total",
+			"Frames seen per claimed source address.", "sa"),
+		SAAlarms: reg.CounterVec("vprofile_ids_sa_alarms_total",
+			"Anomalous frames per claimed source address.", "sa"),
+	}
+	m.voltageOK = m.Verdicts.With("voltage_ok")
+	m.voltageAnomaly = m.Verdicts.With("voltage_anomaly")
+	m.extractFailed = m.Verdicts.With("extract_failed")
+	m.timingOK = m.Verdicts.With("timing_ok")
+	m.timingEarly = m.Verdicts.With("timing_early")
+	m.timingFault = m.Verdicts.With("timing_fault")
+	m.transportCompleted = m.Verdicts.With("transport_completed")
+	m.transportError = m.Verdicts.With("transport_error")
+	return m
+}
+
+// SALabel formats a source address the way the per-SA metrics label
+// it.
+func SALabel(sa uint8) string { return fmt.Sprintf("0x%02x", sa) }

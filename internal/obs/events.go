@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Event kinds written by the replay tools. Every suspicious record in
+// the human-readable timeline maps to exactly one of these, so the
+// JSONL stream is a machine-readable mirror of the timeline.
+const (
+	EventVoltage    = "voltage"    // vProfile flagged the frame's analog fingerprint
+	EventPreprocess = "preprocess" // the trace would not preprocess at all
+	EventTiming     = "timing"     // the period monitor saw an early arrival
+	EventTransport  = "transport"  // a malformed / out-of-sequence transport frame
+	EventDM1        = "dm1"        // a completed DM1 diagnostic transfer
+	EventStats      = "stats"      // end-of-run registry snapshot (final line)
+)
+
+// Event is one structured record of the JSONL event log.
+type Event struct {
+	TimeSec float64 `json:"t"`
+	Kind    string  `json:"kind"`
+	// SA and FrameID identify the frame the event belongs to; they are
+	// pointers so frameless records (the trailing stats snapshot) omit
+	// them rather than claiming SA 0.
+	SA      *uint8  `json:"sa,omitempty"`
+	FrameID *uint32 `json:"frame_id,omitempty"`
+	// Voltage verdict detail.
+	Reason  string  `json:"reason,omitempty"`
+	Dist    float64 `json:"dist,omitempty"`
+	Predict int     `json:"predict,omitempty"`
+	// Transport / diagnostic detail.
+	PGN  uint32 `json:"pgn,omitempty"`
+	DTCs int    `json:"dtcs,omitempty"`
+	// Detail carries free-text context (error strings, lamp states).
+	Detail string `json:"detail,omitempty"`
+	// Stats is the registry snapshot on the final EventStats record.
+	Stats map[string]any `json:"stats,omitempty"`
+}
+
+// U8 and U32 build the optional frame-identity fields.
+func U8(v uint8) *uint8    { return &v }
+func U32(v uint32) *uint32 { return &v }
+
+// EventLog writes events as JSON Lines: one object per line, flushed
+// on Close. Emit is safe for concurrent use.
+type EventLog struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// CreateEventLog creates (truncating) a JSONL event log at path.
+func CreateEventLog(path string) (*EventLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &EventLog{bw: bufio.NewWriter(f), c: f}, nil
+}
+
+// NewEventLog wraps an arbitrary writer (closed on Close when it
+// implements io.Closer).
+func NewEventLog(w io.Writer) *EventLog {
+	l := &EventLog{bw: bufio.NewWriter(w)}
+	l.c, _ = w.(io.Closer)
+	return l
+}
+
+// Emit appends one event. After any write error the log is poisoned
+// and every later call returns the first error.
+func (l *EventLog) Emit(e Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		l.err = err
+		return err
+	}
+	if _, err := l.bw.Write(b); err != nil {
+		l.err = err
+		return err
+	}
+	if err := l.bw.WriteByte('\n'); err != nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// Close flushes and closes the log. When reg is non-nil a final
+// EventStats record carrying the registry snapshot is appended first,
+// so one file holds both the event stream and the end-of-run stats.
+func (l *EventLog) Close(reg *Registry) error {
+	if reg != nil {
+		l.Emit(Event{Kind: EventStats, Stats: reg.Snapshot()})
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.bw.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.c != nil {
+		if err := l.c.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+	}
+	return l.err
+}

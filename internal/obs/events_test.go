@@ -1,0 +1,91 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vprofile/internal/obs"
+)
+
+func TestEventLogJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	log, err := obs.CreateEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	reg.Counter("frames_total", "").Add(2)
+
+	events := []obs.Event{
+		{TimeSec: 1.25, Kind: obs.EventVoltage, SA: obs.U8(0x31), FrameID: obs.U32(0x18FEF131),
+			Reason: "cluster-mismatch", Dist: 42.5, Predict: 3},
+		{TimeSec: 2.5, Kind: obs.EventTransport, SA: obs.U8(0x00), Detail: "unexpected DT"},
+	}
+	for _, e := range events {
+		if err := log.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(reg); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []map[string]any
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", len(lines)+1, err)
+		}
+		lines = append(lines, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 2 events + 1 stats", len(lines))
+	}
+	if lines[0]["kind"] != obs.EventVoltage || lines[0]["sa"] != float64(0x31) || lines[0]["reason"] != "cluster-mismatch" {
+		t.Fatalf("event 0 = %v", lines[0])
+	}
+	// SA 0 must be preserved, not dropped by omitempty.
+	if sa, ok := lines[1]["sa"]; !ok || sa != float64(0) {
+		t.Fatalf("event 1 lost SA 0: %v", lines[1])
+	}
+	last := lines[len(lines)-1]
+	if last["kind"] != obs.EventStats {
+		t.Fatalf("final line is %v, want stats snapshot", last)
+	}
+	stats, ok := last["stats"].(map[string]any)
+	if !ok || stats["frames_total"] != float64(2) {
+		t.Fatalf("stats snapshot = %v", last["stats"])
+	}
+	// The frameless stats record must not claim a frame identity.
+	if _, ok := last["sa"]; ok {
+		t.Fatalf("stats line carries an sa field: %v", last)
+	}
+}
+
+func TestEventLogWriterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	log := obs.NewEventLog(&buf)
+	if err := log.Emit(obs.Event{Kind: obs.EventTiming, TimeSec: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Without a registry there is no stats line.
+	if got := bytes.Count(buf.Bytes(), []byte("\n")); got != 1 {
+		t.Fatalf("got %d lines, want 1", got)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), in registration order with
+// vector children sorted by label value.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, e := range r.snapshotEntries() {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		typ := e.kind
+		if typ == kindCounterVec {
+			typ = kindCounter
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, typ); err != nil {
+			return err
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.gauge.Value())
+		case kindHistogram:
+			err = writeHistogram(w, e.name, e.hist)
+		case kindCounterVec:
+			keys, vals := e.vec.snapshotChildren()
+			for i, k := range keys {
+				if _, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", e.name, e.vec.label, k, vals[i]); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	counts := h.BucketCounts()
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE         string `json:"le"` // upper bound ("+Inf" for the overflow bucket)
+	Cumulative int64  `json:"n"`
+}
+
+// Snapshot returns an expvar-style view of every metric: counters and
+// gauges as int64, histograms as HistogramSnapshot, counter vectors
+// as map[label value]count. The result is safe to marshal and carries
+// no references into live instruments.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, e := range r.snapshotEntries() {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = e.counter.Value()
+		case kindGauge:
+			out[e.name] = e.gauge.Value()
+		case kindHistogram:
+			h := e.hist
+			counts := h.BucketCounts()
+			snap := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += counts[i]
+				snap.Buckets = append(snap.Buckets, BucketSnapshot{LE: formatFloat(bound), Cumulative: cum})
+			}
+			cum += counts[len(counts)-1]
+			snap.Buckets = append(snap.Buckets, BucketSnapshot{LE: "+Inf", Cumulative: cum})
+			out[e.name] = snap
+		case kindCounterVec:
+			keys, vals := e.vec.snapshotChildren()
+			m := make(map[string]int64, len(keys))
+			for i, k := range keys {
+				m[k] = vals[i]
+			}
+			out[e.name] = m
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,337 @@
+// Package obs is the repository's observability layer: a small,
+// dependency-free metrics subsystem for the capture→verdict hot path.
+//
+// Instruments — atomic counters, gauges and fixed-bucket histograms —
+// are created once through a Registry and then updated lock-free, so
+// per-frame accounting costs a handful of atomic operations and no
+// allocation. The registry exposes everything two ways: an
+// expvar-style JSON snapshot (Snapshot/WriteJSON) and Prometheus text
+// exposition (WritePrometheus), which Serve makes available over HTTP
+// alongside net/http/pprof for live profiling during a replay.
+//
+// The package deliberately implements only what the IDS needs; it is
+// not a general Prometheus client. Metric names must match the
+// Prometheus grammar so scraped output ingests cleanly.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. All methods are safe
+// for concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (queue depths, pool
+// sizes). All methods are safe for concurrent use and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets chosen at
+// construction. Observe is lock-free and allocation-free: one atomic
+// add on the bucket and a CAS loop folding the observation into the
+// running sum (the total count is derived from the buckets at read
+// time, keeping the write path minimal).
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	buckets []atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Smallest bound ≥ v; equal values land in the bucket whose upper
+	// bound they match (Prometheus "le" semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the
+// final element is the overflow (+Inf) bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// CounterVec is a family of counters split by one label (e.g. a
+// per-source-address frame count). With returns the child for a label
+// value, creating it on first use; callers on a hot path should cache
+// the returned *Counter so steady-state accounting stays lock-free.
+type CounterVec struct {
+	label    string
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns the counter for the given label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c := v.children[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.children[value]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	v.children[value] = c
+	return c
+}
+
+// Label returns the label name the vector splits on.
+func (v *CounterVec) Label() string { return v.label }
+
+// snapshotChildren returns label values (sorted) and their counts.
+func (v *CounterVec) snapshotChildren() ([]string, []int64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]int64, len(keys))
+	for i, k := range keys {
+		vals[i] = v.children[k].Value()
+	}
+	return keys, vals
+}
+
+// kinds of registered metrics.
+const (
+	kindCounter    = "counter"
+	kindGauge      = "gauge"
+	kindHistogram  = "histogram"
+	kindCounterVec = "countervec"
+)
+
+// entry is one registered metric.
+type entry struct {
+	name, help, kind string
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	vec     *CounterVec
+}
+
+// Registry holds named metrics and renders them for scraping. The
+// getter methods are get-or-create: asking twice for the same name
+// and kind returns the same instrument, so independent subsystems
+// (and repeated replays) can share counters without coordination.
+// Asking for an existing name with a different kind or histogram
+// bucket layout panics — that is a programming error, not a runtime
+// condition.
+type Registry struct {
+	mu      sync.RWMutex
+	order   []string
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// validName enforces the Prometheus metric-name grammar.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) get(name, help, kind string) *entry {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.get(name, help, kindCounter)
+	if e.counter == nil {
+		e.counter = &Counter{}
+	}
+	return e.counter
+}
+
+// Gauge returns the gauge registered under name, creating it if
+// needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.get(name, help, kindGauge)
+	if e.gauge == nil {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// Histogram returns the fixed-bucket histogram registered under name,
+// creating it with the given bucket upper bounds if needed. A second
+// caller must pass the same bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+	}
+	e := r.get(name, help, kindHistogram)
+	if e.hist == nil {
+		e.hist = newHistogram(bounds)
+		return e.hist
+	}
+	if len(e.hist.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+	}
+	sorted := make([]float64, len(bounds))
+	copy(sorted, bounds)
+	sort.Float64s(sorted)
+	for i, b := range sorted {
+		if e.hist.bounds[i] != b {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+		}
+	}
+	return e.hist
+}
+
+// CounterVec returns the one-label counter family registered under
+// name, creating it if needed. A second caller must pass the same
+// label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	e := r.get(name, help, kindCounterVec)
+	if e.vec == nil {
+		e.vec = &CounterVec{label: label, children: make(map[string]*Counter)}
+		return e.vec
+	}
+	if e.vec.label != label {
+		panic(fmt.Sprintf("obs: counter vec %q re-registered with label %q (was %q)", name, label, e.vec.label))
+	}
+	return e.vec
+}
+
+// snapshotEntries returns the registered entries in registration
+// order.
+func (r *Registry) snapshotEntries() []*entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*entry, len(r.order))
+	for i, name := range r.order {
+		out[i] = r.entries[name]
+	}
+	return out
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting
+// at start, each factor× the previous — the usual shape for latency
+// and distance histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets spans 1µs–130ms in powers of two: wide enough for
+// per-record decode/extract/score stages at any sample rate the
+// capture format supports.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-6, 2, 18) }
+
+// DistanceBuckets spans 0.25–1024 in powers of two — Mahalanobis
+// distances sit near the low end for in-profile traffic and walk up
+// the buckets as a fingerprint drifts.
+func DistanceBuckets() []float64 { return ExpBuckets(0.25, 2, 13) }

@@ -1,0 +1,251 @@
+package obs_test
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"vprofile/internal/obs"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("frames_total", "frames seen")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := reg.Counter("frames_total", "frames seen"); again != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := reg.Gauge("queue_depth", "pending records")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("lat_seconds", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-106) > 1e-9 {
+		t.Fatalf("sum = %g, want 106", h.Sum())
+	}
+	// le semantics: 1 lands in the le="1" bucket, 3 in le="4",
+	// 100 overflows.
+	want := []int64{2, 1, 1, 1}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	reg := obs.NewRegistry()
+	v := reg.CounterVec("sa_frames_total", "frames by source", "sa")
+	v.With("0x10").Add(3)
+	v.With("0x20").Inc()
+	if v.With("0x10").Value() != 3 {
+		t.Fatal("vec child lost its count")
+	}
+	if v.With("0x10") != v.With("0x10") {
+		t.Fatal("With is not stable")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name accepted")
+		}
+	}()
+	reg.Counter("bad name!", "")
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := obs.ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition bytes: registration
+// order, HELP/TYPE lines, cumulative histogram buckets with +Inf, and
+// sorted vector children.
+func TestPrometheusGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("records_total", "records replayed")
+	c.Add(42)
+	g := reg.Gauge("queue_depth", "reorder queue depth")
+	g.Set(3)
+	h := reg.Histogram("stage_seconds", "per-stage latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(5)
+	v := reg.CounterVec("sa_alarms_total", "alarms by source address", "sa")
+	v.With("0x31").Add(2)
+	v.With("0x07").Inc()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP records_total records replayed
+# TYPE records_total counter
+records_total 42
+# HELP queue_depth reorder queue depth
+# TYPE queue_depth gauge
+queue_depth 3
+# HELP stage_seconds per-stage latency
+# TYPE stage_seconds histogram
+stage_seconds_bucket{le="0.001"} 1
+stage_seconds_bucket{le="0.01"} 2
+stage_seconds_bucket{le="+Inf"} 3
+stage_seconds_sum 5.0025
+stage_seconds_count 3
+# HELP sa_alarms_total alarms by source address
+# TYPE sa_alarms_total counter
+sa_alarms_total{sa="0x07"} 1
+sa_alarms_total{sa="0x31"} 2
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("a_total", "").Add(9)
+	h := reg.Histogram("h_seconds", "", []float64{1})
+	h.Observe(0.5)
+	snap := reg.Snapshot()
+	if snap["a_total"] != int64(9) {
+		t.Fatalf("snapshot counter = %v", snap["a_total"])
+	}
+	hs, ok := snap["h_seconds"].(obs.HistogramSnapshot)
+	if !ok {
+		t.Fatalf("snapshot histogram has type %T", snap["h_seconds"])
+	}
+	if hs.Count != 1 || hs.Sum != 0.5 || len(hs.Buckets) != 2 {
+		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+	if hs.Buckets[1].LE != "+Inf" || hs.Buckets[1].Cumulative != 1 {
+		t.Fatalf("snapshot overflow bucket = %+v", hs.Buckets[1])
+	}
+}
+
+// TestRegistryRace hammers every instrument from concurrent writers
+// while a reader scrapes and snapshots; run under -race (make check)
+// this is the registry's data-race gate.
+func TestRegistryRace(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("race_total", "")
+	g := reg.Gauge("race_depth", "")
+	h := reg.Histogram("race_seconds", "", []float64{0.001, 0.01, 0.1})
+	v := reg.CounterVec("race_by_sa_total", "", "sa")
+
+	const writers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(i%200) / 1000)
+				v.With(fmt.Sprintf("0x%02x", (w*31+i)%8)).Inc()
+				// Concurrent get-or-create of the same names must be safe
+				// too: instruments are shared across subsystems.
+				reg.Counter("race_total", "").Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+			reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got, want := c.Value(), int64(2*writers*iters); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got, want := h.Count(), int64(writers*iters); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("served_total", "served").Add(11)
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "served_total 11") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/metrics.json"); !strings.Contains(body, "\"served_total\": 11") {
+		t.Fatalf("/metrics.json missing counter:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index looks wrong:\n%s", body)
+	}
+	if body := get("/healthz"); body != "ok\n" {
+		t.Fatalf("/healthz = %q", body)
+	}
+}

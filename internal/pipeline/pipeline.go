@@ -56,6 +56,11 @@ type Config struct {
 	// Depth is the capacity of each inter-stage channel, bounding how
 	// far the reader may run ahead of the sink; zero means 4×Workers.
 	Depth int
+	// Metrics, when non-nil, makes the pipeline publish per-stage
+	// counters, latency histograms and the reorder-queue depth gauge
+	// (see NewMetrics). Instrumentation is atomic-only on the hot path
+	// and never changes verdicts or their order.
+	Metrics *Metrics
 }
 
 // Result is one record's verdict, delivered to the sink in record
@@ -103,6 +108,7 @@ type Replayer struct {
 	mon     *ids.Composite
 	workers int
 	depth   int
+	metrics *Metrics
 
 	ran             atomic.Bool
 	recordsIn       atomic.Int64
@@ -127,7 +133,7 @@ func New(mon *ids.Composite, cfg Config) (*Replayer, error) {
 	if depth <= 0 {
 		depth = 4 * workers
 	}
-	return &Replayer{mon: mon, workers: workers, depth: depth}, nil
+	return &Replayer{mon: mon, workers: workers, depth: depth, metrics: cfg.Metrics}, nil
 }
 
 // Stats returns a snapshot of the per-stage counters.
@@ -223,6 +229,9 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 				j = job{idx: idx, rec: rec}
 			}
 			p.recordsIn.Add(1)
+			if m := p.metrics; m != nil {
+				m.RecordsIn.Inc()
+			}
 			select {
 			case jobs <- j:
 			case <-abandon:
@@ -238,15 +247,22 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				m := p.metrics
 				t0 := time.Now()
 				if j.raw != nil {
 					j.rec = j.raw.Decode()
 					j.raw = nil
+					if m != nil {
+						m.DecodeSeconds.Observe(time.Since(t0).Seconds())
+					}
 				}
 				j.frame = &canbus.ExtendedFrame{ID: j.rec.FrameID, Data: j.rec.Data}
 				det, err := p.mon.VoltageVerdict(j.frame, j.rec.Trace)
 				if err != nil {
 					p.extractFailures.Add(1)
+					if m != nil {
+						m.ExtractFailures.Inc()
+					}
 				}
 				p.busyNanos.Add(int64(time.Since(t0)))
 				select {
@@ -267,6 +283,7 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 	// flight (≤ 2×depth + workers), so memory stays flat even when
 	// one slow record holds up its successors.
 	next := 0
+	m := p.metrics
 	pending := make(map[int]scored, p.depth)
 	for s := range out {
 		pending[s.idx] = s
@@ -276,15 +293,30 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 				break
 			}
 			delete(pending, next)
+			var t0 time.Time
+			if m != nil {
+				t0 = time.Now()
+			}
 			verdict := p.mon.Sequence(cur.frame, cur.rec.TimeSec, cur.det, cur.extractErr)
 			p.recordsOut.Add(1)
-			if err := fn(Result{Index: next, Record: cur.rec, Frame: cur.frame, Verdict: verdict}); err != nil {
+			err := fn(Result{Index: next, Record: cur.rec, Frame: cur.frame, Verdict: verdict})
+			if m != nil {
+				m.SequenceSeconds.Observe(time.Since(t0).Seconds())
+				m.RecordsOut.Inc()
+			}
+			if err != nil {
 				setErr(err)
 				close(abandon)
 				return firstErr
 			}
 			next++
 		}
+		if m != nil {
+			m.QueueDepth.Set(int64(len(pending)))
+		}
+	}
+	if m != nil {
+		m.QueueDepth.Set(0)
 	}
 	return firstErr
 }

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"vprofile/internal/attack"
 	"vprofile/internal/canbus"
 	"vprofile/internal/core"
 	"vprofile/internal/experiments"
 	"vprofile/internal/ids"
+	"vprofile/internal/obs"
 	"vprofile/internal/pipeline"
 	"vprofile/internal/trace"
 	"vprofile/internal/vehicle"
@@ -186,15 +188,39 @@ func TestPipelineMatchesSequential(t *testing.T) {
 		t.Fatal("capture completed no transport transfers")
 	}
 
-	for _, workers := range []int{1, 4, 8} {
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+	for _, tc := range []struct {
+		workers int
+		metrics bool
+	}{{1, false}, {4, false}, {8, false}, {1, true}, {8, true}} {
+		workers := tc.workers
+		name := fmt.Sprintf("workers=%d", workers)
+		if tc.metrics {
+			name += "/metrics"
+		}
+		t.Run(name, func(t *testing.T) {
 			rd, err := trace.NewReader(bytes.NewReader(capture))
 			if err != nil {
 				t.Fatal(err)
 			}
-			mon := newMonitor(t, v, model)
+			// The instrumented runs exercise the full observability
+			// stack — capture-reader, pipeline and detector metrics —
+			// and must still match the sequential verdict stream bit
+			// for bit: instrumentation may observe, never perturb.
+			var reg *obs.Registry
+			cfg := pipeline.Config{Workers: workers}
+			var im *ids.Metrics
+			if tc.metrics {
+				reg = obs.NewRegistry()
+				cfg.Metrics = pipeline.NewMetrics(reg)
+				im = ids.NewMetrics(reg)
+				rd.SetMetrics(trace.NewMetrics(reg))
+			}
+			mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: v.ExtractionConfig(), Warmup: 500, Metrics: im})
+			if err != nil {
+				t.Fatal(err)
+			}
 			idx := 0
-			st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: workers}, func(r pipeline.Result) error {
+			st, err := pipeline.Replay(rd, mon, cfg, func(r pipeline.Result) error {
 				if r.Index != idx {
 					t.Fatalf("result %d arrived out of order (expected %d)", r.Index, idx)
 				}
@@ -235,7 +261,108 @@ func TestPipelineMatchesSequential(t *testing.T) {
 			if st.WallTime <= 0 {
 				t.Fatal("stats missing wall time")
 			}
+			if tc.metrics {
+				snap := reg.Snapshot()
+				n := int64(len(want))
+				if got := snap["vprofile_pipeline_records_in_total"]; got != n {
+					t.Fatalf("metrics records_in = %v, want %d", got, n)
+				}
+				if got := snap["vprofile_pipeline_records_out_total"]; got != n {
+					t.Fatalf("metrics records_out = %v, want %d", got, n)
+				}
+				if got := snap["vprofile_capture_records_read_total"]; got != n {
+					t.Fatalf("metrics capture records = %v, want %d", got, n)
+				}
+				saFrames := snap["vprofile_ids_sa_frames_total"].(map[string]int64)
+				var total int64
+				for _, c := range saFrames {
+					total += c
+				}
+				if total != n {
+					t.Fatalf("per-SA frame counts sum to %d, want %d", total, n)
+				}
+				dist := snap["vprofile_ids_voltage_distance"].(obs.HistogramSnapshot)
+				if dist.Count == 0 {
+					t.Fatal("distance histogram saw no observations")
+				}
+			}
 		})
+	}
+}
+
+// TestStatsMidRun snapshots a replay's Stats while it is in flight: a
+// sink blocks at a known record, so the pipeline is frozen with work
+// in every stage. Counters must be monotonic between snapshots, the
+// wall clock must advance, and utilization must stay a sane fraction
+// of worker capacity.
+func TestStatsMidRun(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	model := buildModel(t, v)
+	capture := buildCapture(t, v)
+	rd, err := trace.NewReader(bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := newMonitor(t, v, model)
+	p, err := pipeline.New(mon, pipeline.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const blockAt = 40
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	total := 0
+	go func() {
+		done <- p.Run(rd, func(r pipeline.Result) error {
+			if r.Index == blockAt {
+				close(reached)
+				<-release
+			}
+			total++
+			return nil
+		})
+	}()
+
+	<-reached
+	s1 := p.Stats()
+	// The sink is parked inside record blockAt's delivery, which is
+	// counted before the sink runs.
+	if s1.RecordsOut != blockAt+1 {
+		t.Fatalf("mid-run RecordsOut = %d, want %d", s1.RecordsOut, blockAt+1)
+	}
+	if s1.RecordsIn < s1.RecordsOut {
+		t.Fatalf("RecordsIn %d < RecordsOut %d", s1.RecordsIn, s1.RecordsOut)
+	}
+	if s1.WallTime <= 0 {
+		t.Fatal("mid-run snapshot has no wall time")
+	}
+	if u := s1.Utilization(); u < 0 || u > 1.5 {
+		t.Fatalf("mid-run utilization %v outside sane bounds", u)
+	}
+	time.Sleep(5 * time.Millisecond)
+	s2 := p.Stats()
+	if s2.WallTime <= s1.WallTime {
+		t.Fatalf("wall clock did not advance: %v then %v", s1.WallTime, s2.WallTime)
+	}
+	if s2.RecordsIn < s1.RecordsIn || s2.RecordsOut < s1.RecordsOut || s2.WorkerBusy < s1.WorkerBusy {
+		t.Fatalf("counters regressed: %+v then %+v", s1, s2)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	final := p.Stats()
+	if final.RecordsOut != final.RecordsIn || int(final.RecordsOut) != total {
+		t.Fatalf("final stats %+v after %d deliveries", final, total)
+	}
+	if final.WallTime < s2.WallTime {
+		t.Fatalf("final wall time %v below mid-run %v", final.WallTime, s2.WallTime)
+	}
+	if u := final.Utilization(); u <= 0 || u > 1.5 {
+		t.Fatalf("final utilization %v outside (0, 1.5]", u)
 	}
 }
 

@@ -1,0 +1,25 @@
+package trace
+
+import "vprofile/internal/obs"
+
+// Metrics counts what a capture reader has consumed: records decoded
+// and their exact on-wire bytes (after any gzip layer). Attach to a
+// Reader with SetMetrics; a nil Metrics keeps reading uninstrumented.
+type Metrics struct {
+	Records *obs.Counter
+	Bytes   *obs.Counter
+}
+
+// NewMetrics registers the capture-reader instruments on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Records: reg.Counter("vprofile_capture_records_read_total",
+			"Capture records decoded from the stream."),
+		Bytes: reg.Counter("vprofile_capture_bytes_read_total",
+			"Uncompressed record bytes decoded from the stream (header excluded)."),
+	}
+}
+
+// SetMetrics attaches instrumentation to the reader; every subsequent
+// record read updates the counters.
+func (r *Reader) SetMetrics(m *Metrics) { r.metrics = m }

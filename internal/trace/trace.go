@@ -163,8 +163,9 @@ func (w *Writer) str(s string) {
 
 // Reader streams records from a capture file.
 type Reader struct {
-	r      *bufio.Reader
-	header Header
+	r       *bufio.Reader
+	header  Header
+	metrics *Metrics
 }
 
 // NewReader validates the header and returns a record reader.
@@ -281,6 +282,12 @@ func (r *Reader) NextRaw() (*RawRecord, error) {
 	rec.Codes = make([]byte, 2*int(n))
 	if _, err := io.ReadFull(r.r, rec.Codes); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if m := r.metrics; m != nil {
+		m.Records.Inc()
+		// Fixed fields (ECU 4 + time 8 + id 4 + data len 2 + sample
+		// count 4) plus the variable payloads.
+		m.Bytes.Add(int64(22 + len(rec.Data) + len(rec.Codes)))
 	}
 	return rec, nil
 }

@@ -8,6 +8,7 @@ import (
 	"vprofile/internal/core"
 	"vprofile/internal/experiments"
 	"vprofile/internal/ids"
+	"vprofile/internal/obs"
 	"vprofile/internal/pipeline"
 	"vprofile/internal/trace"
 	"vprofile/internal/vehicle"
@@ -23,9 +24,10 @@ import (
 const replayRecords = 10000
 
 var (
-	replayOnce    sync.Once
-	replayCapture []byte
-	replayMonitor func(b *testing.B) *ids.Composite
+	replayOnce         sync.Once
+	replayCapture      []byte
+	replayMonitor      func(b *testing.B) *ids.Composite
+	replayInstrumented func(b *testing.B, reg *obs.Registry) *ids.Composite
 )
 
 // replayFixture generates the capture and trains the model once for
@@ -79,6 +81,15 @@ func replayFixture(b *testing.B) {
 			}
 			return mon
 		}
+		replayInstrumented = func(b *testing.B, reg *obs.Registry) *ids.Composite {
+			mon, err := ids.NewComposite(model, ids.CompositeConfig{
+				Extraction: v.ExtractionConfig(), Metrics: ids.NewMetrics(reg),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return mon
+		}
 	})
 	if replayCapture == nil {
 		b.Fatal("replay fixture failed in an earlier benchmark")
@@ -112,8 +123,40 @@ func benchReplay(b *testing.B, workers int) {
 	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
 }
 
-func BenchmarkReplaySequential(b *testing.B) { benchReplay(b, 0) }
-func BenchmarkReplayParallel1(b *testing.B)  { benchReplay(b, 1) }
-func BenchmarkReplayParallel2(b *testing.B)  { benchReplay(b, 2) }
-func BenchmarkReplayParallel4(b *testing.B)  { benchReplay(b, 4) }
-func BenchmarkReplayParallel8(b *testing.B)  { benchReplay(b, 8) }
+// benchReplayMetrics is the instrumented twin of benchReplay: full
+// observability (capture-reader, pipeline and detector metrics on one
+// registry). Comparing the two quantifies the metrics overhead, which
+// the acceptance bar holds under 5%.
+func benchReplayMetrics(b *testing.B, workers int) {
+	replayFixture(b)
+	reg := obs.NewRegistry()
+	pm := pipeline.NewMetrics(reg)
+	tm := trace.NewMetrics(reg)
+	b.ResetTimer()
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		rd, err := trace.NewReader(bytes.NewReader(replayCapture))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd.SetMetrics(tm)
+		mon := replayInstrumented(b, reg)
+		st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: workers, Metrics: pm}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.RecordsOut != replayRecords {
+			b.Fatalf("replayed %d of %d records", st.RecordsOut, replayRecords)
+		}
+		frames += st.RecordsOut
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func BenchmarkReplaySequential(b *testing.B)       { benchReplay(b, 0) }
+func BenchmarkReplayParallel1(b *testing.B)        { benchReplay(b, 1) }
+func BenchmarkReplayParallel2(b *testing.B)        { benchReplay(b, 2) }
+func BenchmarkReplayParallel4(b *testing.B)        { benchReplay(b, 4) }
+func BenchmarkReplayParallel8(b *testing.B)        { benchReplay(b, 8) }
+func BenchmarkReplayParallel4Metrics(b *testing.B) { benchReplayMetrics(b, 4) }
+func BenchmarkReplayParallel8Metrics(b *testing.B) { benchReplayMetrics(b, 8) }
