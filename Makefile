@@ -27,9 +27,10 @@ bench-replay:
 	$(GO) test -bench Replay -benchmem -run '^$$' .
 
 # bench writes the replay benchmark sweep — sequential vs 1/2/4/8
-# workers, metrics-off vs metrics-on, including the measured metrics
-# overhead — to BENCH_pipeline.json, the repository's performance
-# trajectory file.
+# workers, metrics-off vs metrics-on, plus tracing+flight-recorder
+# configurations, including the measured metrics and flight overheads
+# — to BENCH_pipeline.json, the repository's performance trajectory
+# file.
 bench:
 	$(GO) run ./cmd/replaybench -out BENCH_pipeline.json
 

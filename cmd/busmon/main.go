@@ -12,11 +12,16 @@
 //	busmon -capture traffic.vptr.gz -model model.vpm -timeline
 //	busmon -capture traffic.vptr -model model.vpm -workers 8
 //	busmon -capture traffic.vptr -model model.vpm -metrics :9090 -events run.jsonl
+//	busmon -capture traffic.vptr -model model.vpm -flight forensics/ -flight-window 8
 //
 // With -metrics the replay serves live Prometheus metrics at /metrics
 // and runtime profiles at /debug/pprof/ for its duration; with
 // -events every suspicious record is appended to a JSONL log followed
-// by an end-of-run stats snapshot.
+// by an end-of-run stats snapshot. With -flight every frame is traced
+// (spans per pipeline stage, deterministic TraceIDs) and the flight
+// recorder freezes a forensic bundle — decision records plus a
+// waveform sidecar — around every alarm; combined with -metrics the
+// bundles are also live at /debug/flight.
 package main
 
 import (
@@ -24,23 +29,27 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"vprofile/internal/core"
 	"vprofile/internal/edgeset"
 	"vprofile/internal/ids"
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/tracing"
 	"vprofile/internal/pipeline"
 	"vprofile/internal/trace"
 )
 
 // options collects busmon's flags.
 type options struct {
-	capture     string
-	model       string
-	timeline    bool
-	workers     int
-	metricsAddr string
-	eventsPath  string
+	capture      string
+	model        string
+	timeline     bool
+	workers      int
+	metricsAddr  string
+	eventsPath   string
+	flightDir    string
+	flightWindow int
 }
 
 func main() {
@@ -49,8 +58,10 @@ func main() {
 	flag.StringVar(&o.model, "model", "", "trained vProfile model")
 	flag.BoolVar(&o.timeline, "timeline", false, "print every suspicious event")
 	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "extraction worker pool size")
-	flag.StringVar(&o.metricsAddr, "metrics", "", "serve /metrics and /debug/pprof/ on this address during the replay (e.g. :9090)")
+	flag.StringVar(&o.metricsAddr, "metrics", "", "serve /metrics, /debug/pprof/ (and /debug/flight with -flight) on this address during the replay (e.g. :9090)")
 	flag.StringVar(&o.eventsPath, "events", "", "write a JSONL event log (plus end-of-run stats snapshot) to this file")
+	flag.StringVar(&o.flightDir, "flight", "", "trace every frame and write forensic bundles around alarms into this directory")
+	flag.IntVar(&o.flightWindow, "flight-window", 8, "frames of pre/post context frozen around each alarm")
 	flag.Parse()
 	if o.capture == "" || o.model == "" {
 		fmt.Fprintln(os.Stderr, "busmon: -capture and -model are required")
@@ -98,19 +109,37 @@ func run(o options) error {
 		im = ids.NewMetrics(reg)
 		rd.SetMetrics(trace.NewMetrics(reg))
 	}
-	if o.metricsAddr != "" {
-		srv, err := obs.Serve(o.metricsAddr, reg)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "busmon: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
-	}
 	var events *obs.EventLog
 	if o.eventsPath != "" {
 		events, err = obs.CreateEventLog(o.eventsPath)
 		if err != nil {
 			return err
+		}
+	}
+	var recorder *tracing.Recorder
+	if o.flightDir != "" {
+		recorder, err = tracing.NewRecorder(tracing.RecorderConfig{
+			Window: o.flightWindow, Dir: o.flightDir, Header: h, Events: events,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if o.metricsAddr != "" {
+		var routes []obs.Route
+		if recorder != nil {
+			routes = append(routes, obs.Route{Pattern: "/debug/flight", Handler: recorder})
+		}
+		srv, err := obs.Serve(o.metricsAddr, reg, routes...)
+		if err != nil {
+			return err
+		}
+		// Drain in-flight scrapes briefly instead of cutting them off
+		// mid-response.
+		defer srv.ShutdownTimeout(2 * time.Second)
+		fmt.Fprintf(os.Stderr, "busmon: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+		if recorder != nil {
+			fmt.Fprintf(os.Stderr, "busmon: flight recorder live at http://%s/debug/flight\n", srv.Addr())
 		}
 	}
 
@@ -120,7 +149,7 @@ func run(o options) error {
 	}
 
 	t := newTally()
-	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: o.workers, Metrics: pm}, func(res pipeline.Result) error {
+	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: o.workers, Metrics: pm, Recorder: recorder}, func(res pipeline.Result) error {
 		for _, e := range t.observe(res) {
 			if o.timeline {
 				fmt.Println(timelineLine(e))
@@ -133,6 +162,13 @@ func run(o options) error {
 		}
 		return nil
 	})
+	if recorder != nil {
+		// Close before the event log: flushing truncated capture
+		// windows emits their flight events.
+		if cerr := recorder.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if events != nil {
 		// Close even on a failed replay so the partial event stream and
 		// its stats snapshot survive for diagnosis.
@@ -151,8 +187,14 @@ func run(o options) error {
 		st.RecordsOut, t.lastAt, st.WallTime.Seconds(), st.Workers, 100*st.Utilization())
 	fmt.Printf("voltage alarms: %d | preprocess failures: %d | timing alarms: %d | silent ids at end: %d\n",
 		t.voltAlarms, t.preprocFailed, t.periodAlarms, len(silent))
-	fmt.Printf("transport transfers: %d (DM1 reports: %d) | transport errors: %d | monitor faults: %d\n\n",
+	fmt.Printf("transport transfers: %d (DM1 reports: %d) | transport errors: %d | monitor faults: %d\n",
 		t.tpTransfers, t.dm1Reports, t.tpErrors, t.timingFaults)
+	if recorder != nil {
+		fs := recorder.Stats()
+		fmt.Printf("flight recorder: %d frames traced, %d alarms, %d bundles → %s\n",
+			fs.Frames, fs.Alarms, fs.Bundles, o.flightDir)
+	}
+	fmt.Println()
 	fmt.Print(t.table())
 	return nil
 }

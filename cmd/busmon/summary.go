@@ -8,6 +8,7 @@ import (
 	"vprofile/internal/canbus"
 	"vprofile/internal/ids"
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/tracing"
 	"vprofile/internal/pipeline"
 )
 
@@ -43,6 +44,9 @@ func newTally() *tally { return &tally{perSA: map[uint8]*saTally{}} }
 
 // observe folds one replay result into the tally and returns the
 // structured events it produced (nil for an unremarkable frame).
+// Alarm events are severity-tagged, and on a traced replay every
+// event carries the frame's TraceID so event lines join against the
+// flight recorder's decision records.
 func (t *tally) observe(res pipeline.Result) []obs.Event {
 	rec, r := res.Record, res.Verdict
 	t.lastAt = rec.TimeSec
@@ -55,6 +59,10 @@ func (t *tally) observe(res pipeline.Result) []obs.Event {
 	c.frames++
 	c.lastSeen = rec.TimeSec
 
+	traceID := ""
+	if res.Trace != nil {
+		traceID = res.Trace.ID.String()
+	}
 	var events []obs.Event
 	switch {
 	case r.ExtractErr != nil:
@@ -65,6 +73,7 @@ func (t *tally) observe(res pipeline.Result) []obs.Event {
 		c.voltAlarms++
 		events = append(events, obs.Event{
 			TimeSec: rec.TimeSec, Kind: obs.EventPreprocess,
+			Severity: tracing.SeverityFor(obs.EventPreprocess), Trace: traceID,
 			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
 			Detail: r.ExtractErr.Error(),
 		})
@@ -73,6 +82,7 @@ func (t *tally) observe(res pipeline.Result) []obs.Event {
 		c.voltAlarms++
 		events = append(events, obs.Event{
 			TimeSec: rec.TimeSec, Kind: obs.EventVoltage,
+			Severity: tracing.SeverityFor(obs.EventVoltage), Trace: traceID,
 			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
 			Reason: r.Voltage.Reason.String(), Dist: r.Voltage.MinDist,
 			Predict: int(r.Voltage.Predict),
@@ -83,6 +93,7 @@ func (t *tally) observe(res pipeline.Result) []obs.Event {
 		c.timeAlarms++
 		events = append(events, obs.Event{
 			TimeSec: rec.TimeSec, Kind: obs.EventTiming,
+			Severity: tracing.SeverityFor(obs.EventTiming), Trace: traceID,
 			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
 		})
 	}
@@ -94,6 +105,7 @@ func (t *tally) observe(res pipeline.Result) []obs.Event {
 		c.tpAlarms++
 		events = append(events, obs.Event{
 			TimeSec: rec.TimeSec, Kind: obs.EventTransport,
+			Severity: tracing.SeverityFor(obs.EventTransport), Trace: traceID,
 			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
 			Detail: r.TransferErr.Error(),
 		})
@@ -105,6 +117,7 @@ func (t *tally) observe(res pipeline.Result) []obs.Event {
 				t.dm1Reports++
 				events = append(events, obs.Event{
 					TimeSec: rec.TimeSec, Kind: obs.EventDM1,
+					Severity: obs.SeverityInfo, Trace: traceID,
 					SA: obs.U8(uint8(r.Transfer.SA)), FrameID: obs.U32(rec.FrameID),
 					PGN: uint32(r.Transfer.PGN), DTCs: len(dtcs),
 					Detail: fmt.Sprintf("lamps=%+v", lamps),

@@ -1,16 +1,19 @@
 // Command replaybench seeds the repository's performance trajectory:
 // it generates the standard 10k-record Vehicle B capture, replays it
 // sequentially and through the concurrent pipeline at 1/2/4/8
-// workers — each with observability off and on — and writes the
-// results (plus the measured metrics overhead) to a JSON file that
+// workers — each with observability off and on, plus tracing+flight
+// configurations at 1/4/8 workers — and writes the results (plus the
+// measured metrics and flight-recorder overheads) to a JSON file that
 // CI and future PRs can diff.
 //
 // Usage:
 //
 //	replaybench -out BENCH_pipeline.json [-records 10000] [-repeat 3]
 //
-// Each configuration runs repeat times and reports its best run, so
-// scheduler noise biases every config equally toward its true cost.
+// Each configuration runs repeat times and reports its best run:
+// host interference only ever slows a run, so with enough repeats
+// every configuration's minimum converges to its true cost and the
+// overhead ratios measure instrumentation rather than noise.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"vprofile/internal/experiments"
 	"vprofile/internal/ids"
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/tracing"
 	"vprofile/internal/pipeline"
 	"vprofile/internal/trace"
 	"vprofile/internal/vehicle"
@@ -37,13 +41,16 @@ type Run struct {
 	Name         string  `json:"name"`
 	Workers      int     `json:"workers"` // 0 = sequential reference path
 	Metrics      bool    `json:"metrics"`
+	Flight       bool    `json:"flight,omitempty"`
 	Seconds      float64 `json:"seconds"`
 	FramesPerSec float64 `json:"frames_per_sec"`
 	// SpeedupVsSequential compares against the uninstrumented
-	// sequential run; OverheadPct compares metrics-on against the
-	// same worker count with metrics off.
+	// sequential run; OverheadPct compares metrics-on (or
+	// tracing+flight-on) against the same worker count with
+	// everything off, each side taken as its best-of-repeat time.
 	SpeedupVsSequential float64  `json:"speedup_vs_sequential"`
 	OverheadPct         *float64 `json:"metrics_overhead_pct,omitempty"`
+	FlightOverheadPct   *float64 `json:"flight_overhead_pct,omitempty"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -62,12 +69,17 @@ type Report struct {
 	// loaded host from misstating the cost. The acceptance bar keeps
 	// it under 5%.
 	MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
+	// FlightOverheadPct is the same median over the tracing+flight
+	// configurations: per-frame spans plus the flight recorder's ring
+	// buffer, compared against the same worker count uninstrumented.
+	// Same <5% bar.
+	FlightOverheadPct float64 `json:"flight_overhead_pct"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output JSON file")
 	records := flag.Int("records", 10000, "capture size in records")
-	repeat := flag.Int("repeat", 3, "runs per configuration (best is reported)")
+	repeat := flag.Int("repeat", 15, "runs per configuration (best is reported)")
 	flag.Parse()
 	if err := run(*out, *records, *repeat); err != nil {
 		fmt.Fprintln(os.Stderr, "replaybench:", err)
@@ -120,7 +132,7 @@ func fixture(records int) ([]byte, *core.Model, *vehicle.Vehicle, error) {
 }
 
 // replayOnce runs one replay and returns its elapsed wall time.
-func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, records int, withMetrics bool) (time.Duration, error) {
+func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, records int, withMetrics, withFlight bool) (time.Duration, error) {
 	rd, err := trace.NewReader(bytes.NewReader(capture))
 	if err != nil {
 		return 0, err
@@ -132,6 +144,18 @@ func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, 
 		cfg.Metrics = pipeline.NewMetrics(reg)
 		im = ids.NewMetrics(reg)
 		rd.SetMetrics(trace.NewMetrics(reg))
+	}
+	if withFlight {
+		// In-memory recorder (no Dir): the benchmark measures the
+		// steady-state tracing + ring-buffer cost, not bundle IO —
+		// the fixture traffic is clean so no bundles would be cut
+		// anyway.
+		rec, err := tracing.NewRecorder(tracing.RecorderConfig{})
+		if err != nil {
+			return 0, err
+		}
+		defer rec.Close()
+		cfg.Recorder = rec
 	}
 	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: v.ExtractionConfig(), Metrics: im})
 	if err != nil {
@@ -163,16 +187,23 @@ func run(out string, records, repeat int) error {
 		name    string
 		workers int
 		metrics bool
+		flight  bool
 	}
+	// Each instrumented configuration sits directly after the plain
+	// run it is compared against, so the pair executes back-to-back
+	// under (nearly) the same host conditions — overhead percentages
+	// then measure instrumentation, not load drift between distant
+	// runs. Flight configs (tracing + recorder, no metrics) run at
+	// 1/4/8 workers.
 	var configs []config
-	for _, m := range []bool{false, true} {
-		suffix := ""
-		if m {
-			suffix = "+metrics"
-		}
-		configs = append(configs, config{"sequential" + suffix, 0, m})
-		for _, w := range []int{1, 2, 4, 8} {
-			configs = append(configs, config{fmt.Sprintf("parallel%d%s", w, suffix), w, m})
+	configs = append(configs,
+		config{"sequential", 0, false, false},
+		config{"sequential+metrics", 0, true, false})
+	for _, w := range []int{1, 2, 4, 8} {
+		configs = append(configs, config{fmt.Sprintf("parallel%d", w), w, false, false})
+		configs = append(configs, config{fmt.Sprintf("parallel%d+metrics", w), w, true, false})
+		if w != 2 {
+			configs = append(configs, config{fmt.Sprintf("parallel%d+flight", w), w, false, true})
 		}
 	}
 
@@ -180,11 +211,16 @@ func run(out string, records, repeat int) error {
 	// rather than finishing one before starting the next: host noise
 	// (a shared or thermally-throttled box) then lands on all configs
 	// alike, so the best-of comparison — especially metrics-on versus
-	// metrics-off of the same worker count — stays fair.
+	// metrics-off of the same worker count — stays fair. Each pass
+	// also starts at a different offset, so no configuration is pinned
+	// to the start or end of the process, where turbo decay or heap
+	// growth would bias it the same way every pass.
 	best := make(map[string]time.Duration, len(configs))
 	for i := 0; i < repeat; i++ {
-		for _, c := range configs {
-			d, err := replayOnce(capture, model, v, c.workers, records, c.metrics)
+		off := i * len(configs) / repeat
+		for j := range configs {
+			c := configs[(j+off)%len(configs)]
+			d, err := replayOnce(capture, model, v, c.workers, records, c.metrics, c.flight)
 			if err != nil {
 				return fmt.Errorf("%s: %w", c.name, err)
 			}
@@ -207,29 +243,47 @@ func run(out string, records, repeat int) error {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
+	// An instrumented config's overhead is the ratio of best-of-repeat
+	// times. Host interference is one-sided — a neighbouring process
+	// only ever slows a run — so with enough repeats each minimum
+	// converges to the config's true cost and the ratio measures
+	// instrumentation, not noise. (Per-pass paired ratios were tried
+	// and are worse: a single 0.2s run swings several percent, and a
+	// median of few noisy ratios inherits that swing.)
+	bestOverhead := func(name, baseName string) float64 {
+		base := best[baseName].Seconds()
+		return 100 * (best[name].Seconds() - base) / base
+	}
+
 	seqBase := best["sequential"].Seconds()
-	var overheads []float64
+	var overheads, flightOverheads []float64
 	for _, c := range configs {
 		sec := best[c.name].Seconds()
 		r := Run{
 			Name:                c.name,
 			Workers:             c.workers,
 			Metrics:             c.metrics,
+			Flight:              c.flight,
 			Seconds:             sec,
 			FramesPerSec:        float64(records) / sec,
 			SpeedupVsSequential: seqBase / sec,
 		}
 		if c.metrics {
-			baseName := c.name[:len(c.name)-len("+metrics")]
-			base := best[baseName].Seconds()
-			pct := 100 * (sec - base) / base
+			pct := bestOverhead(c.name, c.name[:len(c.name)-len("+metrics")])
 			r.OverheadPct = &pct
 			overheads = append(overheads, pct)
+		}
+		if c.flight {
+			pct := bestOverhead(c.name, c.name[:len(c.name)-len("+flight")])
+			r.FlightOverheadPct = &pct
+			flightOverheads = append(flightOverheads, pct)
 		}
 		report.Runs = append(report.Runs, r)
 	}
 	sort.Float64s(overheads)
 	report.MetricsOverheadPct = overheads[len(overheads)/2]
+	sort.Float64s(flightOverheads)
+	report.FlightOverheadPct = flightOverheads[len(flightOverheads)/2]
 
 	f, err := os.Create(out)
 	if err != nil {
@@ -241,6 +295,7 @@ func run(out string, records, repeat int) error {
 	if err := enc.Encode(report); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%% → %s\n", report.MetricsOverheadPct, out)
+	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%% → %s\n",
+		report.MetricsOverheadPct, report.FlightOverheadPct, out)
 	return nil
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"vprofile/internal/obs/tracing"
+)
+
+// runBundle renders a flight-recorder forensic bundle: a header with
+// the alarm's identity, a per-frame decision table, the alarm frame's
+// per-cluster distances, and — unless -csv — ASCII plots of the alarm
+// frame's raw waveform and extracted edge set. With -csv the waveform
+// samples of every frame in the window are emitted instead, one
+// column per frame, ready for external plotting.
+func runBundle(dir string, csv bool) error {
+	b, err := tracing.ReadBundle(dir)
+	if err != nil {
+		return err
+	}
+	if csv {
+		series := make([][]float64, 0, len(b.Decisions))
+		labels := make([]string, 0, len(b.Decisions))
+		for _, d := range b.Decisions {
+			series = append(series, d.Samples)
+			labels = append(labels, fmt.Sprintf("frame %d SA %#02x", d.Index, d.SA))
+		}
+		emitCSV(series, labels)
+		return nil
+	}
+
+	fmt.Printf("bundle %d (trace %s): %s alarm at t=%.4fs, SA %#02x, frame id %#08x\n",
+		b.Seq, b.Trace, strings.Join(b.Alarms, "+"), b.TimeSec, b.SA, b.FrameID)
+	fmt.Printf("severity %s, window ±%d frames", b.Severity, b.Window)
+	if b.Truncated {
+		fmt.Print(" (post-context truncated at end of capture)")
+	}
+	fmt.Println()
+	fmt.Println()
+
+	fmt.Printf("%7s %10s %6s %10s %-18s %9s %9s %s\n",
+		"frame", "time", "SA", "id", "reason", "dist", "thresh", "alarms")
+	for _, d := range b.Decisions {
+		marker := " "
+		if d.Index == b.AlarmIndex {
+			marker = ">"
+		}
+		reason := d.Reason
+		if d.ExtractErr != "" {
+			reason = "extract-failed"
+		}
+		fmt.Printf("%s%6d %9.4fs %6s %10s %-18s %9.3f %9.3f %s\n",
+			marker, d.Index, d.TimeSec, fmt.Sprintf("%#02x", d.SA), fmt.Sprintf("%#08x", d.FrameID),
+			reason, d.MinDist, d.Threshold, strings.Join(d.Alarms, "+"))
+	}
+
+	alarm := b.Alarm()
+	if alarm == nil {
+		fmt.Println("\n(alarm decision record missing from bundle)")
+		return nil
+	}
+	if len(alarm.Distances) > 0 {
+		fmt.Println()
+		fmt.Printf("alarm frame %d: expected cluster %d, predicted %d (margin %.3f)\n",
+			alarm.Index, alarm.Expected, alarm.Predicted, alarm.Margin)
+		for _, cd := range alarm.Distances {
+			tag := ""
+			if int(cd.ID) == alarm.Expected {
+				tag = "  ← expected"
+			}
+			if int(cd.ID) == alarm.Predicted {
+				tag += "  ← nearest"
+			}
+			fmt.Printf("  cluster %2d: dist %10.3f%s\n", int(cd.ID), cd.Dist, tag)
+		}
+	}
+	if len(alarm.Samples) > 0 {
+		fmt.Printf("\n--- alarm frame waveform (%d samples) ---\n", len(alarm.Samples))
+		asciiPlot(alarm.Samples, 60, 12)
+	}
+	if len(alarm.EdgeSet) > 0 {
+		fmt.Printf("\n--- alarm frame edge set (%d features) ---\n", len(alarm.EdgeSet))
+		asciiPlot(alarm.EdgeSet, 60, 12)
+	}
+	return nil
+}

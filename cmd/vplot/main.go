@@ -1,10 +1,13 @@
 // Command vplot exports the paper's figure data as CSV (for external
-// plotting) or renders a quick ASCII view in the terminal.
+// plotting), renders a quick ASCII view in the terminal, or inspects
+// a flight-recorder forensic bundle.
 //
 // Usage:
 //
 //	vplot -figure 2.5              # ASCII view of Figure 2.5
 //	vplot -figure 4.6 -csv         # Figure 4.6's series as CSV
+//	vplot -bundle forensics/bundle-0001-00000000000000a3
+//	vplot -bundle forensics/bundle-0001-00000000000000a3 -csv
 //	vplot -list
 package main
 
@@ -22,11 +25,19 @@ import (
 func main() {
 	var (
 		figure = flag.String("figure", "", "figure to render: 2.5, 3.1, 4.2, 4.4, 4.6, 4.7, 4.8")
+		bundle = flag.String("bundle", "", "flight-recorder bundle directory to inspect")
 		csv    = flag.Bool("csv", false, "emit CSV instead of an ASCII plot")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		list   = flag.Bool("list", false, "list available figures")
 	)
 	flag.Parse()
+	if *bundle != "" {
+		if err := runBundle(*bundle, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "vplot:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list || *figure == "" {
 		fmt.Println("available figures: 2.5, 3.1, 4.2, 4.4, 4.6, 4.7, 4.8")
 		return

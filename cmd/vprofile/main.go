@@ -4,7 +4,7 @@
 // Usage:
 //
 //	vprofile train  -capture train.vptr -model model.vpm [-metric mahalanobis] [-margin 10]
-//	vprofile detect -capture test.vptr  -model model.vpm [-workers 8] [-metrics :9090] [-events run.jsonl]
+//	vprofile detect -capture test.vptr  -model model.vpm [-workers 8] [-metrics :9090] [-events run.jsonl] [-flight forensics/]
 //	vprofile update -capture new.vptr   -model model.vpm -out updated.vpm
 //	vprofile info   -model model.vpm
 package main
@@ -16,11 +16,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"vprofile/internal/core"
 	"vprofile/internal/edgeset"
 	"vprofile/internal/ids"
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/tracing"
 	"vprofile/internal/pipeline"
 	"vprofile/internal/stats"
 	"vprofile/internal/trace"
@@ -169,8 +171,10 @@ func cmdDetect(args []string) error {
 	modelPath := fs.String("model", "model.vpm", "trained model file")
 	verbose := fs.Bool("v", false, "print every anomalous message")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "extraction worker pool size")
-	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address during the replay (e.g. :9090)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /debug/pprof/ (and /debug/flight with -flight) on this address during the replay (e.g. :9090)")
 	eventsPath := fs.String("events", "", "write a JSONL event log (plus end-of-run stats snapshot) to this file")
+	flightDir := fs.String("flight", "", "trace every frame and write forensic bundles around alarms into this directory")
+	flightWindow := fs.Int("flight-window", 8, "frames of pre/post context frozen around each alarm")
 	fs.Parse(args)
 	if *capture == "" {
 		return errors.New("detect: -capture is required")
@@ -199,19 +203,36 @@ func cmdDetect(args []string) error {
 		im = ids.NewMetrics(reg)
 		rd.SetMetrics(trace.NewMetrics(reg))
 	}
-	if *metricsAddr != "" {
-		srv, err := obs.Serve(*metricsAddr, reg)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "detect: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
-	}
 	var events *obs.EventLog
 	if *eventsPath != "" {
 		events, err = obs.CreateEventLog(*eventsPath)
 		if err != nil {
 			return err
+		}
+	}
+	var recorder *tracing.Recorder
+	if *flightDir != "" {
+		recorder, err = tracing.NewRecorder(tracing.RecorderConfig{
+			Window: *flightWindow, Dir: *flightDir, Header: rd.Header(), Events: events,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if *metricsAddr != "" {
+		var routes []obs.Route
+		if recorder != nil {
+			routes = append(routes, obs.Route{Pattern: "/debug/flight", Handler: recorder})
+		}
+		srv, err := obs.Serve(*metricsAddr, reg, routes...)
+		if err != nil {
+			return err
+		}
+		// Let in-flight scrapes finish instead of cutting them off.
+		defer srv.ShutdownTimeout(2 * time.Second)
+		fmt.Fprintf(os.Stderr, "detect: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+		if recorder != nil {
+			fmt.Fprintf(os.Stderr, "detect: flight recorder live at http://%s/debug/flight\n", srv.Addr())
 		}
 	}
 	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: extractionFor(rd.Header()), Metrics: im})
@@ -224,7 +245,7 @@ func cmdDetect(args []string) error {
 	// path fans out across the worker pool.
 	var cm stats.ConfusionMatrix
 	reasons := map[core.Reason]int{}
-	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: *workers, Metrics: pm}, func(r pipeline.Result) error {
+	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: *workers, Metrics: pm, Recorder: recorder}, func(r pipeline.Result) error {
 		if r.Verdict.ExtractErr != nil {
 			return fmt.Errorf("record %d: %w", r.Index, r.Verdict.ExtractErr)
 		}
@@ -238,8 +259,13 @@ func cmdDetect(args []string) error {
 			}
 			if events != nil {
 				sa := uint8(r.Frame.SA())
+				traceID := ""
+				if r.Trace != nil {
+					traceID = r.Trace.ID.String()
+				}
 				err := events.Emit(obs.Event{
 					TimeSec: r.Record.TimeSec, Kind: obs.EventVoltage,
+					Severity: tracing.SeverityFor(obs.EventVoltage), Trace: traceID,
 					SA: obs.U8(sa), FrameID: obs.U32(r.Record.FrameID),
 					Reason: d.Reason.String(), Dist: d.MinDist, Predict: int(d.Predict),
 				})
@@ -250,6 +276,13 @@ func cmdDetect(args []string) error {
 		}
 		return nil
 	})
+	if recorder != nil {
+		// Close before the event log: flushing truncated capture
+		// windows emits their flight events.
+		if cerr := recorder.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if events != nil {
 		if cerr := events.Close(reg); cerr != nil && err == nil {
 			err = cerr
@@ -262,6 +295,11 @@ func cmdDetect(args []string) error {
 		cm.Total(), cm.FP+cm.TP, 100*float64(cm.FP+cm.TP)/float64(cm.Total()), st.WallTime.Seconds(), st.Workers)
 	for r, n := range reasons {
 		fmt.Printf("  %-18s %d\n", r.String()+":", n)
+	}
+	if recorder != nil {
+		fs := recorder.Stats()
+		fmt.Printf("flight recorder: %d frames traced, %d alarms, %d bundles → %s\n",
+			fs.Frames, fs.Alarms, fs.Bundles, *flightDir)
 	}
 	return nil
 }

@@ -74,3 +74,69 @@ func (m *Model) Nearest(set linalg.Vector) (ClusterID, float64) {
 	}
 	return best, minDist
 }
+
+// ClusterDistance is one cluster's distance to an edge set. The JSON
+// tags are for the flight recorder, whose decision records carry the
+// slice DetectExplain built without converting or copying it.
+type ClusterDistance struct {
+	ID   ClusterID `json:"cluster"`
+	Dist float64   `json:"dist"`
+}
+
+// Explanation is the full evidence behind a Detection: the distance
+// to every cluster (not just the nearest), and the threshold and
+// margin the verdict was judged against. It exists for forensics —
+// an alarm is only actionable if the numbers that produced it
+// survive the moment.
+type Explanation struct {
+	// Distances holds one entry per cluster, in cluster order. Empty
+	// when the claimed SA is unknown (Algorithm 3 rejects before any
+	// distance is computed).
+	Distances []ClusterDistance
+	// Threshold is the expected cluster's trained MaxDist (zero when
+	// the SA is unknown); Margin is the model's detection margin. The
+	// over-threshold rule is MinDist > Threshold + Margin.
+	Threshold float64
+	Margin    float64
+}
+
+// DetectExplain is Detect with its evidence preserved. The Detection
+// it returns is bit-for-bit identical to Detect's — the same
+// distances are computed in the same order with the same arithmetic —
+// so instrumented and uninstrumented runs cannot diverge.
+func (m *Model) DetectExplain(sa canbus.SourceAddress, set linalg.Vector) (Detection, Explanation) {
+	return m.DetectExplainInto(sa, set, nil)
+}
+
+// DetectExplainInto is DetectExplain appending the per-cluster
+// distances to buf, which may be nil. The flight recorder hands in
+// per-frame inline storage here, so explaining a verdict allocates
+// nothing on the replay hot path.
+func (m *Model) DetectExplainInto(sa canbus.SourceAddress, set linalg.Vector, buf []ClusterDistance) (Detection, Explanation) {
+	expID, ok := m.SALUT[sa]
+	if !ok {
+		return Detection{Anomaly: true, Reason: ReasonUnknownSA, Expected: -1, Predict: -1},
+			Explanation{Margin: m.Margin}
+	}
+	if buf == nil {
+		buf = make([]ClusterDistance, 0, len(m.Clusters))
+	}
+	ex := Explanation{Distances: buf, Margin: m.Margin}
+	pred := ClusterID(-1)
+	minDist := math.Inf(1)
+	for _, c := range m.Clusters {
+		d := m.Distance(c, set)
+		ex.Distances = append(ex.Distances, ClusterDistance{ID: c.ID, Dist: d})
+		if d < minDist {
+			pred, minDist = c.ID, d
+		}
+	}
+	ex.Threshold = m.Clusters[expID].MaxDist
+	if pred != expID {
+		return Detection{Anomaly: true, Reason: ReasonClusterMismatch, Expected: expID, Predict: pred, MinDist: minDist}, ex
+	}
+	if minDist > m.Clusters[expID].MaxDist+m.Margin {
+		return Detection{Anomaly: true, Reason: ReasonOverThreshold, Expected: expID, Predict: pred, MinDist: minDist}, ex
+	}
+	return Detection{Expected: expID, Predict: pred, MinDist: minDist}, ex
+}

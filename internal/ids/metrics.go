@@ -74,4 +74,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 
 // SALabel formats a source address the way the per-SA metrics label
 // it.
-func SALabel(sa uint8) string { return fmt.Sprintf("0x%02x", sa) }
+func SALabel(sa uint8) string { return saLabels[sa] }
+
+// saLabels precomputes every source-address label: SALabel runs per
+// frame on the instrumented paths, where a fmt.Sprintf would be a
+// measurable slice of the replay budget.
+var saLabels = func() (t [256]string) {
+	for i := range t {
+		t[i] = fmt.Sprintf("0x%02x", i)
+	}
+	return
+}()

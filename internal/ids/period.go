@@ -136,6 +136,36 @@ func (m *PeriodMonitor) Check(id uint32, at float64) (PeriodVerdict, error) {
 	}
 }
 
+// StreamState is the learned timing state of one identifier — the
+// numbers Check judges against, exposed so the flight recorder can
+// preserve them alongside a timing verdict.
+type StreamState struct {
+	Samples   int     // training gaps folded in
+	Mean      float64 // learned mean period (seconds)
+	Tolerance float64 // acceptance band Check applies (TolSigmas·σ, floored)
+	Last      float64 // previous arrival time (NaN right after Finalize)
+	Enforced  bool    // whether Check enforces this stream yet
+}
+
+// StreamState reports the timing state of an identifier, computing
+// the same tolerance Check would apply. The second return is false
+// for identifiers never seen in training.
+func (m *PeriodMonitor) StreamState(id uint32) (StreamState, bool) {
+	st, ok := m.streams[id]
+	if !ok {
+		return StreamState{}, false
+	}
+	out := StreamState{Samples: st.n, Mean: st.mean, Last: st.last, Enforced: st.enforced}
+	if st.n > 0 {
+		tol := m.TolSigmas * math.Sqrt(st.m2/float64(st.n))
+		if minTol := st.mean * 0.4; tol < minTol {
+			tol = minTol
+		}
+		out.Tolerance = tol
+	}
+	return out, true
+}
+
 // Period returns the learned mean period of an identifier.
 func (m *PeriodMonitor) Period(id uint32) (float64, bool) {
 	st, ok := m.streams[id]

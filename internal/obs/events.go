@@ -3,10 +3,16 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"sync"
 )
+
+// ErrEventLogClosed reports an Emit (or second Close) on a log that
+// has already been closed. It is a distinct sentinel so callers that
+// race a shutdown can distinguish "too late" from a real write error.
+var ErrEventLogClosed = errors.New("obs: event log closed")
 
 // Event kinds written by the replay tools. Every suspicious record in
 // the human-readable timeline maps to exactly one of these, so the
@@ -17,13 +23,28 @@ const (
 	EventTiming     = "timing"     // the period monitor saw an early arrival
 	EventTransport  = "transport"  // a malformed / out-of-sequence transport frame
 	EventDM1        = "dm1"        // a completed DM1 diagnostic transfer
+	EventFlight     = "flight"     // the flight recorder froze and wrote a forensic bundle
 	EventStats      = "stats"      // end-of-run registry snapshot (final line)
+)
+
+// Event severities. Alarms carry one so downstream consumers can
+// route on urgency without re-deriving it from the kind.
+const (
+	SeverityInfo     = "info"
+	SeverityWarning  = "warning"
+	SeverityCritical = "critical"
 )
 
 // Event is one structured record of the JSONL event log.
 type Event struct {
 	TimeSec float64 `json:"t"`
 	Kind    string  `json:"kind"`
+	// Severity tags alarms (SeverityInfo/Warning/Critical); empty for
+	// neutral records like the stats snapshot.
+	Severity string `json:"severity,omitempty"`
+	// Trace carries the per-frame trace id when the run was traced, so
+	// an event line joins against its flight-recorder decision record.
+	Trace string `json:"trace,omitempty"`
 	// SA and FrameID identify the frame the event belongs to; they are
 	// pointers so frameless records (the trailing stats snapshot) omit
 	// them rather than claiming SA 0.
@@ -47,12 +68,15 @@ func U8(v uint8) *uint8    { return &v }
 func U32(v uint32) *uint32 { return &v }
 
 // EventLog writes events as JSON Lines: one object per line, flushed
-// on Close. Emit is safe for concurrent use.
+// on Close. Emit is safe for concurrent use, including concurrently
+// with Close: once the log is closed every Emit returns
+// ErrEventLogClosed instead of writing through a closed file.
 type EventLog struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	c   io.Closer
-	err error
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	c      io.Closer
+	err    error
+	closed bool
 }
 
 // CreateEventLog creates (truncating) a JSONL event log at path.
@@ -73,10 +97,18 @@ func NewEventLog(w io.Writer) *EventLog {
 }
 
 // Emit appends one event. After any write error the log is poisoned
-// and every later call returns the first error.
+// and every later call returns the first error; after Close it
+// returns ErrEventLogClosed.
 func (l *EventLog) Emit(e Event) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.emitLocked(e)
+}
+
+func (l *EventLog) emitLocked(e Event) error {
+	if l.closed {
+		return ErrEventLogClosed
+	}
 	if l.err != nil {
 		return l.err
 	}
@@ -98,12 +130,18 @@ func (l *EventLog) Emit(e Event) error {
 // Close flushes and closes the log. When reg is non-nil a final
 // EventStats record carrying the registry snapshot is appended first,
 // so one file holds both the event stream and the end-of-run stats.
+// A second Close returns ErrEventLogClosed without touching the
+// underlying file again.
 func (l *EventLog) Close(reg *Registry) error {
-	if reg != nil {
-		l.Emit(Event{Kind: EventStats, Stats: reg.Snapshot()})
-	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return ErrEventLogClosed
+	}
+	if reg != nil {
+		l.emitLocked(Event{Kind: EventStats, Stats: reg.Snapshot()})
+	}
+	l.closed = true
 	if err := l.bw.Flush(); err != nil && l.err == nil {
 		l.err = err
 	}

@@ -5,12 +5,25 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // formatFloat renders a float the way Prometheus expects: shortest
 // representation that round-trips.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelEscaper applies the text-format escaping rules for label
+// values: backslash, double quote and line feed are the ONLY escapes
+// the format defines. Go's %q is not a substitute — it also escapes
+// tabs, control and non-ASCII characters, which a Prometheus parser
+// would read back as a literal backslash followed by junk.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel renders one label value, quotes included.
+func escapeLabel(v string) string {
+	return `"` + labelEscaper.Replace(v) + `"`
 }
 
 // WritePrometheus renders every registered metric in the Prometheus
@@ -41,7 +54,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindCounterVec:
 			keys, vals := e.vec.snapshotChildren()
 			for i, k := range keys {
-				if _, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", e.name, e.vec.label, k, vals[i]); err != nil {
+				if _, err = fmt.Fprintf(w, "%s{%s=%s} %d\n", e.name, e.vec.label, escapeLabel(k), vals[i]); err != nil {
 					break
 				}
 			}

@@ -1,0 +1,171 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vprofile/internal/obs"
+)
+
+// TestLabelEscaping is the exposition-format golden test for hostile
+// label values: backslash, double quote and newline must come out as
+// the three escapes the text format defines — and nothing else (tabs
+// and non-ASCII pass through verbatim; %q-style escaping would
+// corrupt them).
+func TestLabelEscaping(t *testing.T) {
+	reg := obs.NewRegistry()
+	vec := reg.CounterVec("hostile_total", "", "src")
+	hostile := []string{
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		"tab\tand\xc3\xa9", // tab + é must pass through untouched
+		`all three \ " ` + "\n",
+	}
+	for _, v := range hostile {
+		vec.With(v).Inc()
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "# TYPE hostile_total counter\n" +
+		"hostile_total{src=\"all three \\\\ \\\" \\n\"} 1\n" +
+		"hostile_total{src=\"back\\\\slash\"} 1\n" +
+		"hostile_total{src=\"new\\nline\"} 1\n" +
+		"hostile_total{src=\"quo\\\"te\"} 1\n" +
+		"hostile_total{src=\"tab\tand\xc3\xa9\"} 1\n"
+	if got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+	// No literal newline may survive inside a label value: every output
+	// line must be a complete sample.
+	for i, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d is empty: a label value leaked a newline", i)
+		}
+		if !strings.HasPrefix(line, "#") && !strings.HasSuffix(line, " 1") {
+			t.Fatalf("line %d is torn: %q", i, line)
+		}
+	}
+}
+
+// TestEventLogCloseGuard pins the use-after-Close contract: Emit and
+// a second Close on a closed log return ErrEventLogClosed, the file
+// contents stay intact, and concurrent Emit/Close interleavings are
+// race-clean.
+func TestEventLogCloseGuard(t *testing.T) {
+	var buf bytes.Buffer
+	l := obs.NewEventLog(&buf)
+	if err := l.Emit(obs.Event{Kind: obs.EventVoltage, Severity: obs.SeverityCritical}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	written := buf.String()
+	if !strings.Contains(written, `"voltage"`) {
+		t.Fatalf("event missing from log: %q", written)
+	}
+	if err := l.Emit(obs.Event{Kind: obs.EventTiming}); !errors.Is(err, obs.ErrEventLogClosed) {
+		t.Fatalf("Emit after Close = %v, want ErrEventLogClosed", err)
+	}
+	if err := l.Close(nil); !errors.Is(err, obs.ErrEventLogClosed) {
+		t.Fatalf("second Close = %v, want ErrEventLogClosed", err)
+	}
+	if buf.String() != written {
+		t.Fatal("closed log was written to")
+	}
+
+	// A closing log racing many emitters must never write through the
+	// closed file; every Emit either lands before the flush or reports
+	// ErrEventLogClosed.
+	l = obs.NewEventLog(io.Discard)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := l.Emit(obs.Event{Kind: obs.EventTiming}); err != nil && !errors.Is(err, obs.ErrEventLogClosed) {
+					t.Errorf("Emit = %v", err)
+					return
+				}
+			}
+		}()
+	}
+	l.Close(nil)
+	wg.Wait()
+}
+
+// TestServerShutdownDrains proves Shutdown is graceful where Close is
+// not: a scrape parked inside a handler finishes with a whole
+// response while the server refuses new connections.
+func TestServerShutdownDrains(t *testing.T) {
+	reg := obs.NewRegistry()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := obs.Serve("127.0.0.1:0", reg, obs.Route{
+		Pattern: "/slow",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			close(entered)
+			<-release
+			fmt.Fprintln(w, "done")
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body string
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- scrape{body: string(b), err: err}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// Shutdown must block on the in-flight request, not kill it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	s := <-got
+	if s.err != nil || s.body != "done\n" {
+		t.Fatalf("in-flight scrape got %q / %v, want a complete response", s.body, s.err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}

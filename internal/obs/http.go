@@ -1,11 +1,20 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
 )
+
+// Route is an extra handler mounted on the observability server's
+// mux, alongside the built-in endpoints. The flight recorder uses
+// this to expose /debug/flight without obs depending on it.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
 
 // Server exposes a registry over HTTP for live inspection of a
 // running replay:
@@ -14,6 +23,8 @@ import (
 //	/metrics.json   expvar-style JSON snapshot
 //	/debug/pprof/   the standard runtime profiles
 //	/healthz        liveness probe
+//
+// plus any extra Routes passed to Serve (e.g. /debug/flight).
 //
 // The pprof handlers are mounted on the server's own mux rather than
 // http.DefaultServeMux so importing this package never changes the
@@ -24,8 +35,8 @@ type Server struct {
 }
 
 // Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
-// registry in a background goroutine until Close.
-func Serve(addr string, reg *Registry) (*Server, error) {
+// registry in a background goroutine until Close or Shutdown.
+func Serve(addr string, reg *Registry, extra ...Route) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -47,6 +58,9 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
@@ -56,5 +70,22 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and any in-flight handlers.
+// Shutdown stops accepting new connections and waits for in-flight
+// handlers (a /metrics scrape mid-response, a pprof profile being
+// taken) to finish, up to the context's deadline. Prefer this over
+// Close on an orderly exit so a scraper never sees a torn response.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// ShutdownTimeout is Shutdown with a deadline relative to now — the
+// short drain the CLIs use on exit.
+func (s *Server) ShutdownTimeout(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// Close stops the listener and aborts any in-flight handlers
+// immediately. Use Shutdown for a graceful exit.
 func (s *Server) Close() error { return s.srv.Close() }

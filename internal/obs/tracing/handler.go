@@ -1,0 +1,63 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// flightSummary is the /debug/flight index document.
+type flightSummary struct {
+	Window  int       `json:"window"`
+	Depth   int       `json:"depth"`
+	Frames  int64     `json:"frames"`
+	Alarms  int64     `json:"alarms"`
+	Pending int       `json:"pending_windows"`
+	Bundles []*Bundle `json:"bundles"` // metadata only; fetch ?bundle=<seq> for decisions
+}
+
+// ServeHTTP makes the recorder mountable on the obs HTTP server (via
+// obs.Route) as /debug/flight:
+//
+//	GET /debug/flight            recorder state + finished bundles (metadata)
+//	GET /debug/flight?bundle=N   one bundle with its full decision records
+//
+// Live retrieval works whether or not a bundle directory is
+// configured — the in-memory copies are served either way.
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+
+	if q := req.URL.Query().Get("bundle"); q != "" {
+		seq, err := strconv.Atoi(q)
+		if err != nil {
+			http.Error(w, "bad bundle sequence number", http.StatusBadRequest)
+			return
+		}
+		b, ok := r.Bundle(seq)
+		if !ok {
+			http.Error(w, "no such bundle (evicted or never finished)", http.StatusNotFound)
+			return
+		}
+		enc.Encode(b)
+		return
+	}
+
+	r.mu.Lock()
+	sum := flightSummary{
+		Window:  r.cfg.Window,
+		Depth:   len(r.ring),
+		Frames:  r.stats.Frames,
+		Alarms:  r.stats.Alarms,
+		Pending: len(r.pending),
+		Bundles: make([]*Bundle, 0, len(r.bundles)),
+	}
+	for _, b := range r.bundles {
+		meta := *b
+		meta.Decisions = nil
+		sum.Bundles = append(sum.Bundles, &meta)
+	}
+	r.mu.Unlock()
+	enc.Encode(sum)
+}

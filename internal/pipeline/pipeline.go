@@ -32,6 +32,7 @@ import (
 	"vprofile/internal/canbus"
 	"vprofile/internal/core"
 	"vprofile/internal/ids"
+	"vprofile/internal/obs/tracing"
 	"vprofile/internal/trace"
 )
 
@@ -61,6 +62,14 @@ type Config struct {
 	// (see NewMetrics). Instrumentation is atomic-only on the hot path
 	// and never changes verdicts or their order.
 	Metrics *Metrics
+	// Recorder, when non-nil, turns on per-frame tracing and flight
+	// recording: every record gets a deterministic TraceID and a span
+	// per pipeline stage, and its full decision context — raw
+	// samples, edge set, per-cluster distances, detector state — is
+	// pushed into the recorder's ring, where alarms freeze forensic
+	// bundles. Tracing never changes verdicts or their order; nil
+	// keeps the replay on the uninstrumented fast path.
+	Recorder *tracing.Recorder
 }
 
 // Result is one record's verdict, delivered to the sink in record
@@ -70,6 +79,11 @@ type Result struct {
 	Record  *trace.Record
 	Frame   *canbus.ExtendedFrame
 	Verdict ids.CompositeResult
+	// Trace is the frame's span trace on a traced replay (Config has a
+	// Recorder), nil otherwise. Sinks may read it — e.g. to join event
+	// lines to flight-recorder decisions by TraceID — but must not
+	// mutate it.
+	Trace *tracing.FrameTrace
 }
 
 // Sink receives results in record order. A non-nil error stops the
@@ -105,10 +119,11 @@ func (s Stats) Utilization() float64 {
 // Replayer drives one capture replay. Create with New, run with Run,
 // observe with Stats.
 type Replayer struct {
-	mon     *ids.Composite
-	workers int
-	depth   int
-	metrics *Metrics
+	mon      *ids.Composite
+	workers  int
+	depth    int
+	metrics  *Metrics
+	recorder *tracing.Recorder
 
 	ran             atomic.Bool
 	recordsIn       atomic.Int64
@@ -133,7 +148,7 @@ func New(mon *ids.Composite, cfg Config) (*Replayer, error) {
 	if depth <= 0 {
 		depth = 4 * workers
 	}
-	return &Replayer{mon: mon, workers: workers, depth: depth, metrics: cfg.Metrics}, nil
+	return &Replayer{mon: mon, workers: workers, depth: depth, metrics: cfg.Metrics, recorder: cfg.Recorder}, nil
 }
 
 // Stats returns a snapshot of the per-stage counters.
@@ -154,18 +169,22 @@ func (p *Replayer) Stats() Stats {
 	}
 }
 
-// job is a record travelling between stages.
+// job is a record travelling between stages. The FrameTrace (traced
+// replays only) travels with the job and is only ever touched by the
+// goroutine currently holding it.
 type job struct {
 	idx   int
 	raw   *trace.RawRecord // nil once decoded
 	rec   *trace.Record
 	frame *canbus.ExtendedFrame
+	ft    *tracing.FrameTrace
 }
 
 // scored is a job annotated with its stateless verdict.
 type scored struct {
 	job
 	det        core.Detection
+	forensics  ids.Forensics
 	extractErr error
 }
 
@@ -207,6 +226,13 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 		defer close(jobs)
 		for idx := 0; ; idx++ {
 			var j job
+			var sp *tracing.Span
+			if p.recorder != nil {
+				// TraceIDs are the 1-based record index: deterministic, so
+				// two replays of one capture produce identical forensics.
+				j.ft = tracing.NewFrameTrace(tracing.TraceID(idx) + 1)
+				sp = j.ft.StartSpan("pipeline.read")
+			}
 			if rawSrc != nil {
 				raw, err := rawSrc.NextRaw()
 				if errors.Is(err, io.EOF) {
@@ -216,7 +242,7 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 					setErr(err)
 					return
 				}
-				j = job{idx: idx, raw: raw}
+				j.idx, j.raw = idx, raw
 			} else {
 				rec, err := src.Next()
 				if errors.Is(err, io.EOF) {
@@ -226,8 +252,9 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 					setErr(err)
 					return
 				}
-				j = job{idx: idx, rec: rec}
+				j.idx, j.rec = idx, rec
 			}
+			sp.End()
 			p.recordsIn.Add(1)
 			if m := p.metrics; m != nil {
 				m.RecordsIn.Inc()
@@ -250,14 +277,23 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 				m := p.metrics
 				t0 := time.Now()
 				if j.raw != nil {
+					sp := j.ft.StartSpan("pipeline.decode")
 					j.rec = j.raw.Decode()
 					j.raw = nil
+					sp.End()
 					if m != nil {
 						m.DecodeSeconds.Observe(time.Since(t0).Seconds())
 					}
 				}
 				j.frame = &canbus.ExtendedFrame{ID: j.rec.FrameID, Data: j.rec.Data}
-				det, err := p.mon.VoltageVerdict(j.frame, j.rec.Trace)
+				var det core.Detection
+				var forensics ids.Forensics
+				var err error
+				if j.ft != nil {
+					det, forensics, err = p.mon.VoltageVerdictTraced(j.frame, j.rec.Trace, j.ft)
+				} else {
+					det, err = p.mon.VoltageVerdict(j.frame, j.rec.Trace)
+				}
 				if err != nil {
 					p.extractFailures.Add(1)
 					if m != nil {
@@ -266,7 +302,7 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 				}
 				p.busyNanos.Add(int64(time.Since(t0)))
 				select {
-				case out <- scored{job: j, det: det, extractErr: err}:
+				case out <- scored{job: j, det: det, forensics: forensics, extractErr: err}:
 				case <-abandon:
 					return
 				}
@@ -297,9 +333,21 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 			if m != nil {
 				t0 = time.Now()
 			}
+			var state ids.SequenceState
+			if cur.ft != nil {
+				// Snapshot the stateful detectors BEFORE Sequence mutates
+				// them: the decision record must hold the state the
+				// verdict was judged against.
+				state = p.mon.StateFor(cur.frame.ID)
+			}
+			sp := cur.ft.StartSpan("pipeline.sequence")
 			verdict := p.mon.Sequence(cur.frame, cur.rec.TimeSec, cur.det, cur.extractErr)
+			sp.End()
 			p.recordsOut.Add(1)
-			err := fn(Result{Index: next, Record: cur.rec, Frame: cur.frame, Verdict: verdict})
+			if p.recorder != nil {
+				p.recorder.Record(buildDecision(next, cur, verdict, state))
+			}
+			err := fn(Result{Index: next, Record: cur.rec, Frame: cur.frame, Verdict: verdict, Trace: cur.ft})
 			if m != nil {
 				m.SequenceSeconds.Observe(time.Since(t0).Seconds())
 				m.RecordsOut.Inc()

@@ -9,6 +9,7 @@ import (
 	"vprofile/internal/experiments"
 	"vprofile/internal/ids"
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/tracing"
 	"vprofile/internal/pipeline"
 	"vprofile/internal/trace"
 	"vprofile/internal/vehicle"
@@ -160,3 +161,40 @@ func BenchmarkReplayParallel4(b *testing.B)        { benchReplay(b, 4) }
 func BenchmarkReplayParallel8(b *testing.B)        { benchReplay(b, 8) }
 func BenchmarkReplayParallel4Metrics(b *testing.B) { benchReplayMetrics(b, 4) }
 func BenchmarkReplayParallel8Metrics(b *testing.B) { benchReplayMetrics(b, 8) }
+
+// benchReplayFlight is the forensic twin: per-frame tracing plus an
+// in-memory flight recorder (no bundle directory, so the measurement
+// is the steady-state span + ring-buffer cost, not disk IO).
+// Comparing against benchReplay of the same worker count quantifies
+// the tracing overhead, held to the same <5% bar.
+func benchReplayFlight(b *testing.B, workers int) {
+	replayFixture(b)
+	b.ResetTimer()
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		rd, err := trace.NewReader(bytes.NewReader(replayCapture))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := tracing.NewRecorder(tracing.RecorderConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon := replayMonitor(b)
+		st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: workers, Recorder: rec}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if st.RecordsOut != replayRecords {
+			b.Fatalf("replayed %d of %d records", st.RecordsOut, replayRecords)
+		}
+		frames += st.RecordsOut
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func BenchmarkReplayParallel4Flight(b *testing.B) { benchReplayFlight(b, 4) }
+func BenchmarkReplayParallel8Flight(b *testing.B) { benchReplayFlight(b, 8) }
