@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 45s
 
-.PHONY: build test vet race check bench-replay bench bench-go
+.PHONY: build test vet race check lint fuzz bench-replay bench bench-gate bench-go
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,19 @@ race:
 # check is the PR gate: vet + race-checked tests.
 check: vet race
 
+# lint runs the CI linter set (.golangci.yml: errcheck, govet,
+# staticcheck, unused). Requires golangci-lint on PATH; CI installs it
+# via the golangci-lint action.
+lint:
+	golangci-lint run
+
+# fuzz runs each native fuzz target for FUZZTIME, seeded from the
+# committed corpora under testdata/fuzz/. CI runs the same targets as
+# separate smoke jobs.
+fuzz:
+	$(GO) test -fuzz '^FuzzReaderResync$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace
+	$(GO) test -fuzz '^FuzzEdgeExtract$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/edgeset
+
 # bench-replay compares sequential replay against the concurrent
 # pipeline at 1/2/4/8 workers (plus instrumented variants) on a
 # 10k-record capture.
@@ -27,12 +41,19 @@ bench-replay:
 	$(GO) test -bench Replay -benchmem -run '^$$' .
 
 # bench writes the replay benchmark sweep — sequential vs 1/2/4/8
-# workers, metrics-off vs metrics-on, plus tracing+flight-recorder
-# configurations, including the measured metrics and flight overheads
-# — to BENCH_pipeline.json, the repository's performance trajectory
-# file.
+# workers, metrics-off vs metrics-on, plus tracing+flight-recorder and
+# fault-layer (recovery reader + quarantine) configurations, including
+# the measured metrics, flight and fault-layer overheads — to
+# BENCH_pipeline.json, the repository's performance trajectory file.
 bench:
 	$(GO) run ./cmd/replaybench -out BENCH_pipeline.json
+
+# bench-gate regenerates the sweep into a scratch file and fails when
+# median replay throughput dropped more than 10% against the committed
+# baseline — the benchmark-regression gate CI runs on every PR.
+bench-gate:
+	$(GO) run ./cmd/replaybench -out /tmp/bench-candidate.json -repeat 7
+	$(GO) run ./cmd/benchgate -baseline BENCH_pipeline.json -candidate /tmp/bench-candidate.json -max-drop 10
 
 bench-go:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

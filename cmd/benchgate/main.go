@@ -1,0 +1,121 @@
+// Command benchgate is the benchmark-regression gate: it compares a
+// freshly generated replaybench report against the committed baseline
+// (BENCH_pipeline.json) and fails when replay throughput regressed.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_pipeline.json -candidate /tmp/bench.json [-max-drop 10]
+//
+// For every configuration present in both reports it computes the
+// throughput drop in percent (positive = candidate slower). The gate
+// trips when the MEDIAN drop across configurations exceeds -max-drop:
+// a real regression in the capture→verdict path slows most
+// configurations together, while host noise on a shared CI runner
+// scatters — one slow outlier must not block a PR, and one lucky fast
+// run must not mask a systemic slowdown. The worst single
+// configuration is still printed so a localized regression (say, only
+// the fault-layer path) stays visible in the log even when the median
+// passes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// report mirrors the subset of the replaybench schema the gate needs;
+// unknown fields (overhead percentages, metadata) pass through
+// untouched, so the two tools can evolve independently.
+type report struct {
+	Records int   `json:"records"`
+	Runs    []run `json:"runs"`
+}
+
+type run struct {
+	Name         string  `json:"name"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_pipeline.json", "committed baseline report")
+	candidate := flag.String("candidate", "", "freshly generated report to gate")
+	maxDrop := flag.Float64("max-drop", 10, "maximum tolerated median throughput drop in percent")
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
+		os.Exit(2)
+	}
+	if err := gate(*baseline, *candidate, *maxDrop); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (report, error) {
+	var r report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Runs) == 0 {
+		return r, fmt.Errorf("%s: no runs", path)
+	}
+	return r, nil
+}
+
+func gate(basePath, candPath string, maxDrop float64) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := load(candPath)
+	if err != nil {
+		return err
+	}
+
+	baseBy := make(map[string]float64, len(base.Runs))
+	for _, r := range base.Runs {
+		if r.FramesPerSec > 0 {
+			baseBy[r.Name] = r.FramesPerSec
+		}
+	}
+
+	type delta struct {
+		name string
+		drop float64 // percent; positive = candidate slower
+	}
+	var deltas []delta
+	for _, r := range cand.Runs {
+		b, ok := baseBy[r.Name]
+		if !ok || r.FramesPerSec <= 0 {
+			continue
+		}
+		deltas = append(deltas, delta{r.Name, 100 * (b - r.FramesPerSec) / b})
+	}
+	if len(deltas) == 0 {
+		return fmt.Errorf("no configuration appears in both %s and %s — did the run names change?", basePath, candPath)
+	}
+
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].drop > deltas[j].drop })
+	for _, d := range deltas {
+		mark := " "
+		if d.drop > maxDrop {
+			mark = "!"
+		}
+		fmt.Printf("%s %-22s %+7.2f%%\n", mark, d.name, -d.drop)
+	}
+	median := deltas[len(deltas)/2].drop
+	worst := deltas[0]
+	fmt.Printf("benchgate: %d configs compared, median drop %.2f%%, worst %.2f%% (%s), limit %.0f%%\n",
+		len(deltas), median, worst.drop, worst.name, maxDrop)
+	if median > maxDrop {
+		return fmt.Errorf("median throughput dropped %.2f%% vs %s (limit %.0f%%)", median, basePath, maxDrop)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseReport = `{"records": 100, "runs": [
+  {"name": "sequential", "frames_per_sec": 1000},
+  {"name": "parallel4",  "frames_per_sec": 2000},
+  {"name": "parallel8",  "frames_per_sec": 2500}
+]}`
+
+func TestGatePassesWithinLimit(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	// 5% down across the board: inside the 10% budget.
+	cand := writeReport(t, dir, "cand.json", `{"records": 100, "runs": [
+	  {"name": "sequential", "frames_per_sec": 950},
+	  {"name": "parallel4",  "frames_per_sec": 1900},
+	  {"name": "parallel8",  "frames_per_sec": 2375}
+	]}`)
+	if err := gate(base, cand, 10); err != nil {
+		t.Fatalf("gate tripped on a 5%% drop: %v", err)
+	}
+}
+
+func TestGateFailsOnSystemicDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	cand := writeReport(t, dir, "cand.json", `{"records": 100, "runs": [
+	  {"name": "sequential", "frames_per_sec": 800},
+	  {"name": "parallel4",  "frames_per_sec": 1600},
+	  {"name": "parallel8",  "frames_per_sec": 2000}
+	]}`)
+	if err := gate(base, cand, 10); err == nil {
+		t.Fatal("gate accepted a 20% systemic drop")
+	}
+}
+
+func TestGateToleratesOneOutlier(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	// One config craters (noisy CI neighbour) but the median holds.
+	cand := writeReport(t, dir, "cand.json", `{"records": 100, "runs": [
+	  {"name": "sequential", "frames_per_sec": 500},
+	  {"name": "parallel4",  "frames_per_sec": 1980},
+	  {"name": "parallel8",  "frames_per_sec": 2450}
+	]}`)
+	if err := gate(base, cand, 10); err != nil {
+		t.Fatalf("gate tripped on a single outlier: %v", err)
+	}
+}
+
+func TestGateFasterCandidatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	cand := writeReport(t, dir, "cand.json", `{"records": 100, "runs": [
+	  {"name": "sequential", "frames_per_sec": 1200},
+	  {"name": "parallel4",  "frames_per_sec": 2400},
+	  {"name": "parallel8",  "frames_per_sec": 3000}
+	]}`)
+	if err := gate(base, cand, 10); err != nil {
+		t.Fatalf("gate tripped on an improvement: %v", err)
+	}
+}
+
+func TestGateRejectsDisjointReports(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	cand := writeReport(t, dir, "cand.json", `{"records": 100, "runs": [
+	  {"name": "renamed", "frames_per_sec": 1000}
+	]}`)
+	if err := gate(base, cand, 10); err == nil {
+		t.Fatal("gate accepted reports with no shared configuration")
+	}
+}

@@ -50,6 +50,9 @@ type options struct {
 	eventsPath   string
 	flightDir    string
 	flightWindow int
+	quarantine   bool
+	recover      bool
+	stall        time.Duration
 }
 
 func main() {
@@ -62,6 +65,9 @@ func main() {
 	flag.StringVar(&o.eventsPath, "events", "", "write a JSONL event log (plus end-of-run stats snapshot) to this file")
 	flag.StringVar(&o.flightDir, "flight", "", "trace every frame and write forensic bundles around alarms into this directory")
 	flag.IntVar(&o.flightWindow, "flight-window", 8, "frames of pre/post context frozen around each alarm")
+	flag.BoolVar(&o.quarantine, "quarantine", false, "enable per-SA quarantine: senders with sustained voltage anomalies degrade and their alarms coalesce")
+	flag.BoolVar(&o.recover, "recover", false, "tolerate capture corruption: resync past damaged records instead of aborting")
+	flag.DurationVar(&o.stall, "stall-timeout", 0, "abort the replay if the verdict stream stalls this long (0 disables the watchdog)")
 	flag.Parse()
 	if o.capture == "" || o.model == "" {
 		fmt.Fprintln(os.Stderr, "busmon: -capture and -model are required")
@@ -92,6 +98,9 @@ func run(o options) error {
 	rd, err := trace.OpenReader(cf)
 	if err != nil {
 		return err
+	}
+	if o.recover {
+		rd.EnableRecovery()
 	}
 	h := rd.Header()
 
@@ -136,20 +145,24 @@ func run(o options) error {
 		}
 		// Drain in-flight scrapes briefly instead of cutting them off
 		// mid-response.
-		defer srv.ShutdownTimeout(2 * time.Second)
+		defer func() { _ = srv.ShutdownTimeout(2 * time.Second) }()
 		fmt.Fprintf(os.Stderr, "busmon: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
 		if recorder != nil {
 			fmt.Fprintf(os.Stderr, "busmon: flight recorder live at http://%s/debug/flight\n", srv.Addr())
 		}
 	}
 
-	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: extractionFor(h), Metrics: im})
+	mcfg := ids.CompositeConfig{Extraction: extractionFor(h), Metrics: im}
+	if o.quarantine {
+		mcfg.Quarantine = &ids.QuarantineConfig{}
+	}
+	mon, err := ids.NewComposite(model, mcfg)
 	if err != nil {
 		return err
 	}
 
 	t := newTally()
-	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: o.workers, Metrics: pm, Recorder: recorder}, func(res pipeline.Result) error {
+	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: o.workers, Metrics: pm, Recorder: recorder, StallTimeout: o.stall}, func(res pipeline.Result) error {
 		for _, e := range t.observe(res) {
 			if o.timeline {
 				fmt.Println(timelineLine(e))
@@ -189,6 +202,18 @@ func run(o options) error {
 		t.voltAlarms, t.preprocFailed, t.periodAlarms, len(silent))
 	fmt.Printf("transport transfers: %d (DM1 reports: %d) | transport errors: %d | monitor faults: %d\n",
 		t.tpTransfers, t.dm1Reports, t.tpErrors, t.timingFaults)
+	if corruptions := rd.Corruptions(); len(corruptions) > 0 {
+		var skipped int64
+		for _, c := range corruptions {
+			skipped += c.Skipped
+		}
+		fmt.Printf("capture corruption: %d stretches recovered, %d bytes resynced past\n",
+			len(corruptions), skipped)
+	}
+	if o.quarantine {
+		fmt.Printf("quarantine: %d alarms coalesced | %d SAs degraded at end\n",
+			t.suppressed, mon.DegradedSAs())
+	}
 	if recorder != nil {
 		fs := recorder.Stats()
 		fmt.Printf("flight recorder: %d frames traced, %d alarms, %d bundles → %s\n",

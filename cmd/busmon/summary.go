@@ -22,6 +22,11 @@ type saTally struct {
 	timeAlarms int
 	tpAlarms   int
 	lastSeen   float64
+	// Quarantine bookkeeping (zero / SAHealthy unless -quarantine):
+	// suppressed counts coalesced voltage alarms, state tracks the
+	// SA's latest quarantine state.
+	suppressed int
+	state      ids.SAState
 }
 
 // tally accumulates the replay's summary counters, the per-SA table,
@@ -37,6 +42,8 @@ type tally struct {
 	tpErrors      int
 	timingFaults  int
 	dm1Reports    int
+	suppressed    int
+	quarantined   bool
 	lastAt        float64
 }
 
@@ -71,21 +78,50 @@ func (t *tally) observe(res pipeline.Result) []obs.Event {
 		// through preprocessing. Report the real failure.
 		t.preprocFailed++
 		c.voltAlarms++
-		events = append(events, obs.Event{
-			TimeSec: rec.TimeSec, Kind: obs.EventPreprocess,
-			Severity: tracing.SeverityFor(obs.EventPreprocess), Trace: traceID,
-			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
-			Detail: r.ExtractErr.Error(),
-		})
+		if r.Suppressed {
+			// The sender is quarantined: count the evidence, skip the
+			// per-frame event — that's the alarm spam quarantine exists
+			// to coalesce.
+			t.suppressed++
+			c.suppressed++
+		} else {
+			events = append(events, obs.Event{
+				TimeSec: rec.TimeSec, Kind: obs.EventPreprocess,
+				Severity: tracing.SeverityFor(obs.EventPreprocess), Trace: traceID,
+				SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
+				Detail: r.ExtractErr.Error(),
+			})
+		}
 	case r.Voltage.Anomaly:
 		t.voltAlarms++
 		c.voltAlarms++
+		if r.Suppressed {
+			t.suppressed++
+			c.suppressed++
+		} else {
+			events = append(events, obs.Event{
+				TimeSec: rec.TimeSec, Kind: obs.EventVoltage,
+				Severity: tracing.SeverityFor(obs.EventVoltage), Trace: traceID,
+				SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
+				Reason: r.Voltage.Reason.String(), Dist: r.Voltage.MinDist,
+				Predict: int(r.Voltage.Predict),
+			})
+		}
+	}
+	c.state = r.SAState
+	if r.SAState != ids.SAHealthy || r.QuarantineChanged() {
+		t.quarantined = true
+	}
+	if r.QuarantineChanged() {
+		sev := obs.SeverityInfo
+		if r.SAState == ids.SADegraded {
+			sev = tracing.SeverityFor(obs.EventQuarantine)
+		}
 		events = append(events, obs.Event{
-			TimeSec: rec.TimeSec, Kind: obs.EventVoltage,
-			Severity: tracing.SeverityFor(obs.EventVoltage), Trace: traceID,
+			TimeSec: rec.TimeSec, Kind: obs.EventQuarantine,
+			Severity: sev, Trace: traceID,
 			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
-			Reason: r.Voltage.Reason.String(), Dist: r.Voltage.MinDist,
-			Predict: int(r.Voltage.Predict),
+			Detail: fmt.Sprintf("%s->%s", r.PrevSAState, r.SAState),
 		})
 	}
 	if r.Timing == ids.PeriodTooEarly {
@@ -142,6 +178,8 @@ func timelineLine(e obs.Event) string {
 		return fmt.Sprintf("%10.4fs  TP       SA %#02x malformed transport: %s", e.TimeSec, *e.SA, e.Detail)
 	case obs.EventDM1:
 		return fmt.Sprintf("%10.4fs  DM1      SA %#02x %s %d DTCs", e.TimeSec, *e.SA, e.Detail, e.DTCs)
+	case obs.EventQuarantine:
+		return fmt.Sprintf("%10.4fs  QUARANT  SA %#02x %s", e.TimeSec, *e.SA, e.Detail)
 	}
 	return fmt.Sprintf("%10.4fs  %s", e.TimeSec, e.Kind)
 }
@@ -149,7 +187,9 @@ func timelineLine(e obs.Event) string {
 // table renders the per-SA accounting. Every alarm family the summary
 // counts is attributed to a source address, so each column sums to
 // its summary total: volt = voltage alarms + preprocess failures,
-// timing = timing alarms, tp = transport errors.
+// timing = timing alarms, tp = transport errors. On a quarantined
+// replay two more columns appear: supp (coalesced voltage alarms, a
+// subset of volt) and the SA's final quarantine state.
 func (t *tally) table() string {
 	sas := make([]int, 0, len(t.perSA))
 	for sa := range t.perSA {
@@ -157,11 +197,20 @@ func (t *tally) table() string {
 	}
 	sort.Ints(sas)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %10s\n", "SA", "frames", "volt", "timing", "tp", "last seen")
+	if t.quarantined {
+		fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %8s %10s %10s\n", "SA", "frames", "volt", "timing", "tp", "supp", "state", "last seen")
+	} else {
+		fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %10s\n", "SA", "frames", "volt", "timing", "tp", "last seen")
+	}
 	for _, sa := range sas {
 		c := t.perSA[uint8(sa)]
-		fmt.Fprintf(&b, "  %#02x %8d %8d %8d %8d %9.2fs\n",
-			sa, c.frames, c.voltAlarms, c.timeAlarms, c.tpAlarms, c.lastSeen)
+		if t.quarantined {
+			fmt.Fprintf(&b, "  %#02x %8d %8d %8d %8d %8d %10s %9.2fs\n",
+				sa, c.frames, c.voltAlarms, c.timeAlarms, c.tpAlarms, c.suppressed, c.state, c.lastSeen)
+		} else {
+			fmt.Fprintf(&b, "  %#02x %8d %8d %8d %8d %9.2fs\n",
+				sa, c.frames, c.voltAlarms, c.timeAlarms, c.tpAlarms, c.lastSeen)
+		}
 	}
 	return b.String()
 }

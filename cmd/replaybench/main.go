@@ -2,9 +2,10 @@
 // it generates the standard 10k-record Vehicle B capture, replays it
 // sequentially and through the concurrent pipeline at 1/2/4/8
 // workers — each with observability off and on, plus tracing+flight
-// configurations at 1/4/8 workers — and writes the results (plus the
-// measured metrics and flight-recorder overheads) to a JSON file that
-// CI and future PRs can diff.
+// and fault-layer (recovery reader + quarantine) configurations at
+// 1/4/8 workers — and writes the results (plus the measured metrics,
+// flight-recorder and fault-layer overheads) to a JSON file that CI
+// and future PRs can diff (cmd/benchgate enforces the diff).
 //
 // Usage:
 //
@@ -42,15 +43,18 @@ type Run struct {
 	Workers      int     `json:"workers"` // 0 = sequential reference path
 	Metrics      bool    `json:"metrics"`
 	Flight       bool    `json:"flight,omitempty"`
+	Faults       bool    `json:"faults,omitempty"`
 	Seconds      float64 `json:"seconds"`
 	FramesPerSec float64 `json:"frames_per_sec"`
 	// SpeedupVsSequential compares against the uninstrumented
 	// sequential run; OverheadPct compares metrics-on (or
-	// tracing+flight-on) against the same worker count with
-	// everything off, each side taken as its best-of-repeat time.
+	// tracing+flight-on, or fault-layer-on) against the same worker
+	// count with everything off, each side taken as its
+	// best-of-repeat time.
 	SpeedupVsSequential float64  `json:"speedup_vs_sequential"`
 	OverheadPct         *float64 `json:"metrics_overhead_pct,omitempty"`
 	FlightOverheadPct   *float64 `json:"flight_overhead_pct,omitempty"`
+	FaultsOverheadPct   *float64 `json:"faults_overhead_pct,omitempty"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -74,6 +78,13 @@ type Report struct {
 	// buffer, compared against the same worker count uninstrumented.
 	// Same <5% bar.
 	FlightOverheadPct float64 `json:"flight_overhead_pct"`
+	// FaultsOverheadPct is the same median over the fault-layer
+	// configurations: recovery-enabled capture reader plus the per-SA
+	// quarantine state machine, on a clean capture (zero fault
+	// intensity), compared against the same worker count with the
+	// layer off. The acceptance bar keeps it under 2% — degraded-mode
+	// machinery must be free when nothing is degraded.
+	FaultsOverheadPct float64 `json:"faults_overhead_pct"`
 }
 
 func main() {
@@ -132,7 +143,7 @@ func fixture(records int) ([]byte, *core.Model, *vehicle.Vehicle, error) {
 }
 
 // replayOnce runs one replay and returns its elapsed wall time.
-func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, records int, withMetrics, withFlight bool) (time.Duration, error) {
+func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, records int, withMetrics, withFlight, withFaults bool) (time.Duration, error) {
 	rd, err := trace.NewReader(bytes.NewReader(capture))
 	if err != nil {
 		return 0, err
@@ -157,7 +168,16 @@ func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, 
 		defer rec.Close()
 		cfg.Recorder = rec
 	}
-	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: v.ExtractionConfig(), Metrics: im})
+	mcfg := ids.CompositeConfig{Extraction: v.ExtractionConfig(), Metrics: im}
+	if withFaults {
+		// The degraded-mode layer at zero fault intensity: the reader
+		// scans for corruption it never finds, the quarantine machine
+		// scores frames that are never suspicious. This is the cost a
+		// hardened deployment pays on a healthy bus.
+		rd.EnableRecovery()
+		mcfg.Quarantine = &ids.QuarantineConfig{}
+	}
+	mon, err := ids.NewComposite(model, mcfg)
 	if err != nil {
 		return 0, err
 	}
@@ -188,22 +208,25 @@ func run(out string, records, repeat int) error {
 		workers int
 		metrics bool
 		flight  bool
+		faults  bool
 	}
 	// Each instrumented configuration sits directly after the plain
 	// run it is compared against, so the pair executes back-to-back
 	// under (nearly) the same host conditions — overhead percentages
 	// then measure instrumentation, not load drift between distant
-	// runs. Flight configs (tracing + recorder, no metrics) run at
-	// 1/4/8 workers.
+	// runs. Flight configs (tracing + recorder, no metrics) and fault
+	// configs (recovery reader + quarantine, no metrics) run at 1/4/8
+	// workers.
 	var configs []config
 	configs = append(configs,
-		config{"sequential", 0, false, false},
-		config{"sequential+metrics", 0, true, false})
+		config{"sequential", 0, false, false, false},
+		config{"sequential+metrics", 0, true, false, false})
 	for _, w := range []int{1, 2, 4, 8} {
-		configs = append(configs, config{fmt.Sprintf("parallel%d", w), w, false, false})
-		configs = append(configs, config{fmt.Sprintf("parallel%d+metrics", w), w, true, false})
+		configs = append(configs, config{fmt.Sprintf("parallel%d", w), w, false, false, false})
+		configs = append(configs, config{fmt.Sprintf("parallel%d+metrics", w), w, true, false, false})
 		if w != 2 {
-			configs = append(configs, config{fmt.Sprintf("parallel%d+flight", w), w, false, true})
+			configs = append(configs, config{fmt.Sprintf("parallel%d+flight", w), w, false, true, false})
+			configs = append(configs, config{fmt.Sprintf("parallel%d+faults", w), w, false, false, true})
 		}
 	}
 
@@ -220,7 +243,7 @@ func run(out string, records, repeat int) error {
 		off := i * len(configs) / repeat
 		for j := range configs {
 			c := configs[(j+off)%len(configs)]
-			d, err := replayOnce(capture, model, v, c.workers, records, c.metrics, c.flight)
+			d, err := replayOnce(capture, model, v, c.workers, records, c.metrics, c.flight, c.faults)
 			if err != nil {
 				return fmt.Errorf("%s: %w", c.name, err)
 			}
@@ -256,7 +279,7 @@ func run(out string, records, repeat int) error {
 	}
 
 	seqBase := best["sequential"].Seconds()
-	var overheads, flightOverheads []float64
+	var overheads, flightOverheads, faultOverheads []float64
 	for _, c := range configs {
 		sec := best[c.name].Seconds()
 		r := Run{
@@ -264,6 +287,7 @@ func run(out string, records, repeat int) error {
 			Workers:             c.workers,
 			Metrics:             c.metrics,
 			Flight:              c.flight,
+			Faults:              c.faults,
 			Seconds:             sec,
 			FramesPerSec:        float64(records) / sec,
 			SpeedupVsSequential: seqBase / sec,
@@ -278,12 +302,19 @@ func run(out string, records, repeat int) error {
 			r.FlightOverheadPct = &pct
 			flightOverheads = append(flightOverheads, pct)
 		}
+		if c.faults {
+			pct := bestOverhead(c.name, c.name[:len(c.name)-len("+faults")])
+			r.FaultsOverheadPct = &pct
+			faultOverheads = append(faultOverheads, pct)
+		}
 		report.Runs = append(report.Runs, r)
 	}
 	sort.Float64s(overheads)
 	report.MetricsOverheadPct = overheads[len(overheads)/2]
 	sort.Float64s(flightOverheads)
 	report.FlightOverheadPct = flightOverheads[len(flightOverheads)/2]
+	sort.Float64s(faultOverheads)
+	report.FaultsOverheadPct = faultOverheads[len(faultOverheads)/2]
 
 	f, err := os.Create(out)
 	if err != nil {
@@ -295,7 +326,7 @@ func run(out string, records, repeat int) error {
 	if err := enc.Encode(report); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%% → %s\n",
-		report.MetricsOverheadPct, report.FlightOverheadPct, out)
+	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%%, fault-layer overhead %.2f%% → %s\n",
+		report.MetricsOverheadPct, report.FlightOverheadPct, report.FaultsOverheadPct, out)
 	return nil
 }

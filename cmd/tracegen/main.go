@@ -7,14 +7,26 @@
 //	tracegen -vehicle a -n 5000 -seed 1 -out vehicle-a.vptr
 //	tracegen -vehicle b -n 2000 -temp 40 -out hot.vptr
 //	tracegen -vehicle a -n 1000 -foreign 4 -out attack.vptr
+//	tracegen -vehicle b -n 2000 -faults sag=0.4,glitch=0.2 -fault-seed 7 -out degraded.vptr
+//	tracegen -vehicle b -n 2000 -stream-faults flips=4,chops=2 -out mangled.vptr
+//
+// -faults injects deterministic analog degradation (supply sag,
+// profile drift, ringing, ADC glitches, sample dropouts) into the
+// rendered traces before they are written; -stream-faults corrupts
+// the finished capture at the byte level (bit flips, garbage runs,
+// chopped bytes, truncation) to exercise reader recovery. Both are
+// reproducible from their seeds.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vprofile/internal/analog"
+	"vprofile/internal/faults"
 	"vprofile/internal/trace"
 	"vprofile/internal/vehicle"
 )
@@ -31,12 +43,32 @@ func main() {
 		gzipOut     = flag.Bool("gzip", false, "gzip-compress the capture")
 		signals     = flag.Bool("signals", false, "fill payloads from the J1939 signal model instead of random bytes")
 		diag        = flag.Bool("diag", false, "add once-per-second DM1 diagnostic broadcasts (multi-packet via TP.BAM)")
+		faultSpec   = flag.String("faults", "", "inject analog faults into the rendered traces, e.g. sag=0.4,glitch=0.2 or all=0.5 (kinds: sag, drift, ringing, glitch, dropout)")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+		streamSpec  = flag.String("stream-faults", "", "corrupt the finished capture bytes, e.g. flips=4,garbage=2,chops=1,truncate (incompatible with -gzip)")
 	)
 	flag.Parse()
 
 	v, err := vehicleByName(*vehicleName)
 	if err != nil {
 		fatal(err)
+	}
+	spec, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var injector *faults.Injector
+	if !spec.Empty() {
+		if injector, err = faults.NewInjector(spec, *faultSeed, v.ADC); err != nil {
+			fatal(err)
+		}
+	}
+	streamFaults, err := faults.ParseStreamSpec(*streamSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if !streamFaults.Empty() && *gzipOut {
+		fatal(fmt.Errorf("-stream-faults corrupts the raw record stream and cannot compose with -gzip"))
 	}
 	var env vehicle.EnvFunc
 	if *temp != 0 || *supply != 0 {
@@ -52,7 +84,7 @@ func main() {
 		}
 	}
 
-	w := os.Stdout
+	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -60,6 +92,14 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	// Stream corruption happens on the finished byte stream, so buffer
+	// the capture and corrupt it on the way out.
+	var buffered *bytes.Buffer
+	dest := w
+	if !streamFaults.Empty() {
+		buffered = &bytes.Buffer{}
+		w = buffered
 	}
 
 	header := trace.Header{Vehicle: v.Name, BitRate: v.BitRate, ADC: v.ADC}
@@ -80,7 +120,12 @@ func main() {
 	}
 
 	cfg := vehicle.GenConfig{NumMessages: *n, Seed: *seed, Env: env, RealisticPayloads: *signals, DiagnosticTraffic: *diag}
+	msgIndex := 0
 	write := func(m vehicle.Message) error {
+		if injector != nil {
+			injector.Apply(msgIndex, m.ECUIndex, m.TimeSec, m.Trace)
+		}
+		msgIndex++
 		return tw.Write(&trace.Record{
 			ECUIndex: int32(m.ECUIndex), TimeSec: m.TimeSec,
 			FrameID: m.Frame.ID, Data: m.Frame.Data, Trace: m.Trace,
@@ -107,7 +152,17 @@ func main() {
 	if err := finish(); err != nil {
 		fatal(err)
 	}
+	if buffered != nil {
+		mangled, sites := faults.CorruptStream(buffered.Bytes(), streamFaults, *faultSeed)
+		if _, err := dest.Write(mangled); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: corrupted stream at %d sites (seed %d)\n", sites, *faultSeed)
+	}
 	fmt.Fprintf(os.Stderr, "tracegen: wrote %d messages from %s\n", *n, v.Name)
+	if injector != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: analog faults %s (seed %d)\n", spec, *faultSeed)
+	}
 }
 
 func vehicleByName(name string) (*vehicle.Vehicle, error) {

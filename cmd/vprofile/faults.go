@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/core"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/faults"
+	"vprofile/internal/ids"
+	"vprofile/internal/vehicle"
+)
+
+// faultsPoint is one row of the sweep: detection quality at one fault
+// intensity.
+type faultsPoint struct {
+	Intensity float64 `json:"intensity"`
+	Spec      string  `json:"spec"`
+	// Clean-traffic numbers: how much benign traffic the degraded
+	// capture costs us.
+	CleanFrames  int     `json:"clean_frames"`
+	FalseAlarms  int     `json:"false_alarms"`
+	FPR          float64 `json:"fpr"`
+	ExtractFails int     `json:"extract_fails"`
+	// Attack numbers: whether the detector still catches a foreign
+	// device through the fault haze.
+	AttackFrames int     `json:"attack_frames"`
+	AttackCaught int     `json:"attack_caught"`
+	TPR          float64 `json:"tpr"`
+	// Quarantine numbers: alarms actually raised vs coalesced, and
+	// how many SAs ended the run degraded.
+	AlarmsRaised int `json:"alarms_raised"`
+	Suppressed   int `json:"suppressed"`
+	DegradedSAs  int `json:"degraded_sas"`
+}
+
+func vehicleByName(name string) (*vehicle.Vehicle, error) {
+	switch name {
+	case "a", "A":
+		return vehicle.NewVehicleA(), nil
+	case "b", "B":
+		return vehicle.NewVehicleB(), nil
+	case "sterling":
+		return vehicle.NewSterlingActerra(), nil
+	default:
+		return nil, fmt.Errorf("unknown vehicle %q (want a, b or sterling)", name)
+	}
+}
+
+// cmdFaults sweeps analog fault intensity against detection accuracy:
+// train a model on clean traffic, then replay clean and foreign
+// captures through the quarantine-enabled composite at increasing
+// fault severity. Everything derives from the two seeds, so a sweep
+// is bit-reproducible.
+func cmdFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	vehicleName := fs.String("vehicle", "b", "vehicle to simulate: a, b or sterling")
+	spec := fs.String("faults", "all", "fault mix swept from 0 to full intensity (ParseSpec syntax)")
+	steps := fs.Int("steps", 6, "number of intensity steps including 0 and 1")
+	trainN := fs.Int("train", 2000, "clean messages used to train the model")
+	evalN := fs.Int("eval", 800, "clean messages replayed per intensity")
+	attackN := fs.Int("attack", 200, "foreign-device messages replayed per intensity")
+	foreign := fs.Int("foreign", 1, "ECU index the foreign device imitates")
+	seed := fs.Int64("seed", 1, "traffic generation seed")
+	faultSeed := fs.Int64("fault-seed", 1, "fault injection seed")
+	jsonOut := fs.String("json", "", "also write the sweep as JSON to this file")
+	fs.Parse(args)
+
+	base, err := faults.ParseSpec(*spec)
+	if err != nil {
+		return err
+	}
+	if base.Empty() {
+		return errors.New("faults: the swept spec is empty")
+	}
+	if *steps < 2 {
+		return errors.New("faults: need at least 2 steps")
+	}
+	v, err := vehicleByName(*vehicleName)
+	if err != nil {
+		return err
+	}
+	if *foreign < 0 || *foreign >= len(v.ECUs) {
+		return fmt.Errorf("faults: vehicle %s has no ECU %d", v.Name, *foreign)
+	}
+
+	// Train on pristine traffic — the model must not know about the
+	// faults it will be judged under.
+	extraction := v.ExtractionConfig()
+	var samples []core.Sample
+	err = v.Stream(vehicle.GenConfig{NumMessages: *trainN, Seed: *seed}, func(m vehicle.Message) error {
+		res, err := edgeset.Extract(m.Trace, extraction)
+		if err != nil {
+			return err
+		}
+		samples = append(samples, core.Sample{SA: res.SA, Set: res.Set})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	model, err := core.Train(samples, core.TrainConfig{Metric: core.Mahalanobis})
+	if err != nil {
+		return err
+	}
+
+	// Pre-render the evaluation traffic once; each intensity step
+	// re-faults a fresh copy so steps never contaminate each other.
+	clean, err := v.Generate(vehicle.GenConfig{NumMessages: *evalN, Seed: *seed + 1})
+	if err != nil {
+		return err
+	}
+	victim := v.ECUs[*foreign]
+	attack, err := v.GenerateForeign(vehicle.ForeignDevice(victim.Transceiver), victim,
+		vehicle.GenConfig{NumMessages: *attackN, Seed: *seed + 2})
+	if err != nil {
+		return err
+	}
+
+	points := make([]faultsPoint, 0, *steps)
+	for s := 0; s < *steps; s++ {
+		k := float64(s) / float64(*steps-1)
+		pt, err := faultsStep(v, model, extraction, base.Scale(k), k, *faultSeed, clean, attack)
+		if err != nil {
+			return fmt.Errorf("intensity %.2f: %w", k, err)
+		}
+		points = append(points, pt)
+	}
+
+	fmt.Printf("fault sweep: %s on %s (seed %d, fault seed %d)\n", base, v.Name, *seed, *faultSeed)
+	fmt.Printf("%9s %8s %8s %9s %8s %8s %9s %9s\n",
+		"intensity", "fpr", "tpr", "extract!", "alarms", "supp", "degraded", "spec")
+	for _, p := range points {
+		fmt.Printf("%9.2f %8.4f %8.4f %9d %8d %8d %9d  %s\n",
+			p.Intensity, p.FPR, p.TPR, p.ExtractFails, p.AlarmsRaised, p.Suppressed, p.DegradedSAs, p.Spec)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(points); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// faultsStep replays one intensity step through a fresh
+// quarantine-enabled composite: the clean capture first (measuring
+// false alarms), then the foreign-device capture (measuring whether
+// the attack is still caught). Pre-rendered traces are copied before
+// fault injection so steps never contaminate each other.
+func faultsStep(v *vehicle.Vehicle, model *core.Model, extraction edgeset.Config, spec faults.Spec, k float64, faultSeed int64, clean, attack *vehicle.Capture) (faultsPoint, error) {
+	inj, err := faults.NewInjector(spec, faultSeed, v.ADC)
+	if err != nil {
+		return faultsPoint{}, err
+	}
+	mon, err := ids.NewComposite(model, ids.CompositeConfig{
+		Extraction: extraction,
+		Quarantine: &ids.QuarantineConfig{},
+	})
+	if err != nil {
+		return faultsPoint{}, err
+	}
+	pt := faultsPoint{Intensity: k, Spec: spec.String()}
+	msgIdx := 0
+	process := func(m vehicle.Message, isAttack bool) {
+		tr := append(analog.Trace(nil), m.Trace...)
+		inj.Apply(msgIdx, m.ECUIndex, m.TimeSec, tr)
+		msgIdx++
+		r := mon.Process(m.Frame, tr, m.TimeSec)
+		suspicious := r.ExtractErr != nil || r.Voltage.Anomaly
+		if r.ExtractErr != nil {
+			pt.ExtractFails++
+		}
+		if isAttack {
+			pt.AttackFrames++
+			if suspicious {
+				pt.AttackCaught++
+			}
+		} else {
+			pt.CleanFrames++
+			if suspicious {
+				pt.FalseAlarms++
+			}
+		}
+		if r.Alarm() {
+			pt.AlarmsRaised++
+		}
+		if r.Suppressed {
+			pt.Suppressed++
+		}
+	}
+	for _, m := range clean.Messages {
+		process(m, false)
+	}
+	for _, m := range attack.Messages {
+		process(m, true)
+	}
+	if pt.CleanFrames > 0 {
+		pt.FPR = float64(pt.FalseAlarms) / float64(pt.CleanFrames)
+	}
+	if pt.AttackFrames > 0 {
+		pt.TPR = float64(pt.AttackCaught) / float64(pt.AttackFrames)
+	}
+	pt.DegradedSAs = mon.DegradedSAs()
+	return pt, nil
+}

@@ -7,6 +7,7 @@
 //	vprofile detect -capture test.vptr  -model model.vpm [-workers 8] [-metrics :9090] [-events run.jsonl] [-flight forensics/]
 //	vprofile update -capture new.vptr   -model model.vpm -out updated.vpm
 //	vprofile info   -model model.vpm
+//	vprofile faults -vehicle b -faults all -steps 6 -json sweep.json
 package main
 
 import (
@@ -42,6 +43,8 @@ func main() {
 		err = cmdUpdate(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
+	case "faults":
+		err = cmdFaults(os.Args[2:])
 	default:
 		usage()
 	}
@@ -52,7 +55,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vprofile {train|detect|update|info} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: vprofile {train|detect|update|info|faults} [flags]")
 	os.Exit(2)
 }
 
@@ -229,7 +232,7 @@ func cmdDetect(args []string) error {
 			return err
 		}
 		// Let in-flight scrapes finish instead of cutting them off.
-		defer srv.ShutdownTimeout(2 * time.Second)
+		defer func() { _ = srv.ShutdownTimeout(2 * time.Second) }()
 		fmt.Fprintf(os.Stderr, "detect: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
 		if recorder != nil {
 			fmt.Fprintf(os.Stderr, "detect: flight recorder live at http://%s/debug/flight\n", srv.Addr())

@@ -1,0 +1,53 @@
+package edgeset
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/canbus"
+)
+
+// FuzzEdgeExtract complements FuzzExtract by feeding Algorithm 1 raw
+// float64 sample vectors rather than ADC codes — NaN, infinities and
+// wild magnitudes included. Extraction must never panic, and results
+// must stay structurally sound.
+func FuzzEdgeExtract(f *testing.F) {
+	tx := testTx()
+	frame, err := canbus.NewJ1939Frame(canbus.J1939ID{Priority: 3, PGN: canbus.PGNElectronicEngine1, SA: 0x42}, []byte{1, 2})
+	if err == nil {
+		cfg := analog.SynthConfig{ADC: testADC(), BitRate: 250e3, LeadIdleBits: 3, MaxSamples: 2200}
+		if tr, err := analog.SynthesizeFrame(tx, frame, cfg, tx.NominalEnvironment(), testRNG()); err == nil {
+			seed := make([]byte, 8*len(tr))
+			for i, c := range tr {
+				binary.LittleEndian.PutUint64(seed[8*i:], math.Float64bits(c))
+			}
+			f.Add(seed)
+		}
+	}
+	nan := make([]byte, 8*64)
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint64(nan[8*i:], math.Float64bits(math.NaN()))
+	}
+	f.Add(nan)
+	f.Add([]byte{})
+
+	cfg := testCfgForFuzz()
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr := make(analog.Trace, len(raw)/8)
+		for i := range tr {
+			tr[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		res, err := Extract(tr, cfg)
+		if err != nil {
+			return
+		}
+		if len(res.Set) != cfg.Dim() {
+			t.Fatalf("edge set has %d dims, config says %d", len(res.Set), cfg.Dim())
+		}
+		if res.SetAt < 0 || res.SetAt >= len(tr) {
+			t.Fatalf("edge set at impossible index %d of %d", res.SetAt, len(tr))
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+
+	"vprofile/internal/analog"
+)
+
+// Injector composes analog faults onto synthesised code traces. It is
+// deterministic: the faults applied to message i depend only on the
+// spec, the injector seed, the message index and the message's
+// metadata (ECU index, timestamp) — never on call order or wall
+// clock — so two generations from the same seed are bit-identical.
+//
+// An Injector is not safe for concurrent use; traffic generation is
+// sequential, which is where it is meant to sit.
+type Injector struct {
+	spec Spec
+	seed int64
+	adc  analog.ADC
+
+	// Per-ECU drift personality, derived lazily from the seed: drift
+	// direction and relative magnitude differ per ECU the way
+	// engine-bay and cabin mounts heat differently.
+	driftGain map[int]float64
+}
+
+// NewInjector builds an injector for the capture's digitizer. The ADC
+// matters because fault magnitudes are physical (volts) while traces
+// carry ADC codes.
+func NewInjector(spec Spec, seed int64, adc analog.ADC) (*Injector, error) {
+	if err := adc.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{spec: spec, seed: seed, adc: adc, driftGain: map[int]float64{}}, nil
+}
+
+// Spec returns the injector's fault specification.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// Magnitude ceilings at intensity 1. Voltages are differential; the
+// nominal dominant level is ~2 V, so these are large-but-physical
+// degradations at full severity.
+const (
+	maxSagFrac    = 0.30 // fraction of the differential level lost
+	maxDriftVolts = 0.35 // asymptotic mean shift
+	driftRampSec  = 20.0 // time constant of the drift ramp
+	ringAmpVolts  = 0.9  // ghost-edge burst amplitude
+)
+
+// Apply mutates one message's trace in place. msgIndex is the
+// message's position in the capture stream (the determinism anchor);
+// ecuIndex is the ground-truth sender (−1 for a foreign device);
+// timeSec is the message timestamp, which drives the drift ramp.
+func (in *Injector) Apply(msgIndex, ecuIndex int, timeSec float64, tr analog.Trace) {
+	if in.spec.Empty() || len(tr) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(mix(in.seed, int64(msgIndex))))
+
+	// Level faults first (they act on the undamaged waveform), then
+	// additive bursts, then sample-level damage: the composition order
+	// mirrors the physical chain supply → bus → digitizer.
+	if k := in.spec.Intensity(KindSag); k > 0 {
+		// Sag wanders per message: a cranking engine pulls the rail in
+		// bursts, not as a constant offset.
+		frac := maxSagFrac * k * (0.6 + 0.4*rng.Float64())
+		in.scaleLevels(tr, 1-frac)
+	}
+	if k := in.spec.Intensity(KindDrift); k > 0 {
+		ramp := timeSec / (timeSec + driftRampSec)
+		shift := maxDriftVolts * k * ramp * in.driftGainFor(ecuIndex)
+		in.shiftLevels(tr, shift)
+	}
+	if k := in.spec.Intensity(KindRinging); k > 0 {
+		bursts := rng.Intn(3) // 0–2 candidate bursts per message
+		for b := 0; b < bursts; b++ {
+			if rng.Float64() > k {
+				continue
+			}
+			in.injectRing(tr, rng, ringAmpVolts*k)
+		}
+	}
+	if k := in.spec.Intensity(KindGlitch); k > 0 {
+		// Expected glitches grow with both intensity and trace length;
+		// at intensity 1 roughly one sample in 500 is hit.
+		mean := k * float64(len(tr)) / 500
+		n := int(mean)
+		if rng.Float64() < mean-float64(n) {
+			n++
+		}
+		fs := in.adc.FullScale()
+		for g := 0; g < n; g++ {
+			tr[rng.Intn(len(tr))] = math.Floor(rng.Float64() * (fs + 1))
+		}
+	}
+	if k := in.spec.Intensity(KindDropout); k > 0 {
+		if rng.Float64() < k {
+			// One dropout run, up to ~2 % of the trace at full severity.
+			maxRun := 1 + int(0.02*k*float64(len(tr)))
+			run := 1 + rng.Intn(maxRun)
+			at := rng.Intn(len(tr))
+			for i := at; i < at+run && i < len(tr); i++ {
+				tr[i] = 0 // digitizer emits the rail code for missed samples
+			}
+		}
+	}
+}
+
+// scaleLevels multiplies the differential voltage of every sample by
+// f, re-quantising through the ADC so codes stay integral and in
+// range.
+func (in *Injector) scaleLevels(tr analog.Trace, f float64) {
+	for i, c := range tr {
+		tr[i] = in.adc.VoltsToCode(in.adc.CodeToVolts(c) * f)
+	}
+}
+
+// shiftLevels adds dv volts to every sample.
+func (in *Injector) shiftLevels(tr analog.Trace, dv float64) {
+	for i, c := range tr {
+		tr[i] = in.adc.VoltsToCode(in.adc.CodeToVolts(c) + dv)
+	}
+}
+
+// injectRing adds one damped-sinusoid burst — a ghost edge — at a
+// random position.
+func (in *Injector) injectRing(tr analog.Trace, rng *rand.Rand, amp float64) {
+	at := rng.Intn(len(tr))
+	// Period of a few samples and a decay of a few tens: fast ringing
+	// relative to a bit time at any supported sample rate.
+	period := 4 + rng.Float64()*8
+	decay := 10 + rng.Float64()*30
+	span := int(4 * decay)
+	for i := at; i < at+span && i < len(tr); i++ {
+		d := float64(i - at)
+		dv := amp * math.Exp(-d/decay) * math.Sin(2*math.Pi*d/period)
+		tr[i] = in.adc.VoltsToCode(in.adc.CodeToVolts(tr[i]) + dv)
+	}
+}
+
+// driftGainFor returns the ECU's drift personality in [−1, 1]: a
+// deterministic function of the injector seed and the ECU index, so
+// some ECUs drift up, some down, some barely at all.
+func (in *Injector) driftGainFor(ecu int) float64 {
+	if g, ok := in.driftGain[ecu]; ok {
+		return g
+	}
+	rng := rand.New(rand.NewSource(mix(in.seed^0x5eed, int64(ecu))))
+	g := 2*rng.Float64() - 1
+	// Keep every ECU at least mildly affected so drift=1 visibly
+	// degrades the whole vehicle, not a lucky subset.
+	if g >= 0 && g < 0.3 {
+		g = 0.3
+	}
+	if g < 0 && g > -0.3 {
+		g = -0.3
+	}
+	in.driftGain[ecu] = g
+	return g
+}
+
+// mix folds a seed and an index into a well-spread 63-bit value
+// (splitmix64 finaliser) for per-message RNG derivation.
+func mix(seed, idx int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(idx)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z &^ (1 << 63))
+}

@@ -1,0 +1,172 @@
+// Package faults is the repository's fault-injection layer: a
+// deterministic, seedable source of the degradations a voltage-based
+// IDS meets in the field but a clean simulation never produces.
+//
+// It has two halves. The analog half (Injector) composes physical
+// faults onto synthesised traces — supply-voltage sag, slow
+// temperature-style profile drift, ringing/ghost edges, ADC glitches
+// and sample dropouts — so tracegen can emit degraded captures and
+// the accuracy-versus-severity sweep of `vprofile faults` has a
+// controllable severity axis. The robustness literature motivates
+// exactly this: Kneib & Schell show voltage fingerprints drift with
+// temperature and battery state, and Viden ships profile-update
+// machinery because profiles in the field do not stand still.
+//
+// The stream half (CorruptStream) damages the encoded byte stream of
+// a .vptr capture — truncated records, flipped header bytes,
+// mid-record EOF, garbage runs — and exists to exercise the hardened
+// trace.Reader resync path (trace.Reader.EnableRecovery).
+//
+// Everything is driven by explicit seeds: the same spec and seed
+// produce bit-identical faulted output on every run, which is what
+// lets CI assert on degraded-mode behaviour.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind names one analog fault family.
+type Kind string
+
+// Analog fault kinds.
+const (
+	// KindSag scales the whole differential level toward zero, the way
+	// a sagging battery (cranking, failing alternator) pulls the
+	// transceiver's driven dominant level down.
+	KindSag Kind = "sag"
+	// KindDrift adds a slowly growing per-ECU mean shift — the
+	// temperature-style profile drift of Section 4.4 / Kneib & Schell —
+	// so early frames are clean and late frames sit off-profile.
+	KindDrift Kind = "drift"
+	// KindRinging injects decaying-sinusoid bursts (ghost edges) at
+	// random points of the trace, imitating reflections and EMI that
+	// can cross the bit threshold and fake transitions.
+	KindRinging Kind = "ringing"
+	// KindGlitch replaces isolated samples with random codes — ADC
+	// conversion glitches and metastability hits.
+	KindGlitch Kind = "glitch"
+	// KindDropout zeroes short runs of samples, the shape a digitizer
+	// buffer underrun or connector microcut leaves behind.
+	KindDropout Kind = "dropout"
+)
+
+// analogKinds lists every analog fault in canonical order.
+var analogKinds = []Kind{KindSag, KindDrift, KindRinging, KindGlitch, KindDropout}
+
+// Spec is a parsed fault specification: each named fault with its
+// intensity in [0, 1]. The zero Spec injects nothing.
+type Spec struct {
+	intensity map[Kind]float64
+}
+
+// ParseSpec parses the CLI fault syntax: a comma-separated list of
+// name=intensity pairs, e.g. "sag=0.3,glitch=0.1". A bare name means
+// intensity 1. "all=x" sets every analog fault to x.
+func ParseSpec(s string) (Spec, error) {
+	out := Spec{intensity: map[Kind]float64{}}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val := part, 1.0
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			name = strings.TrimSpace(part[:i])
+			v, err := strconv.ParseFloat(strings.TrimSpace(part[i+1:]), 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: bad intensity in %q: %v", part, err)
+			}
+			val = v
+		}
+		if val < 0 || val > 1 {
+			return Spec{}, fmt.Errorf("faults: intensity %g for %q outside [0, 1]", val, name)
+		}
+		if name == "all" {
+			for _, k := range analogKinds {
+				out.intensity[k] = val
+			}
+			continue
+		}
+		k := Kind(name)
+		if !validKind(k) {
+			return Spec{}, fmt.Errorf("faults: unknown fault %q (want %s or all)", name, kindList())
+		}
+		out.intensity[k] = val
+	}
+	return out, nil
+}
+
+func validKind(k Kind) bool {
+	for _, v := range analogKinds {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+func kindList() string {
+	names := make([]string, len(analogKinds))
+	for i, k := range analogKinds {
+		names[i] = string(k)
+	}
+	return strings.Join(names, ", ")
+}
+
+// Intensity returns the configured intensity for a fault kind (zero
+// when unset).
+func (s Spec) Intensity(k Kind) float64 { return s.intensity[k] }
+
+// Scale returns a copy of the spec with every intensity multiplied by
+// f (clamped to [0, 1]) — the severity axis of the sweep command.
+func (s Spec) Scale(f float64) Spec {
+	out := Spec{intensity: make(map[Kind]float64, len(s.intensity))}
+	for k, v := range s.intensity {
+		v *= f
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out.intensity[k] = v
+	}
+	return out
+}
+
+// Empty reports whether the spec injects nothing (every intensity
+// zero or no faults configured).
+func (s Spec) Empty() bool {
+	for _, v := range s.intensity {
+		if v > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the spec back in the CLI syntax, kinds in canonical
+// order, so sweeps print reproducible labels.
+func (s Spec) String() string {
+	if len(s.intensity) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(s.intensity))
+	for k := range s.intensity {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%.4g", k, s.intensity[Kind(k)]))
+	}
+	return strings.Join(parts, ",")
+}

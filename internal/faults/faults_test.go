@@ -1,0 +1,224 @@
+package faults
+
+import (
+	"testing"
+
+	"vprofile/internal/analog"
+)
+
+func testADC() analog.ADC {
+	return analog.ADC{SampleRate: 10e6, Bits: 12, MinVolts: -1, MaxVolts: 4}
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("sag=0.3, glitch=0.1,dropout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Intensity(KindSag); got != 0.3 {
+		t.Errorf("sag intensity = %g, want 0.3", got)
+	}
+	if got := s.Intensity(KindGlitch); got != 0.1 {
+		t.Errorf("glitch intensity = %g, want 0.1", got)
+	}
+	if got := s.Intensity(KindDropout); got != 1 {
+		t.Errorf("bare dropout intensity = %g, want 1", got)
+	}
+	if got := s.Intensity(KindDrift); got != 0 {
+		t.Errorf("unset drift intensity = %g, want 0", got)
+	}
+	if s.Empty() {
+		t.Error("spec with non-zero intensities reports Empty")
+	}
+	if got := s.String(); got != "dropout=1,glitch=0.1,sag=0.3" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParseSpecAllAndErrors(t *testing.T) {
+	s, err := ParseSpec("all=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range analogKinds {
+		if s.Intensity(k) != 0.5 {
+			t.Errorf("all=0.5: %s intensity = %g", k, s.Intensity(k))
+		}
+	}
+	for _, bad := range []string{"nonsense=1", "sag=2", "sag=-0.1", "sag=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	empty, err := ParseSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Empty() || empty.String() != "none" {
+		t.Errorf("empty spec: Empty=%v String=%q", empty.Empty(), empty.String())
+	}
+}
+
+func TestSpecScale(t *testing.T) {
+	s, _ := ParseSpec("sag=0.8,glitch=0.4")
+	half := s.Scale(0.5)
+	if got := half.Intensity(KindSag); got != 0.4 {
+		t.Errorf("scaled sag = %g, want 0.4", got)
+	}
+	over := s.Scale(10)
+	if got := over.Intensity(KindSag); got != 1 {
+		t.Errorf("over-scaled sag = %g, want clamp to 1", got)
+	}
+	if !s.Scale(0).Empty() {
+		t.Error("zero-scaled spec not empty")
+	}
+}
+
+// flatTrace builds a synthetic trace alternating recessive and
+// dominant stretches, in ADC codes.
+func flatTrace(adc analog.ADC, n int) analog.Trace {
+	tr := make(analog.Trace, n)
+	for i := range tr {
+		v := 0.1 // recessive
+		if (i/40)%2 == 1 {
+			v = 2.0 // dominant
+		}
+		tr[i] = adc.VoltsToCode(v)
+	}
+	return tr
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	spec, _ := ParseSpec("all=0.7")
+	adc := testADC()
+	mk := func(seed int64) []analog.Trace {
+		in, err := NewInjector(spec, seed, adc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []analog.Trace
+		for i := 0; i < 20; i++ {
+			tr := flatTrace(adc, 400)
+			in.Apply(i, i%3, float64(i)*0.5, tr)
+			out = append(out, tr)
+		}
+		return out
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("message %d sample %d differs across identical seeds: %g vs %g", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	c := mk(43)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical faulted traces")
+	}
+}
+
+func TestInjectorZeroIntensityIsNoop(t *testing.T) {
+	adc := testADC()
+	spec, _ := ParseSpec("all=0")
+	in, err := NewInjector(spec, 1, adc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(adc, 200)
+	ref := append(analog.Trace(nil), tr...)
+	in.Apply(0, 0, 1.0, tr)
+	for i := range tr {
+		if tr[i] != ref[i] {
+			t.Fatalf("zero-intensity injector changed sample %d", i)
+		}
+	}
+}
+
+func TestSagPullsDominantDown(t *testing.T) {
+	adc := testADC()
+	spec, _ := ParseSpec("sag=1")
+	in, _ := NewInjector(spec, 7, adc)
+	tr := flatTrace(adc, 400)
+	ref := append(analog.Trace(nil), tr...)
+	in.Apply(0, 0, 0, tr)
+	var refDom, sagDom float64
+	var n int
+	for i := range tr {
+		if ref[i] > adc.VoltsToCode(1.0) {
+			refDom += ref[i]
+			sagDom += tr[i]
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no dominant samples in fixture")
+	}
+	if sagDom >= refDom {
+		t.Errorf("full sag did not reduce dominant level: %g vs %g", sagDom/float64(n), refDom/float64(n))
+	}
+}
+
+func TestDriftGrowsWithTime(t *testing.T) {
+	adc := testADC()
+	spec, _ := ParseSpec("drift=1")
+	in, _ := NewInjector(spec, 7, adc)
+	shift := func(at float64) float64 {
+		tr := flatTrace(adc, 400)
+		ref := append(analog.Trace(nil), tr...)
+		in.Apply(0, 0, at, tr)
+		var d float64
+		for i := range tr {
+			d += tr[i] - ref[i]
+		}
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	early, late := shift(0.1), shift(120)
+	if late <= early {
+		t.Errorf("drift at t=120s (%g) not beyond t=0.1s (%g)", late, early)
+	}
+}
+
+func TestGlitchAndDropoutDamageSamples(t *testing.T) {
+	adc := testADC()
+	spec, _ := ParseSpec("glitch=1,dropout=1")
+	in, _ := NewInjector(spec, 3, adc)
+	changed := 0
+	zeroRun := false
+	for msg := 0; msg < 10; msg++ {
+		tr := flatTrace(adc, 2000)
+		ref := append(analog.Trace(nil), tr...)
+		in.Apply(msg, 0, 0, tr)
+		run := 0
+		for i := range tr {
+			if tr[i] != ref[i] {
+				changed++
+			}
+			if tr[i] == 0 && ref[i] != 0 {
+				run++
+				if run >= 3 {
+					zeroRun = true
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("full-intensity glitch+dropout left every sample intact")
+	}
+	if !zeroRun {
+		t.Error("no dropout run observed across 10 messages at intensity 1")
+	}
+}

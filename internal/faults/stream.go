@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// StreamSpec parameterises byte-level corruption of an encoded .vptr
+// capture. Each field is the number of corruption sites of that
+// shape; Truncate additionally cuts the file mid-record. The zero
+// value corrupts nothing.
+type StreamSpec struct {
+	// Flips inverts single bytes in place — the classic bit-rot /
+	// flipped-header-byte corruption.
+	Flips int
+	// Garbage overwrites short runs with random bytes, the shape a
+	// partially overwritten sector or a DMA race leaves behind.
+	Garbage int
+	// Chops deletes short runs entirely, leaving the stream misaligned
+	// (a truncated record spliced against the next one's middle).
+	Chops int
+	// Truncate cuts the file somewhere in its final quarter, producing
+	// a mid-record EOF.
+	Truncate bool
+}
+
+// Empty reports whether the spec corrupts nothing.
+func (s StreamSpec) Empty() bool {
+	return s.Flips == 0 && s.Garbage == 0 && s.Chops == 0 && !s.Truncate
+}
+
+// ParseStreamSpec parses the CLI spec syntax, a comma-separated list
+// of site counts: "flips=4,garbage=2,chops=1,truncate". A bare
+// "flips" (or "garbage"/"chops") means one site; "truncate" takes no
+// count. An empty string is the empty spec.
+func ParseStreamSpec(s string) (StreamSpec, error) {
+	var out StreamSpec
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, hasVal := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		n := 1
+		if hasVal {
+			parsed, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil || parsed < 0 {
+				return StreamSpec{}, fmt.Errorf("faults: bad count %q for stream fault %q", val, name)
+			}
+			n = parsed
+		}
+		switch name {
+		case "flips":
+			out.Flips = n
+		case "garbage":
+			out.Garbage = n
+		case "chops":
+			out.Chops = n
+		case "truncate":
+			if hasVal {
+				return StreamSpec{}, fmt.Errorf("faults: truncate takes no count")
+			}
+			out.Truncate = true
+		default:
+			return StreamSpec{}, fmt.Errorf("faults: unknown stream fault %q (want flips, garbage, chops or truncate)", name)
+		}
+	}
+	return out, nil
+}
+
+// headerLen returns the byte length of a v1 capture header, or −1
+// when data is too short to hold one. Layout: magic(4) version(2)
+// vehicle(2+n) bitrate(8) samplerate(8) bits(2) min(8) max(8).
+func headerLen(data []byte) int {
+	if len(data) < 8 {
+		return -1
+	}
+	n := int(binary.LittleEndian.Uint16(data[6:8]))
+	total := 4 + 2 + 2 + n + 8 + 8 + 2 + 8 + 8
+	if len(data) < total {
+		return -1
+	}
+	return total
+}
+
+// CorruptStream returns a damaged copy of an encoded capture. The
+// file header is left intact — resync recovery presumes the capture
+// opened — and every corruption lands in the record stream at
+// positions drawn from the seed, so a given (spec, seed, input)
+// triple always produces identical damage. The second return value
+// is the number of corruption sites actually applied.
+func CorruptStream(data []byte, spec StreamSpec, seed int64) ([]byte, int) {
+	out := make([]byte, len(data))
+	copy(out, data)
+	hdr := headerLen(out)
+	if hdr < 0 || hdr >= len(out) || spec.Empty() {
+		return out, 0
+	}
+	rng := rand.New(rand.NewSource(mix(seed, 0x57eea)))
+	body := func() int { return hdr + rng.Intn(len(out)-hdr) }
+	sites := 0
+
+	for i := 0; i < spec.Flips; i++ {
+		at := body()
+		out[at] ^= byte(1 + rng.Intn(255)) // never a no-op flip
+		sites++
+	}
+	for i := 0; i < spec.Garbage; i++ {
+		at := body()
+		run := 1 + rng.Intn(64)
+		for j := at; j < at+run && j < len(out); j++ {
+			out[j] = byte(rng.Intn(256))
+		}
+		sites++
+	}
+	for i := 0; i < spec.Chops; i++ {
+		if len(out) <= hdr+2 {
+			break
+		}
+		at := hdr + rng.Intn(len(out)-hdr-1)
+		run := 1 + rng.Intn(32)
+		if at+run > len(out) {
+			run = len(out) - at
+		}
+		out = append(out[:at], out[at+run:]...)
+		sites++
+	}
+	if spec.Truncate && len(out) > hdr+4 {
+		// Cut in the final quarter so most of the stream survives.
+		span := len(out) - hdr
+		cut := hdr + span*3/4 + rng.Intn(span/4)
+		if cut < len(out) {
+			out = out[:cut]
+			sites++
+		}
+	}
+	return out, sites
+}

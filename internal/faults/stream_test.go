@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fakeCapture builds a byte blob shaped like a v1 capture header
+// followed by a record stream (content is irrelevant to the
+// corruptor, which only parses the header length).
+func fakeCapture(body int) []byte {
+	var b bytes.Buffer
+	b.WriteString("VPTR")
+	b.Write([]byte{1, 0})       // version
+	b.Write([]byte{3, 0})       // vehicle name length
+	b.WriteString("veh")        // vehicle name
+	b.Write(make([]byte, 34))   // bitrate + samplerate + bits + min + max
+	for i := 0; i < body; i++ { // record stream stand-in
+		b.WriteByte(byte(i))
+	}
+	return b.Bytes()
+}
+
+func TestCorruptStreamDeterministicAndHeaderSafe(t *testing.T) {
+	in := fakeCapture(4096)
+	spec := StreamSpec{Flips: 3, Garbage: 2, Chops: 1, Truncate: true}
+	a, na := CorruptStream(in, spec, 11)
+	b, nb := CorruptStream(in, spec, 11)
+	if na != nb || !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if na != 3+2+1+1 {
+		t.Errorf("applied %d sites, want 7", na)
+	}
+	hdr := headerLen(in)
+	if hdr <= 0 {
+		t.Fatal("fixture header did not parse")
+	}
+	if !bytes.Equal(a[:hdr], in[:hdr]) {
+		t.Error("corruption touched the file header")
+	}
+	if len(a) >= len(in) {
+		t.Error("chop+truncate did not shorten the stream")
+	}
+	c, _ := CorruptStream(in, spec, 12)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
+func TestCorruptStreamEmptySpecIsCopy(t *testing.T) {
+	in := fakeCapture(128)
+	out, n := CorruptStream(in, StreamSpec{}, 5)
+	if n != 0 || !bytes.Equal(in, out) {
+		t.Fatal("empty spec corrupted the stream")
+	}
+	out[0] ^= 0xFF
+	if in[0] == out[0] {
+		t.Fatal("CorruptStream returned the input slice, not a copy")
+	}
+}
+
+func TestParseStreamSpec(t *testing.T) {
+	s, err := ParseStreamSpec(" flips=4, garbage=2,chops=1,truncate ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := StreamSpec{Flips: 4, Garbage: 2, Chops: 1, Truncate: true}
+	if s != want {
+		t.Fatalf("parsed %+v, want %+v", s, want)
+	}
+	if s, err := ParseStreamSpec("flips"); err != nil || s.Flips != 1 {
+		t.Fatalf("bare flips: %+v, %v", s, err)
+	}
+	if s, err := ParseStreamSpec(""); err != nil || !s.Empty() {
+		t.Fatalf("empty spec: %+v, %v", s, err)
+	}
+	for _, bad := range []string{"nonsense=1", "flips=-2", "flips=x", "truncate=3"} {
+		if _, err := ParseStreamSpec(bad); err == nil {
+			t.Errorf("ParseStreamSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCorruptStreamTooShortForHeader(t *testing.T) {
+	in := []byte{1, 2, 3}
+	out, n := CorruptStream(in, StreamSpec{Flips: 5}, 1)
+	if n != 0 || !bytes.Equal(in, out) {
+		t.Fatal("header-less blob should be returned untouched")
+	}
+}

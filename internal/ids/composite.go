@@ -29,6 +29,10 @@ type Composite struct {
 	finalized bool
 	lastAt    float64
 
+	// quar is the per-SA quarantine machine; nil keeps quarantine off
+	// and every verdict exactly as before.
+	quar *quarantine
+
 	// metrics is optional instrumentation; nil means no accounting at
 	// all. The per-SA counter caches resolve each source address's
 	// vector child once, so steady-state accounting from Sequence is a
@@ -47,6 +51,13 @@ type CompositeConfig struct {
 	// Metrics, when non-nil, makes the stack account every verdict
 	// (see NewMetrics). Instrumentation never changes a verdict.
 	Metrics *Metrics
+	// Quarantine, when non-nil, enables the per-SA degradation state
+	// machine: senders whose voltage verdicts stay suspicious are
+	// walked to Degraded and their subsequent voltage alarms coalesce
+	// into that state (CompositeResult.Suppressed) instead of firing
+	// per frame. Anomalous() is unaffected; alarm-routing callers
+	// should switch to Alarm().
+	Quarantine *QuarantineConfig
 }
 
 // NewComposite builds the stack around a trained vProfile model.
@@ -60,14 +71,18 @@ func NewComposite(model *core.Model, cfg CompositeConfig) (*Composite, error) {
 	if cfg.Warmup <= 0 {
 		cfg.Warmup = 500
 	}
-	return &Composite{
+	c := &Composite{
 		model:      model,
 		extraction: cfg.Extraction,
 		period:     NewPeriodMonitor(),
 		reasm:      canbus.NewBAMReassembler(),
 		warmup:     cfg.Warmup,
 		metrics:    cfg.Metrics,
-	}, nil
+	}
+	if cfg.Quarantine != nil {
+		c.quar = newQuarantine(*cfg.Quarantine)
+	}
+	return c, nil
 }
 
 // CompositeResult is the fused verdict for one message.
@@ -89,6 +104,15 @@ type CompositeResult struct {
 	// session.
 	Transfer    *canbus.Completed
 	TransferErr error
+
+	// Quarantine bookkeeping (all zero when quarantine is disabled):
+	// SAState is the sender's state after this verdict folded in,
+	// PrevSAState the state before it (they differ exactly on a
+	// transition), and Suppressed marks a voltage alarm coalesced
+	// because the sender was already Degraded.
+	SAState     SAState
+	PrevSAState SAState
+	Suppressed  bool
 }
 
 // Anomalous reports whether any detector family flagged the message.
@@ -99,6 +123,28 @@ type CompositeResult struct {
 func (r CompositeResult) Anomalous() bool {
 	return r.ExtractErr != nil || r.Voltage.Anomaly || r.Timing == PeriodTooEarly || r.TransferErr != nil
 }
+
+// voltageSuspicious is the per-SA analog evidence quarantine scores:
+// a vProfile anomaly, or a trace too mangled to preprocess.
+func (r CompositeResult) voltageSuspicious() bool {
+	return r.ExtractErr != nil || r.Voltage.Anomaly
+}
+
+// Alarm reports whether this verdict should raise an alarm, after
+// quarantine coalescing: a Suppressed result's voltage evidence is
+// folded into its sender's Degraded state, but timing and transport
+// anomalies (bus-level, not per-sender-analog) still fire. With
+// quarantine disabled, Alarm equals Anomalous.
+func (r CompositeResult) Alarm() bool {
+	if r.Suppressed {
+		return r.Timing == PeriodTooEarly || r.TransferErr != nil
+	}
+	return r.Anomalous()
+}
+
+// QuarantineChanged reports whether this verdict moved its sender's
+// quarantine state.
+func (r CompositeResult) QuarantineChanged() bool { return r.SAState != r.PrevSAState }
 
 // VoltageVerdict runs the stateless half of the stack — edge-set
 // extraction and vProfile classification — for one message. It
@@ -170,6 +216,21 @@ func (c *Composite) Sequence(frame *canbus.ExtendedFrame, at float64, voltage co
 	}
 
 	out.Transfer, out.TransferErr = c.reasm.Feed(frame)
+
+	if c.quar != nil {
+		prev, cur, suppressed := c.quar.observe(uint8(frame.SA()), out.voltageSuspicious(), at)
+		out.PrevSAState, out.SAState, out.Suppressed = prev, cur, suppressed
+		if m := c.metrics; m != nil {
+			if suppressed {
+				m.alarmSuppressed.Inc()
+			}
+			if cur != prev {
+				m.QuarantineTransitions.With(cur.String()).Inc()
+				m.DegradedSAs.Set(int64(c.quar.degraded))
+			}
+		}
+	}
+
 	if m := c.metrics; m != nil {
 		if out.Transfer != nil {
 			m.transportCompleted.Inc()

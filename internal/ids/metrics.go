@@ -35,11 +35,18 @@ type Metrics struct {
 	SAFrames *obs.CounterVec
 	SAAlarms *obs.CounterVec
 
+	// Quarantine instrumentation: state transitions by destination
+	// state, and how many SAs are Degraded right now. Both stay zero
+	// unless CompositeConfig.Quarantine is set.
+	QuarantineTransitions *obs.CounterVec
+	DegradedSAs           *obs.Gauge
+
 	// Pre-resolved Verdicts children so the hot path never takes the
 	// vector lock.
 	voltageOK, voltageAnomaly, extractFailed *obs.Counter
 	timingOK, timingEarly, timingFault       *obs.Counter
 	transportCompleted, transportError       *obs.Counter
+	alarmSuppressed                          *obs.Counter
 }
 
 // NewMetrics registers the detector-stack instruments on reg. Calling
@@ -60,6 +67,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Frames seen per claimed source address.", "sa"),
 		SAAlarms: reg.CounterVec("vprofile_ids_sa_alarms_total",
 			"Anomalous frames per claimed source address.", "sa"),
+		QuarantineTransitions: reg.CounterVec("vprofile_ids_quarantine_transitions_total",
+			"Per-SA quarantine state transitions by destination state.", "to"),
+		DegradedSAs: reg.Gauge("vprofile_ids_quarantined_sas",
+			"Source addresses currently in the Degraded quarantine state."),
 	}
 	m.voltageOK = m.Verdicts.With("voltage_ok")
 	m.voltageAnomaly = m.Verdicts.With("voltage_anomaly")
@@ -69,6 +80,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	m.timingFault = m.Verdicts.With("timing_fault")
 	m.transportCompleted = m.Verdicts.With("transport_completed")
 	m.transportError = m.Verdicts.With("transport_error")
+	m.alarmSuppressed = m.Verdicts.With("alarm_suppressed")
 	return m
 }
 

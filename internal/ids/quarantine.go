@@ -1,0 +1,190 @@
+package ids
+
+import "sort"
+
+// SAState is a source address's quarantine health. The composite
+// tracks one per claimed SA when quarantine is enabled: sustained
+// voltage-side anomalies walk a sender Healthy → Suspect → Degraded,
+// and once Degraded its voltage alarms are coalesced into the state
+// itself instead of being raised per frame — a sagging supply or a
+// cooked transceiver would otherwise bury real alarms in spam.
+type SAState uint8
+
+const (
+	SAHealthy SAState = iota
+	SASuspect
+	SADegraded
+)
+
+// String renders the state the way metrics labels and event details
+// spell it.
+func (s SAState) String() string {
+	switch s {
+	case SASuspect:
+		return "suspect"
+	case SADegraded:
+		return "degraded"
+	default:
+		return "healthy"
+	}
+}
+
+// QuarantineConfig parameterises the per-SA degradation state
+// machine. The score in question is a leaky anomaly counter: each
+// voltage-suspicious frame (vProfile anomaly or preprocess failure)
+// adds one, each clean frame subtracts one, so isolated alarms decay
+// away while sustained degradation accumulates.
+type QuarantineConfig struct {
+	// SuspectAfter is the score at which an SA turns Suspect
+	// (default 3).
+	SuspectAfter int
+	// DegradeAfter is the score at which it turns Degraded and its
+	// voltage alarms start coalescing (default 8; forced above
+	// SuspectAfter).
+	DegradeAfter int
+	// RecoverAfter is the clean-frame streak that returns a Degraded
+	// SA to Healthy (default 64).
+	RecoverAfter int
+}
+
+func (c QuarantineConfig) withDefaults() QuarantineConfig {
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 8
+	}
+	if c.DegradeAfter <= c.SuspectAfter {
+		c.DegradeAfter = c.SuspectAfter + 1
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 64
+	}
+	return c
+}
+
+// saQuarantine is one SA's slot in the machine.
+type saQuarantine struct {
+	state       SAState
+	score       int
+	cleanStreak int
+	suppressed  int64
+	transitions int
+	lastChange  float64
+	seen        bool
+}
+
+// quarantine is the machine itself. It is only ever touched from
+// Sequence, which runs on a single goroutine, so no locking.
+type quarantine struct {
+	cfg      QuarantineConfig
+	states   [256]saQuarantine
+	degraded int
+}
+
+func newQuarantine(cfg QuarantineConfig) *quarantine {
+	return &quarantine{cfg: cfg.withDefaults()}
+}
+
+// observe folds one frame's voltage-side evidence into the SA's state
+// and reports the transition (prev ≠ cur when one happened) plus
+// whether this frame's alarm should be suppressed. The frame that
+// *causes* the Degraded transition is never suppressed — it is the
+// coalesced alarm — only frames arriving while already Degraded are.
+func (q *quarantine) observe(sa uint8, suspicious bool, at float64) (prev, cur SAState, suppressed bool) {
+	s := &q.states[sa]
+	s.seen = true
+	prev = s.state
+	if suspicious {
+		s.cleanStreak = 0
+		if s.score < q.cfg.DegradeAfter {
+			s.score++
+		}
+		switch {
+		case s.score >= q.cfg.DegradeAfter:
+			s.state = SADegraded
+		case s.state != SADegraded && s.score >= q.cfg.SuspectAfter:
+			// Never a downgrade: Degraded is sticky until a clean streak
+			// recovers it, even when the leaky score has decayed.
+			s.state = SASuspect
+		}
+		if prev == SADegraded {
+			suppressed = true
+			s.suppressed++
+		}
+	} else {
+		s.cleanStreak++
+		if s.score > 0 {
+			s.score--
+		}
+		switch s.state {
+		case SADegraded:
+			if s.cleanStreak >= q.cfg.RecoverAfter {
+				s.state = SAHealthy
+				s.score = 0
+			}
+		case SASuspect:
+			if s.score < q.cfg.SuspectAfter {
+				s.state = SAHealthy
+			}
+		}
+	}
+	if s.state != prev {
+		s.transitions++
+		s.lastChange = at
+		switch {
+		case s.state == SADegraded:
+			q.degraded++
+		case prev == SADegraded:
+			q.degraded--
+		}
+	}
+	return prev, s.state, suppressed
+}
+
+// QuarantineReport is one SA's quarantine bookkeeping, for end-of-run
+// tables and the faults sweep.
+type QuarantineReport struct {
+	SA          uint8
+	State       SAState
+	Score       int
+	CleanStreak int
+	// Suppressed counts voltage alarms coalesced while Degraded.
+	Suppressed int64
+	// Transitions counts state changes; LastChangeSec is when the most
+	// recent one happened (capture time).
+	Transitions   int
+	LastChangeSec float64
+}
+
+// QuarantineReports lists every SA the machine has judged that is
+// either currently non-Healthy or has transitioned at least once,
+// sorted by SA. Nil when quarantine is disabled or nothing happened.
+func (c *Composite) QuarantineReports() []QuarantineReport {
+	if c.quar == nil {
+		return nil
+	}
+	var out []QuarantineReport
+	for sa := 0; sa < 256; sa++ {
+		s := &c.quar.states[sa]
+		if !s.seen || (s.state == SAHealthy && s.transitions == 0) {
+			continue
+		}
+		out = append(out, QuarantineReport{
+			SA: uint8(sa), State: s.state, Score: s.score,
+			CleanStreak: s.cleanStreak, Suppressed: s.suppressed,
+			Transitions: s.transitions, LastChangeSec: s.lastChange,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SA < out[j].SA })
+	return out
+}
+
+// DegradedSAs reports how many source addresses are currently
+// quarantined (zero when quarantine is disabled).
+func (c *Composite) DegradedSAs() int {
+	if c.quar == nil {
+		return 0
+	}
+	return c.quar.degraded
+}

@@ -1,0 +1,94 @@
+package ids
+
+import "testing"
+
+// White-box tests for the per-SA quarantine state machine.
+
+func TestQuarantineWalkAndRecover(t *testing.T) {
+	q := newQuarantine(QuarantineConfig{SuspectAfter: 2, DegradeAfter: 4, RecoverAfter: 3})
+	at := 0.0
+	step := func(suspicious bool) (SAState, SAState, bool) {
+		at += 0.1
+		return q.observe(0x42, suspicious, at)
+	}
+
+	// Two anomalies: Healthy → Suspect.
+	if _, cur, _ := step(true); cur != SAHealthy {
+		t.Fatalf("state after 1 anomaly = %v", cur)
+	}
+	prev, cur, sup := step(true)
+	if prev != SAHealthy || cur != SASuspect || sup {
+		t.Fatalf("after 2 anomalies: %v→%v sup=%v", prev, cur, sup)
+	}
+	// Two more: Suspect → Degraded; the transition frame itself is not
+	// suppressed.
+	step(true)
+	prev, cur, sup = step(true)
+	if prev != SASuspect || cur != SADegraded || sup {
+		t.Fatalf("after 4 anomalies: %v→%v sup=%v", prev, cur, sup)
+	}
+	if q.degraded != 1 {
+		t.Fatalf("degraded count = %d", q.degraded)
+	}
+	// While Degraded, anomalies are suppressed.
+	if _, cur, sup := step(true); cur != SADegraded || !sup {
+		t.Fatalf("degraded anomaly: state=%v sup=%v", cur, sup)
+	}
+	// Recovery needs RecoverAfter consecutive clean frames.
+	step(false)
+	step(false)
+	prev, cur, _ = step(false)
+	if prev != SADegraded || cur != SAHealthy {
+		t.Fatalf("after clean streak: %v→%v", prev, cur)
+	}
+	if q.degraded != 0 {
+		t.Fatalf("degraded count after recovery = %d", q.degraded)
+	}
+	s := q.states[0x42]
+	if s.suppressed != 1 || s.transitions != 3 {
+		t.Fatalf("bookkeeping: suppressed=%d transitions=%d", s.suppressed, s.transitions)
+	}
+}
+
+func TestQuarantineScoreDecays(t *testing.T) {
+	q := newQuarantine(QuarantineConfig{SuspectAfter: 3, DegradeAfter: 6, RecoverAfter: 8})
+	// Alternating anomaly/clean never accumulates past Suspect.
+	for i := 0; i < 200; i++ {
+		_, cur, sup := q.observe(1, i%2 == 0, float64(i))
+		if cur == SADegraded || sup {
+			t.Fatalf("alternating traffic degraded at step %d", i)
+		}
+	}
+	// A clean-streak interruption resets recovery, not the state.
+	q2 := newQuarantine(QuarantineConfig{SuspectAfter: 2, DegradeAfter: 3, RecoverAfter: 4})
+	for i := 0; i < 5; i++ {
+		q2.observe(2, true, float64(i))
+	}
+	q2.observe(2, false, 10)
+	q2.observe(2, false, 11)
+	q2.observe(2, true, 12) // streak broken
+	q2.observe(2, false, 13)
+	q2.observe(2, false, 14)
+	q2.observe(2, false, 15)
+	if st := q2.states[2].state; st != SADegraded {
+		t.Fatalf("broken streak still recovered: %v", st)
+	}
+}
+
+func TestQuarantineDefaults(t *testing.T) {
+	c := QuarantineConfig{}.withDefaults()
+	if c.SuspectAfter != 3 || c.DegradeAfter != 8 || c.RecoverAfter != 64 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// DegradeAfter is forced above SuspectAfter.
+	c = QuarantineConfig{SuspectAfter: 9, DegradeAfter: 4}.withDefaults()
+	if c.DegradeAfter <= c.SuspectAfter {
+		t.Fatalf("DegradeAfter %d not above SuspectAfter %d", c.DegradeAfter, c.SuspectAfter)
+	}
+}
+
+func TestSAStateString(t *testing.T) {
+	if SAHealthy.String() != "healthy" || SASuspect.String() != "suspect" || SADegraded.String() != "degraded" {
+		t.Fatal("state strings drifted")
+	}
+}

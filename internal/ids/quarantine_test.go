@@ -1,0 +1,150 @@
+package ids_test
+
+import (
+	"testing"
+
+	"vprofile/internal/ids"
+	"vprofile/internal/obs"
+	"vprofile/internal/vehicle"
+)
+
+// TestCompositeQuarantineCoalescesAlarms mangles one ECU's traces for
+// a stretch of the capture and checks the full chain: its SA walks to
+// Degraded, subsequent voltage alarms are suppressed (Alarm() false,
+// Anomalous() still true), the sweep of clean traffic afterwards
+// recovers it, and the bookkeeping (reports, metrics) agrees.
+func TestCompositeQuarantineCoalescesAlarms(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	m := buildModel(t, v)
+	reg := obs.NewRegistry()
+	im := ids.NewMetrics(reg)
+	c, err := ids.NewComposite(m, ids.CompositeConfig{
+		Extraction: v.ExtractionConfig(),
+		Warmup:     300,
+		Metrics:    im,
+		Quarantine: &ids.QuarantineConfig{SuspectAfter: 2, DegradeAfter: 4, RecoverAfter: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const victim = 0
+	var (
+		idx                  int
+		mangled              int
+		anomalies, alarms    int
+		suppressed           int
+		sawDegraded          bool
+		degradeTransitions   int
+		victimFinal          ids.SAState
+		victimFramesAfterEnd int
+	)
+	err = v.Stream(vehicle.GenConfig{NumMessages: 1600, Seed: 81}, func(msg vehicle.Message) error {
+		idx++
+		// Mid-capture fault window: flatten the victim ECU's traces so
+		// extraction fails on every one of its frames.
+		inWindow := idx > 600 && idx <= 900
+		if inWindow && msg.ECUIndex == victim {
+			for i := range msg.Trace {
+				msg.Trace[i] = 0
+			}
+			mangled++
+		}
+		r := c.Process(msg.Frame, msg.Trace, msg.TimeSec)
+		if r.Anomalous() {
+			anomalies++
+		}
+		if r.Alarm() {
+			alarms++
+		}
+		if r.Suppressed {
+			suppressed++
+		}
+		if msg.ECUIndex == victim {
+			if r.SAState == ids.SADegraded {
+				sawDegraded = true
+			}
+			if r.QuarantineChanged() && r.SAState == ids.SADegraded {
+				degradeTransitions++
+			}
+			victimFinal = r.SAState
+			if idx > 900 {
+				victimFramesAfterEnd++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mangled < 30 {
+		t.Fatalf("fixture only mangled %d victim frames", mangled)
+	}
+	if !sawDegraded {
+		t.Fatal("victim SA never reached Degraded under sustained extract failures")
+	}
+	if degradeTransitions == 0 {
+		t.Fatal("no Degraded transition observed")
+	}
+	if suppressed == 0 {
+		t.Fatal("no alarms were suppressed while Degraded")
+	}
+	if alarms >= anomalies {
+		t.Fatalf("coalescing did not reduce alarms: %d alarms vs %d anomalies", alarms, anomalies)
+	}
+	if victimFramesAfterEnd > 25 && victimFinal != ids.SAHealthy {
+		t.Fatalf("victim did not recover after %d clean frames (final state %v)", victimFramesAfterEnd, victimFinal)
+	}
+
+	reports := c.QuarantineReports()
+	var found *ids.QuarantineReport
+	for i := range reports {
+		if reports[i].Suppressed > 0 {
+			found = &reports[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no report with suppressed frames in %+v", reports)
+	}
+	if int(found.Suppressed) != suppressed {
+		t.Fatalf("report says %d suppressed, stream saw %d", found.Suppressed, suppressed)
+	}
+	if got := im.Verdicts.With("alarm_suppressed").Value(); got != int64(suppressed) {
+		t.Fatalf("suppressed metric = %d, want %d", got, suppressed)
+	}
+	if im.QuarantineTransitions.With("degraded").Value() != int64(degradeTransitions) {
+		t.Fatalf("degrade transition metric = %d, want %d",
+			im.QuarantineTransitions.With("degraded").Value(), degradeTransitions)
+	}
+	if c.DegradedSAs() != 0 && victimFinal == ids.SAHealthy {
+		t.Fatalf("DegradedSAs = %d after recovery", c.DegradedSAs())
+	}
+}
+
+// TestCompositeQuarantineOffIsInert checks the zero-cost default: no
+// Quarantine config means no state, no suppression, Alarm ≡ Anomalous.
+func TestCompositeQuarantineOffIsInert(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	c := newComposite(t, v, 200)
+	err := v.Stream(vehicle.GenConfig{NumMessages: 600, Seed: 82}, func(msg vehicle.Message) error {
+		if msg.ECUIndex == 1 {
+			for i := range msg.Trace {
+				msg.Trace[i] = 0
+			}
+		}
+		r := c.Process(msg.Frame, msg.Trace, msg.TimeSec)
+		if r.Suppressed || r.SAState != ids.SAHealthy || r.QuarantineChanged() {
+			t.Fatal("quarantine state leaked with quarantine disabled")
+		}
+		if r.Alarm() != r.Anomalous() {
+			t.Fatal("Alarm diverged from Anomalous with quarantine disabled")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.QuarantineReports() != nil || c.DegradedSAs() != 0 {
+		t.Fatal("disabled quarantine produced reports")
+	}
+}

@@ -24,6 +24,7 @@ const (
 	EventTransport  = "transport"  // a malformed / out-of-sequence transport frame
 	EventDM1        = "dm1"        // a completed DM1 diagnostic transfer
 	EventFlight     = "flight"     // the flight recorder froze and wrote a forensic bundle
+	EventQuarantine = "quarantine" // a source address changed quarantine state
 	EventStats      = "stats"      // end-of-run registry snapshot (final line)
 )
 

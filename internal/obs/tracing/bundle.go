@@ -90,7 +90,7 @@ func writeJSONFile(path string, v any) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -105,12 +105,12 @@ func writeDecisions(path string, ds []*Decision) error {
 	enc := json.NewEncoder(bw)
 	for _, d := range ds {
 		if err := enc.Encode(d); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -126,7 +126,7 @@ func writeWaveforms(path string, h trace.Header, ds []*Decision) error {
 	}
 	w, err := trace.NewWriter(f, h)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	for _, d := range ds {
@@ -138,12 +138,12 @@ func writeWaveforms(path string, h trace.Header, ds []*Decision) error {
 			Trace:    analog.Trace(d.Samples),
 		}
 		if err := w.Write(rec); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -159,7 +159,7 @@ func ReadBundle(dir string) (*Bundle, error) {
 	}
 	var b Bundle
 	err = json.NewDecoder(mf).Decode(&b)
-	mf.Close()
+	_ = mf.Close()
 	if err != nil {
 		return nil, fmt.Errorf("tracing: %s: %w", bundleMetaFile, err)
 	}
@@ -175,12 +175,12 @@ func ReadBundle(dir string) (*Bundle, error) {
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			df.Close()
+			_ = df.Close()
 			return nil, fmt.Errorf("tracing: %s: %w", bundleDecisionsFile, err)
 		}
 		b.Decisions = append(b.Decisions, &d)
 	}
-	df.Close()
+	_ = df.Close()
 
 	wf, err := os.Open(filepath.Join(dir, bundleWaveformFile))
 	if err != nil {

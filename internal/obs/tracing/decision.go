@@ -13,6 +13,7 @@ const (
 	AlarmPreprocess = obs.EventPreprocess
 	AlarmTiming     = obs.EventTiming
 	AlarmTransport  = obs.EventTransport
+	AlarmQuarantine = obs.EventQuarantine
 )
 
 // SeverityFor maps an alarm kind to its event severity: sender
@@ -21,7 +22,7 @@ const (
 // attacks).
 func SeverityFor(kind string) string {
 	switch kind {
-	case AlarmVoltage, AlarmTransport:
+	case AlarmVoltage, AlarmTransport, AlarmQuarantine:
 		return obs.SeverityCritical
 	case AlarmPreprocess, AlarmTiming:
 		return obs.SeverityWarning
@@ -83,10 +84,10 @@ type Decision struct {
 
 	// Frame identity; ECUIndex is the capture's ground-truth sender
 	// (−1 for a foreign device, −2 when the source had none).
-	FrameID  uint32 `json:"frame_id"`
-	SA       uint8  `json:"sa"`
+	FrameID  uint32   `json:"frame_id"`
+	SA       uint8    `json:"sa"`
 	Data     HexBytes `json:"data,omitempty"` // payload bytes, hex in JSON
-	ECUIndex int32  `json:"ecu_index"`
+	ECUIndex int32    `json:"ecu_index"`
 
 	// Verdict summary. Alarms lists the detector families that fired
 	// (Alarm* kinds); empty means the frame passed everything.
@@ -111,6 +112,12 @@ type Decision struct {
 	Timing      string `json:"timing,omitempty"`
 	TimingErr   string `json:"timing_err,omitempty"`
 	TransferErr string `json:"transfer_err,omitempty"`
+
+	// Quarantine is the sender's state after this frame ("suspect" or
+	// "degraded"; omitted when healthy or quarantine is off). Suppressed
+	// marks a voltage alarm coalesced into a Degraded sender's state.
+	Quarantine string `json:"quarantine,omitempty"`
+	Suppressed bool   `json:"suppressed,omitempty"`
 
 	Detector DetectorState `json:"detector"`
 

@@ -40,7 +40,7 @@ func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			http.Error(w, "no such bundle (evicted or never finished)", http.StatusNotFound)
 			return
 		}
-		enc.Encode(b)
+		_ = enc.Encode(b)
 		return
 	}
 
@@ -59,5 +59,5 @@ func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		sum.Bundles = append(sum.Bundles, &meta)
 	}
 	r.mu.Unlock()
-	enc.Encode(sum)
+	_ = enc.Encode(sum)
 }

@@ -70,7 +70,19 @@ type Config struct {
 	// bundles. Tracing never changes verdicts or their order; nil
 	// keeps the replay on the uninstrumented fast path.
 	Recorder *tracing.Recorder
+	// StallTimeout arms the slow-sink watchdog: if no verdict reaches
+	// the sink for this long while records are pending in the
+	// pipeline, the replay aborts with ErrStalled instead of sitting
+	// wedged behind its (deliberately bounded) queues. The watchdog
+	// unblocks every pipeline goroutine; a sink call that never
+	// returns still holds Run until it does. Zero disables.
+	StallTimeout time.Duration
 }
+
+// ErrStalled is returned by Run when the slow-sink watchdog fires:
+// records were pending but none reached the sink within
+// Config.StallTimeout.
+var ErrStalled = errors.New("pipeline: replay stalled (sink made no progress within StallTimeout)")
 
 // Result is one record's verdict, delivered to the sink in record
 // order.
@@ -124,6 +136,7 @@ type Replayer struct {
 	depth    int
 	metrics  *Metrics
 	recorder *tracing.Recorder
+	stall    time.Duration
 
 	ran             atomic.Bool
 	recordsIn       atomic.Int64
@@ -148,7 +161,7 @@ func New(mon *ids.Composite, cfg Config) (*Replayer, error) {
 	if depth <= 0 {
 		depth = 4 * workers
 	}
-	return &Replayer{mon: mon, workers: workers, depth: depth, metrics: cfg.Metrics, recorder: cfg.Recorder}, nil
+	return &Replayer{mon: mon, workers: workers, depth: depth, metrics: cfg.Metrics, recorder: cfg.Recorder, stall: cfg.StallTimeout}, nil
 }
 
 // Stats returns a snapshot of the per-stage counters.
@@ -212,10 +225,64 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 	// drain through normally, so the sink sees the complete prefix
 	// before the error surfaces.
 	abandon := make(chan struct{})
-	var once sync.Once
+	var abortOnce sync.Once
+	abort := func() {
+		abortOnce.Do(func() { close(abandon) })
+	}
+	// The error slot is mutex-guarded rather than Once-guarded: the
+	// watchdog goroutine can set it at any moment — including while
+	// stage 3 is returning — so every read needs the same lock.
+	var errMu sync.Mutex
 	var firstErr error
 	setErr := func(err error) {
-		once.Do(func() { firstErr = err })
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	getErr := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr
+	}
+
+	// Slow-sink watchdog: while records are pending (read but not yet
+	// delivered), the sink must make progress every StallTimeout or
+	// the replay aborts. Closing abandon unwedges every stage; stage 3
+	// checks the flag between sink calls.
+	var stalled atomic.Bool
+	if p.stall > 0 {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			interval := p.stall / 8
+			if interval < time.Millisecond {
+				interval = time.Millisecond
+			}
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			lastOut := p.recordsOut.Load()
+			lastProgress := time.Now()
+			for {
+				select {
+				case <-stopWatch:
+					return
+				case <-tick.C:
+				}
+				cur := p.recordsOut.Load()
+				if cur != lastOut {
+					lastOut, lastProgress = cur, time.Now()
+					continue
+				}
+				if p.recordsIn.Load() > cur && time.Since(lastProgress) >= p.stall {
+					stalled.Store(true)
+					setErr(ErrStalled)
+					abort()
+					return
+				}
+			}
+		}()
 	}
 
 	// Stage 1: the reader tags records with their stream index. With
@@ -354,8 +421,13 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 			}
 			if err != nil {
 				setErr(err)
-				close(abandon)
-				return firstErr
+				abort()
+				return getErr()
+			}
+			if stalled.Load() {
+				// The watchdog fired while this sink call was in flight;
+				// stop delivering rather than racing the draining stages.
+				return getErr()
 			}
 			next++
 		}
@@ -366,7 +438,7 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 	if m != nil {
 		m.QueueDepth.Set(0)
 	}
-	return firstErr
+	return getErr()
 }
 
 // Replay is the one-shot convenience wrapper: build a replayer, run

@@ -130,6 +130,10 @@ func diffResults(a, b ids.CompositeResult) string {
 	if errText(a.TransferErr) != errText(b.TransferErr) {
 		return fmt.Sprintf("transfer err %q vs %q", errText(a.TransferErr), errText(b.TransferErr))
 	}
+	if a.SAState != b.SAState || a.PrevSAState != b.PrevSAState || a.Suppressed != b.Suppressed {
+		return fmt.Sprintf("quarantine %v<-%v/%v vs %v<-%v/%v",
+			a.SAState, a.PrevSAState, a.Suppressed, b.SAState, b.PrevSAState, b.Suppressed)
+	}
 	switch {
 	case (a.Transfer == nil) != (b.Transfer == nil):
 		return fmt.Sprintf("transfer %v vs %v", a.Transfer, b.Transfer)

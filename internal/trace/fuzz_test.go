@@ -1,0 +1,71 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"vprofile/internal/faults"
+	"vprofile/internal/trace"
+)
+
+// FuzzReaderResync throws arbitrary bytes at both reader modes. The
+// strict reader may reject the stream however it likes but must never
+// panic; the recovering reader must additionally never surface any
+// error other than io.EOF — corruption is its job to absorb — and its
+// corruption reports must stay internally consistent.
+func FuzzReaderResync(f *testing.F) {
+	clean, _, _ := resyncFixture(f, 6)
+	f.Add(clean)
+	for seed := int64(1); seed <= 3; seed++ {
+		hurt, _ := faults.CorruptStream(clean, faults.StreamSpec{Flips: 4, Garbage: 2, Chops: 2, Truncate: seed == 2}, seed)
+		f.Add(hurt)
+	}
+	f.Add([]byte("VPTR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Strict mode: errors are fine, panics are not.
+		if rd, err := trace.NewReader(bytes.NewReader(data)); err == nil {
+			for {
+				if _, err := rd.NextRaw(); err != nil {
+					break
+				}
+			}
+		}
+
+		rd, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		rd.EnableRecovery()
+		records := 0
+		for {
+			rec, err := rd.NextRaw()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("recovering reader surfaced %v", err)
+				}
+				break
+			}
+			if rec == nil {
+				t.Fatal("recovering reader returned nil record without error")
+			}
+			records++
+			if records > len(data) {
+				t.Fatalf("decoded %d records from %d bytes", records, len(data))
+			}
+		}
+		var skipped int64
+		for _, rep := range rd.Corruptions() {
+			if rep.Skipped < 0 || rep.Offset < 0 {
+				t.Fatalf("negative accounting in report %+v", rep)
+			}
+			skipped += rep.Skipped
+		}
+		if skipped > int64(len(data)) {
+			t.Fatalf("reports claim %d bytes skipped from a %d-byte stream", skipped, len(data))
+		}
+	})
+}

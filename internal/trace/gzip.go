@@ -18,12 +18,12 @@ func NewCompressedWriter(w io.Writer, h Header) (*Writer, func() error, error) {
 	gz := gzip.NewWriter(w)
 	tw, err := NewWriter(gz, h)
 	if err != nil {
-		gz.Close()
+		_ = gz.Close()
 		return nil, nil, err
 	}
 	closeFn := func() error {
 		if err := tw.Flush(); err != nil {
-			gz.Close()
+			_ = gz.Close()
 			return err
 		}
 		return gz.Close()

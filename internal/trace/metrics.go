@@ -8,6 +8,12 @@ import "vprofile/internal/obs"
 type Metrics struct {
 	Records *obs.Counter
 	Bytes   *obs.Counter
+	// Corruptions counts corrupt stretches the recovering reader
+	// skipped (EnableRecovery); ResyncBytes is the bytes discarded
+	// while scanning back to a record boundary. Both stay zero on a
+	// clean capture or a strict (non-recovering) reader.
+	Corruptions *obs.Counter
+	ResyncBytes *obs.Counter
 }
 
 // NewMetrics registers the capture-reader instruments on reg.
@@ -17,6 +23,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Capture records decoded from the stream."),
 		Bytes: reg.Counter("vprofile_capture_bytes_read_total",
 			"Uncompressed record bytes decoded from the stream (header excluded)."),
+		Corruptions: reg.Counter("vprofile_capture_corruptions_recovered_total",
+			"Corrupt stretches skipped by the recovering reader."),
+		ResyncBytes: reg.Counter("vprofile_capture_resync_bytes_total",
+			"Bytes discarded while re-synchronising past corruption."),
 	}
 }
 

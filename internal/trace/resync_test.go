@@ -1,0 +1,236 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"vprofile/internal/analog"
+	"vprofile/internal/obs"
+	"vprofile/internal/trace"
+)
+
+// resyncFixture builds a capture of nRecords records with fixed
+// geometry (8 data bytes, 120 samples each) and returns the encoded
+// bytes, the records, and each record's byte offset in the file.
+// Sample codes are kept ≥ 16 so a misaligned parse can never satisfy
+// the data-length sanity bound with sample bytes — resync in these
+// tests either finds a true boundary or none at all.
+func resyncFixture(t testing.TB, nRecords int) ([]byte, []*trace.Record, []int) {
+	t.Helper()
+	adc := analog.ADC{SampleRate: 10e6, Bits: 12, MinVolts: -1, MaxVolts: 4}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{Vehicle: "t", BitRate: 250e3, ADC: adc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var recs []*trace.Record
+	var offsets []int
+	const recordSize = 22 + 8 + 2*120
+	headerSize := 4 + 2 + (2 + 1) + 8 + 8 + 2 + 8 + 8
+	for i := 0; i < nRecords; i++ {
+		tr := make(analog.Trace, 120)
+		for j := range tr {
+			tr[j] = float64(600 + rng.Intn(1800))
+		}
+		rec := &trace.Record{
+			ECUIndex: int32(i % 5),
+			TimeSec:  float64(i) * 0.01,
+			FrameID:  0x18FEF100 | uint32(i%5),
+			Data:     []byte{1, 2, 3, 4, 5, 6, 7, byte(i)},
+			Trace:    tr,
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, headerSize+i*recordSize)
+		recs = append(recs, rec)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != headerSize+nRecords*recordSize {
+		t.Fatalf("fixture geometry drifted: %d bytes, expected %d", buf.Len(), headerSize+nRecords*recordSize)
+	}
+	return buf.Bytes(), recs, offsets
+}
+
+// readRecovering drains a recovering reader and returns everything it
+// produced.
+func readRecovering(t *testing.T, data []byte, m *trace.Metrics) (*trace.Reader, []*trace.Record) {
+	t.Helper()
+	rd, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		rd.SetMetrics(m)
+	}
+	rd.EnableRecovery()
+	var out []*trace.Record
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return rd, out
+		}
+		if err != nil {
+			t.Fatalf("recovering reader surfaced error: %v", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestRecoveryCorruptLengthField(t *testing.T) {
+	data, recs, offsets := resyncFixture(t, 12)
+	// Blow up record 5's sample count (offset +22 within the record:
+	// 18 fixed header bytes + 8 data bytes... the count sits after the
+	// data, at +18+8).
+	countAt := offsets[5] + 18 + 8
+	binary.LittleEndian.PutUint32(data[countAt:], 0xFFFFFFFF)
+
+	// Strict reader: first five records, then a corruption error.
+	rd, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := rd.Next(); err != nil {
+			t.Fatalf("strict reader failed on clean record %d: %v", i, err)
+		}
+	}
+	if _, err := rd.Next(); !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("strict reader returned %v, want ErrCorrupt", err)
+	}
+
+	// Recovering reader: loses record 5, recovers everything after.
+	reg := obs.NewRegistry()
+	m := trace.NewMetrics(reg)
+	rrd, got := readRecovering(t, data, m)
+	if len(got) != len(recs)-1 {
+		t.Fatalf("recovered %d records, want %d", len(got), len(recs)-1)
+	}
+	for i, rec := range got[5:] {
+		want := recs[6+i]
+		if rec.TimeSec != want.TimeSec || rec.FrameID != want.FrameID {
+			t.Fatalf("post-corruption record %d resynced wrong: t=%g id=%#x", i, rec.TimeSec, rec.FrameID)
+		}
+	}
+	reports := rrd.Corruptions()
+	if len(reports) != 1 {
+		t.Fatalf("got %d corruption reports, want 1", len(reports))
+	}
+	if reports[0].Err == nil || !errors.Is(reports[0].Err, trace.ErrCorrupt) {
+		t.Errorf("report error = %v, want ErrCorrupt", reports[0].Err)
+	}
+	if m.Corruptions.Value() != 1 {
+		t.Errorf("corruption counter = %d, want 1", m.Corruptions.Value())
+	}
+	if m.ResyncBytes.Value() != reports[0].Skipped {
+		t.Errorf("resync bytes counter = %d, report says %d", m.ResyncBytes.Value(), reports[0].Skipped)
+	}
+}
+
+func TestRecoveryChoppedBytes(t *testing.T) {
+	data, recs, offsets := resyncFixture(t, 12)
+	// Delete 10 bytes inside record 4's sample payload: record 4 then
+	// swallows part of record 5 and the stream comes up misaligned.
+	cut := offsets[4] + 60
+	data = append(data[:cut], data[cut+10:]...)
+
+	rrd, got := readRecovering(t, data, nil)
+	if len(rrd.Corruptions()) == 0 {
+		t.Fatal("chop produced no corruption report")
+	}
+	// Records 0–3 are untouched; whatever the chop destroyed, every
+	// record from 6 on must be back (the chop region spans 4 and 5).
+	if len(got) < len(recs)-2 {
+		t.Fatalf("recovered %d records, want ≥ %d", len(got), len(recs)-2)
+	}
+	tail := got[len(got)-6:]
+	for i, rec := range tail {
+		want := recs[6+i]
+		if rec.TimeSec != want.TimeSec || rec.FrameID != want.FrameID {
+			t.Fatalf("tail record %d wrong after resync: t=%g want %g", i, rec.TimeSec, want.TimeSec)
+		}
+	}
+}
+
+func TestRecoveryMidRecordEOF(t *testing.T) {
+	data, _, offsets := resyncFixture(t, 8)
+	data = data[:offsets[6]+30] // cut inside record 6
+
+	rrd, got := readRecovering(t, data, nil)
+	if len(got) != 6 {
+		t.Fatalf("recovered %d records before the cut, want 6", len(got))
+	}
+	reports := rrd.Corruptions()
+	if len(reports) != 1 {
+		t.Fatalf("got %d corruption reports, want 1", len(reports))
+	}
+}
+
+func TestRecoveryFlippedHeaderByte(t *testing.T) {
+	data, recs, offsets := resyncFixture(t, 10)
+	// Flip record 2's data-length high byte: 8 becomes 0xFF08, far
+	// over the 8-byte CAN bound.
+	data[offsets[2]+17] = 0xFF
+
+	rrd, got := readRecovering(t, data, nil)
+	if len(got) != len(recs)-1 {
+		t.Fatalf("recovered %d records, want %d", len(got), len(recs)-1)
+	}
+	for i, rec := range got[2:] {
+		want := recs[3+i]
+		if rec.TimeSec != want.TimeSec {
+			t.Fatalf("record %d after flip resynced wrong", i)
+		}
+	}
+	if len(rrd.Corruptions()) != 1 {
+		t.Fatalf("got %d corruption reports, want 1", len(rrd.Corruptions()))
+	}
+}
+
+func TestRecoveryCleanCaptureUntouched(t *testing.T) {
+	data, recs, _ := resyncFixture(t, 10)
+	rrd, got := readRecovering(t, data, nil)
+	if len(got) != len(recs) {
+		t.Fatalf("clean capture: %d records, want %d", len(got), len(recs))
+	}
+	if len(rrd.Corruptions()) != 0 {
+		t.Fatalf("clean capture produced corruption reports: %+v", rrd.Corruptions())
+	}
+	for i, rec := range got {
+		if rec.TimeSec != recs[i].TimeSec {
+			t.Fatalf("clean record %d differs", i)
+		}
+	}
+}
+
+// TestRecoveryGarbageRun smears random garbage over two whole records
+// and checks the reader comes back on its feet afterwards.
+func TestRecoveryGarbageRun(t *testing.T) {
+	data, recs, offsets := resyncFixture(t, 14)
+	rng := rand.New(rand.NewSource(77))
+	for i := offsets[6]; i < offsets[8]; i++ {
+		data[i] = byte(rng.Intn(256))
+	}
+	rrd, got := readRecovering(t, data, nil)
+	if len(rrd.Corruptions()) == 0 {
+		t.Fatal("garbage run produced no corruption report")
+	}
+	// Everything after the smear must be recovered.
+	if len(got) < 6 {
+		t.Fatalf("recovered only %d records", len(got))
+	}
+	tail := got[len(got)-6:]
+	for i, rec := range tail {
+		want := recs[8+i]
+		if rec.TimeSec != want.TimeSec || rec.FrameID != want.FrameID {
+			t.Fatalf("tail record %d wrong after garbage: t=%g want %g", i, rec.TimeSec, want.TimeSec)
+		}
+	}
+}

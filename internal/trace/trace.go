@@ -166,6 +166,14 @@ type Reader struct {
 	r       *bufio.Reader
 	header  Header
 	metrics *Metrics
+
+	// off is the byte offset into the (uncompressed) stream, used to
+	// locate corruption reports.
+	off int64
+	// recovery state; see EnableRecovery in resync.go.
+	recover bool
+	reports []RecoveredCorruption
+	scratch []byte
 }
 
 // NewReader validates the header and returns a record reader.
@@ -245,8 +253,24 @@ func (rr *RawRecord) Decode() *Record {
 }
 
 // NextRaw reads the next record without decoding its samples, or
-// io.EOF at the end of the capture.
+// io.EOF at the end of the capture. With EnableRecovery, corrupt
+// stretches are skipped (and reported through Corruptions) instead of
+// ending the read.
 func (r *Reader) NextRaw() (*RawRecord, error) {
+	if !r.recover {
+		return r.nextRawOnce()
+	}
+	return r.nextRawRecovering()
+}
+
+// codesChunk bounds a single sample-payload allocation: payload
+// buffers grow as bytes actually arrive, so a corrupt length field
+// costs at most one chunk of memory before the stream runs dry — not
+// the 32 MiB a hostile 24-bit count would otherwise reserve upfront.
+const codesChunk = 64 << 10
+
+// nextRawOnce is the strict single-record parse.
+func (r *Reader) nextRawOnce() (*RawRecord, error) {
 	ecuRaw, err := r.u32()
 	if err != nil {
 		if errors.Is(err, io.EOF) {
@@ -269,7 +293,7 @@ func (r *Reader) NextRaw() (*RawRecord, error) {
 		return nil, fmt.Errorf("%w: data length %d", ErrCorrupt, dataLen)
 	}
 	rec.Data = make([]byte, dataLen)
-	if _, err := io.ReadFull(r.r, rec.Data); err != nil {
+	if err := r.read(rec.Data); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	n, err := r.u32()
@@ -279,9 +303,31 @@ func (r *Reader) NextRaw() (*RawRecord, error) {
 	if n > maxSaneSamples {
 		return nil, fmt.Errorf("%w: %d samples", ErrCorrupt, n)
 	}
-	rec.Codes = make([]byte, 2*int(n))
-	if _, err := io.ReadFull(r.r, rec.Codes); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	total := 2 * int(n)
+	if total <= codesChunk {
+		rec.Codes = make([]byte, total)
+		if err := r.read(rec.Codes); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	} else {
+		// Chunked path for large counts: a length field is untrusted
+		// input, so memory grows only as payload bytes actually
+		// arrive instead of reserving the full claimed size upfront.
+		if r.scratch == nil {
+			r.scratch = make([]byte, codesChunk)
+		}
+		rec.Codes = make([]byte, 0, codesChunk)
+		for read := 0; read < total; {
+			chunk := total - read
+			if chunk > codesChunk {
+				chunk = codesChunk
+			}
+			if err := r.read(r.scratch[:chunk]); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			rec.Codes = append(rec.Codes, r.scratch[:chunk]...)
+			read += chunk
+		}
 	}
 	if m := r.metrics; m != nil {
 		m.Records.Inc()
@@ -301,9 +347,17 @@ func (r *Reader) Next() (*Record, error) {
 	return raw.Decode(), nil
 }
 
+// read fills b from the stream and advances the corruption-report
+// offset by the bytes actually consumed.
+func (r *Reader) read(b []byte) error {
+	n, err := io.ReadFull(r.r, b)
+	r.off += int64(n)
+	return err
+}
+
 func (r *Reader) u16() (uint16, error) {
 	var b [2]byte
-	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+	if err := r.read(b[:]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint16(b[:]), nil
@@ -311,7 +365,7 @@ func (r *Reader) u16() (uint16, error) {
 
 func (r *Reader) u32() (uint32, error) {
 	var b [4]byte
-	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+	if err := r.read(b[:]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint32(b[:]), nil
@@ -319,7 +373,7 @@ func (r *Reader) u32() (uint32, error) {
 
 func (r *Reader) f64() (float64, error) {
 	var b [8]byte
-	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+	if err := r.read(b[:]); err != nil {
 		return 0, err
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
@@ -331,7 +385,7 @@ func (r *Reader) str() (string, error) {
 		return "", err
 	}
 	b := make([]byte, n)
-	if _, err := io.ReadFull(r.r, b); err != nil {
+	if err := r.read(b); err != nil {
 		return "", err
 	}
 	return string(b), nil
