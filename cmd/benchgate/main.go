@@ -29,9 +29,14 @@ import (
 // report mirrors the subset of the replaybench schema the gate needs;
 // unknown fields (overhead percentages, metadata) pass through
 // untouched, so the two tools can evolve independently.
+// FleetOverheadPct is read only from the candidate: it gates the cost
+// of sharing one worker pool across a fleet against an absolute
+// budget rather than against the baseline, so an older baseline
+// without fleet runs still gates cleanly.
 type report struct {
-	Records int   `json:"records"`
-	Runs    []run `json:"runs"`
+	Records          int      `json:"records"`
+	FleetOverheadPct *float64 `json:"fleet_overhead_pct"`
+	Runs             []run    `json:"runs"`
 }
 
 type run struct {
@@ -43,12 +48,13 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_pipeline.json", "committed baseline report")
 	candidate := flag.String("candidate", "", "freshly generated report to gate")
 	maxDrop := flag.Float64("max-drop", 10, "maximum tolerated median throughput drop in percent")
+	maxFleet := flag.Float64("max-fleet-overhead", 5, "maximum tolerated shared-pool fleet overhead in percent (negative disables)")
 	flag.Parse()
 	if *candidate == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
 		os.Exit(2)
 	}
-	if err := gate(*baseline, *candidate, *maxDrop); err != nil {
+	if err := gate(*baseline, *candidate, *maxDrop, *maxFleet); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
@@ -69,7 +75,7 @@ func load(path string) (report, error) {
 	return r, nil
 }
 
-func gate(basePath, candPath string, maxDrop float64) error {
+func gate(basePath, candPath string, maxDrop, maxFleet float64) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -116,6 +122,18 @@ func gate(basePath, candPath string, maxDrop float64) error {
 		len(deltas), median, worst.drop, worst.name, maxDrop)
 	if median > maxDrop {
 		return fmt.Errorf("median throughput dropped %.2f%% vs %s (limit %.0f%%)", median, basePath, maxDrop)
+	}
+
+	// The fleet-overhead gate is absolute: replaybench already
+	// measured shared-pool fleet replays against independent replays
+	// with the same total worker count inside one run, so host speed
+	// cancels out and no baseline comparison is needed. Reports
+	// predating fleet mode simply omit the field.
+	if maxFleet >= 0 && cand.FleetOverheadPct != nil {
+		fmt.Printf("benchgate: fleet shared-pool overhead %.2f%%, limit %.0f%%\n", *cand.FleetOverheadPct, maxFleet)
+		if *cand.FleetOverheadPct > maxFleet {
+			return fmt.Errorf("fleet shared-pool overhead %.2f%% exceeds %.0f%%", *cand.FleetOverheadPct, maxFleet)
+		}
 	}
 	return nil
 }

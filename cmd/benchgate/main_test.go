@@ -30,7 +30,7 @@ func TestGatePassesWithinLimit(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 1900},
 	  {"name": "parallel8",  "frames_per_sec": 2375}
 	]}`)
-	if err := gate(base, cand, 10); err != nil {
+	if err := gate(base, cand, 10, 5); err != nil {
 		t.Fatalf("gate tripped on a 5%% drop: %v", err)
 	}
 }
@@ -43,7 +43,7 @@ func TestGateFailsOnSystemicDrop(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 1600},
 	  {"name": "parallel8",  "frames_per_sec": 2000}
 	]}`)
-	if err := gate(base, cand, 10); err == nil {
+	if err := gate(base, cand, 10, 5); err == nil {
 		t.Fatal("gate accepted a 20% systemic drop")
 	}
 }
@@ -57,7 +57,7 @@ func TestGateToleratesOneOutlier(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 1980},
 	  {"name": "parallel8",  "frames_per_sec": 2450}
 	]}`)
-	if err := gate(base, cand, 10); err != nil {
+	if err := gate(base, cand, 10, 5); err != nil {
 		t.Fatalf("gate tripped on a single outlier: %v", err)
 	}
 }
@@ -70,7 +70,7 @@ func TestGateFasterCandidatePasses(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2400},
 	  {"name": "parallel8",  "frames_per_sec": 3000}
 	]}`)
-	if err := gate(base, cand, 10); err != nil {
+	if err := gate(base, cand, 10, 5); err != nil {
 		t.Fatalf("gate tripped on an improvement: %v", err)
 	}
 }
@@ -81,7 +81,48 @@ func TestGateRejectsDisjointReports(t *testing.T) {
 	cand := writeReport(t, dir, "cand.json", `{"records": 100, "runs": [
 	  {"name": "renamed", "frames_per_sec": 1000}
 	]}`)
-	if err := gate(base, cand, 10); err == nil {
+	if err := gate(base, cand, 10, 5); err == nil {
 		t.Fatal("gate accepted reports with no shared configuration")
+	}
+}
+
+func TestGateFleetOverheadWithinBudget(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	cand := writeReport(t, dir, "cand.json", `{"records": 100, "fleet_overhead_pct": 3.2, "runs": [
+	  {"name": "sequential", "frames_per_sec": 1000},
+	  {"name": "parallel4",  "frames_per_sec": 2000},
+	  {"name": "parallel8",  "frames_per_sec": 2500}
+	]}`)
+	if err := gate(base, cand, 10, 5); err != nil {
+		t.Fatalf("gate tripped on 3.2%% fleet overhead under a 5%% budget: %v", err)
+	}
+}
+
+func TestGateFleetOverheadOverBudget(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	cand := writeReport(t, dir, "cand.json", `{"records": 100, "fleet_overhead_pct": 9.7, "runs": [
+	  {"name": "sequential", "frames_per_sec": 1000},
+	  {"name": "parallel4",  "frames_per_sec": 2000},
+	  {"name": "parallel8",  "frames_per_sec": 2500}
+	]}`)
+	if err := gate(base, cand, 10, 5); err == nil {
+		t.Fatal("gate accepted 9.7% fleet overhead against a 5% budget")
+	}
+	// Negative budget disables the fleet gate entirely.
+	if err := gate(base, cand, 10, -1); err != nil {
+		t.Fatalf("disabled fleet gate still tripped: %v", err)
+	}
+}
+
+func TestGateFleetOverheadAbsentInCandidate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	// A candidate from before fleet mode (or with fleet configs
+	// filtered out) must not trip the fleet gate.
+	cand := writeReport(t, dir, "cand.json", baseReport)
+	if err := gate(base, cand, 10, 5); err != nil {
+		t.Fatalf("gate tripped on a report without fleet data: %v", err)
 	}
 }

@@ -1,245 +1,153 @@
-// Command busmon replays a capture file through the full monitoring
+// Command busmon replays capture files through the full monitoring
 // stack — vProfile voltage fingerprinting, the period monitor, and
 // J1939 transport reassembly with DM1 decoding — and prints a timeline
 // of everything suspicious plus a traffic summary. It is the composed
-// IDS the paper's conclusion recommends, provided as a library by
-// internal/ids (Composite) and replayed concurrently by
-// internal/pipeline.
+// IDS the paper's conclusion recommends; the session lifecycle (source
+// opening, pipeline wiring, observability, model hot-swap) lives in
+// internal/engine.
 //
 // Usage:
 //
 //	busmon -capture traffic.vptr -model model.vpm
 //	busmon -capture traffic.vptr.gz -model model.vpm -timeline
-//	busmon -capture traffic.vptr -model model.vpm -workers 8
 //	busmon -capture traffic.vptr -model model.vpm -metrics :9090 -events run.jsonl
-//	busmon -capture traffic.vptr -model model.vpm -flight forensics/ -flight-window 8
+//	busmon -capture a.vptr,b.vptr -model model.vpm          (fleet mode)
+//	busmon -capture traffic.vptr -model model.vpm -model-watch 2s
 //
-// With -metrics the replay serves live Prometheus metrics at /metrics
-// and runtime profiles at /debug/pprof/ for its duration; with
-// -events every suspicious record is appended to a JSONL log followed
-// by an end-of-run stats snapshot. With -flight every frame is traced
-// (spans per pipeline stage, deterministic TraceIDs) and the flight
-// recorder freezes a forensic bundle — decision records plus a
-// waveform sidecar — around every alarm; combined with -metrics the
-// bundles are also live at /debug/flight.
+// Comma-separating -capture monitors several buses concurrently over
+// one shared worker pool, with per-bus metrics labels and summaries.
+// Exit status is 2 for usage errors, 3 when a replay aborts
+// mid-stream (stall watchdog, unrecovered corruption), 1 for other
+// errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"time"
+	"strings"
 
-	"vprofile/internal/core"
-	"vprofile/internal/edgeset"
-	"vprofile/internal/ids"
-	"vprofile/internal/obs"
-	"vprofile/internal/obs/tracing"
-	"vprofile/internal/pipeline"
-	"vprofile/internal/trace"
+	"vprofile/internal/engine"
 )
 
-// options collects busmon's flags.
-type options struct {
-	capture      string
-	model        string
-	timeline     bool
-	workers      int
-	metricsAddr  string
-	eventsPath   string
-	flightDir    string
-	flightWindow int
-	quarantine   bool
-	recover      bool
-	stall        time.Duration
-}
-
 func main() {
-	var o options
-	flag.StringVar(&o.capture, "capture", "", "capture file (plain or gzip)")
-	flag.StringVar(&o.model, "model", "", "trained vProfile model")
-	flag.BoolVar(&o.timeline, "timeline", false, "print every suspicious event")
-	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "extraction worker pool size")
-	flag.StringVar(&o.metricsAddr, "metrics", "", "serve /metrics, /debug/pprof/ (and /debug/flight with -flight) on this address during the replay (e.g. :9090)")
-	flag.StringVar(&o.eventsPath, "events", "", "write a JSONL event log (plus end-of-run stats snapshot) to this file")
-	flag.StringVar(&o.flightDir, "flight", "", "trace every frame and write forensic bundles around alarms into this directory")
-	flag.IntVar(&o.flightWindow, "flight-window", 8, "frames of pre/post context frozen around each alarm")
-	flag.BoolVar(&o.quarantine, "quarantine", false, "enable per-SA quarantine: senders with sustained voltage anomalies degrade and their alarms coalesce")
-	flag.BoolVar(&o.recover, "recover", false, "tolerate capture corruption: resync past damaged records instead of aborting")
-	flag.DurationVar(&o.stall, "stall-timeout", 0, "abort the replay if the verdict stream stalls this long (0 disables the watchdog)")
+	fl := engine.RegisterFlags(flag.CommandLine)
+	timeline := flag.Bool("timeline", false, "print every suspicious event")
 	flag.Parse()
-	if o.capture == "" || o.model == "" {
+	if fl.Capture == "" || fl.Model == "" {
 		fmt.Fprintln(os.Stderr, "busmon: -capture and -model are required")
 		os.Exit(2)
 	}
-	if err := run(o); err != nil {
+	if err := run(fl, *timeline); err != nil {
 		fmt.Fprintln(os.Stderr, "busmon:", err)
+		var abort *engine.AbortError
+		if errors.As(err, &abort) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(o options) error {
-	mf, err := os.Open(o.model)
-	if err != nil {
-		return err
+func run(fl *engine.Flags, timeline bool) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "busmon: "+format+"\n", args...)
 	}
-	model, err := core.Load(mf)
-	mf.Close()
-	if err != nil {
-		return err
+	opts := append(fl.Options(), engine.WithLogf(logf))
+	captures := strings.Split(fl.Capture, ",")
+	if len(captures) == 1 {
+		return runSingle(captures[0], fl, timeline, opts)
 	}
+	return runFleet(captures, fl, timeline, opts)
+}
 
-	cf, err := os.Open(o.capture)
-	if err != nil {
-		return err
-	}
-	defer cf.Close()
-	rd, err := trace.OpenReader(cf)
-	if err != nil {
-		return err
-	}
-	if o.recover {
-		rd.EnableRecovery()
-	}
-	h := rd.Header()
-
-	// Observability: one registry feeds the live HTTP endpoint, the
-	// instrumented pipeline/detector stack, and the end-of-run
-	// snapshot in the event log.
-	var (
-		reg *obs.Registry
-		pm  *pipeline.Metrics
-		im  *ids.Metrics
-	)
-	if o.metricsAddr != "" || o.eventsPath != "" {
-		reg = obs.NewRegistry()
-		pm = pipeline.NewMetrics(reg)
-		im = ids.NewMetrics(reg)
-		rd.SetMetrics(trace.NewMetrics(reg))
-	}
-	var events *obs.EventLog
-	if o.eventsPath != "" {
-		events, err = obs.CreateEventLog(o.eventsPath)
-		if err != nil {
-			return err
-		}
-	}
-	var recorder *tracing.Recorder
-	if o.flightDir != "" {
-		recorder, err = tracing.NewRecorder(tracing.RecorderConfig{
-			Window: o.flightWindow, Dir: o.flightDir, Header: h, Events: events,
-		})
-		if err != nil {
-			return err
-		}
-	}
-	if o.metricsAddr != "" {
-		var routes []obs.Route
-		if recorder != nil {
-			routes = append(routes, obs.Route{Pattern: "/debug/flight", Handler: recorder})
-		}
-		srv, err := obs.Serve(o.metricsAddr, reg, routes...)
-		if err != nil {
-			return err
-		}
-		// Drain in-flight scrapes briefly instead of cutting them off
-		// mid-response.
-		defer func() { _ = srv.ShutdownTimeout(2 * time.Second) }()
-		fmt.Fprintf(os.Stderr, "busmon: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
-		if recorder != nil {
-			fmt.Fprintf(os.Stderr, "busmon: flight recorder live at http://%s/debug/flight\n", srv.Addr())
-		}
-	}
-
-	mcfg := ids.CompositeConfig{Extraction: extractionFor(h), Metrics: im}
-	if o.quarantine {
-		mcfg.Quarantine = &ids.QuarantineConfig{}
-	}
-	mon, err := ids.NewComposite(model, mcfg)
-	if err != nil {
-		return err
-	}
-
-	t := newTally()
-	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: o.workers, Metrics: pm, Recorder: recorder, StallTimeout: o.stall}, func(res pipeline.Result) error {
-		for _, e := range t.observe(res) {
-			if o.timeline {
+func runSingle(capture string, fl *engine.Flags, timeline bool, opts []engine.Option) error {
+	s := engine.NewSession(capture, opts...)
+	t := engine.NewTally()
+	sum, err := s.Run(func(res engine.Result) error {
+		for _, e := range t.Observe(res.Result) {
+			if timeline {
 				fmt.Println(timelineLine(e))
 			}
-			if events != nil {
-				if err := events.Emit(e); err != nil {
-					return err
-				}
+			if err := s.EmitEvent(e); err != nil {
+				return err
 			}
 		}
 		return nil
 	})
-	if recorder != nil {
-		// Close before the event log: flushing truncated capture
-		// windows emits their flight events.
-		if cerr := recorder.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}
-	if events != nil {
-		// Close even on a failed replay so the partial event stream and
-		// its stats snapshot survive for diagnosis.
-		if cerr := events.Close(reg); cerr != nil && err == nil {
-			err = cerr
-		}
-	}
 	if err != nil {
 		return err
 	}
-	silent := mon.SilentStreams()
-
-	fmt.Printf("capture: %s (%s, %.0f kb/s, %d-bit @ %.1f MS/s)\n",
-		o.capture, h.Vehicle, h.BitRate/1e3, h.ADC.Bits, h.ADC.SampleRate/1e6)
-	fmt.Printf("frames: %d over %.2fs (replayed in %.2fs, %d workers, %.0f%% busy)\n",
-		st.RecordsOut, t.lastAt, st.WallTime.Seconds(), st.Workers, 100*st.Utilization())
-	fmt.Printf("voltage alarms: %d | preprocess failures: %d | timing alarms: %d | silent ids at end: %d\n",
-		t.voltAlarms, t.preprocFailed, t.periodAlarms, len(silent))
-	fmt.Printf("transport transfers: %d (DM1 reports: %d) | transport errors: %d | monitor faults: %d\n",
-		t.tpTransfers, t.dm1Reports, t.tpErrors, t.timingFaults)
-	if corruptions := rd.Corruptions(); len(corruptions) > 0 {
-		var skipped int64
-		for _, c := range corruptions {
-			skipped += c.Skipped
-		}
-		fmt.Printf("capture corruption: %d stretches recovered, %d bytes resynced past\n",
-			len(corruptions), skipped)
-	}
-	if o.quarantine {
-		fmt.Printf("quarantine: %d alarms coalesced | %d SAs degraded at end\n",
-			t.suppressed, mon.DegradedSAs())
-	}
-	if recorder != nil {
-		fs := recorder.Stats()
-		fmt.Printf("flight recorder: %d frames traced, %d alarms, %d bundles → %s\n",
-			fs.Frames, fs.Alarms, fs.Bundles, o.flightDir)
-	}
-	fmt.Println()
-	fmt.Print(t.table())
+	printSummary(sum, t, fl)
 	return nil
 }
 
-// extractionFor mirrors the vprofile CLI's parameter derivation.
-func extractionFor(h trace.Header) edgeset.Config {
-	perBit := int(h.ADC.SamplesPerBit(h.BitRate))
-	scale := float64(perBit) / 40.0
-	prefix := int(2 * scale)
-	if prefix < 1 {
-		prefix = 1
+func runFleet(captures []string, fl *engine.Flags, timeline bool, opts []engine.Option) error {
+	fleet, err := engine.NewFleet(captures, opts...)
+	if err != nil {
+		return err
 	}
-	suffix := int(14 * scale)
-	if suffix < 3 {
-		suffix = 3
+	tallies := map[string]*engine.Tally{}
+	for _, bus := range fleet.Buses() {
+		tallies[bus] = engine.NewTally()
 	}
-	return edgeset.Config{
-		BitWidth:     perBit,
-		BitThreshold: h.ADC.VoltsToCode(1.0),
-		PrefixLen:    prefix,
-		SuffixLen:    suffix,
+	sums, err := fleet.Run(func(res engine.Result) error {
+		for _, e := range tallies[res.Bus].Observe(res.Result) {
+			e.Bus = res.Bus
+			if timeline {
+				fmt.Printf("[%s] %s\n", res.Bus, timelineLine(e))
+			}
+			if err := fleet.EmitEvent(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for i, sum := range sums {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== bus %s ==\n", sum.Bus)
+		if sum.Err != nil {
+			fmt.Printf("replay failed: %v\n", sum.Err)
+			// Fall through: the partial tally and stats still describe
+			// everything delivered before the abort.
+		}
+		printSummary(sum, tallies[sum.Bus], fl)
 	}
+	return err
+}
+
+// printSummary renders one session's end-of-replay report.
+func printSummary(sum engine.Summary, t *engine.Tally, fl *engine.Flags) {
+	h := sum.Header
+	fmt.Printf("capture: %s (%s, %.0f kb/s, %d-bit @ %.1f MS/s)\n",
+		sum.Capture, h.Vehicle, h.BitRate/1e3, h.ADC.Bits, h.ADC.SampleRate/1e6)
+	fmt.Printf("frames: %d over %.2fs (replayed in %.2fs, %d workers, %.0f%% busy)\n",
+		sum.Stats.RecordsOut, t.LastAt, sum.Stats.WallTime.Seconds(), sum.Stats.Workers, 100*sum.Stats.Utilization())
+	fmt.Printf("voltage alarms: %d | preprocess failures: %d | timing alarms: %d | silent ids at end: %d\n",
+		t.VoltAlarms, t.PreprocFailed, t.PeriodAlarms, len(sum.SilentStreams))
+	fmt.Printf("transport transfers: %d (DM1 reports: %d) | transport errors: %d | monitor faults: %d\n",
+		t.TPTransfers, t.DM1Reports, t.TPErrors, t.TimingFaults)
+	if len(sum.Corruptions) > 0 {
+		var skipped int64
+		for _, c := range sum.Corruptions {
+			skipped += c.Skipped
+		}
+		fmt.Printf("capture corruption: %d stretches recovered, %d bytes resynced past\n",
+			len(sum.Corruptions), skipped)
+	}
+	if fl.Quarantine {
+		fmt.Printf("quarantine: %d alarms coalesced | %d SAs degraded at end\n",
+			t.Suppressed, sum.DegradedSAs)
+	}
+	if sum.Flight != nil {
+		fmt.Printf("flight recorder: %d frames traced, %d alarms, %d bundles → %s\n",
+			sum.Flight.Frames, sum.Flight.Alarms, sum.Flight.Bundles, fl.FlightDir)
+	}
+	if sum.ModelSwaps > 0 {
+		fmt.Printf("model: %d hot swaps, final version %d\n", sum.ModelSwaps, sum.ModelVersion)
+	}
+	fmt.Println()
+	fmt.Print(t.Table())
 }

@@ -2,167 +2,9 @@ package main
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
-	"vprofile/internal/canbus"
-	"vprofile/internal/ids"
 	"vprofile/internal/obs"
-	"vprofile/internal/obs/tracing"
-	"vprofile/internal/pipeline"
 )
-
-// saTally is one row of the per-SA table. Alarms are split by
-// detector family so the table reconciles exactly with the summary
-// totals: voltage covers vProfile anomalies and preprocess failures,
-// timing covers early arrivals, transport covers malformed transfers.
-type saTally struct {
-	frames     int
-	voltAlarms int
-	timeAlarms int
-	tpAlarms   int
-	lastSeen   float64
-	// Quarantine bookkeeping (zero / SAHealthy unless -quarantine):
-	// suppressed counts coalesced voltage alarms, state tracks the
-	// SA's latest quarantine state.
-	suppressed int
-	state      ids.SAState
-}
-
-// tally accumulates the replay's summary counters, the per-SA table,
-// and the structured event stream that feeds both the -timeline
-// output and the -events JSONL log.
-type tally struct {
-	perSA map[uint8]*saTally
-
-	voltAlarms    int
-	preprocFailed int
-	periodAlarms  int
-	tpTransfers   int
-	tpErrors      int
-	timingFaults  int
-	dm1Reports    int
-	suppressed    int
-	quarantined   bool
-	lastAt        float64
-}
-
-func newTally() *tally { return &tally{perSA: map[uint8]*saTally{}} }
-
-// observe folds one replay result into the tally and returns the
-// structured events it produced (nil for an unremarkable frame).
-// Alarm events are severity-tagged, and on a traced replay every
-// event carries the frame's TraceID so event lines join against the
-// flight recorder's decision records.
-func (t *tally) observe(res pipeline.Result) []obs.Event {
-	rec, r := res.Record, res.Verdict
-	t.lastAt = rec.TimeSec
-	sa := uint8(res.Frame.SA())
-	c := t.perSA[sa]
-	if c == nil {
-		c = &saTally{}
-		t.perSA[sa] = c
-	}
-	c.frames++
-	c.lastSeen = rec.TimeSec
-
-	traceID := ""
-	if res.Trace != nil {
-		traceID = res.Trace.ID.String()
-	}
-	var events []obs.Event
-	switch {
-	case r.ExtractErr != nil:
-		// The voltage verdict is the zero value here — reporting it
-		// would claim "ok, dist 0.00" for a frame that never made it
-		// through preprocessing. Report the real failure.
-		t.preprocFailed++
-		c.voltAlarms++
-		if r.Suppressed {
-			// The sender is quarantined: count the evidence, skip the
-			// per-frame event — that's the alarm spam quarantine exists
-			// to coalesce.
-			t.suppressed++
-			c.suppressed++
-		} else {
-			events = append(events, obs.Event{
-				TimeSec: rec.TimeSec, Kind: obs.EventPreprocess,
-				Severity: tracing.SeverityFor(obs.EventPreprocess), Trace: traceID,
-				SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
-				Detail: r.ExtractErr.Error(),
-			})
-		}
-	case r.Voltage.Anomaly:
-		t.voltAlarms++
-		c.voltAlarms++
-		if r.Suppressed {
-			t.suppressed++
-			c.suppressed++
-		} else {
-			events = append(events, obs.Event{
-				TimeSec: rec.TimeSec, Kind: obs.EventVoltage,
-				Severity: tracing.SeverityFor(obs.EventVoltage), Trace: traceID,
-				SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
-				Reason: r.Voltage.Reason.String(), Dist: r.Voltage.MinDist,
-				Predict: int(r.Voltage.Predict),
-			})
-		}
-	}
-	c.state = r.SAState
-	if r.SAState != ids.SAHealthy || r.QuarantineChanged() {
-		t.quarantined = true
-	}
-	if r.QuarantineChanged() {
-		sev := obs.SeverityInfo
-		if r.SAState == ids.SADegraded {
-			sev = tracing.SeverityFor(obs.EventQuarantine)
-		}
-		events = append(events, obs.Event{
-			TimeSec: rec.TimeSec, Kind: obs.EventQuarantine,
-			Severity: sev, Trace: traceID,
-			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
-			Detail: fmt.Sprintf("%s->%s", r.PrevSAState, r.SAState),
-		})
-	}
-	if r.Timing == ids.PeriodTooEarly {
-		t.periodAlarms++
-		c.timeAlarms++
-		events = append(events, obs.Event{
-			TimeSec: rec.TimeSec, Kind: obs.EventTiming,
-			Severity: tracing.SeverityFor(obs.EventTiming), Trace: traceID,
-			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
-		})
-	}
-	if r.TimingErr != nil {
-		t.timingFaults++
-	}
-	if r.TransferErr != nil {
-		t.tpErrors++
-		c.tpAlarms++
-		events = append(events, obs.Event{
-			TimeSec: rec.TimeSec, Kind: obs.EventTransport,
-			Severity: tracing.SeverityFor(obs.EventTransport), Trace: traceID,
-			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
-			Detail: r.TransferErr.Error(),
-		})
-	}
-	if r.Transfer != nil {
-		t.tpTransfers++
-		if r.Transfer.PGN == canbus.PGNDM1 {
-			if lamps, dtcs, err := canbus.DecodeDM1(r.Transfer.Payload); err == nil {
-				t.dm1Reports++
-				events = append(events, obs.Event{
-					TimeSec: rec.TimeSec, Kind: obs.EventDM1,
-					Severity: obs.SeverityInfo, Trace: traceID,
-					SA: obs.U8(uint8(r.Transfer.SA)), FrameID: obs.U32(rec.FrameID),
-					PGN: uint32(r.Transfer.PGN), DTCs: len(dtcs),
-					Detail: fmt.Sprintf("lamps=%+v", lamps),
-				})
-			}
-		}
-	}
-	return events
-}
 
 // timelineLine renders one event the way the -timeline flag prints it.
 func timelineLine(e obs.Event) string {
@@ -182,35 +24,4 @@ func timelineLine(e obs.Event) string {
 		return fmt.Sprintf("%10.4fs  QUARANT  SA %#02x %s", e.TimeSec, *e.SA, e.Detail)
 	}
 	return fmt.Sprintf("%10.4fs  %s", e.TimeSec, e.Kind)
-}
-
-// table renders the per-SA accounting. Every alarm family the summary
-// counts is attributed to a source address, so each column sums to
-// its summary total: volt = voltage alarms + preprocess failures,
-// timing = timing alarms, tp = transport errors. On a quarantined
-// replay two more columns appear: supp (coalesced voltage alarms, a
-// subset of volt) and the SA's final quarantine state.
-func (t *tally) table() string {
-	sas := make([]int, 0, len(t.perSA))
-	for sa := range t.perSA {
-		sas = append(sas, int(sa))
-	}
-	sort.Ints(sas)
-	var b strings.Builder
-	if t.quarantined {
-		fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %8s %10s %10s\n", "SA", "frames", "volt", "timing", "tp", "supp", "state", "last seen")
-	} else {
-		fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %10s\n", "SA", "frames", "volt", "timing", "tp", "last seen")
-	}
-	for _, sa := range sas {
-		c := t.perSA[uint8(sa)]
-		if t.quarantined {
-			fmt.Fprintf(&b, "  %#02x %8d %8d %8d %8d %8d %10s %9.2fs\n",
-				sa, c.frames, c.voltAlarms, c.timeAlarms, c.tpAlarms, c.suppressed, c.state, c.lastSeen)
-		} else {
-			fmt.Fprintf(&b, "  %#02x %8d %8d %8d %8d %9.2fs\n",
-				sa, c.frames, c.voltAlarms, c.timeAlarms, c.tpAlarms, c.lastSeen)
-		}
-	}
-	return b.String()
 }

@@ -25,6 +25,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"vprofile/internal/core"
@@ -44,17 +45,22 @@ type Run struct {
 	Metrics      bool    `json:"metrics"`
 	Flight       bool    `json:"flight,omitempty"`
 	Faults       bool    `json:"faults,omitempty"`
+	Buses        int     `json:"buses,omitempty"` // >1 on fleet/indep pair configs
+	SharedPool   bool    `json:"shared_pool,omitempty"`
 	Seconds      float64 `json:"seconds"`
 	FramesPerSec float64 `json:"frames_per_sec"`
 	// SpeedupVsSequential compares against the uninstrumented
 	// sequential run; OverheadPct compares metrics-on (or
 	// tracing+flight-on, or fault-layer-on) against the same worker
 	// count with everything off, each side taken as its
-	// best-of-repeat time.
+	// best-of-repeat time. FleetOverheadPct compares a shared-pool
+	// fleet replay against the same buses running independent private
+	// pools of the same total width.
 	SpeedupVsSequential float64  `json:"speedup_vs_sequential"`
 	OverheadPct         *float64 `json:"metrics_overhead_pct,omitempty"`
 	FlightOverheadPct   *float64 `json:"flight_overhead_pct,omitempty"`
 	FaultsOverheadPct   *float64 `json:"faults_overhead_pct,omitempty"`
+	FleetOverheadPct    *float64 `json:"fleet_overhead_pct,omitempty"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -85,6 +91,13 @@ type Report struct {
 	// layer off. The acceptance bar keeps it under 2% — degraded-mode
 	// machinery must be free when nothing is degraded.
 	FaultsOverheadPct float64 `json:"faults_overhead_pct"`
+	// FleetOverheadPct is the median over the fleet pair
+	// configurations: two concurrent replays on one shared pool versus
+	// the same two replays on independent private pools of the same
+	// total width. It prices the sharing mechanism (dispatcher +
+	// submit contention), not worker-count differences. The acceptance
+	// bar keeps it under 5%.
+	FleetOverheadPct float64 `json:"fleet_overhead_pct"`
 }
 
 func main() {
@@ -196,6 +209,51 @@ func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, 
 	return st.WallTime, nil
 }
 
+// fleetOnce replays the capture `buses` times concurrently and
+// returns the overall elapsed time. With shared=true every replay
+// submits to one pool of buses×workersPerBus goroutines (the fleet
+// shape); otherwise each replay owns a private pool of workersPerBus
+// goroutines — the same total worker count, so the pair isolates the
+// cost of the sharing mechanism itself.
+func fleetOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, buses, workersPerBus, records int, shared bool) (time.Duration, error) {
+	var pool *pipeline.Pool
+	if shared {
+		pool = pipeline.NewPool(buses * workersPerBus)
+		defer pool.Close()
+	}
+	errs := make([]error, buses)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for b := 0; b < buses; b++ {
+		rd, err := trace.NewReader(bytes.NewReader(capture))
+		if err != nil {
+			return 0, err
+		}
+		mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: v.ExtractionConfig()})
+		if err != nil {
+			return 0, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := pipeline.Config{Workers: workersPerBus, Pool: pool}
+			var st pipeline.Stats
+			st, errs[b] = pipeline.Replay(rd, mon, cfg, nil)
+			if errs[b] == nil && st.RecordsOut != int64(records) {
+				errs[b] = fmt.Errorf("replayed %d of %d records", st.RecordsOut, records)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed, nil
+}
+
 func run(out string, records, repeat int) error {
 	fmt.Fprintf(os.Stderr, "replaybench: generating %d-record fixture...\n", records)
 	capture, model, v, err := fixture(records)
@@ -209,6 +267,8 @@ func run(out string, records, repeat int) error {
 		metrics bool
 		flight  bool
 		faults  bool
+		buses   int  // >1 runs the fleet pair shape
+		shared  bool // fleet: one shared pool instead of private pools
 	}
 	// Each instrumented configuration sits directly after the plain
 	// run it is compared against, so the pair executes back-to-back
@@ -219,15 +279,22 @@ func run(out string, records, repeat int) error {
 	// workers.
 	var configs []config
 	configs = append(configs,
-		config{"sequential", 0, false, false, false},
-		config{"sequential+metrics", 0, true, false, false})
+		config{name: "sequential"},
+		config{name: "sequential+metrics", metrics: true})
 	for _, w := range []int{1, 2, 4, 8} {
-		configs = append(configs, config{fmt.Sprintf("parallel%d", w), w, false, false, false})
-		configs = append(configs, config{fmt.Sprintf("parallel%d+metrics", w), w, true, false, false})
+		configs = append(configs, config{name: fmt.Sprintf("parallel%d", w), workers: w})
+		configs = append(configs, config{name: fmt.Sprintf("parallel%d+metrics", w), workers: w, metrics: true})
 		if w != 2 {
-			configs = append(configs, config{fmt.Sprintf("parallel%d+flight", w), w, false, true, false})
-			configs = append(configs, config{fmt.Sprintf("parallel%d+faults", w), w, false, false, true})
+			configs = append(configs, config{name: fmt.Sprintf("parallel%d+flight", w), workers: w, flight: true})
+			configs = append(configs, config{name: fmt.Sprintf("parallel%d+faults", w), workers: w, faults: true})
 		}
+	}
+	// Fleet pairs: each shared-pool config sits directly after the
+	// independent-pools config it is compared against, same total
+	// worker count on both sides.
+	for _, w := range []int{1, 4} {
+		configs = append(configs, config{name: fmt.Sprintf("indep2x%d", w), workers: w, buses: 2})
+		configs = append(configs, config{name: fmt.Sprintf("fleet2x%d", w), workers: w, buses: 2, shared: true})
 	}
 
 	// Interleave the runs round-robin across every configuration
@@ -243,7 +310,13 @@ func run(out string, records, repeat int) error {
 		off := i * len(configs) / repeat
 		for j := range configs {
 			c := configs[(j+off)%len(configs)]
-			d, err := replayOnce(capture, model, v, c.workers, records, c.metrics, c.flight, c.faults)
+			var d time.Duration
+			var err error
+			if c.buses > 1 {
+				d, err = fleetOnce(capture, model, v, c.buses, c.workers, records, c.shared)
+			} else {
+				d, err = replayOnce(capture, model, v, c.workers, records, c.metrics, c.flight, c.faults)
+			}
 			if err != nil {
 				return fmt.Errorf("%s: %w", c.name, err)
 			}
@@ -253,8 +326,12 @@ func run(out string, records, repeat int) error {
 		}
 	}
 	for _, c := range configs {
+		n := records
+		if c.buses > 1 {
+			n = records * c.buses
+		}
 		fmt.Fprintf(os.Stderr, "replaybench: %-20s %8.3fs  %9.0f frames/s\n",
-			c.name, best[c.name].Seconds(), float64(records)/best[c.name].Seconds())
+			c.name, best[c.name].Seconds(), float64(n)/best[c.name].Seconds())
 	}
 
 	report := Report{
@@ -279,18 +356,25 @@ func run(out string, records, repeat int) error {
 	}
 
 	seqBase := best["sequential"].Seconds()
-	var overheads, flightOverheads, faultOverheads []float64
+	var overheads, flightOverheads, faultOverheads, fleetOverheads []float64
 	for _, c := range configs {
 		sec := best[c.name].Seconds()
+		totalRecords := records
+		if c.buses > 1 {
+			totalRecords = records * c.buses
+		}
+		fps := float64(totalRecords) / sec
 		r := Run{
 			Name:                c.name,
 			Workers:             c.workers,
 			Metrics:             c.metrics,
 			Flight:              c.flight,
 			Faults:              c.faults,
+			Buses:               c.buses,
+			SharedPool:          c.shared,
 			Seconds:             sec,
-			FramesPerSec:        float64(records) / sec,
-			SpeedupVsSequential: seqBase / sec,
+			FramesPerSec:        fps,
+			SpeedupVsSequential: fps / (float64(records) / seqBase),
 		}
 		if c.metrics {
 			pct := bestOverhead(c.name, c.name[:len(c.name)-len("+metrics")])
@@ -307,6 +391,11 @@ func run(out string, records, repeat int) error {
 			r.FaultsOverheadPct = &pct
 			faultOverheads = append(faultOverheads, pct)
 		}
+		if c.shared {
+			pct := bestOverhead(c.name, "indep"+c.name[len("fleet"):])
+			r.FleetOverheadPct = &pct
+			fleetOverheads = append(fleetOverheads, pct)
+		}
 		report.Runs = append(report.Runs, r)
 	}
 	sort.Float64s(overheads)
@@ -315,6 +404,8 @@ func run(out string, records, repeat int) error {
 	report.FlightOverheadPct = flightOverheads[len(flightOverheads)/2]
 	sort.Float64s(faultOverheads)
 	report.FaultsOverheadPct = faultOverheads[len(faultOverheads)/2]
+	sort.Float64s(fleetOverheads)
+	report.FleetOverheadPct = fleetOverheads[len(fleetOverheads)/2]
 
 	f, err := os.Create(out)
 	if err != nil {
@@ -326,7 +417,7 @@ func run(out string, records, repeat int) error {
 	if err := enc.Encode(report); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%%, fault-layer overhead %.2f%% → %s\n",
-		report.MetricsOverheadPct, report.FlightOverheadPct, report.FaultsOverheadPct, out)
+	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%%, fault-layer overhead %.2f%%, fleet overhead %.2f%% → %s\n",
+		report.MetricsOverheadPct, report.FlightOverheadPct, report.FaultsOverheadPct, report.FleetOverheadPct, out)
 	return nil
 }

@@ -5,13 +5,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"vprofile/internal/analog"
 	"vprofile/internal/core"
 	"vprofile/internal/edgeset"
 	"vprofile/internal/faults"
 	"vprofile/internal/ids"
+	"vprofile/internal/obs"
+	"vprofile/internal/pipeline"
+	"vprofile/internal/trace"
 	"vprofile/internal/vehicle"
 )
 
@@ -68,6 +73,9 @@ func cmdFaults(args []string) error {
 	seed := fs.Int64("seed", 1, "traffic generation seed")
 	faultSeed := fs.Int64("fault-seed", 1, "fault injection seed")
 	jsonOut := fs.String("json", "", "also write the sweep as JSON to this file")
+	workers := fs.Int("workers", 0, "extraction worker pool size (0 = GOMAXPROCS)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address during the sweep (e.g. :9090)")
+	stall := fs.Duration("stall-timeout", 0, "abort a step if its verdict stream stalls this long (0 disables the watchdog)")
 	fs.Parse(args)
 
 	base, err := faults.ParseSpec(*spec)
@@ -121,10 +129,26 @@ func cmdFaults(args []string) error {
 		return err
 	}
 
+	// The replay config mirrors busmon's: per-stage metrics and the
+	// stall watchdog pass straight through to the pipeline each
+	// intensity step runs on. One registry spans the sweep (the
+	// instruments are cumulative across steps).
+	rcfg := pipeline.Config{Workers: *workers, StallTimeout: *stall}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		rcfg.Metrics = pipeline.NewMetrics(reg)
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.ShutdownTimeout(2 * time.Second) }()
+		fmt.Fprintf(os.Stderr, "faults: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+	}
+
 	points := make([]faultsPoint, 0, *steps)
 	for s := 0; s < *steps; s++ {
 		k := float64(s) / float64(*steps-1)
-		pt, err := faultsStep(v, model, extraction, base.Scale(k), k, *faultSeed, clean, attack)
+		pt, err := faultsStep(v, model, extraction, base.Scale(k), k, *faultSeed, clean, attack, rcfg)
 		if err != nil {
 			return fmt.Errorf("intensity %.2f: %w", k, err)
 		}
@@ -157,12 +181,31 @@ func cmdFaults(args []string) error {
 	return nil
 }
 
+// memSource feeds pre-rendered records to the replay pipeline in
+// order — the in-memory counterpart of a capture reader.
+type memSource struct {
+	recs []*trace.Record
+	i    int
+}
+
+func (m *memSource) Next() (*trace.Record, error) {
+	if m.i >= len(m.recs) {
+		return nil, io.EOF
+	}
+	r := m.recs[m.i]
+	m.i++
+	return r, nil
+}
+
 // faultsStep replays one intensity step through a fresh
-// quarantine-enabled composite: the clean capture first (measuring
-// false alarms), then the foreign-device capture (measuring whether
-// the attack is still caught). Pre-rendered traces are copied before
-// fault injection so steps never contaminate each other.
-func faultsStep(v *vehicle.Vehicle, model *core.Model, extraction edgeset.Config, spec faults.Spec, k float64, faultSeed int64, clean, attack *vehicle.Capture) (faultsPoint, error) {
+// quarantine-enabled composite on the concurrent pipeline: the clean
+// capture first (measuring false alarms), then the foreign-device
+// capture (measuring whether the attack is still caught). Fault
+// injection happens sequentially while staging the records —
+// pre-rendered traces are copied first so steps never contaminate
+// each other — and the pipeline's reordering stage keeps the
+// accounting identical to the old sequential replay.
+func faultsStep(v *vehicle.Vehicle, model *core.Model, extraction edgeset.Config, spec faults.Spec, k float64, faultSeed int64, clean, attack *vehicle.Capture, rcfg pipeline.Config) (faultsPoint, error) {
 	inj, err := faults.NewInjector(spec, faultSeed, v.ADC)
 	if err != nil {
 		return faultsPoint{}, err
@@ -174,18 +217,29 @@ func faultsStep(v *vehicle.Vehicle, model *core.Model, extraction edgeset.Config
 	if err != nil {
 		return faultsPoint{}, err
 	}
-	pt := faultsPoint{Intensity: k, Spec: spec.String()}
-	msgIdx := 0
-	process := func(m vehicle.Message, isAttack bool) {
+	src := &memSource{recs: make([]*trace.Record, 0, len(clean.Messages)+len(attack.Messages))}
+	stage := func(m vehicle.Message) {
 		tr := append(analog.Trace(nil), m.Trace...)
-		inj.Apply(msgIdx, m.ECUIndex, m.TimeSec, tr)
-		msgIdx++
-		r := mon.Process(m.Frame, tr, m.TimeSec)
+		inj.Apply(len(src.recs), m.ECUIndex, m.TimeSec, tr)
+		src.recs = append(src.recs, &trace.Record{
+			TimeSec: m.TimeSec, FrameID: m.Frame.ID, Data: m.Frame.Data, Trace: tr,
+		})
+	}
+	for _, m := range clean.Messages {
+		stage(m)
+	}
+	for _, m := range attack.Messages {
+		stage(m)
+	}
+
+	pt := faultsPoint{Intensity: k, Spec: spec.String()}
+	_, err = pipeline.Replay(src, mon, rcfg, func(res pipeline.Result) error {
+		r := res.Verdict
 		suspicious := r.ExtractErr != nil || r.Voltage.Anomaly
 		if r.ExtractErr != nil {
 			pt.ExtractFails++
 		}
-		if isAttack {
+		if res.Index >= len(clean.Messages) {
 			pt.AttackFrames++
 			if suspicious {
 				pt.AttackCaught++
@@ -202,12 +256,10 @@ func faultsStep(v *vehicle.Vehicle, model *core.Model, extraction edgeset.Config
 		if r.Suppressed {
 			pt.Suppressed++
 		}
-	}
-	for _, m := range clean.Messages {
-		process(m, false)
-	}
-	for _, m := range attack.Messages {
-		process(m, true)
+		return nil
+	})
+	if err != nil {
+		return faultsPoint{}, err
 	}
 	if pt.CleanFrames > 0 {
 		pt.FPR = float64(pt.FalseAlarms) / float64(pt.CleanFrames)

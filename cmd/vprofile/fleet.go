@@ -1,0 +1,79 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vprofile/internal/engine"
+)
+
+// busCount is one bus's running classification tally.
+type busCount struct {
+	frames, flagged, extractFails int
+}
+
+// cmdFleet classifies several captures concurrently over one shared
+// worker pool — the multi-bus deployment shape, with per-bus metrics
+// labels, a shared event log and one hot-swappable model.
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	fl := engine.RegisterFlags(fs)
+	verbose := fs.Bool("v", false, "print every anomalous message")
+	fs.Parse(args)
+	if fl.Capture == "" {
+		return errors.New("fleet: -capture is required (comma-separated capture files)")
+	}
+	if fl.Model == "" {
+		fl.Model = "model.vpm"
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fleet: "+format+"\n", args...)
+	}
+	captures := strings.Split(fl.Capture, ",")
+	fleet, err := engine.NewFleet(captures, append(fl.Options(), engine.WithLogf(logf))...)
+	if err != nil {
+		return err
+	}
+	counts := map[string]*busCount{}
+	for _, bus := range fleet.Buses() {
+		counts[bus] = &busCount{}
+	}
+	sums, err := fleet.Run(func(res engine.Result) error {
+		c := counts[res.Bus]
+		r := res.Result
+		if r.Verdict.ExtractErr != nil {
+			c.frames++
+			c.extractFails++
+			return nil
+		}
+		c.frames++
+		if r.Verdict.Voltage.Anomaly {
+			c.flagged++
+			if *verbose {
+				d := r.Verdict.Voltage
+				fmt.Printf("[%s] message %6d: SA %#02x flagged (%s, dist %.2f)\n",
+					res.Bus, r.Index, uint8(r.Frame.SA()), d.Reason, d.MinDist)
+			}
+			e := engine.VoltageEvent(r)
+			e.Bus = res.Bus
+			return fleet.EmitEvent(e)
+		}
+		return nil
+	})
+	for _, sum := range sums {
+		c := counts[sum.Bus]
+		status := "ok"
+		if sum.Err != nil {
+			status = sum.Err.Error()
+		}
+		fmt.Printf("bus %-12s %7d messages, %5d flagged, %4d preprocess failures, %.2fs — %s\n",
+			sum.Bus, c.frames, c.flagged, c.extractFails, sum.Stats.WallTime.Seconds(), status)
+		if sum.ModelSwaps > 0 {
+			fmt.Printf("bus %-12s model: %d hot swaps, final version %d\n", sum.Bus, sum.ModelSwaps, sum.ModelVersion)
+		}
+	}
+	return err
+}

@@ -5,9 +5,16 @@
 //
 //	vprofile train  -capture train.vptr -model model.vpm [-metric mahalanobis] [-margin 10]
 //	vprofile detect -capture test.vptr  -model model.vpm [-workers 8] [-metrics :9090] [-events run.jsonl] [-flight forensics/]
+//	vprofile fleet  -capture a.vptr,b.vptr -model model.vpm [-metrics :9090]
 //	vprofile update -capture new.vptr   -model model.vpm -out updated.vpm
 //	vprofile info   -model model.vpm
 //	vprofile faults -vehicle b -faults all -steps 6 -json sweep.json
+//
+// detect and fleet expose the same session flag set as busmon
+// (internal/engine registers it for all three), including -recover,
+// -quarantine, -stall-timeout and -model-watch. Exit status is 2 for
+// usage errors, 3 when a replay aborts mid-stream (stall watchdog,
+// unrecovered corruption), 1 for other errors.
 package main
 
 import (
@@ -16,15 +23,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"time"
 
 	"vprofile/internal/core"
 	"vprofile/internal/edgeset"
-	"vprofile/internal/ids"
-	"vprofile/internal/obs"
-	"vprofile/internal/obs/tracing"
-	"vprofile/internal/pipeline"
+	"vprofile/internal/engine"
 	"vprofile/internal/stats"
 	"vprofile/internal/trace"
 )
@@ -39,6 +41,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "detect":
 		err = cmdDetect(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "update":
 		err = cmdUpdate(os.Args[2:])
 	case "info":
@@ -50,48 +54,27 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vprofile:", err)
+		var abort *engine.AbortError
+		if errors.As(err, &abort) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vprofile {train|detect|update|info|faults} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: vprofile {train|detect|fleet|update|info|faults} [flags]")
 	os.Exit(2)
-}
-
-// extractionFor derives the extraction parameters from a capture
-// header, scaling the paper's 10 MS/s reference values.
-func extractionFor(h trace.Header) edgeset.Config {
-	perBit := int(h.ADC.SamplesPerBit(h.BitRate))
-	scale := float64(perBit) / 40.0
-	prefix := int(2 * scale)
-	if prefix < 1 {
-		prefix = 1
-	}
-	suffix := int(14 * scale)
-	if suffix < 3 {
-		suffix = 3
-	}
-	return edgeset.Config{
-		BitWidth:     perBit,
-		BitThreshold: h.ADC.VoltsToCode(1.0),
-		PrefixLen:    prefix,
-		SuffixLen:    suffix,
-	}
 }
 
 // readSamples preprocesses every record of a capture.
 func readSamples(path string) ([]core.Sample, trace.Header, error) {
-	f, err := os.Open(path)
+	rd, closer, err := trace.OpenPath(path)
 	if err != nil {
 		return nil, trace.Header{}, err
 	}
-	defer f.Close()
-	rd, err := trace.OpenReader(f)
-	if err != nil {
-		return nil, trace.Header{}, err
-	}
-	cfg := extractionFor(rd.Header())
+	defer closer.Close()
+	cfg := engine.ExtractionFor(rd.Header())
 	var out []core.Sample
 	for {
 		rec, err := rd.Next()
@@ -159,98 +142,36 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-func loadModel(path string) (*core.Model, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.Load(f)
-}
-
 func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
-	capture := fs.String("capture", "", "capture file to classify")
-	modelPath := fs.String("model", "model.vpm", "trained model file")
+	fl := engine.RegisterFlags(fs)
 	verbose := fs.Bool("v", false, "print every anomalous message")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "extraction worker pool size")
-	metricsAddr := fs.String("metrics", "", "serve /metrics, /debug/pprof/ (and /debug/flight with -flight) on this address during the replay (e.g. :9090)")
-	eventsPath := fs.String("events", "", "write a JSONL event log (plus end-of-run stats snapshot) to this file")
-	flightDir := fs.String("flight", "", "trace every frame and write forensic bundles around alarms into this directory")
-	flightWindow := fs.Int("flight-window", 8, "frames of pre/post context frozen around each alarm")
 	fs.Parse(args)
-	if *capture == "" {
+	if fl.Capture == "" {
 		return errors.New("detect: -capture is required")
 	}
-	model, err := loadModel(*modelPath)
-	if err != nil {
-		return err
+	if fl.Model == "" {
+		fl.Model = "model.vpm"
 	}
-	f, err := os.Open(*capture)
-	if err != nil {
-		return err
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "detect: "+format+"\n", args...)
 	}
-	defer f.Close()
-	rd, err := trace.OpenReader(f)
-	if err != nil {
-		return err
-	}
-	var (
-		reg *obs.Registry
-		pm  *pipeline.Metrics
-		im  *ids.Metrics
-	)
-	if *metricsAddr != "" || *eventsPath != "" {
-		reg = obs.NewRegistry()
-		pm = pipeline.NewMetrics(reg)
-		im = ids.NewMetrics(reg)
-		rd.SetMetrics(trace.NewMetrics(reg))
-	}
-	var events *obs.EventLog
-	if *eventsPath != "" {
-		events, err = obs.CreateEventLog(*eventsPath)
-		if err != nil {
-			return err
-		}
-	}
-	var recorder *tracing.Recorder
-	if *flightDir != "" {
-		recorder, err = tracing.NewRecorder(tracing.RecorderConfig{
-			Window: *flightWindow, Dir: *flightDir, Header: rd.Header(), Events: events,
-		})
-		if err != nil {
-			return err
-		}
-	}
-	if *metricsAddr != "" {
-		var routes []obs.Route
-		if recorder != nil {
-			routes = append(routes, obs.Route{Pattern: "/debug/flight", Handler: recorder})
-		}
-		srv, err := obs.Serve(*metricsAddr, reg, routes...)
-		if err != nil {
-			return err
-		}
-		// Let in-flight scrapes finish instead of cutting them off.
-		defer func() { _ = srv.ShutdownTimeout(2 * time.Second) }()
-		fmt.Fprintf(os.Stderr, "detect: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
-		if recorder != nil {
-			fmt.Fprintf(os.Stderr, "detect: flight recorder live at http://%s/debug/flight\n", srv.Addr())
-		}
-	}
-	mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: extractionFor(rd.Header()), Metrics: im})
-	if err != nil {
-		return err
-	}
+	s := engine.NewSession(fl.Capture, append(fl.Options(), engine.WithLogf(logf))...)
+
 	// Replay through the concurrent pipeline: the voltage verdicts are
 	// identical to classifying each preprocessed sample in order, but
 	// the capture streams instead of loading into memory and the hot
 	// path fans out across the worker pool.
 	var cm stats.ConfusionMatrix
+	var extractFails int
 	reasons := map[core.Reason]int{}
-	st, err := pipeline.Replay(rd, mon, pipeline.Config{Workers: *workers, Metrics: pm, Recorder: recorder}, func(r pipeline.Result) error {
+	sum, err := s.Run(func(res engine.Result) error {
+		r := res.Result
 		if r.Verdict.ExtractErr != nil {
-			return fmt.Errorf("record %d: %w", r.Index, r.Verdict.ExtractErr)
+			// A trace too mangled to preprocess is suspicious evidence,
+			// not a replay failure — count it and keep classifying.
+			extractFails++
+			return nil
 		}
 		d := r.Verdict.Voltage
 		cm.Add(false, d.Anomaly)
@@ -260,49 +181,33 @@ func cmdDetect(args []string) error {
 				fmt.Printf("message %6d: SA %#02x flagged (%s, dist %.2f, predicted cluster %d)\n",
 					r.Index, uint8(r.Frame.SA()), d.Reason, d.MinDist, d.Predict)
 			}
-			if events != nil {
-				sa := uint8(r.Frame.SA())
-				traceID := ""
-				if r.Trace != nil {
-					traceID = r.Trace.ID.String()
-				}
-				err := events.Emit(obs.Event{
-					TimeSec: r.Record.TimeSec, Kind: obs.EventVoltage,
-					Severity: tracing.SeverityFor(obs.EventVoltage), Trace: traceID,
-					SA: obs.U8(sa), FrameID: obs.U32(r.Record.FrameID),
-					Reason: d.Reason.String(), Dist: d.MinDist, Predict: int(d.Predict),
-				})
-				if err != nil {
-					return err
-				}
-			}
+			return s.EmitEvent(engine.VoltageEvent(r))
 		}
 		return nil
 	})
-	if recorder != nil {
-		// Close before the event log: flushing truncated capture
-		// windows emits their flight events.
-		if cerr := recorder.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}
-	if events != nil {
-		if cerr := events.Close(reg); cerr != nil && err == nil {
-			err = cerr
-		}
-	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("classified %d messages: %d flagged (%.4f%%) in %.2fs with %d workers\n",
-		cm.Total(), cm.FP+cm.TP, 100*float64(cm.FP+cm.TP)/float64(cm.Total()), st.WallTime.Seconds(), st.Workers)
+		cm.Total(), cm.FP+cm.TP, 100*float64(cm.FP+cm.TP)/float64(cm.Total()), sum.Stats.WallTime.Seconds(), sum.Stats.Workers)
 	for r, n := range reasons {
 		fmt.Printf("  %-18s %d\n", r.String()+":", n)
 	}
-	if recorder != nil {
-		fs := recorder.Stats()
+	if extractFails > 0 {
+		fmt.Printf("preprocess failures: %d\n", extractFails)
+	}
+	if len(sum.Corruptions) > 0 {
+		fmt.Printf("capture corruption: %d stretches recovered\n", len(sum.Corruptions))
+	}
+	if fl.Quarantine {
+		fmt.Printf("quarantine: %d SAs degraded at end\n", sum.DegradedSAs)
+	}
+	if sum.Flight != nil {
 		fmt.Printf("flight recorder: %d frames traced, %d alarms, %d bundles → %s\n",
-			fs.Frames, fs.Alarms, fs.Bundles, *flightDir)
+			sum.Flight.Frames, sum.Flight.Alarms, sum.Flight.Bundles, fl.FlightDir)
+	}
+	if sum.ModelSwaps > 0 {
+		fmt.Printf("model: %d hot swaps, final version %d\n", sum.ModelSwaps, sum.ModelVersion)
 	}
 	return nil
 }
@@ -316,7 +221,7 @@ func cmdUpdate(args []string) error {
 	if *capture == "" {
 		return errors.New("update: -capture is required")
 	}
-	model, err := loadModel(*modelPath)
+	model, err := engine.LoadModelFile(*modelPath)
 	if err != nil {
 		return err
 	}
@@ -351,7 +256,7 @@ func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	modelPath := fs.String("model", "model.vpm", "model file")
 	fs.Parse(args)
-	model, err := loadModel(*modelPath)
+	model, err := engine.LoadModelFile(*modelPath)
 	if err != nil {
 		return err
 	}

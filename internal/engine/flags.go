@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"flag"
+	"runtime"
+	"time"
+)
+
+// Flags is the session flag set shared by every replay-driving CLI
+// (busmon, vprofile detect, vprofile fleet). Registering it through
+// RegisterFlags gives the tools identical names, defaults and help
+// text by construction — flag parity is structural, not copied.
+type Flags struct {
+	Capture      string
+	Model        string
+	Workers      int
+	MetricsAddr  string
+	EventsPath   string
+	FlightDir    string
+	FlightWindow int
+	Quarantine   bool
+	Recover      bool
+	Stall        time.Duration
+	ModelWatch   time.Duration
+}
+
+// RegisterFlags registers the shared session flags on fs and returns
+// the struct they fill after fs.Parse.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Capture, "capture", "", "capture file (plain or gzip); comma-separate several for fleet mode")
+	fs.StringVar(&f.Model, "model", "", "trained vProfile model")
+	fs.IntVar(&f.Workers, "workers", runtime.GOMAXPROCS(0), "extraction worker pool size (fleet mode shares one pool of this size across buses)")
+	fs.StringVar(&f.MetricsAddr, "metrics", "", "serve /metrics, /debug/pprof/ (and /debug/flight with -flight) on this address during the replay (e.g. :9090)")
+	fs.StringVar(&f.EventsPath, "events", "", "write a JSONL event log (plus end-of-run stats snapshot) to this file")
+	fs.StringVar(&f.FlightDir, "flight", "", "trace every frame and write forensic bundles around alarms into this directory")
+	fs.IntVar(&f.FlightWindow, "flight-window", 8, "frames of pre/post context frozen around each alarm")
+	fs.BoolVar(&f.Quarantine, "quarantine", false, "enable per-SA quarantine: senders with sustained voltage anomalies degrade and their alarms coalesce")
+	fs.BoolVar(&f.Recover, "recover", false, "tolerate capture corruption: resync past damaged records instead of aborting")
+	fs.DurationVar(&f.Stall, "stall-timeout", 0, "abort the replay if the verdict stream stalls this long (0 disables the watchdog)")
+	fs.DurationVar(&f.ModelWatch, "model-watch", 0, "poll the model file at this interval and hot-swap it when rewritten (0 disables)")
+	return f
+}
+
+// Options translates the parsed flags into session options. Capture
+// is excluded — it names the session (or fleet) rather than
+// configuring it.
+func (f *Flags) Options() []Option {
+	opts := []Option{
+		WithModelPath(f.Model),
+		WithWorkers(f.Workers),
+		WithMetricsAddr(f.MetricsAddr),
+		WithEventsPath(f.EventsPath),
+		WithQuarantine(f.Quarantine),
+		WithRecovery(f.Recover),
+		WithStallTimeout(f.Stall),
+		WithModelWatch(f.ModelWatch),
+	}
+	if f.FlightDir != "" {
+		opts = append(opts, WithFlightRecorder(f.FlightDir, f.FlightWindow))
+	}
+	return opts
+}

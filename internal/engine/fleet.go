@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"vprofile/internal/obs"
+	"vprofile/internal/pipeline"
+)
+
+// Fleet runs one session per capture file concurrently — N buses
+// monitored side by side — over a single shared worker pool, so the
+// extraction/scoring concurrency is bounded fleet-wide instead of
+// multiplying per bus. Sessions are fail-isolated: one bus stalling
+// or hitting unrecovered corruption ends that bus's replay (its
+// Summary carries the error) while the others run to completion.
+//
+// Shared resources are fleet-owned: the model store (so a hot swap
+// reaches every bus), the metrics endpoint (per-bus registries
+// grouped under a bus="name" label) and the event log (records tagged
+// with their bus). Flight recording, when enabled, writes each bus's
+// bundles under its own subdirectory.
+type Fleet struct {
+	captures []string
+	buses    []string
+	sessions []*Session
+
+	proto    *Session // carries the shared option set
+	store    *ModelStore
+	ownStore bool
+	pool     *pipeline.Pool
+	ownPool  bool
+	group    *obs.Group
+	events   *obs.EventLog
+}
+
+// BusNames derives fleet bus names from capture paths: the base name
+// with .vptr/.gz extensions stripped, deduplicated with -2, -3, ...
+// suffixes so every session gets a distinct label.
+func BusNames(captures []string) []string {
+	out := make([]string, len(captures))
+	seen := map[string]int{}
+	for i, c := range captures {
+		n := filepath.Base(c)
+		n = strings.TrimSuffix(n, ".gz")
+		n = strings.TrimSuffix(n, ".vptr")
+		if n == "" || n == "." {
+			n = fmt.Sprintf("bus%d", i)
+		}
+		seen[n]++
+		if k := seen[n]; k > 1 {
+			n = fmt.Sprintf("%s-%d", n, k)
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// NewFleet builds one session per capture, wiring the shared store,
+// pool, metrics group and event log. The options are the same ones a
+// single Session takes; session-scoped ones (model, workers,
+// quarantine, recovery, stall timeout, flight recording) apply to
+// every member, while metrics serving, the event log and -model-watch
+// are hoisted to the fleet.
+func NewFleet(captures []string, opts ...Option) (*Fleet, error) {
+	if len(captures) == 0 {
+		return nil, errors.New("engine: fleet needs at least one capture")
+	}
+	proto := NewSession("", opts...)
+	if err := proto.resolveStore(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		captures: captures,
+		buses:    BusNames(captures),
+		proto:    proto,
+		store:    proto.store,
+		ownStore: proto.ownStore,
+		pool:     proto.pool,
+	}
+	if f.pool == nil {
+		f.pool = pipeline.NewPool(proto.workers)
+		f.ownPool = true
+	}
+	if proto.metricsAddr != "" || proto.eventsPath != "" {
+		f.group = obs.NewGroup("bus")
+	}
+	if proto.eventsPath != "" {
+		var err error
+		f.events, err = obs.CreateEventLog(proto.eventsPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, capture := range captures {
+		bus := f.buses[i]
+		sopts := []Option{
+			WithName(bus),
+			WithStore(f.store),
+			WithPool(f.pool),
+			WithQuarantine(proto.quarantine),
+			WithRecovery(proto.recovery),
+			WithStallTimeout(proto.stall),
+		}
+		if f.group != nil {
+			sopts = append(sopts, WithRegistry(f.group.Add(bus, nil)))
+		}
+		if f.events != nil {
+			sopts = append(sopts, WithEventLog(f.events))
+		}
+		if proto.flightDir != "" {
+			sopts = append(sopts, WithFlightRecorder(filepath.Join(proto.flightDir, bus), proto.flightWindow))
+		}
+		if proto.logf != nil {
+			logf, b := proto.logf, bus
+			sopts = append(sopts, WithLogf(func(format string, args ...any) {
+				logf("["+b+"] "+format, args...)
+			}))
+		}
+		f.sessions = append(f.sessions, NewSession(capture, sopts...))
+	}
+	return f, nil
+}
+
+// Buses returns the derived bus names, in capture order.
+func (f *Fleet) Buses() []string { return append([]string(nil), f.buses...) }
+
+// EmitEvent appends one event to the fleet's shared log — the sink's
+// outlet, like Session.EmitEvent. No-op (nil) without an event log;
+// the caller sets Event.Bus (the serialised sink knows which bus a
+// result came from, the fleet does not).
+func (f *Fleet) EmitEvent(e obs.Event) error {
+	if f.events == nil {
+		return nil
+	}
+	return f.events.Emit(e)
+}
+
+// Run replays every bus concurrently, delivering all verdicts to one
+// serialised sink (each bus's results stay in record order; buses
+// interleave). It returns one Summary per capture, in capture order —
+// present even for failed buses, with Summary.Err set — and the
+// joined error of every failed session. errors.As still finds
+// *AbortError through the join, so exit-code classification works
+// unchanged on a fleet.
+func (f *Fleet) Run(sink Sink) ([]Summary, error) {
+	logf := f.proto.logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if f.proto.metricsAddr != "" {
+		srv, err := obs.Serve(f.proto.metricsAddr, f.group)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = srv.ShutdownTimeout(2 * time.Second) }()
+		logf("serving fleet /metrics and /debug/pprof/ on http://%s", srv.Addr())
+	}
+
+	// A fleet-owned store drives the model watch and announces swaps
+	// once, fleet-wide (each session's gauge still updates itself).
+	started := time.Now()
+	if f.ownStore {
+		if f.events != nil {
+			events := f.events
+			f.store.OnSwap(func(sm StoredModel) {
+				_ = events.Emit(obs.Event{
+					TimeSec: time.Since(started).Seconds(), Kind: obs.EventModelSwap,
+					Severity: obs.SeverityInfo,
+					Detail:   fmt.Sprintf("model version %d", sm.Version),
+				})
+			})
+		}
+		if f.proto.watch > 0 {
+			if f.proto.modelPath == "" {
+				return nil, errors.New("engine: model watch needs a model path")
+			}
+			stop := make(chan struct{})
+			defer close(stop)
+			go f.store.Watch(f.proto.modelPath, f.proto.watch, stop, f.proto.logf)
+		}
+	}
+
+	var sinkMu sync.Mutex
+	serial := sink
+	if serial != nil {
+		serial = func(r Result) error {
+			sinkMu.Lock()
+			defer sinkMu.Unlock()
+			return sink(r)
+		}
+	}
+
+	summaries := make([]Summary, len(f.sessions))
+	var wg sync.WaitGroup
+	for i, s := range f.sessions {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum, err := s.Run(serial)
+			sum.Err = err
+			summaries[i] = sum
+		}()
+	}
+	wg.Wait()
+
+	if f.events != nil {
+		// Per-bus stats records were already contributed by the
+		// sessions; nothing fleet-level left to snapshot.
+		_ = f.events.Close(nil)
+	}
+	if f.ownPool {
+		f.pool.Close()
+	}
+	errs := make([]error, 0, len(summaries))
+	for i := range summaries {
+		if summaries[i].Err != nil {
+			errs = append(errs, fmt.Errorf("bus %s: %w", summaries[i].Bus, summaries[i].Err))
+		}
+	}
+	return summaries, errors.Join(errs...)
+}

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vprofile/internal/canbus"
+	"vprofile/internal/ids"
+	"vprofile/internal/obs"
+	"vprofile/internal/obs/tracing"
+	"vprofile/internal/pipeline"
+)
+
+// saTally is one row of the per-SA table. Alarms are split by
+// detector family so the table reconciles exactly with the summary
+// totals: voltage covers vProfile anomalies and preprocess failures,
+// timing covers early arrivals, transport covers malformed transfers.
+type saTally struct {
+	frames     int
+	voltAlarms int
+	timeAlarms int
+	tpAlarms   int
+	lastSeen   float64
+	// Quarantine bookkeeping (zero / SAHealthy unless quarantine is
+	// on): suppressed counts coalesced voltage alarms, state tracks
+	// the SA's latest quarantine state.
+	suppressed int
+	state      ids.SAState
+}
+
+// Tally accumulates one session's summary counters, the per-SA
+// table, and the structured event stream that feeds both the human
+// timeline and the JSONL event log. It lives in the engine rather
+// than the CLIs so every replay tool derives the identical event
+// stream from a verdict — severities, trace ids and quarantine
+// transitions included.
+type Tally struct {
+	perSA map[uint8]*saTally
+
+	VoltAlarms    int
+	PreprocFailed int
+	PeriodAlarms  int
+	TPTransfers   int
+	TPErrors      int
+	TimingFaults  int
+	DM1Reports    int
+	Suppressed    int
+	Quarantined   bool
+	LastAt        float64
+}
+
+func NewTally() *Tally { return &Tally{perSA: map[uint8]*saTally{}} }
+
+// Observe folds one replay result into the tally and returns the
+// structured events it produced (nil for an unremarkable frame).
+// Alarm events are severity-tagged, and on a traced replay every
+// event carries the frame's TraceID so event lines join against the
+// flight recorder's decision records.
+func (t *Tally) Observe(res pipeline.Result) []obs.Event {
+	rec, r := res.Record, res.Verdict
+	t.LastAt = rec.TimeSec
+	sa := uint8(res.Frame.SA())
+	c := t.perSA[sa]
+	if c == nil {
+		c = &saTally{}
+		t.perSA[sa] = c
+	}
+	c.frames++
+	c.lastSeen = rec.TimeSec
+
+	traceID := ""
+	if res.Trace != nil {
+		traceID = res.Trace.ID.String()
+	}
+	var events []obs.Event
+	switch {
+	case r.ExtractErr != nil:
+		// The voltage verdict is the zero value here — reporting it
+		// would claim "ok, dist 0.00" for a frame that never made it
+		// through preprocessing. Report the real failure.
+		t.PreprocFailed++
+		c.voltAlarms++
+		if r.Suppressed {
+			// The sender is quarantined: count the evidence, skip the
+			// per-frame event — that's the alarm spam quarantine exists
+			// to coalesce.
+			t.Suppressed++
+			c.suppressed++
+		} else {
+			events = append(events, obs.Event{
+				TimeSec: rec.TimeSec, Kind: obs.EventPreprocess,
+				Severity: tracing.SeverityFor(obs.EventPreprocess), Trace: traceID,
+				SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
+				Detail: r.ExtractErr.Error(),
+			})
+		}
+	case r.Voltage.Anomaly:
+		t.VoltAlarms++
+		c.voltAlarms++
+		if r.Suppressed {
+			t.Suppressed++
+			c.suppressed++
+		} else {
+			events = append(events, VoltageEvent(res))
+		}
+	}
+	c.state = r.SAState
+	if r.SAState != ids.SAHealthy || r.QuarantineChanged() {
+		t.Quarantined = true
+	}
+	if r.QuarantineChanged() {
+		sev := obs.SeverityInfo
+		if r.SAState == ids.SADegraded {
+			sev = tracing.SeverityFor(obs.EventQuarantine)
+		}
+		events = append(events, obs.Event{
+			TimeSec: rec.TimeSec, Kind: obs.EventQuarantine,
+			Severity: sev, Trace: traceID,
+			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
+			Detail: fmt.Sprintf("%s->%s", r.PrevSAState, r.SAState),
+		})
+	}
+	if r.Timing == ids.PeriodTooEarly {
+		t.PeriodAlarms++
+		c.timeAlarms++
+		events = append(events, obs.Event{
+			TimeSec: rec.TimeSec, Kind: obs.EventTiming,
+			Severity: tracing.SeverityFor(obs.EventTiming), Trace: traceID,
+			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
+		})
+	}
+	if r.TimingErr != nil {
+		t.TimingFaults++
+	}
+	if r.TransferErr != nil {
+		t.TPErrors++
+		c.tpAlarms++
+		events = append(events, obs.Event{
+			TimeSec: rec.TimeSec, Kind: obs.EventTransport,
+			Severity: tracing.SeverityFor(obs.EventTransport), Trace: traceID,
+			SA: obs.U8(sa), FrameID: obs.U32(rec.FrameID),
+			Detail: r.TransferErr.Error(),
+		})
+	}
+	if r.Transfer != nil {
+		t.TPTransfers++
+		if r.Transfer.PGN == canbus.PGNDM1 {
+			if lamps, dtcs, err := canbus.DecodeDM1(r.Transfer.Payload); err == nil {
+				t.DM1Reports++
+				events = append(events, obs.Event{
+					TimeSec: rec.TimeSec, Kind: obs.EventDM1,
+					Severity: obs.SeverityInfo, Trace: traceID,
+					SA: obs.U8(uint8(r.Transfer.SA)), FrameID: obs.U32(rec.FrameID),
+					PGN: uint32(r.Transfer.PGN), DTCs: len(dtcs),
+					Detail: fmt.Sprintf("lamps=%+v", lamps),
+				})
+			}
+		}
+	}
+	return events
+}
+
+// VoltageEvent renders one voltage verdict as its structured event —
+// the shared shape behind busmon's timeline and vprofile's detect and
+// fleet logs.
+func VoltageEvent(res pipeline.Result) obs.Event {
+	d := res.Verdict.Voltage
+	traceID := ""
+	if res.Trace != nil {
+		traceID = res.Trace.ID.String()
+	}
+	return obs.Event{
+		TimeSec: res.Record.TimeSec, Kind: obs.EventVoltage,
+		Severity: tracing.SeverityFor(obs.EventVoltage), Trace: traceID,
+		SA: obs.U8(uint8(res.Frame.SA())), FrameID: obs.U32(res.Record.FrameID),
+		Reason: d.Reason.String(), Dist: d.MinDist, Predict: int(d.Predict),
+	}
+}
+
+// Table renders the per-SA accounting. Every alarm family the summary
+// counts is attributed to a source address, so each column sums to
+// its summary total: volt = voltage alarms + preprocess failures,
+// timing = timing alarms, tp = transport errors. On a quarantined
+// replay two more columns appear: supp (coalesced voltage alarms, a
+// subset of volt) and the SA's final quarantine state.
+func (t *Tally) Table() string {
+	sas := make([]int, 0, len(t.perSA))
+	for sa := range t.perSA {
+		sas = append(sas, int(sa))
+	}
+	sort.Ints(sas)
+	var b strings.Builder
+	if t.Quarantined {
+		fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %8s %10s %10s\n", "SA", "frames", "volt", "timing", "tp", "supp", "state", "last seen")
+	} else {
+		fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %10s\n", "SA", "frames", "volt", "timing", "tp", "last seen")
+	}
+	for _, sa := range sas {
+		c := t.perSA[uint8(sa)]
+		if t.Quarantined {
+			fmt.Fprintf(&b, "  %#02x %8d %8d %8d %8d %8d %10s %9.2fs\n",
+				sa, c.frames, c.voltAlarms, c.timeAlarms, c.tpAlarms, c.suppressed, c.state, c.lastSeen)
+		} else {
+			fmt.Fprintf(&b, "  %#02x %8d %8d %8d %8d %9.2fs\n",
+				sa, c.frames, c.voltAlarms, c.timeAlarms, c.tpAlarms, c.lastSeen)
+		}
+	}
+	return b.String()
+}

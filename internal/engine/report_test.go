@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vprofile/internal/canbus"
+	"vprofile/internal/core"
+	"vprofile/internal/ids"
+	"vprofile/internal/obs"
+	"vprofile/internal/pipeline"
+	"vprofile/internal/trace"
+)
+
+// result builds a synthetic pipeline result for SA sa at time t.
+func result(sa uint8, t float64, v ids.CompositeResult) pipeline.Result {
+	id := uint32(0x18FEF100) | uint32(sa)
+	return pipeline.Result{
+		Record:  &trace.Record{TimeSec: t, FrameID: id},
+		Frame:   &canbus.ExtendedFrame{ID: id},
+		Verdict: v,
+	}
+}
+
+// TestTallyTableMatchesSummary is the per-SA accounting contract:
+// every alarm family the summary counts — voltage anomalies,
+// preprocess failures, timing alarms AND transport errors — is
+// attributed to a source address, so the table columns sum exactly to
+// the summary totals.
+func TestTallyTableMatchesSummary(t *testing.T) {
+	dm1, err := canbus.EncodeDM1(canbus.LampStatus{AmberWarning: true},
+		[]canbus.DTC{{SPN: 100, FMI: 3, OccurrenceCount: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ta := NewTally()
+	var events []obs.Event
+	feed := func(r pipeline.Result) { events = append(events, ta.Observe(r)...) }
+
+	feed(result(0x10, 1.0, ids.CompositeResult{})) // clean
+	feed(result(0x10, 1.1, ids.CompositeResult{
+		Voltage: core.Detection{Anomaly: true, Reason: core.ReasonClusterMismatch, Predict: 2, MinDist: 42.5},
+	}))
+	feed(result(0x20, 1.2, ids.CompositeResult{ExtractErr: errors.New("garbled trace")}))
+	feed(result(0x20, 1.3, ids.CompositeResult{Timing: ids.PeriodTooEarly}))
+	feed(result(0x30, 1.4, ids.CompositeResult{TransferErr: errors.New("unexpected DT")}))
+	feed(result(0x30, 1.5, ids.CompositeResult{TimingErr: errors.New("no training data")}))
+	feed(result(0x30, 1.6, ids.CompositeResult{
+		Transfer: &canbus.Completed{SA: 0x30, PGN: canbus.PGNDM1, Payload: dm1},
+	}))
+	// A frame that trips timing and transport at once: both columns
+	// must account it.
+	feed(result(0x40, 1.7, ids.CompositeResult{
+		Timing: ids.PeriodTooEarly, TransferErr: errors.New("length mismatch"),
+	}))
+
+	if ta.VoltAlarms != 1 || ta.PreprocFailed != 1 || ta.PeriodAlarms != 2 ||
+		ta.TPErrors != 2 || ta.TimingFaults != 1 || ta.TPTransfers != 1 || ta.DM1Reports != 1 {
+		t.Fatalf("summary totals wrong: %+v", ta)
+	}
+
+	var volt, timing, tp, frames int
+	for _, c := range ta.perSA {
+		volt += c.voltAlarms
+		timing += c.timeAlarms
+		tp += c.tpAlarms
+		frames += c.frames
+	}
+	if frames != 8 {
+		t.Fatalf("per-SA frames = %d, want 8", frames)
+	}
+	if want := ta.VoltAlarms + ta.PreprocFailed; volt != want {
+		t.Fatalf("per-SA voltage alarms = %d, summary says %d", volt, want)
+	}
+	if timing != ta.PeriodAlarms {
+		t.Fatalf("per-SA timing alarms = %d, summary says %d", timing, ta.PeriodAlarms)
+	}
+	if tp != ta.TPErrors {
+		t.Fatalf("per-SA transport alarms = %d, summary says %d", tp, ta.TPErrors)
+	}
+
+	// One event per timeline-worthy occurrence: voltage, preprocess,
+	// 2× timing, 2× transport, dm1.
+	kinds := map[string]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.SA == nil {
+			t.Fatalf("event %+v has no SA", e)
+		}
+	}
+	want := map[string]int{
+		obs.EventVoltage: 1, obs.EventPreprocess: 1, obs.EventTiming: 2,
+		obs.EventTransport: 2, obs.EventDM1: 1,
+	}
+	for k, n := range want {
+		if kinds[k] != n {
+			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		}
+	}
+	if len(events) != 7 {
+		t.Fatalf("got %d events, want 7", len(events))
+	}
+
+	table := ta.Table()
+	for _, row := range []string{"0x10", "0x20", "0x30", "0x40"} {
+		if !strings.Contains(table, row) {
+			t.Fatalf("table missing row %s:\n%s", row, table)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vprofile/internal/core"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/ids"
+	"vprofile/internal/obs"
+	"vprofile/internal/obs/tracing"
+	"vprofile/internal/pipeline"
+	"vprofile/internal/trace"
+)
+
+// AbortError marks a replay that died mid-stream — the verdict stream
+// is incomplete, as opposed to a configuration error that prevented
+// it from starting. The CLIs map it to a distinct exit code (3) so
+// scripts can tell "the capture went bad under us" (stall watchdog,
+// unrecovered corruption) from ordinary usage errors.
+type AbortError struct{ Err error }
+
+func (e *AbortError) Error() string { return "replay aborted: " + e.Err.Error() }
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// classify wraps mid-stream death in AbortError and passes everything
+// else through.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, pipeline.ErrStalled) || errors.Is(err, trace.ErrCorrupt) {
+		return &AbortError{Err: err}
+	}
+	return err
+}
+
+// ExtractionFor derives the edge-set extraction parameters from a
+// capture header, scaling the paper's 10 MS/s reference values to the
+// capture's actual sample rate.
+func ExtractionFor(h trace.Header) edgeset.Config {
+	perBit := int(h.ADC.SamplesPerBit(h.BitRate))
+	scale := float64(perBit) / 40.0
+	prefix := int(2 * scale)
+	if prefix < 1 {
+		prefix = 1
+	}
+	suffix := int(14 * scale)
+	if suffix < 3 {
+		suffix = 3
+	}
+	return edgeset.Config{
+		BitWidth:     perBit,
+		BitThreshold: h.ADC.VoltsToCode(1.0),
+		PrefixLen:    prefix,
+		SuffixLen:    suffix,
+	}
+}
+
+// Result is one record's verdict tagged with the bus it came from
+// (empty on single-bus runs).
+type Result struct {
+	Bus string
+	pipeline.Result
+}
+
+// Sink receives results in record order (per bus). A non-nil error
+// stops that bus's replay. A fleet serialises the calls, so one sink
+// may be shared across buses without locking.
+type Sink func(Result) error
+
+// Summary is everything a session learned by the end of its replay —
+// the data the CLIs print after the verdict stream finishes.
+type Summary struct {
+	Bus     string
+	Capture string
+	Header  trace.Header
+	Stats   pipeline.Stats
+	// Corruptions lists the damaged stretches a recovery-enabled reader
+	// resynced past.
+	Corruptions []trace.RecoveredCorruption
+	// SilentStreams and DegradedSAs snapshot the stateful detectors at
+	// end of capture.
+	SilentStreams []uint32
+	DegradedSAs   int
+	// Flight is the flight recorder's accounting (nil when off).
+	Flight *tracing.Stats
+	// ModelVersion is the model generation at end of replay;
+	// ModelSwaps counts hot swaps observed during it.
+	ModelVersion int
+	ModelSwaps   int
+	// Err is the session's replay error — populated on fleet runs,
+	// where one bus's failure must not hide the others' summaries.
+	Err error
+}
+
+// Session is one capture→verdict run: it owns opening the source,
+// building the composite IDS, wiring observability and running the
+// concurrent replay. Build with NewSession + options, run once with
+// Run. The zero value is not usable.
+type Session struct {
+	capture string
+	name    string
+
+	model     *core.Model
+	modelPath string
+	store     *ModelStore
+	ownStore  bool
+
+	workers int
+	pool    *pipeline.Pool
+
+	metricsAddr  string
+	registry     *obs.Registry
+	events       *obs.EventLog
+	ownEvents    bool
+	eventsPath   string
+	flightDir    string
+	flightWindow int
+
+	quarantine bool
+	recovery   bool
+	stall      time.Duration
+	watch      time.Duration
+
+	logf func(format string, args ...any)
+}
+
+// Option configures a Session (and, via NewFleet, every session of a
+// fleet).
+type Option func(*Session)
+
+// WithName tags the session's results, events and metrics with a bus
+// name. Fleets derive names from capture filenames automatically.
+func WithName(name string) Option { return func(s *Session) { s.name = name } }
+
+// WithModelPath lazily loads the model from disk (LoadModelFile).
+func WithModelPath(path string) Option { return func(s *Session) { s.modelPath = path } }
+
+// WithModel supplies an already-loaded model.
+func WithModel(m *core.Model) Option { return func(s *Session) { s.model = m } }
+
+// WithStore runs the session against an externally-owned hot-swap
+// store (shared across a fleet). The session then neither creates a
+// store nor drives -model-watch itself.
+func WithStore(st *ModelStore) Option { return func(s *Session) { s.store = st } }
+
+// WithWorkers sets the extraction pool size (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return func(s *Session) { s.workers = n } }
+
+// WithPool runs the hot path on a shared worker pool instead of a
+// private one; the pool must outlive the session.
+func WithPool(p *pipeline.Pool) Option { return func(s *Session) { s.pool = p } }
+
+// WithMetricsAddr serves /metrics, /metrics.json, /debug/pprof/ (and
+// /debug/flight when flight recording) for the replay's duration.
+func WithMetricsAddr(addr string) Option { return func(s *Session) { s.metricsAddr = addr } }
+
+// WithRegistry mounts the session's instruments on an external
+// registry (a fleet's per-bus group member) instead of a private one.
+func WithRegistry(reg *obs.Registry) Option { return func(s *Session) { s.registry = reg } }
+
+// WithEventsPath writes a JSONL event log (plus an end-of-run stats
+// snapshot) to path.
+func WithEventsPath(path string) Option { return func(s *Session) { s.eventsPath = path } }
+
+// WithEventLog emits events to an externally-owned log (a fleet's
+// shared log). The session tags its records with its bus name and
+// does not close the log.
+func WithEventLog(l *obs.EventLog) Option { return func(s *Session) { s.events = l } }
+
+// WithFlightRecorder traces every frame and freezes forensic bundles
+// around alarms into dir, with window frames of pre/post context.
+func WithFlightRecorder(dir string, window int) Option {
+	return func(s *Session) { s.flightDir, s.flightWindow = dir, window }
+}
+
+// WithQuarantine enables the per-SA degradation state machine.
+func WithQuarantine(on bool) Option { return func(s *Session) { s.quarantine = on } }
+
+// WithRecovery tolerates capture corruption: the reader resyncs past
+// damaged records instead of aborting.
+func WithRecovery(on bool) Option { return func(s *Session) { s.recovery = on } }
+
+// WithStallTimeout arms the slow-sink watchdog (0 disables).
+func WithStallTimeout(d time.Duration) Option { return func(s *Session) { s.stall = d } }
+
+// WithModelWatch polls the model file every interval and hot-swaps
+// the model when it changes (0 disables). Requires WithModelPath and
+// a session-owned store.
+func WithModelWatch(interval time.Duration) Option { return func(s *Session) { s.watch = interval } }
+
+// WithLogf routes the session's informational messages (serving
+// addresses, model swaps); nil silences them.
+func WithLogf(fn func(format string, args ...any)) Option { return func(s *Session) { s.logf = fn } }
+
+// NewSession builds a session over one capture file.
+func NewSession(capture string, opts ...Option) *Session {
+	s := &Session{capture: capture, flightWindow: 8}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// EmitEvent appends one event to the session's log, tagged with the
+// session's bus name. It is a no-op (nil) without an event log. Call
+// it from the Run sink — the log exists for exactly that window.
+func (s *Session) EmitEvent(e obs.Event) error {
+	if s.events == nil {
+		return nil
+	}
+	if e.Bus == "" {
+		e.Bus = s.name
+	}
+	return s.events.Emit(e)
+}
+
+// resolveStore produces the session's model provider, loading the
+// model from disk when only a path was given.
+func (s *Session) resolveStore() error {
+	if s.store != nil {
+		return nil
+	}
+	m := s.model
+	if m == nil {
+		if s.modelPath == "" {
+			return errors.New("engine: session needs a model (WithModel, WithModelPath or WithStore)")
+		}
+		var err error
+		m, err = LoadModelFile(s.modelPath)
+		if err != nil {
+			return err
+		}
+	}
+	st, err := NewModelStore(m)
+	if err != nil {
+		return err
+	}
+	s.store, s.ownStore = st, true
+	return nil
+}
+
+// Run replays the capture to completion (or first error), delivering
+// verdicts to sink in record order. It may be called once; the
+// returned Summary is valid even on error (with the fields reached so
+// far). Mid-stream death (stall watchdog, unrecovered corruption)
+// comes back wrapped in *AbortError.
+func (s *Session) Run(sink Sink) (Summary, error) {
+	logf := s.logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sum := Summary{Bus: s.name, Capture: s.capture}
+	if err := s.resolveStore(); err != nil {
+		return sum, err
+	}
+	startVersion := s.store.Version()
+
+	rd, closer, err := trace.OpenPath(s.capture)
+	if err != nil {
+		return sum, err
+	}
+	defer closer.Close()
+	if s.recovery {
+		rd.EnableRecovery()
+	}
+	h := rd.Header()
+	sum.Header = h
+
+	// Observability: one registry feeds the live HTTP endpoint, the
+	// instrumented pipeline/detector stack, and the end-of-run
+	// snapshot in the event log. A fleet injects the registry (a group
+	// member) and the shared event log; a standalone session owns both.
+	reg := s.registry
+	wantObs := s.metricsAddr != "" || s.eventsPath != "" || s.events != nil
+	if reg == nil && wantObs {
+		reg = obs.NewRegistry()
+	}
+	var pm *pipeline.Metrics
+	var im *ids.Metrics
+	if reg != nil {
+		pm = pipeline.NewMetrics(reg)
+		im = ids.NewMetrics(reg)
+		rd.SetMetrics(trace.NewMetrics(reg))
+	}
+	if s.events == nil && s.eventsPath != "" {
+		s.events, err = obs.CreateEventLog(s.eventsPath)
+		if err != nil {
+			return sum, err
+		}
+		s.ownEvents = true
+	}
+	var recorder *tracing.Recorder
+	if s.flightDir != "" {
+		recorder, err = tracing.NewRecorder(tracing.RecorderConfig{
+			Window: s.flightWindow, Dir: s.flightDir, Header: h, Events: s.events,
+		})
+		if err != nil {
+			return sum, err
+		}
+	}
+	if s.metricsAddr != "" {
+		var routes []obs.Route
+		if recorder != nil {
+			routes = append(routes, obs.Route{Pattern: "/debug/flight", Handler: recorder})
+		}
+		srv, err := obs.Serve(s.metricsAddr, reg, routes...)
+		if err != nil {
+			return sum, err
+		}
+		// Drain in-flight scrapes briefly instead of cutting them off
+		// mid-response.
+		defer func() { _ = srv.ShutdownTimeout(2 * time.Second) }()
+		logf("serving /metrics and /debug/pprof/ on http://%s", srv.Addr())
+		if recorder != nil {
+			logf("flight recorder live at http://%s/debug/flight", srv.Addr())
+		}
+	}
+
+	// Model hot-swap surfacing: the version gauge tracks swaps on this
+	// session's registry; a session that owns its store also emits the
+	// model_swap event and drives the file watch (a fleet does both
+	// fleet-wide instead).
+	started := time.Now()
+	if reg != nil {
+		g := reg.Gauge("vprofile_engine_model_version",
+			"current hot-swap model generation (1 = the model loaded at start)")
+		g.Set(int64(startVersion))
+		s.store.OnSwap(func(sm StoredModel) { g.Set(int64(sm.Version)) })
+	}
+	if s.ownStore {
+		if s.events != nil {
+			events := s.events
+			bus := s.name
+			s.store.OnSwap(func(sm StoredModel) {
+				_ = events.Emit(obs.Event{
+					TimeSec: time.Since(started).Seconds(), Kind: obs.EventModelSwap,
+					Bus: bus, Severity: obs.SeverityInfo,
+					Detail: fmt.Sprintf("model version %d", sm.Version),
+				})
+			})
+		}
+		if s.watch > 0 {
+			if s.modelPath == "" {
+				return sum, errors.New("engine: model watch needs a model path")
+			}
+			stop := make(chan struct{})
+			defer close(stop)
+			go s.store.Watch(s.modelPath, s.watch, stop, s.logf)
+		}
+	}
+
+	mcfg := ids.CompositeConfig{Extraction: ExtractionFor(h), Models: s.store, Metrics: im}
+	if s.quarantine {
+		mcfg.Quarantine = &ids.QuarantineConfig{}
+	}
+	mon, err := ids.NewComposite(nil, mcfg)
+	if err != nil {
+		return sum, err
+	}
+
+	var pfn pipeline.Sink
+	if sink != nil {
+		bus := s.name
+		pfn = func(r pipeline.Result) error { return sink(Result{Bus: bus, Result: r}) }
+	}
+	st, err := pipeline.Replay(rd, mon, pipeline.Config{
+		Workers: s.workers, Pool: s.pool, Metrics: pm, Recorder: recorder, StallTimeout: s.stall,
+	}, pfn)
+	sum.Stats = st
+	if recorder != nil {
+		// Close before the event log: flushing truncated capture
+		// windows emits their flight events.
+		if cerr := recorder.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		fs := recorder.Stats()
+		sum.Flight = &fs
+	}
+	if s.events != nil {
+		if s.ownEvents {
+			// Close even on a failed replay so the partial event stream
+			// and its stats snapshot survive for diagnosis.
+			if cerr := s.events.Close(reg); cerr != nil && err == nil {
+				err = cerr
+			}
+		} else if reg != nil {
+			// Shared (fleet) log: contribute a per-bus stats record; the
+			// fleet closes the log after every bus has.
+			_ = s.events.Emit(obs.Event{Kind: obs.EventStats, Bus: s.name, Stats: reg.Snapshot()})
+		}
+	}
+	sum.Corruptions = rd.Corruptions()
+	sum.SilentStreams = mon.SilentStreams()
+	sum.DegradedSAs = mon.DegradedSAs()
+	sum.ModelVersion = s.store.Version()
+	sum.ModelSwaps = sum.ModelVersion - startVersion
+	return sum, classify(err)
+}

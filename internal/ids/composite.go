@@ -19,7 +19,7 @@ import (
 // per-message records (frame + trace + timestamp) — the natural unit a
 // capture replay or a segmenting front end produces.
 type Composite struct {
-	model      *core.Model
+	models     ModelProvider
 	extraction edgeset.Config
 	period     *PeriodMonitor
 	reasm      *canbus.BAMReassembler
@@ -42,9 +42,37 @@ type Composite struct {
 	saAlarms [256]*obs.Counter
 }
 
+// ModelProvider hands out the model a frame's verdict is scored
+// against. The trivial provider wraps one fixed model; a hot-swap
+// holder (internal/engine.ModelStore) may return a newer model over
+// time, letting Chapter-5-style profile updates deploy without
+// restarting the monitor.
+//
+// Consistency boundary: the composite calls AcquireModel exactly once
+// per frame, at the top of VoltageVerdict/VoltageVerdictTraced, and
+// scores that entire frame against the returned model. One frame is
+// therefore always judged by a single model version end to end;
+// frames in flight across a swap may score against either version,
+// but never a mix. AcquireModel must be safe for concurrent use and
+// the returned model immutable — swap by replacing the pointer, never
+// by mutating a model a verdict might be reading.
+type ModelProvider interface {
+	AcquireModel() *core.Model
+}
+
+// fixedModel is the no-swap provider NewComposite wraps a plain model
+// in: one pointer load away from the pre-provider behaviour.
+type fixedModel struct{ m *core.Model }
+
+func (f fixedModel) AcquireModel() *core.Model { return f.m }
+
 // CompositeConfig parameterises the stack.
 type CompositeConfig struct {
 	Extraction edgeset.Config
+	// Models, when non-nil, overrides the fixed model passed to
+	// NewComposite (which may then be nil) — the hook hot-swappable
+	// model stores plug into.
+	Models ModelProvider
 	// Warmup is the number of leading messages that train the period
 	// monitor before it enforces (default 500).
 	Warmup int
@@ -60,10 +88,15 @@ type CompositeConfig struct {
 	Quarantine *QuarantineConfig
 }
 
-// NewComposite builds the stack around a trained vProfile model.
+// NewComposite builds the stack around a trained vProfile model (or,
+// with CompositeConfig.Models set, a hot-swappable model provider).
 func NewComposite(model *core.Model, cfg CompositeConfig) (*Composite, error) {
-	if model == nil {
-		return nil, errors.New("ids: nil model")
+	models := cfg.Models
+	if models == nil {
+		if model == nil {
+			return nil, errors.New("ids: nil model")
+		}
+		models = fixedModel{model}
 	}
 	if err := cfg.Extraction.Validate(); err != nil {
 		return nil, err
@@ -72,7 +105,7 @@ func NewComposite(model *core.Model, cfg CompositeConfig) (*Composite, error) {
 		cfg.Warmup = 500
 	}
 	c := &Composite{
-		model:      model,
+		models:     models,
 		extraction: cfg.Extraction,
 		period:     NewPeriodMonitor(),
 		reasm:      canbus.NewBAMReassembler(),
@@ -153,14 +186,18 @@ func (r CompositeResult) QuarantineChanged() bool { return r.SAState != r.PrevSA
 // The frame is accepted alongside the trace because the verdict
 // conceptually belongs to the frame; the claimed source address is
 // decoded from the analog trace itself.
+//
+// The model is acquired from the provider once, up front — the
+// hot-swap consistency boundary documented on ModelProvider.
 func (c *Composite) VoltageVerdict(frame *canbus.ExtendedFrame, tr analog.Trace) (core.Detection, error) {
+	model := c.models.AcquireModel()
 	m := c.metrics
 	if m == nil {
 		res, err := edgeset.Extract(tr, c.extraction)
 		if err != nil {
 			return core.Detection{}, err
 		}
-		return c.model.Detect(res.SA, res.Set), nil
+		return model.Detect(res.SA, res.Set), nil
 	}
 
 	t0 := time.Now()
@@ -171,7 +208,7 @@ func (c *Composite) VoltageVerdict(frame *canbus.ExtendedFrame, tr analog.Trace)
 		m.extractFailed.Inc()
 		return core.Detection{}, err
 	}
-	det := c.model.Detect(res.SA, res.Set)
+	det := model.Detect(res.SA, res.Set)
 	m.ScoreSeconds.Observe(time.Since(t1).Seconds())
 	if det.Predict >= 0 {
 		m.Distance.Observe(det.MinDist)

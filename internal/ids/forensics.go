@@ -34,6 +34,10 @@ type Forensics struct {
 // concurrently from many goroutines; the FrameTrace must be owned by
 // the calling goroutine.
 func (c *Composite) VoltageVerdictTraced(frame *canbus.ExtendedFrame, tr analog.Trace, ft *tracing.FrameTrace) (core.Detection, Forensics, error) {
+	// One model acquisition per frame — the same hot-swap consistency
+	// boundary as VoltageVerdict, so traced and untraced replays
+	// straddle a swap identically.
+	model := c.models.AcquireModel()
 	m := c.metrics
 
 	// Extraction begins exactly where the preceding span (the worker's
@@ -64,7 +68,7 @@ func (c *Composite) VoltageVerdictTraced(frame *canbus.ExtendedFrame, tr analog.
 	sp.EndAt(ts)
 
 	sp = ft.StartSpanAt("ids.score", ts)
-	det, ex := c.model.DetectExplainInto(res.SA, res.Set, ft.DistBuf())
+	det, ex := model.DetectExplainInto(res.SA, res.Set, ft.DistBuf())
 	if m != nil {
 		m.ScoreSeconds.Observe(time.Since(t1).Seconds())
 		if det.Predict >= 0 {

@@ -25,6 +25,7 @@ const (
 	EventDM1        = "dm1"        // a completed DM1 diagnostic transfer
 	EventFlight     = "flight"     // the flight recorder froze and wrote a forensic bundle
 	EventQuarantine = "quarantine" // a source address changed quarantine state
+	EventModelSwap  = "model_swap" // the session hot-swapped its detection model
 	EventStats      = "stats"      // end-of-run registry snapshot (final line)
 )
 
@@ -40,6 +41,9 @@ const (
 type Event struct {
 	TimeSec float64 `json:"t"`
 	Kind    string  `json:"kind"`
+	// Bus names the capture session the event belongs to on a fleet
+	// replay sharing one log; empty on single-bus runs.
+	Bus string `json:"bus,omitempty"`
 	// Severity tags alarms (SeverityInfo/Warning/Critical); empty for
 	// neutral records like the stats snapshot.
 	Severity string `json:"severity,omitempty"`

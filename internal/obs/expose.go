@@ -31,6 +31,50 @@ func escapeLabel(v string) string {
 // vector children sorted by label value.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, e := range r.snapshotEntries() {
+		if err := writeEntry(w, e, "", true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheusLabeled is WritePrometheus with one extra label pair
+// attached to every sample — fleet mode renders each bus's registry
+// with bus="name" so one scrape distinguishes the buses. Metadata
+// (HELP/TYPE) is emitted when withMeta is true; a multi-registry
+// exposition (Group) passes false after the first registry so each
+// metric's metadata appears exactly once.
+func (r *Registry) WritePrometheusLabeled(w io.Writer, label, value string, withMeta bool) error {
+	if !validName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	extra := label + "=" + escapeLabel(value)
+	for _, e := range r.snapshotEntries() {
+		if err := writeEntry(w, e, extra, withMeta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampleLabels merges the fixed extra label pair with a sample's own
+// labels into one rendered {..} block ("" when there are none).
+func sampleLabels(extra string, own ...string) string {
+	parts := make([]string, 0, 1+len(own))
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	parts = append(parts, own...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// writeEntry renders one registered metric, with an optional extra
+// label pair on every sample and optional HELP/TYPE metadata.
+func writeEntry(w io.Writer, e *entry, extra string, withMeta bool) error {
+	if withMeta {
 		if e.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
 				return err
@@ -43,46 +87,45 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, typ); err != nil {
 			return err
 		}
-		var err error
-		switch e.kind {
-		case kindCounter:
-			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.counter.Value())
-		case kindGauge:
-			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.gauge.Value())
-		case kindHistogram:
-			err = writeHistogram(w, e.name, e.hist)
-		case kindCounterVec:
-			keys, vals := e.vec.snapshotChildren()
-			for i, k := range keys {
-				if _, err = fmt.Fprintf(w, "%s{%s=%s} %d\n", e.name, e.vec.label, escapeLabel(k), vals[i]); err != nil {
-					break
-				}
+	}
+	var err error
+	switch e.kind {
+	case kindCounter:
+		_, err = fmt.Fprintf(w, "%s%s %d\n", e.name, sampleLabels(extra), e.counter.Value())
+	case kindGauge:
+		_, err = fmt.Fprintf(w, "%s%s %d\n", e.name, sampleLabels(extra), e.gauge.Value())
+	case kindHistogram:
+		err = writeHistogram(w, e.name, e.hist, extra)
+	case kindCounterVec:
+		keys, vals := e.vec.snapshotChildren()
+		for i, k := range keys {
+			labels := sampleLabels(extra, e.vec.label+"="+escapeLabel(k))
+			if _, err = fmt.Fprintf(w, "%s%s %d\n", e.name, labels, vals[i]); err != nil {
+				break
 			}
 		}
-		if err != nil {
-			return err
-		}
 	}
-	return nil
+	return err
 }
 
-func writeHistogram(w io.Writer, name string, h *Histogram) error {
+func writeHistogram(w io.Writer, name string, h *Histogram, extra string) error {
 	counts := h.BucketCounts()
 	cum := int64(0)
 	for i, bound := range h.bounds {
 		cum += counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+		labels := sampleLabels(extra, "le="+escapeLabel(formatFloat(bound)))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels, cum); err != nil {
 			return err
 		}
 	}
 	cum += counts[len(counts)-1]
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, sampleLabels(extra, `le="+Inf"`), cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, sampleLabels(extra), formatFloat(h.Sum())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, sampleLabels(extra), h.Count())
 	return err
 }
 

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Group composes several registries into one exposition, tagging
+// every sample of each member with a shared label — this is how fleet
+// mode serves N buses' metrics from one /metrics endpoint
+// (bus="a", bus="b", ...) without the registries coordinating on
+// metric names. Each member keeps its own lock-free instruments; the
+// group only exists at scrape time.
+//
+// Members render in Add order, and each metric's HELP/TYPE metadata
+// is emitted once (on its first appearance) so a strict Prometheus
+// parser accepts the combined output.
+type Group struct {
+	label string
+
+	mu      sync.RWMutex
+	values  []string
+	members map[string]*Registry
+}
+
+// NewGroup returns an empty group whose members are distinguished by
+// the given label name.
+func NewGroup(label string) *Group {
+	if !validName(label) {
+		panic("obs: invalid group label name " + label)
+	}
+	return &Group{label: label, members: make(map[string]*Registry)}
+}
+
+// Add registers a member registry under a label value, creating a
+// fresh registry if reg is nil, and returns it. Adding an existing
+// value returns the already-registered member (reg is then ignored),
+// so sessions joining a fleet cannot clobber each other.
+func (g *Group) Add(value string, reg *Registry) *Registry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if existing, ok := g.members[value]; ok {
+		return existing
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	g.values = append(g.values, value)
+	g.members[value] = reg
+	return reg
+}
+
+// snapshotMembers returns the member (value, registry) pairs in Add
+// order.
+func (g *Group) snapshotMembers() ([]string, []*Registry) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	values := make([]string, len(g.values))
+	copy(values, g.values)
+	regs := make([]*Registry, len(values))
+	for i, v := range values {
+		regs[i] = g.members[v]
+	}
+	return values, regs
+}
+
+// WritePrometheus renders every member with its label attached,
+// emitting each metric's metadata exactly once across the group.
+func (g *Group) WritePrometheus(w io.Writer) error {
+	values, regs := g.snapshotMembers()
+	seen := make(map[string]bool)
+	for i, reg := range regs {
+		extra := g.label + "=" + escapeLabel(values[i])
+		for _, e := range reg.snapshotEntries() {
+			if err := writeEntry(w, e, extra, !seen[e.name]); err != nil {
+				return err
+			}
+			seen[e.name] = true
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the members' snapshots keyed by label value.
+func (g *Group) Snapshot() map[string]any {
+	values, regs := g.snapshotMembers()
+	out := make(map[string]any, len(values))
+	for i, reg := range regs {
+		out[values[i]] = reg.Snapshot()
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot as indented JSON — one object per
+// member, keyed by label value.
+func (g *Group) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g.Snapshot())
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusLabeled(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("frames_total", "frames seen").Add(3)
+	reg.Gauge("depth", "queue depth").Set(7)
+	reg.CounterVec("sa_frames_total", "per-SA frames", "sa").With("0x10").Add(2)
+	reg.Histogram("latency_seconds", "latency", []float64{0.1, 1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheusLabeled(&b, "bus", "a", true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP frames_total frames seen",
+		"# TYPE frames_total counter",
+		`frames_total{bus="a"} 3`,
+		`depth{bus="a"} 7`,
+		`sa_frames_total{bus="a",sa="0x10"} 2`,
+		`latency_seconds_bucket{bus="a",le="0.1"} 0`,
+		`latency_seconds_bucket{bus="a",le="1"} 1`,
+		`latency_seconds_bucket{bus="a",le="+Inf"} 1`,
+		`latency_seconds_sum{bus="a"} 0.5`,
+		`latency_seconds_count{bus="a"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("labeled exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	var noMeta strings.Builder
+	if err := reg.WritePrometheusLabeled(&noMeta, "bus", "a", false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(noMeta.String(), "# HELP") || strings.Contains(noMeta.String(), "# TYPE") {
+		t.Fatalf("withMeta=false still rendered metadata:\n%s", noMeta.String())
+	}
+}
+
+func TestGroup(t *testing.T) {
+	g := NewGroup("bus")
+	a := g.Add("a", nil)
+	b := g.Add("b", nil)
+	if g.Add("a", NewRegistry()) != a {
+		t.Fatal("duplicate Add did not return the existing member")
+	}
+	a.Counter("frames_total", "frames seen").Add(2)
+	b.Counter("frames_total", "frames seen").Add(5)
+	b.Gauge("depth", "queue depth").Set(1)
+
+	var w strings.Builder
+	if err := g.WritePrometheus(&w); err != nil {
+		t.Fatal(err)
+	}
+	out := w.String()
+	if n := strings.Count(out, "# TYPE frames_total counter"); n != 1 {
+		t.Fatalf("frames_total metadata rendered %d times, want 1:\n%s", n, out)
+	}
+	ia := strings.Index(out, `frames_total{bus="a"} 2`)
+	ib := strings.Index(out, `frames_total{bus="b"} 5`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("member samples missing or out of Add order (a@%d b@%d):\n%s", ia, ib, out)
+	}
+	if !strings.Contains(out, `depth{bus="b"} 1`) {
+		t.Fatalf("second member's gauge missing:\n%s", out)
+	}
+
+	snap := g.Snapshot()
+	am, ok := snap["a"].(map[string]any)
+	if !ok || am["frames_total"] != int64(2) {
+		t.Fatalf("Snapshot[a] = %#v", snap["a"])
+	}
+}
+
+func TestGroupBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGroup accepted an invalid label")
+		}
+	}()
+	NewGroup("bad label!")
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -14,6 +15,14 @@ import (
 type Route struct {
 	Pattern string
 	Handler http.Handler
+}
+
+// Exporter renders metrics for the HTTP endpoints. *Registry is the
+// single-replay exporter; *Group combines several registries under a
+// shared label (fleet mode's per-bus metrics).
+type Exporter interface {
+	WritePrometheus(io.Writer) error
+	WriteJSON(io.Writer) error
 }
 
 // Server exposes a registry over HTTP for live inspection of a
@@ -35,8 +44,8 @@ type Server struct {
 }
 
 // Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
-// registry in a background goroutine until Close or Shutdown.
-func Serve(addr string, reg *Registry, extra ...Route) (*Server, error) {
+// exporter in a background goroutine until Close or Shutdown.
+func Serve(addr string, exp Exporter, extra ...Route) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -44,11 +53,11 @@ func Serve(addr string, reg *Registry, extra ...Route) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
+		_ = exp.WritePrometheus(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = reg.WriteJSON(w)
+		_ = exp.WriteJSON(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = w.Write([]byte("ok\n"))

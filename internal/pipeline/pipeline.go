@@ -52,8 +52,13 @@ type RawSource interface {
 // Config parameterises a replay.
 type Config struct {
 	// Workers is the extraction/scoring pool size; zero or negative
-	// means runtime.GOMAXPROCS(0).
+	// means runtime.GOMAXPROCS(0). Ignored when Pool is set.
 	Workers int
+	// Pool, when non-nil, runs the hot path on a shared worker pool
+	// instead of a private one — several concurrent replays (fleet
+	// mode) then contend for one bounded set of goroutines. The pool
+	// must outlive the replay; the replay does not close it.
+	Pool *Pool
 	// Depth is the capacity of each inter-stage channel, bounding how
 	// far the reader may run ahead of the sink; zero means 4×Workers.
 	Depth int
@@ -132,6 +137,7 @@ func (s Stats) Utilization() float64 {
 // observe with Stats.
 type Replayer struct {
 	mon      *ids.Composite
+	pool     *Pool // shared pool; nil means Run creates a private one
 	workers  int
 	depth    int
 	metrics  *Metrics
@@ -154,14 +160,16 @@ func New(mon *ids.Composite, cfg Config) (*Replayer, error) {
 		return nil, errors.New("pipeline: nil monitor")
 	}
 	workers := cfg.Workers
-	if workers <= 0 {
+	if cfg.Pool != nil {
+		workers = cfg.Pool.Workers()
+	} else if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	depth := cfg.Depth
 	if depth <= 0 {
 		depth = 4 * workers
 	}
-	return &Replayer{mon: mon, workers: workers, depth: depth, metrics: cfg.Metrics, recorder: cfg.Recorder, stall: cfg.StallTimeout}, nil
+	return &Replayer{mon: mon, pool: cfg.Pool, workers: workers, depth: depth, metrics: cfg.Metrics, recorder: cfg.Recorder, stall: cfg.StallTimeout}, nil
 }
 
 // Stats returns a snapshot of the per-stage counters.
@@ -199,6 +207,45 @@ type scored struct {
 	det        core.Detection
 	forensics  ids.Forensics
 	extractErr error
+}
+
+// processJob is the stateless hot path one pool task runs: decode the
+// raw record if needed, extract and score, hand the result to the
+// reordering stage. It parks on this replay's bounded out channel and
+// is released by abandon, so a stalled replay never wedges a shared
+// pool beyond its in-flight tasks.
+func (p *Replayer) processJob(j job, out chan<- scored, abandon <-chan struct{}) {
+	m := p.metrics
+	t0 := time.Now()
+	if j.raw != nil {
+		sp := j.ft.StartSpan("pipeline.decode")
+		j.rec = j.raw.Decode()
+		j.raw = nil
+		sp.End()
+		if m != nil {
+			m.DecodeSeconds.Observe(time.Since(t0).Seconds())
+		}
+	}
+	j.frame = &canbus.ExtendedFrame{ID: j.rec.FrameID, Data: j.rec.Data}
+	var det core.Detection
+	var forensics ids.Forensics
+	var err error
+	if j.ft != nil {
+		det, forensics, err = p.mon.VoltageVerdictTraced(j.frame, j.rec.Trace, j.ft)
+	} else {
+		det, err = p.mon.VoltageVerdict(j.frame, j.rec.Trace)
+	}
+	if err != nil {
+		p.extractFailures.Add(1)
+		if m != nil {
+			m.ExtractFailures.Inc()
+		}
+	}
+	p.busyNanos.Add(int64(time.Since(t0)))
+	select {
+	case out <- scored{job: j, det: det, forensics: forensics, extractErr: err}:
+	case <-abandon:
+	}
 }
 
 // Run replays the source to completion (or first error). Results
@@ -334,49 +381,42 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 		}
 	}()
 
-	// Stage 2: the worker pool runs the stateless hot path.
-	var wg sync.WaitGroup
-	for w := 0; w < p.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				m := p.metrics
-				t0 := time.Now()
-				if j.raw != nil {
-					sp := j.ft.StartSpan("pipeline.decode")
-					j.rec = j.raw.Decode()
-					j.raw = nil
-					sp.End()
-					if m != nil {
-						m.DecodeSeconds.Observe(time.Since(t0).Seconds())
-					}
-				}
-				j.frame = &canbus.ExtendedFrame{ID: j.rec.FrameID, Data: j.rec.Data}
-				var det core.Detection
-				var forensics ids.Forensics
-				var err error
-				if j.ft != nil {
-					det, forensics, err = p.mon.VoltageVerdictTraced(j.frame, j.rec.Trace, j.ft)
-				} else {
-					det, err = p.mon.VoltageVerdict(j.frame, j.rec.Trace)
-				}
-				if err != nil {
-					p.extractFailures.Add(1)
-					if m != nil {
-						m.ExtractFailures.Inc()
-					}
-				}
-				p.busyNanos.Add(int64(time.Since(t0)))
-				select {
-				case out <- scored{job: j, det: det, forensics: forensics, extractErr: err}:
-				case <-abandon:
-					return
-				}
-			}
-		}()
+	// Stage 2: the worker pool runs the stateless hot path. With no
+	// shared pool configured the replay owns a private one, so the
+	// single-replay shape (N dedicated goroutines draining jobs) is
+	// preserved; in fleet mode the dispatcher below feeds this
+	// replay's jobs into the shared pool, where they interleave with
+	// other buses' work. Either way a per-replay WaitGroup tracks the
+	// in-flight tasks so out closes exactly when the last one lands.
+	pool := p.pool
+	private := pool == nil
+	if private {
+		pool = NewPool(p.workers)
 	}
+	// Run must not return before the dispatcher stops submitting: a
+	// private pool is closed here, and a shared pool may be closed by
+	// its owner the moment every replay using it has returned.
+	dispatcherDone := make(chan struct{})
+	defer func() {
+		<-dispatcherDone
+		if private {
+			pool.Close()
+		}
+	}()
+	var wg sync.WaitGroup
 	go func() {
+		defer close(dispatcherDone)
+		for j := range jobs {
+			wg.Add(1)
+			accepted := pool.submit(func() {
+				defer wg.Done()
+				p.processJob(j, out, abandon)
+			}, abandon)
+			if !accepted {
+				wg.Done()
+				break
+			}
+		}
 		wg.Wait()
 		close(out)
 	}()

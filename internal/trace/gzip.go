@@ -5,6 +5,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"os"
 )
 
 // Captures compress extremely well (idle samples and steady states
@@ -47,4 +48,20 @@ func OpenReader(r io.Reader) (*Reader, error) {
 		return NewReader(gz)
 	}
 	return NewReader(br)
+}
+
+// OpenPath opens a capture file (plain or gzip, auto-detected) and
+// returns the reader plus a closer for the underlying file. On error
+// the file is already closed.
+func OpenPath(path string) (*Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := OpenReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, f, nil
 }
