@@ -50,10 +50,13 @@ bench:
 
 # bench-gate regenerates the sweep into a scratch file and fails when
 # median replay throughput dropped more than 10% against the committed
-# baseline — the benchmark-regression gate CI runs on every PR.
+# baseline, the best plain parallel speedup fell under 1.5x (skipped
+# automatically on single-core hosts), or median allocs-per-frame grew
+# more than 25% — the benchmark-regression gate CI runs on every PR.
 bench-gate:
-	$(GO) run ./cmd/replaybench -out /tmp/bench-candidate.json -repeat 7
-	$(GO) run ./cmd/benchgate -baseline BENCH_pipeline.json -candidate /tmp/bench-candidate.json -max-drop 10
+	$(GO) run ./cmd/replaybench -out /tmp/bench-candidate.json -repeat 7 -gomaxprocs 4
+	$(GO) run ./cmd/benchgate -baseline BENCH_pipeline.json -candidate /tmp/bench-candidate.json \
+		-max-drop 10 -max-fleet-overhead 5 -min-parallel-speedup 1.5 -max-allocs-growth 25
 
 bench-go:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

@@ -35,13 +35,21 @@ import (
 // without fleet runs still gates cleanly.
 type report struct {
 	Records          int      `json:"records"`
+	NumCPU           int      `json:"num_cpu"`
 	FleetOverheadPct *float64 `json:"fleet_overhead_pct"`
 	Runs             []run    `json:"runs"`
 }
 
 type run struct {
-	Name         string  `json:"name"`
-	FramesPerSec float64 `json:"frames_per_sec"`
+	Name           string  `json:"name"`
+	Workers        int     `json:"workers"`
+	Metrics        bool    `json:"metrics"`
+	Flight         bool    `json:"flight"`
+	Faults         bool    `json:"faults"`
+	Buses          int     `json:"buses"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+	Speedup        float64 `json:"speedup_vs_sequential"`
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
 }
 
 func main() {
@@ -49,12 +57,14 @@ func main() {
 	candidate := flag.String("candidate", "", "freshly generated report to gate")
 	maxDrop := flag.Float64("max-drop", 10, "maximum tolerated median throughput drop in percent")
 	maxFleet := flag.Float64("max-fleet-overhead", 5, "maximum tolerated shared-pool fleet overhead in percent (negative disables)")
+	minSpeedup := flag.Float64("min-parallel-speedup", 0, "minimum speedup-vs-sequential the best plain parallel run must reach (0 disables; skipped with a notice when the candidate ran on < 2 CPUs)")
+	maxAllocs := flag.Float64("max-allocs-growth", -1, "maximum tolerated median allocs-per-frame growth in percent (negative disables; skipped when the baseline predates the field)")
 	flag.Parse()
 	if *candidate == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
 		os.Exit(2)
 	}
-	if err := gate(*baseline, *candidate, *maxDrop, *maxFleet); err != nil {
+	if err := gate(*baseline, *candidate, *maxDrop, *maxFleet, *minSpeedup, *maxAllocs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
@@ -75,7 +85,7 @@ func load(path string) (report, error) {
 	return r, nil
 }
 
-func gate(basePath, candPath string, maxDrop, maxFleet float64) error {
+func gate(basePath, candPath string, maxDrop, maxFleet, minSpeedup, maxAllocs float64) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -133,6 +143,67 @@ func gate(basePath, candPath string, maxDrop, maxFleet float64) error {
 		fmt.Printf("benchgate: fleet shared-pool overhead %.2f%%, limit %.0f%%\n", *cand.FleetOverheadPct, maxFleet)
 		if *cand.FleetOverheadPct > maxFleet {
 			return fmt.Errorf("fleet shared-pool overhead %.2f%% exceeds %.0f%%", *cand.FleetOverheadPct, maxFleet)
+		}
+	}
+
+	// The parallel-speedup gate is the guard against the flat-speedup
+	// failure mode this repo once shipped: a report where every
+	// parallel configuration ran at the same throughput as sequential
+	// because the harness never raised GOMAXPROCS. It takes the BEST
+	// speedup among plain parallel runs (no instrumentation, single
+	// bus) — the gate asks "can the pipeline scale at all", not "does
+	// every worker count scale". On a single-core runner a parallel
+	// speedup expectation is physically meaningless, so the gate skips
+	// loudly rather than fail a PR for the hardware it landed on.
+	if minSpeedup > 0 {
+		if cand.NumCPU < 2 {
+			fmt.Printf("benchgate: SKIPPING parallel-speedup gate — candidate ran on %d CPU(s); need >= 2 for real parallelism\n", cand.NumCPU)
+		} else {
+			bestSpeedup, bestName := 0.0, ""
+			for _, r := range cand.Runs {
+				if r.Workers > 1 && !r.Metrics && !r.Flight && !r.Faults && r.Buses <= 1 && r.Speedup > bestSpeedup {
+					bestSpeedup, bestName = r.Speedup, r.Name
+				}
+			}
+			if bestName == "" {
+				return fmt.Errorf("no plain parallel run in %s to gate the speedup on", candPath)
+			}
+			fmt.Printf("benchgate: best parallel speedup %.2fx (%s), minimum %.2fx\n", bestSpeedup, bestName, minSpeedup)
+			if bestSpeedup < minSpeedup {
+				return fmt.Errorf("best parallel speedup %.2fx (%s) is below the %.2fx minimum — the pipeline is not scaling", bestSpeedup, bestName, minSpeedup)
+			}
+		}
+	}
+
+	// The allocation gate compares allocs-per-frame per configuration
+	// and trips on the median growth, mirroring the throughput gate's
+	// noise reasoning. Baselines predating the field decode to zero —
+	// no meaningful comparison exists, so the gate skips loudly until
+	// the baseline is regenerated.
+	if maxAllocs >= 0 {
+		baseAllocs := make(map[string]float64, len(base.Runs))
+		for _, r := range base.Runs {
+			if r.AllocsPerFrame > 0 {
+				baseAllocs[r.Name] = r.AllocsPerFrame
+			}
+		}
+		var growths []float64
+		for _, r := range cand.Runs {
+			b, ok := baseAllocs[r.Name]
+			if !ok || r.AllocsPerFrame <= 0 {
+				continue
+			}
+			growths = append(growths, 100*(r.AllocsPerFrame-b)/b)
+		}
+		if len(growths) == 0 {
+			fmt.Printf("benchgate: SKIPPING allocs-per-frame gate — %s has no allocs_per_frame data (regenerate the baseline)\n", basePath)
+		} else {
+			sort.Float64s(growths)
+			medGrowth := growths[len(growths)/2]
+			fmt.Printf("benchgate: %d configs compared on allocs/frame, median growth %.2f%%, limit %.0f%%\n", len(growths), medGrowth, maxAllocs)
+			if medGrowth > maxAllocs {
+				return fmt.Errorf("median allocs-per-frame grew %.2f%% vs %s (limit %.0f%%) — a per-frame allocation crept into the hot path", medGrowth, basePath, maxAllocs)
+			}
 		}
 	}
 	return nil

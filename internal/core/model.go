@@ -76,6 +76,11 @@ type Model struct {
 	// beyond which online updates have negligible effect and a full
 	// retrain is recommended. Zero disables the recommendation.
 	UpdateBound int
+
+	// chol is the precomputed per-cluster Cholesky scoring state (see
+	// Precompute): derived from the covariances, never serialised, nil
+	// until Precompute runs or after Update invalidates it.
+	chol []*linalg.CholFactor
 }
 
 // Cluster returns the cluster with the given id.
@@ -96,12 +101,21 @@ func (m *Model) ClusterForSA(sa canbus.SourceAddress) (*Cluster, error) {
 }
 
 // Distance returns the distance from an edge set to the cluster under
-// the model's metric.
+// the model's metric. With a precomputed factor (Precompute) the
+// Mahalanobis case runs a triangular solve over the packed Cholesky
+// factor — no inverse multiply, no allocation; without one it falls
+// back to the inverse-covariance form. Train and Load precompute, so
+// every trained or deserialised model takes the fast path, and the
+// threshold (MaxDist) and detection distances always come from the
+// same arithmetic.
 func (m *Model) Distance(c *Cluster, set linalg.Vector) float64 {
 	if len(set) != m.Dim {
 		panic(ErrDimMismatch)
 	}
 	if m.Metric == Mahalanobis {
+		if f := m.cholFor(c); f != nil {
+			return linalg.MahalanobisChol(set, c.Mean, f)
+		}
 		return linalg.Mahalanobis(set, c.Mean, c.InvCov)
 	}
 	return linalg.Euclidean(set, c.Mean)
@@ -257,5 +271,10 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("core: model LUT maps SA %#02x to cluster %d of %d", uint8(sa), id, len(m.Clusters))
 		}
 	}
+	// The scoring factors are derived state: recompute rather than
+	// serialise them. Covariances round-trip bit-exactly and the
+	// factorisation is deterministic, so a loaded model scores
+	// identically to the model that was saved.
+	m.Precompute()
 	return m, nil
 }

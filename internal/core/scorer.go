@@ -1,0 +1,54 @@
+package core
+
+import "vprofile/internal/linalg"
+
+// Precompute builds the model's flat Cholesky scoring state: one
+// packed lower-triangular factor per Mahalanobis cluster, so the hot
+// detection path scores by forward substitution instead of the full
+// inverse-covariance multiply. It is idempotent and deterministic (the
+// factors are a pure function of each cluster's covariance), cheap
+// relative to training, and safe to call on any well-formed model:
+// clusters whose covariance is absent or not positive definite simply
+// keep the inverse-covariance fallback path.
+//
+// The factors are derived state — never serialised (Save/Load and the
+// wire format are unchanged; Load recomputes them) and invalidated by
+// Update, which mutates the covariances they were computed from. Call
+// sites that serve a model concurrently (engine.ModelStore) precompute
+// before publishing, which is also the only safe place to do it: a
+// model being read by verdict goroutines must never be mutated.
+//
+// A no-op when the factors already exist: non-nil factors are always
+// current (every mutation path resets them to nil), and skipping the
+// rebuild means re-publishing an already-served model — ModelStore
+// swapping back to a previous version — performs no write that could
+// race the verdict goroutines still reading it.
+func (m *Model) Precompute() {
+	if m.Metric != Mahalanobis {
+		m.chol = nil
+		return
+	}
+	if m.chol != nil {
+		return
+	}
+	chol := make([]*linalg.CholFactor, len(m.Clusters))
+	for i, c := range m.Clusters {
+		if c.Cov == nil {
+			continue
+		}
+		if f, err := linalg.PackCholesky(c.Cov); err == nil {
+			chol[i] = f
+		}
+	}
+	m.chol = chol
+}
+
+// cholFor returns cluster c's precomputed factor, or nil when the
+// model has none (not precomputed, invalidated by Update, or the
+// cluster's covariance would not factor).
+func (m *Model) cholFor(c *Cluster) *linalg.CholFactor {
+	if id := int(c.ID); id >= 0 && id < len(m.chol) {
+		return m.chol[id]
+	}
+	return nil
+}

@@ -86,14 +86,21 @@ func Train(samples []Sample, cfg TrainConfig) (*Model, error) {
 			c.Cov = cov
 			c.InvCov = inv
 		}
+		m.Clusters = append(m.Clusters, c)
+		for _, sa := range g.sas {
+			m.SALUT[sa] = c.ID
+		}
+	}
+	// Precompute BEFORE the threshold pass: MaxDist must come from the
+	// same arithmetic detection will use, or training samples could sit
+	// epsilon outside their own cluster's threshold.
+	m.Precompute()
+	for i, g := range groups {
+		c := m.Clusters[i]
 		for _, s := range g.sets {
 			if d := m.Distance(c, s); d > c.MaxDist {
 				c.MaxDist = d
 			}
-		}
-		m.Clusters = append(m.Clusters, c)
-		for _, sa := range g.sas {
-			m.SALUT[sa] = c.ID
 		}
 	}
 	return m, nil

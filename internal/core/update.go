@@ -25,8 +25,16 @@ type UpdateResult struct {
 // update rather than re-inversion, keeping the per-sample cost at
 // O(dim²). Samples with unknown SAs are skipped and counted — the
 // caller should only feed messages the detector accepted.
+//
+// Update invalidates the precomputed Cholesky scoring state (it
+// mutates the covariances the factors were derived from), so distances
+// fall back to the maintained inverse covariance — consistently for
+// both the per-sample MaxDist maintenance below and any detection that
+// follows. Call Precompute before serving the updated model on the hot
+// path (engine.ModelStore.Swap does this when the model is published).
 func (m *Model) Update(samples []Sample) (UpdateResult, error) {
 	var res UpdateResult
+	m.chol = nil
 	for _, s := range samples {
 		if len(s.Set) != m.Dim {
 			return res, fmt.Errorf("%w: got %d dims, want %d", ErrDimMismatch, len(s.Set), m.Dim)

@@ -121,22 +121,46 @@ type Result struct {
 }
 
 // Extract runs Algorithm 1 on a trace that contains one frame preceded
-// by recessive bus idle.
+// by recessive bus idle. Every call allocates a fresh Result whose
+// buffers the caller may retain indefinitely; hot paths that process
+// one frame at a time should prefer ExtractInto with a reused Scratch.
 func Extract(tr analog.Trace, cfg Config) (*Result, error) {
+	return ExtractInto(tr, cfg, new(Scratch))
+}
+
+// Scratch holds the working buffers of one extraction so repeated
+// calls on the same Scratch stop allocating once the buffers reach
+// steady-state capacity. A Scratch is not safe for concurrent use; use
+// one per goroutine (ids.Composite keeps them in a sync.Pool).
+type Scratch struct {
+	bits canbus.BitString
+	set  linalg.Vector // accumulated/averaged edge-set vector
+	tmp  linalg.Vector // one edge-set window, reused across the averaging loop
+	res  Result
+}
+
+// ExtractInto is Extract over caller-owned buffers. The returned
+// Result — including its Set and Bits slices — aliases the Scratch and
+// is valid only until the next ExtractInto call with the same Scratch;
+// callers that need to retain it must copy. The arithmetic is
+// identical to Extract's, so the two produce bit-identical vectors.
+func ExtractInto(tr analog.Trace, cfg Config, s *Scratch) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	dec, err := walkBits(tr, cfg, canbus.BitR1)
+	dec, err := walkBits(tr, cfg, canbus.BitR1, s.bits[:0])
 	if err != nil {
 		return nil, err
 	}
+	s.bits = dec.bits
 	sa := canbus.SourceAddress(dec.bits[canbus.SABitFirst : canbus.SABitLast+1].Uint())
 
-	set, setAt, err := extractSets(tr, dec.pos, cfg)
+	set, setAt, err := extractSetsInto(tr, dec.pos, cfg, s)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{SA: sa, Set: set, SetAt: setAt, BitsSOF: dec.sof, Bits: dec.bits}, nil
+	s.res = Result{SA: sa, Set: set, SetAt: setAt, BitsSOF: dec.sof, Bits: dec.bits}
+	return &s.res, nil
 }
 
 // decodeState is the traversal outcome of walkBits.
@@ -149,37 +173,42 @@ type decodeState struct {
 // walkBits ingests the trace from SOF through (and including) the
 // destuffed bit lastBit, re-aligning to the centre of every edge it
 // crosses and skipping stuff bits, exactly as the EXTRACT procedure of
-// Algorithm 1 does.
-func walkBits(tr analog.Trace, cfg Config, lastBit int) (*decodeState, error) {
+// Algorithm 1 does. The decoded bits are appended to buf (normally a
+// reused buffer truncated to length zero) and returned in the state.
+func walkBits(tr analog.Trace, cfg Config, lastBit int, buf canbus.BitString) (decodeState, error) {
+	var none decodeState
 	sof := findSOF(tr, cfg.BitThreshold)
 	if sof < 0 {
-		return nil, ErrNoSOF
+		return none, ErrNoSOF
 	}
 	pos := sof + cfg.BitWidth/2
 	if pos >= len(tr) {
-		return nil, ErrTruncated
+		return none, ErrTruncated
 	}
-	bits := make(canbus.BitString, 0, lastBit+1)
+	bits := buf
+	if cap(bits) < lastBit+1 {
+		bits = make(canbus.BitString, 0, lastBit+1)
+	}
 	bits = append(bits, bitAt(tr, pos, cfg.BitThreshold))
 	if bits[0] != canbus.Dominant {
-		return nil, fmt.Errorf("%w: SOF centre not dominant", ErrLostSync)
+		return none, fmt.Errorf("%w: SOF centre not dominant", ErrLostSync)
 	}
 	prev := bits[0]
 	run := 1 // consecutive equal wire bits, stuff bits included
 	for len(bits) <= lastBit {
 		pos += cfg.BitWidth
 		if pos >= len(tr) {
-			return nil, ErrTruncated
+			return none, ErrTruncated
 		}
 		b := bitAt(tr, pos, cfg.BitThreshold)
 		if b != prev {
 			edge := alignToEdgeCentre(tr, pos, cfg)
 			if edge < 0 {
-				return nil, ErrLostSync
+				return none, ErrLostSync
 			}
 			pos = edge + cfg.BitWidth/2
 			if pos >= len(tr) {
-				return nil, ErrTruncated
+				return none, ErrTruncated
 			}
 			run = 1
 		} else {
@@ -192,25 +221,25 @@ func walkBits(tr analog.Trace, cfg Config, lastBit int) (*decodeState, error) {
 			// polarity flip, realign on its edge, and do not append.
 			pos += cfg.BitWidth
 			if pos >= len(tr) {
-				return nil, ErrTruncated
+				return none, ErrTruncated
 			}
 			sb := bitAt(tr, pos, cfg.BitThreshold)
 			if sb == prev {
-				return nil, ErrStuffError
+				return none, ErrStuffError
 			}
 			edge := alignToEdgeCentre(tr, pos, cfg)
 			if edge < 0 {
-				return nil, ErrLostSync
+				return none, ErrLostSync
 			}
 			pos = edge + cfg.BitWidth/2
 			if pos >= len(tr) {
-				return nil, ErrTruncated
+				return none, ErrTruncated
 			}
 			prev = sb
 			run = 1
 		}
 	}
-	return &decodeState{bits: bits, pos: pos, sof: sof}, nil
+	return decodeState{bits: bits, pos: pos, sof: sof}, nil
 }
 
 // findSOF returns the index of the first dominant sample — the
@@ -251,17 +280,25 @@ func alignToEdgeCentre(tr analog.Trace, pos int, cfg Config) int {
 	return -1
 }
 
-// extractSets extracts cfg.numSets() edge sets beginning at pos (the
-// centre of the first bit after the arbitration field) and returns
-// their element-wise mean together with the sample index of the first
-// window.
-func extractSets(tr analog.Trace, pos int, cfg Config) (linalg.Vector, int, error) {
+// extractSetsInto extracts cfg.numSets() edge sets beginning at pos
+// (the centre of the first bit after the arbitration field) and
+// returns their element-wise mean together with the sample index of
+// the first window. The returned vector is s.set, resized and reused;
+// the averaging divides in place by the same factor the allocating
+// path used, so the values are bit-identical.
+func extractSetsInto(tr analog.Trace, pos int, cfg Config, s *Scratch) (linalg.Vector, int, error) {
 	n := cfg.numSets()
-	sum := make(linalg.Vector, cfg.Dim())
+	dim := cfg.Dim()
+	if cap(s.set) < dim {
+		s.set = make(linalg.Vector, dim)
+	}
+	sum := s.set[:dim]
+	clear(sum)
 	firstAt := -1
 	searchFrom := pos
 	for k := 0; k < n; k++ {
-		set, at, err := extractOneSet(tr, searchFrom, cfg)
+		set, at, err := extractOneSetInto(tr, searchFrom, cfg, s.tmp[:0])
+		s.tmp = set[:0]
 		if err != nil {
 			return nil, 0, err
 		}
@@ -279,15 +316,20 @@ func extractSets(tr analog.Trace, pos int, cfg Config) (linalg.Vector, int, erro
 		}
 	}
 	if n > 1 {
-		sum = sum.Scale(1 / float64(n))
+		inv := 1 / float64(n)
+		for i := range sum {
+			sum[i] *= inv
+		}
 	}
 	return sum, firstAt, nil
 }
 
-// extractOneSet implements the EXTRACTEDGESET procedure: advance to
-// the next rising threshold crossing, window it, advance past half a
-// bit and to the next falling crossing, window that, and concatenate.
-func extractOneSet(tr analog.Trace, pos int, cfg Config) (linalg.Vector, int, error) {
+// extractOneSetInto implements the EXTRACTEDGESET procedure: advance
+// to the next rising threshold crossing, window it, advance past half
+// a bit and to the next falling crossing, window that, and
+// concatenate. The window is appended to out (normally a reused buffer
+// truncated to length zero).
+func extractOneSetInto(tr analog.Trace, pos int, cfg Config, out linalg.Vector) (linalg.Vector, int, error) {
 	th := cfg.BitThreshold
 	// If we start inside a dominant stretch, first reach recessive so
 	// the next crossing is genuinely a rising edge.
@@ -299,9 +341,8 @@ func extractOneSet(tr analog.Trace, pos int, cfg Config) (linalg.Vector, int, er
 		pos++
 	}
 	if pos >= len(tr) || pos-cfg.PrefixLen < 0 || pos+cfg.SuffixLen > len(tr) {
-		return nil, 0, ErrTruncated
+		return out, 0, ErrTruncated
 	}
-	out := make(linalg.Vector, 0, cfg.Dim())
 	setAt := pos - cfg.PrefixLen
 	if cfg.Edges != EdgesFalling {
 		out = append(out, tr[pos-cfg.PrefixLen:pos+cfg.SuffixLen]...)
@@ -317,7 +358,7 @@ func extractOneSet(tr analog.Trace, pos int, cfg Config) (linalg.Vector, int, er
 		pos++
 	}
 	if pos >= len(tr) || pos+cfg.SuffixLen > len(tr) {
-		return nil, 0, ErrTruncated
+		return out, 0, ErrTruncated
 	}
 	out = append(out, tr[pos-cfg.PrefixLen:pos+cfg.SuffixLen]...)
 	return out, setAt, nil

@@ -1,0 +1,86 @@
+package edgeset
+
+import (
+	"math/rand"
+	"testing"
+
+	"vprofile/internal/canbus"
+)
+
+// TestExtractIntoMatchesExtract reuses one Scratch across many frames
+// and requires bit-identical results against the allocating Extract —
+// the contract the batched pipeline's determinism guarantee rests on.
+// Multi-edge-set averaging is included because it is the one place the
+// scratch path scales in place instead of allocating a scaled copy.
+func TestExtractIntoMatchesExtract(t *testing.T) {
+	for _, cfg := range []Config{
+		testCfg(),
+		func() Config {
+			c := testCfg()
+			c.NumEdgeSets, c.EdgeSetGap = 3, 250
+			return c
+		}(),
+		func() Config {
+			c := testCfg()
+			c.Edges = EdgesRising
+			return c
+		}(),
+	} {
+		scratch := new(Scratch)
+		rng := rand.New(rand.NewSource(31))
+		for trial := 0; trial < 40; trial++ {
+			sa := canbus.SourceAddress(rng.Intn(200))
+			f := frameWithSA(t, sa, []byte{byte(trial), 0xA5, byte(trial * 3)})
+			tr := synthesize(t, f, rng.Int63())
+
+			want, wantErr := Extract(tr, cfg)
+			got, gotErr := ExtractInto(tr, cfg, scratch)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("cfg %v trial %d: Extract err %v, ExtractInto err %v", cfg.Edges, trial, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if got.SA != want.SA || got.SetAt != want.SetAt || got.BitsSOF != want.BitsSOF {
+				t.Fatalf("cfg %v trial %d: scalar fields differ: got %+v want %+v", cfg.Edges, trial, got, want)
+			}
+			if len(got.Set) != len(want.Set) {
+				t.Fatalf("cfg %v trial %d: set length %d vs %d", cfg.Edges, trial, len(got.Set), len(want.Set))
+			}
+			for i := range want.Set {
+				if got.Set[i] != want.Set[i] {
+					t.Fatalf("cfg %v trial %d: Set[%d] = %v via scratch, %v via Extract",
+						cfg.Edges, trial, i, got.Set[i], want.Set[i])
+				}
+			}
+			if len(got.Bits) != len(want.Bits) {
+				t.Fatalf("cfg %v trial %d: bits length %d vs %d", cfg.Edges, trial, len(got.Bits), len(want.Bits))
+			}
+			for i := range want.Bits {
+				if got.Bits[i] != want.Bits[i] {
+					t.Fatalf("cfg %v trial %d: Bits[%d] differs", cfg.Edges, trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestExtractIntoSteadyStateAllocs verifies a warmed-up Scratch stops
+// allocating — the whole point of the type.
+func TestExtractIntoSteadyStateAllocs(t *testing.T) {
+	cfg := testCfg()
+	f := frameWithSA(t, 0x42, []byte{1, 2, 3})
+	tr := synthesize(t, f, 9)
+	scratch := new(Scratch)
+	if _, err := ExtractInto(tr, cfg, scratch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ExtractInto(tr, cfg, scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed ExtractInto allocates %v objects per call, want 0", allocs)
+	}
+}

@@ -515,9 +515,19 @@ func TestFlagParity(t *testing.T) {
 	var names []string
 	fs.VisitAll(func(f *flag.Flag) { names = append(names, f.Name) })
 	sort.Strings(names)
-	want := []string{"capture", "events", "flight", "flight-window", "metrics",
+	want := []string{"batch", "capture", "events", "flight", "flight-window", "metrics",
 		"model", "model-watch", "quarantine", "recover", "stall-timeout", "workers"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("shared flags = %v, want %v", names, want)
+	}
+	// -workers follows the "0 = GOMAXPROCS" convention every tool
+	// documents (vprofile faults registers its own flag set with the
+	// same default); a GOMAXPROCS-valued default would bake the
+	// parsing machine's core count into help text and defeat the
+	// convention.
+	for _, f := range []string{"workers", "batch"} {
+		if def := fs.Lookup(f).DefValue; def != "0" {
+			t.Fatalf("-%s default = %q, want 0", f, def)
+		}
 	}
 }

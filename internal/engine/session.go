@@ -109,6 +109,7 @@ type Session struct {
 	ownStore  bool
 
 	workers int
+	batch   int
 	pool    *pipeline.Pool
 
 	metricsAddr  string
@@ -148,6 +149,11 @@ func WithStore(st *ModelStore) Option { return func(s *Session) { s.store = st }
 
 // WithWorkers sets the extraction pool size (0 = GOMAXPROCS).
 func WithWorkers(n int) Option { return func(s *Session) { s.workers = n } }
+
+// WithBatch sets the records-per-batch granularity of the replay
+// pipeline (0 = pipeline.DefaultBatch, 1 = per-record handoff).
+// Verdicts are identical at every batch size.
+func WithBatch(n int) Option { return func(s *Session) { s.batch = n } }
 
 // WithPool runs the hot path on a shared worker pool instead of a
 // private one; the pool must outlive the session.
@@ -367,7 +373,7 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 		pfn = func(r pipeline.Result) error { return sink(Result{Bus: bus, Result: r}) }
 	}
 	st, err := pipeline.Replay(rd, mon, pipeline.Config{
-		Workers: s.workers, Pool: s.pool, Metrics: pm, Recorder: recorder, StallTimeout: s.stall,
+		Workers: s.workers, Batch: s.batch, Pool: s.pool, Metrics: pm, Recorder: recorder, StallTimeout: s.stall,
 	}, pfn)
 	sum.Stats = st
 	if recorder != nil {

@@ -2,6 +2,7 @@ package ids
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"vprofile/internal/analog"
@@ -40,6 +41,12 @@ type Composite struct {
 	metrics  *Metrics
 	saFrames [256]*obs.Counter
 	saAlarms [256]*obs.Counter
+
+	// scratch pools per-goroutine extraction buffers for the concurrent
+	// VoltageVerdict hot path. Safe because core.Detection retains
+	// nothing from the extraction Result; the traced forensic path
+	// (which does retain the edge set) keeps the allocating Extract.
+	scratch sync.Pool
 }
 
 // ModelProvider hands out the model a frame's verdict is scored
@@ -191,9 +198,14 @@ func (r CompositeResult) QuarantineChanged() bool { return r.SAState != r.PrevSA
 // hot-swap consistency boundary documented on ModelProvider.
 func (c *Composite) VoltageVerdict(frame *canbus.ExtendedFrame, tr analog.Trace) (core.Detection, error) {
 	model := c.models.AcquireModel()
+	sc, _ := c.scratch.Get().(*edgeset.Scratch)
+	if sc == nil {
+		sc = new(edgeset.Scratch)
+	}
+	defer c.scratch.Put(sc)
 	m := c.metrics
 	if m == nil {
-		res, err := edgeset.Extract(tr, c.extraction)
+		res, err := edgeset.ExtractInto(tr, c.extraction, sc)
 		if err != nil {
 			return core.Detection{}, err
 		}
@@ -201,7 +213,7 @@ func (c *Composite) VoltageVerdict(frame *canbus.ExtendedFrame, tr analog.Trace)
 	}
 
 	t0 := time.Now()
-	res, err := edgeset.Extract(tr, c.extraction)
+	res, err := edgeset.ExtractInto(tr, c.extraction, sc)
 	t1 := time.Now()
 	m.ExtractSeconds.Observe(t1.Sub(t0).Seconds())
 	if err != nil {

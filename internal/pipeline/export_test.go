@@ -1,0 +1,11 @@
+package pipeline
+
+// OutstandingBuffers exposes the recycler's get/put imbalance for leak
+// tests: after Run returns — cleanly, on error, or abandoned — every
+// pooled buffer must be back, so the count must be zero.
+func (p *Replayer) OutstandingBuffers() int64 {
+	if p.rc == nil {
+		return 0
+	}
+	return p.rc.outstanding.Load()
+}

@@ -15,6 +15,15 @@
 //     runs the stateful detectors (period monitor, transport
 //     reassembly) in arrival order via Composite.Sequence.
 //
+// Stages exchange batches of records (Config.Batch, default 64) so
+// channel operations, pool submissions and scheduler wakeups amortise
+// over many frames — at ~100 µs of scoring work per frame, per-record
+// handoffs cost more in synchronisation than they buy in overlap.
+// Batching changes only the transport granularity: records keep their
+// stream indices and the reordering stage still delivers strictly in
+// index order, so verdicts remain bit-identical to the sequential path
+// at any batch size.
+//
 // All channels are bounded, so a slow sink backpressures the reader
 // instead of ballooning memory; the first error from any stage stops
 // the whole pipeline cleanly. Per-stage counters are readable at any
@@ -49,6 +58,18 @@ type RawSource interface {
 	NextRaw() (*trace.RawRecord, error)
 }
 
+// rawIntoSource is the zero-allocation refinement of RawSource:
+// sources that can refill a caller-owned raw record (*trace.Reader)
+// enable Config.PoolBuffers to recycle record buffers end to end.
+type rawIntoSource interface {
+	NextRawInto(*trace.RawRecord) error
+}
+
+// DefaultBatch is the records-per-batch default (Config.Batch = 0):
+// large enough to amortise channel and pool synchronisation, small
+// enough that a batch stays resident in cache through scoring.
+const DefaultBatch = 64
+
 // Config parameterises a replay.
 type Config struct {
 	// Workers is the extraction/scoring pool size; zero or negative
@@ -59,9 +80,27 @@ type Config struct {
 	// mode) then contend for one bounded set of goroutines. The pool
 	// must outlive the replay; the replay does not close it.
 	Pool *Pool
-	// Depth is the capacity of each inter-stage channel, bounding how
-	// far the reader may run ahead of the sink; zero means 4×Workers.
+	// Batch is the number of records exchanged per channel operation
+	// between stages. Zero means DefaultBatch; one degenerates to
+	// per-record handoff (useful for latency-sensitive live feeds and
+	// for determinism tests). Verdicts and their order are identical at
+	// every batch size.
+	Batch int
+	// Depth is the capacity of each inter-stage channel in batches,
+	// bounding how far the reader may run ahead of the sink (roughly
+	// Depth×Batch records per channel); zero means 4×Workers.
 	Depth int
+	// PoolBuffers recycles record buffers (raw byte payloads and
+	// decoded traces) through sync.Pools instead of allocating per
+	// frame — at replay rates the per-frame trace alone is tens of
+	// kilobytes, enough to make the allocator and GC the bottleneck.
+	// The cost is an aliasing contract: a Result's Record (its Data and
+	// Trace) is valid only for the duration of the sink call and must
+	// be copied if retained. Ignored on traced replays (Recorder set),
+	// whose forensic bundles retain record internals indefinitely, and
+	// on sources that cannot refill caller-owned records (anything but
+	// a trace.Reader-style RawSource).
+	PoolBuffers bool
 	// Metrics, when non-nil, makes the pipeline publish per-stage
 	// counters, latency histograms and the reorder-queue depth gauge
 	// (see NewMetrics). Instrumentation is atomic-only on the hot path
@@ -75,12 +114,17 @@ type Config struct {
 	// bundles. Tracing never changes verdicts or their order; nil
 	// keeps the replay on the uninstrumented fast path.
 	Recorder *tracing.Recorder
-	// StallTimeout arms the slow-sink watchdog: if no verdict reaches
-	// the sink for this long while records are pending in the
-	// pipeline, the replay aborts with ErrStalled instead of sitting
-	// wedged behind its (deliberately bounded) queues. The watchdog
-	// unblocks every pipeline goroutine; a sink call that never
-	// returns still holds Run until it does. Zero disables.
+	// StallTimeout arms the slow-sink watchdog: if the pipeline makes
+	// no progress — no record scored by a worker and no verdict
+	// delivered to the sink — for this long while records are pending,
+	// the replay aborts with ErrStalled instead of sitting wedged
+	// behind its (deliberately bounded) queues. Scoring counts as
+	// progress so that a large Batch being worked on does not read as
+	// a stall; a wedged sink still fires the watchdog because the
+	// workers block once the bounded queues fill and all progress
+	// stops. The watchdog unblocks every pipeline goroutine; a sink
+	// call that never returns still holds Run until it does. Zero
+	// disables.
 	StallTimeout time.Duration
 }
 
@@ -139,14 +183,22 @@ type Replayer struct {
 	mon      *ids.Composite
 	pool     *Pool // shared pool; nil means Run creates a private one
 	workers  int
+	batch    int
 	depth    int
 	metrics  *Metrics
 	recorder *tracing.Recorder
 	stall    time.Duration
 
+	// poolBuffers is the Config.PoolBuffers request; rc is the buffer
+	// recycler Run builds once it knows whether the source supports
+	// record refilling (rc.records is the effective decision).
+	poolBuffers bool
+	rc          *recycler
+
 	ran             atomic.Bool
 	recordsIn       atomic.Int64
 	recordsOut      atomic.Int64
+	recordsScored   atomic.Int64
 	extractFailures atomic.Int64
 	busyNanos       atomic.Int64
 	startNanos      atomic.Int64
@@ -165,11 +217,22 @@ func New(mon *ids.Composite, cfg Config) (*Replayer, error) {
 	} else if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	batch := cfg.Batch
+	if batch == 0 {
+		batch = DefaultBatch
+	}
+	if batch < 1 {
+		batch = 1
+	}
 	depth := cfg.Depth
 	if depth <= 0 {
 		depth = 4 * workers
 	}
-	return &Replayer{mon: mon, pool: cfg.Pool, workers: workers, depth: depth, metrics: cfg.Metrics, recorder: cfg.Recorder, stall: cfg.StallTimeout}, nil
+	return &Replayer{
+		mon: mon, pool: cfg.Pool, workers: workers, batch: batch, depth: depth,
+		metrics: cfg.Metrics, recorder: cfg.Recorder, stall: cfg.StallTimeout,
+		poolBuffers: cfg.PoolBuffers,
+	}, nil
 }
 
 // Stats returns a snapshot of the per-stage counters.
@@ -209,42 +272,69 @@ type scored struct {
 	extractErr error
 }
 
-// processJob is the stateless hot path one pool task runs: decode the
-// raw record if needed, extract and score, hand the result to the
-// reordering stage. It parks on this replay's bounded out channel and
-// is released by abandon, so a stalled replay never wedges a shared
-// pool beyond its in-flight tasks.
-func (p *Replayer) processJob(j job, out chan<- scored, abandon <-chan struct{}) {
+// processBatch is the stateless hot path one pool task runs: decode
+// each raw record if needed, extract and score it, then hand the whole
+// scored batch to the reordering stage in one channel operation. It
+// parks on this replay's bounded out channel and is released by
+// abandon — releasing the batch's pooled buffers on that path — so a
+// stalled replay never wedges a shared pool beyond its in-flight tasks
+// and an abandoned batch never strands a buffer.
+func (p *Replayer) processBatch(jobs []job, out chan<- []scored, abandon <-chan struct{}) {
 	m := p.metrics
-	t0 := time.Now()
-	if j.raw != nil {
-		sp := j.ft.StartSpan("pipeline.decode")
-		j.rec = j.raw.Decode()
-		j.raw = nil
-		sp.End()
+	rc := p.rc
+	start := time.Now()
+	sb := rc.getScoredBatch()
+	for _, j := range jobs {
+		var t0 time.Time
 		if m != nil {
-			m.DecodeSeconds.Observe(time.Since(t0).Seconds())
+			t0 = time.Now()
 		}
-	}
-	j.frame = &canbus.ExtendedFrame{ID: j.rec.FrameID, Data: j.rec.Data}
-	var det core.Detection
-	var forensics ids.Forensics
-	var err error
-	if j.ft != nil {
-		det, forensics, err = p.mon.VoltageVerdictTraced(j.frame, j.rec.Trace, j.ft)
-	} else {
-		det, err = p.mon.VoltageVerdict(j.frame, j.rec.Trace)
-	}
-	if err != nil {
-		p.extractFailures.Add(1)
-		if m != nil {
-			m.ExtractFailures.Inc()
+		if j.raw != nil {
+			sp := j.ft.StartSpan("pipeline.decode")
+			if rc.records {
+				rec := rc.getRec()
+				j.raw.DecodeInto(rec)
+				rc.putRaw(j.raw)
+				j.rec = rec
+			} else {
+				j.rec = j.raw.Decode()
+			}
+			j.raw = nil
+			sp.End()
+			if m != nil {
+				m.DecodeSeconds.Observe(time.Since(t0).Seconds())
+			}
 		}
+		j.frame = &canbus.ExtendedFrame{ID: j.rec.FrameID, Data: j.rec.Data}
+		var det core.Detection
+		var forensics ids.Forensics
+		var err error
+		if j.ft != nil {
+			det, forensics, err = p.mon.VoltageVerdictTraced(j.frame, j.rec.Trace, j.ft)
+		} else {
+			det, err = p.mon.VoltageVerdict(j.frame, j.rec.Trace)
+		}
+		if err != nil {
+			p.extractFailures.Add(1)
+			if m != nil {
+				m.ExtractFailures.Inc()
+			}
+		}
+		sb = append(sb, scored{job: j, det: det, forensics: forensics, extractErr: err})
+		// Per-record, not per-batch: the stall watchdog reads this as
+		// its liveness signal, and a large batch mid-scoring must look
+		// like progress, not a wedge.
+		p.recordsScored.Add(1)
 	}
-	p.busyNanos.Add(int64(time.Since(t0)))
+	rc.putJobBatch(jobs)
+	// One busy-time add per batch: the whole loop is work, and a single
+	// atomic add amortises the accounting the way the batch amortises
+	// the channel operations.
+	p.busyNanos.Add(int64(time.Since(start)))
 	select {
-	case out <- scored{job: j, det: det, forensics: forensics, extractErr: err}:
+	case out <- sb:
 	case <-abandon:
+		rc.releaseScored(sb)
 	}
 }
 
@@ -264,8 +354,16 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 		p.wallNanos.Store(time.Now().UnixNano() - p.startNanos.Load())
 	}()
 
-	jobs := make(chan job, p.depth)
-	out := make(chan scored, p.depth)
+	// Record-buffer recycling needs a source that can refill
+	// caller-owned records and a sink path that retains nothing past
+	// the sink call — traced replays retain forensics, so they keep
+	// allocating regardless of the request.
+	intoSrc, _ := src.(rawIntoSource)
+	p.rc = newRecycler(p.batch, p.poolBuffers && p.recorder == nil && intoSrc != nil)
+	rc := p.rc
+
+	jobs := make(chan []job, p.depth)
+	out := make(chan []scored, p.depth)
 	// abandon is closed only when the sink fails and stage 3 stops
 	// draining; it unblocks upstream sends that would otherwise hang.
 	// A source error does NOT close it — the records already read
@@ -295,9 +393,13 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 	}
 
 	// Slow-sink watchdog: while records are pending (read but not yet
-	// delivered), the sink must make progress every StallTimeout or
-	// the replay aborts. Closing abandon unwedges every stage; stage 3
-	// checks the flag between sink calls.
+	// delivered), the pipeline must make progress every StallTimeout
+	// or the replay aborts. Progress is sink deliveries plus worker
+	// scorings — the sum is monotonic, and counting scoring keeps a
+	// large batch mid-flight from reading as a wedge while still
+	// catching a stuck sink: workers block once the bounded queues
+	// fill and the sum stops moving. Closing abandon unwedges every
+	// stage; stage 3 checks the flag between sink calls.
 	var stalled atomic.Bool
 	if p.stall > 0 {
 		stopWatch := make(chan struct{})
@@ -309,7 +411,7 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 			}
 			tick := time.NewTicker(interval)
 			defer tick.Stop()
-			lastOut := p.recordsOut.Load()
+			last := p.recordsOut.Load() + p.recordsScored.Load()
 			lastProgress := time.Now()
 			for {
 				select {
@@ -317,12 +419,12 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 					return
 				case <-tick.C:
 				}
-				cur := p.recordsOut.Load()
-				if cur != lastOut {
-					lastOut, lastProgress = cur, time.Now()
+				cur := p.recordsOut.Load() + p.recordsScored.Load()
+				if cur != last {
+					last, lastProgress = cur, time.Now()
 					continue
 				}
-				if p.recordsIn.Load() > cur && time.Since(lastProgress) >= p.stall {
+				if p.recordsIn.Load() > p.recordsOut.Load() && time.Since(lastProgress) >= p.stall {
 					stalled.Store(true)
 					setErr(ErrStalled)
 					abort()
@@ -332,12 +434,34 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 		}()
 	}
 
-	// Stage 1: the reader tags records with their stream index. With
-	// a RawSource the samples stay packed here and inflate in the
-	// workers, keeping the serial stage as thin as the format allows.
+	// Stage 1: the reader tags records with their stream index and
+	// accumulates them into batches. With a RawSource the samples stay
+	// packed here and inflate in the workers, keeping the serial stage
+	// as thin as the format allows; with buffer recycling on, the raw
+	// records themselves come from the pool. A source error does not
+	// abandon the replay: the partial batch already read is flushed so
+	// the sink sees the complete prefix before the error surfaces.
 	rawSrc, _ := src.(RawSource)
 	go func() {
 		defer close(jobs)
+		batch := rc.getJobBatch()
+		// flush hands the accumulated batch to stage 2, returning false
+		// when the replay has been abandoned (the batch is released, not
+		// leaked). The empty batch is returned to the pool, never sent.
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			select {
+			case jobs <- batch:
+				batch = rc.getJobBatch()
+				return true
+			case <-abandon:
+				rc.releaseJobs(batch)
+				batch = nil
+				return false
+			}
+		}
 		for idx := 0; ; idx++ {
 			var j job
 			var sp *tracing.Span
@@ -347,23 +471,44 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 				j.ft = tracing.NewFrameTrace(tracing.TraceID(idx) + 1)
 				sp = j.ft.StartSpan("pipeline.read")
 			}
-			if rawSrc != nil {
-				raw, err := rawSrc.NextRaw()
-				if errors.Is(err, io.EOF) {
+			if rc.records {
+				raw := rc.getRaw()
+				err := intoSrc.NextRawInto(raw)
+				if err != nil {
+					rc.putRaw(raw)
+					if !errors.Is(err, io.EOF) {
+						setErr(err)
+					}
+					flush()
+					if batch != nil {
+						rc.putJobBatch(batch)
+					}
 					return
 				}
+				j.idx, j.raw = idx, raw
+			} else if rawSrc != nil {
+				raw, err := rawSrc.NextRaw()
 				if err != nil {
-					setErr(err)
+					if !errors.Is(err, io.EOF) {
+						setErr(err)
+					}
+					flush()
+					if batch != nil {
+						rc.putJobBatch(batch)
+					}
 					return
 				}
 				j.idx, j.raw = idx, raw
 			} else {
 				rec, err := src.Next()
-				if errors.Is(err, io.EOF) {
-					return
-				}
 				if err != nil {
-					setErr(err)
+					if !errors.Is(err, io.EOF) {
+						setErr(err)
+					}
+					flush()
+					if batch != nil {
+						rc.putJobBatch(batch)
+					}
 					return
 				}
 				j.idx, j.rec = idx, rec
@@ -373,10 +518,11 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 			if m := p.metrics; m != nil {
 				m.RecordsIn.Inc()
 			}
-			select {
-			case jobs <- j:
-			case <-abandon:
-				return
+			batch = append(batch, j)
+			if len(batch) >= p.batch {
+				if !flush() {
+					return
+				}
 			}
 		}
 	}()
@@ -406,14 +552,23 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 	var wg sync.WaitGroup
 	go func() {
 		defer close(dispatcherDone)
-		for j := range jobs {
+		for b := range jobs {
 			wg.Add(1)
+			b := b
 			accepted := pool.submit(func() {
 				defer wg.Done()
-				p.processJob(j, out, abandon)
+				p.processBatch(b, out, abandon)
 			}, abandon)
 			if !accepted {
+				// The submission was abandoned: the batch never reached a
+				// worker, so its buffers (and the worker slot the Add
+				// reserved) are released here, then the channel drains so
+				// batches the reader already queued are released too.
 				wg.Done()
+				rc.releaseJobs(b)
+				for b := range jobs {
+					rc.releaseJobs(b)
+				}
 				break
 			}
 		}
@@ -423,13 +578,29 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 
 	// Stage 3: re-sequence by index, then run the stateful detectors
 	// in arrival order. The pending map is bounded by the records in
-	// flight (≤ 2×depth + workers), so memory stays flat even when
-	// one slow record holds up its successors.
+	// flight (≤ Batch×(2×Depth + workers)), so memory stays flat even
+	// when one slow record holds up its successors. On an aborted
+	// replay the deferred cleanup drains out (the dispatcher closes it
+	// once the workers unwedge via abandon) and releases both the
+	// drained batches and the undelivered pending entries, so no pooled
+	// buffer is stranded on any exit path.
 	next := 0
 	m := p.metrics
-	pending := make(map[int]scored, p.depth)
-	for s := range out {
-		pending[s.idx] = s
+	pending := make(map[int]scored, p.depth*p.batch)
+	defer func() {
+		for sb := range out {
+			rc.releaseScored(sb)
+		}
+		for idx, s := range pending {
+			rc.releaseScoredEntry(s)
+			delete(pending, idx)
+		}
+	}()
+	for sb := range out {
+		for _, s := range sb {
+			pending[s.idx] = s
+		}
+		rc.putScoredBatch(sb)
 		for {
 			cur, ok := pending[next]
 			if !ok {
@@ -455,6 +626,11 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 				p.recorder.Record(buildDecision(next, cur, verdict, state))
 			}
 			err := fn(Result{Index: next, Record: cur.rec, Frame: cur.frame, Verdict: verdict, Trace: cur.ft})
+			if rc.records {
+				// The sink call is over; the PoolBuffers contract says the
+				// record may now be recycled.
+				rc.putRec(cur.rec)
+			}
 			if m != nil {
 				m.SequenceSeconds.Observe(time.Since(t0).Seconds())
 				m.RecordsOut.Inc()

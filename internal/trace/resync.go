@@ -67,9 +67,13 @@ func (r *Reader) Corruptions() []RecoveredCorruption { return r.reports }
 // corruption record the damage, resync, retry.
 func (r *Reader) nextRawRecovering() (*RawRecord, error) {
 	for {
-		rec, err := r.nextRawOnce()
-		if err == nil || errors.Is(err, io.EOF) {
-			return rec, err
+		rec := new(RawRecord)
+		err := r.nextRawOnceInto(rec)
+		if err == nil {
+			return rec, nil
+		}
+		if errors.Is(err, io.EOF) {
+			return nil, err
 		}
 		report := RecoveredCorruption{Offset: r.off, Err: err}
 		// A parse that died on end-of-stream is a truncated capture:

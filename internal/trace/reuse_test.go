@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"vprofile/internal/analog"
+)
+
+// reuseFixture writes a capture whose records shrink and grow so the
+// reused buffers are exercised in both directions (stale-tail reuse
+// and regrowth).
+func reuseFixture(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*Record{
+		{ECUIndex: 0, TimeSec: 0.1, FrameID: 0x0CF00400, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}, Trace: analog.Trace{100, 200, 300, 400, 500}},
+		{ECUIndex: 1, TimeSec: 0.2, FrameID: 0x18FEF117, Data: []byte{9}, Trace: analog.Trace{7}},
+		{ECUIndex: -1, TimeSec: 0.3, FrameID: 0x18FEF121, Data: nil, Trace: nil},
+		{ECUIndex: 2, TimeSec: 0.4, FrameID: 0x0CF00401, Data: []byte{4, 4}, Trace: analog.Trace{65535, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestNextRawIntoMatchesNextRaw reads the same capture through the
+// allocating and the buffer-reusing paths — one RawRecord and one
+// Record reused across the whole stream — and requires identical
+// records, including after shrink/regrow transitions.
+func TestNextRawIntoMatchesNextRaw(t *testing.T) {
+	data := reuseFixture(t)
+
+	ra, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var raw RawRecord
+	var rec Record
+	for i := 0; ; i++ {
+		want, wantErr := ra.NextRaw()
+		gotErr := rb.NextRawInto(&raw)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("record %d: NextRaw err %v, NextRawInto err %v", i, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if !errors.Is(wantErr, io.EOF) || !errors.Is(gotErr, io.EOF) {
+				t.Fatalf("record %d: non-EOF end: %v / %v", i, wantErr, gotErr)
+			}
+			return
+		}
+		if raw.ECUIndex != want.ECUIndex || raw.TimeSec != want.TimeSec || raw.FrameID != want.FrameID {
+			t.Fatalf("record %d header mismatch: %+v vs %+v", i, raw, *want)
+		}
+		if !bytes.Equal(raw.Data, want.Data) {
+			t.Fatalf("record %d data %v, want %v", i, raw.Data, want.Data)
+		}
+		if !bytes.Equal(raw.Codes, want.Codes) {
+			t.Fatalf("record %d codes mismatch (len %d vs %d)", i, len(raw.Codes), len(want.Codes))
+		}
+
+		wantRec := want.Decode()
+		raw.DecodeInto(&rec)
+		if rec.ECUIndex != wantRec.ECUIndex || rec.TimeSec != wantRec.TimeSec || rec.FrameID != wantRec.FrameID {
+			t.Fatalf("record %d decoded header mismatch", i)
+		}
+		if !bytes.Equal(rec.Data, wantRec.Data) {
+			t.Fatalf("record %d decoded data mismatch", i)
+		}
+		if len(rec.Trace) != len(wantRec.Trace) {
+			t.Fatalf("record %d trace length %d vs %d", i, len(rec.Trace), len(wantRec.Trace))
+		}
+		for j := range wantRec.Trace {
+			if rec.Trace[j] != wantRec.Trace[j] {
+				t.Fatalf("record %d sample %d: %v vs %v", i, j, rec.Trace[j], wantRec.Trace[j])
+			}
+		}
+	}
+}
+
+// TestDecodeIntoCopiesData pins the recycling contract: the decoded
+// Record must not alias the RawRecord's buffers, because the raw
+// record is returned to a pool as soon as DecodeInto returns.
+func TestDecodeIntoCopiesData(t *testing.T) {
+	raw := RawRecord{Data: []byte{1, 2, 3}, Codes: []byte{0x10, 0x00, 0x20, 0x00}}
+	var rec Record
+	raw.DecodeInto(&rec)
+	raw.Data[0] = 0xFF
+	raw.Codes[0] = 0xFF
+	if rec.Data[0] != 1 {
+		t.Fatal("DecodeInto aliased the raw Data buffer")
+	}
+	if rec.Trace[0] != 0x10 {
+		t.Fatalf("Trace[0] = %v, want 16", rec.Trace[0])
+	}
+}

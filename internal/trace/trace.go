@@ -239,17 +239,28 @@ type RawRecord struct {
 
 // Decode expands the packed sample codes into a full Record.
 func (rr *RawRecord) Decode() *Record {
-	rec := &Record{
-		ECUIndex: rr.ECUIndex,
-		TimeSec:  rr.TimeSec,
-		FrameID:  rr.FrameID,
-		Data:     rr.Data,
-		Trace:    make(analog.Trace, len(rr.Codes)/2),
+	rec := new(Record)
+	rr.DecodeInto(rec)
+	return rec
+}
+
+// DecodeInto is Decode over a caller-owned Record, reusing its Data
+// and Trace capacity. Every field of rec is overwritten; the Data
+// bytes are copied (not aliased) so the RawRecord's buffers can be
+// recycled the moment this returns.
+func (rr *RawRecord) DecodeInto(rec *Record) {
+	rec.ECUIndex = rr.ECUIndex
+	rec.TimeSec = rr.TimeSec
+	rec.FrameID = rr.FrameID
+	rec.Data = append(rec.Data[:0], rr.Data...)
+	n := len(rr.Codes) / 2
+	if cap(rec.Trace) < n {
+		rec.Trace = make(analog.Trace, n)
 	}
+	rec.Trace = rec.Trace[:n]
 	for i := range rec.Trace {
 		rec.Trace[i] = float64(binary.LittleEndian.Uint16(rr.Codes[2*i:]))
 	}
-	return rec
 }
 
 // NextRaw reads the next record without decoding its samples, or
@@ -258,9 +269,34 @@ func (rr *RawRecord) Decode() *Record {
 // ending the read.
 func (r *Reader) NextRaw() (*RawRecord, error) {
 	if !r.recover {
-		return r.nextRawOnce()
+		rec := new(RawRecord)
+		if err := r.nextRawOnceInto(rec); err != nil {
+			return nil, err
+		}
+		return rec, nil
 	}
 	return r.nextRawRecovering()
+}
+
+// NextRawInto is NextRaw over a caller-owned RawRecord, reusing its
+// Data and Codes capacity so a steady-state replay loop stops
+// allocating per record. Every field of rec is overwritten. The
+// recovery path (EnableRecovery) keeps its allocating resynchroniser —
+// corruption is the cold path — and copies the result into rec.
+func (r *Reader) NextRawInto(rec *RawRecord) error {
+	if !r.recover {
+		return r.nextRawOnceInto(rec)
+	}
+	raw, err := r.nextRawRecovering()
+	if err != nil {
+		return err
+	}
+	rec.ECUIndex = raw.ECUIndex
+	rec.TimeSec = raw.TimeSec
+	rec.FrameID = raw.FrameID
+	rec.Data = append(rec.Data[:0], raw.Data...)
+	rec.Codes = append(rec.Codes[:0], raw.Codes...)
+	return nil
 }
 
 // codesChunk bounds a single sample-payload allocation: payload
@@ -269,45 +305,52 @@ func (r *Reader) NextRaw() (*RawRecord, error) {
 // the 32 MiB a hostile 24-bit count would otherwise reserve upfront.
 const codesChunk = 64 << 10
 
-// nextRawOnce is the strict single-record parse.
-func (r *Reader) nextRawOnce() (*RawRecord, error) {
+// nextRawOnceInto is the strict single-record parse, overwriting every
+// field of rec and reusing its buffer capacity.
+func (r *Reader) nextRawOnceInto(rec *RawRecord) error {
 	ecuRaw, err := r.u32()
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
+			return io.EOF
 		}
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	rec := &RawRecord{ECUIndex: int32(ecuRaw)}
+	rec.ECUIndex = int32(ecuRaw)
 	if rec.TimeSec, err = r.f64(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if rec.FrameID, err = r.u32(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	dataLen, err := r.u16()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if dataLen > 8 {
-		return nil, fmt.Errorf("%w: data length %d", ErrCorrupt, dataLen)
+		return fmt.Errorf("%w: data length %d", ErrCorrupt, dataLen)
 	}
-	rec.Data = make([]byte, dataLen)
+	if cap(rec.Data) < int(dataLen) {
+		rec.Data = make([]byte, dataLen)
+	}
+	rec.Data = rec.Data[:dataLen]
 	if err := r.read(rec.Data); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	n, err := r.u32()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if n > maxSaneSamples {
-		return nil, fmt.Errorf("%w: %d samples", ErrCorrupt, n)
+		return fmt.Errorf("%w: %d samples", ErrCorrupt, n)
 	}
 	total := 2 * int(n)
 	if total <= codesChunk {
-		rec.Codes = make([]byte, total)
+		if cap(rec.Codes) < total {
+			rec.Codes = make([]byte, total)
+		}
+		rec.Codes = rec.Codes[:total]
 		if err := r.read(rec.Codes); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 	} else {
 		// Chunked path for large counts: a length field is untrusted
@@ -316,14 +359,14 @@ func (r *Reader) nextRawOnce() (*RawRecord, error) {
 		if r.scratch == nil {
 			r.scratch = make([]byte, codesChunk)
 		}
-		rec.Codes = make([]byte, 0, codesChunk)
+		rec.Codes = rec.Codes[:0]
 		for read := 0; read < total; {
 			chunk := total - read
 			if chunk > codesChunk {
 				chunk = codesChunk
 			}
 			if err := r.read(r.scratch[:chunk]); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+				return fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
 			rec.Codes = append(rec.Codes, r.scratch[:chunk]...)
 			read += chunk
@@ -335,7 +378,7 @@ func (r *Reader) nextRawOnce() (*RawRecord, error) {
 		// count 4) plus the variable payloads.
 		m.Bytes.Add(int64(22 + len(rec.Data) + len(rec.Codes)))
 	}
-	return rec, nil
+	return nil
 }
 
 // Next reads the next record, or io.EOF at the end of the capture.
