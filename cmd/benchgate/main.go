@@ -34,10 +34,11 @@ import (
 // budget rather than against the baseline, so an older baseline
 // without fleet runs still gates cleanly.
 type report struct {
-	Records          int      `json:"records"`
-	NumCPU           int      `json:"num_cpu"`
-	FleetOverheadPct *float64 `json:"fleet_overhead_pct"`
-	Runs             []run    `json:"runs"`
+	Records             int      `json:"records"`
+	NumCPU              int      `json:"num_cpu"`
+	FleetOverheadPct    *float64 `json:"fleet_overhead_pct"`
+	IncidentOverheadPct *float64 `json:"incident_overhead_pct"`
+	Runs                []run    `json:"runs"`
 }
 
 type run struct {
@@ -57,6 +58,7 @@ func main() {
 	candidate := flag.String("candidate", "", "freshly generated report to gate")
 	maxDrop := flag.Float64("max-drop", 10, "maximum tolerated median throughput drop in percent")
 	maxFleet := flag.Float64("max-fleet-overhead", 5, "maximum tolerated shared-pool fleet overhead in percent (negative disables)")
+	maxIncident := flag.Float64("max-incident-overhead", 5, "maximum tolerated incident-correlation overhead in percent (negative disables; skipped when the candidate predates the field)")
 	minSpeedup := flag.Float64("min-parallel-speedup", 0, "minimum speedup-vs-sequential the best plain parallel run must reach (0 disables; skipped with a notice when the candidate ran on < 2 CPUs)")
 	maxAllocs := flag.Float64("max-allocs-growth", -1, "maximum tolerated median allocs-per-frame growth in percent (negative disables; skipped when the baseline predates the field)")
 	flag.Parse()
@@ -64,7 +66,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
 		os.Exit(2)
 	}
-	if err := gate(*baseline, *candidate, *maxDrop, *maxFleet, *minSpeedup, *maxAllocs); err != nil {
+	if err := gate(*baseline, *candidate, *maxDrop, *maxFleet, *maxIncident, *minSpeedup, *maxAllocs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
@@ -85,7 +87,7 @@ func load(path string) (report, error) {
 	return r, nil
 }
 
-func gate(basePath, candPath string, maxDrop, maxFleet, minSpeedup, maxAllocs float64) error {
+func gate(basePath, candPath string, maxDrop, maxFleet, maxIncident, minSpeedup, maxAllocs float64) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -143,6 +145,18 @@ func gate(basePath, candPath string, maxDrop, maxFleet, minSpeedup, maxAllocs fl
 		fmt.Printf("benchgate: fleet shared-pool overhead %.2f%%, limit %.0f%%\n", *cand.FleetOverheadPct, maxFleet)
 		if *cand.FleetOverheadPct > maxFleet {
 			return fmt.Errorf("fleet shared-pool overhead %.2f%% exceeds %.0f%%", *cand.FleetOverheadPct, maxFleet)
+		}
+	}
+
+	// The incident-overhead gate is absolute for the same reason:
+	// replaybench paired each incident-fed fleet replay with the same
+	// fleet shape running a no-op sink inside one run, so the figure
+	// already isolates the correlator's hot-path cost. Candidates
+	// predating the incident layer omit the field and skip the gate.
+	if maxIncident >= 0 && cand.IncidentOverheadPct != nil {
+		fmt.Printf("benchgate: incident-correlation overhead %.2f%%, limit %.0f%%\n", *cand.IncidentOverheadPct, maxIncident)
+		if *cand.IncidentOverheadPct > maxIncident {
+			return fmt.Errorf("incident-correlation overhead %.2f%% exceeds %.0f%%", *cand.IncidentOverheadPct, maxIncident)
 		}
 	}
 

@@ -12,6 +12,7 @@
 //	busmon -capture traffic.vptr.gz -model model.vpm -timeline
 //	busmon -capture traffic.vptr -model model.vpm -metrics :9090 -events run.jsonl
 //	busmon -capture a.vptr,b.vptr -model model.vpm          (fleet mode)
+//	busmon -capture a.vptr,b.vptr -model model.vpm -incidents -quarantine
 //	busmon -capture traffic.vptr -model model.vpm -model-watch 2s
 //
 // Comma-separating -capture monitors several buses concurrently over
@@ -29,6 +30,7 @@ import (
 	"strings"
 
 	"vprofile/internal/engine"
+	"vprofile/internal/obs/incident"
 )
 
 func main() {
@@ -79,6 +81,10 @@ func runSingle(capture string, fl *engine.Flags, timeline bool, opts []engine.Op
 		return err
 	}
 	printSummary(sum, t, fl)
+	if fl.Incidents {
+		fmt.Println()
+		fmt.Print(incident.FormatTable(sum.Incidents))
+	}
 	return nil
 }
 
@@ -114,6 +120,11 @@ func runFleet(captures []string, fl *engine.Flags, timeline bool, opts []engine.
 			// everything delivered before the abort.
 		}
 		printSummary(sum, tallies[sum.Bus], fl)
+	}
+	if fl.Incidents {
+		fmt.Println()
+		fmt.Println("== fleet incidents ==")
+		fmt.Print(incident.FormatTable(fleet.Incidents()))
 	}
 	return err
 }

@@ -3,9 +3,11 @@
 // sequentially and through the concurrent pipeline at 1/2/4/8
 // workers — each with observability off and on, plus tracing+flight
 // and fault-layer (recovery reader + quarantine) configurations at
-// 1/4/8 workers — and writes the results (plus the measured metrics,
-// flight-recorder and fault-layer overheads) to a JSON file that CI
-// and future PRs can diff (cmd/benchgate enforces the diff).
+// 1/4/8 workers, plus fleet pairs with and without the incident
+// correlation layer — and writes the results (plus the measured
+// metrics, flight-recorder, fault-layer, pool-sharing and
+// incident-layer overheads) to a JSON file that CI and future PRs can
+// diff (cmd/benchgate enforces the diff).
 //
 // Usage:
 //
@@ -32,6 +34,7 @@ import (
 	"vprofile/internal/experiments"
 	"vprofile/internal/ids"
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/incident"
 	"vprofile/internal/obs/tracing"
 	"vprofile/internal/pipeline"
 	"vprofile/internal/trace"
@@ -52,6 +55,7 @@ type Run struct {
 	Faults       bool    `json:"faults,omitempty"`
 	Buses        int     `json:"buses,omitempty"` // >1 on fleet/indep pair configs
 	SharedPool   bool    `json:"shared_pool,omitempty"`
+	Incidents    bool    `json:"incidents,omitempty"`
 	Seconds      float64 `json:"seconds"`
 	FramesPerSec float64 `json:"frames_per_sec"`
 	// AllocsPerFrame is the heap-allocation count per replayed frame
@@ -72,6 +76,7 @@ type Run struct {
 	FlightOverheadPct   *float64 `json:"flight_overhead_pct,omitempty"`
 	FaultsOverheadPct   *float64 `json:"faults_overhead_pct,omitempty"`
 	FleetOverheadPct    *float64 `json:"fleet_overhead_pct,omitempty"`
+	IncidentOverheadPct *float64 `json:"incident_overhead_pct,omitempty"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -120,6 +125,13 @@ type Report struct {
 	// submit contention), not worker-count differences. The acceptance
 	// bar keeps it under 5%.
 	FleetOverheadPct float64 `json:"fleet_overhead_pct"`
+	// IncidentOverheadPct is the median over the incident-layer
+	// configurations: a fleet replay whose per-record sink feeds the
+	// incident correlator (evidence construction + hot-path Observe, no
+	// alarms on the clean fixture) against the same fleet shape with a
+	// no-op sink. Both sides pay the sink call itself, so the figure
+	// prices the correlator alone. The acceptance bar keeps it under 5%.
+	IncidentOverheadPct float64 `json:"incident_overhead_pct"`
 }
 
 func main() {
@@ -247,17 +259,39 @@ func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, 
 	return st.WallTime, allocs, nil
 }
 
+// evidence maps a pipeline result onto the incident correlator's
+// per-frame observation (mirrors the engine's sink wrapper).
+func evidence(r pipeline.Result) incident.Evidence {
+	v := r.Verdict
+	return incident.Evidence{
+		SA:         uint8(r.Frame.SA()),
+		T:          r.Record.TimeSec,
+		Voltage:    v.ExtractErr == nil && v.Voltage.Anomaly,
+		Preprocess: v.ExtractErr != nil,
+		Timing:     v.Timing == ids.PeriodTooEarly,
+		Transport:  v.TransferErr != nil,
+		Suppressed: v.Suppressed,
+	}
+}
+
 // fleetOnce replays the capture `buses` times concurrently and
 // returns the overall elapsed time. With shared=true every replay
 // submits to one pool of buses×workersPerBus goroutines (the fleet
 // shape); otherwise each replay owns a private pool of workersPerBus
 // goroutines — the same total worker count, so the pair isolates the
-// cost of the sharing mechanism itself.
-func fleetOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, buses, workersPerBus, records, batch int, shared bool) (time.Duration, float64, error) {
+// cost of the sharing mechanism itself. With incidents=true each
+// bus's sink feeds a shared incident correlator; every config pays a
+// per-record sink call either way (no-op without incidents), so the
+// incident pair prices the correlator, not sink dispatch.
+func fleetOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, buses, workersPerBus, records, batch int, shared, incidents bool) (time.Duration, float64, error) {
 	var pool *pipeline.Pool
 	if shared {
 		pool = pipeline.NewPool(buses * workersPerBus)
 		defer pool.Close()
+	}
+	var corr *incident.Correlator
+	if incidents {
+		corr = incident.New(incident.Config{CorrelateBuses: 2})
 	}
 	errs := make([]error, buses)
 	m0 := mallocsNow()
@@ -272,18 +306,29 @@ func fleetOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, buses, wor
 		if err != nil {
 			return 0, 0, err
 		}
+		sink := func(pipeline.Result) error { return nil }
+		if corr != nil {
+			stream := corr.Bus(fmt.Sprintf("bus%d", b))
+			sink = func(r pipeline.Result) error {
+				stream.Observe(evidence(r))
+				return nil
+			}
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			cfg := pipeline.Config{Workers: workersPerBus, Batch: batch, Pool: pool, PoolBuffers: true}
 			var st pipeline.Stats
-			st, errs[b] = pipeline.Replay(rd, mon, cfg, nil)
+			st, errs[b] = pipeline.Replay(rd, mon, cfg, sink)
 			if errs[b] == nil && st.RecordsOut != int64(records) {
 				errs[b] = fmt.Errorf("replayed %d of %d records", st.RecordsOut, records)
 			}
 		}()
 	}
 	wg.Wait()
+	if corr != nil {
+		corr.CloseOut()
+	}
 	elapsed := time.Since(start)
 	allocs := float64(mallocsNow()-m0) / float64(records*buses)
 	for _, err := range errs {
@@ -316,13 +361,14 @@ func run(out string, records, repeat, batch, procs int) error {
 	}
 
 	type config struct {
-		name    string
-		workers int
-		metrics bool
-		flight  bool
-		faults  bool
-		buses   int  // >1 runs the fleet pair shape
-		shared  bool // fleet: one shared pool instead of private pools
+		name      string
+		workers   int
+		metrics   bool
+		flight    bool
+		faults    bool
+		buses     int  // >1 runs the fleet pair shape
+		shared    bool // fleet: one shared pool instead of private pools
+		incidents bool // fleet: sink feeds the incident correlator
 	}
 	// Each instrumented configuration sits directly after the plain
 	// run it is compared against, so the pair executes back-to-back
@@ -345,10 +391,12 @@ func run(out string, records, repeat, batch, procs int) error {
 	}
 	// Fleet pairs: each shared-pool config sits directly after the
 	// independent-pools config it is compared against, same total
-	// worker count on both sides.
+	// worker count on both sides; the incident config follows the
+	// fleet config it is compared against.
 	for _, w := range []int{1, 4} {
 		configs = append(configs, config{name: fmt.Sprintf("indep2x%d", w), workers: w, buses: 2})
 		configs = append(configs, config{name: fmt.Sprintf("fleet2x%d", w), workers: w, buses: 2, shared: true})
+		configs = append(configs, config{name: fmt.Sprintf("fleet2x%d+incidents", w), workers: w, buses: 2, shared: true, incidents: true})
 	}
 
 	// Interleave the runs round-robin across every configuration
@@ -369,7 +417,7 @@ func run(out string, records, repeat, batch, procs int) error {
 			var allocs float64
 			var err error
 			if c.buses > 1 {
-				d, allocs, err = fleetOnce(capture, model, v, c.buses, c.workers, records, batch, c.shared)
+				d, allocs, err = fleetOnce(capture, model, v, c.buses, c.workers, records, batch, c.shared, c.incidents)
 			} else {
 				d, allocs, err = replayOnce(capture, model, v, c.workers, records, batch, c.metrics, c.flight, c.faults)
 			}
@@ -419,7 +467,7 @@ func run(out string, records, repeat, batch, procs int) error {
 	}
 
 	seqBase := best["sequential"].Seconds()
-	var overheads, flightOverheads, faultOverheads, fleetOverheads []float64
+	var overheads, flightOverheads, faultOverheads, fleetOverheads, incidentOverheads []float64
 	for _, c := range configs {
 		sec := best[c.name].Seconds()
 		totalRecords := records
@@ -437,6 +485,7 @@ func run(out string, records, repeat, batch, procs int) error {
 			Faults:              c.faults,
 			Buses:               c.buses,
 			SharedPool:          c.shared,
+			Incidents:           c.incidents,
 			Seconds:             sec,
 			FramesPerSec:        fps,
 			SpeedupVsSequential: fps / (float64(records) / seqBase),
@@ -456,10 +505,15 @@ func run(out string, records, repeat, batch, procs int) error {
 			r.FaultsOverheadPct = &pct
 			faultOverheads = append(faultOverheads, pct)
 		}
-		if c.shared {
+		if c.shared && !c.incidents {
 			pct := bestOverhead(c.name, "indep"+c.name[len("fleet"):])
 			r.FleetOverheadPct = &pct
 			fleetOverheads = append(fleetOverheads, pct)
+		}
+		if c.incidents {
+			pct := bestOverhead(c.name, c.name[:len(c.name)-len("+incidents")])
+			r.IncidentOverheadPct = &pct
+			incidentOverheads = append(incidentOverheads, pct)
 		}
 		report.Runs = append(report.Runs, r)
 	}
@@ -471,6 +525,8 @@ func run(out string, records, repeat, batch, procs int) error {
 	report.FaultsOverheadPct = faultOverheads[len(faultOverheads)/2]
 	sort.Float64s(fleetOverheads)
 	report.FleetOverheadPct = fleetOverheads[len(fleetOverheads)/2]
+	sort.Float64s(incidentOverheads)
+	report.IncidentOverheadPct = incidentOverheads[len(incidentOverheads)/2]
 
 	f, err := os.Create(out)
 	if err != nil {
@@ -482,7 +538,7 @@ func run(out string, records, repeat, batch, procs int) error {
 	if err := enc.Encode(report); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%%, fault-layer overhead %.2f%%, fleet overhead %.2f%% → %s\n",
-		report.MetricsOverheadPct, report.FlightOverheadPct, report.FaultsOverheadPct, report.FleetOverheadPct, out)
+	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%%, fault-layer overhead %.2f%%, fleet overhead %.2f%%, incident overhead %.2f%% → %s\n",
+		report.MetricsOverheadPct, report.FlightOverheadPct, report.FaultsOverheadPct, report.FleetOverheadPct, report.IncidentOverheadPct, out)
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"vprofile/internal/engine"
+	"vprofile/internal/obs/incident"
 )
 
 // busCount is one bus's running classification tally.
@@ -74,6 +75,9 @@ func cmdFleet(args []string) error {
 		if sum.ModelSwaps > 0 {
 			fmt.Printf("bus %-12s model: %d hot swaps, final version %d\n", sum.Bus, sum.ModelSwaps, sum.ModelVersion)
 		}
+	}
+	if fl.Incidents {
+		fmt.Print(incident.FormatTable(fleet.Incidents()))
 	}
 	return err
 }

@@ -515,8 +515,9 @@ func TestFlagParity(t *testing.T) {
 	var names []string
 	fs.VisitAll(func(f *flag.Flag) { names = append(names, f.Name) })
 	sort.Strings(names)
-	want := []string{"batch", "capture", "events", "flight", "flight-window", "metrics",
-		"model", "model-watch", "quarantine", "recover", "stall-timeout", "workers"}
+	want := []string{"batch", "capture", "events", "flight", "flight-window", "incidents",
+		"max-events", "metrics", "model", "model-watch", "quarantine", "recover",
+		"stall-timeout", "workers"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("shared flags = %v, want %v", names, want)
 	}

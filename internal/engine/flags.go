@@ -22,6 +22,8 @@ type Flags struct {
 	Recover      bool
 	Stall        time.Duration
 	ModelWatch   time.Duration
+	Incidents    bool
+	MaxEvents    int
 }
 
 // RegisterFlags registers the shared session flags on fs and returns
@@ -40,6 +42,8 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Recover, "recover", false, "tolerate capture corruption: resync past damaged records instead of aborting")
 	fs.DurationVar(&f.Stall, "stall-timeout", 0, "abort the replay if the verdict stream stalls this long (0 disables the watchdog)")
 	fs.DurationVar(&f.ModelWatch, "model-watch", 0, "poll the model file at this interval and hot-swap it when rewritten (0 disables)")
+	fs.BoolVar(&f.Incidents, "incidents", false, "correlate alarms into lifecycle-managed incidents (served on /fleet* with -metrics, tabulated at end of run)")
+	fs.IntVar(&f.MaxEvents, "max-events", 1000000, "cap the events written to the -events log; past it events are dropped and counted (0 = unlimited)")
 	return f
 }
 
@@ -57,6 +61,8 @@ func (f *Flags) Options() []Option {
 		WithRecovery(f.Recover),
 		WithStallTimeout(f.Stall),
 		WithModelWatch(f.ModelWatch),
+		WithIncidents(f.Incidents),
+		WithMaxEvents(f.MaxEvents),
 	}
 	if f.FlightDir != "" {
 		opts = append(opts, WithFlightRecorder(f.FlightDir, f.FlightWindow))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/incident"
 	"vprofile/internal/pipeline"
 )
 
@@ -36,6 +37,13 @@ type Fleet struct {
 	ownPool  bool
 	group    *obs.Group
 	events   *obs.EventLog
+
+	// inc is the fleet-wide incident correlator (nil when incidents
+	// are off); every session feeds it, and cross-bus correlation is
+	// what distinguishes a fleet-wide spoof from one flaky ECU.
+	// incidents is its full history after Run.
+	inc       *incident.Correlator
+	incidents []incident.Snapshot
 }
 
 // BusNames derives fleet bus names from capture paths: the base name
@@ -86,7 +94,7 @@ func NewFleet(captures []string, opts ...Option) (*Fleet, error) {
 		f.pool = pipeline.NewPool(proto.workers)
 		f.ownPool = true
 	}
-	if proto.metricsAddr != "" || proto.eventsPath != "" {
+	if proto.metricsAddr != "" || proto.eventsPath != "" || proto.incidents {
 		f.group = obs.NewGroup("bus")
 	}
 	if proto.eventsPath != "" {
@@ -95,6 +103,20 @@ func NewFleet(captures []string, opts ...Option) (*Fleet, error) {
 		if err != nil {
 			return nil, err
 		}
+		if proto.maxEvents > 0 {
+			f.events.SetMaxEvents(proto.maxEvents)
+		}
+	}
+	if proto.incidents {
+		cfg := incident.Config{}
+		if proto.incCfg != nil {
+			cfg = *proto.incCfg
+		}
+		if cfg.Emit == nil && f.events != nil {
+			events := f.events
+			cfg.Emit = func(e obs.Event) { _ = events.Emit(e) }
+		}
+		f.inc = incident.New(cfg)
 	}
 	for i, capture := range captures {
 		bus := f.buses[i]
@@ -114,6 +136,9 @@ func NewFleet(captures []string, opts ...Option) (*Fleet, error) {
 		}
 		if proto.flightDir != "" {
 			sopts = append(sopts, WithFlightRecorder(filepath.Join(proto.flightDir, bus), proto.flightWindow))
+		}
+		if f.inc != nil {
+			sopts = append(sopts, withCorrelator(f.inc))
 		}
 		if proto.logf != nil {
 			logf, b := proto.logf, bus
@@ -153,12 +178,23 @@ func (f *Fleet) Run(sink Sink) ([]Summary, error) {
 		logf = func(string, ...any) {}
 	}
 	if f.proto.metricsAddr != "" {
-		srv, err := obs.Serve(f.proto.metricsAddr, f.group)
+		// Runtime self-telemetry lives on its own pseudo-bus member so
+		// the process-wide gauges appear once, not once per bus, and
+		// refresh at scrape time.
+		rs := obs.NewRuntimeStats(f.group.Add("fleet", nil))
+		var routes []obs.Route
+		if f.inc != nil {
+			routes = f.inc.Routes()
+		}
+		srv, err := obs.Serve(f.proto.metricsAddr, obs.CollectedExporter(f.group, rs.Collect), routes...)
 		if err != nil {
 			return nil, err
 		}
 		defer func() { _ = srv.ShutdownTimeout(2 * time.Second) }()
 		logf("serving fleet /metrics and /debug/pprof/ on http://%s", srv.Addr())
+		if f.inc != nil {
+			logf("fleet incidents live at http://%s/fleet", srv.Addr())
+		}
 	}
 
 	// A fleet-owned store drives the model watch and announces swaps
@@ -208,6 +244,11 @@ func (f *Fleet) Run(sink Sink) ([]Summary, error) {
 	}
 	wg.Wait()
 
+	if f.inc != nil {
+		// Resolve survivors before the log closes so every lifecycle
+		// event — end-of-run resolutions included — lands in it.
+		f.incidents = f.inc.CloseOut()
+	}
 	if f.events != nil {
 		// Per-bus stats records were already contributed by the
 		// sessions; nothing fleet-level left to snapshot.

@@ -9,6 +9,7 @@ import (
 	"vprofile/internal/edgeset"
 	"vprofile/internal/ids"
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/incident"
 	"vprofile/internal/obs/tracing"
 	"vprofile/internal/pipeline"
 	"vprofile/internal/trace"
@@ -90,6 +91,10 @@ type Summary struct {
 	// ModelSwaps counts hot swaps observed during it.
 	ModelVersion int
 	ModelSwaps   int
+	// Incidents is the incident history of a standalone session that
+	// ran with WithIncidents (nil otherwise; fleet members report
+	// through Fleet.Incidents instead).
+	Incidents []incident.Snapshot
 	// Err is the session's replay error — populated on fleet runs,
 	// where one bus's failure must not hide the others' summaries.
 	Err error
@@ -124,6 +129,16 @@ type Session struct {
 	recovery   bool
 	stall      time.Duration
 	watch      time.Duration
+
+	// Incident-layer state (see incidents.go): incidents turns the
+	// layer on, incCfg optionally tunes it, inc is the correlator (a
+	// fleet injects a shared one; a standalone session builds and
+	// closes its own — ownInc), maxEvents caps an owned event log.
+	incidents bool
+	incCfg    *incident.Config
+	inc       *incident.Correlator
+	ownInc    bool
+	maxEvents int
 
 	logf func(format string, args ...any)
 }
@@ -280,7 +295,7 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 	// snapshot in the event log. A fleet injects the registry (a group
 	// member) and the shared event log; a standalone session owns both.
 	reg := s.registry
-	wantObs := s.metricsAddr != "" || s.eventsPath != "" || s.events != nil
+	wantObs := s.metricsAddr != "" || s.eventsPath != "" || s.events != nil || s.incidents
 	if reg == nil && wantObs {
 		reg = obs.NewRegistry()
 	}
@@ -297,12 +312,27 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 			return sum, err
 		}
 		s.ownEvents = true
+		if s.maxEvents > 0 {
+			s.events.SetMaxEvents(s.maxEvents)
+		}
 	}
+	incStream := s.setupIncidents(reg)
 	var recorder *tracing.Recorder
 	if s.flightDir != "" {
-		recorder, err = tracing.NewRecorder(tracing.RecorderConfig{
+		rcfg := tracing.RecorderConfig{
 			Window: s.flightWindow, Dir: s.flightDir, Header: h, Events: s.events,
-		})
+		}
+		if incStream != nil {
+			// Stamp each finished bundle with the incident that was open
+			// for its (bus, SA) — and file the bundle as incident
+			// evidence — before it hits disk, so bundle.json carries the
+			// join key.
+			stream := incStream
+			rcfg.Tag = func(b *tracing.Bundle) {
+				b.Incident = stream.LinkBundle(b.SA, b.DirName())
+			}
+		}
+		recorder, err = tracing.NewRecorder(rcfg)
 		if err != nil {
 			return sum, err
 		}
@@ -312,7 +342,17 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 		if recorder != nil {
 			routes = append(routes, obs.Route{Pattern: "/debug/flight", Handler: recorder})
 		}
-		srv, err := obs.Serve(s.metricsAddr, reg, routes...)
+		var exp obs.Exporter = reg
+		if reg != nil {
+			// Self-telemetry refreshes at scrape time, on the same
+			// registry the replay instruments.
+			rs := obs.NewRuntimeStats(reg)
+			exp = obs.CollectedExporter(reg, rs.Collect)
+		}
+		if s.ownInc {
+			routes = append(routes, s.inc.Routes()...)
+		}
+		srv, err := obs.Serve(s.metricsAddr, exp, routes...)
 		if err != nil {
 			return sum, err
 		}
@@ -361,6 +401,17 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 	mcfg := ids.CompositeConfig{Extraction: ExtractionFor(h), Models: s.store, Metrics: im}
 	if s.quarantine {
 		mcfg.Quarantine = &ids.QuarantineConfig{}
+		if incStream != nil {
+			// Quarantine transitions reach the incident layer as
+			// structured notifications, not by polling: degradation
+			// escalates the covering incident and counts toward the
+			// bus's health occupancy. Sequence runs single-goroutine, in
+			// record order — exactly the order the correlator wants.
+			stream := incStream
+			mcfg.OnQuarantine = func(ch ids.QuarantineChange) {
+				stream.ObserveQuarantine(ch.SA, ch.To.String(), ch.AtSec)
+			}
+		}
 	}
 	mon, err := ids.NewComposite(nil, mcfg)
 	if err != nil {
@@ -371,6 +422,20 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 	if sink != nil {
 		bus := s.name
 		pfn = func(r pipeline.Result) error { return sink(Result{Bus: bus, Result: r}) }
+	}
+	if incStream != nil {
+		// Every verdict feeds the correlator, before the user sink, so
+		// a mid-run /fleet scrape is never behind the verdict stream.
+		// The wrapper exists even with no user sink — incidents are a
+		// consumer in their own right.
+		stream, inner := incStream, pfn
+		pfn = func(r pipeline.Result) error {
+			stream.Observe(incidentEvidence(r))
+			if inner != nil {
+				return inner(r)
+			}
+			return nil
+		}
 	}
 	st, err := pipeline.Replay(rd, mon, pipeline.Config{
 		Workers: s.workers, Batch: s.batch, Pool: s.pool, Metrics: pm, Recorder: recorder, StallTimeout: s.stall,
@@ -384,6 +449,12 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 		}
 		fs := recorder.Stats()
 		sum.Flight = &fs
+	}
+	if s.ownInc {
+		// Close after the recorder (bundle tags emit their update
+		// events) and before the event log (resolve events must land in
+		// it).
+		sum.Incidents = s.inc.CloseOut()
 	}
 	if s.events != nil {
 		if s.ownEvents {

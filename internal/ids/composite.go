@@ -31,8 +31,10 @@ type Composite struct {
 	lastAt    float64
 
 	// quar is the per-SA quarantine machine; nil keeps quarantine off
-	// and every verdict exactly as before.
-	quar *quarantine
+	// and every verdict exactly as before. onQuar, when set, is told
+	// about each state transition.
+	quar   *quarantine
+	onQuar func(QuarantineChange)
 
 	// metrics is optional instrumentation; nil means no accounting at
 	// all. The per-SA counter caches resolve each source address's
@@ -93,6 +95,27 @@ type CompositeConfig struct {
 	// per frame. Anomalous() is unaffected; alarm-routing callers
 	// should switch to Alarm().
 	Quarantine *QuarantineConfig
+	// OnQuarantine, when non-nil, receives one structured notification
+	// per quarantine state transition — the hook observability layers
+	// (incident severity routing, per-bus health) use to follow the
+	// machine without polling QuarantineReports. Called synchronously
+	// from Sequence, so it must be cheap and must not call back into
+	// the composite.
+	OnQuarantine func(QuarantineChange)
+}
+
+// QuarantineChange describes one quarantine state transition, as
+// delivered to CompositeConfig.OnQuarantine.
+type QuarantineChange struct {
+	SA   uint8
+	From SAState
+	To   SAState
+	// AtSec is the capture time of the frame that caused the
+	// transition.
+	AtSec float64
+	// Degraded is the machine's total degraded-SA occupancy after the
+	// transition.
+	Degraded int
 }
 
 // NewComposite builds the stack around a trained vProfile model (or,
@@ -121,6 +144,7 @@ func NewComposite(model *core.Model, cfg CompositeConfig) (*Composite, error) {
 	}
 	if cfg.Quarantine != nil {
 		c.quar = newQuarantine(*cfg.Quarantine)
+		c.onQuar = cfg.OnQuarantine
 	}
 	return c, nil
 }
@@ -277,6 +301,12 @@ func (c *Composite) Sequence(frame *canbus.ExtendedFrame, at float64, voltage co
 				m.QuarantineTransitions.With(cur.String()).Inc()
 				m.DegradedSAs.Set(int64(c.quar.degraded))
 			}
+		}
+		if cur != prev && c.onQuar != nil {
+			c.onQuar(QuarantineChange{
+				SA: uint8(frame.SA()), From: prev, To: cur,
+				AtSec: at, Degraded: c.quar.degraded,
+			})
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"sync"
@@ -27,6 +28,20 @@ const (
 	EventQuarantine = "quarantine" // a source address changed quarantine state
 	EventModelSwap  = "model_swap" // the session hot-swapped its detection model
 	EventStats      = "stats"      // end-of-run registry snapshot (final line)
+
+	// Incident lifecycle kinds, written by the fleet incident
+	// correlator (internal/obs/incident): an incident opens on first
+	// evidence, updates on escalation (severity, a new bus joining a
+	// correlated incident, a linked flight bundle) and resolves after
+	// a quiet window or at end of run.
+	EventIncidentOpen    = "incident_open"
+	EventIncidentUpdate  = "incident_update"
+	EventIncidentResolve = "incident_resolve"
+
+	// EventDropped is the single record Close appends when the
+	// max-events cap truncated the stream; its Detail carries the
+	// dropped count.
+	EventDropped = "events_dropped"
 )
 
 // Event severities. Alarms carry one so downstream consumers can
@@ -62,6 +77,11 @@ type Event struct {
 	// Transport / diagnostic detail.
 	PGN  uint32 `json:"pgn,omitempty"`
 	DTCs int    `json:"dtcs,omitempty"`
+	// Incident and Scope tag incident-lifecycle records (and flight
+	// records cut while an incident was open) with the incident id
+	// ("INC-0003") and its scope ("single-bus" or "fleet-correlated").
+	Incident string `json:"incident,omitempty"`
+	Scope    string `json:"scope,omitempty"`
 	// Detail carries free-text context (error strings, lamp states).
 	Detail string `json:"detail,omitempty"`
 	// Stats is the registry snapshot on the final EventStats record.
@@ -82,6 +102,14 @@ type EventLog struct {
 	c      io.Closer
 	err    error
 	closed bool
+	// max caps the events written (0 = unlimited); written counts
+	// capped kinds accepted so far, dropped the ones discarded once
+	// the cap was hit. EventStats records are exempt — they are
+	// bounded (one per bus) and the end-of-run snapshot must survive
+	// even a capped flood.
+	max     int
+	written int
+	dropped int64
 }
 
 // CreateEventLog creates (truncating) a JSONL event log at path.
@@ -101,12 +129,39 @@ func NewEventLog(w io.Writer) *EventLog {
 	return l
 }
 
+// SetMaxEvents caps the events the log will write (0 = unlimited).
+// Once the cap is reached further Emits are silently dropped and
+// counted instead of written — a pathological alarm flood must not
+// fill the disk mid-replay — and Close appends one EventDropped
+// record carrying the count. EventStats records are exempt from the
+// cap.
+func (l *EventLog) SetMaxEvents(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.max = n
+}
+
+// Dropped reports how many events the max-events cap discarded.
+func (l *EventLog) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
 // Emit appends one event. After any write error the log is poisoned
 // and every later call returns the first error; after Close it
-// returns ErrEventLogClosed.
+// returns ErrEventLogClosed. An event discarded by the max-events cap
+// returns nil — a capped log is healthy, just full.
 func (l *EventLog) Emit(e Event) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.max > 0 && e.Kind != EventStats && !l.closed && l.err == nil {
+		if l.written >= l.max {
+			l.dropped++
+			return nil
+		}
+		l.written++
+	}
 	return l.emitLocked(e)
 }
 
@@ -142,6 +197,10 @@ func (l *EventLog) Close(reg *Registry) error {
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrEventLogClosed
+	}
+	if l.dropped > 0 {
+		l.emitLocked(Event{Kind: EventDropped, Severity: SeverityWarning,
+			Detail: fmt.Sprintf("%d events dropped by the max-events cap (%d)", l.dropped, l.max)})
 	}
 	if reg != nil {
 		l.emitLocked(Event{Kind: EventStats, Stats: reg.Snapshot()})

@@ -1,0 +1,62 @@
+package incident
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"vprofile/internal/obs"
+)
+
+// Routes returns the fleet-observability endpoints, ready to mount on
+// the obs server via Serve's extra routes:
+//
+//	/fleet           per-bus health overview + open-incident count
+//	/fleet/incidents open and retained-resolved incidents, evidence included
+//	/fleet/topk      the noisiest-buses rollup
+//
+// All three serve JSON snapshots taken under the correlator lock, so
+// they are safe to scrape while a replay is writing.
+func (c *Correlator) Routes() []obs.Route {
+	return []obs.Route{
+		{Pattern: "/fleet", Handler: http.HandlerFunc(c.serveFleet)},
+		{Pattern: "/fleet/incidents", Handler: http.HandlerFunc(c.serveIncidents)},
+		{Pattern: "/fleet/topk", Handler: http.HandlerFunc(c.serveTopK)},
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (c *Correlator) serveFleet(w http.ResponseWriter, _ *http.Request) {
+	open, resolved := c.Incidents()
+	writeJSON(w, struct {
+		Now               float64     `json:"now"`
+		Buses             []BusHealth `json:"buses"`
+		OpenIncidents     int         `json:"open_incidents"`
+		ResolvedIncidents int         `json:"resolved_incidents"`
+	}{c.Now(), c.Health(), len(open), len(resolved)})
+}
+
+func (c *Correlator) serveIncidents(w http.ResponseWriter, _ *http.Request) {
+	open, resolved := c.Incidents()
+	if open == nil {
+		open = []Snapshot{}
+	}
+	if resolved == nil {
+		resolved = []Snapshot{}
+	}
+	writeJSON(w, struct {
+		Open     []Snapshot `json:"open"`
+		Resolved []Snapshot `json:"resolved"`
+	}{open, resolved})
+}
+
+func (c *Correlator) serveTopK(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, struct {
+		TopK []TopEntry `json:"topk"`
+	}{c.TopK()})
+}

@@ -1,0 +1,129 @@
+package incident
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// topK is the streaming noisiest-buses rollup: a bounded min-heap of
+// per-bus noise scores (the decayed alarm accumulator), keyed by bus
+// name. Each alarm updates the owning entry and re-sifts it —
+// O(log K) — or, when the bus is not yet tracked, displaces the
+// quietest entry if the newcomer outranks it. Because every entry
+// decays with the same half-life, decay alone never reorders the heap:
+// comparisons decay both sides to a common time.
+type topK struct {
+	k    int
+	half float64
+	h    entryHeap
+	pos  map[string]int
+}
+
+// TopEntry is one row of the rollup: a bus and its decayed noise
+// score (the alarm accumulator's value at the snapshot time; at
+// steady state ≈ alarm_rate·half_life/ln2).
+type TopEntry struct {
+	Bus   string  `json:"bus"`
+	Score float64 `json:"score"`
+}
+
+type topEntry struct {
+	bus string
+	v   float64 // accumulator value as of t
+	t   float64
+}
+
+// at decays the score to time t (never backwards).
+func (e *topEntry) at(t, half float64) float64 {
+	if t <= e.t || e.v == 0 {
+		return e.v
+	}
+	return e.v * math.Exp2(-(t-e.t)/half)
+}
+
+func newTopK(k int, half float64) *topK {
+	tk := &topK{k: k, half: half, pos: make(map[string]int)}
+	tk.h.pos = tk.pos
+	tk.h.half = half
+	return tk
+}
+
+// update folds a bus's current alarm accumulator into the rollup.
+// Called under the correlator lock, once per alarm.
+func (tk *topK) update(bus string, acc decayAcc) {
+	if i, ok := tk.pos[bus]; ok {
+		tk.h.e[i].v, tk.h.e[i].t = acc.v, acc.t
+		heap.Fix(&tk.h, i)
+		return
+	}
+	e := topEntry{bus: bus, v: acc.v, t: acc.t}
+	if len(tk.h.e) < tk.k {
+		heap.Push(&tk.h, e)
+		return
+	}
+	// Full: the newcomer enters only by outranking the current
+	// quietest bus, which it evicts.
+	root := &tk.h.e[0]
+	now := math.Max(e.t, root.t)
+	if e.at(now, tk.half) <= root.at(now, tk.half) {
+		return
+	}
+	delete(tk.pos, root.bus)
+	tk.h.e[0] = e
+	tk.pos[e.bus] = 0
+	heap.Fix(&tk.h, 0)
+}
+
+// list snapshots the rollup at time now, noisiest first.
+func (tk *topK) list(now float64) []TopEntry {
+	out := make([]TopEntry, 0, len(tk.h.e))
+	for i := range tk.h.e {
+		e := &tk.h.e[i]
+		out = append(out, TopEntry{Bus: e.bus, Score: math.Round(e.at(now, tk.half)*1000) / 1000})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Bus < out[j].Bus
+	})
+	return out
+}
+
+// entryHeap implements heap.Interface as a min-heap on decayed score,
+// maintaining the bus → index map through swaps. Less compares both
+// sides at their later timestamp; with a shared half-life this is
+// order-equivalent to comparing at any common time.
+type entryHeap struct {
+	e    []topEntry
+	pos  map[string]int
+	half float64
+}
+
+func (h *entryHeap) Len() int { return len(h.e) }
+
+func (h *entryHeap) Less(i, j int) bool {
+	a, b := &h.e[i], &h.e[j]
+	now := math.Max(a.t, b.t)
+	return a.at(now, h.half) < b.at(now, h.half)
+}
+
+func (h *entryHeap) Swap(i, j int) {
+	h.e[i], h.e[j] = h.e[j], h.e[i]
+	h.pos[h.e[i].bus] = i
+	h.pos[h.e[j].bus] = j
+}
+
+func (h *entryHeap) Push(x any) {
+	e := x.(topEntry)
+	h.pos[e.bus] = len(h.e)
+	h.e = append(h.e, e)
+}
+
+func (h *entryHeap) Pop() any {
+	e := h.e[len(h.e)-1]
+	h.e = h.e[:len(h.e)-1]
+	delete(h.pos, e.bus)
+	return e
+}

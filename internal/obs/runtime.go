@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"io"
+	"runtime"
+)
+
+// RuntimeStats is the harness's self-telemetry: gauges describing the
+// Go runtime the replay is running on — goroutine count, heap size
+// and GC activity — registered under a runtime_ prefix so a /metrics
+// scrape shows harness health next to the domain counters. The
+// instruments are ordinary registry gauges; Collect refreshes them
+// from the runtime, and CollectedExporter arranges for that to happen
+// on every scrape rather than on the hot path.
+type RuntimeStats struct {
+	Goroutines  *Gauge
+	HeapAlloc   *Gauge
+	HeapObjects *Gauge
+	GCPauses    *Gauge
+	GCPauseNs   *Gauge
+}
+
+// NewRuntimeStats registers the runtime gauges on reg.
+func NewRuntimeStats(reg *Registry) *RuntimeStats {
+	return &RuntimeStats{
+		Goroutines: reg.Gauge("runtime_goroutines",
+			"Live goroutines at the last scrape."),
+		HeapAlloc: reg.Gauge("runtime_heap_alloc_bytes",
+			"Bytes of allocated heap objects at the last scrape."),
+		HeapObjects: reg.Gauge("runtime_heap_objects",
+			"Live heap objects at the last scrape."),
+		GCPauses: reg.Gauge("runtime_gc_pauses_total",
+			"Completed GC cycles since process start."),
+		GCPauseNs: reg.Gauge("runtime_gc_pause_ns_total",
+			"Cumulative stop-the-world GC pause nanoseconds since process start."),
+	}
+}
+
+// Collect refreshes the gauges from the runtime. ReadMemStats is a
+// stop-the-world read, so call this at scrape frequency (the
+// CollectedExporter wrapper does), never per frame.
+func (r *RuntimeStats) Collect() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Goroutines.Set(int64(runtime.NumGoroutine()))
+	r.HeapAlloc.Set(int64(ms.HeapAlloc))
+	r.HeapObjects.Set(int64(ms.HeapObjects))
+	r.GCPauses.Set(int64(ms.NumGC))
+	r.GCPauseNs.Set(int64(ms.PauseTotalNs))
+}
+
+// CollectedExporter wraps an Exporter so that collect runs before
+// every rendering — how scrape-time telemetry (RuntimeStats.Collect)
+// stays current without a background poller or hot-path cost.
+func CollectedExporter(exp Exporter, collect func()) Exporter {
+	return collectedExporter{exp: exp, collect: collect}
+}
+
+type collectedExporter struct {
+	exp     Exporter
+	collect func()
+}
+
+func (c collectedExporter) WritePrometheus(w io.Writer) error {
+	c.collect()
+	return c.exp.WritePrometheus(w)
+}
+
+func (c collectedExporter) WriteJSON(w io.Writer) error {
+	c.collect()
+	return c.exp.WriteJSON(w)
+}

@@ -1,0 +1,167 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vprofile/internal/obs"
+)
+
+// TestEventLogMaxEvents exercises the flood cap: past the configured
+// maximum, Emit drops (and counts) instead of writing, the stats
+// snapshot is exempt, and Close appends one events_dropped record.
+func TestEventLogMaxEvents(t *testing.T) {
+	var buf bytes.Buffer
+	l := obs.NewEventLog(&buf)
+	l.SetMaxEvents(3)
+
+	for i := 0; i < 10; i++ {
+		if err := l.Emit(obs.Event{Kind: obs.EventTiming, TimeSec: float64(i)}); err != nil {
+			t.Fatalf("emit %d: %v", i, err)
+		}
+	}
+	if got := l.Dropped(); got != 7 {
+		t.Fatalf("Dropped() = %d, want 7", got)
+	}
+
+	reg := obs.NewRegistry()
+	reg.Counter("frames_total", "test").Add(42)
+	if err := l.Close(reg); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 3 capped events + the events_dropped marker + the stats snapshot.
+	if len(lines) != 5 {
+		t.Fatalf("wrote %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[3]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["kind"] != obs.EventDropped || rec["severity"] != obs.SeverityWarning {
+		t.Fatalf("penultimate record = %v, want %s", rec, obs.EventDropped)
+	}
+	if d, _ := rec["detail"].(string); !strings.Contains(d, "7 events dropped") {
+		t.Fatalf("dropped detail = %q", rec["detail"])
+	}
+	if err := json.Unmarshal([]byte(lines[4]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["kind"] != obs.EventStats {
+		t.Fatalf("final record = %v, want stats snapshot despite cap", rec)
+	}
+}
+
+// TestEventLogNoCap confirms the default (0) stays unlimited and adds
+// no dropped marker.
+func TestEventLogNoCap(t *testing.T) {
+	var buf bytes.Buffer
+	l := obs.NewEventLog(&buf)
+	for i := 0; i < 50; i++ {
+		if err := l.Emit(obs.Event{Kind: obs.EventTiming}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d on uncapped log", l.Dropped())
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 50 {
+		t.Fatalf("wrote %d lines, want 50", got)
+	}
+	if strings.Contains(buf.String(), obs.EventDropped) {
+		t.Fatal("uncapped log wrote an events_dropped record")
+	}
+}
+
+// TestRuntimeStats checks the self-telemetry gauges refresh at scrape
+// time through CollectedExporter and render under the runtime_ prefix.
+func TestRuntimeStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	rs := obs.NewRuntimeStats(reg)
+	exp := obs.CollectedExporter(reg, rs.Collect)
+
+	var w strings.Builder
+	if err := exp.WritePrometheus(&w); err != nil {
+		t.Fatal(err)
+	}
+	out := w.String()
+	for _, name := range []string{
+		"runtime_goroutines", "runtime_heap_alloc_bytes",
+		"runtime_heap_objects", "runtime_gc_pauses_total", "runtime_gc_pause_ns_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" gauge") {
+			t.Fatalf("scrape missing %s:\n%s", name, out)
+		}
+	}
+	// Collect ran during the scrape: a live process has goroutines and
+	// a non-empty heap.
+	if rs.Goroutines.Value() < 1 {
+		t.Fatalf("goroutines = %d after scrape", rs.Goroutines.Value())
+	}
+	if rs.HeapAlloc.Value() <= 0 {
+		t.Fatalf("heap alloc = %d after scrape", rs.HeapAlloc.Value())
+	}
+
+	var j bytes.Buffer
+	if err := exp.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(j.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap["runtime_goroutines"].(float64); !ok || v < 1 {
+		t.Fatalf("json runtime_goroutines = %v", snap["runtime_goroutines"])
+	}
+}
+
+// TestGroupLabelEscaping drives the multi-bus exposition path with bus
+// names that need text-format escaping (backslash, quote, newline) and
+// checks both the labeled samples and the JSON snapshot keys survive
+// round-tripping.
+func TestGroupLabelEscaping(t *testing.T) {
+	g := obs.NewGroup("bus")
+	weird := `can"0\weird` + "\nline"
+	a := g.Add(weird, nil)
+	b := g.Add("plain", nil)
+	a.Counter("frames_total", "frames seen").Add(3)
+	b.Counter("frames_total", "frames seen").Add(9)
+
+	var w strings.Builder
+	if err := g.WritePrometheus(&w); err != nil {
+		t.Fatal(err)
+	}
+	out := w.String()
+	want := `frames_total{bus="can\"0\\weird\nline"} 3`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("escaped sample missing, want %q in:\n%s", want, out)
+	}
+	if !strings.Contains(out, `frames_total{bus="plain"} 9`) {
+		t.Fatalf("plain member missing:\n%s", out)
+	}
+	// The exposition must stay line-oriented: the raw newline in the
+	// bus name must never reach the output unescaped.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "line\"}") {
+			t.Fatalf("raw newline leaked into exposition:\n%s", out)
+		}
+	}
+
+	var j bytes.Buffer
+	if err := g.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]map[string]any
+	if err := json.Unmarshal(j.Bytes(), &snap); err != nil {
+		t.Fatalf("group JSON does not round-trip: %v\n%s", err, j.String())
+	}
+	if snap[weird]["frames_total"] != float64(3) {
+		t.Fatalf("weird bus snapshot = %v", snap[weird])
+	}
+}

@@ -37,10 +37,22 @@ type Bundle struct {
 	// whose post-alarm context was cut short by the end of the run.
 	Window    int  `json:"window"`
 	Truncated bool `json:"truncated,omitempty"`
+	// Incident is the id of the incident that was open for this
+	// bundle's (bus, SA) when the bundle finished ("" when no incident
+	// layer is running or no incident covered the alarm) — the join key
+	// between a forensic bundle and the fleet incident stream.
+	Incident string `json:"incident,omitempty"`
 	// Path is the on-disk directory ("" for an in-memory bundle).
 	Path string `json:"path,omitempty"`
 
 	Decisions []*Decision `json:"decisions,omitempty"`
+}
+
+// DirName is the bundle's on-disk directory name (the base name of
+// Path when written) — the stable reference incident evidence and
+// event logs carry.
+func (b *Bundle) DirName() string {
+	return fmt.Sprintf("bundle-%04d-%s", b.Seq, b.Trace)
 }
 
 // Alarm returns the bundle's alarm decision (nil if the bundle is
@@ -63,7 +75,7 @@ const (
 // writeBundle persists a bundle under dir and returns the bundle's
 // own directory path.
 func writeBundle(dir string, b *Bundle, h trace.Header) (string, error) {
-	path := filepath.Join(dir, fmt.Sprintf("bundle-%04d-%s", b.Seq, b.Trace))
+	path := filepath.Join(dir, b.DirName())
 	if err := os.MkdirAll(path, 0o755); err != nil {
 		return "", err
 	}

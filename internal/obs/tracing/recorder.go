@@ -32,6 +32,14 @@ type RecorderConfig struct {
 	// Events, when non-nil, receives one severity-tagged EventFlight
 	// record per finished bundle.
 	Events *obs.EventLog
+	// Tag, when non-nil, is called on each bundle just before it is
+	// written — after the post-context closed, so the bundle is final
+	// except for Path/Truncated. The incident layer uses it to stamp
+	// Bundle.Incident (and register the bundle with the incident's
+	// evidence); any field it sets lands in bundle.json. Called with
+	// the recorder lock held: keep it cheap, never call back into the
+	// recorder.
+	Tag func(*Bundle)
 }
 
 // Stats counts what the recorder has seen.
@@ -158,6 +166,9 @@ func (r *Recorder) openLocked(alarm *Decision) *Bundle {
 // is configured, emits its flight event, and retains it in memory.
 func (r *Recorder) finishLocked(b *Bundle, truncated bool) {
 	b.Truncated = truncated
+	if r.cfg.Tag != nil {
+		r.cfg.Tag(b)
+	}
 	if r.cfg.Dir != "" {
 		path, err := writeBundle(r.cfg.Dir, b, r.cfg.Header)
 		if err != nil {
@@ -184,7 +195,8 @@ func (r *Recorder) finishLocked(b *Bundle, truncated bool) {
 			TimeSec: b.TimeSec, Kind: obs.EventFlight,
 			Severity: b.Severity, Trace: b.Trace.String(),
 			SA: obs.U8(b.SA), FrameID: obs.U32(b.FrameID),
-			Detail: detail,
+			Incident: b.Incident,
+			Detail:   detail,
 		})
 	}
 }

@@ -19,6 +19,13 @@ type Metrics struct {
 	DecodeSeconds   *obs.Histogram
 	SequenceSeconds *obs.Histogram
 	QueueDepth      *obs.Gauge
+	// PoolOutstanding mirrors the buffer recycler's gets-minus-puts
+	// balance (see recycle.go): buffers checked out of the pools and
+	// not yet returned. Refreshed at batch boundaries in the
+	// reordering stage, alongside QueueDepth, so the hot path pays no
+	// extra atomics; a value that keeps climbing between scrapes means
+	// buffers are leaking out of the recycler.
+	PoolOutstanding *obs.Gauge
 }
 
 // NewMetrics registers the pipeline instruments on reg.
@@ -36,5 +43,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Per-record stateful-detector + sink latency in the reordering stage.", obs.LatencyBuckets()),
 		QueueDepth: reg.Gauge("vprofile_pipeline_reorder_queue_depth",
 			"Out-of-order results parked in the reordering stage."),
+		PoolOutstanding: reg.Gauge("pool_outstanding_buffers",
+			"Pooled record/batch buffers checked out of the pipeline recycler and not yet returned."),
 	}
 }

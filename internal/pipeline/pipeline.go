@@ -649,10 +649,12 @@ func (p *Replayer) Run(src Source, fn Sink) error {
 		}
 		if m != nil {
 			m.QueueDepth.Set(int64(len(pending)))
+			m.PoolOutstanding.Set(rc.outstanding.Load())
 		}
 	}
 	if m != nil {
 		m.QueueDepth.Set(0)
+		m.PoolOutstanding.Set(rc.outstanding.Load())
 	}
 	return getErr()
 }
