@@ -52,13 +52,13 @@ bench:
 # median replay throughput dropped more than 10% against the committed
 # baseline, the best plain parallel speedup fell under 1.5x (skipped
 # automatically on single-core hosts), median allocs-per-frame grew
-# more than 25%, or the fleet-sharing / incident-correlation layers
-# cost more than 5% — the benchmark-regression gate CI runs on every
-# PR.
+# more than 25%, or the fleet-sharing / incident-correlation /
+# drift-monitor layers cost more than 5% — the benchmark-regression
+# gate CI runs on every PR.
 bench-gate:
 	$(GO) run ./cmd/replaybench -out /tmp/bench-candidate.json -repeat 7 -gomaxprocs 4
 	$(GO) run ./cmd/benchgate -baseline BENCH_pipeline.json -candidate /tmp/bench-candidate.json \
-		-max-drop 10 -max-fleet-overhead 5 -max-incident-overhead 5 \
+		-max-drop 10 -max-fleet-overhead 5 -max-incident-overhead 5 -max-drift-overhead 5 \
 		-min-parallel-speedup 1.5 -max-allocs-growth 25
 
 bench-go:

@@ -38,6 +38,7 @@ type report struct {
 	NumCPU              int      `json:"num_cpu"`
 	FleetOverheadPct    *float64 `json:"fleet_overhead_pct"`
 	IncidentOverheadPct *float64 `json:"incident_overhead_pct"`
+	DriftOverheadPct    *float64 `json:"drift_overhead_pct"`
 	Runs                []run    `json:"runs"`
 }
 
@@ -47,6 +48,8 @@ type run struct {
 	Metrics        bool    `json:"metrics"`
 	Flight         bool    `json:"flight"`
 	Faults         bool    `json:"faults"`
+	Drift          bool    `json:"drift"`
+	DriftBase      bool    `json:"drift_base"`
 	Buses          int     `json:"buses"`
 	FramesPerSec   float64 `json:"frames_per_sec"`
 	Speedup        float64 `json:"speedup_vs_sequential"`
@@ -59,6 +62,7 @@ func main() {
 	maxDrop := flag.Float64("max-drop", 10, "maximum tolerated median throughput drop in percent")
 	maxFleet := flag.Float64("max-fleet-overhead", 5, "maximum tolerated shared-pool fleet overhead in percent (negative disables)")
 	maxIncident := flag.Float64("max-incident-overhead", 5, "maximum tolerated incident-correlation overhead in percent (negative disables; skipped when the candidate predates the field)")
+	maxDrift := flag.Float64("max-drift-overhead", 5, "maximum tolerated drift-monitor overhead in percent (negative disables; skipped when the candidate predates the field)")
 	minSpeedup := flag.Float64("min-parallel-speedup", 0, "minimum speedup-vs-sequential the best plain parallel run must reach (0 disables; skipped with a notice when the candidate ran on < 2 CPUs)")
 	maxAllocs := flag.Float64("max-allocs-growth", -1, "maximum tolerated median allocs-per-frame growth in percent (negative disables; skipped when the baseline predates the field)")
 	flag.Parse()
@@ -66,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
 		os.Exit(2)
 	}
-	if err := gate(*baseline, *candidate, *maxDrop, *maxFleet, *maxIncident, *minSpeedup, *maxAllocs); err != nil {
+	if err := gate(*baseline, *candidate, *maxDrop, *maxFleet, *maxIncident, *maxDrift, *minSpeedup, *maxAllocs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
@@ -87,7 +91,7 @@ func load(path string) (report, error) {
 	return r, nil
 }
 
-func gate(basePath, candPath string, maxDrop, maxFleet, maxIncident, minSpeedup, maxAllocs float64) error {
+func gate(basePath, candPath string, maxDrop, maxFleet, maxIncident, maxDrift, minSpeedup, maxAllocs float64) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -160,6 +164,18 @@ func gate(basePath, candPath string, maxDrop, maxFleet, maxIncident, minSpeedup,
 		}
 	}
 
+	// The drift-overhead gate is absolute too: replaybench paired each
+	// drift-fed replay with the same worker count running a no-op sink
+	// inside one run, so the figure already isolates the per-SA sketch
+	// and detector cost. Candidates predating the drift layer omit the
+	// field and skip the gate.
+	if maxDrift >= 0 && cand.DriftOverheadPct != nil {
+		fmt.Printf("benchgate: drift-monitor overhead %.2f%%, limit %.0f%%\n", *cand.DriftOverheadPct, maxDrift)
+		if *cand.DriftOverheadPct > maxDrift {
+			return fmt.Errorf("drift-monitor overhead %.2f%% exceeds %.0f%%", *cand.DriftOverheadPct, maxDrift)
+		}
+	}
+
 	// The parallel-speedup gate is the guard against the flat-speedup
 	// failure mode this repo once shipped: a report where every
 	// parallel configuration ran at the same throughput as sequential
@@ -175,7 +191,7 @@ func gate(basePath, candPath string, maxDrop, maxFleet, maxIncident, minSpeedup,
 		} else {
 			bestSpeedup, bestName := 0.0, ""
 			for _, r := range cand.Runs {
-				if r.Workers > 1 && !r.Metrics && !r.Flight && !r.Faults && r.Buses <= 1 && r.Speedup > bestSpeedup {
+				if r.Workers > 1 && !r.Metrics && !r.Flight && !r.Faults && !r.Drift && !r.DriftBase && r.Buses <= 1 && r.Speedup > bestSpeedup {
 					bestSpeedup, bestName = r.Speedup, r.Name
 				}
 			}

@@ -159,6 +159,11 @@ func printSummary(sum engine.Summary, t *engine.Tally, fl *engine.Flags) {
 	if sum.ModelSwaps > 0 {
 		fmt.Printf("model: %d hot swaps, final version %d\n", sum.ModelSwaps, sum.ModelVersion)
 	}
+	if sum.Drift != nil {
+		t.SetDrift(sum.Drift)
+		fmt.Printf("drift: %d SAs warning, %d SAs alarm (baseline generation %d)\n",
+			sum.Drift.Warning, sum.Drift.Alarming, sum.Drift.Generation)
+	}
 	fmt.Println()
 	fmt.Print(t.Table())
 }

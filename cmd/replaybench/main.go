@@ -1,13 +1,13 @@
 // Command replaybench seeds the repository's performance trajectory:
 // it generates the standard 10k-record Vehicle B capture, replays it
 // sequentially and through the concurrent pipeline at 1/2/4/8
-// workers — each with observability off and on, plus tracing+flight
-// and fault-layer (recovery reader + quarantine) configurations at
-// 1/4/8 workers, plus fleet pairs with and without the incident
-// correlation layer — and writes the results (plus the measured
-// metrics, flight-recorder, fault-layer, pool-sharing and
-// incident-layer overheads) to a JSON file that CI and future PRs can
-// diff (cmd/benchgate enforces the diff).
+// workers — each with observability off and on, plus tracing+flight,
+// fault-layer (recovery reader + quarantine) and drift-monitor
+// configurations at 1/4/8 workers, plus fleet pairs with and without
+// the incident correlation layer — and writes the results (plus the
+// measured metrics, flight-recorder, fault-layer, pool-sharing,
+// incident-layer and drift-layer overheads) to a JSON file that CI
+// and future PRs can diff (cmd/benchgate enforces the diff).
 //
 // Usage:
 //
@@ -34,6 +34,7 @@ import (
 	"vprofile/internal/experiments"
 	"vprofile/internal/ids"
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/drift"
 	"vprofile/internal/obs/incident"
 	"vprofile/internal/obs/tracing"
 	"vprofile/internal/pipeline"
@@ -53,7 +54,9 @@ type Run struct {
 	Metrics      bool    `json:"metrics"`
 	Flight       bool    `json:"flight,omitempty"`
 	Faults       bool    `json:"faults,omitempty"`
-	Buses        int     `json:"buses,omitempty"` // >1 on fleet/indep pair configs
+	Drift        bool    `json:"drift,omitempty"`
+	DriftBase    bool    `json:"drift_base,omitempty"` // no-op sink paired against the drift config
+	Buses        int     `json:"buses,omitempty"`      // >1 on fleet/indep pair configs
 	SharedPool   bool    `json:"shared_pool,omitempty"`
 	Incidents    bool    `json:"incidents,omitempty"`
 	Seconds      float64 `json:"seconds"`
@@ -77,6 +80,7 @@ type Run struct {
 	FaultsOverheadPct   *float64 `json:"faults_overhead_pct,omitempty"`
 	FleetOverheadPct    *float64 `json:"fleet_overhead_pct,omitempty"`
 	IncidentOverheadPct *float64 `json:"incident_overhead_pct,omitempty"`
+	DriftOverheadPct    *float64 `json:"drift_overhead_pct,omitempty"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -132,6 +136,13 @@ type Report struct {
 	// no-op sink. Both sides pay the sink call itself, so the figure
 	// prices the correlator alone. The acceptance bar keeps it under 5%.
 	IncidentOverheadPct float64 `json:"incident_overhead_pct"`
+	// DriftOverheadPct is the same median over the drift-layer
+	// configurations: a replay whose per-record sink feeds the per-SA
+	// drift monitor (sketch inserts + detector updates on every scored
+	// frame) against the same worker count with a no-op sink. Both
+	// sides pay the sink call, so the figure prices the drift layer
+	// alone. The acceptance bar keeps it under 5%.
+	DriftOverheadPct float64 `json:"drift_overhead_pct"`
 }
 
 func main() {
@@ -204,10 +215,34 @@ func mallocsNow() uint64 {
 // heap allocations per frame. Pipeline runs enable buffer pooling —
 // the production hot-path shape — except when flight recording, which
 // retains record internals and therefore measures the allocating path.
-func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, records, batch int, withMetrics, withFlight, withFaults bool) (time.Duration, float64, error) {
+func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, records, batch int, withMetrics, withFlight, withFaults, driftBase, withDrift bool) (time.Duration, float64, error) {
 	rd, err := trace.NewReader(bytes.NewReader(capture))
 	if err != nil {
 		return 0, 0, err
+	}
+	// The drift pair runs with a per-record sink on both sides — a
+	// no-op for the base config, the drift monitor's Observe for the
+	// drift config — so their ratio prices the drift layer itself, not
+	// sink dispatch.
+	var sink func(pipeline.Result) error
+	if driftBase {
+		sink = func(pipeline.Result) error { return nil }
+	}
+	if withDrift {
+		mon := drift.NewMonitor(drift.Config{})
+		sink = func(r pipeline.Result) error {
+			vd := r.Verdict
+			if vd.ExtractErr != nil || vd.Voltage.Expected < 0 || vd.Voltage.Predict < 0 {
+				return nil
+			}
+			exp := int(vd.Voltage.Expected)
+			if exp >= len(model.Clusters) {
+				return nil
+			}
+			mon.Observe(uint8(r.Frame.SA()), vd.Voltage.MinDist,
+				model.Clusters[exp].MaxDist+model.Margin, r.Record.TimeSec)
+			return nil
+		}
 	}
 	var im *ids.Metrics
 	cfg := pipeline.Config{Workers: workers, Batch: batch, PoolBuffers: !withFlight}
@@ -245,9 +280,9 @@ func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, 
 	m0 := mallocsNow()
 	var st pipeline.Stats
 	if workers == 0 {
-		st, err = pipeline.Sequential(rd, mon, nil)
+		st, err = pipeline.Sequential(rd, mon, sink)
 	} else {
-		st, err = pipeline.Replay(rd, mon, cfg, nil)
+		st, err = pipeline.Replay(rd, mon, cfg, sink)
 	}
 	allocs := float64(mallocsNow()-m0) / float64(records)
 	if err != nil {
@@ -366,6 +401,8 @@ func run(out string, records, repeat, batch, procs int) error {
 		metrics   bool
 		flight    bool
 		faults    bool
+		driftBase bool // no-op per-record sink (the drift config's baseline)
+		drift     bool // sink feeds the per-SA drift monitor
 		buses     int  // >1 runs the fleet pair shape
 		shared    bool // fleet: one shared pool instead of private pools
 		incidents bool // fleet: sink feeds the incident correlator
@@ -387,6 +424,10 @@ func run(out string, records, repeat, batch, procs int) error {
 		if w != 2 {
 			configs = append(configs, config{name: fmt.Sprintf("parallel%d+flight", w), workers: w, flight: true})
 			configs = append(configs, config{name: fmt.Sprintf("parallel%d+faults", w), workers: w, faults: true})
+			// Drift pair: the +driftbase config runs a no-op sink so the
+			// +drift config directly after it isolates the monitor's cost.
+			configs = append(configs, config{name: fmt.Sprintf("parallel%d+driftbase", w), workers: w, driftBase: true})
+			configs = append(configs, config{name: fmt.Sprintf("parallel%d+drift", w), workers: w, drift: true})
 		}
 	}
 	// Fleet pairs: each shared-pool config sits directly after the
@@ -419,7 +460,7 @@ func run(out string, records, repeat, batch, procs int) error {
 			if c.buses > 1 {
 				d, allocs, err = fleetOnce(capture, model, v, c.buses, c.workers, records, batch, c.shared, c.incidents)
 			} else {
-				d, allocs, err = replayOnce(capture, model, v, c.workers, records, batch, c.metrics, c.flight, c.faults)
+				d, allocs, err = replayOnce(capture, model, v, c.workers, records, batch, c.metrics, c.flight, c.faults, c.driftBase, c.drift)
 			}
 			if err != nil {
 				return fmt.Errorf("%s: %w", c.name, err)
@@ -467,7 +508,7 @@ func run(out string, records, repeat, batch, procs int) error {
 	}
 
 	seqBase := best["sequential"].Seconds()
-	var overheads, flightOverheads, faultOverheads, fleetOverheads, incidentOverheads []float64
+	var overheads, flightOverheads, faultOverheads, fleetOverheads, incidentOverheads, driftOverheads []float64
 	for _, c := range configs {
 		sec := best[c.name].Seconds()
 		totalRecords := records
@@ -483,6 +524,8 @@ func run(out string, records, repeat, batch, procs int) error {
 			Metrics:             c.metrics,
 			Flight:              c.flight,
 			Faults:              c.faults,
+			Drift:               c.drift,
+			DriftBase:           c.driftBase,
 			Buses:               c.buses,
 			SharedPool:          c.shared,
 			Incidents:           c.incidents,
@@ -515,6 +558,11 @@ func run(out string, records, repeat, batch, procs int) error {
 			r.IncidentOverheadPct = &pct
 			incidentOverheads = append(incidentOverheads, pct)
 		}
+		if c.drift {
+			pct := bestOverhead(c.name, c.name[:len(c.name)-len("+drift")]+"+driftbase")
+			r.DriftOverheadPct = &pct
+			driftOverheads = append(driftOverheads, pct)
+		}
 		report.Runs = append(report.Runs, r)
 	}
 	sort.Float64s(overheads)
@@ -527,6 +575,8 @@ func run(out string, records, repeat, batch, procs int) error {
 	report.FleetOverheadPct = fleetOverheads[len(fleetOverheads)/2]
 	sort.Float64s(incidentOverheads)
 	report.IncidentOverheadPct = incidentOverheads[len(incidentOverheads)/2]
+	sort.Float64s(driftOverheads)
+	report.DriftOverheadPct = driftOverheads[len(driftOverheads)/2]
 
 	f, err := os.Create(out)
 	if err != nil {
@@ -538,7 +588,7 @@ func run(out string, records, repeat, batch, procs int) error {
 	if err := enc.Encode(report); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%%, fault-layer overhead %.2f%%, fleet overhead %.2f%%, incident overhead %.2f%% → %s\n",
-		report.MetricsOverheadPct, report.FlightOverheadPct, report.FaultsOverheadPct, report.FleetOverheadPct, report.IncidentOverheadPct, out)
+	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%%, fault-layer overhead %.2f%%, fleet overhead %.2f%%, incident overhead %.2f%%, drift overhead %.2f%% → %s\n",
+		report.MetricsOverheadPct, report.FlightOverheadPct, report.FaultsOverheadPct, report.FleetOverheadPct, report.IncidentOverheadPct, report.DriftOverheadPct, out)
 	return nil
 }

@@ -1,0 +1,250 @@
+package engine_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"vprofile/internal/attack"
+	"vprofile/internal/engine"
+	"vprofile/internal/faults"
+	"vprofile/internal/ids"
+	"vprofile/internal/obs"
+	"vprofile/internal/obs/drift"
+	"vprofile/internal/trace"
+	"vprofile/internal/vehicle"
+)
+
+// buildHijackForeignCapture renders clean traffic followed by a hijack
+// segment and then a foreign-device segment — both attack families the
+// paper distinguishes — so the drift determinism test replays the full
+// verdict surface (healthy, same-hardware spoof, foreign hardware).
+func buildHijackForeignCapture(t testing.TB, seed int64, cleanN, hijackN, foreignN int) []byte {
+	t.Helper()
+	v := vehicle.NewVehicleB()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{Vehicle: v.Name, BitRate: v.BitRate, ADC: v.ADC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 0.0
+	write := func(m vehicle.Message, offset float64) {
+		last = offset + m.TimeSec
+		err := w.Write(&trace.Record{
+			ECUIndex: int32(m.ECUIndex), TimeSec: last,
+			FrameID: m.Frame.ID, Data: m.Frame.Data, Trace: m.Trace,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = v.Stream(vehicle.GenConfig{NumMessages: cleanN, Seed: seed, DiagnosticTraffic: true}, func(m vehicle.Message) error {
+		write(m, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hijack, err := attack.Run(v, attack.Scenario{
+		Kind: attack.Hijack, AttackerECU: 7, VictimECU: 2, NumMessages: hijackN, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset := last + 0.1
+	for _, m := range hijack {
+		write(m.Message, offset)
+	}
+	foreign, err := attack.Run(v, attack.Scenario{
+		Kind: attack.Foreign, VictimECU: 1, NumMessages: foreignN, Seed: seed + 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset = last + 0.1
+	for _, m := range foreign {
+		write(m.Message, offset)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDriftDeterminism pins the tentpole invariant: the drift layer is
+// pure observation, so a replay with -drift produces verdicts
+// bit-identical to the sequential no-drift reference at every worker
+// count. The capture covers healthy, hijack and foreign traffic.
+func TestDriftDeterminism(t *testing.T) {
+	m := sharedModel(t)
+	dir := t.TempDir()
+	path := writeFile(t, filepath.Join(dir, "hf.vptr"), buildHijackForeignCapture(t, 401, 700, 200, 200))
+	ref := sequentialRef(t, path, m)
+
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			s := engine.NewSession(path,
+				engine.WithModel(m), engine.WithWorkers(workers), engine.WithDrift(true))
+			var got []ids.CompositeResult
+			sum, err := s.Run(func(res engine.Result) error {
+				got = append(got, res.Verdict)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("%d results, want %d", len(got), len(ref))
+			}
+			for i := range ref {
+				if d := diffResults(got[i], ref[i]); d != "" {
+					t.Fatalf("record %d: %s", i, d)
+				}
+			}
+			if sum.Drift == nil {
+				t.Fatal("summary carries no drift snapshot with drift on")
+			}
+			if len(sum.Drift.SAs) == 0 {
+				t.Fatal("drift snapshot observed no SAs")
+			}
+		})
+	}
+}
+
+// buildDriftRampCapture renders clean traffic where exactly one ECU's
+// analog profile drifts: the first rampAfter messages are untouched
+// (the baseline), then the injector's temperature-style mean shift
+// ramps up on the target ECU only, on an accelerated clock so the
+// shift develops within the capture.
+func buildDriftRampCapture(t testing.TB, seed int64, n, rampAfter, targetECU int) []byte {
+	t.Helper()
+	v := vehicle.NewVehicleB()
+	spec, err := faults.ParseSpec("drift=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(spec, seed+9, v.ADC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{Vehicle: v.Name, BitRate: v.BitRate, ADC: v.ADC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := 0
+	err = v.Stream(vehicle.GenConfig{NumMessages: n, Seed: seed}, func(m vehicle.Message) error {
+		if m.ECUIndex == targetECU && idx >= rampAfter {
+			// Pseudo-time drives the injector's ramp; decoupling it from
+			// the capture clock makes the shift's growth rate a test
+			// parameter instead of a schedule artifact.
+			inj.Apply(idx, m.ECUIndex, float64(idx-rampAfter)*0.1, m.Trace)
+		}
+		idx++
+		return w.Write(&trace.Record{
+			ECUIndex: int32(m.ECUIndex), TimeSec: m.TimeSec,
+			FrameID: m.Frame.ID, Data: m.Frame.Data, Trace: m.Trace,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// saForECU inverts the vehicle's SA map.
+func saForECU(t testing.TB, v *vehicle.Vehicle, ecu int) uint8 {
+	t.Helper()
+	for sa, idx := range v.SAMap() {
+		if idx == ecu {
+			return uint8(sa)
+		}
+	}
+	t.Fatalf("no SA maps to ECU %d", ecu)
+	return 0
+}
+
+// TestDriftWarnBeforeQuarantine replays a capture where one ECU's
+// profile slowly drifts toward the alarm threshold and requires the
+// early-warning contract: drift_warn fires for that SA — and no other —
+// before any quarantine transition, and the verdict stream stays
+// bit-identical to the sequential no-drift reference.
+func TestDriftWarnBeforeQuarantine(t *testing.T) {
+	m := sharedModel(t)
+	v := vehicle.NewVehicleB()
+	const targetECU = 2
+	targetSA := saForECU(t, v, targetECU)
+	dir := t.TempDir()
+	path := writeFile(t, filepath.Join(dir, "ramp.vptr"), buildDriftRampCapture(t, 501, 2600, 1200, targetECU))
+	ref := sequentialRef(t, path, m)
+
+	var events []obs.Event
+	s := engine.NewSession(path,
+		engine.WithModel(m), engine.WithWorkers(4),
+		engine.WithQuarantine(true),
+		engine.WithDriftConfig(drift.Config{
+			BaselineFrames: 50,
+			WindowFrames:   32,
+			TrendFrames:    128,
+			Emit:           func(e obs.Event) { events = append(events, e) },
+		}))
+	var got []ids.CompositeResult
+	firstQuarantine := -1.0
+	sum, err := s.Run(func(res engine.Result) error {
+		got = append(got, res.Verdict)
+		if res.Verdict.QuarantineChanged() && firstQuarantine < 0 {
+			firstQuarantine = res.Record.TimeSec
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != len(ref) {
+		t.Fatalf("%d results, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if d := diffResults(got[i], ref[i]); d != "" {
+			t.Fatalf("record %d: %s", i, d)
+		}
+	}
+
+	firstWarn := -1.0
+	for _, e := range events {
+		if e.SA == nil {
+			t.Fatalf("drift event without SA: %+v", e)
+		}
+		if *e.SA != targetSA {
+			t.Fatalf("drift event for SA %#02x, only %#02x is ramped (%s)", *e.SA, targetSA, e.Detail)
+		}
+		if e.Kind == obs.EventDriftWarn && firstWarn < 0 {
+			firstWarn = e.TimeSec
+		}
+	}
+	if firstWarn < 0 {
+		t.Fatalf("ramped SA %#02x never produced drift_warn (events: %d, snapshot: %+v)",
+			targetSA, len(events), sum.Drift)
+	}
+	if firstQuarantine >= 0 && firstWarn >= firstQuarantine {
+		t.Fatalf("drift_warn at %.3fs did not precede quarantine transition at %.3fs",
+			firstWarn, firstQuarantine)
+	}
+
+	if sum.Drift == nil {
+		t.Fatal("summary carries no drift snapshot")
+	}
+	for _, st := range sum.Drift.SAs {
+		if st.SA == targetSA {
+			if st.State == "ok" {
+				t.Fatalf("ramped SA %#02x ended in state ok: %+v", targetSA, st)
+			}
+		} else if st.State != "ok" {
+			t.Fatalf("stable SA %#02x ended in state %s", st.SA, st.State)
+		}
+	}
+}

@@ -515,7 +515,7 @@ func TestFlagParity(t *testing.T) {
 	var names []string
 	fs.VisitAll(func(f *flag.Flag) { names = append(names, f.Name) })
 	sort.Strings(names)
-	want := []string{"batch", "capture", "events", "flight", "flight-window", "incidents",
+	want := []string{"batch", "capture", "drift", "events", "flight", "flight-window", "incidents",
 		"max-events", "metrics", "model", "model-watch", "quarantine", "recover",
 		"stall-timeout", "workers"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {

@@ -24,6 +24,7 @@ type Flags struct {
 	ModelWatch   time.Duration
 	Incidents    bool
 	MaxEvents    int
+	Drift        bool
 }
 
 // RegisterFlags registers the shared session flags on fs and returns
@@ -44,6 +45,7 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.ModelWatch, "model-watch", 0, "poll the model file at this interval and hot-swap it when rewritten (0 disables)")
 	fs.BoolVar(&f.Incidents, "incidents", false, "correlate alarms into lifecycle-managed incidents (served on /fleet* with -metrics, tabulated at end of run)")
 	fs.IntVar(&f.MaxEvents, "max-events", 1000000, "cap the events written to the -events log; past it events are dropped and counted (0 = unlimited)")
+	fs.BoolVar(&f.Drift, "drift", false, "watch per-SA distance distributions for profile drift: baselines freeze at model load/swap, drift_warn/drift_alarm events fire on sustained shift, state served on /drift with -metrics")
 	return f
 }
 
@@ -63,6 +65,7 @@ func (f *Flags) Options() []Option {
 		WithModelWatch(f.ModelWatch),
 		WithIncidents(f.Incidents),
 		WithMaxEvents(f.MaxEvents),
+		WithDrift(f.Drift),
 	}
 	if f.FlightDir != "" {
 		opts = append(opts, WithFlightRecorder(f.FlightDir, f.FlightWindow))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/drift"
 	"vprofile/internal/obs/incident"
 	"vprofile/internal/pipeline"
 )
@@ -44,6 +45,12 @@ type Fleet struct {
 	// incidents is its full history after Run.
 	inc       *incident.Correlator
 	incidents []incident.Snapshot
+
+	// driftMons holds one drift monitor per bus (capture order, empty
+	// when drift is off). Built eagerly so the fleet /drift endpoint
+	// can mount before any session runs, and reset fleet-wide on model
+	// swaps.
+	driftMons []*drift.Monitor
 }
 
 // BusNames derives fleet bus names from capture paths: the base name
@@ -120,6 +127,24 @@ func NewFleet(captures []string, opts ...Option) (*Fleet, error) {
 	}
 	for i, capture := range captures {
 		bus := f.buses[i]
+		if proto.drift {
+			cfg := drift.Config{}
+			if proto.driftCfg != nil {
+				cfg = *proto.driftCfg
+			}
+			cfg.Bus = bus
+			if cfg.Emit == nil && f.events != nil {
+				events := f.events
+				cfg.Emit = func(e obs.Event) { _ = events.Emit(e) }
+			}
+			if cfg.OnTransition == nil && f.inc != nil {
+				stream := f.inc.Bus(bus)
+				cfg.OnTransition = func(tr drift.Transition) {
+					stream.ObserveDrift(tr.SA, tr.To.String(), tr.TimeSec)
+				}
+			}
+			f.driftMons = append(f.driftMons, drift.NewMonitor(cfg))
+		}
 		sopts := []Option{
 			WithName(bus),
 			WithStore(f.store),
@@ -140,6 +165,9 @@ func NewFleet(captures []string, opts ...Option) (*Fleet, error) {
 		if f.inc != nil {
 			sopts = append(sopts, withCorrelator(f.inc))
 		}
+		if proto.drift {
+			sopts = append(sopts, withDriftMonitor(f.driftMons[i]))
+		}
 		if proto.logf != nil {
 			logf, b := proto.logf, bus
 			sopts = append(sopts, WithLogf(func(format string, args ...any) {
@@ -147,6 +175,17 @@ func NewFleet(captures []string, opts ...Option) (*Fleet, error) {
 			}))
 		}
 		f.sessions = append(f.sessions, NewSession(capture, sopts...))
+	}
+	if len(f.driftMons) > 0 {
+		// A hot swap on the fleet-shared store changes the distance
+		// distribution on every bus at once: re-freeze every monitor's
+		// baselines rather than reading the model change as drift.
+		mons := f.driftMons
+		f.store.OnSwap(func(StoredModel) {
+			for _, m := range mons {
+				m.ResetBaseline()
+			}
+		})
 	}
 	return f, nil
 }
@@ -186,6 +225,9 @@ func (f *Fleet) Run(sink Sink) ([]Summary, error) {
 		if f.inc != nil {
 			routes = f.inc.Routes()
 		}
+		if len(f.driftMons) > 0 {
+			routes = append(routes, drift.FleetRoute(f.driftMons))
+		}
 		srv, err := obs.Serve(f.proto.metricsAddr, obs.CollectedExporter(f.group, rs.Collect), routes...)
 		if err != nil {
 			return nil, err
@@ -207,7 +249,7 @@ func (f *Fleet) Run(sink Sink) ([]Summary, error) {
 				_ = events.Emit(obs.Event{
 					TimeSec: time.Since(started).Seconds(), Kind: obs.EventModelSwap,
 					Severity: obs.SeverityInfo,
-					Detail:   fmt.Sprintf("model version %d", sm.Version),
+					Detail:   modelSwapDetail(sm),
 				})
 			})
 		}

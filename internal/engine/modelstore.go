@@ -40,6 +40,14 @@ type StoredModel struct {
 	Version int
 }
 
+// modelSwapDetail renders the model_swap event detail. Version alone
+// is not interpretable when reading drift baselines against swap
+// events, so the model's shape rides along.
+func modelSwapDetail(sm StoredModel) string {
+	return fmt.Sprintf("model version %d (dim %d, %d clusters, margin %g)",
+		sm.Version, sm.Model.Dim, len(sm.Model.Clusters), sm.Model.Margin)
+}
+
 // ModelStore is an atomic hot-swap holder for the detection model. It
 // implements ids.ModelProvider, so a Composite built against a store
 // re-reads the current model once per frame (the consistency boundary

@@ -8,6 +8,7 @@ import (
 	"vprofile/internal/canbus"
 	"vprofile/internal/ids"
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/drift"
 	"vprofile/internal/obs/tracing"
 	"vprofile/internal/pipeline"
 )
@@ -27,6 +28,8 @@ type saTally struct {
 	// the SA's latest quarantine state.
 	suppressed int
 	state      ids.SAState
+	// drift is the SA's end-of-run drift state ("" unless -drift).
+	drift string
 }
 
 // Tally accumulates one session's summary counters, the per-SA
@@ -47,6 +50,7 @@ type Tally struct {
 	DM1Reports    int
 	Suppressed    int
 	Quarantined   bool
+	Drifting      bool
 	LastAt        float64
 }
 
@@ -178,12 +182,33 @@ func VoltageEvent(res pipeline.Result) obs.Event {
 	}
 }
 
+// SetDrift folds an end-of-run drift snapshot into the table. Each SA
+// the monitor observed gets its final drift state; SAs the monitor
+// never scored (all frames failed preprocessing, say) show "-". A nil
+// snapshot (drift off) is a no-op, so callers can pass Summary.Drift
+// unconditionally.
+func (t *Tally) SetDrift(snap *drift.Snapshot) {
+	if snap == nil {
+		return
+	}
+	t.Drifting = true
+	for _, st := range snap.SAs {
+		c := t.perSA[st.SA]
+		if c == nil {
+			c = &saTally{}
+			t.perSA[st.SA] = c
+		}
+		c.drift = st.State
+	}
+}
+
 // Table renders the per-SA accounting. Every alarm family the summary
 // counts is attributed to a source address, so each column sums to
 // its summary total: volt = voltage alarms + preprocess failures,
 // timing = timing alarms, tp = transport errors. On a quarantined
 // replay two more columns appear: supp (coalesced voltage alarms, a
-// subset of volt) and the SA's final quarantine state.
+// subset of volt) and the SA's final quarantine state. On a -drift
+// replay a drift column carries each SA's final drift state.
 func (t *Tally) Table() string {
 	sas := make([]int, 0, len(t.perSA))
 	for sa := range t.perSA {
@@ -191,20 +216,28 @@ func (t *Tally) Table() string {
 	}
 	sort.Ints(sas)
 	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %8s %8s %8s %8s", "SA", "frames", "volt", "timing", "tp")
 	if t.Quarantined {
-		fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %8s %10s %10s\n", "SA", "frames", "volt", "timing", "tp", "supp", "state", "last seen")
-	} else {
-		fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %10s\n", "SA", "frames", "volt", "timing", "tp", "last seen")
+		fmt.Fprintf(&b, " %8s %10s", "supp", "state")
 	}
+	if t.Drifting {
+		fmt.Fprintf(&b, " %7s", "drift")
+	}
+	fmt.Fprintf(&b, " %10s\n", "last seen")
 	for _, sa := range sas {
 		c := t.perSA[uint8(sa)]
+		fmt.Fprintf(&b, "  %#02x %8d %8d %8d %8d", sa, c.frames, c.voltAlarms, c.timeAlarms, c.tpAlarms)
 		if t.Quarantined {
-			fmt.Fprintf(&b, "  %#02x %8d %8d %8d %8d %8d %10s %9.2fs\n",
-				sa, c.frames, c.voltAlarms, c.timeAlarms, c.tpAlarms, c.suppressed, c.state, c.lastSeen)
-		} else {
-			fmt.Fprintf(&b, "  %#02x %8d %8d %8d %8d %9.2fs\n",
-				sa, c.frames, c.voltAlarms, c.timeAlarms, c.tpAlarms, c.lastSeen)
+			fmt.Fprintf(&b, " %8d %10s", c.suppressed, c.state)
 		}
+		if t.Drifting {
+			ds := c.drift
+			if ds == "" {
+				ds = "-"
+			}
+			fmt.Fprintf(&b, " %7s", ds)
+		}
+		fmt.Fprintf(&b, " %9.2fs\n", c.lastSeen)
 	}
 	return b.String()
 }

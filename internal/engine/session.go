@@ -2,13 +2,13 @@ package engine
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
 	"vprofile/internal/core"
 	"vprofile/internal/edgeset"
 	"vprofile/internal/ids"
 	"vprofile/internal/obs"
+	"vprofile/internal/obs/drift"
 	"vprofile/internal/obs/incident"
 	"vprofile/internal/obs/tracing"
 	"vprofile/internal/pipeline"
@@ -95,6 +95,9 @@ type Summary struct {
 	// ran with WithIncidents (nil otherwise; fleet members report
 	// through Fleet.Incidents instead).
 	Incidents []incident.Snapshot
+	// Drift is the end-of-run drift-detector snapshot (nil when the
+	// drift layer is off).
+	Drift *drift.Snapshot
 	// Err is the session's replay error — populated on fleet runs,
 	// where one bus's failure must not hide the others' summaries.
 	Err error
@@ -139,6 +142,15 @@ type Session struct {
 	inc       *incident.Correlator
 	ownInc    bool
 	maxEvents int
+
+	// Drift-layer state (see drift.go): drift turns the layer on,
+	// driftCfg optionally tunes the detectors, driftMon is the monitor
+	// (a fleet injects a shared-lifecycle one per bus; a standalone
+	// session builds its own — ownDrift).
+	drift    bool
+	driftCfg *drift.Config
+	driftMon *drift.Monitor
+	ownDrift bool
 
 	logf func(format string, args ...any)
 }
@@ -295,7 +307,7 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 	// snapshot in the event log. A fleet injects the registry (a group
 	// member) and the shared event log; a standalone session owns both.
 	reg := s.registry
-	wantObs := s.metricsAddr != "" || s.eventsPath != "" || s.events != nil || s.incidents
+	wantObs := s.metricsAddr != "" || s.eventsPath != "" || s.events != nil || s.incidents || s.drift
 	if reg == nil && wantObs {
 		reg = obs.NewRegistry()
 	}
@@ -317,6 +329,7 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 		}
 	}
 	incStream := s.setupIncidents(reg)
+	driftMon := s.setupDrift(reg, incStream)
 	var recorder *tracing.Recorder
 	if s.flightDir != "" {
 		rcfg := tracing.RecorderConfig{
@@ -352,6 +365,9 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 		if s.ownInc {
 			routes = append(routes, s.inc.Routes()...)
 		}
+		if driftMon != nil {
+			routes = append(routes, driftMon.Route())
+		}
 		srv, err := obs.Serve(s.metricsAddr, exp, routes...)
 		if err != nil {
 			return sum, err
@@ -376,6 +392,14 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 		g.Set(int64(startVersion))
 		s.store.OnSwap(func(sm StoredModel) { g.Set(int64(sm.Version)) })
 	}
+	if driftMon != nil && s.ownDrift {
+		// A hot swap changes the distribution distances are drawn from:
+		// drift baselines re-freeze against the new model instead of
+		// reading the model change itself as drift. (Fleet-injected
+		// monitors are reset fleet-wide by the fleet instead.)
+		mon := driftMon
+		s.store.OnSwap(func(StoredModel) { mon.ResetBaseline() })
+	}
 	if s.ownStore {
 		if s.events != nil {
 			events := s.events
@@ -384,7 +408,7 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 				_ = events.Emit(obs.Event{
 					TimeSec: time.Since(started).Seconds(), Kind: obs.EventModelSwap,
 					Bus: bus, Severity: obs.SeverityInfo,
-					Detail: fmt.Sprintf("model version %d", sm.Version),
+					Detail: modelSwapDetail(sm),
 				})
 			})
 		}
@@ -422,6 +446,20 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 	if sink != nil {
 		bus := s.name
 		pfn = func(r pipeline.Result) error { return sink(Result{Bus: bus, Result: r}) }
+	}
+	if driftMon != nil {
+		// Scored frames feed the drift sketches. Wrapped before the
+		// incident layer so per frame the correlator sees alarm evidence
+		// first and drift transitions second (the correlator re-checks
+		// standing drift on every alarm anyway).
+		mon, store, inner := driftMon, s.store, pfn
+		pfn = func(r pipeline.Result) error {
+			observeDrift(mon, store, r)
+			if inner != nil {
+				return inner(r)
+			}
+			return nil
+		}
 	}
 	if incStream != nil {
 		// Every verdict feeds the correlator, before the user sink, so
@@ -468,6 +506,10 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 			// fleet closes the log after every bus has.
 			_ = s.events.Emit(obs.Event{Kind: obs.EventStats, Bus: s.name, Stats: reg.Snapshot()})
 		}
+	}
+	if driftMon != nil {
+		snap := driftMon.Status()
+		sum.Drift = &snap
 	}
 	sum.Corruptions = rd.Corruptions()
 	sum.SilentStreams = mon.SilentStreams()

@@ -1,0 +1,350 @@
+package drift
+
+import "math"
+
+// State is a per-SA drift severity. Transitions within one model
+// generation are escalate-only (Ok → Warn → Alarm): once a profile
+// has drifted it stays flagged until a model swap re-freezes the
+// baseline, so an SA emits at most one drift_warn and one
+// drift_alarm per generation.
+type State uint8
+
+const (
+	Ok State = iota
+	Warn
+	Alarm
+)
+
+func (s State) String() string {
+	switch s {
+	case Warn:
+		return "warn"
+	case Alarm:
+		return "alarm"
+	default:
+		return "ok"
+	}
+}
+
+// pageHinkley is the classic one-sided mean-shift test: it
+// accumulates m += x - mean0 - delta and alarms when m - min(m)
+// exceeds lambda. x is the distance normalized by the baseline
+// spread, so delta/lambda are in "spread units" and one set of
+// defaults works across SAs with very different raw distances.
+type pageHinkley struct {
+	delta float64
+	m     float64
+	min   float64
+	score float64
+}
+
+func (ph *pageHinkley) observe(x float64) {
+	ph.m += x - ph.delta
+	if ph.m < ph.min {
+		ph.min = ph.m
+	}
+	ph.score = ph.m - ph.min
+}
+
+func (ph *pageHinkley) reset() {
+	ph.m, ph.min, ph.score = 0, 0, 0
+}
+
+// trendRing keeps the last N margin values and fits a least-squares
+// line through them with O(1) per-frame updates (the x·y, y and y²
+// sums shift incrementally as the window slides). The slope (margin
+// per frame) is the erosion rate; with the current mean margin it
+// yields a crude frames-to-threshold estimate: how many more frames
+// at this rate until the typical margin crosses zero and clean frames
+// start alarming. The slope's t-statistic gates the detector so pure
+// noise in a short window never reads as erosion.
+type trendRing struct {
+	buf  []float64
+	head int
+	full bool
+
+	sumY  float64
+	sumYY float64
+	sumXY float64 // Σ i·y_i with i = 0..n-1, oldest first
+}
+
+func newTrendRing(n int) *trendRing {
+	return &trendRing{buf: make([]float64, n)}
+}
+
+func (r *trendRing) push(v float64) {
+	if !r.full {
+		r.sumXY += float64(r.head) * v
+		r.sumY += v
+		r.sumYY += v * v
+		r.buf[r.head] = v
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+			r.full = true
+		}
+		return
+	}
+	// Window slides: drop the oldest (index 0), shift every index
+	// down one, append v at index n-1.
+	old := r.buf[r.head]
+	n := float64(len(r.buf))
+	r.sumXY += (n-1)*v - (r.sumY - old)
+	r.sumY += v - old
+	r.sumYY += v*v - old*old
+	r.buf[r.head] = v
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+}
+
+// fit returns the least-squares slope (per frame), the window mean,
+// and the slope's t-statistic. ok is false until the ring is full —
+// short windows make the t-statistic itself unstable.
+func (r *trendRing) fit() (slope, mean, tstat float64, ok bool) {
+	if !r.full {
+		return 0, 0, 0, false
+	}
+	fn := float64(len(r.buf))
+	sumX := fn * (fn - 1) / 2
+	sumXX := fn * (fn - 1) * (2*fn - 1) / 6
+	sxx := sumXX - sumX*sumX/fn
+	sxy := r.sumXY - sumX*r.sumY/fn
+	syy := r.sumYY - r.sumY*r.sumY/fn
+	if sxx <= 0 {
+		return 0, r.sumY / fn, 0, false
+	}
+	slope = sxy / sxx
+	rss := syy - slope*sxy
+	if rss < 0 {
+		rss = 0
+	}
+	s2 := rss / (fn - 2)
+	mean = r.sumY / fn
+	if s2 <= 0 {
+		// A perfectly straight line: infinitely significant.
+		tstat = math.Inf(-1)
+		if slope > 0 {
+			tstat = math.Inf(1)
+		} else if slope == 0 {
+			tstat = 0
+		}
+		return slope, mean, tstat, true
+	}
+	tstat = slope / math.Sqrt(s2/sxx)
+	return slope, mean, tstat, true
+}
+
+func (r *trendRing) reset() {
+	r.head, r.full = 0, false
+	r.sumY, r.sumYY, r.sumXY = 0, 0, 0
+}
+
+// saDetector is the full per-SA drift state: baseline + live
+// sketches, the three detectors, and the escalate-only state machine.
+type saDetector struct {
+	// Lifetime sketches since the last baseline freeze (what /drift
+	// and the fleet rollup report).
+	dist   *Sketch
+	margin *Sketch
+
+	// Baseline frozen after cfg.BaselineFrames clean-ish frames.
+	baseDist   *Sketch
+	baseMargin *Sketch
+	frozen     bool
+	spread     float64 // baseline p90-p50 distance spread (≥ epsilon)
+	baseP90    float64
+
+	// Windowed sketch, reset every cfg.WindowFrames, compared against
+	// the baseline for the divergence detector.
+	win      *Sketch
+	winCount int
+
+	ph    pageHinkley
+	trend *trendRing
+
+	state             State
+	reason            string  // detector that drove the last escalation
+	divergence        float64 // last completed window's p90 divergence, in spread units
+	slope             float64 // margin erosion per frame (negative = eroding)
+	slopeT            float64 // slope t-statistic (significance of the trend)
+	framesToThreshold float64 // estimate; +Inf when margin is not eroding
+	lastT             float64
+	firstWarnT        float64
+	firstAlarmT       float64
+}
+
+// erosionTStat is how significant (in t-statistic units) a negative
+// margin slope must be before the erosion detector trusts it; ±2 is
+// ordinary noise, −8 is an unambiguous downward trend.
+const erosionTStat = 8.0
+
+const minSpread = 1e-9
+
+func newSADetector(cfg Config) *saDetector {
+	return &saDetector{
+		dist:              NewSketch(),
+		margin:            NewSketch(),
+		baseDist:          NewSketch(),
+		baseMargin:        NewSketch(),
+		win:               NewSketch(),
+		ph:                pageHinkley{delta: cfg.PHDelta},
+		trend:             newTrendRing(cfg.TrendFrames),
+		framesToThreshold: math.Inf(1),
+	}
+}
+
+// transition describes one escalation produced by an observe call.
+type transition struct {
+	From, To State
+	Reason   string
+	Detail   detectorSnapshot
+}
+
+type detectorSnapshot struct {
+	PHScore           float64
+	Divergence        float64
+	Slope             float64
+	FramesToThreshold float64
+	MeanMargin        float64
+	BaselineP90       float64
+	LiveP90           float64
+}
+
+// observe folds one scored frame (best-cluster distance and threshold
+// margin = threshold - distance) into the detector and returns any
+// state transition. Everything is deterministic: same frame sequence,
+// same transitions.
+func (d *saDetector) observe(dist, marginV, t float64, cfg Config) (tr transition, changed bool) {
+	d.lastT = t
+	d.dist.Observe(dist)
+	d.margin.Observe(marginV)
+
+	if !d.frozen {
+		d.baseDist.Observe(dist)
+		d.baseMargin.Observe(marginV)
+		if d.baseDist.Count() >= int64(cfg.BaselineFrames) {
+			d.freeze()
+		}
+		return transition{}, false
+	}
+
+	// Page-Hinkley on spread-normalized distance shift.
+	d.ph.observe((dist - d.baseDist.Mean()) / d.spread)
+
+	// Windowed divergence: p90(window) vs p90(baseline), in spread
+	// units, evaluated when the window closes.
+	d.win.Observe(dist)
+	d.winCount++
+	if d.winCount >= cfg.WindowFrames {
+		d.divergence = (d.win.Quantile(0.9) - d.baseP90) / d.spread
+		d.win.Reset()
+		d.winCount = 0
+	}
+
+	// Margin-erosion trend: only a statistically unambiguous downward
+	// slope counts as erosion; anything else reports +Inf horizon.
+	d.trend.push(marginV)
+	if slope, mean, tstat, ok := d.trend.fit(); ok {
+		d.slope = slope
+		d.slopeT = tstat
+		if slope < 0 && tstat <= -erosionTStat && mean > 0 {
+			d.framesToThreshold = mean / -slope
+		} else if mean <= 0 && slope < 0 && tstat <= -erosionTStat {
+			d.framesToThreshold = 0
+		} else {
+			d.framesToThreshold = math.Inf(1)
+		}
+	}
+
+	return d.evaluate(t, cfg)
+}
+
+// freeze snapshots the baseline and arms the detectors.
+func (d *saDetector) freeze() {
+	d.frozen = true
+	d.spread = d.baseDist.Quantile(0.9) - d.baseDist.Quantile(0.5)
+	if d.spread < minSpread {
+		d.spread = minSpread
+	}
+	d.baseP90 = d.baseDist.Quantile(0.9)
+}
+
+// evaluate runs the escalate-only state machine over the current
+// detector scores.
+func (d *saDetector) evaluate(t float64, cfg Config) (transition, bool) {
+	level, reason := Ok, ""
+	check := func(score, warnAt, alarmAt float64, name string) {
+		if alarmAt > 0 && score >= alarmAt {
+			if level < Alarm {
+				level, reason = Alarm, name
+			}
+		} else if warnAt > 0 && score >= warnAt && level < Warn {
+			level, reason = Warn, name
+		}
+	}
+	check(d.ph.score, cfg.PHWarn, cfg.PHAlarm, "page_hinkley")
+	check(d.divergence, cfg.DivergenceWarn, cfg.DivergenceAlarm, "divergence")
+	if d.slope < 0 && !math.IsInf(d.framesToThreshold, 1) {
+		// Erosion severity grows as the horizon shrinks.
+		check(float64(cfg.HorizonFrames)/math.Max(d.framesToThreshold, 1),
+			1, float64(cfg.HorizonFrames)/math.Max(float64(cfg.AlarmHorizonFrames), 1), "margin_erosion")
+	}
+
+	if level <= d.state {
+		return transition{}, false
+	}
+	from := d.state
+	d.state = level
+	d.reason = reason
+	if from < Warn && level >= Warn {
+		d.firstWarnT = t
+	}
+	if level == Alarm {
+		d.firstAlarmT = t
+	}
+	return transition{
+		From:   from,
+		To:     level,
+		Reason: reason,
+		Detail: d.snapshot(),
+	}, true
+}
+
+func (d *saDetector) snapshot() detectorSnapshot {
+	return detectorSnapshot{
+		PHScore:           d.ph.score,
+		Divergence:        d.divergence,
+		Slope:             d.slope,
+		FramesToThreshold: d.framesToThreshold,
+		MeanMargin:        d.margin.Mean(),
+		BaselineP90:       d.baseP90,
+		LiveP90:           d.dist.Quantile(0.9),
+	}
+}
+
+// resetBaseline throws away all drift state and starts re-learning
+// the baseline — called on model swap, when the old reference is no
+// longer the distribution the detector scores against.
+func (d *saDetector) resetBaseline() {
+	d.dist.Reset()
+	d.margin.Reset()
+	d.baseDist.Reset()
+	d.baseMargin.Reset()
+	d.win.Reset()
+	d.winCount = 0
+	d.frozen = false
+	d.spread = 0
+	d.baseP90 = 0
+	d.ph.reset()
+	d.trend.reset()
+	d.state = Ok
+	d.reason = ""
+	d.divergence = 0
+	d.slope = 0
+	d.slopeT = 0
+	d.framesToThreshold = math.Inf(1)
+	d.firstWarnT = 0
+	d.firstAlarmT = 0
+}

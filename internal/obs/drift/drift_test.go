@@ -1,0 +1,402 @@
+package drift
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"vprofile/internal/obs"
+)
+
+// exactQuantile is the reference the sketch is checked against.
+func exactQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func TestSketchTracksQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSketch()
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-normal-ish: the shape Mahalanobis distances take.
+		v := math.Exp(rng.NormFloat64()*0.5 + 1)
+		s.Observe(v)
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got, want := s.Quantile(p), exactQuantile(vals, p)
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("p%.0f: sketch %.4f vs exact %.4f (rel err %.3f)", p*100, got, want, rel)
+		}
+	}
+	if s.Count() != 20000 {
+		t.Errorf("count = %d, want 20000", s.Count())
+	}
+	if got, want := s.Min(), vals[0]; got != want {
+		t.Errorf("min = %v, want %v", got, want)
+	}
+	if got, want := s.Max(), vals[len(vals)-1]; got != want {
+		t.Errorf("max = %v, want %v", got, want)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if math.Abs(s.Mean()-sum/20000) > 1e-9 {
+		t.Errorf("mean = %v, want %v", s.Mean(), sum/20000)
+	}
+}
+
+func TestSketchSmallSampleExact(t *testing.T) {
+	s := NewSketch()
+	for _, v := range []float64{3, 1, 2} {
+		s.Observe(v)
+	}
+	if got := s.Quantile(0.5); got != 2 {
+		t.Errorf("median of {1,2,3} = %v, want 2", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 3 {
+		t.Errorf("p100 = %v, want 3", got)
+	}
+}
+
+func TestSketchQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewSketch()
+	for i := 0; i < 5000; i++ {
+		s.Observe(rng.Float64() * 10)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0001; p += 0.05 {
+		q := s.Quantile(p)
+		if q < prev-1e-9 {
+			t.Fatalf("quantile not monotone: q(%.2f)=%v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := NewSketch(), NewSketch()
+	all := make([]float64, 0, 12000)
+	for i := 0; i < 8000; i++ {
+		v := rng.NormFloat64() + 10
+		a.Observe(v)
+		all = append(all, v)
+	}
+	for i := 0; i < 4000; i++ {
+		v := rng.NormFloat64()*2 + 14 // shifted second population
+		b.Observe(v)
+		all = append(all, v)
+	}
+	a.Merge(b)
+	if a.Count() != 12000 {
+		t.Fatalf("merged count = %d, want 12000", a.Count())
+	}
+	sort.Float64s(all)
+	// The merge is approximate by design; just require it to land in
+	// the right region (within 15% of the exact combined quantile).
+	for _, p := range []float64{0.5, 0.9} {
+		got, want := a.Quantile(p), exactQuantile(all, p)
+		if rel := math.Abs(got-want) / want; rel > 0.15 {
+			t.Errorf("merged p%.0f: %.3f vs exact %.3f (rel err %.3f)", p*100, got, want, rel)
+		}
+	}
+	if got, want := a.Min(), all[0]; got != want {
+		t.Errorf("merged min = %v, want %v", got, want)
+	}
+	if got, want := a.Max(), all[len(all)-1]; got != want {
+		t.Errorf("merged max = %v, want %v", got, want)
+	}
+}
+
+func TestTrendRingSlope(t *testing.T) {
+	r := newTrendRing(64)
+	// Perfect line: margin = 10 - 0.01*i.
+	for i := 0; i < 64; i++ {
+		r.push(10 - 0.01*float64(i))
+	}
+	slope, mean, tstat, ok := r.fit()
+	if !ok {
+		t.Fatal("fit not ready after a full ring")
+	}
+	if math.Abs(slope-(-0.01)) > 1e-9 {
+		t.Errorf("slope = %v, want -0.01", slope)
+	}
+	wantMean := 10 - 0.01*63.0/2
+	if math.Abs(mean-wantMean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", mean, wantMean)
+	}
+	if !math.IsInf(tstat, -1) {
+		t.Errorf("tstat on a perfect line = %v, want -Inf", tstat)
+	}
+	// Keep pushing past capacity: the sliding-window sums must still
+	// fit the continuing line exactly.
+	for i := 64; i < 200; i++ {
+		r.push(10 - 0.01*float64(i))
+	}
+	slope, _, _, ok = r.fit()
+	if !ok || math.Abs(slope-(-0.01)) > 1e-6 {
+		t.Errorf("wrapped slope = %v (ok=%v), want -0.01", slope, ok)
+	}
+	// A pure-noise window must not read as a significant trend.
+	rng := rand.New(rand.NewSource(42))
+	r2 := newTrendRing(256)
+	for i := 0; i < 256; i++ {
+		r2.push(rng.NormFloat64())
+	}
+	if _, _, tn, ok := r2.fit(); !ok || math.Abs(tn) > 6 {
+		t.Errorf("noise tstat = %v (ok=%v), want |t| < 6", tn, ok)
+	}
+}
+
+// driveStable feeds n frames of a stationary distance distribution.
+func driveStable(m *Monitor, sa uint8, n int, rng *rand.Rand, t0 float64) float64 {
+	const threshold = 10.0
+	t := t0
+	for i := 0; i < n; i++ {
+		d := 2 + rng.NormFloat64()*0.3
+		if d < 0 {
+			d = 0
+		}
+		m.Observe(sa, d, threshold, t)
+		t += 0.01
+	}
+	return t
+}
+
+func TestMonitorStableStaysOk(t *testing.T) {
+	m := NewMonitor(Config{Bus: "b0"})
+	rng := rand.New(rand.NewSource(1))
+	driveStable(m, 0x10, 20000, rng, 0)
+	s := m.Status()
+	if s.Warning != 0 || s.Alarming != 0 {
+		t.Fatalf("stationary stream flagged: %+v", s)
+	}
+	if len(s.SAs) != 1 || !s.SAs[0].BaselineFrozen {
+		t.Fatalf("baseline should be frozen after 20000 frames: %+v", s.SAs)
+	}
+}
+
+func TestMonitorDetectsRampEscalateOnly(t *testing.T) {
+	var events []obs.Event
+	var trans []Transition
+	m := NewMonitor(Config{
+		Bus:          "b0",
+		Emit:         func(e obs.Event) { events = append(events, e) },
+		OnTransition: func(tr Transition) { trans = append(trans, tr) },
+	})
+	rng := rand.New(rand.NewSource(2))
+	const threshold = 10.0
+	tt := driveStable(m, 0x10, 1000, rng, 0)
+	// Ramp the distance toward the threshold — the drift-fault shape.
+	for i := 0; i < 20000; i++ {
+		d := 2 + rng.NormFloat64()*0.3 + float64(i)*0.0004
+		m.Observe(0x10, d, threshold, tt)
+		tt += 0.01
+	}
+	s := m.Status()
+	if s.SAs[0].State == "ok" {
+		t.Fatalf("ramped SA never flagged: %+v", s.SAs[0])
+	}
+	// Escalate-only: exactly one warn event, at most one alarm event.
+	var warns, alarms int
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EventDriftWarn:
+			warns++
+			if e.Severity != obs.SeverityWarning {
+				t.Errorf("drift_warn severity = %q", e.Severity)
+			}
+			if e.SA == nil || *e.SA != 0x10 {
+				t.Errorf("drift_warn SA = %v", e.SA)
+			}
+		case obs.EventDriftAlarm:
+			alarms++
+			if e.Severity != obs.SeverityCritical {
+				t.Errorf("drift_alarm severity = %q", e.Severity)
+			}
+		}
+	}
+	if warns != 1 {
+		t.Errorf("drift_warn events = %d, want exactly 1", warns)
+	}
+	if alarms > 1 {
+		t.Errorf("drift_alarm events = %d, want at most 1", alarms)
+	}
+	if len(trans) != warns+alarms {
+		t.Errorf("OnTransition calls = %d, want %d", len(trans), warns+alarms)
+	}
+	for _, tr := range trans {
+		if tr.Bus != "b0" || tr.SA != 0x10 || tr.To <= tr.From {
+			t.Errorf("bad transition: %+v", tr)
+		}
+	}
+	// The erosion estimate should be finite on a ramp.
+	if s.SAs[0].FramesToThreshold < 0 {
+		t.Errorf("frames_to_threshold = %v, want finite on a ramp", s.SAs[0].FramesToThreshold)
+	}
+}
+
+func TestMonitorQuietSANotFlagged(t *testing.T) {
+	var events []obs.Event
+	m := NewMonitor(Config{Emit: func(e obs.Event) { events = append(events, e) }})
+	rng := rand.New(rand.NewSource(4))
+	const threshold = 10.0
+	tt := 0.0
+	for i := 0; i < 15000; i++ {
+		// SA 0x10 ramps; SA 0x20 stays put.
+		m.Observe(0x10, 2+rng.NormFloat64()*0.3+float64(i)*0.0005, threshold, tt)
+		m.Observe(0x20, 2+rng.NormFloat64()*0.3, threshold, tt)
+		tt += 0.01
+	}
+	for _, e := range events {
+		if e.SA != nil && *e.SA == 0x20 {
+			t.Fatalf("stable SA 0x20 flagged: %+v", e)
+		}
+	}
+	states := m.States()
+	if states[0x20] != Ok {
+		t.Errorf("SA 0x20 state = %v, want ok", states[0x20])
+	}
+	if states[0x10] == Ok {
+		t.Errorf("SA 0x10 state = ok, want flagged")
+	}
+}
+
+func TestMonitorResetBaselineRearms(t *testing.T) {
+	var warns int
+	m := NewMonitor(Config{Emit: func(e obs.Event) {
+		if e.Kind == obs.EventDriftWarn {
+			warns++
+		}
+	}})
+	rng := rand.New(rand.NewSource(5))
+	const threshold = 10.0
+	tt := 0.0
+	ramp := func(n int) {
+		for i := 0; i < n; i++ {
+			m.Observe(0x10, 2+rng.NormFloat64()*0.3+float64(i)*0.0005, threshold, tt)
+			tt += 0.01
+		}
+	}
+	ramp(15000)
+	if warns != 1 {
+		t.Fatalf("warns before swap = %d, want 1", warns)
+	}
+	m.ResetBaseline()
+	if m.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", m.Generation())
+	}
+	st := m.States()
+	if st[0x10] != Ok {
+		t.Fatalf("state after reset = %v, want ok", st[0x10])
+	}
+	ramp(15000) // same drift against the fresh baseline: one more warn
+	if warns != 2 {
+		t.Fatalf("warns after swap+re-ramp = %d, want 2", warns)
+	}
+}
+
+func TestMonitorGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMonitor(Config{})
+	m.BindGauges(reg)
+	rng := rand.New(rand.NewSource(6))
+	const threshold = 10.0
+	tt := 0.0
+	for i := 0; i < 15000; i++ {
+		m.Observe(0x10, 2+rng.NormFloat64()*0.3+float64(i)*0.0005, threshold, tt)
+		tt += 0.01
+	}
+	warn := reg.Gauge("vprofile_drift_sas_warning", "").Value()
+	alarm := reg.Gauge("vprofile_drift_sas_alarm", "").Value()
+	if warn+alarm != 1 {
+		t.Errorf("warning+alarm gauges = %d+%d, want 1 flagged SA", warn, alarm)
+	}
+	if got := reg.Counter("vprofile_drift_warn_total", "").Value(); got != 1 {
+		t.Errorf("warn_total = %d, want 1", got)
+	}
+	if fr := reg.Gauge("vprofile_drift_baselines_frozen", "").Value(); fr != 1 {
+		t.Errorf("baselines_frozen = %d, want 1", fr)
+	}
+}
+
+func TestDriftHTTPHandlers(t *testing.T) {
+	m1 := NewMonitor(Config{Bus: "bus-a"})
+	m2 := NewMonitor(Config{Bus: "bus-b"})
+	rng := rand.New(rand.NewSource(8))
+	driveStable(m1, 0x10, 500, rng, 0)
+	driveStable(m2, 0x10, 500, rng, 0)
+	driveStable(m2, 0x22, 500, rng, 0)
+
+	// Single-bus /drift.
+	rr := httptest.NewRecorder()
+	m1.Route().Handler.ServeHTTP(rr, httptest.NewRequest("GET", "/drift", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad /drift JSON: %v", err)
+	}
+	if snap.Bus != "bus-a" || len(snap.SAs) != 1 || snap.SAs[0].SA != 0x10 {
+		t.Fatalf("unexpected /drift snapshot: %+v", snap)
+	}
+
+	// Fleet /drift rollup.
+	rr = httptest.NewRecorder()
+	FleetRoute([]*Monitor{m1, m2}).Handler.ServeHTTP(rr, httptest.NewRequest("GET", "/drift", nil))
+	var fs FleetSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &fs); err != nil {
+		t.Fatalf("bad fleet /drift JSON: %v", err)
+	}
+	if len(fs.Buses) != 2 {
+		t.Fatalf("fleet buses = %d, want 2", len(fs.Buses))
+	}
+	bySA := map[uint8]FleetSAStatus{}
+	for _, s := range fs.SAs {
+		bySA[s.SA] = s
+	}
+	if bySA[0x10].Buses != 2 || bySA[0x22].Buses != 1 {
+		t.Fatalf("fleet rollup wrong: %+v", fs.SAs)
+	}
+	if bySA[0x10].Frames != 1000 {
+		t.Errorf("merged frames for SA 0x10 = %d, want 1000", bySA[0x10].Frames)
+	}
+}
+
+func TestMonitorDeterministic(t *testing.T) {
+	run := func() Snapshot {
+		m := NewMonitor(Config{Bus: "b"})
+		rng := rand.New(rand.NewSource(9))
+		const threshold = 10.0
+		tt := 0.0
+		for i := 0; i < 8000; i++ {
+			m.Observe(0x10, 2+rng.NormFloat64()*0.3+float64(i)*0.001, threshold, tt)
+			tt += 0.01
+		}
+		return m.Status()
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("monitor not deterministic:\n%s\n%s", aj, bj)
+	}
+}

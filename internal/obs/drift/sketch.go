@@ -1,0 +1,349 @@
+// Package drift is the detection-quality observability layer: it
+// turns the raw per-frame Mahalanobis distances the IDS already
+// computes into automated drift signals, so nobody has to eyeball the
+// distance histogram to notice a voltage profile going stale.
+//
+// The paper shows profiles move with temperature and supply
+// conditions (Section 4.4); Viden argues a voltage IDS that does not
+// track its profiles silently decays. This package watches for that
+// decay while it is still benign: per-SA streaming quantile sketches
+// of best-cluster distance and threshold margin, a baseline reference
+// frozen shortly after model load (and re-frozen on every hot swap),
+// and three streaming detectors on top — a Page-Hinkley mean-shift
+// test on distance, a windowed quantile-vs-baseline divergence, and a
+// margin-erosion trend with a crude frames-to-threshold estimate.
+// Transitions emit drift_warn/drift_alarm events, update
+// vprofile_drift_* gauges, and are served live on /drift.
+//
+// Everything here observes the verdict stream; nothing feeds back
+// into it, so replays with the layer on produce bit-identical
+// verdicts.
+package drift
+
+import (
+	"math"
+	"sort"
+)
+
+// sketchQuantiles are the probabilities every Sketch tracks. Three
+// P² estimators cover the shape the detectors care about: the bulk
+// (median), the tail that erodes first (p90), and the extreme tail
+// (p99) that brushes the threshold before anything else.
+var sketchQuantiles = [...]float64{0.5, 0.9, 0.99}
+
+// Sketch is a fixed-size streaming quantile estimator: one P²
+// (Jain & Chlamtac) five-marker estimator per tracked quantile, plus
+// exact count/min/max/mean. Observing is O(1) and allocation-free;
+// the whole sketch is a few hundred bytes regardless of stream
+// length.
+//
+// Sketches are approximately mergeable: Merge folds another sketch's
+// markers into this one as count-weighted pseudo-observations. The
+// result is not what a single sketch over the concatenated stream
+// would hold, but it ranks fleet-wide per-SA distributions well
+// enough for the /drift rollup, which is all merging is for.
+type Sketch struct {
+	est [len(sketchQuantiles)]p2
+	n   int64
+	min float64
+	max float64
+	sum float64
+}
+
+// NewSketch returns an empty sketch tracking p50/p90/p99.
+func NewSketch() *Sketch {
+	s := &Sketch{min: math.Inf(1), max: math.Inf(-1)}
+	for i, p := range sketchQuantiles {
+		s.est[i].p = p
+	}
+	return s
+}
+
+// Observe folds one value into the sketch.
+func (s *Sketch) Observe(v float64) {
+	s.n++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	for i := range s.est {
+		s.est[i].observe(v)
+	}
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() int64 { return s.n }
+
+// Mean returns the running mean (0 when empty).
+func (s *Sketch) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min and Max return the exact observed extremes (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+func (s *Sketch) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns the estimate for probability p, interpolating
+// between the tracked quantiles (and clamping to min/max) when p
+// falls between them. With fewer than five observations the estimate
+// is exact (the markers still hold the sorted sample).
+func (s *Sketch) Quantile(p float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.Min()
+	}
+	if p >= 1 {
+		return s.Max()
+	}
+	// Below the first tracked quantile, interpolate from min; above
+	// the last, toward max.
+	loP, loV := 0.0, s.Min()
+	for i, q := range sketchQuantiles {
+		qv := s.est[i].value()
+		if p <= q {
+			if q == loP {
+				return qv
+			}
+			f := (p - loP) / (q - loP)
+			return loV + f*(qv-loV)
+		}
+		loP, loV = q, qv
+	}
+	last := sketchQuantiles[len(sketchQuantiles)-1]
+	f := (p - last) / (1 - last)
+	return loV + f*(s.Max()-loV)
+}
+
+// Reset empties the sketch in place.
+func (s *Sketch) Reset() {
+	*s = Sketch{min: math.Inf(1), max: math.Inf(-1)}
+	for i, p := range sketchQuantiles {
+		s.est[i].p = p
+	}
+}
+
+// Clone returns a copy sharing no state.
+func (s *Sketch) Clone() *Sketch {
+	c := *s
+	return &c
+}
+
+// Merge folds o into s (o is unchanged). Both sketches are read as
+// piecewise-linear CDFs through their tracked quantile points; the
+// merged CDF is their count-weighted mixture, inverted (bisection) at
+// each marker probability to rebuild s's estimator state. The result
+// is approximate — a sketch is 5 points per quantile, not the stream
+// — but count-faithful: a big bus outweighs a quiet one in the fleet
+// rollup, and exact fields (count/min/max/sum) merge exactly.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o.Clone()
+		return
+	}
+	sx, sp := s.cdfPoints()
+	ox, op := o.cdfPoints()
+	wS := float64(s.n) / float64(s.n+o.n)
+	lo := math.Min(s.min, o.min)
+	hi := math.Max(s.max, o.max)
+	mergedQ := func(p float64) float64 {
+		if p <= 0 {
+			return lo
+		}
+		if p >= 1 {
+			return hi
+		}
+		a, b := lo, hi
+		for i := 0; i < 48 && b-a > 0; i++ {
+			mid := (a + b) / 2
+			f := wS*cdfAt(sx, sp, mid) + (1-wS)*cdfAt(ox, op, mid)
+			if f < p {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		return (a + b) / 2
+	}
+
+	n := s.n + o.n
+	for i, p := range sketchQuantiles {
+		e := &s.est[i]
+		e.n = n
+		e.q = [5]float64{lo, mergedQ(p / 2), mergedQ(p), mergedQ((1 + p) / 2), hi}
+		// Canonical marker/desired positions for a warm estimator of
+		// size n, as if P² had run over the merged stream.
+		fn := float64(n)
+		e.d = [5]float64{1, 1 + (fn-1)*p/2, 1 + (fn-1)*p, 1 + (fn-1)*(1+p)/2, fn}
+		for j := range e.k {
+			e.k[j] = math.Round(e.d[j])
+		}
+	}
+	s.n = n
+	s.min = lo
+	s.max = hi
+	s.sum += o.sum
+}
+
+// cdfPoints returns the sketch's piecewise-linear CDF support: x
+// values (forced monotone) and their cumulative probabilities.
+func (s *Sketch) cdfPoints() (xs, ps [5]float64) {
+	ps = [5]float64{0, 0.5, 0.9, 0.99, 1}
+	xs = [5]float64{s.Min(), s.Quantile(0.5), s.Quantile(0.9), s.Quantile(0.99), s.Max()}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			xs[i] = xs[i-1]
+		}
+	}
+	return xs, ps
+}
+
+// cdfAt evaluates the piecewise-linear CDF at x.
+func cdfAt(xs, ps [5]float64, x float64) float64 {
+	if x <= xs[0] {
+		return 0
+	}
+	if x >= xs[4] {
+		return 1
+	}
+	for i := 1; i < len(xs); i++ {
+		if x <= xs[i] {
+			if xs[i] == xs[i-1] {
+				return ps[i]
+			}
+			f := (x - xs[i-1]) / (xs[i] - xs[i-1])
+			return ps[i-1] + f*(ps[i]-ps[i-1])
+		}
+	}
+	return 1
+}
+
+// p2 is one five-marker P² estimator for a single quantile p.
+type p2 struct {
+	p float64
+	n int64      // observations so far
+	q [5]float64 // marker heights
+	k [5]float64 // marker positions (1-based)
+	d [5]float64 // desired marker positions
+}
+
+func (e *p2) observe(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.k {
+				e.k[i] = float64(i + 1)
+			}
+			e.d = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+	e.n++
+	// Locate the cell containing x, extending the extremes if needed.
+	var cell int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		cell = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		cell = 3
+	default:
+		for cell = 0; cell < 4; cell++ {
+			if x < e.q[cell+1] {
+				break
+			}
+		}
+	}
+	for i := cell + 1; i < 5; i++ {
+		e.k[i]++
+	}
+	// Advance desired positions and adjust the interior markers.
+	inc := [5]float64{0, e.p / 2, e.p, (1 + e.p) / 2, 1}
+	for i := range e.d {
+		e.d[i] += inc[i]
+	}
+	for i := 1; i <= 3; i++ {
+		delta := e.d[i] - e.k[i]
+		if (delta >= 1 && e.k[i+1]-e.k[i] > 1) || (delta <= -1 && e.k[i-1]-e.k[i] < -1) {
+			sgn := 1.0
+			if delta < 0 {
+				sgn = -1
+			}
+			// Parabolic (P²) update, falling back to linear when the
+			// parabola would cross a neighbour.
+			qp := e.parabolic(i, sgn)
+			if e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				e.q[i] = e.linear(i, sgn)
+			}
+			e.k[i] += sgn
+		}
+	}
+}
+
+func (e *p2) parabolic(i int, sgn float64) float64 {
+	return e.q[i] + sgn/(e.k[i+1]-e.k[i-1])*
+		((e.k[i]-e.k[i-1]+sgn)*(e.q[i+1]-e.q[i])/(e.k[i+1]-e.k[i])+
+			(e.k[i+1]-e.k[i]-sgn)*(e.q[i]-e.q[i-1])/(e.k[i]-e.k[i-1]))
+}
+
+func (e *p2) linear(i int, sgn float64) float64 {
+	j := i + int(sgn)
+	return e.q[i] + sgn*(e.q[j]-e.q[i])/(e.k[j]-e.k[i])
+}
+
+// value returns the current quantile estimate: the middle marker once
+// the estimator is warm, the exact order statistic before that.
+func (e *p2) value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		s := make([]float64, e.n)
+		copy(s, e.q[:e.n])
+		sort.Float64s(s)
+		idx := int(math.Ceil(e.p*float64(e.n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return s[idx]
+	}
+	return e.q[2]
+}
+
+// markers returns the marker heights and observation count, for
+// merging.
+func (e *p2) markers() ([]float64, int64) {
+	if e.n == 0 {
+		return nil, 0
+	}
+	if e.n < 5 {
+		return e.q[:e.n], e.n
+	}
+	return e.q[:], e.n
+}

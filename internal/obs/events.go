@@ -38,6 +38,14 @@ const (
 	EventIncidentUpdate  = "incident_update"
 	EventIncidentResolve = "incident_resolve"
 
+	// Drift-detector kinds, written by internal/obs/drift: a source
+	// address's distance distribution escalated to warn or alarm
+	// relative to the baseline frozen at model load/swap. At most one
+	// of each per SA per model generation (the drift state machine is
+	// escalate-only until a swap resets it).
+	EventDriftWarn  = "drift_warn"
+	EventDriftAlarm = "drift_alarm"
+
 	// EventDropped is the single record Close appends when the
 	// max-events cap truncated the stream; its Detail carries the
 	// dropped count.

@@ -108,6 +108,7 @@ type BusStream struct {
 	corrupts    decayAcc
 	seenCorrupt int64
 	degraded    map[uint8]bool
+	drifting    map[uint8]string // SA → drift state ("warn"/"alarm")
 	totalAlarms int64
 }
 
@@ -118,7 +119,8 @@ func (c *Correlator) Bus(name string) *BusStream {
 	if b, ok := c.buses[name]; ok {
 		return b
 	}
-	b := &BusStream{c: c, name: name, degraded: make(map[uint8]bool)}
+	b := &BusStream{c: c, name: name,
+		degraded: make(map[uint8]bool), drifting: make(map[uint8]string)}
 	c.buses[name] = b
 	c.order = append(c.order, name)
 	return b
@@ -183,6 +185,81 @@ func (b *BusStream) ObserveQuarantine(sa uint8, state string, t float64) {
 	}
 	if state == "degraded" {
 		c.escalate(in, obs.SeverityCritical, t, fmt.Sprintf("SA %#02x degraded on %s", sa, b.name))
+	}
+}
+
+// ObserveDrift folds a drift-detector transition into the correlator.
+// A drift alarm on a sender covered by an open incident escalates it
+// to critical (the profile itself is moving — whatever the alarms
+// are, they will get worse); and once the same SA is drifting on ≥
+// CorrelateBuses buses the covering incident is tagged Environmental:
+// the fleet-wide pattern points at temperature or supply shift rather
+// than a compromised node, which changes the response.
+func (b *BusStream) ObserveDrift(sa uint8, state string, t float64) {
+	c := b.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(t)
+	if driftRank(state) == 0 {
+		delete(b.drifting, sa)
+		return
+	}
+	if driftRank(state) > driftRank(b.drifting[sa]) {
+		b.drifting[sa] = state
+	}
+	c.applyDriftLocked(b, sa, t)
+}
+
+// applyDriftLocked pushes the bus's current drift state for sa into
+// any open incident: evidence annotation, severity escalation, and
+// the fleet-wide environmental check. Also re-run from the alarm path
+// — a drift transition may arrive before the incident opens (both can
+// happen around the same frames), so every alarm re-checks, exactly
+// as quarantine degradation does.
+func (c *Correlator) applyDriftLocked(b *BusStream, sa uint8, t float64) {
+	state := b.drifting[sa]
+	if state == "" {
+		return
+	}
+	in := c.openFor(b.name, sa)
+	if in != nil {
+		if e := in.buses[b.name]; e != nil && driftRank(state) > driftRank(e.Drift) {
+			e.Drift = state
+		}
+		if state == "alarm" {
+			c.escalate(in, obs.SeverityCritical, t,
+				fmt.Sprintf("SA %#02x drift alarm on %s", sa, b.name))
+		}
+	}
+	drifting := 0
+	for _, ob := range c.buses {
+		if ob.drifting[sa] != "" {
+			drifting++
+		}
+	}
+	if drifting < c.cfg.CorrelateBuses {
+		return
+	}
+	// Mark every open incident covering the SA — the drifting bus need
+	// not be the one whose incident is open.
+	mark := func(in *Incident) {
+		if in == nil || in.Environmental {
+			return
+		}
+		in.Environmental = true
+		in.Updates++
+		c.emit(obs.Event{
+			TimeSec: t, Kind: obs.EventIncidentUpdate,
+			Severity: in.Severity, SA: obs.U8(sa),
+			Incident: in.ID, Scope: in.Scope,
+			Detail: fmt.Sprintf(
+				"SA %#02x drifting on %d buses: consistent with environmental shift, not attack",
+				sa, drifting),
+		})
+	}
+	mark(c.open[fleetKey(sa)])
+	for name := range c.buses {
+		mark(c.open[busKey(name, sa)])
 	}
 }
 
@@ -284,6 +361,11 @@ func (c *Correlator) observeAlarm(b *BusStream, ev Evidence) {
 			c.escalate(in, obs.SeverityCritical, ev.T,
 				fmt.Sprintf("SA %#02x degraded on %s", ev.SA, b.name))
 		}
+	}
+	if b.drifting[ev.SA] != "" {
+		// Same re-check for drift: the detector may have flagged the
+		// SA before any incident existed to annotate.
+		c.applyDriftLocked(b, ev.SA, ev.T)
 	}
 
 	if math.Float64frombits(c.sweepAt.Load()) <= c.now {

@@ -116,6 +116,11 @@ type BusEvidence struct {
 	// Quarantine is the worst quarantine state an involved SA reached
 	// on this bus while the incident was open ("" if none).
 	Quarantine string `json:"quarantine,omitempty"`
+	// Drift is the worst drift-detector state the SA reached on this
+	// bus while the incident was open ("" if none, else "warn" or
+	// "alarm") — a drifting profile behind the alarms changes how an
+	// operator reads them.
+	Drift string `json:"drift,omitempty"`
 	// Bundles lists the flight-recorder bundles frozen on this bus
 	// while the incident was open (bundle directory names).
 	Bundles []string `json:"bundles,omitempty"`
@@ -147,6 +152,12 @@ type Incident struct {
 	// Updates counts lifecycle changes after open (escalations, buses
 	// joining, bundle links).
 	Updates int `json:"updates"`
+	// Environmental is set when the incident's SA is drifting on ≥
+	// CorrelateBuses buses at once: the same sender's voltage profile
+	// moving fleet-wide is evidence for an environmental shift
+	// (temperature, supply) rather than a per-vehicle attack, and the
+	// incident is tagged so responders triage it differently.
+	Environmental bool `json:"environmental,omitempty"`
 
 	buses map[string]*BusEvidence
 }
@@ -192,6 +203,19 @@ func (s Snapshot) BusNames() []string {
 		out[i] = e.Bus
 	}
 	return out
+}
+
+// driftRank orders drift-detector states for worst-state-wins
+// evidence annotation.
+func driftRank(s string) int {
+	switch s {
+	case "alarm":
+		return 2
+	case "warn":
+		return 1
+	default:
+		return 0
+	}
 }
 
 // severityRank orders severities for escalate-only updates.

@@ -450,3 +450,114 @@ func TestConcurrentScrapes(t *testing.T) {
 		}
 	}
 }
+
+func TestObserveDriftEscalatesOpenIncident(t *testing.T) {
+	var events []obs.Event
+	c := incident.New(incident.Config{
+		Emit: func(e obs.Event) { events = append(events, e) },
+	})
+	b := c.Bus("bus0")
+
+	b.Observe(alarm(0x31, 1.0))
+	b.Observe(alarm(0x31, 1.1))
+	open, _ := c.Incidents()
+	if len(open) != 1 || open[0].Severity != obs.SeverityWarning {
+		t.Fatalf("setup: open=%d severity=%v", len(open), open)
+	}
+
+	// A drift warn annotates the evidence but does not escalate.
+	b.ObserveDrift(0x31, "warn", 1.2)
+	open, _ = c.Incidents()
+	if open[0].Severity != obs.SeverityWarning {
+		t.Fatalf("drift warn escalated: %v", open[0].Severity)
+	}
+	if open[0].BusEvidence[0].Drift != "warn" {
+		t.Fatalf("evidence drift = %q, want warn", open[0].BusEvidence[0].Drift)
+	}
+
+	// A drift alarm escalates to critical.
+	b.ObserveDrift(0x31, "alarm", 1.3)
+	open, _ = c.Incidents()
+	if open[0].Severity != obs.SeverityCritical {
+		t.Fatalf("drift alarm did not escalate: %v", open[0].Severity)
+	}
+	if open[0].BusEvidence[0].Drift != "alarm" {
+		t.Fatalf("evidence drift = %q, want alarm", open[0].BusEvidence[0].Drift)
+	}
+	var sawEscalation bool
+	for _, e := range events {
+		if e.Kind == obs.EventIncidentUpdate && strings.Contains(e.Detail, "drift alarm") {
+			sawEscalation = true
+		}
+	}
+	if !sawEscalation {
+		t.Fatal("no drift-alarm escalation update event")
+	}
+}
+
+func TestObserveDriftBeforeIncidentRechecksOnAlarm(t *testing.T) {
+	c := incident.New(incident.Config{})
+	b := c.Bus("bus0")
+
+	// Drift transition arrives before any incident exists.
+	b.ObserveDrift(0x31, "alarm", 0.5)
+	open, _ := c.Incidents()
+	if len(open) != 0 {
+		t.Fatalf("drift alone opened an incident: %v", open)
+	}
+
+	// The first alarms open an incident; the alarm-path re-check must
+	// pick the standing drift state up.
+	b.Observe(alarm(0x31, 1.0))
+	open, _ = c.Incidents()
+	if len(open) != 1 {
+		t.Fatalf("open = %d, want 1", len(open))
+	}
+	if open[0].Severity != obs.SeverityCritical {
+		t.Fatalf("severity = %v, want critical from standing drift alarm", open[0].Severity)
+	}
+	if open[0].BusEvidence[0].Drift != "alarm" {
+		t.Fatalf("evidence drift = %q, want alarm", open[0].BusEvidence[0].Drift)
+	}
+}
+
+func TestFleetWideDriftMarksEnvironmental(t *testing.T) {
+	var events []obs.Event
+	c := incident.New(incident.Config{
+		CorrelateBuses: 2,
+		Emit:           func(e obs.Event) { events = append(events, e) },
+	})
+	b0, b1 := c.Bus("bus0"), c.Bus("bus1")
+
+	b0.Observe(alarm(0x31, 1.0))
+	b0.ObserveDrift(0x31, "warn", 1.1)
+	open, _ := c.Incidents()
+	if open[0].Environmental {
+		t.Fatal("single-bus drift marked environmental")
+	}
+
+	// Same SA starts drifting on a second bus: environmental evidence.
+	b1.ObserveDrift(0x31, "warn", 1.5)
+	open, _ = c.Incidents()
+	if !open[0].Environmental {
+		t.Fatal("fleet-wide drift did not mark the incident environmental")
+	}
+	var sawEnv bool
+	for _, e := range events {
+		if e.Kind == obs.EventIncidentUpdate && strings.Contains(e.Detail, "environmental") {
+			sawEnv = true
+		}
+	}
+	if !sawEnv {
+		t.Fatal("no environmental update event emitted")
+	}
+
+	// Drift clearing (model swap resets detectors) removes the SA from
+	// the bus's drifting set without reopening anything.
+	b0.ObserveDrift(0x31, "ok", 2.0)
+	b1.ObserveDrift(0x31, "ok", 2.0)
+	open, _ = c.Incidents()
+	if len(open) != 1 || !open[0].Environmental {
+		t.Fatalf("clearing drift rewrote incident state: %v", open)
+	}
+}

@@ -104,6 +104,60 @@ func (h *Histogram) Bounds() []float64 {
 	return out
 }
 
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) from the bucket
+// counts, interpolating linearly within the bucket the target rank
+// falls in. The first bucket interpolates from 0 (all tracked
+// histograms observe non-negative values); ranks landing in the
+// overflow (+Inf) bucket return the last finite bound — the estimate
+// is a floor there, which is the honest answer a fixed-bucket
+// histogram can give. Returns 0 on an empty histogram, and clamps p
+// outside [0,1].
+func (h *Histogram) Quantile(p float64) float64 {
+	counts := h.BucketCounts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(counts)-1 {
+			if i == len(counts)-1 {
+				// Overflow bucket: no upper bound to interpolate to.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			f := (rank - cum) / float64(c)
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			return lo + f*(hi-lo)
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // BucketCounts returns the per-bucket (non-cumulative) counts; the
 // final element is the overflow (+Inf) bucket.
 func (h *Histogram) BucketCounts() []int64 {

@@ -54,6 +54,77 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("dist", "distance", []float64{1, 2, 4, 8})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// 10 observations uniform in (1,2]: every rank interpolates inside
+	// that one bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("single-bucket median = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("single-bucket p100 = %v, want 2 (bucket upper bound)", got)
+	}
+	if got := h.Quantile(0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("single-bucket p0 = %v, want 1 (bucket lower bound)", got)
+	}
+
+	// Spread across buckets: 10 in (0,1], 10 in (1,2], 10 in (2,4].
+	h2 := reg.Histogram("dist2", "distance", []float64{1, 2, 4, 8})
+	for i := 0; i < 10; i++ {
+		h2.Observe(0.5)
+		h2.Observe(1.5)
+		h2.Observe(3)
+	}
+	// p50 → rank 15 of 30 → end of the second bucket's first half...
+	// rank 15 falls exactly at the second bucket's halfway: 1.5.
+	if got := h2.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 1.5", got)
+	}
+	// p90 → rank 27 → 7/10 through the (2,4] bucket → 3.4.
+	if got := h2.Quantile(0.9); math.Abs(got-3.4) > 1e-9 {
+		t.Errorf("p90 = %v, want 3.4", got)
+	}
+	// First bucket interpolates from 0.
+	if got := h2.Quantile(0.1); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("p10 = %v, want 0.3", got)
+	}
+	// Quantiles are monotone in p.
+	prev := -1.0
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := h2.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone at p=%.2f: %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+
+	// Overflow ranks clamp to the last finite bound.
+	h3 := reg.Histogram("dist3", "distance", []float64{1, 2})
+	for i := 0; i < 4; i++ {
+		h3.Observe(100)
+	}
+	if got := h3.Quantile(0.5); got != 2 {
+		t.Errorf("overflow quantile = %v, want last bound 2", got)
+	}
+
+	// Out-of-range p clamps instead of panicking.
+	if got := h2.Quantile(-1); got != h2.Quantile(0) {
+		t.Errorf("p=-1 = %v, want clamp to p=0 (%v)", got, h2.Quantile(0))
+	}
+	if got := h2.Quantile(2); got != h2.Quantile(1) {
+		t.Errorf("p=2 = %v, want clamp to p=1 (%v)", got, h2.Quantile(1))
+	}
+}
+
 func TestCounterVec(t *testing.T) {
 	reg := obs.NewRegistry()
 	v := reg.CounterVec("sa_frames_total", "frames by source", "sa")
