@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 45s
 
-.PHONY: build test vet race check lint fuzz bench-replay bench bench-gate bench-go
+.PHONY: build test vet race check lint fuzz bench-replay bench bench-gate bench-go arena arena-gate
 
 build:
 	$(GO) build ./...
@@ -63,3 +63,22 @@ bench-gate:
 
 bench-go:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# arena regenerates the committed detection baseline: every scenario
+# of the attack-corpus registry (hijack, foreign, flood, suspension,
+# the adaptive mimic/collusion/poison adversaries) replayed through
+# the composite detector and the related-work baseline classifiers,
+# with per-cell TPR/FPR written to DETECT_arena.json. Run it — and
+# commit the result — whenever a detector or the corpus deliberately
+# changes behaviour.
+arena:
+	$(GO) run ./cmd/vprofile arena -json DETECT_arena.json
+
+# arena-gate regenerates the matrix into a scratch file and fails when
+# any detector's TPR dropped more than 2 percentage points — or FPR
+# rose more than 1 — on any scenario against the committed baseline:
+# the detection-quality gate CI runs on every PR.
+arena-gate:
+	$(GO) run ./cmd/vprofile arena -json /tmp/arena-candidate.json
+	$(GO) run ./cmd/benchgate detect -baseline DETECT_arena.json \
+		-candidate /tmp/arena-candidate.json -max-tpr-drop 2 -max-fpr-rise 1

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// detectReport mirrors the subset of the DETECT_arena.json schema the
+// detection gate needs; unknown fields (latency, metadata) pass
+// through untouched so vprofile arena can grow columns freely.
+type detectReport struct {
+	Version       int         `json:"version"`
+	CorpusVersion int         `json:"corpus_version"`
+	Rows          []detectRow `json:"rows"`
+}
+
+type detectRow struct {
+	Detector     string  `json:"detector"`
+	Scenario     string  `json:"scenario"`
+	AttackFrames int     `json:"attack_frames"`
+	TPR          float64 `json:"tpr"`
+	FPR          float64 `json:"fpr"`
+}
+
+// detectMain is the `benchgate detect` subcommand: the
+// detection-quality analogue of the throughput gate. It diffs a fresh
+// arena report against the committed baseline per (detector,
+// scenario) cell and fails when any detector's TPR dropped — or FPR
+// rose — beyond the tolerance, in percentage points.
+//
+// Unlike the throughput gate there is no median smoothing: detection
+// rates on a seeded corpus are bit-deterministic, so any movement is
+// a real behaviour change, and a regression confined to one scenario
+// (say, only mimic-high) is exactly what the gate exists to catch.
+// The tolerances exist for deliberate small trade-offs, not noise.
+func detectMain(args []string) {
+	fs := flag.NewFlagSet("benchgate detect", flag.ExitOnError)
+	baseline := fs.String("baseline", "DETECT_arena.json", "committed baseline arena report")
+	candidate := fs.String("candidate", "", "freshly generated arena report to gate")
+	maxTPRDrop := fs.Float64("max-tpr-drop", 2, "maximum tolerated TPR drop per cell, percentage points")
+	maxFPRRise := fs.Float64("max-fpr-rise", 1, "maximum tolerated FPR rise per cell, percentage points")
+	fs.Parse(args)
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchgate detect: -candidate is required")
+		os.Exit(2)
+	}
+	if err := detectGate(*baseline, *candidate, *maxTPRDrop, *maxFPRRise); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate detect:", err)
+		os.Exit(1)
+	}
+}
+
+func loadDetect(path string) (detectReport, error) {
+	var r detectReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Rows) == 0 {
+		return r, fmt.Errorf("%s: no rows", path)
+	}
+	return r, nil
+}
+
+func detectGate(basePath, candPath string, maxTPRDrop, maxFPRRise float64) error {
+	base, err := loadDetect(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := loadDetect(candPath)
+	if err != nil {
+		return err
+	}
+	if base.Version != cand.Version || base.CorpusVersion != cand.CorpusVersion {
+		return fmt.Errorf("report/corpus version mismatch (baseline v%d corpus v%d, candidate v%d corpus v%d) — regenerate the baseline with `make arena` and commit it",
+			base.Version, base.CorpusVersion, cand.Version, cand.CorpusVersion)
+	}
+
+	key := func(r detectRow) string { return r.Detector + " @ " + r.Scenario }
+	candBy := make(map[string]detectRow, len(cand.Rows))
+	for _, r := range cand.Rows {
+		candBy[key(r)] = r
+	}
+
+	type cell struct {
+		name             string
+		tprDrop, fprRise float64 // percentage points; positive = worse
+		tprGated         bool
+		bad              bool
+	}
+	cells := make([]cell, 0, len(base.Rows))
+	var missing []string
+	for _, b := range base.Rows {
+		c, ok := candBy[key(b)]
+		if !ok {
+			// A cell that vanished is a silent coverage regression — a
+			// detector or scenario dropped out of the arena — and must
+			// fail, not skip.
+			missing = append(missing, key(b))
+			continue
+		}
+		cl := cell{
+			name:    key(b),
+			tprDrop: 100 * (b.TPR - c.TPR),
+			fprRise: 100 * (c.FPR - b.FPR),
+			// Scenarios with no injected frames (clean, suspension) have
+			// no meaningful TPR; only their false-alarm rate is gated.
+			tprGated: b.AttackFrames > 0,
+		}
+		cl.bad = (cl.tprGated && cl.tprDrop > maxTPRDrop) || cl.fprRise > maxFPRRise
+		cells = append(cells, cl)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("%d baseline cells missing from %s (first: %s) — a detector or scenario dropped out of the arena", len(missing), candPath, missing[0])
+	}
+
+	// Worst first, so a failing log leads with the regression.
+	sort.Slice(cells, func(i, j int) bool {
+		wi, wj := cells[i].tprDrop+cells[i].fprRise, cells[j].tprDrop+cells[j].fprRise
+		return wi > wj
+	})
+	var failures int
+	for _, c := range cells {
+		mark := " "
+		if c.bad {
+			mark = "!"
+			failures++
+		}
+		tpr := fmt.Sprintf("%+6.2fpp", -c.tprDrop)
+		if !c.tprGated {
+			tpr = "   (n/a)"
+		}
+		fmt.Printf("%s %-36s tpr %s  fpr %+6.2fpp\n", mark, c.name, tpr, -c.fprRise)
+	}
+	fmt.Printf("benchgate detect: %d cells compared, %d over tolerance (tpr drop <= %.1fpp, fpr rise <= %.1fpp)\n",
+		len(cells), failures, maxTPRDrop, maxFPRRise)
+	if failures > 0 {
+		return fmt.Errorf("%d detection cells regressed beyond tolerance vs %s", failures, basePath)
+	}
+	return nil
+}

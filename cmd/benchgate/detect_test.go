@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArena(t *testing.T, name string, r detectReport) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func arena(rows ...detectRow) detectReport {
+	return detectReport{Version: 1, CorpusVersion: 1, Rows: rows}
+}
+
+func TestDetectGatePassesWithinTolerance(t *testing.T) {
+	base := writeArena(t, "base.json", arena(
+		detectRow{Detector: "composite", Scenario: "hijack", AttackFrames: 74, TPR: 1.0, FPR: 0.02},
+		detectRow{Detector: "SIMPLE", Scenario: "clean", AttackFrames: 0, TPR: 0, FPR: 0.005},
+	))
+	cand := writeArena(t, "cand.json", arena(
+		detectRow{Detector: "composite", Scenario: "hijack", AttackFrames: 74, TPR: 0.99, FPR: 0.025},
+		detectRow{Detector: "SIMPLE", Scenario: "clean", AttackFrames: 0, TPR: 0, FPR: 0.005},
+	))
+	if err := detectGate(base, cand, 2, 1); err != nil {
+		t.Fatalf("within-tolerance diff failed the gate: %v", err)
+	}
+}
+
+func TestDetectGateFailsOnTPRDrop(t *testing.T) {
+	base := writeArena(t, "base.json", arena(
+		detectRow{Detector: "composite", Scenario: "mimic-high", AttackFrames: 84, TPR: 1.0, FPR: 0.02},
+	))
+	cand := writeArena(t, "cand.json", arena(
+		detectRow{Detector: "composite", Scenario: "mimic-high", AttackFrames: 84, TPR: 0.90, FPR: 0.02},
+	))
+	err := detectGate(base, cand, 2, 1)
+	if err == nil {
+		t.Fatal("10pp TPR drop passed a 2pp gate")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDetectGateFailsOnFPRRise(t *testing.T) {
+	base := writeArena(t, "base.json", arena(
+		detectRow{Detector: "Viden", Scenario: "clean", AttackFrames: 0, TPR: 0, FPR: 0.005},
+	))
+	cand := writeArena(t, "cand.json", arena(
+		detectRow{Detector: "Viden", Scenario: "clean", AttackFrames: 0, TPR: 0, FPR: 0.05},
+	))
+	if err := detectGate(base, cand, 2, 1); err == nil {
+		t.Fatal("4.5pp FPR rise passed a 1pp gate")
+	}
+}
+
+// Scenarios without injected frames have no meaningful TPR: a
+// candidate scoring TPR 0 there must not trip the TPR gate.
+func TestDetectGateSkipsTPROnZeroAttackFrames(t *testing.T) {
+	base := writeArena(t, "base.json", arena(
+		detectRow{Detector: "composite", Scenario: "suspension", AttackFrames: 0, TPR: 1.0, FPR: 0.02},
+	))
+	cand := writeArena(t, "cand.json", arena(
+		detectRow{Detector: "composite", Scenario: "suspension", AttackFrames: 0, TPR: 0, FPR: 0.02},
+	))
+	if err := detectGate(base, cand, 2, 1); err != nil {
+		t.Fatalf("zero-attack-frames scenario gated on TPR: %v", err)
+	}
+}
+
+func TestDetectGateFailsOnMissingCell(t *testing.T) {
+	base := writeArena(t, "base.json", arena(
+		detectRow{Detector: "composite", Scenario: "hijack", AttackFrames: 74, TPR: 1.0, FPR: 0.02},
+		detectRow{Detector: "Scission-LR", Scenario: "hijack", AttackFrames: 74, TPR: 1.0, FPR: 0.005},
+	))
+	cand := writeArena(t, "cand.json", arena(
+		detectRow{Detector: "composite", Scenario: "hijack", AttackFrames: 74, TPR: 1.0, FPR: 0.02},
+	))
+	err := detectGate(base, cand, 2, 1)
+	if err == nil {
+		t.Fatal("dropped detector cell passed the gate")
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDetectGateRefusesVersionMismatch(t *testing.T) {
+	base := writeArena(t, "base.json", arena(
+		detectRow{Detector: "composite", Scenario: "hijack", AttackFrames: 74, TPR: 1.0, FPR: 0.02},
+	))
+	candReport := arena(
+		detectRow{Detector: "composite", Scenario: "hijack", AttackFrames: 74, TPR: 1.0, FPR: 0.02},
+	)
+	candReport.CorpusVersion = 2
+	cand := writeArena(t, "cand.json", candReport)
+	err := detectGate(base, cand, 2, 1)
+	if err == nil {
+		t.Fatal("corpus version mismatch passed the gate")
+	}
+	if !strings.Contains(err.Error(), "regenerate the baseline") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDetectGateImprovementAlwaysPasses(t *testing.T) {
+	base := writeArena(t, "base.json", arena(
+		detectRow{Detector: "VoltageIDS-SVM", Scenario: "poison", AttackFrames: 72, TPR: 0.52, FPR: 0.01},
+	))
+	cand := writeArena(t, "cand.json", arena(
+		detectRow{Detector: "VoltageIDS-SVM", Scenario: "poison", AttackFrames: 72, TPR: 0.95, FPR: 0.0},
+	))
+	if err := detectGate(base, cand, 0, 0); err != nil {
+		t.Fatalf("strict-tolerance gate failed on a pure improvement: %v", err)
+	}
+}

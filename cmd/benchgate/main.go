@@ -1,10 +1,13 @@
 // Command benchgate is the benchmark-regression gate: it compares a
 // freshly generated replaybench report against the committed baseline
 // (BENCH_pipeline.json) and fails when replay throughput regressed.
+// Its `detect` subcommand is the detection-quality analogue, diffing
+// vprofile arena reports (see detect.go).
 //
 // Usage:
 //
 //	benchgate -baseline BENCH_pipeline.json -candidate /tmp/bench.json [-max-drop 10]
+//	benchgate detect -baseline DETECT_arena.json -candidate /tmp/arena.json [-max-tpr-drop 2] [-max-fpr-rise 1]
 //
 // For every configuration present in both reports it computes the
 // throughput drop in percent (positive = candidate slower). The gate
@@ -57,6 +60,10 @@ type run struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "detect" {
+		detectMain(os.Args[2:])
+		return
+	}
 	baseline := flag.String("baseline", "BENCH_pipeline.json", "committed baseline report")
 	candidate := flag.String("candidate", "", "freshly generated report to gate")
 	maxDrop := flag.Float64("max-drop", 10, "maximum tolerated median throughput drop in percent")

@@ -9,6 +9,8 @@
 //	tracegen -vehicle a -n 1000 -foreign 4 -out attack.vptr
 //	tracegen -vehicle b -n 2000 -faults sag=0.4,glitch=0.2 -fault-seed 7 -out degraded.vptr
 //	tracegen -vehicle b -n 2000 -stream-faults flips=4,chops=2 -out mangled.vptr
+//	tracegen -vehicle a -n 2000 -seed 1 -scenario mimic-high -out mimic.vptr
+//	tracegen -list-scenarios
 //
 // -faults injects deterministic analog degradation (supply sag,
 // profile drift, ringing, ADC glitches, sample dropouts) into the
@@ -16,16 +18,28 @@
 // the finished capture at the byte level (bit flips, garbage runs,
 // chopped bytes, truncation) to exercise reader recovery. Both are
 // reproducible from their seeds.
+//
+// -scenario generates a labelled attack corpus entry instead of plain
+// traffic: the named scenario from the versioned registry in
+// internal/attack (clean, hijack, foreign, flood, suspension, the
+// adaptive mimic/collusion/poison adversaries, …) rendered at the
+// given seed, plus a ground-truth labels sidecar
+// (<out>.labels.json) recording which records the attacker injected.
+// Unknown -scenario, -faults or -stream-faults names are usage
+// errors: tracegen lists the known names and exits 2 before
+// generating anything.
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"vprofile/internal/analog"
+	"vprofile/internal/attack"
 	"vprofile/internal/faults"
 	"vprofile/internal/trace"
 	"vprofile/internal/vehicle"
@@ -46,12 +60,63 @@ func main() {
 		faultSpec   = flag.String("faults", "", "inject analog faults into the rendered traces, e.g. sag=0.4,glitch=0.2 or all=0.5 (kinds: sag, drift, ringing, glitch, dropout)")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
 		streamSpec  = flag.String("stream-faults", "", "corrupt the finished capture bytes, e.g. flips=4,garbage=2,chops=1,truncate (incompatible with -gzip)")
+		scenario    = flag.String("scenario", "", "generate a labelled attack-corpus scenario by name (see -list-scenarios); writes a <out>.labels.json ground-truth sidecar")
+		listScen    = flag.Bool("list-scenarios", false, "list the attack-corpus scenario registry and exit")
 	)
 	flag.Parse()
+
+	if *listScen {
+		fmt.Printf("attack corpus v%d scenarios:\n", attack.CorpusVersion)
+		for _, s := range attack.Scenarios() {
+			fmt.Printf("  %-12s %s\n", s.Name, s.Desc)
+		}
+		return
+	}
 
 	v, err := vehicleByName(*vehicleName)
 	if err != nil {
 		fatal(err)
+	}
+	if *scenario != "" {
+		spec, err := attack.ScenarioByName(*scenario)
+		if err != nil {
+			fatal(err) // unknown scenario: usage error, exits 2 with the listing
+		}
+		for flagName, set := range map[string]bool{
+			"-foreign":       *foreignECU >= 0,
+			"-faults":        *faultSpec != "",
+			"-stream-faults": *streamSpec != "",
+			"-gzip":          *gzipOut,
+			"-signals":       *signals,
+			"-diag":          *diag,
+			"-temp":          *temp != 0,
+			"-supply":        *supply != 0,
+		} {
+			if set {
+				usageFatal(fmt.Errorf("-scenario corpora are versioned and cannot compose with %s", flagName))
+			}
+		}
+		if *out == "" {
+			usageFatal(fmt.Errorf("-scenario needs -out (the ground-truth sidecar lands next to the capture)"))
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		labels, err := attack.WriteCorpus(f, v, spec, *n, *seed)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		sidecar := attack.SidecarPath(*out)
+		if err := attack.WriteLabels(sidecar, labels); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: scenario %q (corpus v%d) wrote %d records (%d injected) from %s; labels in %s\n",
+			spec.Name, attack.CorpusVersion, labels.Records, len(labels.Injected), v.Name, sidecar)
+		return
 	}
 	spec, err := faults.ParseSpec(*faultSpec)
 	if err != nil {
@@ -178,7 +243,18 @@ func vehicleByName(name string) (*vehicle.Vehicle, error) {
 	}
 }
 
+// fatal reports the error and exits: status 2 for usage errors (an
+// unknown scenario or fault name — the wrapped message lists the
+// known ones), status 1 otherwise.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	if errors.Is(err, attack.ErrUnknownScenario) || errors.Is(err, faults.ErrUnknownKind) {
+		os.Exit(2)
+	}
 	os.Exit(1)
+}
+
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(2)
 }

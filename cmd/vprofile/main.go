@@ -4,11 +4,12 @@
 // Usage:
 //
 //	vprofile train  -capture train.vptr -model model.vpm [-metric mahalanobis] [-margin 10]
-//	vprofile detect -capture test.vptr  -model model.vpm [-workers 8] [-metrics :9090] [-events run.jsonl] [-flight forensics/]
+//	vprofile detect -capture test.vptr  -model model.vpm [-labels test.labels.json] [-workers 8] [-metrics :9090] [-events run.jsonl] [-flight forensics/]
 //	vprofile fleet  -capture a.vptr,b.vptr -model model.vpm [-metrics :9090]
 //	vprofile update -capture new.vptr   -model model.vpm -out updated.vpm
 //	vprofile info   -model model.vpm
 //	vprofile faults -vehicle b -faults all -steps 6 -json sweep.json
+//	vprofile arena  -vehicle a -train 1600 -n 400 -json DETECT_arena.json
 //
 // detect and fleet expose the same session flag set as busmon
 // (internal/engine registers it for all three), including -recover,
@@ -49,6 +50,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "faults":
 		err = cmdFaults(os.Args[2:])
+	case "arena":
+		err = cmdArena(os.Args[2:])
 	default:
 		usage()
 	}
@@ -63,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vprofile {train|detect|fleet|update|info|faults} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: vprofile {train|detect|fleet|update|info|faults|arena} [flags]")
 	os.Exit(2)
 }
 
@@ -146,12 +149,20 @@ func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	fl := engine.RegisterFlags(fs)
 	verbose := fs.Bool("v", false, "print every anomalous message")
+	labelsPath := fs.String("labels", "", "ground-truth labels sidecar (tracegen -scenario); scores TPR/FPR against it")
 	fs.Parse(args)
 	if fl.Capture == "" {
 		return errors.New("detect: -capture is required")
 	}
 	if fl.Model == "" {
 		fl.Model = "model.vpm"
+	}
+	var board *engine.Scoreboard
+	if *labelsPath != "" {
+		var err error
+		if board, err = engine.LoadScoreboard(*labelsPath); err != nil {
+			return err
+		}
 	}
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "detect: "+format+"\n", args...)
@@ -167,6 +178,9 @@ func cmdDetect(args []string) error {
 	reasons := map[core.Reason]int{}
 	sum, err := s.Run(func(res engine.Result) error {
 		r := res.Result
+		if board != nil {
+			board.Observe(r.Index, r.Verdict)
+		}
 		if r.Verdict.ExtractErr != nil {
 			// A trace too mangled to preprocess is suspicious evidence,
 			// not a replay failure — count it and keep classifying.
@@ -208,6 +222,9 @@ func cmdDetect(args []string) error {
 	}
 	if sum.ModelSwaps > 0 {
 		fmt.Printf("model: %d hot swaps, final version %d\n", sum.ModelSwaps, sum.ModelVersion)
+	}
+	if board != nil {
+		fmt.Println(board)
 	}
 	return nil
 }

@@ -1,0 +1,59 @@
+// Adaptive adversaries: attackers that shape their analog output
+// toward a victim's profile instead of transmitting with their own
+// signature. Kneib et al. ("On the Robustness of Signal
+// Characteristic-Based Sender Identification") show that voltage
+// fingerprinting degrades gracefully-to-fatally as an attacker's
+// reproduction fidelity rises; MimicTransceiver is the knob that
+// makes that degradation measurable here.
+
+package attack
+
+import (
+	"fmt"
+
+	"vprofile/internal/analog"
+)
+
+// MimicTransceiver builds the hardware model of an adaptive attacker:
+// a compromised ECU whose analog front end is tuned toward a victim's
+// profile. fidelity interpolates every characterised parameter —
+// levels, edge time constants, ringing, noise — between the
+// attacker's own transceiver (0) and the victim's (1). Values outside
+// [0, 1] are clamped. The inputs are not mutated.
+//
+// Physically this models an attacker with an arbitrary-waveform
+// output stage and a recording of the victim's frames: the better its
+// DAC and its characterisation of the victim, the higher the
+// fidelity. Even at fidelity 1 the attack is only "near-perfect
+// mimicry" of the characterised parameters — per-frame noise and
+// jitter are still drawn fresh, exactly as they would be from real
+// silicon replaying a profile rather than a waveform.
+func MimicTransceiver(attacker, victim *analog.Transceiver, fidelity float64) *analog.Transceiver {
+	if fidelity < 0 {
+		fidelity = 0
+	}
+	if fidelity > 1 {
+		fidelity = 1
+	}
+	lerp := func(a, b float64) float64 { return a + (b-a)*fidelity }
+	out := *attacker
+	out.Name = fmt.Sprintf("%s/mimic(%s,%.2f)", attacker.Name, victim.Name, fidelity)
+	out.VDom = lerp(attacker.VDom, victim.VDom)
+	out.VRec = lerp(attacker.VRec, victim.VRec)
+	out.TauRise = lerp(attacker.TauRise, victim.TauRise)
+	out.TauFall = lerp(attacker.TauFall, victim.TauFall)
+	out.OvershootAmp = lerp(attacker.OvershootAmp, victim.OvershootAmp)
+	out.UndershootAmp = lerp(attacker.UndershootAmp, victim.UndershootAmp)
+	out.RingFreq = lerp(attacker.RingFreq, victim.RingFreq)
+	out.RingTau = lerp(attacker.RingTau, victim.RingTau)
+	out.NoiseSigma = lerp(attacker.NoiseSigma, victim.NoiseSigma)
+	out.EdgeJitterSigma = lerp(attacker.EdgeJitterSigma, victim.EdgeJitterSigma)
+	out.BurstProb = lerp(attacker.BurstProb, victim.BurstProb)
+	out.BurstScale = lerp(attacker.BurstScale, victim.BurstScale)
+	out.TempCoVDom = lerp(attacker.TempCoVDom, victim.TempCoVDom)
+	out.TempCoTau = lerp(attacker.TempCoTau, victim.TempCoTau)
+	out.SupplyCoVDom = lerp(attacker.SupplyCoVDom, victim.SupplyCoVDom)
+	out.NominalTempC = lerp(attacker.NominalTempC, victim.NominalTempC)
+	out.NominalSupplyV = lerp(attacker.NominalSupplyV, victim.NominalSupplyV)
+	return &out
+}

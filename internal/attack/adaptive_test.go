@@ -1,0 +1,195 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"vprofile/internal/vehicle"
+)
+
+func TestMimicTransceiverEndpoints(t *testing.T) {
+	v := vehicle.NewVehicleA()
+	atk, vic := v.ECUs[2].Transceiver, v.ECUs[1].Transceiver
+
+	at0 := MimicTransceiver(atk, vic, 0)
+	if at0.VDom != atk.VDom || at0.TauRise != atk.TauRise || at0.NoiseSigma != atk.NoiseSigma {
+		t.Fatalf("fidelity 0 is not the attacker's own hardware: %+v", at0)
+	}
+	at1 := MimicTransceiver(atk, vic, 1)
+	if at1.VDom != vic.VDom || at1.TauRise != vic.TauRise || at1.NoiseSigma != vic.NoiseSigma {
+		t.Fatalf("fidelity 1 is not the victim's profile: %+v", at1)
+	}
+	mid := MimicTransceiver(atk, vic, 0.5)
+	wantVDom := (atk.VDom + vic.VDom) / 2
+	if math.Abs(mid.VDom-wantVDom) > 1e-12 {
+		t.Fatalf("fidelity 0.5 VDom %g, want %g", mid.VDom, wantVDom)
+	}
+	// Clamping, not extrapolation, outside [0, 1].
+	if got := MimicTransceiver(atk, vic, 7).VDom; got != vic.VDom {
+		t.Fatalf("fidelity 7 VDom %g, want clamp to victim %g", got, vic.VDom)
+	}
+	// The inputs must not be mutated.
+	if atk.Name == mid.Name || atk.VDom != v.ECUs[2].Transceiver.VDom {
+		t.Fatal("MimicTransceiver mutated its input")
+	}
+	if err := mid.Validate(); err != nil {
+		t.Fatalf("interpolated transceiver invalid: %v", err)
+	}
+}
+
+// The distance between a mimic's rendered profile and the victim's
+// must shrink as fidelity rises — the analog premise behind the
+// TPR-vs-fidelity curve.
+func TestMimicFidelityApproachesVictimParameters(t *testing.T) {
+	v := vehicle.NewVehicleA()
+	atk, vic := v.ECUs[2].Transceiver, v.ECUs[1].Transceiver
+	prev := math.Inf(1)
+	for _, fid := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		m := MimicTransceiver(atk, vic, fid)
+		gap := math.Abs(m.VDom-vic.VDom) + 1e6*math.Abs(m.TauRise-vic.TauRise)
+		if gap > prev {
+			t.Fatalf("parameter gap grew at fidelity %g: %g > %g", fid, gap, prev)
+		}
+		prev = gap
+	}
+}
+
+func TestMimicScenarioInjectsUnderVictimAddress(t *testing.T) {
+	msgs := run(t, Scenario{Kind: Mimic, AttackerECU: 2, VictimECU: 1, Rate: 0.3, Fidelity: 0.5, NumMessages: 300, Seed: 7})
+	victimSAs := map[uint8]bool{}
+	for _, sa := range vehicle.NewVehicleA().ECUs[1].SAs() {
+		victimSAs[uint8(sa)] = true
+	}
+	injected := 0
+	for _, m := range msgs {
+		if !m.Injected {
+			continue
+		}
+		injected++
+		if m.ECUIndex != 2 {
+			t.Fatalf("mimic frame attributed to ECU %d, want the attacker (2)", m.ECUIndex)
+		}
+		if !victimSAs[uint8(m.Frame.SA())] {
+			t.Fatalf("mimic frame claims SA %#x, not the victim's", m.Frame.SA())
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no mimic injections")
+	}
+}
+
+func TestCollusionPreservesScheduleExactly(t *testing.T) {
+	clean := run(t, Scenario{Kind: None, VictimECU: 1, NumMessages: 250, Seed: 8})
+	coll := run(t, Scenario{Kind: Collusion, AttackerECU: 3, VictimECU: 1, NumMessages: 250, Seed: 8})
+	if len(coll) != len(clean) {
+		t.Fatalf("collusion changed the message count: %d vs %d", len(coll), len(clean))
+	}
+	swapped := 0
+	for i := range coll {
+		if coll[i].TimeSec != clean[i].TimeSec || coll[i].Frame.ID != clean[i].Frame.ID {
+			t.Fatalf("message %d schedule diverged", i)
+		}
+		if clean[i].ECUIndex == 1 {
+			if !coll[i].Injected {
+				t.Fatalf("victim slot %d not marked injected", i)
+			}
+			if coll[i].ECUIndex != 3 {
+				t.Fatalf("victim slot %d transmitted by ECU %d, want the colluder (3)", i, coll[i].ECUIndex)
+			}
+			swapped++
+		} else if coll[i].Injected {
+			t.Fatalf("non-victim slot %d marked injected", i)
+		}
+	}
+	if swapped == 0 {
+		t.Fatal("collusion swapped nothing")
+	}
+}
+
+func TestPoisonRampsTowardAttackerSignature(t *testing.T) {
+	v := vehicle.NewVehicleA()
+	msgs, err := Run(v, Scenario{Kind: Poison, AttackerECU: 2, VictimECU: 1, Rate: 0.3, Fidelity: 0.6, NumMessages: 400, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injected frames' dominant level must walk from the victim's
+	// toward the attacker's: compare the first and last injections'
+	// plateau means.
+	var first, last Message
+	seen := 0
+	for _, m := range msgs {
+		if m.Injected {
+			if seen == 0 {
+				first = m
+			}
+			last = m
+			seen++
+		}
+	}
+	if seen < 10 {
+		t.Fatalf("only %d poison injections", seen)
+	}
+	vicLevel := plateauMean(t, v, 1)
+	atkLevel := plateauMean(t, v, 2)
+	fm, lm := traceMax(first.Trace), traceMax(last.Trace)
+	if math.Abs(fm-vicLevel) > math.Abs(fm-atkLevel) && math.Abs(vicLevel-atkLevel) > 1e-3 {
+		t.Fatalf("first poison frame (peak %g) already closer to attacker (%g) than victim (%g)", fm, atkLevel, vicLevel)
+	}
+	if math.Abs(lm-vicLevel) < math.Abs(fm-vicLevel) {
+		t.Fatalf("poison ramp did not move away from the victim: first gap %g, last gap %g",
+			math.Abs(fm-vicLevel), math.Abs(lm-vicLevel))
+	}
+}
+
+// plateauMean renders one clean frame from the ECU and returns its
+// peak code as a crude dominant-level proxy.
+func plateauMean(t *testing.T, v *vehicle.Vehicle, ecu int) float64 {
+	t.Helper()
+	var peak float64
+	err := v.Stream(vehicle.GenConfig{NumMessages: 40, Seed: 77}, func(m vehicle.Message) error {
+		if m.ECUIndex == ecu {
+			if p := traceMax(m.Trace); p > peak {
+				peak = p
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak == 0 {
+		t.Fatalf("ECU %d sent nothing in 40 messages", ecu)
+	}
+	return peak
+}
+
+func traceMax(tr []float64) float64 {
+	var mx float64
+	for _, c := range tr {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	v := vehicle.NewVehicleA()
+	if _, err := Run(v, Scenario{Kind: Mimic, AttackerECU: 1, VictimECU: 1, NumMessages: 10}); err == nil {
+		t.Error("attacker == victim accepted")
+	}
+	if _, err := Run(v, Scenario{Kind: Mimic, AttackerECU: 2, VictimECU: 1, Fidelity: 1.5, NumMessages: 10}); err == nil {
+		t.Error("fidelity > 1 accepted")
+	}
+	if _, err := Run(v, Scenario{Kind: Collusion, AttackerECU: -1, VictimECU: 1, NumMessages: 10}); err == nil {
+		t.Error("out-of-range colluder accepted")
+	}
+}
+
+func TestAdaptiveKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Mimic: "mimic", Collusion: "collusion", Poison: "poison"} {
+		if k.String() != want {
+			t.Errorf("%d renders %q", k, k.String())
+		}
+	}
+}

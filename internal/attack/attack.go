@@ -38,6 +38,25 @@ const (
 	// Suspension silences one ECU entirely (e.g. after a bus-off
 	// attack); only timing monitors can see an absence.
 	Suspension
+	// Mimic is the adaptive adversary of Kneib et al.'s robustness
+	// analysis: a compromised ECU that shapes its analog output toward
+	// a victim's profile at a parameterised fidelity — 0 transmits with
+	// the attacker's own signature (a hijack), 1 with a near-perfect
+	// reproduction of the victim's.
+	Mimic
+	// Collusion is the two-ECU attack: one compromised ECU transmits
+	// the frames another compromised ECU would have sent, claiming the
+	// silenced ECU's identity. The victim's schedule is preserved
+	// exactly, so timing monitors see nothing; only the transmitting
+	// hardware's voltage betrays the swap.
+	Collusion
+	// Poison is the slow profile-poisoning attack against online model
+	// updates: injected frames start at near-perfect mimicry and drift
+	// toward the attacker's own signature across the capture, each
+	// frame nudged just inside the detection threshold so a naive
+	// online learner absorbs the attacker's profile into the victim's
+	// cluster.
+	Poison
 )
 
 // String names the kind.
@@ -53,6 +72,12 @@ func (k Kind) String() string {
 		return "flood"
 	case Suspension:
 		return "suspension"
+	case Mimic:
+		return "mimic"
+	case Collusion:
+		return "collusion"
+	case Poison:
+		return "poison"
 	default:
 		return fmt.Sprintf("attack(%d)", int(k))
 	}
@@ -68,16 +93,23 @@ type Message struct {
 // Scenario parameterises a run.
 type Scenario struct {
 	Kind Kind
-	// AttackerECU is the compromised node (Hijack, Flood) — its
-	// transceiver signs the injected frames.
+	// AttackerECU is the compromised node (Hijack, Flood, Mimic,
+	// Collusion, Poison) — its transceiver signs the injected frames.
 	AttackerECU int
-	// VictimECU is the impersonated (Hijack, Foreign, Flood) or
-	// silenced (Suspension) node.
+	// VictimECU is the impersonated (Hijack, Foreign, Flood, Mimic,
+	// Poison), silenced (Suspension) or colluding-silent (Collusion)
+	// node.
 	VictimECU int
 	// Rate is the injection probability per legitimate message
-	// (Hijack/Foreign, default 0.2) or the flood multiplier (Flood,
-	// default 4).
+	// (Hijack/Foreign/Mimic/Poison, default 0.2) or the flood
+	// multiplier (Flood, default 4).
 	Rate float64
+	// Fidelity tunes the adaptive adversary's analog accuracy in
+	// [0, 1]: how far the attacker shapes its output toward the
+	// victim's profile. Mimic transmits at exactly this fidelity;
+	// Poison ramps from near-perfect mimicry (1) down to Fidelity
+	// across the capture. Ignored by the other kinds.
+	Fidelity float64
 
 	NumMessages int
 	Seed        int64
@@ -93,8 +125,16 @@ func Run(v *vehicle.Vehicle, sc Scenario) ([]Message, error) {
 			return nil, fmt.Errorf("attack: victim ECU %d out of range", sc.VictimECU)
 		}
 	}
-	if (sc.Kind == Hijack || sc.Kind == Flood) && (sc.AttackerECU < 0 || sc.AttackerECU >= len(v.ECUs)) {
+	needsAttacker := sc.Kind == Hijack || sc.Kind == Flood ||
+		sc.Kind == Mimic || sc.Kind == Collusion || sc.Kind == Poison
+	if needsAttacker && (sc.AttackerECU < 0 || sc.AttackerECU >= len(v.ECUs)) {
 		return nil, fmt.Errorf("attack: attacker ECU %d out of range", sc.AttackerECU)
+	}
+	if needsAttacker && sc.AttackerECU == sc.VictimECU {
+		return nil, fmt.Errorf("attack: attacker and victim are both ECU %d", sc.AttackerECU)
+	}
+	if sc.Fidelity < 0 || sc.Fidelity > 1 {
+		return nil, fmt.Errorf("attack: fidelity %g outside [0, 1]", sc.Fidelity)
 	}
 	rate := sc.Rate
 	if rate <= 0 {
@@ -111,11 +151,27 @@ func Run(v *vehicle.Vehicle, sc Scenario) ([]Message, error) {
 	}
 
 	var out []Message
+	seen := 0
 	err := v.Stream(vehicle.GenConfig{NumMessages: sc.NumMessages, Seed: sc.Seed}, func(m vehicle.Message) error {
+		seen++
 		switch sc.Kind {
 		case Suspension:
 			if m.ECUIndex == sc.VictimECU {
 				return nil // the victim is silent; drop its traffic
+			}
+			out = append(out, Message{Message: m})
+			return nil
+		case Collusion:
+			if m.ECUIndex == sc.VictimECU {
+				// The colluding attacker transmits this very frame in the
+				// victim's slot — identical ID, payload and schedule, the
+				// attacker's transceiver. The victim stays silent.
+				swapped, err := colludeFrame(v, sc, m, rng, synthCfg)
+				if err != nil {
+					return err
+				}
+				out = append(out, *swapped)
+				return nil
 			}
 			out = append(out, Message{Message: m})
 			return nil
@@ -127,7 +183,7 @@ func Run(v *vehicle.Vehicle, sc Scenario) ([]Message, error) {
 
 		inject := 0
 		switch sc.Kind {
-		case Hijack, Foreign:
+		case Hijack, Foreign, Mimic, Poison:
 			if rng.Float64() < rate {
 				inject = 1
 			}
@@ -138,7 +194,7 @@ func Run(v *vehicle.Vehicle, sc Scenario) ([]Message, error) {
 			}
 		}
 		for i := 0; i < inject; i++ {
-			forged, err := forgeFrame(v, sc, m, rng, synthCfg)
+			forged, err := forgeFrame(v, sc, m, rng, synthCfg, poisonProgress(sc, seen))
 			if err != nil {
 				return err
 			}
@@ -159,18 +215,25 @@ func Run(v *vehicle.Vehicle, sc Scenario) ([]Message, error) {
 	return out, nil
 }
 
-// forgeFrame renders one injected frame under the victim's identity.
-func forgeFrame(v *vehicle.Vehicle, sc Scenario, trigger vehicle.Message, rng *rand.Rand, synthCfg analog.SynthConfig) (*Message, error) {
-	victim := v.ECUs[sc.VictimECU]
-	spec := victim.Messages[rng.Intn(len(victim.Messages))]
-	data := make([]byte, spec.DataLen)
-	rng.Read(data)
-	frame, err := canbus.NewJ1939Frame(spec.ID, data)
-	if err != nil {
-		return nil, err
+// poisonProgress returns how far through the capture the stream is,
+// in [0, 1] — the ramp axis of the Poison fidelity schedule. Other
+// kinds ignore it.
+func poisonProgress(sc Scenario, seen int) float64 {
+	if sc.NumMessages <= 1 {
+		return 1
 	}
-	var tx *analog.Transceiver
-	var ecuIdx int
+	p := float64(seen-1) / float64(sc.NumMessages-1)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// attackerHardware selects the transceiver an injected frame is
+// rendered with, and the ground-truth ECU index it carries. progress
+// feeds the Poison ramp.
+func attackerHardware(v *vehicle.Vehicle, sc Scenario, progress float64) (*analog.Transceiver, int) {
+	victim := v.ECUs[sc.VictimECU]
 	switch sc.Kind {
 	case Foreign:
 		// The scenario models a typical attacker: a COTS node tuned to
@@ -179,12 +242,32 @@ func forgeFrame(v *vehicle.Vehicle, sc Scenario, trigger vehicle.Message, rng *r
 		clone := vehicle.ForeignDevice(victim.Transceiver)
 		clone.VDom += 0.04
 		clone.TauRise *= 1.05
-		tx = clone
-		ecuIdx = -1
+		return clone, -1
+	case Mimic:
+		return MimicTransceiver(v.ECUs[sc.AttackerECU].Transceiver, victim.Transceiver, sc.Fidelity), sc.AttackerECU
+	case Poison:
+		// The poisoner starts indistinguishable from the victim and
+		// walks its profile toward its own signature, each step small
+		// enough to stay inside the threshold an online updater keeps
+		// widening around it.
+		fid := 1 - (1-sc.Fidelity)*progress
+		return MimicTransceiver(v.ECUs[sc.AttackerECU].Transceiver, victim.Transceiver, fid), sc.AttackerECU
 	default:
-		tx = v.ECUs[sc.AttackerECU].Transceiver
-		ecuIdx = sc.AttackerECU
+		return v.ECUs[sc.AttackerECU].Transceiver, sc.AttackerECU
 	}
+}
+
+// forgeFrame renders one injected frame under the victim's identity.
+func forgeFrame(v *vehicle.Vehicle, sc Scenario, trigger vehicle.Message, rng *rand.Rand, synthCfg analog.SynthConfig, progress float64) (*Message, error) {
+	victim := v.ECUs[sc.VictimECU]
+	spec := victim.Messages[rng.Intn(len(victim.Messages))]
+	data := make([]byte, spec.DataLen)
+	rng.Read(data)
+	frame, err := canbus.NewJ1939Frame(spec.ID, data)
+	if err != nil {
+		return nil, err
+	}
+	tx, ecuIdx := attackerHardware(v, sc, progress)
 	trace, err := analog.SynthesizeFrame(tx, frame, synthCfg, tx.NominalEnvironment(), rng)
 	if err != nil {
 		return nil, err
@@ -194,6 +277,26 @@ func forgeFrame(v *vehicle.Vehicle, sc Scenario, trigger vehicle.Message, rng *r
 			ECUIndex: ecuIdx,
 			TimeSec:  trigger.TimeSec + 0.0006,
 			Frame:    frame,
+			Trace:    trace,
+		},
+		Injected: true,
+	}, nil
+}
+
+// colludeFrame re-renders a victim's frame through the colluding
+// attacker's transceiver: same ID, payload and nominal transmission
+// time, different silicon on the bus.
+func colludeFrame(v *vehicle.Vehicle, sc Scenario, m vehicle.Message, rng *rand.Rand, synthCfg analog.SynthConfig) (*Message, error) {
+	tx := v.ECUs[sc.AttackerECU].Transceiver
+	trace, err := analog.SynthesizeFrame(tx, m.Frame, synthCfg, tx.NominalEnvironment(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Message{
+		Message: vehicle.Message{
+			ECUIndex: sc.AttackerECU,
+			TimeSec:  m.TimeSec,
+			Frame:    m.Frame,
 			Trace:    trace,
 		},
 		Injected: true,

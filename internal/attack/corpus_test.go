@@ -1,0 +1,190 @@
+package attack
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vprofile/internal/canbus"
+	"vprofile/internal/trace"
+	"vprofile/internal/vehicle"
+)
+
+func TestScenarioRegistry(t *testing.T) {
+	specs := Scenarios()
+	if len(specs) < 6 {
+		t.Fatalf("registry has %d scenarios, want >= 6", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Name == "" || s.Desc == "" {
+			t.Fatalf("scenario %+v missing name or description", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if _, err := ScenarioByName(s.Name); err != nil {
+			t.Fatalf("registered scenario %q does not resolve: %v", s.Name, err)
+		}
+		// Every spec must be valid on every simulated vehicle (the
+		// smallest roster bounds the usable ECU indices).
+		for _, v := range []*vehicle.Vehicle{vehicle.NewVehicleA(), vehicle.NewVehicleB()} {
+			if _, err := GenerateScenario(v, s, 30, 1); err != nil {
+				t.Fatalf("scenario %q fails on %s: %v", s.Name, v.Name, err)
+			}
+		}
+	}
+	// The adaptive adversaries and the legacy kinds must all be
+	// represented.
+	for _, want := range []string{"clean", "hijack", "foreign", "mimic-high", "collusion", "poison"} {
+		if !seen[want] {
+			t.Fatalf("registry missing %q", want)
+		}
+	}
+}
+
+func TestScenarioByNameUnknownListsKnownNames(t *testing.T) {
+	_, err := ScenarioByName("no-such-thing")
+	if !errors.Is(err, ErrUnknownScenario) {
+		t.Fatalf("unknown scenario error %v, want ErrUnknownScenario", err)
+	}
+	for _, name := range ScenarioNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list scenario %q", err, name)
+		}
+	}
+}
+
+func TestEffectiveSeedStablePerName(t *testing.T) {
+	a, _ := ScenarioByName("hijack")
+	b, _ := ScenarioByName("mimic-high")
+	if a.EffectiveSeed(1) == b.EffectiveSeed(1) {
+		t.Fatal("distinct scenarios share an effective seed")
+	}
+	if a.EffectiveSeed(1) == a.EffectiveSeed(2) {
+		t.Fatal("base seed does not move the effective seed")
+	}
+	if a.EffectiveSeed(1) != a.EffectiveSeed(1) {
+		t.Fatal("effective seed not deterministic")
+	}
+}
+
+// The repeatability contract: a (scenario, n, seed) triple reproduces
+// a bit-identical capture and labels file, run to run.
+func TestCorpusDeterminism(t *testing.T) {
+	v := vehicle.NewVehicleA()
+	spec, err := ScenarioByName("mimic-mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf1, buf2 bytes.Buffer
+	l1, err := WriteCorpus(&buf1, v, spec, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := WriteCorpus(&buf2, v, spec, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("two runs of the same (scenario, n, seed) produced different capture bytes")
+	}
+	j1, _ := json.Marshal(l1)
+	j2, _ := json.Marshal(l2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("labels diverged:\n%s\n%s", j1, j2)
+	}
+	// A different seed must actually change the corpus.
+	var buf3 bytes.Buffer
+	if _, err := WriteCorpus(&buf3, v, spec, 200, 43); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf1.Bytes(), buf3.Bytes()) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusLabelsMatchCapture(t *testing.T) {
+	v := vehicle.NewVehicleB()
+	spec, err := ScenarioByName("hijack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	labels, err := WriteCorpus(&buf, v, spec, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.Version != CorpusVersion || labels.Scenario != "hijack" || labels.Kind != "hijack" {
+		t.Fatalf("labels header wrong: %+v", labels)
+	}
+	_, recs, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != labels.Records {
+		t.Fatalf("capture has %d records, labels claim %d", len(recs), labels.Records)
+	}
+	if len(labels.Injected) == 0 {
+		t.Fatal("hijack corpus has no injected frames")
+	}
+	// Injected indices must point at frames the attacker transmitted
+	// (ground-truth ECU differs from the claimed SA's owner).
+	saMap := v.SAMap()
+	mask := labels.InjectedMask()
+	for i, rec := range recs {
+		frame := &canbus.ExtendedFrame{ID: rec.FrameID, Data: rec.Data}
+		owner := saMap[frame.SA()]
+		if mask[i] && int(rec.ECUIndex) == owner {
+			t.Fatalf("record %d labelled injected but sent by the SA's owner", i)
+		}
+		if !mask[i] && int(rec.ECUIndex) != owner {
+			t.Fatalf("record %d sent by ECU %d claiming ECU %d's SA, but not labelled", i, rec.ECUIndex, owner)
+		}
+	}
+}
+
+func TestSidecarPath(t *testing.T) {
+	for in, want := range map[string]string{
+		"corpus/hijack.vptr":    "corpus/hijack.labels.json",
+		"corpus/hijack.vptr.gz": "corpus/hijack.labels.json",
+		"weird.bin":             "weird.bin.labels.json",
+	} {
+		if got := SidecarPath(in); got != filepath.FromSlash(want) {
+			t.Errorf("SidecarPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.labels.json")
+	in := &Labels{Version: CorpusVersion, Scenario: "poison", Kind: "poison", Vehicle: "A", Seed: 5, Fidelity: 0.7, Records: 10, Injected: []int{1, 4, 9}}
+	if err := WriteLabels(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadLabels(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Scenario != in.Scenario || out.Records != in.Records || len(out.Injected) != 3 || out.Fidelity != 0.7 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	mask := out.InjectedMask()
+	if !mask[1] || !mask[4] || !mask[9] || mask[0] {
+		t.Fatalf("mask wrong: %v", mask)
+	}
+	// Out-of-range indices must be rejected on load.
+	bad := &Labels{Version: 1, Records: 3, Injected: []int{5}}
+	badPath := filepath.Join(dir, "bad.labels.json")
+	if err := WriteLabels(badPath, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLabels(badPath); err == nil {
+		t.Fatal("out-of-range injected index accepted")
+	}
+}

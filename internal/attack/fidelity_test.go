@@ -1,0 +1,116 @@
+package attack_test
+
+import (
+	"testing"
+
+	"vprofile/internal/attack"
+	"vprofile/internal/core"
+	"vprofile/internal/edgeset"
+	"vprofile/internal/ids"
+	"vprofile/internal/vehicle"
+)
+
+// trainArenaModel fits the paper's Mahalanobis model on clean vehicle-A
+// traffic, the same way the arena and the CLIs do.
+func trainArenaModel(t *testing.T, v *vehicle.Vehicle, n int, seed int64) *core.Model {
+	t.Helper()
+	cfg := v.ExtractionConfig()
+	var samples []core.Sample
+	err := v.Stream(vehicle.GenConfig{NumMessages: n, Seed: seed}, func(m vehicle.Message) error {
+		res, err := edgeset.Extract(m.Trace, cfg)
+		if err != nil {
+			return err
+		}
+		samples = append(samples, core.Sample{SA: res.SA, Set: res.Set})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Train(samples, core.TrainConfig{Metric: core.Mahalanobis, SAMap: v.SAMap()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// The Kneib robustness result, reproduced: as an adaptive attacker's
+// profile fidelity approaches 1, the voltage layer's true-positive
+// rate must fall — monotonically (within slack) along the fidelity
+// axis, and collapse at near-perfect mimicry. The Mahalanobis
+// detector is sharp: the transition band sits around fidelity 0.98,
+// so the axis includes a point inside it. Composite TPR must be
+// non-increasing too — sporadic injections do not repeat any frame ID
+// fast enough for the period monitor, so at perfect fidelity the
+// composite inherits the voltage layer's blind spot (the registry's
+// mimic-perfect scenario records exactly this in the arena baseline).
+func TestMimicFidelityTPRMonotone(t *testing.T) {
+	v := vehicle.NewVehicleA()
+	cfg := v.ExtractionConfig()
+	model := trainArenaModel(t, v, 1200, 5)
+	fidelities := []float64{0, 0.6, 0.9, 0.98, 1}
+	const slack = 0.05 // detection noise between adjacent fidelities
+
+	voltTPR := make([]float64, 0, len(fidelities))
+	compTPR := make([]float64, 0, len(fidelities))
+	for _, fid := range fidelities {
+		msgs, err := attack.Run(v, attack.Scenario{
+			Kind: attack.Mimic, AttackerECU: 2, VictimECU: 1,
+			Rate: 0.25, Fidelity: fid, NumMessages: 400, Seed: 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon, err := ids.NewComposite(model, ids.CompositeConfig{Extraction: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		voltCaught, compCaught, injected := 0, 0, 0
+		for _, m := range msgs {
+			verdict := mon.Process(m.Frame, m.Trace, m.TimeSec)
+			if !m.Injected {
+				continue
+			}
+			injected++
+			if verdict.ExtractErr != nil || verdict.Voltage.Anomaly {
+				voltCaught++
+			}
+			if verdict.Alarm() {
+				compCaught++
+			}
+		}
+		if injected < 50 {
+			t.Fatalf("fidelity %g: only %d injections", fid, injected)
+		}
+		voltTPR = append(voltTPR, float64(voltCaught)/float64(injected))
+		compTPR = append(compTPR, float64(compCaught)/float64(injected))
+	}
+	t.Logf("fidelities %v\nvoltage TPR   %v\ncomposite TPR %v", fidelities, voltTPR, compTPR)
+
+	for i := 1; i < len(fidelities); i++ {
+		if voltTPR[i] > voltTPR[i-1]+slack {
+			t.Errorf("voltage TPR rose with fidelity: %.3f at %g -> %.3f at %g",
+				voltTPR[i-1], fidelities[i-1], voltTPR[i], fidelities[i])
+		}
+		if compTPR[i] > compTPR[i-1]+slack {
+			t.Errorf("composite TPR rose with fidelity: %.3f at %g -> %.3f at %g",
+				compTPR[i-1], fidelities[i-1], compTPR[i], fidelities[i])
+		}
+	}
+	// The fidelity axis must actually bite the voltage layer: perfect
+	// mimicry has to look (mostly) authentic to it.
+	if voltTPR[0] < 0.9 {
+		t.Errorf("fidelity-0 mimicry (attacker's own hardware) voltage TPR %.3f, want >= 0.9", voltTPR[0])
+	}
+	if drop := voltTPR[0] - voltTPR[len(voltTPR)-1]; drop < 0.3 {
+		t.Errorf("voltage TPR dropped only %.3f from fidelity 0 to 1; the mimicry axis is not biting", drop)
+	}
+	// Alarm() folds voltage evidence in, so the composite can never
+	// catch fewer injected frames than the voltage layer alone.
+	for i := range compTPR {
+		if compTPR[i] < voltTPR[i]-1e-9 {
+			t.Errorf("composite TPR %.3f below voltage TPR %.3f at fidelity %g",
+				compTPR[i], voltTPR[i], fidelities[i])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Ground-truth labels sidecar: the machine-readable answer key a
+// corpus capture ships with, so detectors can be scored (TPR/FPR)
+// against what the generator actually injected rather than against a
+// reimplementation of the attack.
+
+package attack
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Labels is the ground-truth sidecar of one corpus capture. Injected
+// holds the record indices (capture order, zero-based) the attacker
+// added or replaced; every other record is legitimate traffic.
+type Labels struct {
+	Version  int     `json:"version"`
+	Scenario string  `json:"scenario"`
+	Kind     string  `json:"kind"`
+	Vehicle  string  `json:"vehicle"`
+	Seed     int64   `json:"seed"`
+	Fidelity float64 `json:"fidelity,omitempty"`
+	Records  int     `json:"records"`
+	Injected []int   `json:"injected"`
+}
+
+// InjectedMask expands the index list into a per-record boolean mask.
+func (l *Labels) InjectedMask() []bool {
+	mask := make([]bool, l.Records)
+	for _, i := range l.Injected {
+		if i >= 0 && i < len(mask) {
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+// SidecarPath maps a capture path to its labels sidecar: the `.vptr`
+// (or `.vptr.gz`) extension is replaced with `.labels.json`, any
+// other path just gains the suffix.
+func SidecarPath(capture string) string {
+	base := strings.TrimSuffix(capture, ".gz")
+	base = strings.TrimSuffix(base, ".vptr")
+	return base + ".labels.json"
+}
+
+// WriteLabels writes the sidecar as stable, indented JSON (one
+// encoding per content — the determinism test compares bytes).
+func WriteLabels(path string, l *Labels) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadLabels reads a sidecar and validates the fields scoring relies
+// on.
+func LoadLabels(path string) (*Labels, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l Labels
+	if err := json.Unmarshal(b, &l); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if l.Version <= 0 {
+		return nil, fmt.Errorf("%s: missing corpus version", path)
+	}
+	if l.Records < 0 {
+		return nil, fmt.Errorf("%s: negative record count", path)
+	}
+	for _, i := range l.Injected {
+		if i < 0 || i >= l.Records {
+			return nil, fmt.Errorf("%s: injected index %d outside [0, %d)", path, i, l.Records)
+		}
+	}
+	return &l, nil
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"vprofile/internal/attack"
+	"vprofile/internal/ids"
+	"vprofile/internal/stats"
+)
+
+// Scoreboard scores a labelled replay against an attack corpus's
+// ground truth: each verdict is judged by whether its record was one
+// the attacker injected (the labels sidecar's mask). Feed it from the
+// replay sink — Observe is written for exactly that call site — and
+// read the confusion matrix and rates when the stream ends.
+//
+// Scoring uses CompositeResult.Alarm (the post-quarantine alarm
+// decision), so a run with quarantine enabled is scored on what an
+// operator would actually have seen.
+type Scoreboard struct {
+	labels *attack.Labels
+	mask   []bool
+
+	cm           stats.ConfusionMatrix
+	extractFails int
+	outOfRange   int
+}
+
+// NewScoreboard builds a scoreboard over loaded corpus labels.
+func NewScoreboard(l *attack.Labels) *Scoreboard {
+	return &Scoreboard{labels: l, mask: l.InjectedMask()}
+}
+
+// LoadScoreboard reads a labels sidecar from disk and wraps it.
+func LoadScoreboard(path string) (*Scoreboard, error) {
+	l, err := attack.LoadLabels(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewScoreboard(l), nil
+}
+
+// Labels exposes the ground truth the scoreboard was built from.
+func (b *Scoreboard) Labels() *attack.Labels { return b.labels }
+
+// Observe scores one verdict. index is the record's position in the
+// capture (pipeline.Result.Index); verdicts for records the labels
+// don't cover (a capture/sidecar mismatch) are counted in OutOfRange
+// and otherwise ignored.
+func (b *Scoreboard) Observe(index int, v ids.CompositeResult) {
+	if index < 0 || index >= len(b.mask) {
+		b.outOfRange++
+		return
+	}
+	if v.ExtractErr != nil {
+		b.extractFails++
+	}
+	b.cm.Add(b.mask[index], v.Alarm())
+}
+
+// Matrix returns the confusion matrix accumulated so far.
+func (b *Scoreboard) Matrix() stats.ConfusionMatrix { return b.cm }
+
+// Scored returns how many verdicts landed inside the labelled range.
+func (b *Scoreboard) Scored() int { return b.cm.Total() }
+
+// AttackFrames returns the number of labelled injected records.
+func (b *Scoreboard) AttackFrames() int { return len(b.labels.Injected) }
+
+// ExtractFails counts verdicts whose trace failed preprocessing.
+func (b *Scoreboard) ExtractFails() int { return b.extractFails }
+
+// OutOfRange counts verdicts whose index fell outside the labels —
+// nonzero means the capture and sidecar do not describe the same
+// stream.
+func (b *Scoreboard) OutOfRange() int { return b.outOfRange }
+
+// TPR is the true-positive rate (recall over injected frames). With
+// no injected frames it degenerates the way Recall does: 1 when
+// nothing false-alarmed, else 0 — compare FPR instead on clean runs.
+func (b *Scoreboard) TPR() float64 { return b.cm.Recall() }
+
+// FPR is the false-positive rate: the fraction of genuine frames that
+// raised an alarm anyway. NaN when the corpus has no genuine frames.
+func (b *Scoreboard) FPR() float64 {
+	n := b.cm.FP + b.cm.TN
+	if n == 0 {
+		return math.NaN()
+	}
+	return float64(b.cm.FP) / float64(n)
+}
+
+// String renders the one-line summary the detect CLI prints.
+func (b *Scoreboard) String() string {
+	s := fmt.Sprintf("scenario %q: %d/%d frames injected, TPR %.4f FPR %.4f (tp %d fp %d fn %d tn %d)",
+		b.labels.Scenario, b.AttackFrames(), b.labels.Records, b.TPR(), b.FPR(),
+		b.cm.TP, b.cm.FP, b.cm.FN, b.cm.TN)
+	if b.outOfRange > 0 {
+		s += fmt.Sprintf(" [%d verdicts outside the labels — capture/sidecar mismatch?]", b.outOfRange)
+	}
+	return s
+}

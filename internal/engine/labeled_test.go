@@ -1,0 +1,124 @@
+package engine_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vprofile/internal/attack"
+	"vprofile/internal/engine"
+	"vprofile/internal/ids"
+	"vprofile/internal/vehicle"
+)
+
+// writeScenario renders a registry scenario to disk with its labels
+// sidecar, the way tracegen -scenario does.
+func writeScenario(t *testing.T, name string, n int, seed int64) (capture, sidecar string) {
+	t.Helper()
+	v := vehicle.NewVehicleB()
+	spec, err := attack.ScenarioByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	capture = filepath.Join(dir, name+".vptr")
+	f, err := os.Create(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := attack.WriteCorpus(f, v, spec, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sidecar = attack.SidecarPath(capture)
+	if err := attack.WriteLabels(sidecar, labels); err != nil {
+		t.Fatal(err)
+	}
+	return capture, sidecar
+}
+
+// A labelled hijack replay must score sanely: attacker frames mostly
+// caught (the hijacker transmits with its own transceiver), genuine
+// frames mostly clean, and every verdict inside the labelled range.
+func TestScoreboardScoresLabeledReplay(t *testing.T) {
+	capture, sidecar := writeScenario(t, "hijack", 600, 21)
+	board, err := engine.LoadScoreboard(sidecar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := engine.NewSession(capture, engine.WithModel(sharedModel(t)))
+	if _, err := s.Run(func(r engine.Result) error {
+		board.Observe(r.Index, r.Verdict)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if board.OutOfRange() != 0 {
+		t.Fatalf("%d verdicts out of the labelled range", board.OutOfRange())
+	}
+	if board.Scored() != board.Labels().Records {
+		t.Fatalf("scored %d of %d labelled records", board.Scored(), board.Labels().Records)
+	}
+	if board.AttackFrames() == 0 {
+		t.Fatal("hijack corpus labelled no attack frames")
+	}
+	if tpr := board.TPR(); tpr < 0.5 {
+		t.Fatalf("hijack TPR %.3f, want >= 0.5 (matrix: tp %d fp %d fn %d tn %d)",
+			tpr, board.Matrix().TP, board.Matrix().FP, board.Matrix().FN, board.Matrix().TN)
+	}
+	if fpr := board.FPR(); math.IsNaN(fpr) || fpr > 0.2 {
+		t.Fatalf("hijack FPR %.3f, want <= 0.2", fpr)
+	}
+	if board.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestScoreboardOutOfRangeAndExtractFails(t *testing.T) {
+	board := engine.NewScoreboard(&attack.Labels{
+		Version: attack.CorpusVersion, Scenario: "clean", Records: 2, Injected: nil,
+	})
+	board.Observe(0, ids.CompositeResult{})
+	board.Observe(1, ids.CompositeResult{ExtractErr: os.ErrInvalid})
+	board.Observe(2, ids.CompositeResult{}) // beyond the labels
+	board.Observe(-1, ids.CompositeResult{})
+	if board.OutOfRange() != 2 {
+		t.Fatalf("OutOfRange = %d, want 2", board.OutOfRange())
+	}
+	if board.ExtractFails() != 1 {
+		t.Fatalf("ExtractFails = %d, want 1", board.ExtractFails())
+	}
+	// The extract failure alarms (preprocessing failure is suspicious
+	// evidence), the clean verdict does not.
+	m := board.Matrix()
+	if m.FP != 1 || m.TN != 1 || m.TP != 0 || m.FN != 0 {
+		t.Fatalf("matrix tp %d fp %d fn %d tn %d, want fp 1 tn 1", m.TP, m.FP, m.FN, m.TN)
+	}
+}
+
+// The clean scenario must score an (approximately) silent replay:
+// degenerate TPR contract and a near-zero FPR.
+func TestScoreboardCleanScenario(t *testing.T) {
+	capture, sidecar := writeScenario(t, "clean", 400, 33)
+	board, err := engine.LoadScoreboard(sidecar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if board.AttackFrames() != 0 {
+		t.Fatalf("clean corpus labels %d attack frames", board.AttackFrames())
+	}
+	s := engine.NewSession(capture, engine.WithModel(sharedModel(t)))
+	if _, err := s.Run(func(r engine.Result) error {
+		board.Observe(r.Index, r.Verdict)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fpr := board.FPR(); fpr > 0.1 {
+		t.Fatalf("clean FPR %.3f, want <= 0.1", fpr)
+	}
+}

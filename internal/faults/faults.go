@@ -23,6 +23,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -56,6 +57,21 @@ const (
 
 // analogKinds lists every analog fault in canonical order.
 var analogKinds = []Kind{KindSag, KindDrift, KindRinging, KindGlitch, KindDropout}
+
+// ErrUnknownKind marks a spec that names a fault this package does
+// not implement — a usage error (the caller typoed a key), distinct
+// from a malformed intensity. The wrapping error lists the known
+// names; CLIs match on this sentinel to exit with a usage status.
+var ErrUnknownKind = errors.New("faults: unknown fault kind")
+
+// KindNames returns the analog fault names in canonical order.
+func KindNames() []string {
+	names := make([]string, len(analogKinds))
+	for i, k := range analogKinds {
+		names[i] = string(k)
+	}
+	return names
+}
 
 // Spec is a parsed fault specification: each named fault with its
 // intensity in [0, 1]. The zero Spec injects nothing.
@@ -97,7 +113,7 @@ func ParseSpec(s string) (Spec, error) {
 		}
 		k := Kind(name)
 		if !validKind(k) {
-			return Spec{}, fmt.Errorf("faults: unknown fault %q (want %s or all)", name, kindList())
+			return Spec{}, fmt.Errorf("%w: %q (want %s or all)", ErrUnknownKind, name, kindList())
 		}
 		out.intensity[k] = val
 	}

@@ -69,7 +69,7 @@ func ParseStreamSpec(s string) (StreamSpec, error) {
 			}
 			out.Truncate = true
 		default:
-			return StreamSpec{}, fmt.Errorf("faults: unknown stream fault %q (want flips, garbage, chops or truncate)", name)
+			return StreamSpec{}, fmt.Errorf("%w: stream fault %q (want flips, garbage, chops or truncate)", ErrUnknownKind, name)
 		}
 	}
 	return out, nil
