@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 45s
 
-.PHONY: build test vet race check lint fuzz bench-replay bench bench-gate bench-go arena arena-gate
+.PHONY: build test vet race check lint fuzz bench-replay bench bench-gate bench-go arena arena-gate daemon-smoke
 
 build:
 	$(GO) build ./...
@@ -53,16 +53,25 @@ bench:
 # baseline, the best plain parallel speedup fell under 1.5x (skipped
 # automatically on single-core hosts), median allocs-per-frame grew
 # more than 25%, or the fleet-sharing / incident-correlation /
-# drift-monitor layers cost more than 5% — the benchmark-regression
-# gate CI runs on every PR.
+# drift-monitor / socket-ingestion layers cost more than 5% — the
+# benchmark-regression gate CI runs on every PR.
 bench-gate:
 	$(GO) run ./cmd/replaybench -out /tmp/bench-candidate.json -repeat 7 -gomaxprocs 4
 	$(GO) run ./cmd/benchgate -baseline BENCH_pipeline.json -candidate /tmp/bench-candidate.json \
 		-max-drop 10 -max-fleet-overhead 5 -max-incident-overhead 5 -max-drift-overhead 5 \
-		-min-parallel-speedup 1.5 -max-allocs-growth 25
+		-max-socket-overhead 5 -min-parallel-speedup 1.5 -max-allocs-growth 25
 
 bench-go:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# daemon-smoke drives daemon mode end to end: start vprofiled from a
+# fleet policy, `vprofile attach` a bus and stream a capture into its
+# ingest socket, require the daemon's tallies to match a batch
+# `vprofile detect` of the same file, then SIGTERM and require a clean
+# drain (exit 0). CI runs the same script in its daemon-smoke job.
+daemon-smoke:
+	$(GO) build -o bin/ ./cmd/tracegen ./cmd/vprofile ./cmd/vprofiled
+	BIN=$(CURDIR)/bin scripts/daemon-smoke.sh
 
 # arena regenerates the committed detection baseline: every scenario
 # of the attack-corpus registry (hijack, foreign, flood, suspension,

@@ -42,6 +42,7 @@ type report struct {
 	FleetOverheadPct    *float64 `json:"fleet_overhead_pct"`
 	IncidentOverheadPct *float64 `json:"incident_overhead_pct"`
 	DriftOverheadPct    *float64 `json:"drift_overhead_pct"`
+	SocketOverheadPct   *float64 `json:"socket_overhead_pct"`
 	Runs                []run    `json:"runs"`
 }
 
@@ -53,6 +54,7 @@ type run struct {
 	Faults         bool    `json:"faults"`
 	Drift          bool    `json:"drift"`
 	DriftBase      bool    `json:"drift_base"`
+	Socket         bool    `json:"socket"`
 	Buses          int     `json:"buses"`
 	FramesPerSec   float64 `json:"frames_per_sec"`
 	Speedup        float64 `json:"speedup_vs_sequential"`
@@ -70,6 +72,7 @@ func main() {
 	maxFleet := flag.Float64("max-fleet-overhead", 5, "maximum tolerated shared-pool fleet overhead in percent (negative disables)")
 	maxIncident := flag.Float64("max-incident-overhead", 5, "maximum tolerated incident-correlation overhead in percent (negative disables; skipped when the candidate predates the field)")
 	maxDrift := flag.Float64("max-drift-overhead", 5, "maximum tolerated drift-monitor overhead in percent (negative disables; skipped when the candidate predates the field)")
+	maxSocket := flag.Float64("max-socket-overhead", 5, "maximum tolerated socket-ingestion overhead in percent (negative disables; skipped when the candidate predates the field)")
 	minSpeedup := flag.Float64("min-parallel-speedup", 0, "minimum speedup-vs-sequential the best plain parallel run must reach (0 disables; skipped with a notice when the candidate ran on < 2 CPUs)")
 	maxAllocs := flag.Float64("max-allocs-growth", -1, "maximum tolerated median allocs-per-frame growth in percent (negative disables; skipped when the baseline predates the field)")
 	flag.Parse()
@@ -77,7 +80,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
 		os.Exit(2)
 	}
-	if err := gate(*baseline, *candidate, *maxDrop, *maxFleet, *maxIncident, *maxDrift, *minSpeedup, *maxAllocs); err != nil {
+	if err := gate(*baseline, *candidate, *maxDrop, *maxFleet, *maxIncident, *maxDrift, *maxSocket, *minSpeedup, *maxAllocs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
@@ -98,7 +101,7 @@ func load(path string) (report, error) {
 	return r, nil
 }
 
-func gate(basePath, candPath string, maxDrop, maxFleet, maxIncident, maxDrift, minSpeedup, maxAllocs float64) error {
+func gate(basePath, candPath string, maxDrop, maxFleet, maxIncident, maxDrift, maxSocket, minSpeedup, maxAllocs float64) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -183,6 +186,19 @@ func gate(basePath, candPath string, maxDrop, maxFleet, maxIncident, maxDrift, m
 		}
 	}
 
+	// The socket-overhead gate is absolute like the others: replaybench
+	// paired each socket-source replay with the same worker count
+	// reading the capture from memory inside one run, so the figure
+	// already isolates ingestion cost (syscalls + the writer
+	// goroutine). Candidates predating daemon mode omit the field and
+	// skip the gate.
+	if maxSocket >= 0 && cand.SocketOverheadPct != nil {
+		fmt.Printf("benchgate: socket-ingestion overhead %.2f%%, limit %.0f%%\n", *cand.SocketOverheadPct, maxSocket)
+		if *cand.SocketOverheadPct > maxSocket {
+			return fmt.Errorf("socket-ingestion overhead %.2f%% exceeds %.0f%%", *cand.SocketOverheadPct, maxSocket)
+		}
+	}
+
 	// The parallel-speedup gate is the guard against the flat-speedup
 	// failure mode this repo once shipped: a report where every
 	// parallel configuration ran at the same throughput as sequential
@@ -198,7 +214,7 @@ func gate(basePath, candPath string, maxDrop, maxFleet, maxIncident, maxDrift, m
 		} else {
 			bestSpeedup, bestName := 0.0, ""
 			for _, r := range cand.Runs {
-				if r.Workers > 1 && !r.Metrics && !r.Flight && !r.Faults && !r.Drift && !r.DriftBase && r.Buses <= 1 && r.Speedup > bestSpeedup {
+				if r.Workers > 1 && !r.Metrics && !r.Flight && !r.Faults && !r.Drift && !r.DriftBase && !r.Socket && r.Buses <= 1 && r.Speedup > bestSpeedup {
 					bestSpeedup, bestName = r.Speedup, r.Name
 				}
 			}

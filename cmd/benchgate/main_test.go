@@ -30,7 +30,7 @@ func TestGatePassesWithinLimit(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 1900},
 	  {"name": "parallel8",  "frames_per_sec": 2375}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err != nil {
 		t.Fatalf("gate tripped on a 5%% drop: %v", err)
 	}
 }
@@ -43,7 +43,7 @@ func TestGateFailsOnSystemicDrop(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 1600},
 	  {"name": "parallel8",  "frames_per_sec": 2000}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err == nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err == nil {
 		t.Fatal("gate accepted a 20% systemic drop")
 	}
 }
@@ -57,7 +57,7 @@ func TestGateToleratesOneOutlier(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 1980},
 	  {"name": "parallel8",  "frames_per_sec": 2450}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err != nil {
 		t.Fatalf("gate tripped on a single outlier: %v", err)
 	}
 }
@@ -70,7 +70,7 @@ func TestGateFasterCandidatePasses(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2400},
 	  {"name": "parallel8",  "frames_per_sec": 3000}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err != nil {
 		t.Fatalf("gate tripped on an improvement: %v", err)
 	}
 }
@@ -81,7 +81,7 @@ func TestGateRejectsDisjointReports(t *testing.T) {
 	cand := writeReport(t, dir, "cand.json", `{"records": 100, "runs": [
 	  {"name": "renamed", "frames_per_sec": 1000}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err == nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err == nil {
 		t.Fatal("gate accepted reports with no shared configuration")
 	}
 }
@@ -94,7 +94,7 @@ func TestGateFleetOverheadWithinBudget(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2000},
 	  {"name": "parallel8",  "frames_per_sec": 2500}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err != nil {
 		t.Fatalf("gate tripped on 3.2%% fleet overhead under a 5%% budget: %v", err)
 	}
 }
@@ -107,11 +107,11 @@ func TestGateFleetOverheadOverBudget(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2000},
 	  {"name": "parallel8",  "frames_per_sec": 2500}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err == nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err == nil {
 		t.Fatal("gate accepted 9.7% fleet overhead against a 5% budget")
 	}
 	// Negative budget disables the fleet gate entirely.
-	if err := gate(base, cand, 10, -1, -1, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, -1, -1, -1, -1, 0, -1); err != nil {
 		t.Fatalf("disabled fleet gate still tripped: %v", err)
 	}
 }
@@ -122,7 +122,7 @@ func TestGateFleetOverheadAbsentInCandidate(t *testing.T) {
 	// A candidate from before fleet mode (or with fleet configs
 	// filtered out) must not trip the fleet gate.
 	cand := writeReport(t, dir, "cand.json", baseReport)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err != nil {
 		t.Fatalf("gate tripped on a report without fleet data: %v", err)
 	}
 }
@@ -135,7 +135,7 @@ func TestGateIncidentOverheadWithinBudget(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2000},
 	  {"name": "parallel8",  "frames_per_sec": 2500}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err != nil {
 		t.Fatalf("gate tripped on 2.1%% incident overhead under a 5%% budget: %v", err)
 	}
 }
@@ -148,11 +148,11 @@ func TestGateIncidentOverheadOverBudget(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2000},
 	  {"name": "parallel8",  "frames_per_sec": 2500}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err == nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err == nil {
 		t.Fatal("gate accepted 8.4% incident overhead against a 5% budget")
 	}
 	// Negative budget disables the incident gate entirely.
-	if err := gate(base, cand, 10, 5, -1, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, -1, -1, -1, 0, -1); err != nil {
 		t.Fatalf("disabled incident gate still tripped: %v", err)
 	}
 }
@@ -163,7 +163,7 @@ func TestGateIncidentOverheadAbsentInCandidate(t *testing.T) {
 	// A candidate from before the incident layer must not trip the
 	// incident gate.
 	cand := writeReport(t, dir, "cand.json", baseReport)
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err != nil {
 		t.Fatalf("gate tripped on a report without incident data: %v", err)
 	}
 }
@@ -176,7 +176,7 @@ func TestGateDriftOverheadWithinBudget(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2000},
 	  {"name": "parallel8",  "frames_per_sec": 2500}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, 5, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, 5, 5, -1, 0, -1); err != nil {
 		t.Fatalf("gate tripped on 1.8%% drift overhead under a 5%% budget: %v", err)
 	}
 }
@@ -189,11 +189,11 @@ func TestGateDriftOverheadOverBudget(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2000},
 	  {"name": "parallel8",  "frames_per_sec": 2500}
 	]}`)
-	if err := gate(base, cand, 10, 5, 5, 5, 0, -1); err == nil {
+	if err := gate(base, cand, 10, 5, 5, 5, -1, 0, -1); err == nil {
 		t.Fatal("gate accepted 7.3% drift overhead against a 5% budget")
 	}
 	// Negative budget disables the drift gate entirely.
-	if err := gate(base, cand, 10, 5, 5, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, 5, -1, -1, 0, -1); err != nil {
 		t.Fatalf("disabled drift gate still tripped: %v", err)
 	}
 }
@@ -204,8 +204,68 @@ func TestGateDriftOverheadAbsentInCandidate(t *testing.T) {
 	// A candidate from before the drift layer must not trip the drift
 	// gate.
 	cand := writeReport(t, dir, "cand.json", baseReport)
-	if err := gate(base, cand, 10, 5, 5, 5, 0, -1); err != nil {
+	if err := gate(base, cand, 10, 5, 5, 5, -1, 0, -1); err != nil {
 		t.Fatalf("gate tripped on a report without drift data: %v", err)
+	}
+}
+
+func TestGateSocketOverheadWithinBudget(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	cand := writeReport(t, dir, "cand.json", `{"records": 100, "socket_overhead_pct": 2.4, "runs": [
+	  {"name": "sequential", "frames_per_sec": 1000},
+	  {"name": "parallel4",  "frames_per_sec": 2000},
+	  {"name": "parallel8",  "frames_per_sec": 2500}
+	]}`)
+	if err := gate(base, cand, 10, 5, 5, 5, 5, 0, -1); err != nil {
+		t.Fatalf("gate tripped on 2.4%% socket overhead under a 5%% budget: %v", err)
+	}
+}
+
+func TestGateSocketOverheadOverBudget(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	cand := writeReport(t, dir, "cand.json", `{"records": 100, "socket_overhead_pct": 11.6, "runs": [
+	  {"name": "sequential", "frames_per_sec": 1000},
+	  {"name": "parallel4",  "frames_per_sec": 2000},
+	  {"name": "parallel8",  "frames_per_sec": 2500}
+	]}`)
+	if err := gate(base, cand, 10, 5, 5, 5, 5, 0, -1); err == nil {
+		t.Fatal("gate accepted 11.6% socket overhead against a 5% budget")
+	}
+	// Negative budget disables the socket gate entirely.
+	if err := gate(base, cand, 10, 5, 5, 5, -1, 0, -1); err != nil {
+		t.Fatalf("disabled socket gate still tripped: %v", err)
+	}
+}
+
+func TestGateSocketOverheadAbsentInCandidate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	// A candidate from before daemon mode must not trip the socket
+	// gate.
+	cand := writeReport(t, dir, "cand.json", baseReport)
+	if err := gate(base, cand, 10, 5, 5, 5, 5, 0, -1); err != nil {
+		t.Fatalf("gate tripped on a report without socket data: %v", err)
+	}
+}
+
+// TestGateSpeedupIgnoresSocketRuns: the plain-parallel speedup gate
+// must not count socket-source runs — their speedup figure includes
+// ingestion cost, not just pipeline scaling.
+func TestGateSpeedupIgnoresSocketRuns(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseReport)
+	// The only runs above the 2.0x bar are socket runs; the sole plain
+	// run is flat, so the gate must fail rather than credit ingestion
+	// configs.
+	cand := writeReport(t, dir, "cand.json", `{"records": 100, "num_cpu": 4, "runs": [
+	  {"name": "sequential", "frames_per_sec": 1000, "speedup_vs_sequential": 1.0},
+	  {"name": "parallel4",  "workers": 4, "frames_per_sec": 1010, "speedup_vs_sequential": 1.01},
+	  {"name": "parallel4+socket", "workers": 4, "socket": true, "frames_per_sec": 2500, "speedup_vs_sequential": 2.5}
+	]}`)
+	if err := gate(base, cand, 100, -1, -1, -1, -1, 2.0, -1); err == nil {
+		t.Fatal("speedup gate credited a socket-source run")
 	}
 }
 
@@ -223,7 +283,7 @@ func TestGateParallelSpeedupPasses(t *testing.T) {
 	dir := t.TempDir()
 	base := writeReport(t, dir, "base.json", baseReport)
 	cand := writeReport(t, dir, "cand.json", speedupReport)
-	if err := gate(base, cand, 100, -1, -1, -1, 2.0, -1); err != nil {
+	if err := gate(base, cand, 100, -1, -1, -1, -1, 2.0, -1); err != nil {
 		t.Fatalf("gate tripped on a 2.5x best speedup against a 2.0x minimum: %v", err)
 	}
 }
@@ -237,7 +297,7 @@ func TestGateParallelSpeedupFailsWhenFlat(t *testing.T) {
 	  {"name": "parallel4",  "workers": 4, "frames_per_sec": 1010, "speedup_vs_sequential": 1.01},
 	  {"name": "parallel8",  "workers": 8, "frames_per_sec": 990, "speedup_vs_sequential": 0.99}
 	]}`)
-	if err := gate(base, cand, 100, -1, -1, -1, 2.0, -1); err == nil {
+	if err := gate(base, cand, 100, -1, -1, -1, -1, 2.0, -1); err == nil {
 		t.Fatal("gate accepted a flat parallel speedup on a 4-CPU host")
 	}
 }
@@ -252,7 +312,7 @@ func TestGateParallelSpeedupSkipsOnSingleCPU(t *testing.T) {
 	  {"name": "sequential", "frames_per_sec": 1000, "speedup_vs_sequential": 1.0},
 	  {"name": "parallel4",  "workers": 4, "frames_per_sec": 1010, "speedup_vs_sequential": 1.01}
 	]}`)
-	if err := gate(base, cand, 100, -1, -1, -1, 2.0, -1); err != nil {
+	if err := gate(base, cand, 100, -1, -1, -1, -1, 2.0, -1); err != nil {
 		t.Fatalf("speedup gate did not skip on a single-CPU candidate: %v", err)
 	}
 }
@@ -271,7 +331,7 @@ func TestGateAllocsWithinBudget(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2000, "allocs_per_frame": 11},
 	  {"name": "parallel8",  "frames_per_sec": 2500, "allocs_per_frame": 10.5}
 	]}`)
-	if err := gate(base, cand, 10, -1, -1, -1, 0, 25); err != nil {
+	if err := gate(base, cand, 10, -1, -1, -1, -1, 0, 25); err != nil {
 		t.Fatalf("gate tripped on ~10%% median allocs growth under a 25%% budget: %v", err)
 	}
 }
@@ -286,11 +346,11 @@ func TestGateAllocsOverBudget(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2000, "allocs_per_frame": 20},
 	  {"name": "parallel8",  "frames_per_sec": 2500, "allocs_per_frame": 20}
 	]}`)
-	if err := gate(base, cand, 10, -1, -1, -1, 0, 25); err == nil {
+	if err := gate(base, cand, 10, -1, -1, -1, -1, 0, 25); err == nil {
 		t.Fatal("gate accepted a 100% allocs-per-frame growth against a 25% budget")
 	}
 	// Negative budget disables the allocation gate entirely.
-	if err := gate(base, cand, 10, -1, -1, -1, 0, -1); err != nil {
+	if err := gate(base, cand, 10, -1, -1, -1, -1, 0, -1); err != nil {
 		t.Fatalf("disabled allocs gate still tripped: %v", err)
 	}
 }
@@ -306,7 +366,7 @@ func TestGateAllocsSkipsOldBaseline(t *testing.T) {
 	  {"name": "parallel4",  "frames_per_sec": 2000, "allocs_per_frame": 10},
 	  {"name": "parallel8",  "frames_per_sec": 2500, "allocs_per_frame": 10}
 	]}`)
-	if err := gate(base, cand, 10, -1, -1, -1, 0, 25); err != nil {
+	if err := gate(base, cand, 10, -1, -1, -1, -1, 0, 25); err != nil {
 		t.Fatalf("allocs gate did not skip on a baseline without the field: %v", err)
 	}
 }

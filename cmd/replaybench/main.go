@@ -2,12 +2,14 @@
 // it generates the standard 10k-record Vehicle B capture, replays it
 // sequentially and through the concurrent pipeline at 1/2/4/8
 // workers — each with observability off and on, plus tracing+flight,
-// fault-layer (recovery reader + quarantine) and drift-monitor
-// configurations at 1/4/8 workers, plus fleet pairs with and without
-// the incident correlation layer — and writes the results (plus the
-// measured metrics, flight-recorder, fault-layer, pool-sharing,
-// incident-layer and drift-layer overheads) to a JSON file that CI
-// and future PRs can diff (cmd/benchgate enforces the diff).
+// fault-layer (recovery reader + quarantine), drift-monitor and
+// socket-source (capture streamed through a loopback unix socket, the
+// daemon's live-ingestion shape) configurations at 1/4/8 workers,
+// plus fleet pairs with and without the incident correlation layer —
+// and writes the results (plus the measured metrics, flight-recorder,
+// fault-layer, pool-sharing, incident-layer, drift-layer and
+// socket-ingestion overheads) to a JSON file that CI and future PRs
+// can diff (cmd/benchgate enforces the diff).
 //
 // Usage:
 //
@@ -24,7 +26,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -56,6 +61,7 @@ type Run struct {
 	Faults       bool    `json:"faults,omitempty"`
 	Drift        bool    `json:"drift,omitempty"`
 	DriftBase    bool    `json:"drift_base,omitempty"` // no-op sink paired against the drift config
+	Socket       bool    `json:"socket,omitempty"`     // capture read from a unix socket instead of memory
 	Buses        int     `json:"buses,omitempty"`      // >1 on fleet/indep pair configs
 	SharedPool   bool    `json:"shared_pool,omitempty"`
 	Incidents    bool    `json:"incidents,omitempty"`
@@ -81,6 +87,7 @@ type Run struct {
 	FleetOverheadPct    *float64 `json:"fleet_overhead_pct,omitempty"`
 	IncidentOverheadPct *float64 `json:"incident_overhead_pct,omitempty"`
 	DriftOverheadPct    *float64 `json:"drift_overhead_pct,omitempty"`
+	SocketOverheadPct   *float64 `json:"socket_overhead_pct,omitempty"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -143,6 +150,14 @@ type Report struct {
 	// sides pay the sink call, so the figure prices the drift layer
 	// alone. The acceptance bar keeps it under 5%.
 	DriftOverheadPct float64 `json:"drift_overhead_pct"`
+	// SocketOverheadPct is the same median over the socket-source
+	// configurations: the capture streamed through a loopback unix
+	// socket (the daemon's live-ingestion shape, writer goroutine
+	// feeding the connection) against the same worker count reading
+	// from memory. It prices socket ingestion — syscalls plus the
+	// cross-goroutine copy — not the analysis path, which is identical
+	// on both sides. The acceptance bar keeps it under 5%.
+	SocketOverheadPct float64 `json:"socket_overhead_pct"`
 }
 
 func main() {
@@ -215,8 +230,41 @@ func mallocsNow() uint64 {
 // heap allocations per frame. Pipeline runs enable buffer pooling —
 // the production hot-path shape — except when flight recording, which
 // retains record internals and therefore measures the allocating path.
-func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, records, batch int, withMetrics, withFlight, withFaults, driftBase, withDrift bool) (time.Duration, float64, error) {
-	rd, err := trace.NewReader(bytes.NewReader(capture))
+func replayOnce(capture []byte, model *core.Model, v *vehicle.Vehicle, workers, records, batch int, withMetrics, withFlight, withFaults, driftBase, withDrift, withSocket bool) (time.Duration, float64, error) {
+	// The socket configs replay the identical capture through a
+	// loopback unix socket — the daemon's live-ingestion shape: a
+	// writer goroutine feeds the connection while the pipeline reads
+	// it. Everything downstream of the reader is byte-for-byte the
+	// same as the in-memory config it is paired with, so the ratio
+	// prices socket ingestion alone.
+	var src io.Reader = bytes.NewReader(capture)
+	if withSocket {
+		dir, err := os.MkdirTemp("", "replaybench")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		ln, err := net.Listen("unix", filepath.Join(dir, "ingest.sock"))
+		if err != nil {
+			return 0, 0, err
+		}
+		defer ln.Close()
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_, _ = io.Copy(conn, bytes.NewReader(capture))
+			conn.Close()
+		}()
+		conn, err := net.Dial("unix", ln.Addr().String())
+		if err != nil {
+			return 0, 0, err
+		}
+		defer conn.Close()
+		src = conn
+	}
+	rd, err := trace.NewReader(src)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -403,6 +451,7 @@ func run(out string, records, repeat, batch, procs int) error {
 		faults    bool
 		driftBase bool // no-op per-record sink (the drift config's baseline)
 		drift     bool // sink feeds the per-SA drift monitor
+		socket    bool // capture streamed through a loopback unix socket
 		buses     int  // >1 runs the fleet pair shape
 		shared    bool // fleet: one shared pool instead of private pools
 		incidents bool // fleet: sink feeds the incident correlator
@@ -428,6 +477,10 @@ func run(out string, records, repeat, batch, procs int) error {
 			// +drift config directly after it isolates the monitor's cost.
 			configs = append(configs, config{name: fmt.Sprintf("parallel%d+driftbase", w), workers: w, driftBase: true})
 			configs = append(configs, config{name: fmt.Sprintf("parallel%d+drift", w), workers: w, drift: true})
+			// Socket config: same pipeline, capture arriving over a
+			// loopback unix socket instead of memory (compared against
+			// the plain run of the same worker count).
+			configs = append(configs, config{name: fmt.Sprintf("parallel%d+socket", w), workers: w, socket: true})
 		}
 	}
 	// Fleet pairs: each shared-pool config sits directly after the
@@ -460,7 +513,7 @@ func run(out string, records, repeat, batch, procs int) error {
 			if c.buses > 1 {
 				d, allocs, err = fleetOnce(capture, model, v, c.buses, c.workers, records, batch, c.shared, c.incidents)
 			} else {
-				d, allocs, err = replayOnce(capture, model, v, c.workers, records, batch, c.metrics, c.flight, c.faults, c.driftBase, c.drift)
+				d, allocs, err = replayOnce(capture, model, v, c.workers, records, batch, c.metrics, c.flight, c.faults, c.driftBase, c.drift, c.socket)
 			}
 			if err != nil {
 				return fmt.Errorf("%s: %w", c.name, err)
@@ -508,7 +561,7 @@ func run(out string, records, repeat, batch, procs int) error {
 	}
 
 	seqBase := best["sequential"].Seconds()
-	var overheads, flightOverheads, faultOverheads, fleetOverheads, incidentOverheads, driftOverheads []float64
+	var overheads, flightOverheads, faultOverheads, fleetOverheads, incidentOverheads, driftOverheads, socketOverheads []float64
 	for _, c := range configs {
 		sec := best[c.name].Seconds()
 		totalRecords := records
@@ -526,6 +579,7 @@ func run(out string, records, repeat, batch, procs int) error {
 			Faults:              c.faults,
 			Drift:               c.drift,
 			DriftBase:           c.driftBase,
+			Socket:              c.socket,
 			Buses:               c.buses,
 			SharedPool:          c.shared,
 			Incidents:           c.incidents,
@@ -563,6 +617,11 @@ func run(out string, records, repeat, batch, procs int) error {
 			r.DriftOverheadPct = &pct
 			driftOverheads = append(driftOverheads, pct)
 		}
+		if c.socket {
+			pct := bestOverhead(c.name, c.name[:len(c.name)-len("+socket")])
+			r.SocketOverheadPct = &pct
+			socketOverheads = append(socketOverheads, pct)
+		}
 		report.Runs = append(report.Runs, r)
 	}
 	sort.Float64s(overheads)
@@ -577,6 +636,8 @@ func run(out string, records, repeat, batch, procs int) error {
 	report.IncidentOverheadPct = incidentOverheads[len(incidentOverheads)/2]
 	sort.Float64s(driftOverheads)
 	report.DriftOverheadPct = driftOverheads[len(driftOverheads)/2]
+	sort.Float64s(socketOverheads)
+	report.SocketOverheadPct = socketOverheads[len(socketOverheads)/2]
 
 	f, err := os.Create(out)
 	if err != nil {
@@ -588,7 +649,7 @@ func run(out string, records, repeat, batch, procs int) error {
 	if err := enc.Encode(report); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%%, fault-layer overhead %.2f%%, fleet overhead %.2f%%, incident overhead %.2f%%, drift overhead %.2f%% → %s\n",
-		report.MetricsOverheadPct, report.FlightOverheadPct, report.FaultsOverheadPct, report.FleetOverheadPct, report.IncidentOverheadPct, report.DriftOverheadPct, out)
+	fmt.Fprintf(os.Stderr, "replaybench: median metrics overhead %.2f%%, flight overhead %.2f%%, fault-layer overhead %.2f%%, fleet overhead %.2f%%, incident overhead %.2f%%, drift overhead %.2f%%, socket overhead %.2f%% → %s\n",
+		report.MetricsOverheadPct, report.FlightOverheadPct, report.FaultsOverheadPct, report.FleetOverheadPct, report.IncidentOverheadPct, report.DriftOverheadPct, report.SocketOverheadPct, out)
 	return nil
 }

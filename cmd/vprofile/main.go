@@ -10,6 +10,10 @@
 //	vprofile info   -model model.vpm
 //	vprofile faults -vehicle b -faults all -steps 6 -json sweep.json
 //	vprofile arena  -vehicle a -train 1600 -n 400 -json DETECT_arena.json
+//	vprofile attach -control 127.0.0.1:9620 -bus front -listen tcp://127.0.0.1:9700 -model model.vpm [-capture test.vptr]
+//	vprofile detach -control 127.0.0.1:9620 -bus front
+//	vprofile status [-control 127.0.0.1:9620] [-bus front] [-json]
+//	vprofile tail   [-control 127.0.0.1:9620] [-after N] [-once]
 //
 // detect and fleet expose the same session flag set as busmon
 // (internal/engine registers it for all three), including -recover,
@@ -52,6 +56,14 @@ func main() {
 		err = cmdFaults(os.Args[2:])
 	case "arena":
 		err = cmdArena(os.Args[2:])
+	case "attach":
+		err = cmdAttach(os.Args[2:])
+	case "detach":
+		err = cmdDetach(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "tail":
+		err = cmdTail(os.Args[2:])
 	default:
 		usage()
 	}
@@ -66,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vprofile {train|detect|fleet|update|info|faults|arena} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: vprofile {train|detect|fleet|update|info|faults|arena|attach|detach|status|tail} [flags]")
 	os.Exit(2)
 }
 

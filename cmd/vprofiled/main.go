@@ -1,0 +1,108 @@
+// Command vprofiled is the long-running vProfile monitoring daemon:
+// it ingests live voltage-record streams from many vehicle feeds
+// (TCP, unix socket, or loss-tolerant UDP datagrams), runs each
+// through an engine session against a per-bus model, and exposes an
+// HTTP+JSON control API for attach/detach, verdict tallies, model
+// swaps, flight bundles and a streaming alarm subscription.
+//
+// Usage:
+//
+//	vprofiled -policy fleet.yaml [-control 127.0.0.1:9620] [-drain-timeout 10s]
+//
+// The fleet policy is a strict YAML file (see internal/control):
+//
+//	control: 127.0.0.1:9620
+//	alarms:
+//	  events: alarms.jsonl
+//	defaults:
+//	  model: model.vpm
+//	  quarantine: true
+//	buses:
+//	  front:
+//	    listen: tcp://127.0.0.1:9700
+//	  cabin:
+//	    listen: udp://127.0.0.1:9701
+//	    recover: true
+//
+// SIGHUP (or POST /v1/reload) re-reads the policy and applies the
+// diff: unchanged buses keep streaming, model-only changes hot-swap
+// in place, everything else restarts just the affected bus. SIGTERM/
+// SIGINT drains every attached session — event logs flush, flight
+// bundles close, final tallies are logged — then exits 0 on a clean
+// drain or 3 if any session aborted mid-stream, matching the CLI
+// exit-code convention. Usage errors exit 2, startup failures 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vprofile/internal/control"
+	"vprofile/internal/control/controlserver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("vprofiled", flag.ExitOnError)
+	policyPath := fs.String("policy", "", "fleet policy YAML (required)")
+	controlAddr := fs.String("control", "", "control API listen address (overrides the policy's control: key; default 127.0.0.1:9620)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a drain waits for sessions to flush before hard-closing feeds")
+	fs.Parse(args)
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "vprofiled: "+format+"\n", args...)
+	}
+	if *policyPath == "" {
+		fmt.Fprintln(os.Stderr, "vprofiled: -policy is required")
+		return 2
+	}
+	policy, err := control.LoadPolicy(*policyPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vprofiled: policy:", err)
+		return 1
+	}
+	addr := *controlAddr
+	if addr == "" {
+		addr = policy.Control
+	}
+	if addr == "" {
+		addr = "127.0.0.1:9620"
+	}
+
+	d, err := controlserver.New(controlserver.Config{Policy: policy, Logf: logf})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vprofiled:", err)
+		return 1
+	}
+	srv, err := controlserver.Serve(addr, d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vprofiled:", err)
+		d.Drain(*drainTimeout)
+		return 1
+	}
+	logf("control API on http://%s (%d buses)", srv.Addr(), len(policy.Buses))
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	for sig := range sigs {
+		if sig == syscall.SIGHUP {
+			if resp, err := d.Reload(); err != nil {
+				logf("reload failed (running config unchanged): %v", err)
+			} else {
+				logf("reload: policy gen %d", resp.PolicyGen)
+			}
+			continue
+		}
+		logf("%s: draining %d bus(es)", sig, len(d.Status().Buses))
+		code := d.Drain(*drainTimeout)
+		_ = srv.Close()
+		return code
+	}
+	return 0
+}

@@ -1,0 +1,222 @@
+// Package controlclient is the thin client side of the vprofiled
+// control API: HTTP+JSON calls speaking controlapi wire types, plus
+// the feed helpers that push a capture into a daemon's ingest
+// listener. The vprofile CLI subcommands (attach/detach/status/tail)
+// are built entirely on this package.
+package controlclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"vprofile/internal/control/controlapi"
+	"vprofile/internal/trace"
+)
+
+// Client talks to one daemon's control listener.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for a control address ("host:port" or a full
+// http:// URL).
+func New(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// call performs one JSON round trip. out may be nil.
+func (c *Client) call(ctx context.Context, method, path string, query url.Values, in, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e controlapi.Error
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("daemon: %s", e.Error)
+		}
+		return fmt.Errorf("daemon: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Status fetches the daemon-wide view.
+func (c *Client) Status(ctx context.Context) (controlapi.StatusResponse, error) {
+	var out controlapi.StatusResponse
+	err := c.call(ctx, http.MethodGet, controlapi.PathStatus, nil, nil, &out)
+	return out, err
+}
+
+// Bus fetches one bus's view.
+func (c *Client) Bus(ctx context.Context, bus string) (controlapi.BusStatus, error) {
+	var out controlapi.BusStatus
+	err := c.call(ctx, http.MethodGet, controlapi.PathBus, url.Values{"bus": {bus}}, nil, &out)
+	return out, err
+}
+
+// Attach asks the daemon to bring a bus up.
+func (c *Client) Attach(ctx context.Context, spec controlapi.BusSpec) (controlapi.BusStatus, error) {
+	var out controlapi.BusStatus
+	err := c.call(ctx, http.MethodPost, controlapi.PathAttach, nil, spec, &out)
+	return out, err
+}
+
+// Detach drains and removes a bus.
+func (c *Client) Detach(ctx context.Context, bus string) (controlapi.BusStatus, error) {
+	var out controlapi.BusStatus
+	err := c.call(ctx, http.MethodPost, controlapi.PathDetach, nil, controlapi.DetachRequest{Bus: bus}, &out)
+	return out, err
+}
+
+// Swap hot-swaps a bus's model.
+func (c *Client) Swap(ctx context.Context, bus, model string) (controlapi.SwapResponse, error) {
+	var out controlapi.SwapResponse
+	err := c.call(ctx, http.MethodPost, controlapi.PathSwap, nil, controlapi.SwapRequest{Bus: bus, Model: model}, &out)
+	return out, err
+}
+
+// Reload re-reads and applies the daemon's policy file.
+func (c *Client) Reload(ctx context.Context) (controlapi.ReloadResponse, error) {
+	var out controlapi.ReloadResponse
+	err := c.call(ctx, http.MethodPost, controlapi.PathReload, nil, nil, &out)
+	return out, err
+}
+
+// Events long-polls the alarm subscription: events after the cursor,
+// held up to wait when none are pending.
+func (c *Client) Events(ctx context.Context, after uint64, max int, wait time.Duration) (controlapi.EventsResponse, error) {
+	q := url.Values{"after": {fmt.Sprint(after)}}
+	if max > 0 {
+		q.Set("max", fmt.Sprint(max))
+	}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	var out controlapi.EventsResponse
+	err := c.call(ctx, http.MethodGet, controlapi.PathEvents, q, nil, &out)
+	return out, err
+}
+
+// Flight lists a bus's flight bundles.
+func (c *Client) Flight(ctx context.Context, bus string) (controlapi.FlightList, error) {
+	var out controlapi.FlightList
+	err := c.call(ctx, http.MethodGet, controlapi.PathFlight, url.Values{"bus": {bus}}, nil, &out)
+	return out, err
+}
+
+// FlightFile streams one bundle file.
+func (c *Client) FlightFile(ctx context.Context, bus, bundle, file string) (io.ReadCloser, error) {
+	q := url.Values{"bus": {bus}, "bundle": {bundle}, "file": {file}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+controlapi.PathFlight+"?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		var e controlapi.Error
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("daemon: %s", e.Error)
+		}
+		return nil, fmt.Errorf("daemon: %s", resp.Status)
+	}
+	return resp.Body, nil
+}
+
+// WaitBusDone polls a bus until at least n sessions have completed
+// (the attach-and-stream workflow's "my feed was fully processed").
+func (c *Client) WaitBusDone(ctx context.Context, bus string, n int) (controlapi.BusStatus, error) {
+	for {
+		st, err := c.Bus(ctx, bus)
+		if err != nil {
+			return st, err
+		}
+		if st.SessionsDone >= n {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// StreamConfig tunes StreamCapture.
+type StreamConfig struct {
+	// Datagram applies to udp:// ingest endpoints.
+	Datagram trace.DatagramConfig
+}
+
+// StreamCapture pushes a capture file into a daemon ingest endpoint
+// ("tcp://host:port", "unix:///path.sock" or "udp://host:port") and
+// returns the number of capture bytes sent. For tcp/unix the capture
+// bytes go down the connection as-is — the format is self-delimiting;
+// for udp they are chunked into sequenced datagrams.
+func StreamCapture(ingest, capturePath string, cfg StreamConfig) (int64, error) {
+	scheme, addr, err := controlapi.ParseListen(ingest)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Open(capturePath)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if scheme == controlapi.SchemeUDP {
+		return trace.DialDatagramFeed(addr, f, cfg.Datagram)
+	}
+	conn, err := net.Dial(scheme, addr)
+	if err != nil {
+		return 0, fmt.Errorf("dial %s: %w", ingest, err)
+	}
+	defer conn.Close()
+	return io.Copy(conn, f)
+}

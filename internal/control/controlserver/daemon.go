@@ -1,0 +1,798 @@
+// Package controlserver hosts the vprofiled runtime: the set of
+// attached buses (each a listener feeding engine sessions), the fleet
+// policy lifecycle (load, hot reload, diff application), the alarm
+// hub behind the event subscription, and the HTTP control API on top
+// (server.go). The split from controlapi/controlclient keeps the
+// daemon the only place with engine wiring; clients speak wire types
+// only.
+package controlserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vprofile/internal/control"
+	"vprofile/internal/control/controlapi"
+	"vprofile/internal/engine"
+	"vprofile/internal/ids"
+	"vprofile/internal/obs"
+	"vprofile/internal/obs/drift"
+	"vprofile/internal/trace"
+)
+
+// Config configures a Daemon.
+type Config struct {
+	// Policy is the initial fleet policy (nil starts an empty daemon
+	// that buses are attached to via the API).
+	Policy *control.Policy
+	// Logf receives the daemon's log lines; nil silences them.
+	Logf func(format string, args ...any)
+	// BaseDir anchors relative model paths on API attach/swap when no
+	// policy directory applies (default ".").
+	BaseDir string
+}
+
+// Daemon is the control-plane root: bus registry, policy state, alarm
+// hub. All methods are safe for concurrent use — the HTTP layer calls
+// straight in.
+type Daemon struct {
+	logf    func(format string, args ...any)
+	baseDir string
+	hub     *eventHub
+	mirror  *obs.EventLog // optional JSONL alarm mirror (policy alarms.events)
+
+	mu        sync.Mutex
+	buses     map[string]*busRun
+	order     []string
+	policy    *control.Policy
+	policyGen int
+	draining  bool
+}
+
+// New builds the daemon and attaches every bus of the initial policy.
+// On error the partially attached buses are torn down.
+func New(cfg Config) (*Daemon, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	baseDir := cfg.BaseDir
+	if baseDir == "" {
+		baseDir = "."
+	}
+	buffer := control.DefaultEventBuffer
+	if cfg.Policy != nil && cfg.Policy.Alarms.Buffer > 0 {
+		buffer = cfg.Policy.Alarms.Buffer
+	}
+	d := &Daemon{
+		logf:    logf,
+		baseDir: baseDir,
+		hub:     newEventHub(buffer),
+		buses:   map[string]*busRun{},
+	}
+	if cfg.Policy != nil {
+		if cfg.Policy.Alarms.Events != "" {
+			mirror, err := obs.CreateEventLog(cfg.Policy.Alarms.Events)
+			if err != nil {
+				return nil, fmt.Errorf("alarms.events: %w", err)
+			}
+			d.mirror = mirror
+		}
+		if _, err := d.ApplyPolicy(cfg.Policy); err != nil {
+			d.Drain(2 * time.Second)
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// publish fans one event out to the subscription hub and the optional
+// JSONL mirror.
+func (d *Daemon) publish(e obs.Event) {
+	d.hub.Publish(e)
+	if d.mirror != nil {
+		_ = d.mirror.Emit(e)
+	}
+}
+
+// Events is the long-poll subscription read (see eventHub.Poll).
+func (d *Daemon) Events(after uint64, max int, wait time.Duration) controlapi.EventsResponse {
+	return d.hub.Poll(after, max, wait)
+}
+
+// resolvePath anchors a relative path against the policy directory
+// (when a policy is loaded) or the daemon's base directory.
+func (d *Daemon) resolvePath(p string) string {
+	if p == "" || filepath.IsAbs(p) {
+		return p
+	}
+	d.mu.Lock()
+	dir := d.baseDir
+	if d.policy != nil && d.policy.Dir != "" {
+		dir = d.policy.Dir
+	}
+	d.mu.Unlock()
+	return filepath.Join(dir, p)
+}
+
+// Attach brings one bus up: validate the spec, load its model, bind
+// its ingest listener, start its accept loop.
+func (d *Daemon) Attach(spec controlapi.BusSpec) (controlapi.BusStatus, error) {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return controlapi.BusStatus{}, errors.New("daemon is draining")
+	}
+	if _, dup := d.buses[spec.Bus]; dup {
+		d.mu.Unlock()
+		return controlapi.BusStatus{}, fmt.Errorf("bus %q is already attached", spec.Bus)
+	}
+	d.mu.Unlock()
+
+	dir := d.baseDir
+	d.mu.Lock()
+	if d.policy != nil && d.policy.Dir != "" {
+		dir = d.policy.Dir
+	}
+	d.mu.Unlock()
+	if err := control.ValidateSpec(&spec, dir); err != nil {
+		return controlapi.BusStatus{}, err
+	}
+
+	b, err := d.startBus(spec)
+	if err != nil {
+		return controlapi.BusStatus{}, err
+	}
+	d.mu.Lock()
+	if _, dup := d.buses[spec.Bus]; dup {
+		d.mu.Unlock()
+		b.stop()
+		<-b.loopDone
+		return controlapi.BusStatus{}, fmt.Errorf("bus %q is already attached", spec.Bus)
+	}
+	d.buses[spec.Bus] = b
+	d.order = append(d.order, spec.Bus)
+	d.mu.Unlock()
+	d.logf("bus %s: attached, ingest %s://%s", spec.Bus, b.scheme, b.ingest)
+	return b.status(), nil
+}
+
+// Detach stops a bus: close its listener, drain its live session (up
+// to timeout, then hard-close the feed), remove it from the registry.
+func (d *Daemon) Detach(bus string, timeout time.Duration) (controlapi.BusStatus, error) {
+	d.mu.Lock()
+	b, ok := d.buses[bus]
+	if ok {
+		delete(d.buses, bus)
+		for i, n := range d.order {
+			if n == bus {
+				d.order = append(d.order[:i], d.order[i+1:]...)
+				break
+			}
+		}
+	}
+	d.mu.Unlock()
+	if !ok {
+		return controlapi.BusStatus{}, fmt.Errorf("bus %q is not attached", bus)
+	}
+	b.drain(timeout)
+	st := b.status()
+	st.State = controlapi.BusDetached
+	d.logf("bus %s: detached (%d sessions, %d aborted)", bus, st.Sessions, st.SessionsAborted)
+	return st, nil
+}
+
+// Swap hot-swaps one bus's model mid-stream through its ModelStore;
+// in-flight frames score against old or new, never a mix, and no
+// frame is dropped.
+func (d *Daemon) Swap(bus, model string) (controlapi.SwapResponse, error) {
+	d.mu.Lock()
+	b, ok := d.buses[bus]
+	d.mu.Unlock()
+	if !ok {
+		return controlapi.SwapResponse{}, fmt.Errorf("bus %q is not attached", bus)
+	}
+	path := d.resolvePath(model)
+	m, err := engine.LoadModelFile(path)
+	if err != nil {
+		return controlapi.SwapResponse{}, err
+	}
+	v, err := b.store.Swap(m)
+	if err != nil {
+		return controlapi.SwapResponse{}, err
+	}
+	b.mu.Lock()
+	b.spec.Model = model
+	b.mu.Unlock()
+	d.logf("bus %s: model swapped to %s (version %d)", bus, model, v)
+	return controlapi.SwapResponse{Bus: bus, Model: model, Version: v}, nil
+}
+
+// ApplyPolicy applies a validated policy as a diff against the
+// current one: unchanged buses are not touched (their listeners stay
+// bound and their detector state survives), model-only changes
+// hot-swap in place, everything else restarts just that bus.
+func (d *Daemon) ApplyPolicy(p *control.Policy) (controlapi.ReloadResponse, error) {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return controlapi.ReloadResponse{}, errors.New("daemon is draining")
+	}
+	old := d.policy
+	d.mu.Unlock()
+
+	diff := control.DiffPolicies(old, p)
+	// Install the policy before applying the diff so relative model
+	// paths in Attach/Swap resolve against the new policy's directory.
+	d.mu.Lock()
+	d.policy = p
+	d.mu.Unlock()
+	var errs []error
+	for _, bus := range diff.Removed {
+		if _, err := d.Detach(bus, 5*time.Second); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, bus := range diff.Restarted {
+		if _, err := d.Detach(bus, 5*time.Second); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, bus := range diff.Swapped {
+		if _, err := d.Swap(bus, p.Bus(bus).Model); err != nil {
+			errs = append(errs, fmt.Errorf("swap %s: %w", bus, err))
+		}
+	}
+	for _, bus := range append(append([]string{}, diff.Restarted...), diff.Added...) {
+		if _, err := d.Attach(*p.Bus(bus)); err != nil {
+			errs = append(errs, fmt.Errorf("attach %s: %w", bus, err))
+		}
+	}
+	d.mu.Lock()
+	d.policyGen++
+	gen := d.policyGen
+	d.mu.Unlock()
+	resp := controlapi.ReloadResponse{
+		PolicyGen: gen,
+		Added:     diff.Added, Removed: diff.Removed,
+		Swapped: diff.Swapped, Restarted: diff.Restarted, Unchanged: diff.Unchanged,
+	}
+	if len(errs) > 0 {
+		return resp, errors.Join(errs...)
+	}
+	d.logf("policy applied (gen %d): %d added, %d removed, %d swapped, %d restarted, %d unchanged",
+		gen, len(diff.Added), len(diff.Removed), len(diff.Swapped), len(diff.Restarted), len(diff.Unchanged))
+	return resp, nil
+}
+
+// Reload re-reads the policy file the daemon was started with and
+// applies the diff. Validation failures leave the running state
+// untouched.
+func (d *Daemon) Reload() (controlapi.ReloadResponse, error) {
+	d.mu.Lock()
+	var path string
+	if d.policy != nil {
+		path = d.policy.Path
+	}
+	d.mu.Unlock()
+	if path == "" {
+		return controlapi.ReloadResponse{}, errors.New("daemon was started without a policy file")
+	}
+	p, err := control.LoadPolicy(path)
+	if err != nil {
+		return controlapi.ReloadResponse{}, err
+	}
+	return d.ApplyPolicy(p)
+}
+
+// Status is the daemon-wide view, buses in attach order.
+func (d *Daemon) Status() controlapi.StatusResponse {
+	d.mu.Lock()
+	var resp controlapi.StatusResponse
+	if d.policy != nil {
+		resp.PolicyPath = d.policy.Path
+	}
+	resp.PolicyGen = d.policyGen
+	resp.Draining = d.draining
+	runs := make([]*busRun, 0, len(d.order))
+	for _, name := range d.order {
+		runs = append(runs, d.buses[name])
+	}
+	d.mu.Unlock()
+	for _, b := range runs {
+		resp.Buses = append(resp.Buses, b.status())
+	}
+	return resp
+}
+
+// BusStatus is one bus's view.
+func (d *Daemon) BusStatus(bus string) (controlapi.BusStatus, error) {
+	d.mu.Lock()
+	b, ok := d.buses[bus]
+	d.mu.Unlock()
+	if !ok {
+		return controlapi.BusStatus{}, fmt.Errorf("bus %q is not attached", bus)
+	}
+	return b.status(), nil
+}
+
+// Flight lists a bus's finished flight bundles, or opens one bundle
+// file for download.
+func (d *Daemon) Flight(bus string) (controlapi.FlightList, error) {
+	d.mu.Lock()
+	b, ok := d.buses[bus]
+	d.mu.Unlock()
+	if !ok {
+		return controlapi.FlightList{}, fmt.Errorf("bus %q is not attached", bus)
+	}
+	dir := b.flightDir()
+	if dir == "" {
+		return controlapi.FlightList{}, fmt.Errorf("bus %q has no flight recorder", bus)
+	}
+	list := controlapi.FlightList{Bus: bus}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return list, nil // recorder enabled, no bundles yet
+		}
+		return list, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		fb := controlapi.FlightBundle{Bus: bus, Bundle: e.Name()}
+		files, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if !f.IsDir() {
+				fb.Files = append(fb.Files, f.Name())
+			}
+		}
+		list.Bundles = append(list.Bundles, fb)
+	}
+	sort.Slice(list.Bundles, func(i, j int) bool { return list.Bundles[i].Bundle < list.Bundles[j].Bundle })
+	return list, nil
+}
+
+// FlightFile opens one file of one bundle for streaming to a client.
+// The bundle and file names are validated as single path segments so
+// the API cannot read outside the bus's flight directory.
+func (d *Daemon) FlightFile(bus, bundle, file string) (io.ReadCloser, error) {
+	d.mu.Lock()
+	b, ok := d.buses[bus]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("bus %q is not attached", bus)
+	}
+	dir := b.flightDir()
+	if dir == "" {
+		return nil, fmt.Errorf("bus %q has no flight recorder", bus)
+	}
+	for _, seg := range []string{bundle, file} {
+		if seg == "" || seg != filepath.Base(seg) || strings.HasPrefix(seg, ".") {
+			return nil, fmt.Errorf("invalid bundle path segment %q", seg)
+		}
+	}
+	return os.Open(filepath.Join(dir, bundle, file))
+}
+
+// Drain is the graceful shutdown: every bus's listener closes, every
+// live session is asked to stop at its next record boundary, event
+// logs flush, flight bundles close, and final tallies are logged. The
+// returned exit code follows the CLI convention — 0 on a clean drain,
+// 3 when any session aborted mid-stream (over the daemon's whole
+// life, not just the drain).
+func (d *Daemon) Drain(timeout time.Duration) int {
+	d.mu.Lock()
+	d.draining = true
+	runs := make([]*busRun, 0, len(d.order))
+	for _, name := range d.order {
+		runs = append(runs, d.buses[name])
+	}
+	d.mu.Unlock()
+
+	for _, b := range runs {
+		b.stop()
+	}
+	deadline := time.Now().Add(timeout)
+	aborted := 0
+	for _, b := range runs {
+		b.waitDone(time.Until(deadline))
+		st := b.status()
+		aborted += st.SessionsAborted
+		if t := st.Tally; t != nil {
+			d.logf("bus %s: final tally: %d frames, %d voltage alarms, %d timing alarms, %d suppressed, %d corruption stretches",
+				st.Bus, t.Frames, t.VoltAlarms+t.PreprocFailed, t.PeriodAlarms, t.Suppressed, t.Corruptions)
+			if t.Gaps != nil {
+				d.logf("bus %s: datagram gaps: %d lost, %d late, %d accepted",
+					st.Bus, t.Gaps.LostChunks, t.Gaps.LateChunks, t.Gaps.Datagrams)
+			}
+		} else {
+			d.logf("bus %s: final tally: no frames ingested", st.Bus)
+		}
+	}
+	if d.mirror != nil {
+		_ = d.mirror.Close(nil)
+	}
+	if aborted > 0 {
+		d.logf("drain complete: %d session(s) aborted", aborted)
+		return 3
+	}
+	d.logf("drain complete: all sessions flushed cleanly")
+	return 0
+}
+
+// busRun is one attached bus: its ingest listener, model store, and
+// the engine session currently streaming (at most one feed at a time;
+// later feeds queue on the listener's accept backlog).
+type busRun struct {
+	d         *Daemon
+	scheme    string
+	ingest    string
+	modelPath string
+	store     *engine.ModelStore
+	ln        net.Listener          // tcp/unix
+	dg        *trace.DatagramReader // udp
+	loopDone  chan struct{}
+
+	mu       sync.Mutex
+	spec     controlapi.BusSpec
+	state    controlapi.BusState
+	stopping bool
+	sessions int
+	done     int
+	aborted  int
+	lastErr  string
+	sess     *engine.Session
+	feed     io.Closer
+	tally    *engine.Tally
+	lastSum  *engine.Summary
+}
+
+// startBus loads the model, binds the listener and starts the accept
+// loop. The spec is assumed validated.
+func (d *Daemon) startBus(spec controlapi.BusSpec) (*busRun, error) {
+	scheme, addr, err := controlapi.ParseListen(spec.Listen)
+	if err != nil {
+		return nil, err
+	}
+	modelPath := d.resolvePath(spec.Model)
+	m, err := engine.LoadModelFile(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	store, err := engine.NewModelStore(m)
+	if err != nil {
+		return nil, err
+	}
+	b := &busRun{
+		d: d, scheme: scheme, modelPath: modelPath, store: store,
+		spec: spec, state: controlapi.BusWaiting, loopDone: make(chan struct{}),
+	}
+	bus := spec.Bus
+	store.OnSwap(func(sm engine.StoredModel) {
+		d.publish(obs.Event{
+			Kind: obs.EventModelSwap, Bus: bus, Severity: obs.SeverityInfo,
+			Detail: fmt.Sprintf("model version %d", sm.Version),
+		})
+	})
+	switch scheme {
+	case controlapi.SchemeUDP:
+		pc, err := net.ListenPacket("udp", addr)
+		if err != nil {
+			return nil, err
+		}
+		b.dg = trace.NewDatagramReader(pc)
+		b.ingest = pc.LocalAddr().String()
+	case controlapi.SchemeUnix:
+		cleanStaleSocket(addr)
+		ln, err := net.Listen("unix", addr)
+		if err != nil {
+			return nil, err
+		}
+		b.ln = ln
+		b.ingest = addr
+	default:
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		b.ln = ln
+		b.ingest = ln.Addr().String()
+	}
+	go b.loop()
+	return b, nil
+}
+
+// cleanStaleSocket removes a unix socket file left behind by a dead
+// daemon — but only when nothing answers on it.
+func cleanStaleSocket(path string) {
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	if conn, err := net.DialTimeout("unix", path, 100*time.Millisecond); err == nil {
+		conn.Close() // something is live on it; let Listen fail loudly
+		return
+	}
+	_ = os.Remove(path)
+}
+
+// loop accepts feeds one at a time (tcp/unix) or serves the single
+// datagram stream (udp) until the bus stops.
+func (b *busRun) loop() {
+	defer close(b.loopDone)
+	if b.dg != nil {
+		b.serveStream("udp:"+b.ingest, b.dg, b.dg.Gaps)
+		return
+	}
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return // listener closed: detach or drain
+		}
+		name := b.scheme + ":" + b.ingest
+		if ra := conn.RemoteAddr(); ra != nil && ra.String() != "" {
+			name = b.scheme + ":" + ra.String()
+		}
+		b.serveStream(name, conn, nil)
+	}
+}
+
+// serveStream runs one feed through an engine session until the feed
+// ends (EOF, error, or a stop at the next record boundary).
+func (b *busRun) serveStream(name string, rc io.ReadCloser, gaps func() trace.GapStats) {
+	src, err := engine.NewStreamSource(name, rc)
+	if err != nil {
+		b.mu.Lock()
+		stopping := b.stopping
+		if !stopping {
+			b.lastErr = err.Error()
+		}
+		b.mu.Unlock()
+		if !stopping {
+			b.d.logf("bus %s: feed %s rejected: %v", b.busName(), name, err)
+		}
+		return
+	}
+	if gaps != nil {
+		src.SetGapStats(gaps)
+	}
+	tally := engine.NewTally()
+	sess := engine.NewSession("", b.sessionOptions(src)...)
+
+	b.mu.Lock()
+	if b.stopping {
+		b.mu.Unlock()
+		src.Close()
+		return
+	}
+	b.sessions++
+	b.sess = sess
+	b.feed = rc
+	b.tally = tally
+	b.state = controlapi.BusStreaming
+	b.mu.Unlock()
+	b.d.logf("bus %s: feed %s streaming", b.busName(), name)
+
+	sum, err := sess.Run(b.sink(tally))
+
+	b.mu.Lock()
+	b.sess = nil
+	b.feed = nil
+	b.done++
+	b.lastSum = &sum
+	if !b.stopping {
+		b.state = controlapi.BusWaiting
+	}
+	var abort *engine.AbortError
+	if err != nil {
+		b.lastErr = err.Error()
+		if errors.As(err, &abort) {
+			b.aborted++
+		}
+	}
+	b.mu.Unlock()
+	if err != nil {
+		b.d.logf("bus %s: feed %s ended with error: %v", b.busName(), name, err)
+	} else {
+		b.d.logf("bus %s: feed %s done: %d records in %.2fs",
+			b.busName(), name, sum.Stats.RecordsOut, sum.Stats.WallTime.Seconds())
+	}
+}
+
+func (b *busRun) busName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spec.Bus
+}
+
+// sessionOptions translates the bus spec into engine options around
+// the attached source.
+func (b *busRun) sessionOptions(src *engine.StreamSource) []engine.Option {
+	b.mu.Lock()
+	spec := b.spec
+	b.mu.Unlock()
+	d := b.d
+	bus := spec.Bus
+	opts := []engine.Option{
+		engine.WithName(bus),
+		engine.WithSource(src),
+		engine.WithStore(b.store),
+		engine.WithWorkers(spec.Workers),
+		engine.WithBatch(spec.Batch),
+		engine.WithLogf(func(format string, args ...any) {
+			d.logf("bus "+bus+": "+format, args...)
+		}),
+	}
+	// UDP loss surfaces as stream corruption; recovery is mandatory
+	// there (validation enforces it on the spec too).
+	if spec.Recover || b.dg != nil {
+		opts = append(opts, engine.WithRecovery(true))
+	}
+	if spec.Quarantine {
+		if spec.QuarantineSuspectAfter > 0 || spec.QuarantineDegradeAfter > 0 || spec.QuarantineRecoverAfter > 0 {
+			opts = append(opts, engine.WithQuarantineConfig(ids.QuarantineConfig{
+				SuspectAfter: spec.QuarantineSuspectAfter,
+				DegradeAfter: spec.QuarantineDegradeAfter,
+				RecoverAfter: spec.QuarantineRecoverAfter,
+			}))
+		} else {
+			opts = append(opts, engine.WithQuarantine(true))
+		}
+	}
+	if spec.Drift {
+		opts = append(opts, engine.WithDriftConfig(drift.Config{
+			Bus:  bus,
+			Emit: func(e obs.Event) { d.publish(e) },
+		}))
+	}
+	if spec.StallTimeout != "" {
+		if dur, err := time.ParseDuration(spec.StallTimeout); err == nil && dur > 0 {
+			opts = append(opts, engine.WithStallTimeout(dur))
+		}
+	}
+	if dir := b.flightDir(); dir != "" {
+		window := spec.FlightWindow
+		if window <= 0 {
+			window = 8
+		}
+		opts = append(opts, engine.WithFlightRecorder(dir, window))
+	}
+	return opts
+}
+
+// flightDir is the bus's bundle directory ("" when the recorder is
+// off).
+func (b *busRun) flightDir() string {
+	b.mu.Lock()
+	spec := b.spec
+	b.mu.Unlock()
+	if spec.FlightDir == "" {
+		return ""
+	}
+	return filepath.Join(b.d.resolvePath(spec.FlightDir), spec.Bus)
+}
+
+// sink folds every verdict into the bus tally and publishes the
+// derived events — the same event derivation batch replay uses, so
+// the daemon's alarm stream and a CLI replay of the same capture are
+// one and the same.
+func (b *busRun) sink(t *engine.Tally) engine.Sink {
+	bus := b.busName()
+	return func(res engine.Result) error {
+		b.mu.Lock()
+		events := t.Observe(res.Result)
+		b.mu.Unlock()
+		for i := range events {
+			if events[i].Bus == "" {
+				events[i].Bus = bus
+			}
+			b.d.publish(events[i])
+		}
+		return nil
+	}
+}
+
+// drain is stop + wait: the detach path.
+func (b *busRun) drain(timeout time.Duration) {
+	b.stop()
+	b.waitDone(timeout)
+}
+
+// stop closes the listener and asks the live session to drain at its
+// next record boundary.
+func (b *busRun) stop() {
+	b.mu.Lock()
+	b.stopping = true
+	b.state = controlapi.BusDetached
+	ln, dg, sess := b.ln, b.dg, b.sess
+	b.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if sess != nil {
+		sess.Stop()
+	}
+	if dg != nil {
+		// Unblocks a read waiting for the next datagram; a session
+		// mid-record drains through the recovery path.
+		dg.Close()
+	}
+}
+
+// waitDone waits for the accept loop (and with it the live session)
+// to finish, hard-closing the feed when the timeout expires.
+func (b *busRun) waitDone(timeout time.Duration) {
+	if timeout < 0 {
+		timeout = 0
+	}
+	select {
+	case <-b.loopDone:
+		return
+	case <-time.After(timeout):
+	}
+	b.mu.Lock()
+	feed := b.feed
+	b.mu.Unlock()
+	if feed != nil {
+		b.d.logf("bus %s: drain timeout, closing feed", b.busName())
+		feed.Close()
+	}
+	select {
+	case <-b.loopDone:
+	case <-time.After(2 * time.Second):
+		b.d.logf("bus %s: session did not stop after feed close", b.busName())
+	}
+}
+
+// status builds the bus's control-plane view: registry counters plus
+// either the live session's mid-stream snapshot or the last completed
+// session's summary.
+func (b *busRun) status() controlapi.BusStatus {
+	b.mu.Lock()
+	st := controlapi.BusStatus{
+		Bus: b.spec.Bus, State: b.state, Listen: b.spec.Listen,
+		Ingest: b.scheme + "://" + b.ingest, Model: b.spec.Model,
+		ModelVersion: b.store.Version(),
+		Sessions:     b.sessions, SessionsDone: b.done, SessionsAborted: b.aborted,
+		LastError: b.lastErr, Live: b.sess != nil,
+	}
+	sess := b.sess
+	var snap *controlapi.TallySnapshot
+	if b.tally != nil {
+		t := b.tally
+		snap = &controlapi.TallySnapshot{
+			Frames: t.Frames(), VoltAlarms: t.VoltAlarms, PreprocFailed: t.PreprocFailed,
+			PeriodAlarms: t.PeriodAlarms, TPErrors: t.TPErrors, Suppressed: t.Suppressed,
+			LastAt: t.LastAt, SAs: t.Rows(),
+		}
+	}
+	lastSum := b.lastSum
+	b.mu.Unlock()
+
+	if snap != nil {
+		var sum engine.Summary
+		switch {
+		case sess != nil:
+			sum = sess.Snapshot()
+		case lastSum != nil:
+			sum = *lastSum
+		}
+		snap.Gaps = sum.Gaps
+		snap.Corruptions = len(sum.Corruptions)
+		snap.DegradedSAs = sum.DegradedSAs
+		st.Tally = snap
+	}
+	return st
+}

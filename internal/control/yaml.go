@@ -1,0 +1,183 @@
+package control
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The fleet policy is YAML for operator familiarity, but this repo
+// takes no external dependencies, so the daemon parses a strict,
+// deliberately small YAML subset: nested maps of scalars, indented
+// with spaces, with `#` comments and single- or double-quoted
+// strings. Anchors, lists, multi-line scalars and flow syntax are
+// rejected loudly — a policy file is configuration, and configuration
+// that parses by luck is worse than configuration that fails with a
+// line number.
+
+// node is one parsed YAML value: a scalar leaf or a map of named
+// children. Every node remembers its source line so validation errors
+// can point at the file.
+type node struct {
+	line     int
+	scalar   string
+	isScalar bool
+	keys     []string // child order, for deterministic iteration
+	children map[string]*node
+	// childIndent is the column shared by this map's children; 0 until
+	// the first child arrives.
+	childIndent int
+}
+
+func (n *node) child(key string) *node {
+	if n == nil || n.children == nil {
+		return nil
+	}
+	return n.children[key]
+}
+
+// parseYAML parses the subset described above. name tags error
+// messages (usually the policy file path).
+func parseYAML(name string, data []byte) (*node, error) {
+	root := &node{line: 0, children: map[string]*node{}}
+	// stack[i] is the innermost open map at indent depths[i].
+	stack := []*node{root}
+	depths := []int{-1}
+
+	lines := strings.Split(string(data), "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("%s:%d: tab in indentation (use spaces)", name, lineNo)
+		}
+		content := line[indent:]
+		if strings.HasPrefix(content, "- ") || content == "-" {
+			return nil, fmt.Errorf("%s:%d: YAML lists are not supported in policy files", name, lineNo)
+		}
+
+		// Pop to the map this line belongs to.
+		for len(stack) > 1 && indent <= depths[len(depths)-1] {
+			stack = stack[:len(stack)-1]
+			depths = depths[:len(depths)-1]
+		}
+		parent := stack[len(stack)-1]
+		if parent.isScalar {
+			return nil, fmt.Errorf("%s:%d: unexpected indentation under a scalar value", name, lineNo)
+		}
+
+		key, val, hasVal, err := splitKeyValue(content)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+		}
+		if parent.children == nil {
+			parent.children = map[string]*node{}
+		}
+		if _, dup := parent.children[key]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate key %q", name, lineNo, key)
+		}
+		// Enforce sibling alignment: all children of one map share the
+		// same indent.
+		if len(parent.keys) == 0 {
+			parent.childIndent = indent
+		} else if indent != parent.childIndent {
+			return nil, fmt.Errorf("%s:%d: inconsistent indentation for key %q (got %d spaces, siblings use %d)",
+				name, lineNo, key, indent, parent.childIndent)
+		}
+
+		child := &node{line: lineNo}
+		parent.children[key] = child
+		parent.keys = append(parent.keys, key)
+		if hasVal {
+			child.isScalar = true
+			child.scalar = val
+			continue
+		}
+		// `key:` with nothing after — an (initially empty) nested map.
+		stack = append(stack, child)
+		depths = append(depths, indent)
+	}
+	return root, nil
+}
+
+// stripComment removes a trailing `# ...` comment, respecting quoted
+// strings.
+func stripComment(line string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle && (i == 0 || line[i-1] != '\\') {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || line[i-1] == ' ' || line[i-1] == '\t') {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// splitKeyValue parses `key:` or `key: value` and unquotes value.
+// hasVal distinguishes a map intro (`key:`) from an explicit empty
+// scalar (`key: ""`).
+func splitKeyValue(content string) (key, val string, hasVal bool, err error) {
+	idx := strings.Index(content, ":")
+	if idx <= 0 {
+		return "", "", false, fmt.Errorf("expected `key:` or `key: value`, got %q", strings.TrimSpace(content))
+	}
+	key = strings.TrimSpace(content[:idx])
+	if strings.ContainsAny(key, "\"'{}[]") {
+		return "", "", false, fmt.Errorf("unsupported key syntax %q", key)
+	}
+	rest := strings.TrimSpace(content[idx+1:])
+	if rest == "" {
+		return key, "", false, nil
+	}
+	if strings.HasPrefix(rest, "|") || strings.HasPrefix(rest, ">") {
+		return "", "", false, fmt.Errorf("multi-line scalars (|, >) are not supported in policy files")
+	}
+	if strings.HasPrefix(rest, "{") || strings.HasPrefix(rest, "[") {
+		return "", "", false, fmt.Errorf("flow syntax ({...}, [...]) is not supported in policy files")
+	}
+	if strings.HasPrefix(rest, "&") || strings.HasPrefix(rest, "*") {
+		return "", "", false, fmt.Errorf("YAML anchors/aliases are not supported in policy files")
+	}
+	val, err = unquote(rest)
+	if err != nil {
+		return "", "", false, err
+	}
+	return key, val, true, nil
+}
+
+// unquote strips one level of single or double quotes; unquoted
+// values pass through trimmed.
+func unquote(s string) (string, error) {
+	if len(s) >= 2 && s[0] == '\'' {
+		if s[len(s)-1] != '\'' {
+			return "", fmt.Errorf("unterminated single-quoted string %q", s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	if len(s) >= 2 && s[0] == '"' {
+		if s[len(s)-1] != '"' {
+			return "", fmt.Errorf("unterminated double-quoted string %q", s)
+		}
+		body := s[1 : len(s)-1]
+		body = strings.ReplaceAll(body, `\"`, `"`)
+		body = strings.ReplaceAll(body, `\\`, `\`)
+		return body, nil
+	}
+	return s, nil
+}

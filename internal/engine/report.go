@@ -202,6 +202,57 @@ func (t *Tally) SetDrift(snap *drift.Snapshot) {
 	}
 }
 
+// TallyRow is one SA's accounting in exportable form — the control
+// API's per-SA table. Field meanings match Table's columns.
+type TallyRow struct {
+	SA         uint8   `json:"sa"`
+	Frames     int     `json:"frames"`
+	VoltAlarms int     `json:"volt_alarms"`
+	TimeAlarms int     `json:"time_alarms"`
+	TPAlarms   int     `json:"tp_alarms"`
+	Suppressed int     `json:"suppressed,omitempty"`
+	State      string  `json:"state,omitempty"`
+	Drift      string  `json:"drift,omitempty"`
+	LastSeen   float64 `json:"last_seen"`
+}
+
+// Rows exports the per-SA table sorted by source address. State is
+// populated only on quarantined replays, Drift only when the drift
+// layer ran.
+func (t *Tally) Rows() []TallyRow {
+	sas := make([]int, 0, len(t.perSA))
+	for sa := range t.perSA {
+		sas = append(sas, int(sa))
+	}
+	sort.Ints(sas)
+	rows := make([]TallyRow, 0, len(sas))
+	for _, sa := range sas {
+		c := t.perSA[uint8(sa)]
+		row := TallyRow{
+			SA: uint8(sa), Frames: c.frames,
+			VoltAlarms: c.voltAlarms, TimeAlarms: c.timeAlarms, TPAlarms: c.tpAlarms,
+			Suppressed: c.suppressed, LastSeen: c.lastSeen,
+		}
+		if t.Quarantined {
+			row.State = c.state.String()
+		}
+		if t.Drifting {
+			row.Drift = c.drift
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Frames is the total frame count across all SAs.
+func (t *Tally) Frames() int {
+	n := 0
+	for _, c := range t.perSA {
+		n += c.frames
+	}
+	return n
+}
+
 // Table renders the per-SA accounting. Every alarm family the summary
 // counts is attributed to a source address, so each column sums to
 // its summary total: volt = voltage alarms + preprocess failures,

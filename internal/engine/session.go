@@ -2,6 +2,8 @@ package engine
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"vprofile/internal/core"
@@ -98,6 +100,13 @@ type Summary struct {
 	// Drift is the end-of-run drift-detector snapshot (nil when the
 	// drift layer is off).
 	Drift *drift.Snapshot
+	// Gaps is the datagram sequence-gap accounting for lossy (UDP)
+	// stream sources; nil for files and lossless sockets.
+	Gaps *trace.GapStats
+	// Live is true on a mid-stream Snapshot — the replay is still
+	// running and end-of-run-only fields (SilentStreams, Incidents,
+	// Flight) are not populated yet.
+	Live bool
 	// Err is the session's replay error — populated on fleet runs,
 	// where one bus's failure must not hide the others' summaries.
 	Err error
@@ -110,6 +119,9 @@ type Summary struct {
 type Session struct {
 	capture string
 	name    string
+	// source, when set, replaces opening the capture file: the session
+	// streams records from it instead (live ingestion).
+	source *StreamSource
 
 	model     *core.Model
 	modelPath string
@@ -129,6 +141,7 @@ type Session struct {
 	flightWindow int
 
 	quarantine bool
+	quarCfg    *ids.QuarantineConfig
 	recovery   bool
 	stall      time.Duration
 	watch      time.Duration
@@ -153,6 +166,27 @@ type Session struct {
 	ownDrift bool
 
 	logf func(format string, args ...any)
+
+	// live is the state a mid-stream Snapshot reads while Run is in
+	// flight: everything in it is either immutable after Run's setup
+	// (src, store, startVersion), internally synchronised
+	// (pipeline.Replayer.Stats, drift.Monitor.Status,
+	// trace.Reader.Corruptions), or written exactly once at the end
+	// (final). degraded is kept separately by the sink wrapper so the
+	// snapshot never touches the composite's unsynchronised quarantine
+	// state.
+	live struct {
+		mu           sync.Mutex
+		src          *StreamSource
+		rep          *pipeline.Replayer
+		driftMon     *drift.Monitor
+		store        *ModelStore
+		startVersion int
+		started      bool
+		stopEarly    bool
+		final        *Summary
+	}
+	degraded atomic.Int64
 }
 
 // Option configures a Session (and, via NewFleet, every session of a
@@ -211,6 +245,17 @@ func WithFlightRecorder(dir string, window int) Option {
 
 // WithQuarantine enables the per-SA degradation state machine.
 func WithQuarantine(on bool) Option { return func(s *Session) { s.quarantine = on } }
+
+// WithQuarantineConfig enables quarantine with explicit thresholds
+// (the fleet policy's per-bus tuning); zero fields take the defaults.
+func WithQuarantineConfig(cfg ids.QuarantineConfig) Option {
+	return func(s *Session) { s.quarantine, s.quarCfg = true, &cfg }
+}
+
+// WithSource streams records from an already-attached source instead
+// of opening a capture file — the daemon's live-ingestion path. The
+// session takes ownership (Run closes it).
+func WithSource(src *StreamSource) Option { return func(s *Session) { s.source = src } }
 
 // WithRecovery tolerates capture corruption: the reader resyncs past
 // damaged records instead of aborting.
@@ -291,16 +336,34 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 	}
 	startVersion := s.store.Version()
 
-	rd, closer, err := trace.OpenPath(s.capture)
-	if err != nil {
-		return sum, err
+	var err error
+	rd := s.source
+	if rd == nil {
+		rd, err = OpenCaptureSource(s.capture)
+		if err != nil {
+			return sum, err
+		}
 	}
-	defer closer.Close()
+	defer rd.Close()
+	if sum.Capture == "" {
+		sum.Capture = rd.Name()
+	}
 	if s.recovery {
 		rd.EnableRecovery()
 	}
 	h := rd.Header()
 	sum.Header = h
+
+	s.live.mu.Lock()
+	s.live.src = rd
+	s.live.store = s.store
+	s.live.startVersion = startVersion
+	s.live.started = true
+	if s.live.stopEarly {
+		// Stop raced ahead of Run: honour it before the first record.
+		rd.Stop()
+	}
+	s.live.mu.Unlock()
 
 	// Observability: one registry feeds the live HTTP endpoint, the
 	// instrumented pipeline/detector stack, and the end-of-run
@@ -330,6 +393,11 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 	}
 	incStream := s.setupIncidents(reg)
 	driftMon := s.setupDrift(reg, incStream)
+	if driftMon != nil {
+		s.live.mu.Lock()
+		s.live.driftMon = driftMon
+		s.live.mu.Unlock()
+	}
 	var recorder *tracing.Recorder
 	if s.flightDir != "" {
 		rcfg := tracing.RecorderConfig{
@@ -425,6 +493,9 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 	mcfg := ids.CompositeConfig{Extraction: ExtractionFor(h), Models: s.store, Metrics: im}
 	if s.quarantine {
 		mcfg.Quarantine = &ids.QuarantineConfig{}
+		if s.quarCfg != nil {
+			mcfg.Quarantine = s.quarCfg
+		}
 		if incStream != nil {
 			// Quarantine transitions reach the incident layer as
 			// structured notifications, not by polling: degradation
@@ -446,6 +517,27 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 	if sink != nil {
 		bus := s.name
 		pfn = func(r pipeline.Result) error { return sink(Result{Bus: bus, Result: r}) }
+	}
+	if s.quarantine {
+		// Track the degraded-SA population on an atomic so a mid-stream
+		// Snapshot never reads the composite's quarantine map while the
+		// sequencer is writing it. Wrapped innermost: the count is
+		// updated even when drift/incident wrappers or the user sink
+		// error out later in the chain.
+		deg, inner := &s.degraded, pfn
+		pfn = func(r pipeline.Result) error {
+			if r.Verdict.QuarantineChanged() {
+				if r.Verdict.SAState == ids.SADegraded {
+					deg.Add(1)
+				} else if r.Verdict.PrevSAState == ids.SADegraded {
+					deg.Add(-1)
+				}
+			}
+			if inner != nil {
+				return inner(r)
+			}
+			return nil
+		}
 	}
 	if driftMon != nil {
 		// Scored frames feed the drift sketches. Wrapped before the
@@ -475,10 +567,17 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 			return nil
 		}
 	}
-	st, err := pipeline.Replay(rd, mon, pipeline.Config{
+	rep, err := pipeline.New(mon, pipeline.Config{
 		Workers: s.workers, Batch: s.batch, Pool: s.pool, Metrics: pm, Recorder: recorder, StallTimeout: s.stall,
-	}, pfn)
-	sum.Stats = st
+	})
+	if err != nil {
+		return sum, err
+	}
+	s.live.mu.Lock()
+	s.live.rep = rep
+	s.live.mu.Unlock()
+	err = rep.Run(rd, pfn)
+	sum.Stats = rep.Stats()
 	if recorder != nil {
 		// Close before the event log: flushing truncated capture
 		// windows emits their flight events.
@@ -516,5 +615,72 @@ func (s *Session) Run(sink Sink) (Summary, error) {
 	sum.DegradedSAs = mon.DegradedSAs()
 	sum.ModelVersion = s.store.Version()
 	sum.ModelSwaps = sum.ModelVersion - startVersion
-	return sum, classify(err)
+	sum.Gaps = rd.Gaps()
+	err = classify(err)
+	s.live.mu.Lock()
+	final := sum
+	s.live.final = &final
+	s.live.mu.Unlock()
+	return sum, err
+}
+
+// Stop asks a running session to drain: the stream source ends at the
+// next record boundary (interrupting a blocked transport read), the
+// pipeline flushes, and Run returns with a complete Summary. Calling
+// Stop before Run makes Run drain immediately after setup; calling it
+// after Run returned is a no-op.
+func (s *Session) Stop() {
+	s.live.mu.Lock()
+	src := s.live.src
+	if src == nil {
+		s.live.stopEarly = true
+	}
+	s.live.mu.Unlock()
+	if src != nil {
+		src.Stop()
+	}
+}
+
+// Snapshot returns the session's state as of now, safe to call from
+// any goroutine at any time. Before Run starts streaming it returns a
+// zero summary; while the replay is live it returns a mid-stream view
+// (Live=true) with Stats, Corruptions, DegradedSAs, model versioning,
+// drift status and datagram gaps populated — SilentStreams, Incidents
+// and Flight are end-of-run analyses and stay empty; after Run it
+// returns the final Summary.
+func (s *Session) Snapshot() Summary {
+	s.live.mu.Lock()
+	if s.live.final != nil {
+		sum := *s.live.final
+		s.live.mu.Unlock()
+		return sum
+	}
+	src, rep, driftMon, store, startVersion, started :=
+		s.live.src, s.live.rep, s.live.driftMon, s.live.store, s.live.startVersion, s.live.started
+	s.live.mu.Unlock()
+
+	sum := Summary{Bus: s.name, Capture: s.capture}
+	if !started {
+		return sum
+	}
+	sum.Live = true
+	if sum.Capture == "" {
+		sum.Capture = src.Name()
+	}
+	sum.Header = src.Header()
+	if rep != nil {
+		sum.Stats = rep.Stats()
+	}
+	sum.Corruptions = src.Corruptions()
+	sum.DegradedSAs = int(s.degraded.Load())
+	if store != nil {
+		sum.ModelVersion = store.Version()
+		sum.ModelSwaps = sum.ModelVersion - startVersion
+	}
+	if driftMon != nil {
+		snap := driftMon.Status()
+		sum.Drift = &snap
+	}
+	sum.Gaps = src.Gaps()
+	return sum
 }

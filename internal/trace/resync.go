@@ -58,10 +58,20 @@ func (r *Reader) EnableRecovery() {
 	}
 }
 
-// Corruptions returns the corrupt stretches recovered so far. The
-// slice is appended to as the stream advances; callers must not
-// mutate it.
-func (r *Reader) Corruptions() []RecoveredCorruption { return r.reports }
+// Corruptions returns a copy of the corrupt stretches recovered so
+// far. It is safe to call from another goroutine while the stream is
+// still being read — status snapshots of a live session do exactly
+// that.
+func (r *Reader) Corruptions() []RecoveredCorruption {
+	r.repMu.Lock()
+	defer r.repMu.Unlock()
+	if len(r.reports) == 0 {
+		return nil
+	}
+	out := make([]RecoveredCorruption, len(r.reports))
+	copy(out, r.reports)
+	return out
+}
 
 // nextRawRecovering is NextRaw in recovery mode: parse, and on
 // corruption record the damage, resync, retry.
@@ -100,7 +110,9 @@ func truncated(err error) bool {
 // fileReport records one corruption in the reader's report list and
 // its metrics.
 func (r *Reader) fileReport(report RecoveredCorruption) {
+	r.repMu.Lock()
 	r.reports = append(r.reports, report)
+	r.repMu.Unlock()
 	if m := r.metrics; m != nil && m.Corruptions != nil {
 		m.Corruptions.Inc()
 		m.ResyncBytes.Add(report.Skipped)

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Datagram transport for capture streams.
+//
+// TCP and unix-socket feeds need no framing of their own: the capture
+// format is already a self-delimiting byte stream, so a feed simply
+// writes the capture bytes down the connection and the receiver hands
+// the connection to a Reader. UDP is different — datagrams can be
+// lost, duplicated or reordered — so each datagram carries a small
+// header (magic + sequence number) in front of a chunk of the
+// canonical capture byte stream. The receiver reassembles the stream
+// in sequence order, counts the holes, and leaves them as literal
+// gaps in the byte stream: a recovery-enabled Reader then resyncs
+// past each hole through the same corruption path that handles a
+// damaged file, and the loss shows up as RecoveredCorruption reports
+// plus GapStats — never as a wedged pipeline.
+
+// dgMagic distinguishes capture datagrams from stray traffic on the
+// port; dgVersion versions the header layout.
+const (
+	dgMagic   = "VPDG"
+	dgVersion = 1
+	// dgHeaderLen is magic (4) + version (2) + sequence (4).
+	dgHeaderLen = 10
+	// maxDatagram bounds a single receive; UDP payloads cannot exceed
+	// 64 KiB anyway.
+	maxDatagram = 64 << 10
+)
+
+// DefaultChunkSize is the per-datagram payload when DatagramConfig
+// leaves ChunkSize zero: comfortably under a 1500-byte MTU after
+// IP/UDP/VPDG headers, so chunks are not fragmented on real networks.
+const DefaultChunkSize = 1200
+
+// GapStats accounts for datagram-stream damage observed by a
+// DatagramReader.
+type GapStats struct {
+	// Datagrams is the number of in-order datagrams accepted into the
+	// byte stream.
+	Datagrams int64 `json:"datagrams"`
+	// LostChunks is the number of sequence numbers that never arrived
+	// (holes left in the byte stream for the recovery reader).
+	LostChunks int64 `json:"lost_chunks"`
+	// LateChunks is the number of datagrams dropped because their
+	// sequence number had already been passed (reordered past the
+	// reassembly point, or duplicated).
+	LateChunks int64 `json:"late_chunks"`
+	// Rejected is the number of datagrams discarded for a bad magic or
+	// version — stray traffic, not capture stream.
+	Rejected int64 `json:"rejected,omitempty"`
+}
+
+// DatagramConfig tunes the sending side of a datagram capture stream.
+type DatagramConfig struct {
+	// ChunkSize is the capture-stream payload per datagram; 0 means
+	// DefaultChunkSize.
+	ChunkSize int
+	// Drop, when non-nil, is consulted before each send and suppresses
+	// the datagram when it returns true. It exists for loss-injection
+	// tests; production feeds leave it nil and let the network do the
+	// dropping.
+	Drop func(seq uint32) bool
+}
+
+// StreamDatagrams chunks the capture byte stream r into sequenced
+// datagrams and writes one per Write call to w (typically a connected
+// UDP socket). It returns the number of capture bytes consumed.
+// Chunk 0 carries the capture header, so a feed whose first datagram
+// is lost cannot be attached — start streaming before walking away.
+func StreamDatagrams(w io.Writer, r io.Reader, cfg DatagramConfig) (int64, error) {
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	if chunk > maxDatagram-dgHeaderLen {
+		chunk = maxDatagram - dgHeaderLen
+	}
+	buf := make([]byte, dgHeaderLen+chunk)
+	copy(buf, dgMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], dgVersion)
+	var seq uint32
+	var total int64
+	for {
+		n, err := io.ReadFull(r, buf[dgHeaderLen:])
+		if n > 0 {
+			total += int64(n)
+			if cfg.Drop == nil || !cfg.Drop(seq) {
+				binary.LittleEndian.PutUint32(buf[6:10], seq)
+				if _, werr := w.Write(buf[:dgHeaderLen+n]); werr != nil {
+					return total, werr
+				}
+			}
+			seq++
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// DatagramReader reassembles a sequenced datagram stream back into a
+// capture byte stream. It implements io.Reader so trace.OpenReader
+// (and through it an engine session) can consume it like any other
+// stream; lost chunks become byte-stream holes counted in GapStats,
+// and Close makes a concurrent or subsequent Read return io.EOF.
+type DatagramReader struct {
+	pc     net.PacketConn
+	buf    [maxDatagram]byte
+	pend   []byte // unconsumed payload of the last accepted datagram
+	next   uint32
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	stats GapStats
+}
+
+// NewDatagramReader wraps a packet socket. The reader owns pc: Close
+// closes it.
+func NewDatagramReader(pc net.PacketConn) *DatagramReader {
+	return &DatagramReader{pc: pc}
+}
+
+// Read yields reassembled capture bytes, blocking until a datagram
+// arrives. After Close it returns io.EOF.
+func (d *DatagramReader) Read(p []byte) (int, error) {
+	for len(d.pend) == 0 {
+		if d.closed.Load() {
+			return 0, io.EOF
+		}
+		n, _, err := d.pc.ReadFrom(d.buf[:])
+		if err != nil {
+			if d.closed.Load() {
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		d.accept(d.buf[:n])
+	}
+	n := copy(p, d.pend)
+	d.pend = d.pend[n:]
+	return n, nil
+}
+
+// accept validates one datagram and, if it advances the stream, makes
+// its payload the pending read buffer.
+func (d *DatagramReader) accept(pkt []byte) {
+	if len(pkt) < dgHeaderLen || string(pkt[:4]) != dgMagic ||
+		binary.LittleEndian.Uint16(pkt[4:6]) != dgVersion {
+		d.mu.Lock()
+		d.stats.Rejected++
+		d.mu.Unlock()
+		return
+	}
+	seq := binary.LittleEndian.Uint32(pkt[6:10])
+	d.mu.Lock()
+	switch {
+	case seq == d.next:
+		d.stats.Datagrams++
+	case seq > d.next:
+		// A hole: everything between the reassembly point and this
+		// datagram is gone. Accept the payload and let the recovery
+		// reader resync across the discontinuity.
+		d.stats.LostChunks += int64(seq - d.next)
+		d.stats.Datagrams++
+	default:
+		d.stats.LateChunks++
+		d.mu.Unlock()
+		return
+	}
+	d.next = seq + 1
+	d.mu.Unlock()
+	d.pend = pkt[dgHeaderLen:]
+}
+
+// Gaps returns a snapshot of the loss accounting. Safe to call from
+// any goroutine while the stream is live.
+func (d *DatagramReader) Gaps() GapStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// SetReadDeadline forwards to the underlying socket, so a drain can
+// unblock a Read that is waiting for a datagram.
+func (d *DatagramReader) SetReadDeadline(t time.Time) error {
+	return d.pc.SetReadDeadline(t)
+}
+
+// Close makes Read return io.EOF (including a Read currently blocked
+// on the socket) and closes the socket.
+func (d *DatagramReader) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	return d.pc.Close()
+}
+
+// DialDatagramFeed connects a UDP feed to addr ("host:port") and
+// streams the capture from r through StreamDatagrams.
+func DialDatagramFeed(addr string, r io.Reader, cfg DatagramConfig) (int64, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("datagram feed: %w", err)
+	}
+	defer conn.Close()
+	return StreamDatagrams(conn, r, cfg)
+}

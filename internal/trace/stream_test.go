@@ -1,0 +1,268 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"vprofile/internal/trace"
+)
+
+// pktSink collects each Write as one datagram, like a packet socket
+// would.
+type pktSink struct{ pkts [][]byte }
+
+func (s *pktSink) Write(p []byte) (int, error) {
+	s.pkts = append(s.pkts, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func TestStreamDatagramsChunksAndSequences(t *testing.T) {
+	data, _, _ := resyncFixture(t, 8)
+	var sink pktSink
+	n, err := trace.StreamDatagrams(&sink, bytes.NewReader(data), trace.DatagramConfig{ChunkSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("streamed %d bytes, capture is %d", n, len(data))
+	}
+	wantPkts := (len(data) + 511) / 512
+	if len(sink.pkts) != wantPkts {
+		t.Fatalf("sent %d datagrams, want %d", len(sink.pkts), wantPkts)
+	}
+	// Reassembling the payloads in order must reproduce the capture
+	// byte stream exactly.
+	var rebuilt []byte
+	for i, pkt := range sink.pkts {
+		if len(pkt) < 10 || string(pkt[:4]) != "VPDG" {
+			t.Fatalf("datagram %d has a bad header: % x", i, pkt[:10])
+		}
+		rebuilt = append(rebuilt, pkt[10:]...)
+	}
+	if !bytes.Equal(rebuilt, data) {
+		t.Fatal("reassembled payloads differ from the capture stream")
+	}
+}
+
+func TestStreamDatagramsDropLeavesSequenceHole(t *testing.T) {
+	data, _, _ := resyncFixture(t, 8)
+	var sink pktSink
+	_, err := trace.StreamDatagrams(&sink, bytes.NewReader(data), trace.DatagramConfig{
+		ChunkSize: 256,
+		Drop:      func(seq uint32) bool { return seq == 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dropped chunk must consume its sequence number so the
+	// receiver sees a hole, not a renumbered contiguous stream.
+	var seqs []uint32
+	for _, pkt := range sink.pkts {
+		seqs = append(seqs, uint32(pkt[6])|uint32(pkt[7])<<8|uint32(pkt[8])<<16|uint32(pkt[9])<<24)
+	}
+	for i, s := range seqs {
+		want := uint32(i)
+		if i >= 2 {
+			want++
+		}
+		if s != want {
+			t.Fatalf("datagram %d carries seq %d, want %d (seqs %v)", i, s, want, seqs)
+		}
+	}
+}
+
+// datagramPair binds a loopback UDP listener wrapped in a
+// DatagramReader and returns it with the address to feed.
+func datagramPair(t *testing.T) (*trace.DatagramReader, string) {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := trace.NewDatagramReader(pc)
+	t.Cleanup(func() { dr.Close() })
+	return dr, pc.LocalAddr().String()
+}
+
+func TestDatagramRoundTripLossless(t *testing.T) {
+	data, recs, _ := resyncFixture(t, 30)
+	dr, addr := datagramPair(t)
+	n, err := trace.DialDatagramFeed(addr, bytes.NewReader(data), trace.DatagramConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("fed %d bytes, capture is %d", n, len(data))
+	}
+	rd, err := trace.OpenReader(dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		rec, err := rd.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.TimeSec != want.TimeSec || rec.FrameID != want.FrameID {
+			t.Fatalf("record %d differs: t=%g id=%#x", i, rec.TimeSec, rec.FrameID)
+		}
+	}
+	gaps := dr.Gaps()
+	if gaps.LostChunks != 0 || gaps.LateChunks != 0 || gaps.Rejected != 0 {
+		t.Fatalf("lossless loopback stream reported damage: %+v", gaps)
+	}
+	// Close ends the stream; the reader sits at a record boundary so
+	// the EOF is clean.
+	dr.Close()
+	if _, err := rd.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+}
+
+func TestDatagramLossRecovers(t *testing.T) {
+	data, recs, _ := resyncFixture(t, 40)
+	dr, addr := datagramPair(t)
+
+	const chunk = 512
+	dropped := map[uint32]bool{5: true, 13: true}
+	_, err := trace.DialDatagramFeed(addr, bytes.NewReader(data), trace.DatagramConfig{
+		ChunkSize: chunk,
+		Drop:      func(seq uint32) bool { return dropped[seq] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalChunks := (len(data) + chunk - 1) / chunk
+
+	rd, err := trace.OpenReader(dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.EnableRecovery()
+	var got []*trace.Record
+	done := make(chan error, 1)
+	go func() {
+		for {
+			rec, err := rd.Next()
+			if err != nil {
+				done <- err
+				return
+			}
+			got = append(got, rec)
+		}
+	}()
+
+	// Wait until every sent datagram has been accepted, then close the
+	// feed: buffered bytes drain, the holes resync, EOF ends the loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if dr.Gaps().Datagrams == int64(totalChunks-len(dropped)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("accepted %d datagrams, want %d", dr.Gaps().Datagrams, totalChunks-len(dropped))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	dr.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("stream ended with %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader did not finish after Close — wedged pipeline")
+	}
+
+	gaps := dr.Gaps()
+	if gaps.LostChunks != int64(len(dropped)) {
+		t.Fatalf("LostChunks = %d, want %d", gaps.LostChunks, len(dropped))
+	}
+	if len(rd.Corruptions()) < 2 {
+		t.Fatalf("two separate holes produced %d corruption reports", len(rd.Corruptions()))
+	}
+	// Each 512-byte hole can destroy at most three 270-byte records.
+	if len(got) < len(recs)-8 {
+		t.Fatalf("recovered only %d of %d records", len(got), len(recs))
+	}
+	// The stream must have resynced: the tail records are intact.
+	tail := got[len(got)-5:]
+	for i, rec := range tail {
+		want := recs[len(recs)-5+i]
+		if rec.TimeSec != want.TimeSec || rec.FrameID != want.FrameID {
+			t.Fatalf("tail record %d wrong after loss resync: t=%g want %g", i, rec.TimeSec, want.TimeSec)
+		}
+	}
+}
+
+func TestDatagramReaderLateAndRejected(t *testing.T) {
+	dr, addr := datagramPair(t)
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	pkt := func(seq uint32, payload string) []byte {
+		b := []byte("VPDG\x01\x00????")
+		b[6], b[7], b[8], b[9] = byte(seq), byte(seq>>8), byte(seq>>16), byte(seq>>24)
+		return append(b, payload...)
+	}
+	send := func(b []byte) {
+		t.Helper()
+		if _, err := conn.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(pkt(0, "aaaa"))
+	send(pkt(1, "bbbb"))
+	send(pkt(1, "dup!")) // already passed → late
+	send([]byte("nope")) // bad magic → rejected
+	send(pkt(2, "cccc"))
+	send(pkt(5, "ffff")) // hole: 3 and 4 never sent
+
+	var out []byte
+	buf := make([]byte, 64)
+	dr.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for len(out) < 16 {
+		n, err := dr.Read(buf)
+		if err != nil {
+			t.Fatalf("read after %q: %v", out, err)
+		}
+		out = append(out, buf[:n]...)
+	}
+	if string(out) != "aaaabbbbccccffff" {
+		t.Fatalf("reassembled %q", out)
+	}
+	gaps := dr.Gaps()
+	if gaps.Datagrams != 4 || gaps.LateChunks != 1 || gaps.Rejected != 1 || gaps.LostChunks != 2 {
+		t.Fatalf("gap accounting wrong: %+v", gaps)
+	}
+	dr.Close()
+	if _, err := dr.Read(buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("Read after Close = %v, want io.EOF", err)
+	}
+}
+
+func TestDatagramReaderCloseUnblocksRead(t *testing.T) {
+	dr, _ := datagramPair(t)
+	done := make(chan error, 1)
+	go func() {
+		_, err := dr.Read(make([]byte, 64))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	dr.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("blocked Read returned %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the Read")
+	}
+}

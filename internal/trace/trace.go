@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"vprofile/internal/analog"
 	"vprofile/internal/canbus"
@@ -170,8 +171,12 @@ type Reader struct {
 	// off is the byte offset into the (uncompressed) stream, used to
 	// locate corruption reports.
 	off int64
-	// recovery state; see EnableRecovery in resync.go.
+	// recovery state; see EnableRecovery in resync.go. reports is the
+	// one piece of reader state read from other goroutines (mid-stream
+	// status snapshots), so it gets its own mutex; everything else is
+	// owned by the reading goroutine.
 	recover bool
+	repMu   sync.Mutex
 	reports []RecoveredCorruption
 	scratch []byte
 }

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Daemon-mode smoke: start vprofiled from a fleet policy, `vprofile
+# attach` a bus and stream a capture into its ingest socket, require
+# the daemon's tallies to match a batch `vprofile detect` of the same
+# file, read them back through the status and event endpoints, then
+# SIGTERM and require a clean drain (exit 0).
+#
+# BIN points at the directory holding tracegen/vprofile/vprofiled
+# (default ./bin). The script works in a scratch directory and cleans
+# up after itself, so it is safe to run from a checkout — `make
+# daemon-smoke` and the CI daemon-smoke job both run it.
+set -eux
+
+BIN=${BIN:-$(pwd)/bin}
+CTRL=${CTRL:-127.0.0.1:9675}
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ]; then kill -9 "$daemon_pid" 2>/dev/null || true; fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+cd "$tmp"
+
+"$BIN/tracegen" -vehicle b -n 3000 -seed 51 -signals -diag -out clean.vptr
+"$BIN/vprofile" train -capture clean.vptr -model m.vpm
+"$BIN/tracegen" -vehicle b -n 800 -seed 52 -foreign 1 -out attack.vptr
+
+# Batch reference: the socket-streamed daemon replay of the same file
+# must land on exactly these numbers.
+"$BIN/vprofile" detect -capture attack.vptr -model m.vpm | tee batch.txt
+batch_frames=$(sed -nE 's/^classified ([0-9]+) messages:.*/\1/p' batch.txt)
+batch_flagged=$(sed -nE 's/^classified [0-9]+ messages: ([0-9]+) flagged.*/\1/p' batch.txt)
+test -n "$batch_frames"
+test -n "$batch_flagged"
+
+cat > fleet.yaml <<EOF
+control: $CTRL
+defaults:
+  model: m.vpm
+buses:
+  front:
+    listen: tcp://127.0.0.1:0
+EOF
+
+"$BIN/vprofiled" -policy fleet.yaml &
+daemon_pid=$!
+ok=""
+for _ in $(seq 1 50); do
+  if "$BIN/vprofile" status -control "$CTRL" >/dev/null 2>&1; then ok=1; break; fi
+  sleep 0.2
+done
+test -n "$ok"
+
+# Attach a second bus and stream the capture into its unix socket; the
+# client waits for the daemon to finish the session and prints its
+# tally, exiting non-zero if the session aborted.
+"$BIN/vprofile" attach -control "$CTRL" -bus smoke \
+  -listen "unix://$tmp/smoke.sock" -model m.vpm -capture attack.vptr | tee attach.txt
+grep -q "attached bus smoke" attach.txt
+
+# The status endpoint serves the same tallies: bit-identical to batch.
+"$BIN/vprofile" status -control "$CTRL" -bus smoke -json | tee status.json
+python3 - "$batch_frames" "$batch_flagged" <<'EOF'
+import json, sys
+st = json.load(open("status.json"))
+t = st["tally"]
+frames, flagged = int(sys.argv[1]), int(sys.argv[2])
+assert st["sessions_done"] == 1 and st["sessions_aborted"] == 0, st
+assert t["frames"] == frames, (t["frames"], frames)
+assert t["volt_alarms"] == flagged, (t["volt_alarms"], flagged)
+assert t["volt_alarms"] > 0, "attack capture produced no voltage alarms"
+print(f"daemon tally matches batch detect: {frames} frames, {flagged} alarms")
+EOF
+
+# The policy bus is alive and listed alongside the attached one.
+"$BIN/vprofile" status -control "$CTRL" | tee status.txt
+grep -q "bus front" status.txt
+grep -q "bus smoke" status.txt
+
+# The alarm subscription replays the attack's buffered events.
+"$BIN/vprofile" tail -control "$CTRL" -once | tee events.jsonl
+grep -q '"bus":"smoke"' events.jsonl
+
+# SIGTERM drains every session; a clean drain exits 0.
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+test "$rc" -eq 0
+echo "daemon-smoke: OK"
